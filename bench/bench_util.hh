@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure regeneration binaries: every
+ * bench compiles the eight workloads at the reference scale with the
+ * reference compiler configuration, runs whatever engines it needs,
+ * and prints the rows/series of its paper counterpart.
+ */
+
+#ifndef DDE_BENCH_BENCH_UTIL_HH
+#define DDE_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "emu/emulator.hh"
+#include "mir/compiler.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+namespace dde::bench
+{
+
+/** Work multiplier used by all reported experiments. */
+constexpr unsigned kBenchScale = 8;
+
+struct BenchProgram
+{
+    std::string name;
+    prog::Program program;
+};
+
+/** Compile all eight workloads with the reference options. */
+inline std::vector<BenchProgram>
+compileAll(unsigned scale = kBenchScale)
+{
+    std::vector<BenchProgram> out;
+    for (const auto &w : workloads::allWorkloads()) {
+        workloads::Params p;
+        p.scale = scale;
+        out.push_back(BenchProgram{
+            w.name,
+            mir::compile(w.make(p), sim::referenceCompileOptions())});
+    }
+    return out;
+}
+
+inline void
+printHeader(const char *id, const char *title)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s: %s\n", id, title);
+    std::printf("==============================================================\n");
+}
+
+inline double
+pct(double x)
+{
+    return 100.0 * x;
+}
+
+/** Percentage reduction of b relative to a. */
+inline double
+reduction(std::uint64_t with, std::uint64_t base)
+{
+    return base ? 100.0 * (1.0 - double(with) / double(base)) : 0.0;
+}
+
+} // namespace dde::bench
+
+#endif // DDE_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * E3 / Figure 3 — Where dead instructions come from.
+ *
+ * Paper anchors: "The majority of these instructions arise from
+ * static instructions that also produce useful results" and "compiler
+ * optimization (specifically instruction scheduling) creates a
+ * significant portion of these partially dead static instructions."
+ *
+ * Three views per benchmark:
+ *  (a) static classification (always / partially / never dead) and
+ *      the dynamic dead contribution of each class,
+ *  (b) exact attribution of dead instances to the compiler mechanism
+ *      that created the static instruction (origin tags),
+ *  (c) an ablation: dead fraction with the hoisting scheduler ON vs
+ *      OFF.
+ */
+
+#include "bench/bench_util.hh"
+#include "deadness/analysis.hh"
+
+using namespace dde;
+
+int
+main()
+{
+    bench::printHeader("E3 / Fig.3", "causes of dead instructions");
+
+    std::printf("--- (a) static classification ---\n");
+    std::printf("%-10s %8s %8s %8s | %14s %14s\n", "bench", "always",
+                "partial", "never", "dyn-from-part%", "dyn-from-alw%");
+    auto programs = bench::compileAll();
+    std::vector<deadness::Analysis> analyses;
+    for (const auto &bp : programs) {
+        auto run = emu::runProgram(bp.program);
+        analyses.push_back(deadness::analyze(bp.program, run.trace));
+        const auto &an = analyses.back();
+        auto cls = an.classifyStatics();
+        std::printf("%-10s %8llu %8llu %8llu | %13.1f%% %13.1f%%\n",
+                    bp.name.c_str(),
+                    (unsigned long long)cls.alwaysDead,
+                    (unsigned long long)cls.partiallyDead,
+                    (unsigned long long)cls.neverDead,
+                    an.dynDead ? 100.0 * cls.dynFromPartial / an.dynDead
+                               : 0.0,
+                    an.dynDead ? 100.0 * cls.dynFromAlways / an.dynDead
+                               : 0.0);
+    }
+
+    std::printf("\n--- (b) dead instances by compiler origin ---\n");
+    std::printf("%-10s", "bench");
+    for (unsigned o = 0; o < prog::kNumOrigins; ++o) {
+        std::printf(" %12s",
+                    prog::originName(static_cast<prog::InstOrigin>(o)));
+    }
+    std::printf("\n");
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        const auto &an = analyses[i];
+        std::printf("%-10s", programs[i].name.c_str());
+        for (unsigned o = 0; o < prog::kNumOrigins; ++o) {
+            double share = an.dynDead
+                               ? 100.0 * an.perOrigin[o].deads /
+                                     an.dynDead
+                               : 0.0;
+            std::printf(" %11.1f%%", share);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n--- (c) scheduling ablation: dead%% with hoisting "
+                "ON vs OFF ---\n");
+    std::printf("%-10s %10s %10s %12s\n", "bench", "sched-on",
+                "sched-off", "from-sched");
+    for (const auto &w : workloads::allWorkloads()) {
+        workloads::Params p;
+        p.scale = bench::kBenchScale;
+        auto opts_on = sim::referenceCompileOptions();
+        auto opts_off = opts_on;
+        opts_off.hoist.enabled = false;
+        auto prog_on = mir::compile(w.make(p), opts_on);
+        auto prog_off = mir::compile(w.make(p), opts_off);
+        auto an_on = deadness::analyze(prog_on,
+                                       emu::runProgram(prog_on).trace);
+        auto an_off = deadness::analyze(
+            prog_off, emu::runProgram(prog_off).trace);
+        std::printf("%-10s %9.2f%% %9.2f%% %11.2f%%\n", w.name.c_str(),
+                    bench::pct(an_on.deadFraction()),
+                    bench::pct(an_off.deadFraction()),
+                    bench::pct(an_on.deadFraction() -
+                               an_off.deadFraction()));
+    }
+    std::printf("\n--- (d) static DCE cannot remove dynamic deadness ---\n");
+    std::printf("%-10s %12s %14s\n", "bench", "dce-removed",
+                "dead% after DCE");
+    for (const auto &w : workloads::allWorkloads()) {
+        workloads::Params p;
+        p.scale = bench::kBenchScale;
+        mir::CompileStats cstats;
+        auto program = mir::compile(w.make(p),
+                                    sim::referenceCompileOptions(),
+                                    &cstats);
+        auto an =
+            deadness::analyze(program, emu::runProgram(program).trace);
+        std::printf("%-10s %12u %13.2f%%\n", w.name.c_str(),
+                    cstats.dceRemoved,
+                    bench::pct(an.deadFraction()));
+    }
+    std::printf("\n(paper: scheduling/code motion is a major producer "
+                "of partially dead instructions; whole-static DCE — the "
+                "best a path-blind\ncompiler can do — leaves the "
+                "dynamic deadness intact, motivating the hardware "
+                "mechanism)\n");
+    return 0;
+}

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * E9 — google-benchmark microbenchmarks of the hot simulator
+ * components: predictor lookups and training, detector event
+ * processing, cache accesses, the functional emulator, the oracle
+ * analysis, and full-core simulation throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hh"
+#include "core/core.hh"
+#include "deadness/analysis.hh"
+#include "predictor/branch.hh"
+#include "predictor/dead_predictor.hh"
+#include "predictor/detector.hh"
+
+using namespace dde;
+
+namespace
+{
+
+const std::vector<bench::BenchProgram> &
+cachedPrograms()
+{
+    static const auto programs = bench::compileAll(2);
+    return programs;
+}
+
+void
+BM_DeadPredictorLookup(benchmark::State &state)
+{
+    predictor::DeadInstPredictor dp;
+    for (int i = 0; i < 4096; ++i)
+        dp.train(0x10000 + 4 * (i % 512), i & 0xff, (i & 3) == 0);
+    Addr pc = 0x10000;
+    predictor::FutureSig sig = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(dp.predict(pc, sig));
+        pc += 4;
+        if (pc > 0x14000)
+            pc = 0x10000;
+        sig = static_cast<predictor::FutureSig>(sig * 33 + 7);
+    }
+}
+BENCHMARK(BM_DeadPredictorLookup);
+
+void
+BM_DeadPredictorTrain(benchmark::State &state)
+{
+    predictor::DeadInstPredictor dp;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        dp.train(0x10000 + 4 * (i % 512),
+                 static_cast<predictor::FutureSig>(i), (i & 3) == 0);
+        ++i;
+    }
+}
+BENCHMARK(BM_DeadPredictorTrain);
+
+void
+BM_DetectorCommitStream(benchmark::State &state)
+{
+    predictor::DeadValueDetector det;
+    std::vector<predictor::DeadEvent> events;
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        RegId rd = static_cast<RegId>(1 + (i % 30));
+        det.onRegRead(static_cast<RegId>(1 + ((i * 7) % 30)), events);
+        det.onRegWrite(rd, predictor::ProducerInfo{0x10000 + 4ULL * rd,
+                                                   0, i},
+                       events);
+        events.clear();
+        ++i;
+    }
+}
+BENCHMARK(BM_DetectorCommitStream);
+
+void
+BM_GsharePredict(benchmark::State &state)
+{
+    predictor::GsharePredictor gs(4096, 12);
+    Addr pc = 0x10000;
+    for (auto _ : state) {
+        bool taken = gs.predict(pc);
+        gs.update(pc, !taken);
+        pc = 0x10000 + ((pc + 4) & 0xfff);
+    }
+}
+BENCHMARK(BM_GsharePredict);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    cache::MainMemory mem(80);
+    cache::Cache l1("l1", cache::CacheConfig{16 * 1024, 64, 4, 1}, mem);
+    Addr a = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(l1.access(a, (a & 64) != 0));
+        a = (a + 4096 + 8) & 0xfffff;
+    }
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_Emulator(benchmark::State &state)
+{
+    const auto &program = cachedPrograms()[0].program;
+    for (auto _ : state) {
+        auto result = emu::runProgram(program, 100'000'000, false);
+        benchmark::DoNotOptimize(result.instCount);
+    }
+    state.SetItemsProcessed(
+        state.iterations() *
+        emu::runProgram(program, 100'000'000, false).instCount);
+}
+BENCHMARK(BM_Emulator)->Unit(benchmark::kMillisecond);
+
+void
+BM_DeadnessOracle(benchmark::State &state)
+{
+    const auto &program = cachedPrograms()[1].program;
+    auto run = emu::runProgram(program);
+    for (auto _ : state) {
+        auto an = deadness::analyze(program, run.trace);
+        benchmark::DoNotOptimize(an.dynDead);
+    }
+    state.SetItemsProcessed(state.iterations() * run.trace.size());
+}
+BENCHMARK(BM_DeadnessOracle)->Unit(benchmark::kMillisecond);
+
+void
+BM_CoreBaseline(benchmark::State &state)
+{
+    const auto &program = cachedPrograms()[5].program;  // fsm
+    for (auto _ : state) {
+        core::Core core(program, core::CoreConfig::wide());
+        core.run();
+        benchmark::DoNotOptimize(core.committedInsts());
+    }
+}
+BENCHMARK(BM_CoreBaseline)->Unit(benchmark::kMillisecond);
+
+void
+BM_CoreWithElimination(benchmark::State &state)
+{
+    const auto &program = cachedPrograms()[5].program;
+    core::CoreConfig cfg = core::CoreConfig::wide();
+    cfg.elim.enable = true;
+    for (auto _ : state) {
+        core::Core core(program, cfg);
+        core.run();
+        benchmark::DoNotOptimize(core.committedInsts());
+    }
+}
+BENCHMARK(BM_CoreWithElimination)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

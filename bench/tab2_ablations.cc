@@ -1,0 +1,122 @@
+/**
+ * @file
+ * E8 / Table 2 — Design-choice ablations (DESIGN.md §7).
+ *
+ * Mean contended-machine speedup under:
+ *  - recovery mechanism: UEB repair (ours) vs squash-from-producer
+ *    (the branch-style recovery the paper describes),
+ *  - elimination confidence threshold,
+ *  - live-event policy (decrement vs clear),
+ *  - what is eligible (ALU only / +loads / +stores),
+ *  - UEB dead-store buffer capacity.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/core.hh"
+
+using namespace dde;
+
+namespace
+{
+
+double
+meanSpeedup(const std::vector<bench::BenchProgram> &programs,
+            const std::vector<double> &base_ipc,
+            const core::CoreConfig &cfg)
+{
+    double sum = 0;
+    for (std::size_t i = 0; i < programs.size(); ++i) {
+        auto r = sim::runOnCore(programs[i].program, cfg);
+        sum += 100.0 * (r.stats.ipc / base_ipc[i] - 1.0);
+    }
+    return sum / programs.size();
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader("E8 / Tab.2", "design-choice ablations");
+
+    auto programs = bench::compileAll();
+    std::vector<double> base_ipc;
+    for (const auto &bp : programs) {
+        base_ipc.push_back(
+            sim::runOnCore(bp.program, core::CoreConfig::contended())
+                .stats.ipc);
+    }
+
+    auto base_cfg = [] {
+        core::CoreConfig cfg = core::CoreConfig::contended();
+        cfg.elim.enable = true;
+        return cfg;
+    };
+
+    std::printf("%-44s %10s\n", "variant", "mean sp");
+    {
+        auto cfg = base_cfg();
+        std::printf("%-44s %+9.2f%%\n", "default (UEB repair, thr 2)",
+                    meanSpeedup(programs, base_ipc, cfg));
+    }
+    {
+        auto cfg = base_cfg();
+        cfg.elim.recovery = core::RecoveryMode::SquashProducer;
+        std::printf("%-44s %+9.2f%%\n",
+                    "squash-from-producer recovery",
+                    meanSpeedup(programs, base_ipc, cfg));
+    }
+    {
+        auto cfg = base_cfg();
+        cfg.elim.recovery = core::RecoveryMode::SquashProducer;
+        cfg.elim.fullFlushRecovery = true;
+        std::printf("%-44s %+9.2f%%\n",
+                    "squash recovery + extra flush penalty",
+                    meanSpeedup(programs, base_ipc, cfg));
+    }
+    for (unsigned thr : {1u, 3u}) {
+        auto cfg = base_cfg();
+        cfg.elim.predictor.threshold = thr;
+        char label[64];
+        std::snprintf(label, sizeof label, "confidence threshold %u",
+                      thr);
+        std::printf("%-44s %+9.2f%%\n", label,
+                    meanSpeedup(programs, base_ipc, cfg));
+    }
+    {
+        auto cfg = base_cfg();
+        cfg.elim.predictor.clearOnLive = true;
+        std::printf("%-44s %+9.2f%%\n", "clear-on-live counters",
+                    meanSpeedup(programs, base_ipc, cfg));
+    }
+    {
+        auto cfg = base_cfg();
+        cfg.elim.eliminateLoads = false;
+        cfg.elim.eliminateStores = false;
+        std::printf("%-44s %+9.2f%%\n", "ALU results only",
+                    meanSpeedup(programs, base_ipc, cfg));
+    }
+    {
+        auto cfg = base_cfg();
+        cfg.elim.eliminateStores = false;
+        std::printf("%-44s %+9.2f%%\n", "ALU + loads (no dead stores)",
+                    meanSpeedup(programs, base_ipc, cfg));
+    }
+    for (unsigned entries : {8u, 256u}) {
+        auto cfg = base_cfg();
+        cfg.elim.uebStoreEntries = entries;
+        char label[64];
+        std::snprintf(label, sizeof label, "UEB store buffer: %u entries",
+                      entries);
+        std::printf("%-44s %+9.2f%%\n", label,
+                    meanSpeedup(programs, base_ipc, cfg));
+    }
+    {
+        auto cfg = base_cfg();
+        cfg.elim.predictor.futureDepth = 0;
+        std::printf("%-44s %+9.2f%%\n",
+                    "no future-CF signature (depth 0)",
+                    meanSpeedup(programs, base_ipc, cfg));
+    }
+    return 0;
+}

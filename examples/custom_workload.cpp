@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Authoring a workload with the MIR builder API and measuring what
+ * dead-instruction elimination does for it on a contended machine.
+ *
+ * The program is a small histogram kernel with a speculative hot-path
+ * computation — the kind of code a compiler produces when it hoists
+ * work above a data-dependent branch.
+ *
+ *   ./custom_workload [iterations]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/core.hh"
+#include "emu/emulator.hh"
+#include "mir/builder.hh"
+#include "mir/compiler.hh"
+#include "sim/simulator.hh"
+
+using namespace dde;
+using namespace dde::mir;
+
+namespace
+{
+
+Module
+buildHistogram(unsigned iterations)
+{
+    Module m;
+    m.name = "histogram";
+
+    // bump(bucket): increment a histogram slot; returns the new count.
+    {
+        FunctionBuilder f(m, "bump", 1);
+        VReg base = f.li(static_cast<std::int64_t>(prog::kDataBase));
+        VReg idx = f.andi(f.param(0), 63);
+        VReg addr = f.add(f.slli(idx, 3), base);
+        VReg old_count = f.load(addr, 0);
+        VReg count = f.addi(old_count, 1);
+        f.store(count, addr, 0);
+        f.ret(count);
+    }
+
+    FunctionBuilder b(m, "main", 0);
+    VReg n = b.li(iterations);
+    VReg i = b.li(0);
+    VReg state = b.li(0x12345);
+    VReg spikes = b.li(0);
+
+    BlockId head = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId spike = b.newBlock();
+    BlockId cont = b.newBlock();
+    BlockId done = b.newBlock();
+
+    b.jmp(head);
+    b.setBlock(head);
+    b.br(Cond::Lt, i, n, body, done);
+
+    b.setBlock(body);
+    // xorshift sample
+    b.into2(MOp::Xor, state, state, b.slli(state, 13));
+    b.into2(MOp::Xor, state, state, b.srli(state, 7));
+    b.into2(MOp::Xor, state, state, b.slli(state, 17));
+    VReg sample = b.andi(state, 0xff);
+    VReg count = b.call("bump", {sample});
+    VReg threshold = b.li(12);
+    b.br(Cond::Lt, threshold, count, spike, cont);
+
+    b.setBlock(spike);
+    // Hot-path bookkeeping: hoistable, dead when the branch goes the
+    // other way.
+    VReg weighted = b.mul(count, sample);
+    VReg tag = b.addi(weighted, 1);
+    b.into2(MOp::Add, spikes, spikes, tag);
+    b.jmp(cont);
+
+    b.setBlock(cont);
+    b.intoImm(MOp::AddI, i, i, 1);
+    b.jmp(head);
+
+    b.setBlock(done);
+    b.output(spikes);
+    b.output(state);
+    b.halt();
+    return m;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    unsigned iterations = argc > 1 ? std::atoi(argv[1]) : 20000;
+
+    mir::CompileStats cstats;
+    auto program = mir::compile(buildHistogram(iterations),
+                                sim::referenceCompileOptions(), &cstats);
+    std::printf("compiled histogram: %zu instructions, %u hoisted "
+                "speculatively, %u spill ops\n",
+                program.numInsts(), cstats.hoisted,
+                cstats.lower.spillLoads + cstats.lower.spillStores);
+
+    auto ref = emu::runProgram(program);
+    std::printf("emulator: %llu instructions, spikes=%llu\n",
+                (unsigned long long)ref.instCount,
+                (unsigned long long)ref.output.at(0));
+
+    auto base = sim::runOnCore(program, core::CoreConfig::contended());
+    core::CoreConfig cfg = core::CoreConfig::contended();
+    cfg.elim.enable = true;
+    auto elim = sim::runOnCore(program, cfg);
+
+    std::printf("\n%-24s %12s %12s\n", "", "baseline", "eliminated");
+    std::printf("%-24s %12.3f %12.3f\n", "IPC", base.stats.ipc,
+                elim.stats.ipc);
+    std::printf("%-24s %12llu %12llu\n", "phys reg allocations",
+                (unsigned long long)base.stats.physRegAllocs,
+                (unsigned long long)elim.stats.physRegAllocs);
+    std::printf("%-24s %12llu %12llu\n", "RF reads",
+                (unsigned long long)base.stats.rfReads,
+                (unsigned long long)elim.stats.rfReads);
+    std::printf("%-24s %12llu %12llu\n", "RF writes",
+                (unsigned long long)base.stats.rfWrites,
+                (unsigned long long)elim.stats.rfWrites);
+    std::printf("%-24s %12s %12llu\n", "eliminated", "-",
+                (unsigned long long)elim.stats.committedEliminated);
+    std::printf("\nspeedup: %+.2f%%; outputs identical: %s\n",
+                100.0 * (elim.stats.ipc / base.stats.ipc - 1.0),
+                sim::observablyEqual(elim, ref) ? "yes" : "NO (bug!)");
+    return 0;
+}

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * ddesim — the command-line simulator front end.
+ *
+ * Runs a built-in workload or an assembly file on the emulator or the
+ * out-of-order core, with the dead-instruction machinery switchable
+ * from the command line, and dumps the full statistics report.
+ *
+ *   ddesim --workload parse --scale 4 --config contended --elim
+ *   ddesim --asm prog.s --stats
+ *   ddesim --workload fsm --elim --oracle --compare
+ *   ddesim --list
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/core.hh"
+#include "deadness/analysis.hh"
+#include "emu/emulator.hh"
+#include "isa/assembler.hh"
+#include "mir/compiler.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace dde;
+
+namespace
+{
+
+struct Options
+{
+    std::string workload;
+    std::string asmFile;
+    unsigned scale = 4;
+    std::uint64_t seed = 42;
+    std::string config = "wide";  // wide | contended | tiny
+    bool elim = false;
+    bool oracle = false;
+    bool squashRecovery = false;
+    bool compare = false;  // also run baseline and print speedup
+    bool deadness = false; // oracle characterization
+    bool stats = false;    // full stat dump
+    bool cosim = false;
+};
+
+void
+usage()
+{
+    std::puts(
+        "ddesim — dead-instruction elimination simulator\n"
+        "\n"
+        "input (one of):\n"
+        "  --workload NAME     built-in workload (see --list)\n"
+        "  --asm FILE          assembly file (see isa/assembler.hh)\n"
+        "  --list              list built-in workloads and exit\n"
+        "\n"
+        "options:\n"
+        "  --scale N           workload size multiplier (default 4)\n"
+        "  --seed N            workload seed (default 42)\n"
+        "  --config NAME       wide | contended | tiny (default wide)\n"
+        "  --elim              enable dead-instruction elimination\n"
+        "  --oracle            idealized per-instance dead predictor\n"
+        "  --squash-recovery   use squash-from-producer recovery\n"
+        "  --compare           also run the baseline, report speedup\n"
+        "  --deadness          print the oracle dead characterization\n"
+        "  --stats             dump the full core statistics report\n"
+        "  --cosim             lockstep-check every commit vs emulator");
+}
+
+bool
+parseArgs(int argc, char **argv, Options &opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--workload") {
+            opt.workload = next();
+        } else if (arg == "--asm") {
+            opt.asmFile = next();
+        } else if (arg == "--scale") {
+            opt.scale = std::atoi(next());
+        } else if (arg == "--seed") {
+            opt.seed = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--config") {
+            opt.config = next();
+        } else if (arg == "--elim") {
+            opt.elim = true;
+        } else if (arg == "--oracle") {
+            opt.oracle = true;
+        } else if (arg == "--squash-recovery") {
+            opt.squashRecovery = true;
+        } else if (arg == "--compare") {
+            opt.compare = true;
+        } else if (arg == "--deadness") {
+            opt.deadness = true;
+        } else if (arg == "--stats") {
+            opt.stats = true;
+        } else if (arg == "--cosim") {
+            opt.cosim = true;
+        } else if (arg == "--list") {
+            for (const auto &w : workloads::extendedWorkloads())
+                std::printf("%s\n", w.name.c_str());
+            return false;
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return false;
+        } else {
+            fatal("unknown argument '", arg, "' (try --help)");
+        }
+    }
+    if (opt.workload.empty() && opt.asmFile.empty()) {
+        usage();
+        return false;
+    }
+    return true;
+}
+
+prog::Program
+loadProgram(const Options &opt)
+{
+    if (!opt.asmFile.empty()) {
+        std::ifstream in(opt.asmFile);
+        fatal_if(!in, "cannot open '", opt.asmFile, "'");
+        std::ostringstream text;
+        text << in.rdbuf();
+        prog::Program program(opt.asmFile);
+        for (const auto &inst : isa::assemble(text.str()).insts)
+            program.append(inst);
+        return program;
+    }
+    workloads::Params params;
+    params.seed = opt.seed;
+    params.scale = opt.scale;
+    return mir::compile(
+        workloads::workloadByName(opt.workload).make(params),
+        sim::referenceCompileOptions());
+}
+
+core::CoreConfig
+makeConfig(const Options &opt)
+{
+    core::CoreConfig cfg;
+    if (opt.config == "wide")
+        cfg = core::CoreConfig::wide();
+    else if (opt.config == "contended")
+        cfg = core::CoreConfig::contended();
+    else if (opt.config == "tiny")
+        cfg = core::CoreConfig::tiny();
+    else
+        fatal("unknown config '", opt.config, "'");
+    cfg.elim.enable = opt.elim;
+    cfg.elim.oraclePredictor = opt.oracle;
+    if (opt.squashRecovery)
+        cfg.elim.recovery = core::RecoveryMode::SquashProducer;
+    return cfg;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    try {
+        if (!parseArgs(argc, argv, opt))
+            return 0;
+
+        prog::Program program = loadProgram(opt);
+        std::printf("program: %s (%zu static instructions)\n",
+                    program.name().c_str(), program.numInsts());
+
+        auto ref = emu::runProgram(program);
+        std::printf("emulator: %llu dynamic instructions, %zu output "
+                    "values\n",
+                    (unsigned long long)ref.instCount,
+                    ref.output.size());
+
+        if (opt.deadness) {
+            auto an = deadness::analyze(program, ref.trace);
+            std::printf("deadness: %.2f%% dead (%llu first-level, %llu "
+                        "transitive, %llu dead stores)\n",
+                        100.0 * an.deadFraction(),
+                        (unsigned long long)an.firstLevelDead,
+                        (unsigned long long)an.transitiveDead,
+                        (unsigned long long)an.deadStores);
+        }
+
+        core::CoreConfig cfg = makeConfig(opt);
+        sim::RunOptions run_opts;
+        run_opts.cosim = opt.cosim;
+        auto result = sim::runOnCore(program, cfg, run_opts);
+        std::printf("core(%s%s%s): %llu cycles, IPC %.3f",
+                    opt.config.c_str(), opt.elim ? "+elim" : "",
+                    opt.oracle ? "+oracle" : "",
+                    (unsigned long long)result.stats.cycles,
+                    result.stats.ipc);
+        if (opt.elim) {
+            std::printf(", eliminated %llu (%.2f%%)",
+                        (unsigned long long)
+                            result.stats.committedEliminated,
+                        100.0 * result.stats.committedEliminated /
+                            result.stats.committed);
+        }
+        std::printf("\n");
+        std::printf("observable state matches emulator: %s\n",
+                    sim::observablyEqual(result, ref) ? "yes" : "NO");
+
+        if (opt.compare) {
+            core::CoreConfig base_cfg = cfg;
+            base_cfg.elim.enable = false;
+            auto base = sim::runOnCore(program, base_cfg);
+            std::printf("baseline: IPC %.3f -> speedup %+.2f%%\n",
+                        base.stats.ipc,
+                        100.0 * (result.stats.ipc / base.stats.ipc -
+                                 1.0));
+        }
+
+        if (opt.stats) {
+            core::Core core(program, cfg);
+            if (cfg.elim.enable && cfg.elim.oraclePredictor) {
+                core.setOracleLabels(sim::computeOracleLabels(
+                    program, ref.trace, cfg.elim.detector));
+            }
+            core.run();
+            std::printf("\n");
+            std::ostringstream os;
+            core.stats().dump(os);
+            std::fputs(os.str().c_str(), stdout);
+        }
+        return 0;
+    } catch (const FatalError &err) {
+        return 1;
+    }
+}

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Dead-instruction characterization of one benchmark, in the style of
+ * the paper's Section 2: dead fraction, breakdown, the top offending
+ * static instructions (disassembled, with their compiler origin), and
+ * the locality curve.
+ *
+ *   ./dead_analysis [workload] [scale]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "deadness/analysis.hh"
+#include "emu/emulator.hh"
+#include "isa/assembler.hh"
+#include "mir/compiler.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace dde;
+
+int
+main(int argc, char **argv)
+{
+    std::string name = argc > 1 ? argv[1] : "parse";
+    unsigned scale = argc > 2 ? std::atoi(argv[2]) : 4;
+
+    workloads::Params params;
+    params.scale = scale;
+    auto program =
+        mir::compile(workloads::workloadByName(name).make(params),
+                     sim::referenceCompileOptions());
+    auto run = emu::runProgram(program);
+    auto an = deadness::analyze(program, run.trace);
+
+    std::printf("workload %s (scale %u): %zu static, %llu dynamic "
+                "instructions\n\n",
+                name.c_str(), scale, program.numInsts(),
+                (unsigned long long)an.dynTotal);
+    std::printf("dead: %.2f%% of dynamic instructions\n",
+                100.0 * an.deadFraction());
+    std::printf("  first-level (overwritten unread): %llu\n",
+                (unsigned long long)an.firstLevelDead);
+    std::printf("  transitively dead:                %llu\n",
+                (unsigned long long)an.transitiveDead);
+    std::printf("  dead stores:                      %llu\n\n",
+                (unsigned long long)an.deadStores);
+
+    auto cls = an.classifyStatics();
+    std::printf("static instructions: %llu always dead, %llu partially "
+                "dead, %llu never dead\n",
+                (unsigned long long)cls.alwaysDead,
+                (unsigned long long)cls.partiallyDead,
+                (unsigned long long)cls.neverDead);
+    if (an.dynDead) {
+        std::printf("dead instances from partially-dead statics: "
+                    "%.1f%%\n\n",
+                    100.0 * cls.dynFromPartial / an.dynDead);
+    }
+
+    // Top offenders.
+    std::vector<std::size_t> order;
+    for (std::size_t i = 0; i < an.perStatic.size(); ++i) {
+        if (an.perStatic[i].deads > 0)
+            order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(), [&](auto a, auto b) {
+        return an.perStatic[a].deads > an.perStatic[b].deads;
+    });
+    std::printf("top dead-producing static instructions:\n");
+    std::printf("%-10s %-28s %-13s %10s %10s %7s\n", "pc",
+                "instruction", "origin", "execs", "dead", "dead%");
+    for (std::size_t k = 0; k < order.size() && k < 10; ++k) {
+        std::size_t idx = order[k];
+        const auto &sc = an.perStatic[idx];
+        std::printf("%#-10llx %-28s %-13s %10llu %10llu %6.1f%%\n",
+                    (unsigned long long)prog::Program::pcOf(idx),
+                    isa::disassemble(program.inst(idx)).c_str(),
+                    prog::originName(program.origin(idx)),
+                    (unsigned long long)sc.execs,
+                    (unsigned long long)sc.deads,
+                    100.0 * sc.deads / sc.execs);
+    }
+
+    auto curve = an.localityCurve(32);
+    std::printf("\nlocality: top-1 %.1f%%, top-4 %.1f%%, top-16 %.1f%% "
+                "of all dead instances\n",
+                curve.empty() ? 0 : 100.0 * curve[0],
+                curve.size() < 4 ? 100.0 : 100.0 * curve[3],
+                curve.size() < 16 ? 100.0 : 100.0 * curve[15]);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Interactive-ish predictor design-space exploration: evaluate a
+ * dead-instruction predictor configuration you specify on the command
+ * line against every workload, trace-driven (fast).
+ *
+ *   ./predictor_explorer [entries] [tagBits] [counterBits] [threshold] [futureDepth]
+ *   e.g. ./predictor_explorer 1024 8 2 2 6
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "emu/emulator.hh"
+#include "mir/compiler.hh"
+#include "predictor/trace_eval.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace dde;
+
+int
+main(int argc, char **argv)
+{
+    predictor::TraceEvalConfig cfg;
+    if (argc > 1)
+        cfg.predictor.entries = std::atoi(argv[1]);
+    if (argc > 2)
+        cfg.predictor.tagBits = std::atoi(argv[2]);
+    if (argc > 3)
+        cfg.predictor.counterBits = std::atoi(argv[3]);
+    if (argc > 4)
+        cfg.predictor.threshold = std::atoi(argv[4]);
+    if (argc > 5)
+        cfg.predictor.futureDepth = std::atoi(argv[5]);
+
+    std::printf("predictor: %u entries, %u-bit tags, %u-bit counters, "
+                "threshold %u, future depth %u -> %.2f KB\n\n",
+                cfg.predictor.entries, cfg.predictor.tagBits,
+                cfg.predictor.counterBits, cfg.predictor.threshold,
+                cfg.predictor.futureDepth,
+                cfg.predictor.sizeInBits() / 8192.0);
+
+    std::printf("%-10s %10s %10s %9s %9s %8s\n", "bench", "candidates",
+                "dead", "coverage", "accuracy", "bpAcc");
+    std::uint64_t tp = 0, fp = 0, dead = 0;
+    for (const auto &w : workloads::allWorkloads()) {
+        workloads::Params p;
+        p.scale = 4;
+        auto program = mir::compile(w.make(p),
+                                    sim::referenceCompileOptions());
+        auto run = emu::runProgram(program);
+        auto r = predictor::evaluateOnTrace(program, run.trace, cfg);
+        std::printf("%-10s %10llu %10llu %8.1f%% %8.1f%% %7.1f%%\n",
+                    w.name.c_str(),
+                    (unsigned long long)r.candidates,
+                    (unsigned long long)r.labeledDead,
+                    100.0 * r.coverage(), 100.0 * r.accuracy(),
+                    100.0 * r.branchAccuracy());
+        tp += r.truePositives;
+        fp += r.falsePositives;
+        dead += r.labeledDead;
+    }
+    std::printf("\naggregate: coverage %.1f%%, accuracy %.1f%%\n",
+                dead ? 100.0 * tp / dead : 0.0,
+                (tp + fp) ? 100.0 * tp / (tp + fp) : 100.0);
+    return 0;
+}

@@ -1,0 +1,86 @@
+#include "cache/cache.hh"
+
+namespace dde::cache
+{
+
+Cache::Cache(std::string name, const CacheConfig &cfg, MemLevel &next)
+    : _name(std::move(name)), _lineBytes(cfg.lineBytes),
+      _assoc(cfg.assoc), _hitLatency(cfg.hitLatency), _next(next)
+{
+    fatal_if(!isPow2(cfg.lineBytes), "cache '", _name,
+             "': line size must be a power of two");
+    fatal_if(cfg.assoc == 0, "cache '", _name, "': assoc must be > 0");
+    std::uint64_t lines = cfg.sizeBytes / cfg.lineBytes;
+    fatal_if(lines == 0 || lines % cfg.assoc != 0,
+             "cache '", _name, "': size/line/assoc geometry invalid");
+    _numSets = lines / cfg.assoc;
+    fatal_if(!isPow2(_numSets), "cache '", _name,
+             "': number of sets must be a power of two");
+    _lines.resize(lines);
+}
+
+Cycle
+Cache::access(Addr addr, bool write)
+{
+    ++_accesses;
+    ++_stamp;
+    Line *set = &_lines[setIndex(addr) * _assoc];
+    std::uint64_t tag = tagOf(addr);
+
+    for (unsigned way = 0; way < _assoc; ++way) {
+        Line &line = set[way];
+        if (line.valid && line.tag == tag) {
+            ++_hits;
+            line.lruStamp = _stamp;
+            line.dirty = line.dirty || write;
+            return _hitLatency;
+        }
+    }
+
+    // Miss: fetch from the next level, allocate over the LRU way.
+    Cycle below = _next.access(addr, false);
+    Line *victim = &set[0];
+    for (unsigned way = 1; way < _assoc; ++way) {
+        if (!set[way].valid) {
+            victim = &set[way];
+            break;
+        }
+        if (set[way].lruStamp < victim->lruStamp && victim->valid)
+            victim = &set[way];
+    }
+    if (victim->valid && victim->dirty) {
+        ++_writebacks;
+        // Write-back traffic hits the next level but is off the
+        // critical path; latency is not charged to this access.
+        std::uint64_t victim_line =
+            (victim->tag << floorLog2(_numSets)) | setIndex(addr);
+        _next.access(victim_line * _lineBytes, true);
+    }
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lruStamp = _stamp;
+    return _hitLatency + below;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    const Line *set = &_lines[setIndex(addr) * _assoc];
+    std::uint64_t tag = tagOf(addr);
+    for (unsigned way = 0; way < _assoc; ++way) {
+        if (set[way].valid && set[way].tag == tag)
+            return true;
+    }
+    return false;
+}
+
+void
+Cache::resetStats()
+{
+    _accesses = 0;
+    _hits = 0;
+    _writebacks = 0;
+}
+
+} // namespace dde::cache

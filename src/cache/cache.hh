@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Set-associative, write-back/write-allocate cache with LRU
+ * replacement, composable into a hierarchy terminated by a
+ * fixed-latency memory. The model returns access latency; bandwidth
+ * contention is modelled by the core's memory ports, not here.
+ */
+
+#ifndef DDE_CACHE_CACHE_HH
+#define DDE_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace dde::cache
+{
+
+/** Geometry and timing of one cache level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    unsigned lineBytes = 64;
+    unsigned assoc = 4;
+    Cycle hitLatency = 1;
+};
+
+/** Anything that can service an access and report its latency. */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+    /** @return total latency to satisfy the access at this level. */
+    virtual Cycle access(Addr addr, bool write) = 0;
+};
+
+/** Fixed-latency terminal memory. */
+class MainMemory : public MemLevel
+{
+  public:
+    explicit MainMemory(Cycle latency = 80) : _latency(latency) {}
+
+    Cycle
+    access(Addr, bool) override
+    {
+        ++_accesses;
+        return _latency;
+    }
+
+    std::uint64_t accesses() const { return _accesses; }
+
+  private:
+    Cycle _latency;
+    std::uint64_t _accesses = 0;
+};
+
+/** One cache level. */
+class Cache : public MemLevel
+{
+  public:
+    Cache(std::string name, const CacheConfig &cfg, MemLevel &next);
+
+    /**
+     * Access the cache.
+     * Hit: returns hitLatency. Miss: allocates (evicting LRU; dirty
+     * victims count as writebacks) and returns hitLatency plus the
+     * next level's latency.
+     */
+    Cycle access(Addr addr, bool write) override;
+
+    /** Probe without updating state (for tests and warm checks). */
+    bool contains(Addr addr) const;
+
+    const std::string &name() const { return _name; }
+    std::uint64_t accesses() const { return _accesses; }
+    std::uint64_t hits() const { return _hits; }
+    std::uint64_t misses() const { return _accesses - _hits; }
+    std::uint64_t writebacks() const { return _writebacks; }
+    double
+    missRate() const
+    {
+        return _accesses ? double(misses()) / double(_accesses) : 0.0;
+    }
+
+    void resetStats();
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lruStamp = 0;
+    };
+
+    std::uint64_t lineAddr(Addr addr) const { return addr / _lineBytes; }
+    std::size_t setIndex(Addr addr) const
+    {
+        return lineAddr(addr) & (_numSets - 1);
+    }
+    std::uint64_t tagOf(Addr addr) const
+    {
+        return lineAddr(addr) >> floorLog2(_numSets);
+    }
+
+    std::string _name;
+    unsigned _lineBytes;
+    unsigned _assoc;
+    std::size_t _numSets;
+    Cycle _hitLatency;
+    MemLevel &_next;
+    std::vector<Line> _lines;  ///< set-major: set * assoc + way
+    std::uint64_t _stamp = 0;
+
+    std::uint64_t _accesses = 0;
+    std::uint64_t _hits = 0;
+    std::uint64_t _writebacks = 0;
+};
+
+/** A standard two-level hierarchy: split L1I/L1D over a shared L2. */
+struct HierarchyConfig
+{
+    CacheConfig l1i{16 * 1024, 64, 2, 1};
+    CacheConfig l1d{16 * 1024, 64, 4, 2};
+    CacheConfig l2{256 * 1024, 64, 8, 10};
+    Cycle memLatency = 80;
+};
+
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyConfig &cfg = {})
+        : _memory(cfg.memLatency), _l2("l2", cfg.l2, _memory),
+          _l1i("l1i", cfg.l1i, _l2), _l1d("l1d", cfg.l1d, _l2)
+    {}
+
+    Cache &l1i() { return _l1i; }
+    Cache &l1d() { return _l1d; }
+    Cache &l2() { return _l2; }
+    MainMemory &memory() { return _memory; }
+
+  private:
+    MainMemory _memory;
+    Cache _l2;
+    Cache _l1i;
+    Cache _l1d;
+};
+
+} // namespace dde::cache
+
+#endif // DDE_CACHE_CACHE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the ISA encoder and the predictors.
+ */
+
+#ifndef DDE_COMMON_BITUTIL_HH
+#define DDE_COMMON_BITUTIL_HH
+
+#include <cstdint>
+
+namespace dde
+{
+
+/** Extract bits [lo, hi] (inclusive) of a value. */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned hi, unsigned lo)
+{
+    unsigned width = hi - lo + 1;
+    std::uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    return (value >> lo) & mask;
+}
+
+/** Insert `field` into bits [lo, hi] of `value`, returning the result. */
+constexpr std::uint64_t
+insertBits(std::uint64_t value, unsigned hi, unsigned lo,
+           std::uint64_t field)
+{
+    unsigned width = hi - lo + 1;
+    std::uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    return (value & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/** Sign-extend the low `width` bits of a value to 64 bits. */
+constexpr std::int64_t
+sext(std::uint64_t value, unsigned width)
+{
+    std::uint64_t sign = 1ULL << (width - 1);
+    std::uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    value &= mask;
+    return static_cast<std::int64_t>((value ^ sign) - sign);
+}
+
+/** True iff `value` fits in a signed immediate of `width` bits. */
+constexpr bool
+fitsSigned(std::int64_t value, unsigned width)
+{
+    std::int64_t lo = -(1LL << (width - 1));
+    std::int64_t hi = (1LL << (width - 1)) - 1;
+    return value >= lo && value <= hi;
+}
+
+/** Integer log2 rounded down; 0 maps to 0. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    unsigned result = 0;
+    while (value > 1) {
+        value >>= 1;
+        ++result;
+    }
+    return result;
+}
+
+/** True iff value is a power of two (and non-zero). */
+constexpr bool
+isPow2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** Fold a 64-bit value down to `width` bits by XOR folding. */
+constexpr std::uint64_t
+xorFold(std::uint64_t value, unsigned width)
+{
+    std::uint64_t result = 0;
+    std::uint64_t mask = width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+    while (value) {
+        result ^= value & mask;
+        value >>= width;
+    }
+    return result & mask;
+}
+
+} // namespace dde
+
+#endif // DDE_COMMON_BITUTIL_HH

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 tradition: panic() for
+ * simulator bugs, fatal() for user errors, warn()/inform() for status.
+ */
+
+#ifndef DDE_COMMON_LOGGING_HH
+#define DDE_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dde
+{
+
+/** Thrown by panic(); lets unit tests assert on internal invariants. */
+struct PanicError : std::logic_error
+{
+    using std::logic_error::logic_error;
+};
+
+/** Thrown by fatal(); a user-level configuration or input error. */
+struct FatalError : std::runtime_error
+{
+    using std::runtime_error::runtime_error;
+};
+
+namespace detail
+{
+
+inline void
+format_to(std::ostringstream &os)
+{
+    (void)os;
+}
+
+template <typename T, typename... Rest>
+void
+format_to(std::ostringstream &os, const T &first, const Rest &...rest)
+{
+    os << first;
+    format_to(os, rest...);
+}
+
+template <typename... Args>
+std::string
+concat(const Args &...args)
+{
+    std::ostringstream os;
+    format_to(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/**
+ * Report a condition that indicates a simulator bug and abort the
+ * current activity by throwing PanicError.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    std::string msg = detail::concat(args...);
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    throw PanicError(msg);
+}
+
+/** Report an unrecoverable user error (bad config, bad input). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    std::string msg = detail::concat(args...);
+    std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+    throw FatalError(msg);
+}
+
+/** Report suspicious but survivable behaviour. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    std::string msg = detail::concat(args...);
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    std::string msg = detail::concat(args...);
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+/** Panic unless a simulator-internal invariant holds. */
+template <typename... Args>
+void
+panic_if(bool condition, const Args &...args)
+{
+    if (condition)
+        panic(args...);
+}
+
+/** Fatal unless a user-facing precondition holds. */
+template <typename... Args>
+void
+fatal_if(bool condition, const Args &...args)
+{
+    if (condition)
+        fatal(args...);
+}
+
+} // namespace dde
+
+#endif // DDE_COMMON_LOGGING_HH

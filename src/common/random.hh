@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis
+ * and property tests. We use xoshiro256** so results are identical
+ * across platforms and standard-library versions (std::mt19937
+ * distributions are not portable across implementations).
+ */
+
+#ifndef DDE_COMMON_RANDOM_HH
+#define DDE_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace dde
+{
+
+/** Portable xoshiro256** PRNG with convenience sampling helpers. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+    /** Re-initialize state from a 64-bit seed via splitmix64. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : _state) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        std::uint64_t result = rotl(_state[1] * 5, 7) * 9;
+        std::uint64_t t = _state[1] << 17;
+        _state[2] ^= _state[0];
+        _state[3] ^= _state[1];
+        _state[1] ^= _state[2];
+        _state[0] ^= _state[3];
+        _state[2] ^= t;
+        _state[3] = rotl(_state[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        panic_if(hi < lo, "rng range [", lo, ", ", hi, "] is empty");
+        std::uint64_t span = hi - lo + 1;
+        if (span == 0)  // full 64-bit range
+            return next();
+        return lo + next() % span;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Draw an index according to non-negative weights.
+     * @return index in [0, n) with probability weight[i] / sum.
+     */
+    std::size_t
+    weighted(const double *weights, std::size_t n)
+    {
+        panic_if(n == 0, "weighted draw over empty set");
+        double total = 0;
+        for (std::size_t i = 0; i < n; ++i)
+            total += weights[i];
+        panic_if(total <= 0, "weighted draw needs positive total weight");
+        double target = uniform() * total;
+        for (std::size_t i = 0; i < n; ++i) {
+            target -= weights[i];
+            if (target < 0)
+                return i;
+        }
+        return n - 1;
+    }
+
+  private:
+    std::uint64_t _state[4];
+};
+
+} // namespace dde
+
+#endif // DDE_COMMON_RANDOM_HH

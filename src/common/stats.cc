@@ -1,0 +1,31 @@
+#include "common/stats.hh"
+
+#include <iomanip>
+
+namespace dde::stats
+{
+
+void
+Group::dump(std::ostream &os) const
+{
+    auto emit = [&](const std::string &stat, double value) {
+        os << std::left << std::setw(42) << (_name + "." + stat) << " "
+           << std::right << std::setw(16) << value;
+        auto it = _descs.find(stat);
+        if (it != _descs.end())
+            os << "  # " << it->second;
+        os << "\n";
+    };
+
+    for (const auto &kv : _counters)
+        emit(kv.first, static_cast<double>(kv.second.value()));
+    for (const auto &kv : _histograms) {
+        emit(kv.first + "::samples",
+             static_cast<double>(kv.second.samples()));
+        emit(kv.first + "::mean", kv.second.mean());
+    }
+    for (const auto &kv : _formulas)
+        emit(kv.first, kv.second());
+}
+
+} // namespace dde::stats

@@ -1,0 +1,193 @@
+/**
+ * @file
+ * A small statistics package: named scalar counters, histograms and
+ * derived formulas collected in a registry that can render a report.
+ *
+ * Modelled loosely on gem5's Stats package but kept value-based: a
+ * StatGroup owns its stats, and components expose `regStats()`-style
+ * accessors returning references into the group.
+ */
+
+#ifndef DDE_COMMON_STATS_HH
+#define DDE_COMMON_STATS_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dde::stats
+{
+
+/** A monotonically increasing (or explicitly set) scalar statistic. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &operator++() { ++_value; return *this; }
+    Counter &operator+=(std::uint64_t n) { _value += n; return *this; }
+
+    void set(std::uint64_t v) { _value = v; }
+    void reset() { _value = 0; }
+
+    std::uint64_t value() const { return _value; }
+
+  private:
+    std::uint64_t _value = 0;
+};
+
+/** A fixed-bucket histogram over a [min, max) range with overflow bins. */
+class Histogram
+{
+  public:
+    Histogram() : Histogram(0, 1, 1) {}
+
+    /**
+     * @param min lowest in-range sample (inclusive)
+     * @param max highest in-range sample (exclusive)
+     * @param buckets number of equal-width buckets across [min, max)
+     */
+    Histogram(std::int64_t min, std::int64_t max, unsigned buckets)
+        : _min(min), _max(max), _counts(buckets, 0)
+    {
+        panic_if(buckets == 0, "histogram needs at least one bucket");
+        panic_if(max <= min, "histogram range must be non-empty");
+    }
+
+    void
+    sample(std::int64_t v, std::uint64_t count = 1)
+    {
+        _samples += count;
+        _sum += v * static_cast<std::int64_t>(count);
+        if (v < _min) {
+            _underflow += count;
+        } else if (v >= _max) {
+            _overflow += count;
+        } else {
+            std::size_t idx = static_cast<std::size_t>(
+                (v - _min) * static_cast<std::int64_t>(_counts.size()) /
+                (_max - _min));
+            _counts[idx] += count;
+        }
+    }
+
+    std::uint64_t samples() const { return _samples; }
+    double mean() const
+    {
+        return _samples ? static_cast<double>(_sum) / _samples : 0.0;
+    }
+    std::uint64_t bucket(std::size_t i) const { return _counts.at(i); }
+    std::size_t numBuckets() const { return _counts.size(); }
+    std::uint64_t underflow() const { return _underflow; }
+    std::uint64_t overflow() const { return _overflow; }
+
+    void
+    reset()
+    {
+        _samples = 0;
+        _sum = 0;
+        _underflow = 0;
+        _overflow = 0;
+        std::fill(_counts.begin(), _counts.end(), 0);
+    }
+
+  private:
+    std::int64_t _min;
+    std::int64_t _max;
+    std::vector<std::uint64_t> _counts;
+    std::uint64_t _samples = 0;
+    std::int64_t _sum = 0;
+    std::uint64_t _underflow = 0;
+    std::uint64_t _overflow = 0;
+};
+
+/** A named collection of statistics owned by one component. */
+class Group
+{
+  public:
+    explicit Group(std::string name) : _name(std::move(name)) {}
+
+    Group(const Group &) = delete;
+    Group &operator=(const Group &) = delete;
+
+    /** Register (or fetch) a named counter. */
+    Counter &
+    counter(const std::string &name, const std::string &desc = "")
+    {
+        auto [it, inserted] = _counters.try_emplace(name);
+        if (inserted && !desc.empty())
+            _descs[name] = desc;
+        return it->second;
+    }
+
+    /** Register (or fetch) a named histogram. */
+    Histogram &
+    histogram(const std::string &name, std::int64_t min, std::int64_t max,
+              unsigned buckets, const std::string &desc = "")
+    {
+        auto it = _histograms.find(name);
+        if (it == _histograms.end()) {
+            it = _histograms.emplace(name,
+                                     Histogram(min, max, buckets)).first;
+            if (!desc.empty())
+                _descs[name] = desc;
+        }
+        return it->second;
+    }
+
+    /** Register a derived statistic evaluated lazily at dump time. */
+    void
+    formula(const std::string &name, std::function<double()> fn,
+            const std::string &desc = "")
+    {
+        _formulas[name] = std::move(fn);
+        if (!desc.empty())
+            _descs[name] = desc;
+    }
+
+    /** Look up a counter that must already exist. */
+    const Counter &
+    lookupCounter(const std::string &name) const
+    {
+        auto it = _counters.find(name);
+        panic_if(it == _counters.end(),
+                 "no counter '", name, "' in group '", _name, "'");
+        return it->second;
+    }
+
+    bool
+    hasCounter(const std::string &name) const
+    {
+        return _counters.count(name) > 0;
+    }
+
+    const std::string &name() const { return _name; }
+
+    void
+    reset()
+    {
+        for (auto &kv : _counters)
+            kv.second.reset();
+        for (auto &kv : _histograms)
+            kv.second.reset();
+    }
+
+    /** Render "group.stat value  # desc" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+  private:
+    std::string _name;
+    std::map<std::string, Counter> _counters;
+    std::map<std::string, Histogram> _histograms;
+    std::map<std::string, std::function<double()>> _formulas;
+    std::map<std::string, std::string> _descs;
+};
+
+} // namespace dde::stats
+
+#endif // DDE_COMMON_STATS_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every module of the simulator.
+ */
+
+#ifndef DDE_COMMON_TYPES_HH
+#define DDE_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace dde
+{
+
+/** A (virtual) memory address in the simulated machine. */
+using Addr = std::uint64_t;
+
+/** A 64-bit architectural register value. */
+using RegVal = std::uint64_t;
+
+/** An architectural register index (0..NumArchRegs-1). */
+using RegId = std::uint8_t;
+
+/** A physical register index inside the renamed register file. */
+using PhysRegId = std::uint16_t;
+
+/** Simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Position of a dynamic instruction in the committed stream. */
+using SeqNum = std::uint64_t;
+
+/** Number of architectural integer registers (r0 is hardwired zero). */
+constexpr unsigned kNumArchRegs = 32;
+
+/** Register ABI roles used by the mini compiler's calling convention. */
+constexpr RegId kRegZero = 0;  ///< always reads as zero
+constexpr RegId kRegRa = 1;    ///< return address
+constexpr RegId kRegSp = 2;    ///< stack pointer
+constexpr RegId kRegGp = 3;    ///< global data pointer
+constexpr RegId kRegArg0 = 4;  ///< first of 4 argument registers (r4-r7)
+constexpr RegId kRegRet0 = 4;  ///< return value register
+constexpr unsigned kNumArgRegs = 4;
+constexpr RegId kRegTmp0 = 8;    ///< first caller-saved temporary (r8-r17)
+constexpr unsigned kNumTmpRegs = 10;
+constexpr RegId kRegSaved0 = 18;  ///< first callee-saved register (r18-r31)
+constexpr unsigned kNumSavedRegs = 14;
+
+} // namespace dde
+
+#endif // DDE_COMMON_TYPES_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Out-of-order core configuration.
+ */
+
+#ifndef DDE_CORE_CONFIG_HH
+#define DDE_CORE_CONFIG_HH
+
+#include "cache/cache.hh"
+#include "common/types.hh"
+#include "predictor/branch.hh"
+#include "predictor/dead_predictor.hh"
+#include "predictor/detector.hh"
+
+namespace dde::core
+{
+
+/** How a needed-but-eliminated value is recovered. */
+enum class RecoveryMode : std::uint8_t
+{
+    /** Unverified eliminations are shadow-executed into a small
+     * side buffer at commit; consumers repair inline, no squash. */
+    UebRepair,
+    /** Squash from the eliminated producer and re-fetch (the
+     * branch-misprediction-style recovery the paper describes). */
+    SquashProducer,
+};
+
+/** Dead-instruction elimination policy knobs. */
+struct ElimConfig
+{
+    bool enable = false;
+    /** Eliminate predicted-dead loads (skip the D-cache access). */
+    bool eliminateLoads = true;
+    /** Eliminate predicted-dead stores (address generation only). */
+    bool eliminateStores = true;
+    /** Use oracle training labels... the predictor itself is always
+     * trained by the commit-time detector; this flag instead makes
+     * every detector-dead *static* instance predicted perfectly (an
+     * idealized upper bound used by the speedup bench). */
+    bool oraclePredictor = false;
+    RecoveryMode recovery = RecoveryMode::UebRepair;
+    /** UEB-store capacity (dead-store side buffer), power of two. */
+    unsigned uebStoreEntries = 64;
+    /** SquashProducer mode: extra flush penalty ablation. */
+    bool fullFlushRecovery = false;
+    /** Cycles an unverified eliminated instruction may stall at the
+     * ROB head before it is repaired: re-executed in place against
+     * retirement state (costing the elimination's benefit, not a
+     * flush). */
+    Cycle verifyGrace = 8;
+    /** Head repairs of one PC tolerated before it is blacklisted. */
+    unsigned repairLimit = 4;
+    predictor::DeadPredictorConfig predictor;
+    predictor::DetectorConfig detector;
+
+    ElimConfig()
+    {
+        // With UEB-based recovery a wrong dead prediction costs only a
+        // shadow execution, so a moderately aggressive confidence
+        // threshold maximizes net benefit.
+        predictor.threshold = 2;
+    }
+};
+
+/** All pipeline, predictor and memory parameters of one core. */
+struct CoreConfig
+{
+    unsigned fetchWidth = 4;
+    unsigned renameWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+
+    unsigned fetchQueueSize = 24;
+    unsigned robSize = 128;
+    unsigned iqSize = 40;
+    unsigned loadQueueSize = 24;
+    unsigned storeQueueSize = 24;
+    unsigned numPhysRegs = 128;
+
+    unsigned numAlus = 3;
+    unsigned numMults = 1;
+    unsigned numDivs = 1;
+    unsigned numMemPorts = 2;
+
+    Cycle aluLatency = 1;
+    Cycle multLatency = 3;   ///< pipelined
+    Cycle divLatency = 12;   ///< unpipelined
+    Cycle branchLatency = 1;
+
+    /** Extra front-end stages between fetch and rename (models decode
+     * depth; adds to the branch misprediction penalty). */
+    unsigned frontendDelay = 2;
+
+    predictor::FrontendConfig frontend;
+    cache::HierarchyConfig memory;
+    ElimConfig elim;
+
+    /** A renamed-register-starved, narrower machine: the paper's
+     * "architecture exhibiting resource contention". */
+    static CoreConfig contended();
+
+    /** The default balanced 4-wide machine. */
+    static CoreConfig wide();
+
+    /** A deliberately tiny machine for fast unit tests. */
+    static CoreConfig tiny();
+};
+
+} // namespace dde::core
+
+#endif // DDE_CORE_CONFIG_HH

@@ -1,0 +1,1589 @@
+#include "core/core.hh"
+
+#include <algorithm>
+
+#include <cstdlib>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "isa/semantics.hh"
+
+namespace dde::core
+{
+
+using isa::Instruction;
+using isa::OpClass;
+using isa::Opcode;
+
+namespace
+{
+/** Clean commits of a PC required before it may be eliminated again
+ * after a dead misprediction. */
+constexpr unsigned kNoElimWindow = 32;
+} // namespace
+
+CoreConfig
+CoreConfig::wide()
+{
+    return CoreConfig{};
+}
+
+CoreConfig
+CoreConfig::contended()
+{
+    CoreConfig cfg;
+    // A machine whose renamed-register file, scheduler and memory
+    // ports are the bottleneck: the configuration class where the
+    // paper reports its 3.6% average speedup.
+    cfg.fetchWidth = 4;
+    cfg.renameWidth = 4;
+    cfg.issueWidth = 3;
+    cfg.commitWidth = 4;
+    cfg.robSize = 96;
+    cfg.iqSize = 24;
+    cfg.loadQueueSize = 16;
+    cfg.storeQueueSize = 16;
+    cfg.numPhysRegs = 44;
+    cfg.numAlus = 2;
+    cfg.numMemPorts = 1;
+    return cfg;
+}
+
+CoreConfig
+CoreConfig::tiny()
+{
+    CoreConfig cfg;
+    cfg.fetchWidth = 2;
+    cfg.renameWidth = 2;
+    cfg.issueWidth = 2;
+    cfg.commitWidth = 2;
+    cfg.fetchQueueSize = 8;
+    cfg.robSize = 16;
+    cfg.iqSize = 8;
+    cfg.loadQueueSize = 4;
+    cfg.storeQueueSize = 4;
+    cfg.numPhysRegs = 40;
+    cfg.numAlus = 1;
+    cfg.numMemPorts = 1;
+    return cfg;
+}
+
+Core::Core(const prog::Program &program, const CoreConfig &cfg)
+    : _program(program), _cfg(cfg), _caches(cfg.memory),
+      _frontend(cfg.frontend), _deadPredictor(cfg.elim.predictor),
+      _detector(cfg.elim.detector), _prf(cfg.numPhysRegs),
+      _freeList(cfg.numPhysRegs), _retireRat(kNumArchRegs),
+      _pc(program.entryPc()), _stats("core"),
+      _sFetched(_stats.counter("fetched", "instructions fetched")),
+      _sRenamed(_stats.counter("renamed", "instructions renamed")),
+      _sIssued(_stats.counter("issued", "instructions issued")),
+      _sCommitted(_stats.counter("committed",
+                                 "instructions committed")),
+      _sCommittedElim(_stats.counter(
+          "committedEliminated", "eliminated instructions committed")),
+      _sSquashedInsts(_stats.counter("squashedInsts",
+                                     "instructions squashed")),
+      _sBranchMispredicts(_stats.counter("branchMispredicts",
+                                         "branch mispredictions")),
+      _sDeadMispredicts(_stats.counter(
+          "deadMispredicts", "dead-prediction recoveries")),
+      _sPhysAllocs(_stats.counter("physRegAllocs",
+                                  "physical registers allocated")),
+      _sRfReads(_stats.counter("rfReads", "register file reads")),
+      _sRfWrites(_stats.counter("rfWrites", "register file writes")),
+      _sDcacheLoads(_stats.counter("dcacheLoads",
+                                   "D-cache load accesses")),
+      _sDcacheStores(_stats.counter("dcacheStores",
+                                    "D-cache store accesses")),
+      _sForwards(_stats.counter("storeForwards",
+                                "loads forwarded from the SQ")),
+      _sPredictedDead(_stats.counter("predictedDead",
+                                     "instructions predicted dead")),
+      _sDetectorDead(_stats.counter("detectorDead",
+                                    "detector dead events")),
+      _sDetectorLive(_stats.counter("detectorLive",
+                                    "detector live (first-use) events")),
+      _sVerifyStallCycles(_stats.counter(
+          "verifyStallCycles",
+          "cycles the ROB head stalled awaiting dead verification")),
+      _sUnverifiedRecoveries(_stats.counter(
+          "unverifiedRecoveries",
+          "eliminations squashed after failing to verify")),
+      _sStallRob(_stats.counter("renameStallRob",
+                                "rename stalls: ROB full")),
+      _sStallIq(_stats.counter("renameStallIq",
+                               "rename stalls: issue queue full")),
+      _sStallLsq(_stats.counter("renameStallLsq",
+                                "rename stalls: load/store queue full")),
+      _sStallPhys(_stats.counter(
+          "renameStallPhys", "rename stalls: no free physical register")),
+      _sRecoverRename(_stats.counter(
+          "deadRecoverRename", "dead recoveries from poisoned sources")),
+      _sRecoverLsq(_stats.counter(
+          "deadRecoverLsq", "dead recoveries from dead-store load hits")),
+      _sRepairs(_stats.counter(
+          "headRepairs", "unverified eliminations re-executed in place")),
+      _sRepairPoisoned(_stats.counter(
+          "headRepairPoisonedSrcs",
+          "head repairs that read a committed poison token")),
+      _sShadowExecs(_stats.counter(
+          "shadowExecs",
+          "unverified eliminations shadow-executed into the UEB")),
+      _sUebRepairs(_stats.counter(
+          "uebRepairs", "consumer repairs served from the UEB")),
+      _sUebStoreFlushes(_stats.counter(
+          "uebStoreFlushes", "UEB dead-store entries flushed to memory")),
+      _hRobOccupancy(_stats.histogram(
+          "robOccupancy", 0, cfg.robSize + 1, 16,
+          "ROB entries in use, sampled per cycle")),
+      _hIqOccupancy(_stats.histogram(
+          "iqOccupancy", 0, cfg.iqSize + 1, 8,
+          "issue-queue entries in use, sampled per cycle"))
+{
+    fatal_if(cfg.numPhysRegs < kNumArchRegs + 8,
+             "too few physical registers (", cfg.numPhysRegs, ")");
+    fatal_if(program.numInsts() == 0, "cannot run an empty program");
+
+    // Architectural reset state: sp and gp hold the ABI values, all
+    // other registers read as zero through phys 0.
+    for (const auto &kv : program.initData())
+        _memState.write(kv.first, kv.second);
+    auto init_reg = [&](RegId r, RegVal value) {
+        PhysRegId p = _freeList.alloc();
+        _prf.write(p, value);
+        RatEntry entry{p, false, 0};
+        _rat.set(r, entry);
+        _retireRat[r] = entry;
+    };
+    init_reg(kRegSp, prog::kStackTop);
+    init_reg(kRegGp, prog::kDataBase);
+
+    _oracleCursor.assign(program.numInsts(), 0);
+    _uebStore.resize(cfg.elim.uebStoreEntries);
+
+    _stats.formula("ipc", [this] { return ipc(); },
+                   "committed instructions per cycle");
+}
+
+RegVal
+Core::archReg(RegId r) const
+{
+    if (r == kRegZero)
+        return 0;
+    const RatEntry &e = _retireRat[r];
+    panic_if(e.poisoned, "archReg(", unsigned(r), ") is poisoned");
+    return _prf.read(e.phys);
+}
+
+bool
+Core::archRegPoisoned(RegId r) const
+{
+    return r != kRegZero && _retireRat[r].poisoned;
+}
+
+void
+Core::tick()
+{
+    panic_if(_halted, "ticking a halted core");
+    _hRobOccupancy.sample(static_cast<std::int64_t>(_rob.size()));
+    _hIqOccupancy.sample(static_cast<std::int64_t>(_iq.size()));
+    commit();
+    if (!_halted) {
+        writeback();
+        issue();
+        rename();
+        fetch();
+    }
+    ++_cycle;
+    if (_cycle - _lastCommitCycle > 50'000) {
+        std::string head = "empty";
+        if (!_rob.empty()) {
+            const InstPtr &h = _rob.front().inst;
+            if (h->eliminated && !h->verified)
+                head = std::string(verifyFailReason(0)) + " ";
+            head += "pc=" + std::to_string(h->pc) +
+                   " seq=" + std::to_string(h->seq) +
+                   " op=" + std::string(h->inst.info().mnemonic) +
+                   " completed=" + std::to_string(h->completed) +
+                   " issued=" + std::to_string(h->issued) +
+                   " inIq=" + std::to_string(h->inIq) +
+                   " elim=" + std::to_string(h->eliminated) +
+                   " verified=" + std::to_string(h->verified) +
+                   " parked=" + std::to_string(h->poisonProducer) +
+                   " lsq=" + std::to_string(h->poisonFromLsq);
+        }
+        panic("no commit in 50000 cycles at cycle ", _cycle, " pc=",
+              _pc, " rob=", _rob.size(), " iq=", _iq.size(),
+              " head{", head, "}");
+    }
+}
+
+void
+Core::run(Cycle max_cycles)
+{
+    while (!_halted) {
+        fatal_if(_cycle >= max_cycles, "cycle limit (", max_cycles,
+                 ") exceeded for program '", _program.name(), "'");
+        tick();
+    }
+}
+
+// --------------------------------------------------------------------
+// Fetch
+// --------------------------------------------------------------------
+
+void
+Core::fetch()
+{
+    if (_fetchHalted || !_fetchValid || _cycle < _fetchStallUntil)
+        return;
+
+    unsigned fetched = 0;
+    while (fetched < _cfg.fetchWidth &&
+           _fetchQueue.size() < _cfg.fetchQueueSize) {
+        if (!_program.containsPc(_pc)) {
+            // Wrong-path fetch ran off the text section; wait for the
+            // inevitable squash to redirect us.
+            _fetchValid = false;
+            break;
+        }
+
+        Addr line = _pc / _cfg.memory.l1i.lineBytes;
+        if (line != _lastFetchLine) {
+            Cycle lat = _caches.l1i().access(_pc, false);
+            _lastFetchLine = line;
+            if (lat > _cfg.memory.l1i.hitLatency) {
+                _fetchStallUntil = _cycle + lat;
+                break;
+            }
+        }
+
+        auto inst = std::make_shared<DynInst>();
+        inst->seq = _nextSeq++;
+        inst->pc = _pc;
+        inst->staticIdx =
+            static_cast<std::uint32_t>(_program.indexOf(_pc));
+        inst->inst = _program.inst(inst->staticIdx);
+        inst->fetchCycle = _cycle;
+        inst->histAtPred = _frontend.history();
+
+        Addr next_pc = _pc + 4;
+        const Instruction &in = inst->inst;
+        if (in.isCondBranch()) {
+            inst->predTaken =
+                _frontend.directionAt(_pc, inst->histAtPred);
+            _frontend.shiftHistory(inst->predTaken);
+            if (inst->predTaken)
+                next_pc = in.branchTarget(_pc);
+        } else if (in.op == Opcode::Jal) {
+            inst->predTaken = true;
+            next_pc = in.branchTarget(_pc);
+            if (in.rd == kRegRa)
+                _frontend.ras().push(_pc + 4);
+        } else if (in.op == Opcode::Jalr) {
+            inst->predTaken = true;
+            next_pc = _frontend.ras().pop();
+        } else if (in.isHalt()) {
+            _fetchHalted = true;
+        }
+        inst->predTarget = next_pc;
+
+        _fetchQueue.push_back(inst);
+        ++_sFetched;
+        ++fetched;
+
+        if (inst->inst.isHalt())
+            break;
+        if (next_pc == 0) {
+            // Unpredictable indirect target (empty RAS): stall until
+            // the jalr resolves and redirects us.
+            _fetchValid = false;
+            break;
+        }
+        _pc = next_pc;
+    }
+}
+
+// --------------------------------------------------------------------
+// Rename / dispatch
+// --------------------------------------------------------------------
+
+predictor::FutureSig
+Core::captureFutureSig() const
+{
+    // The front end runs ahead of rename, so the predicted directions
+    // of the next conditional branches are already sitting in the
+    // fetch queue (entries after the one being renamed).
+    predictor::FutureSig sig = 0;
+    unsigned got = 0;
+    for (std::size_t i = 1; i < _fetchQueue.size() && got < 16; ++i) {
+        const InstPtr &inst = _fetchQueue[i];
+        if (inst->inst.isCondBranch()) {
+            if (inst->predTaken)
+                sig |= static_cast<predictor::FutureSig>(1u << got);
+            ++got;
+        }
+    }
+    return sig;
+}
+
+bool
+Core::tryEliminate(const InstPtr &inst)
+{
+    if (!_cfg.elim.enable || !inst->isDeadCandidate())
+        return false;
+    // A rename stall retries the same instruction next cycle; the
+    // decision (and the signature it was made with) must stick.
+    if (inst->sigValid)
+        return inst->eliminated;
+    inst->sig = _deadPredictor.maskSig(captureFutureSig());
+    inst->sigValid = true;
+
+    bool predicted;
+    if (_cfg.elim.oraclePredictor) {
+        // Every candidate consumes a cursor slot (even ones filtered
+        // below) so labels stay aligned with committed instances.
+        auto &cursor = _oracleCursor[inst->staticIdx];
+        inst->oracleIdx = cursor++;
+        const auto &labels = inst->staticIdx < _oracleLabels.size()
+                                 ? _oracleLabels[inst->staticIdx]
+                                 : std::vector<bool>{};
+        predicted = inst->oracleIdx < labels.size() &&
+                    labels[inst->oracleIdx];
+    } else {
+        predicted = _deadPredictor.predict(inst->pc, inst->sig);
+    }
+
+    if (inst->isLoad() && !_cfg.elim.eliminateLoads)
+        return false;
+    if (inst->isStore() && !_cfg.elim.eliminateStores)
+        return false;
+    if (_noElim.count(inst->pc) || _stickyNoElim.count(inst->pc))
+        return false;
+    if (predicted)
+        ++_sPredictedDead;
+    return predicted;
+}
+
+void
+Core::deadMispredictRecovery(SeqNum producer_seq, const char *trigger)
+{
+    InstPtr producer = findInRob(producer_seq);
+    panic_if(!producer, "dead mispredict: producer ", producer_seq,
+             " not in ROB (", trigger, ")");
+    ++_sDeadMispredicts;
+    _noElim[producer->pc] = kNoElimWindow;
+    if (!_cfg.elim.oraclePredictor && producer->sigValid)
+        _deadPredictor.punish(producer->pc, producer->sig);
+    squashFrom(producer_seq, producer->pc, producer->histAtPred);
+    if (_cfg.elim.fullFlushRecovery)
+        _fetchStallUntil = _cycle + 4;
+}
+
+void
+Core::rename()
+{
+    unsigned renamed = 0;
+    while (renamed < _cfg.renameWidth && !_fetchQueue.empty()) {
+        InstPtr inst = _fetchQueue.front();
+        if (inst->fetchCycle + _cfg.frontendDelay > _cycle)
+            break;
+        if (_rob.size() >= _cfg.robSize) {
+            ++_sStallRob;
+            break;
+        }
+
+        const Instruction &in = inst->inst;
+        bool is_trivial = in.op == Opcode::Nop || in.isHalt();
+
+        inst->eliminated = tryEliminate(inst);
+
+        bool needs_iq =
+            !is_trivial && (!inst->eliminated || inst->isStore());
+        bool needs_lq = inst->isLoad() && !inst->eliminated;
+        bool needs_sq = inst->isStore();
+        bool needs_phys = in.writesReg() && !inst->eliminated;
+
+        if (needs_iq && _iq.size() >= _cfg.iqSize) {
+            ++_sStallIq;
+            break;
+        }
+        if (needs_lq && _loadQueue.size() >= _cfg.loadQueueSize) {
+            ++_sStallLsq;
+            break;
+        }
+        if (needs_sq && _storeQueue.size() >= _cfg.storeQueueSize) {
+            ++_sStallLsq;
+            break;
+        }
+        // Keep one register in reserve so a head repair can always
+        // allocate (commit is what refills the free list).
+        if (needs_phys && _freeList.size() <= 1) {
+            ++_sStallPhys;
+            break;
+        }
+
+        // Poison detection: a non-eliminated instruction that sources
+        // a poisoned mapping needs the eliminated producer's value.
+        // It is parked rather than recovered immediately: if it turns
+        // out to be wrong-path, an older branch squash disposes of it
+        // for free (firePendingPoison handles the true-path case).
+        if (!inst->eliminated || inst->isStore()) {
+            auto srcs = in.srcRegs();
+            unsigned nsrcs = in.numSrcs();
+            bool stall_for_repair = false;
+            for (unsigned s = 0; s < nsrcs; ++s) {
+                const RatEntry &e = _rat[srcs[s]];
+                if (!e.poisoned)
+                    continue;
+                if (_cfg.elim.recovery == RecoveryMode::UebRepair &&
+                    !findInRob(e.producerSeq)) {
+                    // Producer already committed unverified: its value
+                    // is banked in the UEB. Materialize it now and
+                    // rename normally — no squash, no parking.
+                    if (_freeList.size() <= 1) {
+                        stall_for_repair = true;
+                        break;
+                    }
+                    uebMaterialize(srcs[s], e.producerSeq);
+                    continue;  // the mapping is clean now
+                }
+                inst->srcPoisonSeq[s] = e.producerSeq;
+                if (inst->poisonProducer == 0 ||
+                    e.producerSeq < inst->poisonProducer) {
+                    inst->poisonProducer = e.producerSeq;
+                }
+            }
+            if (stall_for_repair) {
+                ++_sStallPhys;
+                break;
+            }
+            // An eliminated store with a poisoned operand degrades to
+            // an ordinary parked consumer; this keeps repair of dead
+            // stores free of committed poison.
+            if (inst->eliminated && inst->poisonProducer != 0)
+                inst->eliminated = false;
+        }
+
+        _fetchQueue.pop_front();
+
+        // Source renaming.
+        if (!inst->eliminated || inst->isStore()) {
+            auto srcs = in.srcRegs();
+            inst->numSrcs = in.numSrcs();
+            if (inst->eliminated && inst->isStore())
+                inst->numSrcs = 1;
+            for (unsigned s = 0; s < inst->numSrcs; ++s) {
+                const RatEntry &e = _rat[srcs[s]];
+                inst->srcPhys[s] = e.poisoned ? 0 : e.phys;
+                // A poisoned source stays not-ready; the instruction
+                // waits (parked) in the issue queue until its producer
+                // commits and the value is materialized.
+                inst->srcReady[s] =
+                    e.poisoned ? false : _prf.isReady(e.phys);
+            }
+        } else {
+            inst->numSrcs = 0;
+        }
+
+        // Destination renaming.
+        RobEntry entry;
+        entry.inst = inst;
+        if (in.writesReg()) {
+            entry.hasMapping = true;
+            entry.archDest = in.rd;
+            entry.prevMap = _rat[in.rd];
+            if (inst->eliminated) {
+                RatEntry poisoned;
+                poisoned.poisoned = true;
+                poisoned.producerSeq = inst->seq;
+                _rat.set(in.rd, poisoned);
+            } else {
+                inst->destPhys = _freeList.alloc();
+                _prf.clearReady(inst->destPhys);
+                _rat.set(in.rd, RatEntry{inst->destPhys, false, 0});
+                ++_sPhysAllocs;
+            }
+        }
+
+        if (is_trivial) {
+            inst->completed = true;
+        } else if (inst->eliminated && !inst->isStore()) {
+            inst->completed = true;
+        } else {
+            inst->inIq = true;
+            _iq.push_back(inst);
+        }
+        if (needs_lq)
+            _loadQueue.push_back(inst);
+        if (needs_sq)
+            _storeQueue.push_back(inst);
+
+        _rob.push_back(std::move(entry));
+        ++_sRenamed;
+        ++renamed;
+    }
+}
+
+// --------------------------------------------------------------------
+// Issue / execute
+// --------------------------------------------------------------------
+
+bool
+Core::loadBlocked(const InstPtr &load, InstPtr &dead_store_hit,
+                  InstPtr &forward_from) const
+{
+    dead_store_hit = nullptr;
+    forward_from = nullptr;
+    Addr word = emu::Memory::wordAddr(load->effAddr);
+    // Scan older stores youngest-first.
+    for (auto it = _storeQueue.rbegin(); it != _storeQueue.rend();
+         ++it) {
+        const InstPtr &store = *it;
+        if (store->seq > load->seq)
+            continue;
+        if (!store->addrReady)
+            return true;  // conservative: wait for all older addresses
+        if (emu::Memory::wordAddr(store->effAddr) == word) {
+            if (store->eliminated)
+                dead_store_hit = store;
+            else
+                forward_from = store;
+            return false;
+        }
+    }
+    return false;
+}
+
+RegVal
+Core::loadValue(const InstPtr &load, const InstPtr &forward_from)
+{
+    if (forward_from)
+        return forward_from->storeData;
+    return _memState.read(emu::Memory::wordAddr(load->effAddr));
+}
+
+void
+Core::executeInst(const InstPtr &inst, Cycle issue_cycle)
+{
+    const Instruction &in = inst->inst;
+    Cycle latency = _cfg.aluLatency;
+
+    // Register file reads happen at issue; UEB-forwarded operands
+    // bypass the register file entirely.
+    RegVal s1 = 0, s2 = 0;
+    if (inst->numSrcs >= 1) {
+        s1 = inst->srcIsOverride[0] ? inst->srcOverride[0]
+                                    : _prf.read(inst->srcPhys[0]);
+        if (!inst->srcIsOverride[0])
+            ++_sRfReads;
+    }
+    if (inst->numSrcs >= 2) {
+        s2 = inst->srcIsOverride[1] ? inst->srcOverride[1]
+                                    : _prf.read(inst->srcPhys[1]);
+        if (!inst->srcIsOverride[1])
+            ++_sRfReads;
+    }
+
+    switch (in.info().cls) {
+      case OpClass::IntAlu:
+      case OpClass::IntMult:
+      case OpClass::IntDiv: {
+        RegVal rhs = in.info().format == isa::Format::R
+                         ? s2
+                         : isa::immOperand(in);
+        inst->result = isa::evalAlu(in.op, s1, rhs);
+        if (in.info().cls == OpClass::IntMult) {
+            latency = _cfg.multLatency;
+        } else if (in.info().cls == OpClass::IntDiv) {
+            latency = _cfg.divLatency;
+            _divBusyUntil = issue_cycle + _cfg.divLatency;
+        }
+        break;
+      }
+      case OpClass::Load: {
+        inst->effAddr = isa::effectiveAddr(in, s1);
+        InstPtr dead_hit, forward_from;
+        loadBlocked(inst, dead_hit, forward_from);
+        Addr word = emu::Memory::wordAddr(inst->effAddr);
+        RegVal banked;
+        if (forward_from) {
+            inst->result = forward_from->storeData;
+            ++_sForwards;
+            latency = 1;
+        } else if (uebStoreLookup(word, banked)) {
+            // The youngest prior store to this word was a banked dead
+            // store: read its shadow data (store-buffer-like hit).
+            inst->result = banked;
+            ++_sForwards;
+            latency = 1;
+        } else {
+            inst->result = loadValue(inst, forward_from);
+            latency = _caches.l1d().access(word, false);
+            ++_sDcacheLoads;
+        }
+        break;
+      }
+      case OpClass::Store: {
+        // Address generation; eliminated stores skip the data read
+        // (numSrcs == 1), real stores latch their data here.
+        inst->effAddr = isa::effectiveAddr(in, s1);
+        if (!inst->eliminated)
+            inst->storeData = s2;
+        latency = 1;
+        break;
+      }
+      case OpClass::Branch: {
+        inst->actualTaken = isa::evalBranch(in.op, s1, s2);
+        inst->actualTarget = inst->actualTaken
+                                 ? in.branchTarget(inst->pc)
+                                 : inst->pc + 4;
+        latency = _cfg.branchLatency;
+        break;
+      }
+      case OpClass::Jump: {
+        inst->actualTaken = true;
+        if (in.op == Opcode::Jalr) {
+            inst->actualTarget =
+                (s1 + static_cast<Addr>(in.imm)) & ~Addr(3);
+        } else {
+            inst->actualTarget = in.branchTarget(inst->pc);
+        }
+        inst->result = inst->pc + 4;  // link value
+        latency = _cfg.branchLatency;
+        break;
+      }
+      case OpClass::Other:
+        // out: latch the value for commit.
+        inst->result = s1;
+        latency = 1;
+        break;
+    }
+
+    inst->issued = true;
+    _completions.emplace(issue_cycle + std::max<Cycle>(latency, 1),
+                         inst);
+    ++_sIssued;
+}
+
+void
+Core::issue()
+{
+    // Oldest-first select among ready instructions.
+    std::vector<InstPtr> ready;
+    for (const InstPtr &inst : _iq) {
+        if (inst->squashed || inst->issued ||
+            inst->poisonProducer != 0) {
+            continue;
+        }
+        bool ok = true;
+        for (unsigned s = 0; s < inst->numSrcs; ++s)
+            ok = ok && inst->srcReady[s];
+        if (ok)
+            ready.push_back(inst);
+    }
+    std::sort(ready.begin(), ready.end(),
+              [](const InstPtr &a, const InstPtr &b) {
+                  return a->seq < b->seq;
+              });
+
+    unsigned issue_left = _cfg.issueWidth;
+    unsigned alu_left = _cfg.numAlus;
+    unsigned mult_left = _cfg.numMults;
+    unsigned mem_left = _cfg.numMemPorts;
+
+    for (const InstPtr &inst : ready) {
+        if (issue_left == 0)
+            break;
+        const Instruction &in = inst->inst;
+        OpClass cls = in.info().cls;
+
+        switch (cls) {
+          case OpClass::IntAlu:
+          case OpClass::Branch:
+          case OpClass::Jump:
+          case OpClass::Other:
+            if (alu_left == 0)
+                continue;
+            --alu_left;
+            break;
+          case OpClass::IntMult:
+            if (mult_left == 0)
+                continue;
+            --mult_left;
+            break;
+          case OpClass::IntDiv:
+            if (_cfg.numDivs == 0 || _divBusyUntil > _cycle)
+                continue;
+            break;
+          case OpClass::Load:
+          case OpClass::Store:
+            if (mem_left == 0)
+                continue;
+            break;
+        }
+
+        if (cls == OpClass::Load) {
+            // Disambiguation needs this load's address: compute it
+            // from the (ready) base without charging the RF read
+            // twice; executeInst re-reads below.
+            RegVal base = inst->srcIsOverride[0]
+                              ? inst->srcOverride[0]
+                              : _prf.read(inst->srcPhys[0]);
+            inst->effAddr = isa::effectiveAddr(in, base);
+            InstPtr dead_hit, forward_from;
+            if (loadBlocked(inst, dead_hit, forward_from))
+                continue;  // older store address unknown
+            if (dead_hit) {
+                // The load needs a value an eliminated store never
+                // wrote: park it (dead-store misprediction, pending
+                // squash-safety).
+                inst->poisonProducer = dead_hit->seq;
+                inst->poisonFromLsq = true;
+                continue;
+            }
+        }
+
+        if (cls == OpClass::Load || cls == OpClass::Store)
+            --mem_left;
+        --issue_left;
+        executeInst(inst, _cycle);
+    }
+
+    std::erase_if(_iq, [](const InstPtr &inst) {
+        return inst->issued || inst->squashed;
+    });
+}
+
+// --------------------------------------------------------------------
+// Writeback
+// --------------------------------------------------------------------
+
+void
+Core::resolveBranch(const InstPtr &inst)
+{
+    const Instruction &in = inst->inst;
+    bool mispredicted;
+    Addr correct_next =
+        inst->actualTaken ? inst->actualTarget : inst->pc + 4;
+    std::uint32_t history_fix = inst->histAtPred;
+
+    if (in.isCondBranch()) {
+        mispredicted = inst->predTaken != inst->actualTaken;
+        history_fix = (inst->histAtPred << 1) |
+                      (inst->actualTaken ? 1u : 0u);
+    } else {
+        mispredicted = inst->predTarget != correct_next;
+    }
+    if (inst->actualTaken)
+        _frontend.btb().update(inst->pc, inst->actualTarget);
+
+    if (mispredicted) {
+        inst->mispredictedBranch = true;
+        ++_sBranchMispredicts;
+        squashFrom(inst->seq + 1, correct_next, history_fix);
+    }
+}
+
+void
+Core::writeback()
+{
+    auto end = _completions.upper_bound(_cycle);
+    std::vector<InstPtr> done;
+    for (auto it = _completions.begin(); it != end; ++it)
+        done.push_back(it->second);
+    _completions.erase(_completions.begin(), end);
+
+    for (const InstPtr &inst : done) {
+        if (inst->squashed)
+            continue;
+        inst->completed = true;
+        if (inst->isStore())
+            inst->addrReady = true;
+
+        if (inst->destPhys != kNoPhysReg) {
+            _prf.write(inst->destPhys, inst->result);
+            ++_sRfWrites;
+            for (const InstPtr &waiting : _iq) {
+                for (unsigned s = 0; s < waiting->numSrcs; ++s) {
+                    if (waiting->srcPhys[s] == inst->destPhys)
+                        waiting->srcReady[s] = true;
+                }
+            }
+        }
+
+        if (inst->inst.isCondBranch() || inst->inst.isJump())
+            resolveBranch(inst);
+    }
+}
+
+// --------------------------------------------------------------------
+// Commit
+// --------------------------------------------------------------------
+
+void
+Core::feedDetector(const InstPtr &inst)
+{
+    const Instruction &in = inst->inst;
+    using predictor::ProducerInfo;
+    ProducerInfo producer{inst->pc, inst->sig, inst->seq};
+
+    // Reads: only the operands actually consumed. Eliminated
+    // instructions consumed nothing (an eliminated store read only
+    // its base for address generation), which is what lets
+    // transitively dead chains be detected link by link.
+    if (!inst->eliminated) {
+        auto srcs = in.srcRegs();
+        for (unsigned s = 0; s < in.numSrcs(); ++s)
+            _detector.onRegRead(srcs[s], _events);
+        if (in.isLoad())
+            _detector.onLoad(inst->effAddr, _events);
+    } else if (inst->isStore()) {
+        _detector.onRegRead(in.rs1, _events);
+    }
+
+    if (in.writesReg()) {
+        if (inst->isDeadCandidate())
+            _detector.onRegWrite(in.rd, producer, _events);
+        else
+            _detector.onRegWriteOpaque(in.rd, _events);
+    }
+    if (in.isStore())
+        _detector.onStore(inst->effAddr, producer, _events);
+}
+
+void
+Core::trainFromEvents()
+{
+    for (const predictor::DeadEvent &ev : _events) {
+        if (ev.dead)
+            ++_sDetectorDead;
+        else
+            ++_sDetectorLive;
+        if (_cfg.elim.enable && !_cfg.elim.oraclePredictor) {
+            _deadPredictor.train(ev.producer.pc, ev.producer.sig,
+                                 ev.dead);
+        }
+    }
+    _events.clear();
+}
+
+const char *
+Core::verifyFailReason(std::size_t rob_index) const
+{
+    const InstPtr &head = _rob[rob_index].inst;
+    Addr my_word = emu::Memory::wordAddr(head->effAddr);
+    bool is_store = head->isStore();
+    static char buf[128];
+    for (std::size_t i = rob_index + 1; i < _rob.size(); ++i) {
+        const RobEntry &entry = _rob[i];
+        const InstPtr &inst = entry.inst;
+        if (is_store) {
+            if (inst->isStore()) {
+                if (!inst->addrReady) {
+                    std::snprintf(buf, sizeof buf,
+                                  "store-addr-unknown@%zu", i);
+                    return buf;
+                }
+                if (emu::Memory::wordAddr(inst->effAddr) == my_word) {
+                    std::snprintf(buf, sizeof buf,
+                                  "overwriter-unverified-elim@%zu", i);
+                    return buf;
+                }
+            }
+        } else if (entry.hasMapping &&
+                   entry.archDest == head->inst.rd) {
+            std::snprintf(buf, sizeof buf,
+                          "overwriter-unverified-elim@%zu", i);
+            return buf;
+        }
+        if ((inst->inst.isCondBranch() || inst->inst.isJump()) &&
+            !inst->completed) {
+            std::snprintf(buf, sizeof buf, "branch-unresolved@%zu", i);
+            return buf;
+        }
+        if (inst->isLoad() && !inst->eliminated && !inst->issued) {
+            std::snprintf(buf, sizeof buf, "load-unissued@%zu", i);
+            return buf;
+        }
+        if (inst->eliminated && !inst->verified) {
+            std::snprintf(buf, sizeof buf, "elim-unverified@%zu", i);
+            return buf;
+        }
+        if (inst->poisonProducer != 0) {
+            std::snprintf(buf, sizeof buf, "parked@%zu", i);
+            return buf;
+        }
+    }
+    std::snprintf(buf, sizeof buf, "no-overwriter(rob=%zu)", _rob.size());
+    return buf;
+}
+
+bool
+Core::verifyEliminated(std::size_t rob_index)
+{
+    // An eliminated instruction may retire only once no future squash
+    // can re-expose its poison token: its destination must have been
+    // renamed over by a younger instruction O, and nothing older than
+    // O may still be able to cause a squash (an unresolved branch or
+    // jump, a load that has not passed its dead-store check, or
+    // another eliminated instruction that is itself unverified).
+    const InstPtr &head = _rob[rob_index].inst;
+    Addr my_word = emu::Memory::wordAddr(head->effAddr);
+    bool is_store = head->isStore();
+
+    for (std::size_t i = rob_index + 1; i < _rob.size(); ++i) {
+        const RobEntry &entry = _rob[i];
+        const InstPtr &inst = entry.inst;
+
+        // Found the overwriter? It must not itself be able to vanish
+        // in a recovery that would restore our mapping: an eliminated
+        // overwriter counts only once it is verified.
+        if (is_store) {
+            if (inst->isStore()) {
+                if (!inst->addrReady)
+                    return false;  // matching unknown yet
+                if (emu::Memory::wordAddr(inst->effAddr) == my_word) {
+                    return (!inst->eliminated || inst->verified) &&
+                           inst->poisonProducer == 0;
+                }
+            }
+        } else if (entry.hasMapping &&
+                   entry.archDest == head->inst.rd) {
+            // The overwriter must not itself be a parked consumer of
+            // our poison (a self-overwriting consumer like
+            // "addi r5, r5, 1" both reads and replaces the mapping).
+            return (!inst->eliminated || inst->verified) &&
+                   inst->poisonProducer == 0;
+        }
+
+        // Squash hazards older than any potential overwriter.
+        if ((inst->inst.isCondBranch() || inst->inst.isJump()) &&
+            !inst->completed) {
+            return false;
+        }
+        if (inst->isLoad() && !inst->eliminated && !inst->issued)
+            return false;
+        if (inst->eliminated && !inst->verified)
+            return false;
+        if (inst->poisonProducer != 0)
+            return false;  // its recovery would squash the overwriter
+    }
+    return false;  // no overwriter in the window yet
+}
+
+RegVal
+Core::retireSrcVal(RegId r, const InstPtr &inst)
+{
+    if (r == kRegZero)
+        return 0;
+    const RatEntry &e = _retireRat[r];
+    if (!e.poisoned)
+        return _prf.read(e.phys);
+    // The producer committed unverified, so its shadow value is in
+    // the UEB (a verified producer can never be sourced again).
+    const UebRegEntry &ueb = _uebReg[r];
+    panic_if(!ueb.valid || ueb.producer != e.producerSeq,
+             "retirement source r", unsigned(r),
+             " poisoned with no UEB entry (inst pc ", inst->pc, ")");
+    return ueb.value;
+}
+
+void
+Core::uebStoreInsert(Addr word, RegVal data)
+{
+    UebStoreEntry *victim = nullptr;
+    for (UebStoreEntry &e : _uebStore) {
+        if (e.valid && e.word == word) {
+            e.data = data;
+            e.lru = ++_uebLru;
+            return;
+        }
+        if (!e.valid) {
+            if (!victim || victim->valid)
+                victim = &e;
+        } else if (!victim ||
+                   (victim->valid && e.lru < victim->lru)) {
+            victim = &e;
+        }
+    }
+    if (victim->valid) {
+        // Evict by performing the store late (safe: had the word been
+        // overwritten the entry would already have been retired).
+        _memState.write(victim->word, victim->data);
+        _caches.l1d().access(victim->word, true);
+        ++_sDcacheStores;
+        ++_sUebStoreFlushes;
+    }
+    victim->valid = true;
+    victim->word = word;
+    victim->data = data;
+    victim->lru = ++_uebLru;
+}
+
+void
+Core::uebStoreFlushAll()
+{
+    for (UebStoreEntry &e : _uebStore) {
+        if (e.valid) {
+            _memState.write(e.word, e.data);
+            ++_sUebStoreFlushes;
+            e.valid = false;
+        }
+    }
+}
+
+bool
+Core::uebStoreLookup(Addr word, RegVal &data) const
+{
+    for (const UebStoreEntry &e : _uebStore) {
+        if (e.valid && e.word == word) {
+            data = e.data;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Core::uebStoreInvalidate(Addr word)
+{
+    for (UebStoreEntry &e : _uebStore) {
+        if (e.valid && e.word == word)
+            e.valid = false;
+    }
+}
+
+PhysRegId
+Core::uebMaterialize(RegId arch_reg, SeqNum producer_seq)
+{
+    UebRegEntry &ueb = _uebReg[arch_reg];
+    panic_if(!ueb.valid || ueb.producer != producer_seq,
+             "no UEB entry for r", unsigned(arch_reg), " producer ",
+             producer_seq);
+    PhysRegId phys = _freeList.alloc();
+    _prf.write(phys, ueb.value);
+    ++_sRfWrites;
+    ++_sPhysAllocs;
+    ++_sUebRepairs;
+    RatEntry fixed{phys, false, 0};
+    const RatEntry &current = _rat[arch_reg];
+    if (current.poisoned && current.producerSeq == producer_seq)
+        _rat.set(arch_reg, fixed);
+    if (_retireRat[arch_reg].poisoned &&
+        _retireRat[arch_reg].producerSeq == producer_seq) {
+        _retireRat[arch_reg] = fixed;
+    }
+    for (RobEntry &entry : _rob) {
+        if (entry.hasMapping && entry.prevMap.poisoned &&
+            entry.prevMap.producerSeq == producer_seq) {
+            entry.prevMap = fixed;
+        }
+    }
+    ueb.valid = false;
+    return phys;
+}
+
+void
+Core::unparkConsumers(const InstPtr &producer, RegVal value)
+{
+    for (RobEntry &entry : _rob) {
+        const InstPtr &consumer = entry.inst;
+        if (consumer->poisonProducer == 0 || consumer->squashed)
+            continue;
+        bool touched = false;
+        for (unsigned s = 0; s < consumer->numSrcs; ++s) {
+            if (consumer->srcPoisonSeq[s] == producer->seq) {
+                consumer->srcOverride[s] = value;
+                consumer->srcIsOverride[s] = true;
+                consumer->srcReady[s] = true;
+                consumer->srcPoisonSeq[s] = 0;
+                touched = true;
+            }
+        }
+        if (!touched)
+            continue;
+        ++_sUebRepairs;
+        SeqNum remaining = 0;
+        for (unsigned s = 0; s < consumer->numSrcs; ++s) {
+            if (consumer->srcPoisonSeq[s] != 0 &&
+                (remaining == 0 ||
+                 consumer->srcPoisonSeq[s] < remaining)) {
+                remaining = consumer->srcPoisonSeq[s];
+            }
+        }
+        consumer->poisonProducer = remaining;
+        if (remaining == 0) {
+            // Refresh readiness of register sources missed while
+            // parked (wakeups skip parked instructions' dead slots).
+            for (unsigned s = 0; s < consumer->numSrcs; ++s) {
+                if (!consumer->srcIsOverride[s]) {
+                    consumer->srcReady[s] =
+                        _prf.isReady(consumer->srcPhys[s]);
+                }
+            }
+        }
+    }
+}
+
+void
+Core::shadowExecute(const InstPtr &inst)
+{
+    // The instruction is the oldest in flight: retirement state holds
+    // exactly its architectural inputs. Execute it off the critical
+    // path and bank the value in the UEB so any late consumer can be
+    // repaired without a flush. The operand reads and (for loads) the
+    // cache access are real work and are charged as such; the win
+    // relative to normal execution is purely the pipeline resources
+    // never spent.
+    const Instruction &in = inst->inst;
+    ++_sShadowExecs;
+    switch (in.info().cls) {
+      case OpClass::IntAlu:
+      case OpClass::IntMult:
+      case OpClass::IntDiv: {
+        RegVal s1 =
+            in.info().readsRs1 ? retireSrcVal(in.rs1, inst) : 0;
+        RegVal rhs = in.info().format == isa::Format::R
+                         ? retireSrcVal(in.rs2, inst)
+                         : isa::immOperand(in);
+        _sRfReads += in.numSrcs();
+        inst->result = isa::evalAlu(in.op, s1, rhs);
+        break;
+      }
+      case OpClass::Load: {
+        inst->effAddr =
+            isa::effectiveAddr(in, retireSrcVal(in.rs1, inst));
+        ++_sRfReads;
+        Addr word = emu::Memory::wordAddr(inst->effAddr);
+        if (!uebStoreLookup(word, inst->result)) {
+            inst->result = _memState.read(word);
+            _caches.l1d().access(word, false);
+            ++_sDcacheLoads;
+        }
+        break;
+      }
+      case OpClass::Store: {
+        inst->storeData = retireSrcVal(in.rs2, inst);
+        ++_sRfReads;
+        break;
+      }
+      default:
+        panic("shadowExecute: unexpected class");
+    }
+}
+
+void
+Core::firePendingPoison()
+{
+    // Find the oldest parked poison consumer. Fire its recovery once
+    // it is squash-safe: no older unresolved branch or jump (it could
+    // be wrong-path) and no older load that has not passed its
+    // dead-store check (its recovery would supersede this one).
+    std::size_t pending = _rob.size();
+    for (std::size_t i = 0; i < _rob.size(); ++i) {
+        const InstPtr &inst = _rob[i].inst;
+        if (inst->poisonProducer != 0) {
+            pending = i;
+            break;
+        }
+        if ((inst->inst.isCondBranch() || inst->inst.isJump()) &&
+            !inst->completed) {
+            return;
+        }
+        if (inst->isLoad() && !inst->eliminated && !inst->issued)
+            return;
+    }
+    if (pending == _rob.size())
+        return;
+    const InstPtr &consumer = _rob[pending].inst;
+    if (consumer->poisonFromLsq)
+        ++_sRecoverLsq;
+    else
+        ++_sRecoverRename;
+    deadMispredictRecovery(consumer->poisonProducer, "pending-poison");
+}
+
+void
+Core::repairAtHead()
+{
+    // The oldest instruction's architectural inputs are exactly the
+    // retirement state, so an unverified eliminated instruction can be
+    // re-executed in place: it loses its elimination benefit instead
+    // of costing a flush.
+    RobEntry &head = _rob.front();
+    InstPtr inst = head.inst;
+    const Instruction &in = inst->inst;
+    ++_sRepairs;
+    ++_sUnverifiedRecoveries;
+    if (++_repairCount[inst->pc] >= _cfg.elim.repairLimit)
+        _stickyNoElim.insert(inst->pc);
+
+    auto src_val = [&](RegId r) -> RegVal {
+        if (r == kRegZero)
+            return 0;
+        const RatEntry &e = _retireRat[r];
+        if (e.poisoned) {
+            // Only reachable inside a chain whose head was verified
+            // dead: this value is provably unconsumed.
+            ++_sRepairPoisoned;
+            inst->repairPoisoned = true;
+            return 0;
+        }
+        return _prf.read(e.phys);
+    };
+
+    switch (in.info().cls) {
+      case OpClass::IntAlu:
+      case OpClass::IntMult:
+      case OpClass::IntDiv: {
+        RegVal s1 = in.info().readsRs1 ? src_val(in.rs1) : 0;
+        RegVal rhs = in.info().format == isa::Format::R
+                         ? src_val(in.rs2)
+                         : isa::immOperand(in);
+        inst->result = isa::evalAlu(in.op, s1, rhs);
+        break;
+      }
+      case OpClass::Load: {
+        inst->effAddr = isa::effectiveAddr(in, src_val(in.rs1));
+        inst->result =
+            _memState.read(emu::Memory::wordAddr(inst->effAddr));
+        _caches.l1d().access(emu::Memory::wordAddr(inst->effAddr),
+                             false);
+        ++_sDcacheLoads;
+        break;
+      }
+      case OpClass::Store: {
+        panic_if(!inst->addrReady, "repairing a store without address");
+        inst->storeData = src_val(in.rs2);
+        panic_if(inst->repairPoisoned,
+                 "repaired store read poisoned data");
+        break;
+      }
+      default:
+        panic("repairAtHead: unexpected class for eliminated inst");
+    }
+
+    if (in.writesReg()) {
+        PhysRegId phys = _freeList.alloc();
+        _prf.write(phys, inst->result);
+        ++_sRfWrites;
+        ++_sPhysAllocs;
+        inst->destPhys = phys;
+        RatEntry fixed{phys, false, 0};
+        const RatEntry &current = _rat[in.rd];
+        if (current.poisoned && current.producerSeq == inst->seq)
+            _rat.set(in.rd, fixed);
+        for (RobEntry &entry : _rob) {
+            if (entry.hasMapping && entry.prevMap.poisoned &&
+                entry.prevMap.producerSeq == inst->seq) {
+                entry.prevMap = fixed;
+            }
+        }
+    }
+
+    inst->eliminated = false;
+    inst->repaired = true;
+
+    // Any consumer parked on our poison can now rename cleanly; squash
+    // from the oldest one so it refetches.
+    for (const RobEntry &entry : _rob) {
+        const InstPtr &parked = entry.inst;
+        if (parked->poisonProducer == inst->seq) {
+            squashFrom(parked->seq, parked->pc, parked->histAtPred);
+            break;
+        }
+    }
+}
+
+void
+Core::commit()
+{
+    if (_cfg.elim.enable &&
+        _cfg.elim.recovery == RecoveryMode::SquashProducer) {
+        firePendingPoison();
+    }
+
+    // Verification sweep, youngest first so a whole chain of
+    // eliminated instructions can verify in one pass (each link sees
+    // the younger links' freshly-set verified flags).
+    if (_cfg.elim.enable) {
+        for (std::size_t i = _rob.size(); i-- > 0;) {
+            const InstPtr &inst = _rob[i].inst;
+            if (inst->eliminated && !inst->verified &&
+                verifyEliminated(i)) {
+                inst->verified = true;
+            }
+        }
+    }
+
+    unsigned committed = 0;
+    while (committed < _cfg.commitWidth && !_rob.empty()) {
+        RobEntry &entry = _rob.front();
+        InstPtr inst = entry.inst;
+        if (!inst->completed)
+            break;
+        panic_if(inst->squashed, "squashed instruction at ROB head");
+
+        bool shadowed = false;
+        bool has_parked = false;
+        if (inst->eliminated && !inst->verified) {
+            if (_cfg.elim.recovery == RecoveryMode::SquashProducer) {
+                // Ablation mode: stall for verification, then repair
+                // in place (squash-based recovery handles consumers).
+                if (_headStallSeq != inst->seq) {
+                    _headStallSeq = inst->seq;
+                    _headStallSince = _cycle;
+                }
+                ++_sVerifyStallCycles;
+                if (_cycle - _headStallSince >=
+                    _cfg.elim.verifyGrace) {
+                    repairAtHead();
+                } else {
+                    break;
+                }
+            } else {
+                // UEB mode: never stall. Shadow-execute against
+                // retirement state and bank the value.
+                for (const RobEntry &e : _rob) {
+                    const InstPtr &c = e.inst;
+                    if (c->squashed || c->poisonProducer == 0)
+                        continue;
+                    if (c->poisonFromLsq
+                            ? c->poisonProducer == inst->seq
+                            : (c->srcPoisonSeq[0] == inst->seq ||
+                               c->srcPoisonSeq[1] == inst->seq)) {
+                        has_parked = true;
+                        break;
+                    }
+                }
+                shadowExecute(inst);
+                shadowed = true;
+            }
+        }
+
+        const Instruction &in = inst->inst;
+
+        if (in.isHalt()) {
+            uebStoreFlushAll();
+            ++_sCommitted;
+            ++_committedInsts;
+            _halted = true;
+            _lastCommitCycle = _cycle;
+            if (_onCommit)
+                _onCommit(*inst);
+            _rob.pop_front();
+            return;
+        }
+
+        if (inst->isStore()) {
+            Addr word = emu::Memory::wordAddr(inst->effAddr);
+            if (!inst->eliminated) {
+                _memState.write(word, inst->storeData);
+                _caches.l1d().access(word, true);
+                ++_sDcacheStores;
+                // This write retires any older banked dead store to
+                // the same word: its D-cache access is saved for good.
+                uebStoreInvalidate(word);
+            } else if (shadowed) {
+                uebStoreInsert(word, inst->storeData);
+            } else {
+                // Verified dead: the write is provably unobservable.
+                uebStoreInvalidate(word);
+            }
+        }
+        if (in.isOut())
+            _output.push_back(inst->result);
+        if (in.isCondBranch()) {
+            _frontend.updateDirection(inst->pc, inst->histAtPred,
+                                      inst->actualTaken);
+        }
+
+        feedDetector(inst);
+        trainFromEvents();
+
+        if (entry.hasMapping) {
+            RatEntry old = _retireRat[entry.archDest];
+            if (inst->eliminated) {
+                RatEntry poisoned;
+                poisoned.poisoned = true;
+                poisoned.producerSeq = inst->seq;
+                _retireRat[entry.archDest] = poisoned;
+            } else {
+                _retireRat[entry.archDest] =
+                    RatEntry{inst->destPhys, false, 0};
+            }
+            if (!old.poisoned && old.phys != 0)
+                _freeList.release(old.phys);
+            // UEB register side: a shadowed producer banks its value;
+            // any other writer makes the previous poison unreachable.
+            if (shadowed && inst->inst.writesReg()) {
+                _uebReg[entry.archDest] =
+                    UebRegEntry{true, inst->seq, inst->result};
+            } else {
+                _uebReg[entry.archDest].valid = false;
+            }
+        }
+
+        if (has_parked) {
+            if (inst->inst.writesReg()) {
+                unparkConsumers(inst, inst->result);
+            } else if (inst->isStore()) {
+                // Un-park loads that hit this dead store; they re-issue
+                // and read the banked data from the UEB.
+                for (RobEntry &e : _rob) {
+                    const InstPtr &c = e.inst;
+                    if (!c->squashed && c->poisonFromLsq &&
+                        c->poisonProducer == inst->seq) {
+                        c->poisonProducer = 0;
+                        c->poisonFromLsq = false;
+                        for (unsigned sidx = 0; sidx < c->numSrcs;
+                             ++sidx) {
+                            c->srcReady[sidx] =
+                                _prf.isReady(c->srcPhys[sidx]);
+                        }
+                    }
+                }
+            }
+        }
+
+        if (!inst->eliminated) {
+            auto it = _noElim.find(inst->pc);
+            if (it != _noElim.end() && --it->second == 0)
+                _noElim.erase(it);
+        }
+
+        // Retire from the load/store queues.
+        if (!_loadQueue.empty() &&
+            _loadQueue.front()->seq == inst->seq) {
+            _loadQueue.pop_front();
+        }
+        if (!_storeQueue.empty() &&
+            _storeQueue.front()->seq == inst->seq) {
+            _storeQueue.pop_front();
+        }
+
+        if (_onCommit)
+            _onCommit(*inst);
+
+        ++_sCommitted;
+        if (inst->eliminated)
+            ++_sCommittedElim;
+        ++_committedInsts;
+        ++committed;
+        _lastCommitCycle = _cycle;
+        _rob.pop_front();
+    }
+}
+
+// --------------------------------------------------------------------
+// Squash machinery
+// --------------------------------------------------------------------
+
+InstPtr
+Core::findInRob(SeqNum seq) const
+{
+    for (auto it = _rob.rbegin(); it != _rob.rend(); ++it) {
+        if (it->inst->seq == seq)
+            return it->inst;
+    }
+    return nullptr;
+}
+
+void
+Core::squashFrom(SeqNum first_bad, Addr new_pc,
+                 std::uint32_t new_history)
+{
+    // Undo rename in reverse order, walking the ROB from the tail.
+    bool reverify = false;
+    while (!_rob.empty() && _rob.back().inst->seq >= first_bad) {
+        RobEntry &entry = _rob.back();
+        InstPtr inst = entry.inst;
+        inst->squashed = true;
+        ++_sSquashedInsts;
+        if (entry.hasMapping) {
+            _rat.set(entry.archDest, entry.prevMap);
+            if (entry.prevMap.poisoned &&
+                entry.prevMap.producerSeq < first_bad) {
+                // The squash re-exposed an older producer's poison
+                // token; its verification no longer holds. The
+                // verified-commit rule guarantees it is still here.
+                InstPtr producer = findInRob(entry.prevMap.producerSeq);
+                if (producer) {
+                    producer->verified = false;
+                } else {
+                    // Producer committed unverified: its value is in
+                    // the UEB and a future consumer repairs inline.
+                    RegId r = entry.archDest;
+                    panic_if(
+                        _cfg.elim.recovery ==
+                                RecoveryMode::SquashProducer ||
+                            !_uebReg[r].valid ||
+                            _uebReg[r].producer !=
+                                entry.prevMap.producerSeq,
+                        "poison of a committed producer re-exposed "
+                        "with no UEB entry (seq ",
+                        entry.prevMap.producerSeq, ")");
+                }
+                reverify = true;
+            }
+        }
+        if (inst->isStore())
+            reverify = true;
+        if (inst->destPhys != kNoPhysReg)
+            _freeList.release(inst->destPhys);
+        if (_cfg.elim.oraclePredictor && inst->oracleIdx != ~0u) {
+            auto &cursor = _oracleCursor[inst->staticIdx];
+            cursor = std::min(cursor, inst->oracleIdx);
+        }
+        _rob.pop_back();
+    }
+
+    for (const InstPtr &inst : _fetchQueue) {
+        inst->squashed = true;
+        // A rename stall may have consumed an oracle cursor slot for
+        // an instruction still sitting in the fetch queue.
+        if (_cfg.elim.oraclePredictor && inst->oracleIdx != ~0u) {
+            auto &cursor = _oracleCursor[inst->staticIdx];
+            cursor = std::min(cursor, inst->oracleIdx);
+        }
+    }
+    _fetchQueue.clear();
+
+    auto is_squashed = [](const InstPtr &inst) {
+        return inst->squashed;
+    };
+    std::erase_if(_iq, is_squashed);
+    std::erase_if(_loadQueue, is_squashed);
+    std::erase_if(_storeQueue, is_squashed);
+
+    // Squashing a store or re-exposing a poison token invalidates the
+    // assumptions other verifications were made under; conservatively
+    // re-verify every in-flight elimination (the sweep is per-cycle).
+    if (reverify) {
+        for (RobEntry &entry : _rob) {
+            if (entry.inst->eliminated)
+                entry.inst->verified = false;
+        }
+    }
+
+    // A squash may have removed the stalled head's prospective
+    // overwriter; give verification a fresh soft-timeout window.
+    if (!_rob.empty() && _rob.front().inst->seq == _headStallSeq)
+        _headStallSince = _cycle;
+
+    _frontend.setHistory(new_history);
+    redirectFetch(new_pc);
+}
+
+void
+Core::redirectFetch(Addr new_pc)
+{
+    _pc = new_pc;
+    _fetchValid = true;
+    _fetchHalted = false;
+    _lastFetchLine = ~Addr(0);
+    _fetchStallUntil = std::max(_fetchStallUntil, _cycle + 1);
+}
+
+} // namespace dde::core

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * The out-of-order superscalar core.
+ *
+ * A stage-per-cycle model in the SimpleScalar tradition: each cycle
+ * runs commit -> writeback -> issue -> rename -> fetch, over a ROB,
+ * an issue queue with wakeup/select, a renamed physical register
+ * file, split load/store queues with store-to-load forwarding and
+ * conservative disambiguation, pipelined function units, gshare/BTB/
+ * RAS front end, and an L1I/L1D/L2 hierarchy. Wrong-path instructions
+ * are fetched, renamed and executed for real; stores only touch
+ * memory at commit, so recovery is precise.
+ *
+ * Dead-instruction elimination (the paper's mechanism) hooks in at
+ * three points:
+ *  - rename: look up the dead-instruction predictor with the
+ *    instruction's future control-flow signature; a predicted-dead
+ *    instruction allocates no physical register, skips the issue
+ *    queue, register read, execution and D-cache access, and leaves a
+ *    poison token in the rename map (stores still generate their
+ *    address for disambiguation);
+ *  - rename/LSQ: a non-eliminated consumer that sources a poison
+ *    token, or a load that hits an eliminated store's address, is a
+ *    dead misprediction. Under the default UEB recovery the consumer
+ *    parks in place and is handed the value when the producer
+ *    shadow-executes at commit (or reads it from the
+ *    unverified-elimination buffer if the producer already
+ *    committed) — no squash. The SquashProducer ablation instead
+ *    flushes from the eliminated producer, branch-style;
+ *  - commit: eliminations retire value-free once *verified* (no
+ *    older in-flight event can re-expose their poison token);
+ *    unverified ones are shadow-executed into the UEB. The
+ *    dead-value detector observes the committed stream and trains
+ *    the predictor.
+ */
+
+#ifndef DDE_CORE_CORE_HH
+#define DDE_CORE_CORE_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "common/stats.hh"
+#include "core/config.hh"
+#include "core/dyninst.hh"
+#include "core/rename.hh"
+#include "emu/emulator.hh"
+#include "predictor/branch.hh"
+#include "predictor/dead_predictor.hh"
+#include "predictor/detector.hh"
+#include "prog/program.hh"
+
+namespace dde::core
+{
+
+/** The core. Construct with a program, tick() until halted(). */
+class Core
+{
+  public:
+    Core(const prog::Program &program, const CoreConfig &cfg);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Run to completion (commit of halt) or the cycle limit. */
+    void run(Cycle max_cycles = 1'000'000'000);
+
+    bool halted() const { return _halted; }
+    Cycle cycles() const { return _cycle; }
+    std::uint64_t committedInsts() const { return _committedInsts; }
+    double
+    ipc() const
+    {
+        return _cycle ? double(_committedInsts) / double(_cycle) : 0.0;
+    }
+
+    const emu::Memory &memoryState() const { return _memState; }
+    const std::vector<RegVal> &output() const { return _output; }
+
+    /** Architectural register value via the retirement rename map. */
+    RegVal archReg(RegId r) const;
+    /** True if the architectural register currently maps to a poison
+     * token (its last writer was eliminated). */
+    bool archRegPoisoned(RegId r) const;
+
+    stats::Group &stats() { return _stats; }
+    const stats::Group &stats() const { return _stats; }
+    cache::Hierarchy &caches() { return _caches; }
+
+    /** Commit observer (used for co-simulation checks). */
+    void onCommit(std::function<void(const DynInst &)> cb)
+    {
+        _onCommit = std::move(cb);
+    }
+
+    /**
+     * Idealized-predictor labels for ElimConfig::oraclePredictor:
+     * labels[staticIdx][k] tells whether the k-th committed instance
+     * of that static instruction is (detector-)dead.
+     */
+    void setOracleLabels(std::vector<std::vector<bool>> labels)
+    {
+        _oracleLabels = std::move(labels);
+    }
+
+  private:
+    struct RobEntry
+    {
+        InstPtr inst;
+        bool hasMapping = false;
+        RegId archDest = 0;
+        RatEntry prevMap;
+    };
+
+    // --- pipeline stages (called in reverse order each cycle) -------
+    void commit();
+    void writeback();
+    void issue();
+    void rename();
+    void fetch();
+
+    // --- helpers ------------------------------------------------------
+    void squashFrom(SeqNum first_bad, Addr new_pc,
+                    std::uint32_t new_history);
+    void redirectFetch(Addr new_pc);
+    predictor::FutureSig captureFutureSig() const;
+    bool tryEliminate(const InstPtr &inst);
+    void deadMispredictRecovery(SeqNum producer_seq,
+                                const char *trigger);
+    bool verifyEliminated(std::size_t rob_index);
+    void repairAtHead();
+    void shadowExecute(const InstPtr &inst);
+    RegVal retireSrcVal(RegId r, const InstPtr &inst);
+    void uebStoreInsert(Addr word, RegVal data);
+    void uebStoreFlushAll();
+    bool uebStoreLookup(Addr word, RegVal &data) const;
+    void uebStoreInvalidate(Addr word);
+    /** Materialize a committed-unverified producer's value into a
+     * fresh physical register, fixing the rename map and any saved
+     * prior mappings that still reference its poison token. */
+    PhysRegId uebMaterialize(RegId arch_reg, SeqNum producer_seq);
+    void unparkConsumers(const InstPtr &producer, RegVal value);
+    const char *verifyFailReason(std::size_t rob_index) const;
+    void firePendingPoison();
+    void resolveBranch(const InstPtr &inst);
+    void executeInst(const InstPtr &inst, Cycle issue_cycle);
+    bool loadBlocked(const InstPtr &load, InstPtr &dead_store_hit,
+                     InstPtr &forward_from) const;
+    RegVal loadValue(const InstPtr &load, const InstPtr &forward_from);
+    void feedDetector(const InstPtr &inst);
+    void trainFromEvents();
+    InstPtr findInRob(SeqNum seq) const;
+
+    // --- configuration / substrate -----------------------------------
+    const prog::Program &_program;
+    CoreConfig _cfg;
+    cache::Hierarchy _caches;
+    predictor::FrontendPredictor _frontend;
+    predictor::DeadInstPredictor _deadPredictor;
+    predictor::DeadValueDetector _detector;
+    std::vector<predictor::DeadEvent> _events;
+    std::vector<std::vector<bool>> _oracleLabels;
+    std::vector<std::uint32_t> _oracleCursor;
+
+    // --- architectural / machine state ---------------------------------
+    emu::Memory _memState;   ///< committed memory
+    std::vector<RegVal> _output;
+    PhysRegFile _prf;
+    FreeList _freeList;
+    RenameMap _rat;
+    std::vector<RatEntry> _retireRat;  ///< committed mappings
+
+    // --- pipeline structures --------------------------------------------
+    std::deque<InstPtr> _fetchQueue;
+    std::deque<RobEntry> _rob;
+    std::vector<InstPtr> _iq;
+    std::deque<InstPtr> _loadQueue;
+    std::deque<InstPtr> _storeQueue;
+    std::multimap<Cycle, InstPtr> _completions;
+
+    // --- fetch state -------------------------------------------------
+    Addr _pc;
+    bool _fetchValid = true;
+    bool _fetchHalted = false;
+    Cycle _fetchStallUntil = 0;
+    Addr _lastFetchLine = ~Addr(0);
+
+    // --- misc state -----------------------------------------------------
+    Cycle _cycle = 0;
+    SeqNum _nextSeq = 1;
+    std::uint64_t _committedInsts = 0;
+    bool _halted = false;
+    Cycle _lastCommitCycle = 0;
+    Cycle _divBusyUntil = 0;
+    /** PCs temporarily barred from elimination after a misprediction;
+     * value = clean commits left before the bar lifts. */
+    std::unordered_map<Addr, unsigned> _noElim;
+    /** PCs that failed commit-time verification; never re-eliminated. */
+    std::unordered_set<Addr> _stickyNoElim;
+    SeqNum _headStallSeq = 0;
+    Cycle _headStallSince = 0;
+    Cycle _headStallFirst = 0;
+    /** Head repairs seen per PC; repeat offenders go sticky. */
+    std::unordered_map<Addr, unsigned> _repairCount;
+
+    /** Unverified-elimination buffer, register side: the latest
+     * committed-unverified eliminated producer per architectural
+     * register, with its shadow-executed value. */
+    struct UebRegEntry
+    {
+        bool valid = false;
+        SeqNum producer = 0;
+        RegVal value = 0;
+    };
+    std::array<UebRegEntry, kNumArchRegs> _uebReg{};
+
+    /** Memory side: addresses of committed-unverified dead stores
+     * with their (shadow-captured) data; evictions flush. */
+    struct UebStoreEntry
+    {
+        bool valid = false;
+        Addr word = 0;
+        RegVal data = 0;
+        std::uint64_t lru = 0;
+    };
+    std::vector<UebStoreEntry> _uebStore;
+    std::uint64_t _uebLru = 0;
+
+    std::function<void(const DynInst &)> _onCommit;
+    stats::Group _stats;
+
+    // Cached counters (hot-path stats).
+    stats::Counter &_sFetched;
+    stats::Counter &_sRenamed;
+    stats::Counter &_sIssued;
+    stats::Counter &_sCommitted;
+    stats::Counter &_sCommittedElim;
+    stats::Counter &_sSquashedInsts;
+    stats::Counter &_sBranchMispredicts;
+    stats::Counter &_sDeadMispredicts;
+    stats::Counter &_sPhysAllocs;
+    stats::Counter &_sRfReads;
+    stats::Counter &_sRfWrites;
+    stats::Counter &_sDcacheLoads;
+    stats::Counter &_sDcacheStores;
+    stats::Counter &_sForwards;
+    stats::Counter &_sPredictedDead;
+    stats::Counter &_sDetectorDead;
+    stats::Counter &_sDetectorLive;
+    stats::Counter &_sVerifyStallCycles;
+    stats::Counter &_sUnverifiedRecoveries;
+    stats::Counter &_sStallRob;
+    stats::Counter &_sStallIq;
+    stats::Counter &_sStallLsq;
+    stats::Counter &_sStallPhys;
+    stats::Counter &_sRecoverRename;
+    stats::Counter &_sRecoverLsq;
+    stats::Counter &_sRepairs;
+    stats::Counter &_sRepairPoisoned;
+    stats::Counter &_sShadowExecs;
+    stats::Counter &_sUebRepairs;
+    stats::Counter &_sUebStoreFlushes;
+    stats::Histogram &_hRobOccupancy;
+    stats::Histogram &_hIqOccupancy;
+};
+
+} // namespace dde::core
+
+#endif // DDE_CORE_CORE_HH

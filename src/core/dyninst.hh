@@ -1,0 +1,106 @@
+/**
+ * @file
+ * The in-flight dynamic instruction record shared by all pipeline
+ * stages of the out-of-order core.
+ */
+
+#ifndef DDE_CORE_DYNINST_HH
+#define DDE_CORE_DYNINST_HH
+
+#include <array>
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hh"
+#include "isa/instruction.hh"
+#include "predictor/dead_predictor.hh"
+
+namespace dde::core
+{
+
+/** Sentinel for "no physical register". */
+constexpr PhysRegId kNoPhysReg = 0xffff;
+
+/** One in-flight dynamic instruction. */
+struct DynInst
+{
+    // --- identity ---------------------------------------------------
+    SeqNum seq = 0;
+    Addr pc = 0;
+    std::uint32_t staticIdx = 0;
+    isa::Instruction inst;
+
+    // --- fetch / prediction ------------------------------------------
+    Cycle fetchCycle = 0;
+    bool predTaken = false;
+    Addr predTarget = 0;        ///< predicted next PC (always set)
+    std::uint32_t histAtPred = 0;  ///< gshare history before this inst
+
+    // --- rename -------------------------------------------------------
+    unsigned numSrcs = 0;
+    std::array<PhysRegId, 2> srcPhys{kNoPhysReg, kNoPhysReg};
+    std::array<bool, 2> srcReady{true, true};
+    /** UEB-forwarded operand values (producer committed unverified
+     * while this consumer was parked). */
+    std::array<RegVal, 2> srcOverride{0, 0};
+    std::array<bool, 2> srcIsOverride{false, false};
+    PhysRegId destPhys = kNoPhysReg;
+
+    // --- dead-instruction machinery ------------------------------------
+    predictor::FutureSig sig = 0;  ///< future-CF signature at rename
+    bool sigValid = false;
+    bool eliminated = false;       ///< predicted dead and skipped
+    /** Elimination verified safe to retire: the destination has been
+     * overwritten and no older in-flight event can re-expose the
+     * poison token (see Core::verifyEliminated). */
+    bool verified = false;
+    /** Non-zero: this instruction sourced the poison token left by the
+     * eliminated producer with this sequence number. It is parked (it
+     * will never issue); recovery fires once it is squash-safe, so a
+     * wrong-path poison hit costs nothing. */
+    SeqNum poisonProducer = 0;
+    bool poisonFromLsq = false;
+    /** Per-source outstanding poison producer (0 = clean). */
+    std::array<SeqNum, 2> srcPoisonSeq{0, 0};
+    /** Re-executed in place at the ROB head after failing to verify
+     * (sources read from retirement state). */
+    bool repaired = false;
+    /** A repair source was itself a committed poison token (possible
+     * only inside a genuinely dead chain, where the value is unused). */
+    bool repairPoisoned = false;
+    std::uint32_t oracleIdx = ~0u; ///< per-static instance number
+
+    // --- status ---------------------------------------------------------
+    bool inIq = false;
+    bool issued = false;
+    bool completed = false;
+    bool squashed = false;
+
+    // --- execution -------------------------------------------------------
+    RegVal result = 0;
+    Addr effAddr = 0;
+    bool addrReady = false;
+    RegVal storeData = 0;
+    bool actualTaken = false;
+    Addr actualTarget = 0;
+    bool mispredictedBranch = false;
+
+    bool isLoad() const { return inst.isLoad(); }
+    bool isStore() const { return inst.isStore(); }
+    bool isControl() const { return inst.isControl(); }
+
+    /** A trainable producer: writes a register or stores, without a
+     * control/output side effect. */
+    bool
+    isDeadCandidate() const
+    {
+        return !inst.hasSideEffect() &&
+               (inst.writesReg() || inst.isStore());
+    }
+};
+
+using InstPtr = std::shared_ptr<DynInst>;
+
+} // namespace dde::core
+
+#endif // DDE_CORE_DYNINST_HH

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Register renaming state: physical register file with ready bits, the
+ * free list, and the rename map (RAT) with poison support for
+ * eliminated producers.
+ *
+ * A RAT entry either names a physical register or is *poisoned*: the
+ * architectural register's latest producer was eliminated as predicted
+ * dead, so no physical register holds its value. A non-eliminated
+ * consumer renaming a poisoned source is, by definition, a dead-
+ * instruction misprediction and triggers recovery.
+ */
+
+#ifndef DDE_CORE_RENAME_HH
+#define DDE_CORE_RENAME_HH
+
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "core/dyninst.hh"
+
+namespace dde::core
+{
+
+/** Physical register file plus scoreboard. */
+class PhysRegFile
+{
+  public:
+    explicit PhysRegFile(unsigned num_regs)
+        : _values(num_regs, 0), _ready(num_regs, false)
+    {
+        // Physical register 0 permanently holds the architectural
+        // zero register.
+        _ready[0] = true;
+    }
+
+    unsigned numRegs() const { return _values.size(); }
+
+    RegVal
+    read(PhysRegId reg) const
+    {
+        panic_if(!_ready[reg], "reading not-ready phys reg ", reg);
+        return _values[reg];
+    }
+
+    void
+    write(PhysRegId reg, RegVal value)
+    {
+        panic_if(reg == 0, "writing phys reg 0");
+        _values[reg] = value;
+        _ready[reg] = true;
+    }
+
+    bool isReady(PhysRegId reg) const { return _ready[reg]; }
+    void clearReady(PhysRegId reg)
+    {
+        panic_if(reg == 0, "clearing phys reg 0");
+        _ready[reg] = false;
+    }
+
+  private:
+    std::vector<RegVal> _values;
+    std::vector<bool> _ready;
+};
+
+/** LIFO free list of physical registers (phys 0 is never free). */
+class FreeList
+{
+  public:
+    explicit FreeList(unsigned num_regs)
+    {
+        for (PhysRegId r = num_regs; r-- > 1;)
+            _free.push_back(r);
+    }
+
+    bool empty() const { return _free.empty(); }
+    std::size_t size() const { return _free.size(); }
+
+    PhysRegId
+    alloc()
+    {
+        panic_if(_free.empty(), "free list underflow");
+        PhysRegId r = _free.back();
+        _free.pop_back();
+        return r;
+    }
+
+    void
+    release(PhysRegId reg)
+    {
+        panic_if(reg == 0 || reg == kNoPhysReg,
+                 "releasing bad phys reg ", reg);
+        _free.push_back(reg);
+    }
+
+  private:
+    std::vector<PhysRegId> _free;
+};
+
+/** One rename-map entry. */
+struct RatEntry
+{
+    PhysRegId phys = 0;
+    bool poisoned = false;
+    SeqNum producerSeq = 0;  ///< valid when poisoned
+};
+
+/** The front-end rename map. */
+class RenameMap
+{
+  public:
+    RenameMap()
+    {
+        // All architectural registers start mapped to phys 0 (value
+        // 0), matching the emulator's zeroed register file; writes at
+        // rename immediately remap them.
+        _map.resize(kNumArchRegs);
+    }
+
+    const RatEntry &operator[](RegId r) const { return _map[r]; }
+
+    void
+    set(RegId r, const RatEntry &entry)
+    {
+        panic_if(r == kRegZero, "remapping the zero register");
+        _map[r] = entry;
+    }
+
+  private:
+    std::vector<RatEntry> _map;
+};
+
+} // namespace dde::core
+
+#endif // DDE_CORE_RENAME_HH

@@ -1,0 +1,212 @@
+#include "deadness/analysis.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.hh"
+
+namespace dde::deadness
+{
+
+namespace
+{
+
+constexpr std::uint32_t kNone = ~0u;
+
+/** Per-record def-use bookkeeping built in one forward pass. */
+struct DefUse
+{
+    /** First consumer of each producing record (kNone if none); extra
+     * consumers spill into `moreConsumers`. Most values have 0-2
+     * readers, so this keeps memory linear in the trace. */
+    std::vector<std::uint32_t> firstConsumer;
+    std::vector<std::uint32_t> secondConsumer;
+    std::unordered_map<std::uint32_t, std::vector<std::uint32_t>>
+        moreConsumers;
+    /** Record was overwritten (reg redefined / memory word restored)
+     * later in the trace — its fate is resolved. */
+    std::vector<bool> overwritten;
+
+    void
+    addUse(std::uint32_t producer, std::uint32_t consumer)
+    {
+        if (firstConsumer[producer] == kNone)
+            firstConsumer[producer] = consumer;
+        else if (secondConsumer[producer] == kNone)
+            secondConsumer[producer] = consumer;
+        else
+            moreConsumers[producer].push_back(consumer);
+    }
+};
+
+} // namespace
+
+Analysis
+analyze(const prog::Program &program,
+        const std::vector<emu::TraceRecord> &trace, const Config &config)
+{
+    const std::size_t n = trace.size();
+    Analysis result;
+    result.dead.assign(n, false);
+    result.firstLevel.assign(n, false);
+    result.dynTotal = n;
+    result.perStatic.assign(program.numInsts(), StaticCounts{});
+
+    DefUse du;
+    du.firstConsumer.assign(n, kNone);
+    du.secondConsumer.assign(n, kNone);
+    du.overwritten.assign(n, false);
+
+    // Forward pass: connect each value read to its producing record.
+    std::array<std::uint32_t, kNumArchRegs> last_reg_def;
+    last_reg_def.fill(kNone);
+    std::unordered_map<Addr, std::uint32_t> last_mem_def;
+
+    for (std::size_t k = 0; k < n; ++k) {
+        const auto &rec = trace[k];
+        const isa::Instruction &inst = program.inst(rec.staticIdx);
+        auto ki = static_cast<std::uint32_t>(k);
+
+        auto srcs = inst.srcRegs();
+        for (unsigned s = 0; s < inst.numSrcs(); ++s) {
+            std::uint32_t producer = last_reg_def[srcs[s]];
+            if (producer != kNone)
+                du.addUse(producer, ki);
+        }
+        if (inst.isLoad()) {
+            auto it = last_mem_def.find(emu::Memory::wordAddr(rec.effAddr));
+            if (it != last_mem_def.end())
+                du.addUse(it->second, ki);
+        }
+        if (inst.writesReg()) {
+            std::uint32_t prev = last_reg_def[inst.rd];
+            if (prev != kNone)
+                du.overwritten[prev] = true;
+            last_reg_def[inst.rd] = ki;
+        }
+        if (inst.isStore()) {
+            Addr word = emu::Memory::wordAddr(rec.effAddr);
+            auto [it, inserted] = last_mem_def.try_emplace(word, ki);
+            if (!inserted) {
+                du.overwritten[it->second] = true;
+                it->second = ki;
+            }
+        }
+    }
+
+    // Backward pass: a candidate is dead iff its fate is resolved
+    // (overwritten) and no reader of its value is live.
+    for (std::size_t k = n; k-- > 0;) {
+        const auto &rec = trace[k];
+        const isa::Instruction &inst = program.inst(rec.staticIdx);
+        auto ki = static_cast<std::uint32_t>(k);
+
+        bool writes_value = inst.writesReg();
+        bool is_store = inst.isStore() && config.trackStores;
+        bool candidate =
+            !inst.hasSideEffect() && (writes_value || is_store);
+        // jal/jalr write a register but are control instructions;
+        // hasSideEffect() already excludes them (never dead).
+
+        result.perStatic[rec.staticIdx].execs++;
+        result.perOrigin[static_cast<unsigned>(
+                             program.origin(rec.staticIdx))]
+            .execs++;
+
+        if (!candidate)
+            continue;
+        result.dynCandidates++;
+
+        if (!du.overwritten[ki])
+            continue;  // unresolved at trace end: conservatively live
+
+        bool has_consumer = du.firstConsumer[ki] != kNone;
+        bool any_live = false;
+        auto consumer_live = [&](std::uint32_t c) {
+            return !config.transitive || !result.dead[c];
+        };
+        if (has_consumer) {
+            if (consumer_live(du.firstConsumer[ki]))
+                any_live = true;
+            if (!any_live && du.secondConsumer[ki] != kNone &&
+                consumer_live(du.secondConsumer[ki])) {
+                any_live = true;
+            }
+            if (!any_live) {
+                auto it = du.moreConsumers.find(ki);
+                if (it != du.moreConsumers.end()) {
+                    for (std::uint32_t c : it->second) {
+                        if (consumer_live(c)) {
+                            any_live = true;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+
+        if (any_live)
+            continue;
+        if (has_consumer && !config.transitive)
+            continue;
+
+        result.dead[k] = true;
+        result.dynDead++;
+        result.perStatic[rec.staticIdx].deads++;
+        result.perOrigin[static_cast<unsigned>(
+                             program.origin(rec.staticIdx))]
+            .deads++;
+        if (!has_consumer) {
+            result.firstLevel[k] = true;
+            result.firstLevelDead++;
+        } else {
+            result.transitiveDead++;
+        }
+        if (inst.isStore())
+            result.deadStores++;
+    }
+
+    return result;
+}
+
+std::vector<double>
+Analysis::localityCurve(std::size_t max_points) const
+{
+    std::vector<std::uint64_t> dead_counts;
+    for (const StaticCounts &sc : perStatic) {
+        if (sc.deads > 0)
+            dead_counts.push_back(sc.deads);
+    }
+    std::sort(dead_counts.rbegin(), dead_counts.rend());
+    std::vector<double> curve;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0;
+         i < dead_counts.size() && i < max_points; ++i) {
+        cumulative += dead_counts[i];
+        curve.push_back(dynDead ? double(cumulative) / double(dynDead)
+                                : 0.0);
+    }
+    return curve;
+}
+
+Analysis::StaticClasses
+Analysis::classifyStatics() const
+{
+    StaticClasses cls;
+    for (const StaticCounts &sc : perStatic) {
+        if (sc.execs == 0)
+            continue;
+        if (sc.deads == 0) {
+            cls.neverDead++;
+        } else if (sc.deads == sc.execs) {
+            cls.alwaysDead++;
+            cls.dynFromAlways += sc.deads;
+        } else {
+            cls.partiallyDead++;
+            cls.dynFromPartial += sc.deads;
+        }
+    }
+    return cls;
+}
+
+} // namespace dde::deadness

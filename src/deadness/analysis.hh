@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Trace-based dead-instruction oracle.
+ *
+ * Follows the paper's definitions: a dynamic instruction instance is
+ * *dead* when the value it produces is never used — its destination
+ * register is overwritten before any read (first-level dead), every
+ * one of its readers is itself dead (transitively dead), or, for
+ * stores, the memory word is overwritten before any load reads it.
+ * Instructions with architectural side effects (control flow, output)
+ * are never dead.
+ *
+ * A definition that is never overwritten by the end of the trace is
+ * conservatively treated as useful (its deadness is unresolved), which
+ * matches what a commit-time hardware detector can ever observe.
+ */
+
+#ifndef DDE_DEADNESS_ANALYSIS_HH
+#define DDE_DEADNESS_ANALYSIS_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "emu/emulator.hh"
+#include "prog/program.hh"
+
+namespace dde::deadness
+{
+
+/** Analysis knobs. */
+struct Config
+{
+    /** Propagate deadness through chains (oracle-only concept). */
+    bool transitive = true;
+    /** Treat overwritten-before-load stores as dead. */
+    bool trackStores = true;
+};
+
+/** Per-static-instruction aggregate. */
+struct StaticCounts
+{
+    std::uint64_t execs = 0;
+    std::uint64_t deads = 0;
+};
+
+/** Full oracle result over one committed-instruction trace. */
+struct Analysis
+{
+    /** Verdict per trace record (same indexing as the input trace). */
+    std::vector<bool> dead;
+    /** Dead with no readers at all (first-level). Subset of dead. */
+    std::vector<bool> firstLevel;
+
+    std::uint64_t dynTotal = 0;       ///< all committed instructions
+    std::uint64_t dynCandidates = 0;  ///< reg-writers + stores
+    std::uint64_t dynDead = 0;
+    std::uint64_t firstLevelDead = 0;
+    std::uint64_t transitiveDead = 0;
+    std::uint64_t deadStores = 0;
+
+    /** Aggregates indexed by static instruction. */
+    std::vector<StaticCounts> perStatic;
+    /** Aggregates by compiler origin (prog::InstOrigin). */
+    std::array<StaticCounts, prog::kNumOrigins> perOrigin{};
+
+    double
+    deadFraction() const
+    {
+        return dynTotal ? double(dynDead) / double(dynTotal) : 0.0;
+    }
+
+    /**
+     * Locality curve (paper Fig. "small set of static instructions"):
+     * sort static instructions by dead-instance count, return the
+     * cumulative fraction of all dead instances covered by the top-k
+     * statics, for k = 1..n (capped at `max_points`).
+     */
+    std::vector<double> localityCurve(std::size_t max_points = 64) const;
+
+    /** Static classification: {always, partially, never} dead counts
+     * among statics that executed at least once and write a value. */
+    struct StaticClasses
+    {
+        std::uint64_t alwaysDead = 0;
+        std::uint64_t partiallyDead = 0;
+        std::uint64_t neverDead = 0;
+        /** Dynamic dead instances produced by each class. */
+        std::uint64_t dynFromAlways = 0;
+        std::uint64_t dynFromPartial = 0;
+    };
+    StaticClasses classifyStatics() const;
+};
+
+/** Run the oracle over a trace. */
+Analysis analyze(const prog::Program &program,
+                 const std::vector<emu::TraceRecord> &trace,
+                 const Config &config = {});
+
+} // namespace dde::deadness
+
+#endif // DDE_DEADNESS_ANALYSIS_HH

@@ -1,0 +1,135 @@
+#include "emu/emulator.hh"
+
+#include "common/logging.hh"
+#include "isa/semantics.hh"
+
+namespace dde::emu
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::OpClass;
+
+Emulator::Emulator(const prog::Program &program)
+    : _program(program), _pc(program.entryPc())
+{
+    fatal_if(program.numInsts() == 0, "cannot run an empty program");
+    _regs[kRegSp] = prog::kStackTop;
+    _regs[kRegGp] = prog::kDataBase;
+    for (const auto &kv : program.initData())
+        _memory.write(kv.first, kv.second);
+}
+
+bool
+Emulator::step()
+{
+    if (_halted)
+        return false;
+
+    fatal_if(!_program.containsPc(_pc),
+             "pc ", _pc, " escaped the text section (program '",
+             _program.name(), "')");
+    std::size_t static_idx = _program.indexOf(_pc);
+    const Instruction &inst = _program.inst(static_idx);
+
+    TraceRecord rec;
+    rec.staticIdx = static_cast<std::uint32_t>(static_idx);
+    rec.taken = false;
+    rec.effAddr = 0;
+
+    Addr next_pc = _pc + 4;
+    RegVal s1 = _regs[inst.rs1];
+    RegVal s2 = _regs[inst.rs2];
+
+    switch (inst.info().cls) {
+      case OpClass::IntAlu:
+      case OpClass::IntMult:
+      case OpClass::IntDiv: {
+        RegVal rhs = inst.info().format == isa::Format::R
+                         ? s2
+                         : isa::immOperand(inst);
+        RegVal result = isa::evalAlu(inst.op, s1, rhs);
+        if (inst.rd != kRegZero)
+            _regs[inst.rd] = result;
+        break;
+      }
+      case OpClass::Load: {
+        Addr addr = isa::effectiveAddr(inst, s1);
+        fatal_if(addr % 8 != 0, "unaligned load at pc ", _pc,
+                 " addr ", addr);
+        rec.effAddr = addr;
+        if (inst.rd != kRegZero)
+            _regs[inst.rd] = _memory.read(addr);
+        break;
+      }
+      case OpClass::Store: {
+        Addr addr = isa::effectiveAddr(inst, s1);
+        fatal_if(addr % 8 != 0, "unaligned store at pc ", _pc,
+                 " addr ", addr);
+        rec.effAddr = addr;
+        _memory.write(addr, s2);
+        break;
+      }
+      case OpClass::Branch: {
+        bool taken = isa::evalBranch(inst.op, s1, s2);
+        rec.taken = taken;
+        if (taken)
+            next_pc = inst.branchTarget(_pc);
+        break;
+      }
+      case OpClass::Jump: {
+        rec.taken = true;
+        Addr target;
+        if (inst.op == Opcode::Jalr)
+            target = (s1 + static_cast<Addr>(inst.imm)) & ~Addr(3);
+        else
+            target = inst.branchTarget(_pc);
+        if (inst.rd != kRegZero)
+            _regs[inst.rd] = _pc + 4;
+        next_pc = target;
+        break;
+      }
+      case OpClass::Other:
+        if (inst.op == Opcode::Out) {
+            _output.push_back(s1);
+        } else if (inst.op == Opcode::Halt) {
+            _halted = true;
+        }
+        break;
+    }
+
+    if (_trace)
+        _trace->push_back(rec);
+    ++_instCount;
+    _pc = next_pc;
+    return !_halted;
+}
+
+void
+Emulator::run(std::uint64_t max_insts, std::vector<TraceRecord> *trace)
+{
+    _trace = trace;
+    while (!_halted) {
+        fatal_if(_instCount >= max_insts,
+                 "program '", _program.name(), "' exceeded ", max_insts,
+                 " instructions without halting");
+        step();
+    }
+    _trace = nullptr;
+}
+
+RunResult
+runProgram(const prog::Program &program, std::uint64_t max_insts,
+           bool capture_trace)
+{
+    Emulator emulator(program);
+    RunResult result;
+    emulator.run(max_insts, capture_trace ? &result.trace : nullptr);
+    result.regs = emulator.regs();
+    result.memory = emulator.memory();
+    result.output = emulator.output();
+    result.instCount = emulator.instCount();
+    return result;
+}
+
+} // namespace dde::emu

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Functional (architectural) emulator.
+ *
+ * Executes a Program at one instruction per step with exact ISA
+ * semantics. Serves three roles:
+ *  - golden reference for the out-of-order core (final-state checks),
+ *  - trace producer for the deadness oracle and trace-driven predictor
+ *    studies,
+ *  - substrate for the example applications.
+ */
+
+#ifndef DDE_EMU_EMULATOR_HH
+#define DDE_EMU_EMULATOR_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "prog/program.hh"
+
+namespace dde::emu
+{
+
+/** One committed dynamic instruction, in compact trace form. */
+struct TraceRecord
+{
+    std::uint32_t staticIdx;  ///< index into Program text
+    bool taken;               ///< branch outcome (branches/jumps)
+    Addr effAddr;             ///< effective address (memory ops)
+};
+
+/** Byte-addressed, word-granularity (8-byte) sparse memory. */
+class Memory
+{
+  public:
+    /** Read the aligned 8-byte word containing addr. */
+    RegVal
+    read(Addr addr) const
+    {
+        auto it = _words.find(wordAddr(addr));
+        return it == _words.end() ? 0 : it->second;
+    }
+
+    void write(Addr addr, RegVal value) { _words[wordAddr(addr)] = value; }
+
+    static Addr wordAddr(Addr addr) { return addr & ~Addr(7); }
+
+    const std::unordered_map<Addr, RegVal> &words() const
+    {
+        return _words;
+    }
+
+    bool operator==(const Memory &other) const
+    {
+        // Compare only non-zero words: unwritten == written-zero.
+        auto covers = [](const Memory &a, const Memory &b) {
+            for (const auto &kv : a._words) {
+                if (kv.second != b.read(kv.first))
+                    return false;
+            }
+            return true;
+        };
+        return covers(*this, other) && covers(other, *this);
+    }
+
+  private:
+    std::unordered_map<Addr, RegVal> _words;
+};
+
+/** The emulator itself; also usable as a step-wise oracle. */
+class Emulator
+{
+  public:
+    explicit Emulator(const prog::Program &program);
+
+    /** Execute one instruction. Returns false once halted. */
+    bool step();
+
+    /**
+     * Run until halt or the instruction limit.
+     * @param max_insts safety limit; fatal() if exceeded (the workload
+     *        generators must always produce terminating programs).
+     * @param trace optional sink for the committed-instruction trace.
+     */
+    void run(std::uint64_t max_insts = 100'000'000,
+             std::vector<TraceRecord> *trace = nullptr);
+
+    bool halted() const { return _halted; }
+    Addr pc() const { return _pc; }
+    std::uint64_t instCount() const { return _instCount; }
+
+    RegVal reg(RegId r) const { return _regs[r]; }
+    const std::array<RegVal, kNumArchRegs> &regs() const { return _regs; }
+    const Memory &memory() const { return _memory; }
+    const std::vector<RegVal> &output() const { return _output; }
+
+    const prog::Program &program() const { return _program; }
+
+  private:
+    const prog::Program &_program;
+    std::array<RegVal, kNumArchRegs> _regs{};
+    Memory _memory;
+    std::vector<RegVal> _output;
+    Addr _pc;
+    bool _halted = false;
+    std::uint64_t _instCount = 0;
+    std::vector<TraceRecord> *_trace = nullptr;
+};
+
+/** Convenience: run a program to completion and capture its trace. */
+struct RunResult
+{
+    std::vector<TraceRecord> trace;
+    std::array<RegVal, kNumArchRegs> regs;
+    Memory memory;
+    std::vector<RegVal> output;
+    std::uint64_t instCount;
+};
+
+RunResult runProgram(const prog::Program &program,
+                     std::uint64_t max_insts = 100'000'000,
+                     bool capture_trace = true);
+
+} // namespace dde::emu
+
+#endif // DDE_EMU_EMULATOR_HH

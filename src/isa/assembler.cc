@@ -1,0 +1,284 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "isa/regnames.hh"
+
+namespace dde::isa
+{
+
+namespace
+{
+
+/** A tokenized source line: mnemonic plus comma-separated operands. */
+struct Line
+{
+    std::size_t number;  ///< 1-based source line
+    std::string mnemonic;
+    std::vector<std::string> operands;
+};
+
+std::string
+strip(const std::string &s)
+{
+    std::size_t begin = s.find_first_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    std::size_t end = s.find_last_not_of(" \t\r");
+    return s.substr(begin, end - begin + 1);
+}
+
+[[noreturn]] void
+syntaxError(std::size_t line, const std::string &what)
+{
+    fatal("asm line ", line, ": ", what);
+}
+
+RegId
+parseReg(const Line &line, const std::string &token)
+{
+    auto reg = parseRegName(token);
+    if (!reg)
+        syntaxError(line.number, "bad register '" + token + "'");
+    return *reg;
+}
+
+std::int64_t
+parseImm(const Line &line, const std::string &token)
+{
+    std::int64_t value = 0;
+    const char *first = token.data();
+    const char *last = token.data() + token.size();
+    auto [ptr, ec] = std::from_chars(first, last, value);
+    if (ec != std::errc() || ptr != last)
+        syntaxError(line.number, "bad immediate '" + token + "'");
+    return value;
+}
+
+/** Parse "imm(base)" memory operand syntax. */
+void
+parseMemOperand(const Line &line, const std::string &token,
+                std::int64_t &imm, RegId &base)
+{
+    std::size_t open = token.find('(');
+    std::size_t close = token.find(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open || close != token.size() - 1) {
+        syntaxError(line.number, "bad memory operand '" + token + "'");
+    }
+    std::string imm_part = strip(token.substr(0, open));
+    if (imm_part.empty())
+        imm_part = "0";
+    imm = parseImm(line, imm_part);
+    base = parseReg(line,
+                    strip(token.substr(open + 1, close - open - 1)));
+}
+
+/** Resolve a branch target: label or numeric displacement. */
+std::int64_t
+resolveTarget(const Line &line, const std::string &token,
+              std::size_t inst_index,
+              const std::map<std::string, std::size_t> &labels)
+{
+    auto it = labels.find(token);
+    if (it != labels.end()) {
+        return static_cast<std::int64_t>(it->second) -
+               static_cast<std::int64_t>(inst_index);
+    }
+    if (!token.empty() &&
+        (std::isdigit(static_cast<unsigned char>(token[0])) ||
+         token[0] == '-' || token[0] == '+')) {
+        return parseImm(line, token);
+    }
+    syntaxError(line.number, "undefined label '" + token + "'");
+}
+
+void
+expectOperands(const Line &line, std::size_t n)
+{
+    if (line.operands.size() != n) {
+        syntaxError(line.number,
+                    "expected " + std::to_string(n) + " operands, got " +
+                    std::to_string(line.operands.size()));
+    }
+}
+
+} // namespace
+
+AsmResult
+assemble(const std::string &source)
+{
+    AsmResult result;
+    std::vector<Line> lines;
+
+    // Pass 1: tokenize, record label positions.
+    std::istringstream in(source);
+    std::string raw;
+    std::size_t line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        std::size_t comment = raw.find('#');
+        if (comment != std::string::npos)
+            raw = raw.substr(0, comment);
+        std::string text = strip(raw);
+
+        // Consume any leading "label:" definitions on the line.
+        for (;;) {
+            std::size_t colon = text.find(':');
+            if (colon == std::string::npos)
+                break;
+            std::string label = strip(text.substr(0, colon));
+            if (label.empty() ||
+                label.find_first_of(" \t") != std::string::npos) {
+                syntaxError(line_no, "bad label '" + label + "'");
+            }
+            if (result.labels.count(label))
+                syntaxError(line_no, "duplicate label '" + label + "'");
+            result.labels[label] = lines.size();
+            text = strip(text.substr(colon + 1));
+        }
+        if (text.empty())
+            continue;
+
+        Line line;
+        line.number = line_no;
+        std::size_t space = text.find_first_of(" \t");
+        line.mnemonic = text.substr(0, space);
+        if (space != std::string::npos) {
+            std::string rest = text.substr(space + 1);
+            std::size_t pos = 0;
+            while (pos <= rest.size()) {
+                std::size_t comma = rest.find(',', pos);
+                std::string operand =
+                    strip(rest.substr(pos, comma == std::string::npos
+                                               ? std::string::npos
+                                               : comma - pos));
+                if (!operand.empty())
+                    line.operands.push_back(operand);
+                if (comma == std::string::npos)
+                    break;
+                pos = comma + 1;
+            }
+        }
+        lines.push_back(std::move(line));
+    }
+
+    for (const auto &kv : result.labels) {
+        fatal_if(kv.second > lines.size(),
+                 "label '", kv.first, "' out of range");
+    }
+
+    // Pass 2: encode instructions with labels resolved.
+    for (std::size_t idx = 0; idx < lines.size(); ++idx) {
+        const Line &line = lines[idx];
+        Opcode op = opcodeFromMnemonic(line.mnemonic);
+        if (op == Opcode::NumOpcodes) {
+            syntaxError(line.number,
+                        "unknown mnemonic '" + line.mnemonic + "'");
+        }
+        Instruction inst;
+        inst.op = op;
+        switch (opInfo(op).format) {
+          case Format::R:
+            expectOperands(line, 3);
+            inst.rd = parseReg(line, line.operands[0]);
+            inst.rs1 = parseReg(line, line.operands[1]);
+            inst.rs2 = parseReg(line, line.operands[2]);
+            break;
+          case Format::I:
+            expectOperands(line, op == Opcode::Lui ? 2 : 3);
+            inst.rd = parseReg(line, line.operands[0]);
+            if (op == Opcode::Lui) {
+                inst.imm = parseImm(line, line.operands[1]);
+            } else {
+                inst.rs1 = parseReg(line, line.operands[1]);
+                inst.imm = parseImm(line, line.operands[2]);
+            }
+            break;
+          case Format::M: {
+            expectOperands(line, 2);
+            RegId base = 0;
+            std::int64_t offset = 0;
+            parseMemOperand(line, line.operands[1], offset, base);
+            inst.rs1 = base;
+            inst.imm = offset;
+            if (op == Opcode::St)
+                inst.rs2 = parseReg(line, line.operands[0]);
+            else
+                inst.rd = parseReg(line, line.operands[0]);
+            break;
+          }
+          case Format::B:
+            expectOperands(line, 3);
+            inst.rs1 = parseReg(line, line.operands[0]);
+            inst.rs2 = parseReg(line, line.operands[1]);
+            inst.imm = resolveTarget(line, line.operands[2], idx,
+                                     result.labels);
+            break;
+          case Format::J:
+            expectOperands(line, 2);
+            inst.rd = parseReg(line, line.operands[0]);
+            inst.imm = resolveTarget(line, line.operands[1], idx,
+                                     result.labels);
+            break;
+          case Format::X:
+            if (op == Opcode::Out) {
+                expectOperands(line, 1);
+                inst.rs1 = parseReg(line, line.operands[0]);
+            } else {
+                expectOperands(line, 0);
+            }
+            break;
+        }
+        result.insts.push_back(inst);
+    }
+    return result;
+}
+
+std::string
+disassemble(const Instruction &inst)
+{
+    const OpInfo &info = inst.info();
+    std::ostringstream os;
+    os << info.mnemonic;
+    switch (info.format) {
+      case Format::R:
+        os << " " << regAbiName(inst.rd) << ", " << regAbiName(inst.rs1)
+           << ", " << regAbiName(inst.rs2);
+        break;
+      case Format::I:
+        if (inst.op == Opcode::Lui) {
+            os << " " << regAbiName(inst.rd) << ", " << inst.imm;
+        } else {
+            os << " " << regAbiName(inst.rd) << ", "
+               << regAbiName(inst.rs1) << ", " << inst.imm;
+        }
+        break;
+      case Format::M:
+        if (inst.op == Opcode::St) {
+            os << " " << regAbiName(inst.rs2) << ", " << inst.imm << "("
+               << regAbiName(inst.rs1) << ")";
+        } else {
+            os << " " << regAbiName(inst.rd) << ", " << inst.imm << "("
+               << regAbiName(inst.rs1) << ")";
+        }
+        break;
+      case Format::B:
+        os << " " << regAbiName(inst.rs1) << ", " << regAbiName(inst.rs2)
+           << ", " << inst.imm;
+        break;
+      case Format::J:
+        os << " " << regAbiName(inst.rd) << ", " << inst.imm;
+        break;
+      case Format::X:
+        if (inst.op == Opcode::Out)
+            os << " " << regAbiName(inst.rs1);
+        break;
+    }
+    return os.str();
+}
+
+} // namespace dde::isa

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Two-pass text assembler and matching disassembler.
+ *
+ * Syntax (one instruction per line, '#' starts a comment):
+ *
+ *     loop:                    ; label definition ("loop:")
+ *         addi t0, zero, 10
+ *         ld   t1, 8(sp)
+ *         st   t1, 0(sp)
+ *         beq  t0, t1, loop
+ *         jal  ra, func
+ *         jalr zero, ra, 0
+ *         out  t1
+ *         halt
+ *
+ * Branch and jal targets may be labels or signed numeric displacements.
+ */
+
+#ifndef DDE_ISA_ASSEMBLER_HH
+#define DDE_ISA_ASSEMBLER_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.hh"
+
+namespace dde::isa
+{
+
+/** Result of assembling a source string. */
+struct AsmResult
+{
+    std::vector<Instruction> insts;
+    /** label name → instruction index in `insts`. */
+    std::map<std::string, std::size_t> labels;
+};
+
+/** Assemble source text. Throws FatalError with a line number on any
+ * syntax error, unknown mnemonic, bad register, or undefined label. */
+AsmResult assemble(const std::string &source);
+
+/** Render one instruction as assembler text (ABI register names). */
+std::string disassemble(const Instruction &inst);
+
+} // namespace dde::isa
+
+#endif // DDE_ISA_ASSEMBLER_HH

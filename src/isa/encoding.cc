@@ -1,0 +1,116 @@
+#include "isa/encoding.hh"
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+
+namespace dde::isa
+{
+
+namespace
+{
+
+void
+checkImm(const Instruction &inst, unsigned width)
+{
+    panic_if(!fitsSigned(inst.imm, width),
+             "immediate ", inst.imm, " does not fit in ", width,
+             " bits for ", inst.info().mnemonic);
+}
+
+} // namespace
+
+std::uint32_t
+encode(const Instruction &inst)
+{
+    std::uint64_t w = 0;
+    w = insertBits(w, 31, 26, static_cast<std::uint64_t>(inst.op));
+    switch (inst.info().format) {
+      case Format::R:
+        w = insertBits(w, 25, 21, inst.rd);
+        w = insertBits(w, 20, 16, inst.rs1);
+        w = insertBits(w, 15, 11, inst.rs2);
+        break;
+      case Format::I:
+        checkImm(inst, 16);
+        w = insertBits(w, 25, 21, inst.rd);
+        w = insertBits(w, 20, 16, inst.rs1);
+        w = insertBits(w, 15, 0, static_cast<std::uint64_t>(inst.imm));
+        break;
+      case Format::M:
+        checkImm(inst, 16);
+        if (inst.op == Opcode::St) {
+            w = insertBits(w, 25, 21, inst.rs2);
+            w = insertBits(w, 20, 16, inst.rs1);
+        } else {
+            w = insertBits(w, 25, 21, inst.rd);
+            w = insertBits(w, 20, 16, inst.rs1);
+        }
+        w = insertBits(w, 15, 0, static_cast<std::uint64_t>(inst.imm));
+        break;
+      case Format::B:
+        checkImm(inst, 16);
+        w = insertBits(w, 25, 21, inst.rs1);
+        w = insertBits(w, 20, 16, inst.rs2);
+        w = insertBits(w, 15, 0, static_cast<std::uint64_t>(inst.imm));
+        break;
+      case Format::J:
+        checkImm(inst, 21);
+        w = insertBits(w, 25, 21, inst.rd);
+        w = insertBits(w, 20, 0, static_cast<std::uint64_t>(inst.imm));
+        break;
+      case Format::X:
+        if (inst.op == Opcode::Out)
+            w = insertBits(w, 25, 21, inst.rs1);
+        break;
+    }
+    return static_cast<std::uint32_t>(w);
+}
+
+Instruction
+decode(std::uint32_t word)
+{
+    std::uint64_t w = word;
+    auto opfield = bits(w, 31, 26);
+    fatal_if(opfield >= kNumOpcodes,
+             "illegal instruction word: bad opcode field ", opfield);
+    Instruction inst;
+    inst.op = static_cast<Opcode>(opfield);
+    switch (inst.info().format) {
+      case Format::R:
+        inst.rd = static_cast<RegId>(bits(w, 25, 21));
+        inst.rs1 = static_cast<RegId>(bits(w, 20, 16));
+        inst.rs2 = static_cast<RegId>(bits(w, 15, 11));
+        break;
+      case Format::I:
+        inst.rd = static_cast<RegId>(bits(w, 25, 21));
+        inst.rs1 = static_cast<RegId>(bits(w, 20, 16));
+        inst.imm = sext(bits(w, 15, 0), 16);
+        break;
+      case Format::M:
+        if (inst.op == Opcode::St) {
+            inst.rs2 = static_cast<RegId>(bits(w, 25, 21));
+            inst.rs1 = static_cast<RegId>(bits(w, 20, 16));
+        } else {
+            inst.rd = static_cast<RegId>(bits(w, 25, 21));
+            inst.rs1 = static_cast<RegId>(bits(w, 20, 16));
+        }
+        inst.imm = sext(bits(w, 15, 0), 16);
+        break;
+      case Format::B:
+        inst.rs1 = static_cast<RegId>(bits(w, 25, 21));
+        inst.rs2 = static_cast<RegId>(bits(w, 20, 16));
+        inst.imm = sext(bits(w, 15, 0), 16);
+        break;
+      case Format::J:
+        inst.rd = static_cast<RegId>(bits(w, 25, 21));
+        inst.imm = sext(bits(w, 20, 0), 21);
+        break;
+      case Format::X:
+        if (inst.op == Opcode::Out)
+            inst.rs1 = static_cast<RegId>(bits(w, 25, 21));
+        break;
+    }
+    return inst;
+}
+
+} // namespace dde::isa

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Binary encoding of the DDE ISA: fixed 32-bit instruction words.
+ *
+ * Layout (bit 31 is the MSB):
+ *   [31:26] opcode
+ *   R: [25:21] rd   [20:16] rs1  [15:11] rs2
+ *   I: [25:21] rd   [20:16] rs1  [15:0]  imm16 (signed)
+ *   M: ld: as I; st: [25:21] rs2(data) [20:16] rs1(base) [15:0] imm16
+ *   B: [25:21] rs1  [20:16] rs2  [15:0]  imm16 (signed displacement)
+ *   J: [25:21] rd   [20:0]  imm21 (signed displacement)
+ *   X: out: [25:21] rs1; halt/nop: all zero operand fields
+ */
+
+#ifndef DDE_ISA_ENCODING_HH
+#define DDE_ISA_ENCODING_HH
+
+#include <cstdint>
+
+#include "isa/instruction.hh"
+
+namespace dde::isa
+{
+
+/** Encode a decoded instruction into a 32-bit word.
+ * Panics if an immediate does not fit its field. */
+std::uint32_t encode(const Instruction &inst);
+
+/** Decode a 32-bit word. Throws FatalError on an illegal opcode. */
+Instruction decode(std::uint32_t word);
+
+} // namespace dde::isa
+
+#endif // DDE_ISA_ENCODING_HH

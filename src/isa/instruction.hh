@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Decoded instruction representation and operand accessors.
+ */
+
+#ifndef DDE_ISA_INSTRUCTION_HH
+#define DDE_ISA_INSTRUCTION_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+#include "isa/opcodes.hh"
+
+namespace dde::isa
+{
+
+/**
+ * A decoded instruction. Branch and jump displacements (`imm`) are in
+ * instruction slots relative to the instruction's own PC:
+ * target = pc + 4 * imm. Jalr computes target = (rs1 + imm) & ~7.
+ */
+struct Instruction
+{
+    Opcode op = Opcode::Nop;
+    RegId rd = 0;
+    RegId rs1 = 0;
+    RegId rs2 = 0;
+    std::int64_t imm = 0;
+
+    Instruction() = default;
+
+    Instruction(Opcode op_, RegId rd_, RegId rs1_, RegId rs2_,
+                std::int64_t imm_ = 0)
+        : op(op_), rd(rd_), rs1(rs1_), rs2(rs2_), imm(imm_)
+    {}
+
+    const OpInfo &info() const { return opInfo(op); }
+
+    /** True if this instruction writes an architectural register.
+     * Writes to r0 are architecturally discarded and not counted. */
+    bool
+    writesReg() const
+    {
+        return info().hasDest && rd != kRegZero;
+    }
+
+    /** Number of register sources actually read (r0 reads included:
+     * they are real reads of the zero register). */
+    unsigned
+    numSrcs() const
+    {
+        const OpInfo &i = info();
+        return (i.readsRs1 ? 1u : 0u) + (i.readsRs2 ? 1u : 0u);
+    }
+
+    /** Source register ids, in rs1/rs2 order; size == numSrcs(). */
+    std::array<RegId, 2>
+    srcRegs() const
+    {
+        std::array<RegId, 2> srcs{0, 0};
+        unsigned n = 0;
+        const OpInfo &i = info();
+        if (i.readsRs1)
+            srcs[n++] = rs1;
+        if (i.readsRs2)
+            srcs[n++] = rs2;
+        return srcs;
+    }
+
+    bool isLoad() const { return info().cls == OpClass::Load; }
+    bool isStore() const { return info().cls == OpClass::Store; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool isCondBranch() const { return info().cls == OpClass::Branch; }
+    bool isJump() const { return info().cls == OpClass::Jump; }
+    bool isControl() const
+    {
+        return isCondBranch() || isJump() || op == Opcode::Halt;
+    }
+    bool isIndirect() const { return op == Opcode::Jalr; }
+    bool isHalt() const { return op == Opcode::Halt; }
+    bool isOut() const { return op == Opcode::Out; }
+
+    /** True if eliminating this instruction can never be correct:
+     * it has an architectural side effect beyond its register write. */
+    bool
+    hasSideEffect() const
+    {
+        return isControl() || isOut();
+    }
+
+    /** Branch/jump target for PC-relative control. */
+    Addr
+    branchTarget(Addr pc) const
+    {
+        return pc + static_cast<Addr>(imm * 4);
+    }
+
+    bool operator==(const Instruction &other) const = default;
+};
+
+/** Shorthand builders used by tests and the code generator. */
+namespace build
+{
+
+inline Instruction
+rr(Opcode op, RegId rd, RegId rs1, RegId rs2)
+{
+    return Instruction(op, rd, rs1, rs2);
+}
+
+inline Instruction
+ri(Opcode op, RegId rd, RegId rs1, std::int64_t imm)
+{
+    return Instruction(op, rd, rs1, 0, imm);
+}
+
+inline Instruction
+ld(RegId rd, RegId base, std::int64_t offset)
+{
+    return Instruction(Opcode::Ld, rd, base, 0, offset);
+}
+
+inline Instruction
+st(RegId data, RegId base, std::int64_t offset)
+{
+    return Instruction(Opcode::St, 0, base, data, offset);
+}
+
+inline Instruction
+br(Opcode op, RegId rs1, RegId rs2, std::int64_t disp)
+{
+    return Instruction(op, 0, rs1, rs2, disp);
+}
+
+inline Instruction
+jal(RegId rd, std::int64_t disp)
+{
+    return Instruction(Opcode::Jal, rd, 0, 0, disp);
+}
+
+inline Instruction
+jalr(RegId rd, RegId base, std::int64_t offset = 0)
+{
+    return Instruction(Opcode::Jalr, rd, base, 0, offset);
+}
+
+inline Instruction
+out(RegId rs1)
+{
+    return Instruction(Opcode::Out, 0, rs1, 0);
+}
+
+inline Instruction halt() { return Instruction(Opcode::Halt, 0, 0, 0); }
+inline Instruction nop() { return Instruction(Opcode::Nop, 0, 0, 0); }
+
+/** rd = rs (assembles to addi rd, rs, 0). */
+inline Instruction
+mov(RegId rd, RegId rs)
+{
+    return ri(Opcode::Addi, rd, rs, 0);
+}
+
+/** rd = small constant (assembles to addi rd, r0, imm). */
+inline Instruction
+li(RegId rd, std::int64_t imm)
+{
+    return ri(Opcode::Addi, rd, kRegZero, imm);
+}
+
+} // namespace build
+
+} // namespace dde::isa
+
+#endif // DDE_ISA_INSTRUCTION_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Opcode and operation-class definitions for the DDE RISC ISA.
+ *
+ * The ISA is a 64-bit, 32-register load/store architecture with a
+ * fixed 32-bit instruction encoding. It is deliberately Alpha-like in
+ * structure (explicit destination registers, simple addressing) so the
+ * register write/read patterns that determine instruction deadness
+ * match those the paper studied.
+ */
+
+#ifndef DDE_ISA_OPCODES_HH
+#define DDE_ISA_OPCODES_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace dde::isa
+{
+
+/** All architectural opcodes. Values are the 6-bit encoding field. */
+enum class Opcode : std::uint8_t
+{
+    // Register-register ALU
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Mul, Div, Rem,
+    // Register-immediate ALU
+    Addi, Andi, Ori, Xori, Slli, Srli, Srai, Slti, Lui,
+    // Memory (64-bit, naturally aligned)
+    Ld, St,
+    // Conditional branches (PC-relative, offset in instruction slots)
+    Beq, Bne, Blt, Bge, Bltu, Bgeu,
+    // Unconditional control
+    Jal, Jalr,
+    // Miscellaneous
+    Out,   ///< append rs1's value to the program output stream
+    Halt,  ///< stop execution
+    Nop,
+    NumOpcodes
+};
+
+constexpr unsigned kNumOpcodes = static_cast<unsigned>(Opcode::NumOpcodes);
+
+/** Functional-unit class an opcode executes on. */
+enum class OpClass : std::uint8_t
+{
+    IntAlu,   ///< single-cycle integer ops
+    IntMult,  ///< pipelined multiplier
+    IntDiv,   ///< unpipelined divider
+    Load,
+    Store,
+    Branch,   ///< conditional branches
+    Jump,     ///< unconditional jumps and calls
+    Other,    ///< out/halt/nop
+};
+
+/** Instruction word formats used by the encoder. */
+enum class Format : std::uint8_t
+{
+    R,  ///< rd, rs1, rs2
+    I,  ///< rd, rs1, imm16
+    M,  ///< rd/rs-data, base, imm16 (loads and stores)
+    B,  ///< rs1, rs2, imm16 branch displacement
+    J,  ///< rd, imm21 jump displacement
+    X,  ///< no operands (halt, nop) or rs1 only (out)
+};
+
+/** Static properties of one opcode. */
+struct OpInfo
+{
+    std::string_view mnemonic;
+    OpClass cls;
+    Format format;
+    bool hasDest;   ///< writes a destination register
+    bool readsRs1;
+    bool readsRs2;
+};
+
+/** Property table lookup. */
+const OpInfo &opInfo(Opcode op);
+
+/** Mnemonic → opcode; returns NumOpcodes if unknown. */
+Opcode opcodeFromMnemonic(std::string_view mnemonic);
+
+inline bool
+isConditionalBranch(Opcode op)
+{
+    return opInfo(op).cls == OpClass::Branch;
+}
+
+inline bool
+isControl(Opcode op)
+{
+    OpClass c = opInfo(op).cls;
+    return c == OpClass::Branch || c == OpClass::Jump ||
+           op == Opcode::Halt;
+}
+
+} // namespace dde::isa
+
+#endif // DDE_ISA_OPCODES_HH

@@ -1,0 +1,80 @@
+#include "isa/regnames.hh"
+
+#include <charconv>
+
+#include "common/logging.hh"
+
+namespace dde::isa
+{
+
+std::string
+regName(RegId reg)
+{
+    panic_if(reg >= kNumArchRegs, "bad register id ", unsigned(reg));
+    return "r" + std::to_string(unsigned(reg));
+}
+
+std::string
+regAbiName(RegId reg)
+{
+    panic_if(reg >= kNumArchRegs, "bad register id ", unsigned(reg));
+    if (reg == kRegZero)
+        return "zero";
+    if (reg == kRegRa)
+        return "ra";
+    if (reg == kRegSp)
+        return "sp";
+    if (reg == kRegGp)
+        return "gp";
+    if (reg >= kRegArg0 && reg < kRegArg0 + kNumArgRegs)
+        return "a" + std::to_string(reg - kRegArg0);
+    if (reg >= kRegTmp0 && reg < kRegTmp0 + kNumTmpRegs)
+        return "t" + std::to_string(reg - kRegTmp0);
+    return "s" + std::to_string(reg - kRegSaved0);
+}
+
+std::optional<RegId>
+parseRegName(std::string_view name)
+{
+    auto parse_index = [](std::string_view digits,
+                          unsigned limit) -> std::optional<unsigned> {
+        unsigned value = 0;
+        auto [ptr, ec] = std::from_chars(digits.data(),
+                                         digits.data() + digits.size(),
+                                         value);
+        if (ec != std::errc() || ptr != digits.data() + digits.size())
+            return std::nullopt;
+        if (value >= limit)
+            return std::nullopt;
+        return value;
+    };
+
+    if (name == "zero")
+        return kRegZero;
+    if (name == "ra")
+        return kRegRa;
+    if (name == "sp")
+        return kRegSp;
+    if (name == "gp")
+        return kRegGp;
+    if (name.size() >= 2) {
+        char kind = name[0];
+        std::string_view rest = name.substr(1);
+        if (kind == 'r') {
+            if (auto idx = parse_index(rest, kNumArchRegs))
+                return static_cast<RegId>(*idx);
+        } else if (kind == 'a') {
+            if (auto idx = parse_index(rest, kNumArgRegs))
+                return static_cast<RegId>(kRegArg0 + *idx);
+        } else if (kind == 't') {
+            if (auto idx = parse_index(rest, kNumTmpRegs))
+                return static_cast<RegId>(kRegTmp0 + *idx);
+        } else if (kind == 's') {
+            if (auto idx = parse_index(rest, kNumSavedRegs))
+                return static_cast<RegId>(kRegSaved0 + *idx);
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace dde::isa

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Architectural register names and ABI aliases.
+ */
+
+#ifndef DDE_ISA_REGNAMES_HH
+#define DDE_ISA_REGNAMES_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/types.hh"
+
+namespace dde::isa
+{
+
+/** Canonical name ("r7") of a register. */
+std::string regName(RegId reg);
+
+/** ABI alias ("sp", "a0", "t3", "s2", ...) of a register. */
+std::string regAbiName(RegId reg);
+
+/** Parse "r12" or any ABI alias; nullopt on failure. */
+std::optional<RegId> parseRegName(std::string_view name);
+
+} // namespace dde::isa
+
+#endif // DDE_ISA_REGNAMES_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Pure-value instruction semantics shared by the functional emulator
+ * and the out-of-order core's execute stage, so both engines are
+ * guaranteed to agree on every operation's result.
+ */
+
+#ifndef DDE_ISA_SEMANTICS_HH
+#define DDE_ISA_SEMANTICS_HH
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace dde::isa
+{
+
+/**
+ * Evaluate an ALU operation (including address-generation adds for
+ * memory ops and link-value computation is NOT included here).
+ * For immediate forms, pass the immediate as s2.
+ * Division by zero follows RISC-V: div -> -1, rem -> dividend.
+ */
+inline RegVal
+evalAlu(Opcode op, RegVal s1, RegVal s2)
+{
+    auto sig1 = static_cast<std::int64_t>(s1);
+    auto sig2 = static_cast<std::int64_t>(s2);
+    switch (op) {
+      case Opcode::Add:
+      case Opcode::Addi:
+        return s1 + s2;
+      case Opcode::Sub:
+        return s1 - s2;
+      case Opcode::And:
+      case Opcode::Andi:
+        return s1 & s2;
+      case Opcode::Or:
+      case Opcode::Ori:
+        return s1 | s2;
+      case Opcode::Xor:
+      case Opcode::Xori:
+        return s1 ^ s2;
+      case Opcode::Sll:
+      case Opcode::Slli:
+        return s1 << (s2 & 63);
+      case Opcode::Srl:
+      case Opcode::Srli:
+        return s1 >> (s2 & 63);
+      case Opcode::Sra:
+      case Opcode::Srai:
+        return static_cast<RegVal>(sig1 >> (s2 & 63));
+      case Opcode::Slt:
+      case Opcode::Slti:
+        return sig1 < sig2 ? 1 : 0;
+      case Opcode::Sltu:
+        return s1 < s2 ? 1 : 0;
+      case Opcode::Mul:
+        return s1 * s2;
+      case Opcode::Div:
+        if (s2 == 0)
+            return ~0ULL;
+        if (sig1 == INT64_MIN && sig2 == -1)
+            return static_cast<RegVal>(INT64_MIN);
+        return static_cast<RegVal>(sig1 / sig2);
+      case Opcode::Rem:
+        if (s2 == 0)
+            return s1;
+        if (sig1 == INT64_MIN && sig2 == -1)
+            return 0;
+        return static_cast<RegVal>(sig1 % sig2);
+      case Opcode::Lui:
+        return static_cast<RegVal>(sig2 << 16);
+      default:
+        panic("evalAlu: not an ALU opcode: ", opInfo(op).mnemonic);
+    }
+}
+
+/** Evaluate a conditional branch's taken/not-taken decision. */
+inline bool
+evalBranch(Opcode op, RegVal s1, RegVal s2)
+{
+    auto sig1 = static_cast<std::int64_t>(s1);
+    auto sig2 = static_cast<std::int64_t>(s2);
+    switch (op) {
+      case Opcode::Beq:
+        return s1 == s2;
+      case Opcode::Bne:
+        return s1 != s2;
+      case Opcode::Blt:
+        return sig1 < sig2;
+      case Opcode::Bge:
+        return sig1 >= sig2;
+      case Opcode::Bltu:
+        return s1 < s2;
+      case Opcode::Bgeu:
+        return s1 >= s2;
+      default:
+        panic("evalBranch: not a branch opcode: ",
+              opInfo(op).mnemonic);
+    }
+}
+
+/** Effective address of a load/store: base + offset, 8-byte aligned. */
+inline Addr
+effectiveAddr(const Instruction &inst, RegVal base)
+{
+    return base + static_cast<Addr>(inst.imm);
+}
+
+/**
+ * The immediate operand value an I-format instruction feeds the ALU:
+ * logical immediates (andi/ori/xori) are zero-extended 16-bit fields,
+ * everything else is sign-extended (as stored after decode).
+ */
+inline RegVal
+immOperand(const Instruction &inst)
+{
+    switch (inst.op) {
+      case Opcode::Andi:
+      case Opcode::Ori:
+      case Opcode::Xori:
+        return static_cast<RegVal>(inst.imm) & 0xffff;
+      default:
+        return static_cast<RegVal>(inst.imm);
+    }
+}
+
+} // namespace dde::isa
+
+#endif // DDE_ISA_SEMANTICS_HH

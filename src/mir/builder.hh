@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Fluent construction API for MIR functions, used by the workload
+ * generators and by tests.
+ */
+
+#ifndef DDE_MIR_BUILDER_HH
+#define DDE_MIR_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "mir/mir.hh"
+
+namespace dde::mir
+{
+
+/** Builds one function block-by-block with a current insertion point. */
+class FunctionBuilder
+{
+  public:
+    FunctionBuilder(Module &module, std::string name, unsigned num_params)
+        : _module(module)
+    {
+        panic_if(num_params > kNumArgRegs, "too many parameters");
+        Function fn;
+        fn.name = std::move(name);
+        for (unsigned i = 0; i < num_params; ++i)
+            fn.params.push_back(fn.nextVReg++);
+        _fnIndex = module.functions.size();
+        module.functions.push_back(std::move(fn));
+        _current = fn_().newBlock();
+    }
+
+    Function &fn_() { return _module.functions[_fnIndex]; }
+
+    VReg param(unsigned i) { return fn_().params.at(i); }
+    VReg newVReg() { return fn_().newVReg(); }
+
+    BlockId newBlock() { return fn_().newBlock(); }
+    BlockId currentBlock() const { return _current; }
+    void setBlock(BlockId id) { _current = id; }
+
+    // --- instruction emitters ------------------------------------
+
+    VReg
+    emit2(MOp op, VReg s1, VReg s2)
+    {
+        MirInst inst;
+        inst.op = op;
+        inst.dst = newVReg();
+        inst.src1 = s1;
+        inst.src2 = s2;
+        push(inst);
+        return inst.dst;
+    }
+
+    VReg
+    emitImm(MOp op, VReg s1, std::int64_t imm)
+    {
+        MirInst inst;
+        inst.op = op;
+        inst.dst = newVReg();
+        inst.src1 = s1;
+        inst.imm = imm;
+        push(inst);
+        return inst.dst;
+    }
+
+    VReg add(VReg a, VReg b) { return emit2(MOp::Add, a, b); }
+    VReg sub(VReg a, VReg b) { return emit2(MOp::Sub, a, b); }
+    VReg and_(VReg a, VReg b) { return emit2(MOp::And, a, b); }
+    VReg or_(VReg a, VReg b) { return emit2(MOp::Or, a, b); }
+    VReg xor_(VReg a, VReg b) { return emit2(MOp::Xor, a, b); }
+    VReg mul(VReg a, VReg b) { return emit2(MOp::Mul, a, b); }
+    VReg div(VReg a, VReg b) { return emit2(MOp::Div, a, b); }
+    VReg rem(VReg a, VReg b) { return emit2(MOp::Rem, a, b); }
+    VReg slt(VReg a, VReg b) { return emit2(MOp::Slt, a, b); }
+    VReg sll(VReg a, VReg b) { return emit2(MOp::Sll, a, b); }
+    VReg srl(VReg a, VReg b) { return emit2(MOp::Srl, a, b); }
+
+    VReg addi(VReg a, std::int64_t imm)
+    {
+        return emitImm(MOp::AddI, a, imm);
+    }
+    VReg andi(VReg a, std::int64_t imm)
+    {
+        return emitImm(MOp::AndI, a, imm);
+    }
+    VReg ori(VReg a, std::int64_t imm) { return emitImm(MOp::OrI, a, imm); }
+    VReg xori(VReg a, std::int64_t imm)
+    {
+        return emitImm(MOp::XorI, a, imm);
+    }
+    VReg slli(VReg a, std::int64_t imm)
+    {
+        return emitImm(MOp::SllI, a, imm);
+    }
+    VReg srli(VReg a, std::int64_t imm)
+    {
+        return emitImm(MOp::SrlI, a, imm);
+    }
+    VReg slti(VReg a, std::int64_t imm)
+    {
+        return emitImm(MOp::SltI, a, imm);
+    }
+
+    // --- emitters targeting an existing vreg (loop variables) ------
+
+    /** dst = s1 OP s2 into an existing vreg. */
+    void
+    into2(MOp op, VReg dst, VReg s1, VReg s2)
+    {
+        MirInst inst;
+        inst.op = op;
+        inst.dst = dst;
+        inst.src1 = s1;
+        inst.src2 = s2;
+        push(inst);
+    }
+
+    /** dst = s1 OP imm into an existing vreg. */
+    void
+    intoImm(MOp op, VReg dst, VReg s1, std::int64_t imm)
+    {
+        MirInst inst;
+        inst.op = op;
+        inst.dst = dst;
+        inst.src1 = s1;
+        inst.imm = imm;
+        push(inst);
+    }
+
+    /** dst = src (register copy). */
+    void copy(VReg dst, VReg src) { intoImm(MOp::AddI, dst, src, 0); }
+
+    /** dst = constant into an existing vreg. */
+    void
+    liInto(VReg dst, std::int64_t value)
+    {
+        MirInst inst;
+        inst.op = MOp::Li;
+        inst.dst = dst;
+        inst.imm = value;
+        push(inst);
+    }
+
+    /** dst = mem[base + offset] into an existing vreg. */
+    void
+    loadInto(VReg dst, VReg base, std::int64_t offset = 0)
+    {
+        MirInst inst;
+        inst.op = MOp::Ld;
+        inst.dst = dst;
+        inst.src1 = base;
+        inst.imm = offset;
+        push(inst);
+    }
+
+    /** dst = call callee(args...) into an existing vreg. */
+    void
+    callInto(VReg dst, const std::string &callee, std::vector<VReg> args)
+    {
+        panic_if(args.size() > kNumArgRegs, "too many call arguments");
+        MirInst inst;
+        inst.op = MOp::Call;
+        inst.dst = dst;
+        inst.callee = callee;
+        inst.args = std::move(args);
+        push(inst);
+    }
+
+    /** Materialize a 64-bit constant. */
+    VReg
+    li(std::int64_t value)
+    {
+        MirInst inst;
+        inst.op = MOp::Li;
+        inst.dst = newVReg();
+        inst.imm = value;
+        push(inst);
+        return inst.dst;
+    }
+
+    /** dst = mem[base + offset]. */
+    VReg
+    load(VReg base, std::int64_t offset = 0)
+    {
+        MirInst inst;
+        inst.op = MOp::Ld;
+        inst.dst = newVReg();
+        inst.src1 = base;
+        inst.imm = offset;
+        push(inst);
+        return inst.dst;
+    }
+
+    /** mem[base + offset] = value. */
+    void
+    store(VReg value, VReg base, std::int64_t offset = 0)
+    {
+        MirInst inst;
+        inst.op = MOp::St;
+        inst.src1 = base;
+        inst.src2 = value;
+        inst.imm = offset;
+        push(inst);
+    }
+
+    void
+    output(VReg value)
+    {
+        MirInst inst;
+        inst.op = MOp::Out;
+        inst.src1 = value;
+        push(inst);
+    }
+
+    /** Call with a result. */
+    VReg
+    call(const std::string &callee, std::vector<VReg> args)
+    {
+        panic_if(args.size() > kNumArgRegs, "too many call arguments");
+        MirInst inst;
+        inst.op = MOp::Call;
+        inst.dst = newVReg();
+        inst.callee = callee;
+        inst.args = std::move(args);
+        push(inst);
+        return inst.dst;
+    }
+
+    /** Call discarding the result. */
+    void
+    callVoid(const std::string &callee, std::vector<VReg> args)
+    {
+        panic_if(args.size() > kNumArgRegs, "too many call arguments");
+        MirInst inst;
+        inst.op = MOp::Call;
+        inst.callee = callee;
+        inst.args = std::move(args);
+        push(inst);
+    }
+
+    // --- terminators ----------------------------------------------
+
+    void
+    br(Cond c, VReg s1, VReg s2, BlockId if_true, BlockId if_false)
+    {
+        fn_().block(_current).term =
+            Terminator::br(c, s1, s2, if_true, if_false);
+    }
+
+    void jmp(BlockId target)
+    {
+        fn_().block(_current).term = Terminator::jmp(target);
+    }
+
+    void ret(VReg value = kNoVReg)
+    {
+        fn_().block(_current).term = Terminator::ret(value);
+    }
+
+    void halt() { fn_().block(_current).term = Terminator::halt(); }
+
+  private:
+    void push(const MirInst &inst)
+    {
+        fn_().block(_current).insts.push_back(inst);
+    }
+
+    Module &_module;
+    std::size_t _fnIndex;
+    BlockId _current;
+};
+
+} // namespace dde::mir
+
+#endif // DDE_MIR_BUILDER_HH

@@ -1,0 +1,17 @@
+#include "mir/compiler.hh"
+
+namespace dde::mir
+{
+
+prog::Program
+compile(Module module, const CompileOptions &opts, CompileStats *stats)
+{
+    CompileStats local;
+    CompileStats &st = stats ? *stats : local;
+    if (opts.dce)
+        st.dceRemoved = eliminateDeadCode(module);
+    st.hoisted = hoistSpeculatively(module, opts.hoist);
+    return lowerModule(module, opts.regalloc, &st.lower);
+}
+
+} // namespace dde::mir

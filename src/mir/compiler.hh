@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The mini compiler's top-level pipeline:
+ *   MIR module -> speculative hoisting -> register allocation ->
+ *   lowering -> executable Program.
+ */
+
+#ifndef DDE_MIR_COMPILER_HH
+#define DDE_MIR_COMPILER_HH
+
+#include "mir/dce.hh"
+#include "mir/hoist.hh"
+#include "mir/lower.hh"
+#include "mir/mir.hh"
+#include "mir/regalloc.hh"
+#include "prog/program.hh"
+
+namespace dde::mir
+{
+
+/** All compilation knobs in one place. */
+struct CompileOptions
+{
+    HoistOptions hoist;
+    RegAllocOptions regalloc;
+    /** Run static dead-code elimination before scheduling. On by
+     * default: any self-respecting compiler removes whole-static dead
+     * code, so the deadness the benchmarks exhibit is exactly the
+     * *dynamic-only* kind the paper targets. */
+    bool dce = true;
+};
+
+/** What the pipeline did, for reports and the cause-analysis bench. */
+struct CompileStats
+{
+    unsigned dceRemoved = 0;
+    unsigned hoisted = 0;
+    LowerStats lower;
+};
+
+/**
+ * Compile a module to an executable program. The module is taken by
+ * value because the hoisting pass rewrites it.
+ */
+prog::Program compile(Module module, const CompileOptions &opts = {},
+                      CompileStats *stats = nullptr);
+
+} // namespace dde::mir
+
+#endif // DDE_MIR_COMPILER_HH

@@ -1,0 +1,83 @@
+#include "mir/dce.hh"
+
+#include "mir/liveness.hh"
+
+namespace dde::mir
+{
+
+namespace
+{
+
+/** Can the instruction be removed if its result is unused? */
+bool
+removable(const MirInst &inst)
+{
+    switch (inst.op) {
+      case MOp::St:
+      case MOp::Out:
+      case MOp::Call:  // calls have side effects regardless of result
+        return false;
+      case MOp::Ld:
+        // Our loads cannot fault and have no side effects.
+        return true;
+      default:
+        return true;
+    }
+}
+
+/** One backward pass over a single block given its live-out set;
+ * removes dead instructions and returns how many went. */
+unsigned
+sweepBlock(Block &block, VRegSet live)
+{
+    unsigned removed = 0;
+    for (VReg use : termUses(block.term))
+        live.insert(use);
+
+    for (std::size_t i = block.insts.size(); i-- > 0;) {
+        MirInst &inst = block.insts[i];
+        bool dead = inst.hasDst() && !live.count(inst.dst) &&
+                    removable(inst);
+        if (dead) {
+            block.insts.erase(block.insts.begin() + i);
+            ++removed;
+            continue;
+        }
+        if (inst.hasDst())
+            live.erase(inst.dst);
+        for (VReg use : instUses(inst))
+            live.insert(use);
+    }
+    return removed;
+}
+
+} // namespace
+
+unsigned
+eliminateDeadCode(Function &fn)
+{
+    unsigned total = 0;
+    // Iterate to a fixpoint: removing one instruction can make its
+    // operands' producers dead.
+    for (;;) {
+        Liveness live = computeLiveness(fn);
+        unsigned removed = 0;
+        for (Block &block : fn.blocks)
+            removed += sweepBlock(block, live.liveOut[block.id]);
+        total += removed;
+        if (removed == 0)
+            break;
+    }
+    return total;
+}
+
+unsigned
+eliminateDeadCode(Module &module)
+{
+    unsigned total = 0;
+    for (Function &fn : module.functions)
+        total += eliminateDeadCode(fn);
+    return total;
+}
+
+} // namespace dde::mir

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Static dead-code elimination over MIR.
+ *
+ * Removes instructions whose results are provably unused on *every*
+ * path (classic liveness-based DCE). This is the strongest thing a
+ * compiler can do without path information — and the point of running
+ * it here is the paper's argument: most dynamically dead instructions
+ * come from *partially* dead static instructions, which no
+ * whole-static DCE can remove. The E3 bench quantifies how much
+ * dynamic deadness survives static DCE.
+ */
+
+#ifndef DDE_MIR_DCE_HH
+#define DDE_MIR_DCE_HH
+
+#include "mir/mir.hh"
+
+namespace dde::mir
+{
+
+/**
+ * Iteratively delete side-effect-free instructions whose destination
+ * is dead at the point of definition (not live-out of the
+ * instruction, per dataflow liveness over the whole CFG).
+ *
+ * @return number of instructions removed.
+ */
+unsigned eliminateDeadCode(Function &fn);
+
+/** Run DCE on every function in a module. */
+unsigned eliminateDeadCode(Module &module);
+
+} // namespace dde::mir
+
+#endif // DDE_MIR_DCE_HH

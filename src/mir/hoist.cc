@@ -1,0 +1,150 @@
+#include "mir/hoist.hh"
+
+#include <algorithm>
+
+#include "mir/liveness.hh"
+
+namespace dde::mir
+{
+
+namespace
+{
+
+/**
+ * Check whether `cand` (at position `pos` in successor block S) may be
+ * moved to the end of predecessor block P (just before its branch).
+ *
+ * Safety conditions:
+ *  1. cand has no unhoistable side effect (store/call/out; loads only
+ *     if load speculation is allowed — and then only if no memory
+ *     write precedes them inside S).
+ *  2. No instruction before `pos` in S defines any of cand's sources
+ *     (so the sources hold the same values at the end of P).
+ *  3. No instruction before `pos` in S defines or uses cand's dst (the
+ *     def must not move above a same-block use or below-def reorder).
+ *  4. cand.dst is not live into S (no earlier incoming value of dst is
+ *     consumed in S before cand).
+ *  5. cand.dst is not live into the other successor O (the speculative
+ *     write must be architecturally dead on the wrong path).
+ *  6. cand.dst is not read by P's terminator.
+ */
+bool
+canHoist(const Function &fn, const Liveness &live, const Block &pred,
+         const Block &succ, std::size_t pos, BlockId other,
+         bool allow_loads)
+{
+    const MirInst &cand = succ.insts[pos];
+    if (!cand.isSpeculable(allow_loads))
+        return false;
+    if (!cand.hasDst())
+        return false;
+    (void)fn;
+
+    auto cand_uses = instUses(cand);
+    bool cand_is_load = cand.op == MOp::Ld;
+    for (std::size_t i = 0; i < pos; ++i) {
+        const MirInst &before = succ.insts[i];
+        if (cand_is_load &&
+            (before.op == MOp::St || before.op == MOp::Call)) {
+            return false;  // load would move above a possible alias
+        }
+        if (before.hasDst()) {
+            if (before.dst == cand.dst)
+                return false;
+            if (std::find(cand_uses.begin(), cand_uses.end(),
+                          before.dst) != cand_uses.end()) {
+                return false;
+            }
+        }
+        auto before_uses = instUses(before);
+        if (std::find(before_uses.begin(), before_uses.end(),
+                      cand.dst) != before_uses.end()) {
+            return false;
+        }
+    }
+
+    if (live.isLiveIn(succ.id, cand.dst))
+        return false;
+    if (other != succ.id && live.isLiveIn(other, cand.dst))
+        return false;
+
+    auto pred_term_uses = termUses(pred.term);
+    if (std::find(pred_term_uses.begin(), pred_term_uses.end(),
+                  cand.dst) != pred_term_uses.end()) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+unsigned
+hoistSpeculatively(Function &fn, const HoistOptions &opts)
+{
+    if (!opts.enabled)
+        return 0;
+
+    unsigned hoisted = 0;
+    auto preds = fn.predecessors();
+
+    for (Block &pred : fn.blocks) {
+        if (pred.term.kind != Terminator::Kind::Br)
+            continue;
+
+        unsigned budget = opts.maxPerBlock;
+        // Consider both successors; the taken side first (schedulers
+        // favour the expected path, and the generator biases branches
+        // so the taken side is usually the hot one).
+        for (BlockId succ_id :
+             {pred.term.taken, pred.term.fallthrough}) {
+            if (budget == 0)
+                break;
+            if (succ_id == pred.id)
+                continue;  // self-loop: hoisting would re-order the loop
+            BlockId other = succ_id == pred.term.taken
+                                ? pred.term.fallthrough
+                                : pred.term.taken;
+            // The moved def must dominate all of S: S needs P as its
+            // only predecessor.
+            if (preds[succ_id].size() != 1)
+                continue;
+
+            bool moved_any = true;
+            while (budget > 0 && moved_any) {
+                moved_any = false;
+                // Liveness is invalidated by each code motion.
+                Liveness live = computeLiveness(fn);
+                Block &succ = fn.block(succ_id);
+                std::size_t window =
+                    std::min<std::size_t>(opts.window,
+                                          succ.insts.size());
+                for (std::size_t pos = 0; pos < window; ++pos) {
+                    if (!canHoist(fn, live, pred, succ, pos, other,
+                                  opts.hoistLoads)) {
+                        continue;
+                    }
+                    MirInst inst = succ.insts[pos];
+                    inst.origin = prog::InstOrigin::HoistedSpec;
+                    succ.insts.erase(succ.insts.begin() + pos);
+                    pred.insts.push_back(inst);
+                    ++hoisted;
+                    --budget;
+                    moved_any = true;
+                    break;
+                }
+            }
+        }
+    }
+    return hoisted;
+}
+
+unsigned
+hoistSpeculatively(Module &module, const HoistOptions &opts)
+{
+    unsigned total = 0;
+    for (Function &fn : module.functions)
+        total += hoistSpeculatively(fn, opts);
+    return total;
+}
+
+} // namespace dde::mir

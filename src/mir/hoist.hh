@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Speculative hoisting scheduler.
+ *
+ * Moves instructions from a branch successor into the branching block
+ * so they execute before the branch resolves — the classic compiler
+ * code-motion that shortens the likely path's critical path at the
+ * cost of useless work when control goes the other way. The paper
+ * identifies exactly this transformation as a major producer of
+ * partially dead static instructions; hoisted instructions are tagged
+ * InstOrigin::HoistedSpec so deadness can be attributed to it.
+ */
+
+#ifndef DDE_MIR_HOIST_HH
+#define DDE_MIR_HOIST_HH
+
+#include "mir/mir.hh"
+
+namespace dde::mir
+{
+
+/** Tunables for the hoisting pass. */
+struct HoistOptions
+{
+    bool enabled = true;
+    /** Also speculate loads above branches (our loads cannot fault). */
+    bool hoistLoads = true;
+    /** How deep into a successor block to look for candidates. */
+    unsigned window = 4;
+    /** Maximum instructions hoisted into any one block. */
+    unsigned maxPerBlock = 3;
+};
+
+/**
+ * Run the pass on one function.
+ * @return number of instructions hoisted.
+ */
+unsigned hoistSpeculatively(Function &fn, const HoistOptions &opts);
+
+/** Run the pass on every function of a module. */
+unsigned hoistSpeculatively(Module &module, const HoistOptions &opts);
+
+} // namespace dde::mir
+
+#endif // DDE_MIR_HOIST_HH

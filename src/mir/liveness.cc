@@ -1,0 +1,98 @@
+#include "mir/liveness.hh"
+
+namespace dde::mir
+{
+
+std::vector<std::vector<BlockId>>
+Function::predecessors() const
+{
+    std::vector<std::vector<BlockId>> preds(blocks.size());
+    for (const Block &b : blocks) {
+        for (BlockId succ : b.term.successors())
+            preds.at(succ).push_back(b.id);
+    }
+    return preds;
+}
+
+std::vector<VReg>
+instUses(const MirInst &inst)
+{
+    std::vector<VReg> uses;
+    if (inst.readsSrc1() && inst.src1 != kNoVReg)
+        uses.push_back(inst.src1);
+    if (inst.readsSrc2() && inst.src2 != kNoVReg)
+        uses.push_back(inst.src2);
+    for (VReg arg : inst.args)
+        uses.push_back(arg);
+    return uses;
+}
+
+std::vector<VReg>
+termUses(const Terminator &term)
+{
+    std::vector<VReg> uses;
+    if (term.kind == Terminator::Kind::Br) {
+        uses.push_back(term.src1);
+        uses.push_back(term.src2);
+    } else if (term.kind == Terminator::Kind::Ret &&
+               term.retVal != kNoVReg) {
+        uses.push_back(term.retVal);
+    }
+    return uses;
+}
+
+Liveness
+computeLiveness(const Function &fn)
+{
+    const std::size_t n = fn.blocks.size();
+    Liveness live;
+    live.liveIn.resize(n);
+    live.liveOut.resize(n);
+
+    // Per-block gen (up-exposed uses) and kill (defs) sets.
+    std::vector<VRegSet> gen(n), kill(n);
+    for (const Block &b : fn.blocks) {
+        VRegSet defined;
+        for (const MirInst &inst : b.insts) {
+            for (VReg use : instUses(inst)) {
+                if (!defined.count(use))
+                    gen[b.id].insert(use);
+            }
+            if (inst.hasDst()) {
+                defined.insert(inst.dst);
+                kill[b.id].insert(inst.dst);
+            }
+        }
+        for (VReg use : termUses(b.term)) {
+            if (!defined.count(use))
+                gen[b.id].insert(use);
+        }
+    }
+
+    // Backward fixpoint.
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t i = n; i-- > 0;) {
+            const Block &b = fn.blocks[i];
+            VRegSet out;
+            for (BlockId succ : b.term.successors()) {
+                for (VReg v : live.liveIn[succ])
+                    out.insert(v);
+            }
+            VRegSet in = gen[i];
+            for (VReg v : out) {
+                if (!kill[i].count(v))
+                    in.insert(v);
+            }
+            if (out != live.liveOut[i] || in != live.liveIn[i]) {
+                live.liveOut[i] = std::move(out);
+                live.liveIn[i] = std::move(in);
+                changed = true;
+            }
+        }
+    }
+    return live;
+}
+
+} // namespace dde::mir

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Classic backward iterative liveness dataflow over MIR virtual
+ * registers. Used by the hoisting scheduler (safety conditions) and by
+ * the linear-scan register allocator (interval construction).
+ */
+
+#ifndef DDE_MIR_LIVENESS_HH
+#define DDE_MIR_LIVENESS_HH
+
+#include <unordered_set>
+#include <vector>
+
+#include "mir/mir.hh"
+
+namespace dde::mir
+{
+
+/** Set of live virtual registers. */
+using VRegSet = std::unordered_set<VReg>;
+
+/** Per-block liveness solution. */
+struct Liveness
+{
+    std::vector<VRegSet> liveIn;   ///< indexed by BlockId
+    std::vector<VRegSet> liveOut;
+
+    bool
+    isLiveIn(BlockId b, VReg v) const
+    {
+        return liveIn[b].count(v) > 0;
+    }
+
+    bool
+    isLiveOut(BlockId b, VReg v) const
+    {
+        return liveOut[b].count(v) > 0;
+    }
+};
+
+/** Registers read by one instruction (excluding kNoVReg). */
+std::vector<VReg> instUses(const MirInst &inst);
+
+/** Registers read by a terminator. */
+std::vector<VReg> termUses(const Terminator &term);
+
+/** Compute the liveness fixpoint for a function. */
+Liveness computeLiveness(const Function &fn);
+
+} // namespace dde::mir
+
+#endif // DDE_MIR_LIVENESS_HH

@@ -1,0 +1,459 @@
+#include "mir/lower.hh"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "isa/instruction.hh"
+
+namespace dde::mir
+{
+
+namespace
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using prog::InstOrigin;
+
+Opcode
+aluOpcode(MOp op)
+{
+    switch (op) {
+      case MOp::Add:  return Opcode::Add;
+      case MOp::Sub:  return Opcode::Sub;
+      case MOp::And:  return Opcode::And;
+      case MOp::Or:   return Opcode::Or;
+      case MOp::Xor:  return Opcode::Xor;
+      case MOp::Sll:  return Opcode::Sll;
+      case MOp::Srl:  return Opcode::Srl;
+      case MOp::Sra:  return Opcode::Sra;
+      case MOp::Slt:  return Opcode::Slt;
+      case MOp::Sltu: return Opcode::Sltu;
+      case MOp::Mul:  return Opcode::Mul;
+      case MOp::Div:  return Opcode::Div;
+      case MOp::Rem:  return Opcode::Rem;
+      default:
+        panic("aluOpcode: not a reg-reg ALU MOp");
+    }
+}
+
+/** Immediate-form opcode and its reg-reg fallback. */
+struct ImmLowering
+{
+    Opcode immOp;
+    Opcode regOp;
+    bool logical;  ///< logical immediates are zero-extended 16-bit
+};
+
+ImmLowering
+immLowering(MOp op)
+{
+    switch (op) {
+      case MOp::AddI: return {Opcode::Addi, Opcode::Add, false};
+      case MOp::AndI: return {Opcode::Andi, Opcode::And, true};
+      case MOp::OrI:  return {Opcode::Ori, Opcode::Or, true};
+      case MOp::XorI: return {Opcode::Xori, Opcode::Xor, true};
+      case MOp::SllI: return {Opcode::Slli, Opcode::Sll, false};
+      case MOp::SrlI: return {Opcode::Srli, Opcode::Srl, false};
+      case MOp::SraI: return {Opcode::Srai, Opcode::Sra, false};
+      case MOp::SltI: return {Opcode::Slti, Opcode::Slt, false};
+      default:
+        panic("immLowering: not an immediate MOp");
+    }
+}
+
+Opcode
+branchOpcode(Cond cond)
+{
+    switch (cond) {
+      case Cond::Eq:  return Opcode::Beq;
+      case Cond::Ne:  return Opcode::Bne;
+      case Cond::Lt:  return Opcode::Blt;
+      case Cond::Ge:  return Opcode::Bge;
+      case Cond::LtU: return Opcode::Bltu;
+      case Cond::GeU: return Opcode::Bgeu;
+    }
+    panic("branchOpcode: bad condition");
+}
+
+/** Emits one function's code into the program under construction. */
+class FunctionLowerer
+{
+  public:
+    FunctionLowerer(prog::Program &program, const Function &fn,
+                    const Allocation &alloc,
+                    std::vector<std::pair<std::size_t, std::string>>
+                        &call_fixups,
+                    LowerStats &stats)
+        : _prog(program), _fn(fn), _alloc(alloc),
+          _callFixups(call_fixups), _stats(stats)
+    {
+        _frameSlots = _alloc.numSlots;
+        _calleeBase = _frameSlots;
+        _raSlot = _calleeBase + _alloc.usedCalleeSaved.size();
+        std::size_t words =
+            _raSlot + (_alloc.hasCalls ? 1 : 0);
+        _frameSize = static_cast<std::int64_t>((words * 8 + 15) & ~15ULL);
+    }
+
+    void
+    lower()
+    {
+        emitPrologue();
+        // Block start indices for branch fixups.
+        std::vector<std::pair<std::size_t, BlockId>> branch_fixups;
+        std::vector<std::size_t> block_start(_fn.blocks.size());
+        for (const Block &b : _fn.blocks) {
+            block_start[b.id] = _prog.numInsts();
+            for (const MirInst &inst : b.insts)
+                lowerInst(inst);
+            lowerTerminator(b, branch_fixups);
+        }
+        for (auto [inst_idx, target] : branch_fixups) {
+            std::int64_t disp =
+                static_cast<std::int64_t>(block_start[target]) -
+                static_cast<std::int64_t>(inst_idx);
+            fatal_if(!fitsSigned(disp, 16),
+                     "branch displacement ", disp, " overflows in ",
+                     _fn.name);
+            _prog.inst(inst_idx).imm = disp;
+        }
+    }
+
+  private:
+    std::int64_t slotOffset(unsigned slot) const { return 8 * slot; }
+    std::int64_t
+    calleeSlotOffset(std::size_t i) const
+    {
+        return 8 * static_cast<std::int64_t>(_calleeBase + i);
+    }
+    std::int64_t raOffset() const
+    {
+        return 8 * static_cast<std::int64_t>(_raSlot);
+    }
+
+    std::size_t
+    emit(const Instruction &inst, InstOrigin origin)
+    {
+        return _prog.append(inst, origin);
+    }
+
+    void
+    emitPrologue()
+    {
+        using namespace isa::build;
+        if (_frameSize > 0) {
+            emit(ri(Opcode::Addi, kRegSp, kRegSp, -_frameSize),
+                 InstOrigin::Prologue);
+        }
+        if (_alloc.hasCalls) {
+            emit(st(kRegRa, kRegSp, raOffset()), InstOrigin::Prologue);
+        }
+        for (std::size_t i = 0; i < _alloc.usedCalleeSaved.size(); ++i) {
+            emit(st(_alloc.usedCalleeSaved[i], kRegSp,
+                    calleeSlotOffset(i)),
+                 InstOrigin::CalleeSave);
+            ++_stats.calleeSaves;
+        }
+        // Move parameters from the argument registers to their homes.
+        for (std::size_t i = 0; i < _fn.params.size(); ++i) {
+            RegId arg_reg = static_cast<RegId>(kRegArg0 + i);
+            const Location &loc = _alloc.loc(_fn.params[i]);
+            if (loc.isReg()) {
+                if (loc.reg() != arg_reg) {
+                    emit(mov(loc.reg(), arg_reg), InstOrigin::Prologue);
+                }
+            } else {
+                emit(st(arg_reg, kRegSp, slotOffset(loc.slot())),
+                     InstOrigin::Prologue);
+            }
+        }
+    }
+
+    void
+    emitEpilogue()
+    {
+        using namespace isa::build;
+        for (std::size_t i = 0; i < _alloc.usedCalleeSaved.size(); ++i) {
+            emit(ld(_alloc.usedCalleeSaved[i], kRegSp,
+                    calleeSlotOffset(i)),
+                 InstOrigin::CalleeSave);
+            ++_stats.calleeRestores;
+        }
+        if (_alloc.hasCalls)
+            emit(ld(kRegRa, kRegSp, raOffset()), InstOrigin::Prologue);
+        if (_frameSize > 0) {
+            emit(ri(Opcode::Addi, kRegSp, kRegSp, _frameSize),
+                 InstOrigin::Prologue);
+        }
+    }
+
+    /** Fetch a source vreg into a register, reloading spills. */
+    RegId
+    srcReg(VReg v, RegId scratch, InstOrigin reload_origin)
+    {
+        using namespace isa::build;
+        const Location &loc = _alloc.loc(v);
+        if (loc.isReg())
+            return loc.reg();
+        emit(ld(scratch, kRegSp, slotOffset(loc.slot())), reload_origin);
+        ++_stats.spillLoads;
+        return scratch;
+    }
+
+    /** Register a destination vreg's value will be computed into. */
+    RegId
+    dstReg(VReg v, RegId scratch) const
+    {
+        const Location &loc = _alloc.loc(v);
+        return loc.isReg() ? loc.reg() : scratch;
+    }
+
+    /** Flush a computed destination to its spill slot if needed. */
+    void
+    finishDst(VReg v, RegId holding)
+    {
+        using namespace isa::build;
+        const Location &loc = _alloc.loc(v);
+        if (!loc.isReg()) {
+            emit(st(holding, kRegSp, slotOffset(loc.slot())),
+                 InstOrigin::Spill);
+            ++_stats.spillStores;
+        }
+    }
+
+    /** Materialize an arbitrary 64-bit constant into `rd`. */
+    void
+    materialize(RegId rd, std::int64_t value, InstOrigin origin)
+    {
+        using namespace isa::build;
+        if (fitsSigned(value, 16)) {
+            emit(li(rd, value), origin);
+            return;
+        }
+        // Fields are stored in encoded (sign-extended 16-bit) form:
+        // lui sign-extends its field, ori re-masks to an unsigned
+        // 16-bit immediate (see isa::immOperand).
+        auto field = [](std::int64_t v, unsigned shift) {
+            return sext((v >> shift) & 0xffff, 16);
+        };
+        if (fitsSigned(value, 32)) {
+            emit(ri(Opcode::Lui, rd, 0, field(value, 16)), origin);
+            if ((value & 0xffff) != 0)
+                emit(ri(Opcode::Ori, rd, rd, field(value, 0)), origin);
+            return;
+        }
+        emit(ri(Opcode::Lui, rd, 0, field(value, 48)), origin);
+        emit(ri(Opcode::Ori, rd, rd, field(value, 32)), origin);
+        emit(ri(Opcode::Slli, rd, rd, 16), origin);
+        emit(ri(Opcode::Ori, rd, rd, field(value, 16)), origin);
+        emit(ri(Opcode::Slli, rd, rd, 16), origin);
+        emit(ri(Opcode::Ori, rd, rd, field(value, 0)), origin);
+    }
+
+    void
+    lowerInst(const MirInst &inst)
+    {
+        using namespace isa::build;
+        InstOrigin origin = inst.origin;
+        switch (inst.op) {
+          case MOp::Add: case MOp::Sub: case MOp::And: case MOp::Or:
+          case MOp::Xor: case MOp::Sll: case MOp::Srl: case MOp::Sra:
+          case MOp::Slt: case MOp::Sltu: case MOp::Mul: case MOp::Div:
+          case MOp::Rem: {
+            RegId s1 = srcReg(inst.src1, kScratch0, InstOrigin::Spill);
+            RegId s2 = srcReg(inst.src2, kScratch1, InstOrigin::Spill);
+            RegId rd = dstReg(inst.dst, kScratch0);
+            emit(rr(aluOpcode(inst.op), rd, s1, s2), origin);
+            finishDst(inst.dst, rd);
+            break;
+          }
+          case MOp::AddI: case MOp::AndI: case MOp::OrI: case MOp::XorI:
+          case MOp::SllI: case MOp::SrlI: case MOp::SraI:
+          case MOp::SltI: {
+            ImmLowering how = immLowering(inst.op);
+            RegId s1 = srcReg(inst.src1, kScratch0, InstOrigin::Spill);
+            RegId rd = dstReg(inst.dst, kScratch0);
+            bool imm_fits =
+                how.logical ? inst.imm >= 0 && inst.imm < 0x10000
+                            : fitsSigned(inst.imm, 16);
+            if (imm_fits) {
+                emit(ri(how.immOp, rd, s1, inst.imm), origin);
+            } else {
+                materialize(kScratch1, inst.imm, origin);
+                emit(rr(how.regOp, rd, s1, kScratch1), origin);
+            }
+            finishDst(inst.dst, rd);
+            break;
+          }
+          case MOp::Li: {
+            RegId rd = dstReg(inst.dst, kScratch0);
+            materialize(rd, inst.imm, origin);
+            finishDst(inst.dst, rd);
+            break;
+          }
+          case MOp::Ld: {
+            RegId base = srcReg(inst.src1, kScratch0, InstOrigin::Spill);
+            RegId rd = dstReg(inst.dst, kScratch0);
+            fatal_if(!fitsSigned(inst.imm, 16),
+                     "load offset overflow in ", _fn.name);
+            emit(ld(rd, base, inst.imm), origin);
+            finishDst(inst.dst, rd);
+            break;
+          }
+          case MOp::St: {
+            RegId base = srcReg(inst.src1, kScratch0, InstOrigin::Spill);
+            RegId data = srcReg(inst.src2, kScratch1, InstOrigin::Spill);
+            fatal_if(!fitsSigned(inst.imm, 16),
+                     "store offset overflow in ", _fn.name);
+            emit(st(data, base, inst.imm), origin);
+            break;
+          }
+          case MOp::Out: {
+            RegId value = srcReg(inst.src1, kScratch0, InstOrigin::Spill);
+            emit(out(value), origin);
+            break;
+          }
+          case MOp::Call: {
+            for (std::size_t i = 0; i < inst.args.size(); ++i) {
+                RegId arg_reg = static_cast<RegId>(kRegArg0 + i);
+                const Location &loc = _alloc.loc(inst.args[i]);
+                if (loc.isReg()) {
+                    emit(mov(arg_reg, loc.reg()), origin);
+                } else {
+                    emit(ld(arg_reg, kRegSp, slotOffset(loc.slot())),
+                         InstOrigin::Spill);
+                    ++_stats.spillLoads;
+                }
+            }
+            _callFixups.emplace_back(_prog.numInsts(), inst.callee);
+            emit(jal(kRegRa, 0), origin);
+            if (inst.dst != kNoVReg) {
+                const Location &loc = _alloc.loc(inst.dst);
+                if (loc.isReg()) {
+                    emit(mov(loc.reg(), kRegRet0), origin);
+                } else {
+                    emit(st(kRegRet0, kRegSp, slotOffset(loc.slot())),
+                         InstOrigin::Spill);
+                    ++_stats.spillStores;
+                }
+            }
+            break;
+          }
+        }
+    }
+
+    void
+    lowerTerminator(const Block &b,
+                    std::vector<std::pair<std::size_t, BlockId>> &fixups)
+    {
+        using namespace isa::build;
+        const Terminator &term = b.term;
+        bool has_next = b.id + 1 < _fn.blocks.size();
+        switch (term.kind) {
+          case Terminator::Kind::Br: {
+            RegId s1 = srcReg(term.src1, kScratch0, InstOrigin::Spill);
+            RegId s2 = srcReg(term.src2, kScratch1, InstOrigin::Spill);
+            fixups.emplace_back(_prog.numInsts(), term.taken);
+            emit(br(branchOpcode(term.cond), s1, s2, 0),
+                 InstOrigin::Original);
+            if (!(has_next && term.fallthrough == b.id + 1)) {
+                fixups.emplace_back(_prog.numInsts(), term.fallthrough);
+                emit(jal(kRegZero, 0), InstOrigin::Original);
+            }
+            break;
+          }
+          case Terminator::Kind::Jmp:
+            if (!(has_next && term.taken == b.id + 1)) {
+                fixups.emplace_back(_prog.numInsts(), term.taken);
+                emit(jal(kRegZero, 0), InstOrigin::Original);
+            }
+            break;
+          case Terminator::Kind::Ret: {
+            if (term.retVal != kNoVReg) {
+                const Location &loc = _alloc.loc(term.retVal);
+                if (loc.isReg()) {
+                    emit(mov(kRegRet0, loc.reg()),
+                         InstOrigin::Original);
+                } else {
+                    emit(ld(kRegRet0, kRegSp,
+                            slotOffset(loc.slot())),
+                         InstOrigin::Spill);
+                    ++_stats.spillLoads;
+                }
+            }
+            emitEpilogue();
+            emit(jalr(kRegZero, kRegRa, 0), InstOrigin::Prologue);
+            break;
+          }
+          case Terminator::Kind::Halt:
+            emit(halt(), InstOrigin::Original);
+            break;
+        }
+    }
+
+    prog::Program &_prog;
+    const Function &_fn;
+    const Allocation &_alloc;
+    std::vector<std::pair<std::size_t, std::string>> &_callFixups;
+    LowerStats &_stats;
+    unsigned _frameSlots;
+    std::size_t _calleeBase;
+    std::size_t _raSlot;
+    std::int64_t _frameSize;
+};
+
+} // namespace
+
+prog::Program
+lowerModule(const Module &module, const RegAllocOptions &regalloc_opts,
+            LowerStats *stats)
+{
+    fatal_if(!module.hasFunction("main"),
+             "module '", module.name, "' has no main function");
+
+    prog::Program program(module.name);
+    LowerStats local_stats;
+    LowerStats &st = stats ? *stats : local_stats;
+
+    std::vector<std::pair<std::size_t, std::string>> call_fixups;
+    std::map<std::string, std::size_t> fn_start;
+
+    // Emit main first so the entry point is instruction 0.
+    std::vector<const Function *> order;
+    order.push_back(&module.function("main"));
+    for (const Function &fn : module.functions) {
+        if (fn.name != "main")
+            order.push_back(&fn);
+    }
+
+    for (const Function *fn : order) {
+        fatal_if(fn_start.count(fn->name), "duplicate function '",
+                 fn->name, "'");
+        fn_start[fn->name] = program.numInsts();
+        Allocation alloc = allocateRegisters(*fn, regalloc_opts);
+        FunctionLowerer lowerer(program, *fn, alloc, call_fixups, st);
+        lowerer.lower();
+    }
+
+    for (auto &[inst_idx, callee] : call_fixups) {
+        auto it = fn_start.find(callee);
+        fatal_if(it == fn_start.end(), "call to unknown function '",
+                 callee, "'");
+        std::int64_t disp =
+            static_cast<std::int64_t>(it->second) -
+            static_cast<std::int64_t>(inst_idx);
+        fatal_if(!fitsSigned(disp, 21), "call displacement overflow");
+        program.inst(inst_idx).imm = disp;
+    }
+
+    for (const auto &kv : module.dataWords)
+        program.poke(prog::kDataBase + kv.first, kv.second);
+
+    return program;
+}
+
+} // namespace dde::mir

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Lowering from allocated MIR to the executable ISA program: frame
+ * construction, calling convention, spill code insertion, immediate
+ * materialization, block layout and branch/call fixup.
+ */
+
+#ifndef DDE_MIR_LOWER_HH
+#define DDE_MIR_LOWER_HH
+
+#include "mir/mir.hh"
+#include "mir/regalloc.hh"
+#include "prog/program.hh"
+
+namespace dde::mir
+{
+
+/** Per-function lowering statistics, for reports and tests. */
+struct LowerStats
+{
+    unsigned spillLoads = 0;
+    unsigned spillStores = 0;
+    unsigned calleeSaves = 0;
+    unsigned calleeRestores = 0;
+};
+
+/**
+ * Lower a whole module. Functions are emitted with "main" first so the
+ * program entry point is main's first instruction; "main" must
+ * terminate with Halt, all other functions with Ret.
+ */
+prog::Program lowerModule(const Module &module,
+                          const RegAllocOptions &regalloc_opts = {},
+                          LowerStats *stats = nullptr);
+
+} // namespace dde::mir
+
+#endif // DDE_MIR_LOWER_HH

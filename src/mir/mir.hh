@@ -1,0 +1,284 @@
+/**
+ * @file
+ * MIR: the mini compiler's intermediate representation.
+ *
+ * A Module holds Functions; a Function is a CFG of Blocks over an
+ * unlimited supply of virtual registers. The compiler pipeline
+ * (hoisting scheduler -> linear-scan register allocation -> lowering)
+ * turns a Module into an executable prog::Program.
+ *
+ * The point of compiling workloads ourselves is fidelity to the paper:
+ * dynamically dead instructions there are chiefly *compiler artifacts*
+ * (speculative code motion, spills, the calling convention), so our
+ * benchmarks must acquire their dead instructions the same way.
+ */
+
+#ifndef DDE_MIR_MIR_HH
+#define DDE_MIR_MIR_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "prog/program.hh"
+
+namespace dde::mir
+{
+
+/** Virtual register id; 0 means "none". */
+using VReg = std::uint32_t;
+constexpr VReg kNoVReg = 0;
+
+/** Block id within a function. */
+using BlockId = std::uint32_t;
+
+/** MIR operations (non-terminators). */
+enum class MOp : std::uint8_t
+{
+    // dst = src1 OP src2
+    Add, Sub, And, Or, Xor, Sll, Srl, Sra, Slt, Sltu, Mul, Div, Rem,
+    // dst = src1 OP imm
+    AddI, AndI, OrI, XorI, SllI, SrlI, SraI, SltI,
+    // dst = imm (any 64-bit constant; lowering materializes it)
+    Li,
+    // dst = mem[src1 + imm]
+    Ld,
+    // mem[src1 + imm] = src2
+    St,
+    // output src1
+    Out,
+    // dst = call callee(args...)   (args/dst in the MirInst fields)
+    Call,
+};
+
+/** Relational condition for Br terminators. */
+enum class Cond : std::uint8_t { Eq, Ne, Lt, Ge, LtU, GeU };
+
+/** A single (non-terminator) MIR instruction. */
+struct MirInst
+{
+    MOp op;
+    VReg dst = kNoVReg;
+    VReg src1 = kNoVReg;
+    VReg src2 = kNoVReg;
+    std::int64_t imm = 0;
+    prog::InstOrigin origin = prog::InstOrigin::Original;
+
+    // Call-only fields.
+    std::string callee;
+    std::vector<VReg> args;
+
+    bool isCall() const { return op == MOp::Call; }
+
+    bool
+    hasDst() const
+    {
+        if (op == MOp::St || op == MOp::Out)
+            return false;
+        if (op == MOp::Call)
+            return dst != kNoVReg;
+        return true;
+    }
+
+    bool
+    readsSrc1() const
+    {
+        switch (op) {
+          case MOp::Li:
+          case MOp::Call:
+            return false;
+          default:
+            return true;
+        }
+    }
+
+    bool
+    readsSrc2() const
+    {
+        switch (op) {
+          case MOp::Add: case MOp::Sub: case MOp::And: case MOp::Or:
+          case MOp::Xor: case MOp::Sll: case MOp::Srl: case MOp::Sra:
+          case MOp::Slt: case MOp::Sltu: case MOp::Mul: case MOp::Div:
+          case MOp::Rem: case MOp::St:
+            return true;
+          default:
+            return false;
+        }
+    }
+
+    /** True if the instruction may be moved across a branch: it has no
+     * memory-write, I/O, or call side effects. Loads qualify (our ISA
+     * loads cannot fault) when the pass allows load speculation. */
+    bool
+    isSpeculable(bool allow_loads) const
+    {
+        switch (op) {
+          case MOp::St:
+          case MOp::Out:
+          case MOp::Call:
+            return false;
+          case MOp::Ld:
+            return allow_loads;
+          default:
+            return true;
+        }
+    }
+};
+
+/** Block terminator. */
+struct Terminator
+{
+    enum class Kind : std::uint8_t { Br, Jmp, Ret, Halt } kind;
+    // Br fields
+    Cond cond = Cond::Eq;
+    VReg src1 = kNoVReg;
+    VReg src2 = kNoVReg;
+    BlockId taken = 0;     ///< Br: true target; Jmp: target
+    BlockId fallthrough = 0;
+    // Ret field
+    VReg retVal = kNoVReg; ///< kNoVReg for void return
+
+    static Terminator
+    br(Cond c, VReg s1, VReg s2, BlockId t, BlockId f)
+    {
+        Terminator term;
+        term.kind = Kind::Br;
+        term.cond = c;
+        term.src1 = s1;
+        term.src2 = s2;
+        term.taken = t;
+        term.fallthrough = f;
+        return term;
+    }
+
+    static Terminator
+    jmp(BlockId target)
+    {
+        Terminator term;
+        term.kind = Kind::Jmp;
+        term.taken = target;
+        return term;
+    }
+
+    static Terminator
+    ret(VReg value = kNoVReg)
+    {
+        Terminator term;
+        term.kind = Kind::Ret;
+        term.retVal = value;
+        return term;
+    }
+
+    static Terminator
+    halt()
+    {
+        Terminator term;
+        term.kind = Kind::Halt;
+        return term;
+    }
+
+    /** Successor block ids (0, 1 or 2 of them). */
+    std::vector<BlockId>
+    successors() const
+    {
+        switch (kind) {
+          case Kind::Br:
+            return {taken, fallthrough};
+          case Kind::Jmp:
+            return {taken};
+          default:
+            return {};
+        }
+    }
+};
+
+/** A basic block: straight-line instructions plus one terminator. */
+struct Block
+{
+    BlockId id;
+    std::vector<MirInst> insts;
+    Terminator term = Terminator::halt();
+};
+
+/** A function: CFG, parameter vregs, and a vreg counter. */
+struct Function
+{
+    std::string name;
+    std::vector<Block> blocks;   ///< blocks[0] is the entry
+    std::vector<VReg> params;    ///< up to kNumArgRegs parameters
+    VReg nextVReg = 1;
+
+    VReg newVReg() { return nextVReg++; }
+
+    Block &
+    block(BlockId id)
+    {
+        panic_if(id >= blocks.size(), "bad block id ", id, " in ", name);
+        return blocks[id];
+    }
+
+    const Block &
+    block(BlockId id) const
+    {
+        panic_if(id >= blocks.size(), "bad block id ", id, " in ", name);
+        return blocks[id];
+    }
+
+    BlockId
+    newBlock()
+    {
+        Block b;
+        b.id = static_cast<BlockId>(blocks.size());
+        blocks.push_back(std::move(b));
+        return blocks.back().id;
+    }
+
+    /** Predecessor lists, recomputed on demand. */
+    std::vector<std::vector<BlockId>> predecessors() const;
+};
+
+/** A whole program in MIR form. "main" is the entry function. */
+struct Module
+{
+    std::string name;
+    std::vector<Function> functions;
+    /** Initialized 8-byte data words, relative to prog::kDataBase. */
+    std::map<std::uint64_t, RegVal> dataWords;
+
+    Function &
+    function(const std::string &fn_name)
+    {
+        for (auto &fn : functions) {
+            if (fn.name == fn_name)
+                return fn;
+        }
+        panic("no function '", fn_name, "' in module ", name);
+    }
+
+    const Function &
+    function(const std::string &fn_name) const
+    {
+        for (const auto &fn : functions) {
+            if (fn.name == fn_name)
+                return fn;
+        }
+        panic("no function '", fn_name, "' in module ", name);
+    }
+
+    bool
+    hasFunction(const std::string &fn_name) const
+    {
+        for (const auto &fn : functions) {
+            if (fn.name == fn_name)
+                return true;
+        }
+        return false;
+    }
+};
+
+} // namespace dde::mir
+
+#endif // DDE_MIR_MIR_HH

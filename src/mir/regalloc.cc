@@ -1,0 +1,204 @@
+#include "mir/regalloc.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "mir/liveness.hh"
+
+namespace dde::mir
+{
+
+namespace
+{
+
+/** A live interval over linearized instruction positions. */
+struct Interval
+{
+    VReg vreg;
+    std::uint32_t start;
+    std::uint32_t end;
+    bool crossesCall = false;
+};
+
+/** Builds linear positions and live intervals for a function. */
+struct IntervalBuilder
+{
+    const Function &fn;
+    Liveness live;
+    std::map<VReg, Interval> intervals;
+    std::vector<std::uint32_t> callPositions;
+
+    explicit IntervalBuilder(const Function &function)
+        : fn(function), live(computeLiveness(function))
+    {
+        build();
+    }
+
+    void
+    extend(VReg v, std::uint32_t pos)
+    {
+        if (v == kNoVReg)
+            return;
+        auto [it, inserted] =
+            intervals.try_emplace(v, Interval{v, pos, pos, false});
+        if (!inserted) {
+            it->second.start = std::min(it->second.start, pos);
+            it->second.end = std::max(it->second.end, pos);
+        }
+    }
+
+    void
+    build()
+    {
+        std::uint32_t pos = 0;
+        for (VReg p : fn.params)
+            extend(p, 0);
+        for (const Block &b : fn.blocks) {
+            std::uint32_t block_start = pos;
+            for (VReg v : live.liveIn[b.id])
+                extend(v, block_start);
+            for (const MirInst &inst : b.insts) {
+                for (VReg use : instUses(inst))
+                    extend(use, pos);
+                if (inst.hasDst())
+                    extend(inst.dst, pos);
+                if (inst.isCall())
+                    callPositions.push_back(pos);
+                ++pos;
+            }
+            // Terminator occupies one position.
+            for (VReg use : termUses(b.term))
+                extend(use, pos);
+            for (VReg v : live.liveOut[b.id])
+                extend(v, pos);
+            ++pos;
+        }
+        for (auto &kv : intervals) {
+            Interval &iv = kv.second;
+            iv.crossesCall = std::any_of(
+                callPositions.begin(), callPositions.end(),
+                [&](std::uint32_t call_pos) {
+                    return iv.start < call_pos && call_pos < iv.end;
+                });
+        }
+    }
+};
+
+} // namespace
+
+Allocation
+allocateRegisters(const Function &fn, const RegAllocOptions &opts)
+{
+    panic_if(opts.numCallerSaved > kNumTmpRegs - 2,
+             "at most ", kNumTmpRegs - 2,
+             " caller-saved registers are allocatable");
+    panic_if(opts.numCalleeSaved > kNumSavedRegs,
+             "at most ", kNumSavedRegs, " callee-saved registers exist");
+
+    IntervalBuilder builder(fn);
+
+    Allocation alloc;
+    alloc.hasCalls = !builder.callPositions.empty();
+
+    std::vector<Interval> order;
+    order.reserve(builder.intervals.size());
+    for (const auto &kv : builder.intervals)
+        order.push_back(kv.second);
+    std::sort(order.begin(), order.end(),
+              [](const Interval &a, const Interval &b) {
+                  if (a.start != b.start)
+                      return a.start < b.start;
+                  return a.vreg < b.vreg;
+              });
+
+    // Free pools. Caller-saved: t0..t{n-1}; callee-saved: s0..s{n-1}.
+    std::vector<RegId> free_caller, free_callee;
+    for (unsigned i = opts.numCallerSaved; i-- > 0;)
+        free_caller.push_back(static_cast<RegId>(kRegTmp0 + i));
+    for (unsigned i = opts.numCalleeSaved; i-- > 0;)
+        free_callee.push_back(static_cast<RegId>(kRegSaved0 + i));
+
+    auto is_callee_saved = [](RegId r) { return r >= kRegSaved0; };
+
+    struct Active
+    {
+        Interval iv;
+        RegId reg;
+    };
+    std::vector<Active> active;  // sorted by increasing end
+
+    unsigned next_slot = 0;
+    auto assign_slot = [&](VReg v) {
+        alloc.locs[v] = Location{Location::Kind::Slot,
+                                 static_cast<std::uint16_t>(next_slot++)};
+    };
+    auto assign_reg = [&](const Interval &iv, RegId r) {
+        alloc.locs[iv.vreg] =
+            Location{Location::Kind::Reg, static_cast<std::uint16_t>(r)};
+        auto pos = std::upper_bound(
+            active.begin(), active.end(), iv.end,
+            [](std::uint32_t end, const Active &a) {
+                return end < a.iv.end;
+            });
+        active.insert(pos, Active{iv, r});
+        if (is_callee_saved(r) &&
+            std::find(alloc.usedCalleeSaved.begin(),
+                      alloc.usedCalleeSaved.end(),
+                      r) == alloc.usedCalleeSaved.end()) {
+            alloc.usedCalleeSaved.push_back(r);
+        }
+    };
+
+    for (const Interval &current : order) {
+        // Expire intervals that ended before this one starts.
+        while (!active.empty() && active.front().iv.end < current.start) {
+            RegId r = active.front().reg;
+            if (is_callee_saved(r))
+                free_callee.push_back(r);
+            else
+                free_caller.push_back(r);
+            active.erase(active.begin());
+        }
+
+        RegId reg = 0;
+        bool found = false;
+        if (!current.crossesCall && !free_caller.empty()) {
+            reg = free_caller.back();
+            free_caller.pop_back();
+            found = true;
+        } else if (!free_callee.empty()) {
+            reg = free_callee.back();
+            free_callee.pop_back();
+            found = true;
+        }
+
+        if (found) {
+            assign_reg(current, reg);
+            continue;
+        }
+
+        // No free register: steal from the active interval with the
+        // furthest end whose register satisfies our constraint.
+        auto victim = active.end();
+        for (auto it = active.begin(); it != active.end(); ++it) {
+            bool compatible =
+                !current.crossesCall || is_callee_saved(it->reg);
+            if (compatible)
+                victim = it;  // active is end-sorted: last wins
+        }
+        if (victim != active.end() && victim->iv.end > current.end) {
+            RegId stolen = victim->reg;
+            assign_slot(victim->iv.vreg);
+            active.erase(victim);
+            assign_reg(current, stolen);
+        } else {
+            assign_slot(current.vreg);
+        }
+    }
+
+    alloc.numSlots = next_slot;
+    std::sort(alloc.usedCalleeSaved.begin(), alloc.usedCalleeSaved.end());
+    return alloc;
+}
+
+} // namespace dde::mir

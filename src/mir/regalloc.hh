@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Linear-scan register allocation (Poletto & Sarkar style) over MIR
+ * virtual registers.
+ *
+ * Virtual registers receive either an architectural register or a
+ * stack slot. Intervals that are live across a call site may only use
+ * callee-saved registers; everything else prefers caller-saved
+ * temporaries. Spill code (reload before use, store after def,
+ * inserted during lowering) is tagged InstOrigin::Spill — the second
+ * compiler mechanism the paper identifies as a deadness producer.
+ */
+
+#ifndef DDE_MIR_REGALLOC_HH
+#define DDE_MIR_REGALLOC_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "mir/mir.hh"
+
+namespace dde::mir
+{
+
+/** Where a virtual register lives after allocation. */
+struct Location
+{
+    enum class Kind : std::uint8_t { Reg, Slot } kind;
+    std::uint16_t index;  ///< RegId, or spill-slot number
+
+    bool isReg() const { return kind == Kind::Reg; }
+    RegId reg() const { return static_cast<RegId>(index); }
+    unsigned slot() const { return index; }
+};
+
+/** Allocation result for one function. */
+struct Allocation
+{
+    std::unordered_map<VReg, Location> locs;
+    std::vector<RegId> usedCalleeSaved;  ///< must be saved/restored
+    unsigned numSlots = 0;               ///< spill slots in the frame
+    bool hasCalls = false;
+
+    const Location &
+    loc(VReg v) const
+    {
+        auto it = locs.find(v);
+        panic_if(it == locs.end(), "vreg ", v, " has no location");
+        return it->second;
+    }
+};
+
+/** Tunables; shrinking the pools forces more spill code. */
+struct RegAllocOptions
+{
+    /** Caller-saved registers available (from t0 upward; two of the
+     * ten temporaries are always reserved as spill scratch). */
+    unsigned numCallerSaved = 8;
+    /** Callee-saved registers available (from s0 upward). */
+    unsigned numCalleeSaved = kNumSavedRegs;
+};
+
+/** Scratch registers reserved for spill reload/flush during lowering. */
+constexpr RegId kScratch0 = kRegTmp0 + 8;  // t8
+constexpr RegId kScratch1 = kRegTmp0 + 9;  // t9
+
+Allocation allocateRegisters(const Function &fn,
+                             const RegAllocOptions &opts = {});
+
+} // namespace dde::mir
+
+#endif // DDE_MIR_REGALLOC_HH

@@ -1,0 +1,398 @@
+/**
+ * @file
+ * Front-end branch prediction: bimodal and gshare direction
+ * predictors, a branch target buffer, and a return address stack,
+ * combined into the FrontendPredictor the core's fetch unit uses.
+ * The dead-instruction predictor consumes this unit's direction
+ * predictions as its future control-flow signature.
+ */
+
+#ifndef DDE_PREDICTOR_BRANCH_HH
+#define DDE_PREDICTOR_BRANCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace dde::predictor
+{
+
+/** Two-bit saturating counter. */
+class Counter2
+{
+  public:
+    bool taken() const { return _state >= 2; }
+
+    void
+    update(bool outcome)
+    {
+        if (outcome) {
+            if (_state < 3)
+                ++_state;
+        } else {
+            if (_state > 0)
+                --_state;
+        }
+    }
+
+    void reset(std::uint8_t state = 1) { _state = state; }
+    std::uint8_t state() const { return _state; }
+
+  private:
+    std::uint8_t _state = 1;  // weakly not-taken
+};
+
+/** PC-indexed table of 2-bit counters. */
+class BimodalPredictor
+{
+  public:
+    explicit BimodalPredictor(unsigned entries = 4096)
+        : _table(entries)
+    {
+        panic_if(!isPow2(entries), "bimodal size must be a power of two");
+    }
+
+    bool predict(Addr pc) const { return _table[index(pc)].taken(); }
+    void update(Addr pc, bool outcome) { _table[index(pc)].update(outcome); }
+
+    std::uint64_t sizeInBits() const { return 2ULL * _table.size(); }
+
+  private:
+    std::size_t index(Addr pc) const
+    {
+        return (pc >> 2) & (_table.size() - 1);
+    }
+    std::vector<Counter2> _table;
+};
+
+/** Gshare: global history XOR PC indexes the counter table. */
+class GsharePredictor
+{
+  public:
+    explicit GsharePredictor(unsigned entries = 4096,
+                             unsigned history_bits = 12)
+        : _table(entries), _historyBits(history_bits)
+    {
+        panic_if(!isPow2(entries), "gshare size must be a power of two");
+        panic_if(history_bits > 32, "history too long");
+    }
+
+    bool predict(Addr pc) const { return _table[index(pc)].taken(); }
+
+    /** Update counter and shift the outcome into global history. */
+    void
+    update(Addr pc, bool outcome)
+    {
+        _table[index(pc)].update(outcome);
+        shiftHistory(outcome);
+    }
+
+    /** Predict against an explicit (checkpointed) history value. */
+    bool
+    predictAt(Addr pc, std::uint32_t hist) const
+    {
+        return _table[indexAt(pc, hist)].taken();
+    }
+
+    /** Update only the counter, using the history that indexed the
+     * original prediction (the core shifts history at fetch). */
+    void
+    updateCounterAt(Addr pc, std::uint32_t hist, bool outcome)
+    {
+        _table[indexAt(pc, hist)].update(outcome);
+    }
+
+    /** Speculatively shift a predicted outcome into history (fetch
+     * time); recovery restores a checkpointed history. */
+    void
+    shiftHistory(bool outcome)
+    {
+        _history = ((_history << 1) | (outcome ? 1 : 0)) &
+                   ((1u << _historyBits) - 1);
+    }
+
+    std::uint32_t history() const { return _history; }
+    void setHistory(std::uint32_t h)
+    {
+        _history = h & ((1u << _historyBits) - 1);
+    }
+
+    std::uint64_t sizeInBits() const
+    {
+        return 2ULL * _table.size() + _historyBits;
+    }
+
+  private:
+    std::size_t
+    index(Addr pc) const
+    {
+        return indexAt(pc, _history);
+    }
+    std::size_t
+    indexAt(Addr pc, std::uint32_t hist) const
+    {
+        return ((pc >> 2) ^ hist) & (_table.size() - 1);
+    }
+    std::vector<Counter2> _table;
+    std::uint32_t _history = 0;
+    unsigned _historyBits;
+};
+
+/** Direct-mapped branch target buffer with partial tags. */
+class Btb
+{
+  public:
+    explicit Btb(unsigned entries = 1024) : _entries(entries)
+    {
+        panic_if(!isPow2(entries), "BTB size must be a power of two");
+    }
+
+    /** @return target address, or 0 on miss. */
+    Addr
+    lookup(Addr pc) const
+    {
+        const Entry &e = _entries[index(pc)];
+        return (e.valid && e.tag == tag(pc)) ? e.target : 0;
+    }
+
+    void
+    update(Addr pc, Addr target)
+    {
+        Entry &e = _entries[index(pc)];
+        e.valid = true;
+        e.tag = tag(pc);
+        e.target = target;
+    }
+
+    std::uint64_t sizeInBits() const
+    {
+        return _entries.size() * (1 + 16 + 32);
+    }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint16_t tag = 0;
+        Addr target = 0;
+    };
+    std::size_t index(Addr pc) const
+    {
+        return (pc >> 2) & (_entries.size() - 1);
+    }
+    std::uint16_t tag(Addr pc) const
+    {
+        return static_cast<std::uint16_t>(
+            xorFold(pc >> (2 + floorLog2(_entries.size())), 16));
+    }
+    std::vector<Entry> _entries;
+};
+
+/** Circular return-address stack. */
+class ReturnAddressStack
+{
+  public:
+    explicit ReturnAddressStack(unsigned depth = 16) : _stack(depth) {}
+
+    void
+    push(Addr return_pc)
+    {
+        _top = (_top + 1) % _stack.size();
+        _stack[_top] = return_pc;
+        if (_size < _stack.size())
+            ++_size;
+    }
+
+    /** @return predicted return address, or 0 when empty. */
+    Addr
+    pop()
+    {
+        if (_size == 0)
+            return 0;
+        Addr r = _stack[_top];
+        _top = (_top + _stack.size() - 1) % _stack.size();
+        --_size;
+        return r;
+    }
+
+    unsigned size() const { return _size; }
+
+  private:
+    std::vector<Addr> _stack;
+    std::size_t _top = 0;
+    unsigned _size = 0;
+};
+
+/**
+ * Tournament predictor: bimodal and gshare components with a
+ * per-branch chooser that learns which component to trust. The
+ * classic Alpha 21264-style hybrid; exposed both standalone and as an
+ * optional front-end direction predictor.
+ */
+class TournamentPredictor
+{
+  public:
+    TournamentPredictor(unsigned entries = 4096,
+                        unsigned history_bits = 12)
+        : _bimodal(entries), _gshare(entries, history_bits),
+          _chooser(entries)
+    {}
+
+    bool
+    predictAt(Addr pc, std::uint32_t hist) const
+    {
+        bool use_gshare = _chooser[chooserIndex(pc)].taken();
+        return use_gshare ? _gshare.predictAt(pc, hist)
+                          : _bimodal.predict(pc);
+    }
+
+    /** Update both components and train the chooser toward whichever
+     * component was right (no-op on agreement). */
+    void
+    updateCounterAt(Addr pc, std::uint32_t hist, bool outcome)
+    {
+        bool g = _gshare.predictAt(pc, hist);
+        bool b = _bimodal.predict(pc);
+        if (g != b)
+            _chooser[chooserIndex(pc)].update(g == outcome);
+        _gshare.updateCounterAt(pc, hist, outcome);
+        _bimodal.update(pc, outcome);
+    }
+
+    /** Convenience in-order interface (trace-driven use). */
+    bool predict(Addr pc) const
+    {
+        return predictAt(pc, _gshare.history());
+    }
+
+    void
+    update(Addr pc, bool outcome)
+    {
+        updateCounterAt(pc, _gshare.history(), outcome);
+        _gshare.shiftHistory(outcome);
+    }
+
+    GsharePredictor &gshare() { return _gshare; }
+
+    std::uint64_t
+    sizeInBits() const
+    {
+        return _bimodal.sizeInBits() + _gshare.sizeInBits() +
+               2ULL * _chooser.size();
+    }
+
+  private:
+    std::size_t
+    chooserIndex(Addr pc) const
+    {
+        return (pc >> 2) & (_chooser.size() - 1);
+    }
+
+    BimodalPredictor _bimodal;
+    GsharePredictor _gshare;
+    std::vector<Counter2> _chooser;
+};
+
+/** Front-end direction predictor flavours. */
+enum class DirectionPredictor : std::uint8_t { Gshare, Tournament };
+
+/** Front-end prediction bundle configuration. */
+struct FrontendConfig
+{
+    DirectionPredictor direction = DirectionPredictor::Gshare;
+    unsigned gshareEntries = 4096;
+    unsigned historyBits = 12;
+    unsigned btbEntries = 1024;
+    unsigned rasDepth = 16;
+};
+
+/** One fetch-time prediction. */
+struct BranchPrediction
+{
+    bool taken = false;
+    Addr target = 0;  ///< 0 when unknown (BTB/RAS miss)
+};
+
+/**
+ * The combined front-end predictor: a configurable direction
+ * predictor (gshare or tournament), BTB targets, RAS for returns
+ * (jalr), with checkpointable global history so the core can recover
+ * from mispredictions.
+ */
+class FrontendPredictor
+{
+  public:
+    explicit FrontendPredictor(const FrontendConfig &cfg = {})
+        : _cfg(cfg), _gshare(cfg.gshareEntries, cfg.historyBits),
+          _tournament(cfg.gshareEntries, cfg.historyBits),
+          _btb(cfg.btbEntries), _ras(cfg.rasDepth)
+    {}
+
+    /** Direction prediction against an explicit history value. */
+    bool
+    directionAt(Addr pc, std::uint32_t hist) const
+    {
+        return _cfg.direction == DirectionPredictor::Tournament
+                   ? _tournament.predictAt(pc, hist)
+                   : _gshare.predictAt(pc, hist);
+    }
+
+    /** Counter update (commit time) with the prediction-time history. */
+    void
+    updateDirection(Addr pc, std::uint32_t hist, bool outcome)
+    {
+        if (_cfg.direction == DirectionPredictor::Tournament)
+            _tournament.updateCounterAt(pc, hist, outcome);
+        else
+            _gshare.updateCounterAt(pc, hist, outcome);
+    }
+
+    std::uint32_t history() const { return historySource().history(); }
+    void shiftHistory(bool outcome)
+    {
+        historySource().shiftHistory(outcome);
+    }
+    void setHistory(std::uint32_t h) { historySource().setHistory(h); }
+
+    GsharePredictor &gshare() { return _gshare; }
+    TournamentPredictor &tournament() { return _tournament; }
+    Btb &btb() { return _btb; }
+    ReturnAddressStack &ras() { return _ras; }
+
+    std::uint64_t
+    sizeInBits() const
+    {
+        std::uint64_t direction =
+            _cfg.direction == DirectionPredictor::Tournament
+                ? _tournament.sizeInBits()
+                : _gshare.sizeInBits();
+        return direction + _btb.sizeInBits();
+    }
+
+  private:
+    GsharePredictor &
+    historySource()
+    {
+        return _cfg.direction == DirectionPredictor::Tournament
+                   ? _tournament.gshare()
+                   : _gshare;
+    }
+    const GsharePredictor &
+    historySource() const
+    {
+        return const_cast<FrontendPredictor *>(this)->historySource();
+    }
+
+    FrontendConfig _cfg;
+    GsharePredictor _gshare;
+    TournamentPredictor _tournament;
+    Btb _btb;
+    ReturnAddressStack _ras;
+};
+
+} // namespace dde::predictor
+
+#endif // DDE_PREDICTOR_BRANCH_HH

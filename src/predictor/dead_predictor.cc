@@ -1,0 +1,93 @@
+#include "predictor/dead_predictor.hh"
+
+namespace dde::predictor
+{
+
+DeadInstPredictor::DeadInstPredictor(const DeadPredictorConfig &cfg)
+    : _cfg(cfg), _table(cfg.entries),
+      _counterMax((1u << cfg.counterBits) - 1)
+{
+    panic_if(!isPow2(cfg.entries),
+             "dead predictor entries must be a power of two");
+    panic_if(cfg.counterBits == 0 || cfg.counterBits > 8,
+             "counter width must be 1..8 bits");
+    panic_if(cfg.threshold > _counterMax,
+             "threshold exceeds counter range");
+    panic_if(cfg.futureDepth > 16, "future depth must be <= 16");
+    panic_if(cfg.tagBits > 16, "tag width must be <= 16");
+}
+
+std::size_t
+DeadInstPredictor::index(Addr pc, FutureSig sig) const
+{
+    // Interleave the signature above the low PC bits so instances of
+    // one static instruction with different futures spread across
+    // different sets.
+    std::uint64_t raw =
+        (pc >> 2) ^ (static_cast<std::uint64_t>(maskSig(sig)) << 3);
+    return raw & (_table.size() - 1);
+}
+
+std::uint16_t
+DeadInstPredictor::tag(Addr pc, FutureSig sig) const
+{
+    if (_cfg.tagBits == 0)
+        return 0;
+    std::uint64_t raw = ((pc >> 2) * 0x9e3779b97f4a7c15ULL) ^
+                        (static_cast<std::uint64_t>(maskSig(sig))
+                         << 11);
+    return static_cast<std::uint16_t>(
+        xorFold(raw >> 7, _cfg.tagBits));
+}
+
+bool
+DeadInstPredictor::predict(Addr pc, FutureSig sig) const
+{
+    const Entry &e = _table[index(pc, sig)];
+    return e.valid && e.tag == tag(pc, sig) &&
+           e.counter >= _cfg.threshold;
+}
+
+void
+DeadInstPredictor::train(Addr pc, FutureSig sig, bool dead)
+{
+    Entry &e = _table[index(pc, sig)];
+    std::uint16_t t = tag(pc, sig);
+    if (e.valid && e.tag == t) {
+        if (dead) {
+            if (e.counter < _counterMax)
+                ++e.counter;
+        } else if (_cfg.clearOnLive) {
+            e.counter = 0;
+        } else if (e.counter > 0) {
+            --e.counter;
+        }
+        return;
+    }
+    // Miss: allocate only on dead outcomes (live is the common case;
+    // allocating on it would just thrash the small table).
+    if (dead) {
+        e.valid = true;
+        e.tag = t;
+        e.counter = 1;
+    }
+}
+
+void
+DeadInstPredictor::punish(Addr pc, FutureSig sig)
+{
+    Entry &e = _table[index(pc, sig)];
+    if (e.valid && e.tag == tag(pc, sig))
+        e.counter = 0;
+}
+
+unsigned
+DeadInstPredictor::counterOf(Addr pc, FutureSig sig) const
+{
+    const Entry &e = _table[index(pc, sig)];
+    if (!e.valid || e.tag != tag(pc, sig))
+        return 0;
+    return e.counter;
+}
+
+} // namespace dde::predictor

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The dead-instruction predictor — the paper's central hardware
+ * structure.
+ *
+ * A small tagged table of saturating confidence counters, indexed by a
+ * hash of the producing instruction's PC and its *future control-flow
+ * signature*: the predicted directions of the next `futureDepth`
+ * conditional branches that follow it in the dynamic stream. The
+ * signature is what lets the predictor tell useless from useful
+ * instances of the same static instruction — whether a value will be
+ * consumed is usually decided by the path taken after it is produced.
+ * With the default geometry (2048 entries x (8-bit tag + 2-bit
+ * counter)) the table holds 2.5 KB of state, inside the paper's 5 KB
+ * budget.
+ *
+ * Training comes from the commit-time DeadValueDetector: a "dead"
+ * event when a value was overwritten unread strengthens the entry; a
+ * "live" event on a value's first use decrements it (or clears it
+ * under the more conservative clearOnLive policy).
+ */
+
+#ifndef DDE_PREDICTOR_DEAD_PREDICTOR_HH
+#define DDE_PREDICTOR_DEAD_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace dde::predictor
+{
+
+/** Future control-flow signature: up to 16 predicted branch
+ * directions, LSB = nearest future branch. */
+using FutureSig = std::uint16_t;
+
+/** Geometry and policy of the dead-instruction predictor. */
+struct DeadPredictorConfig
+{
+    unsigned entries = 2048;   ///< power of two
+    unsigned tagBits = 8;      ///< partial tag width (0 = untagged)
+    unsigned counterBits = 2;  ///< confidence counter width
+    /** Counter value at or above which we predict dead. */
+    unsigned threshold = 2;
+    /** Number of future branch predictions hashed into the index/tag.
+     * 0 reduces the predictor to a PC-only structure (ablation). */
+    unsigned futureDepth = 8;
+    /** Live outcome policy: decrement the counter (false, default) or
+     * clear it outright (true; trades coverage for accuracy). */
+    bool clearOnLive = false;
+
+    std::uint64_t
+    sizeInBits() const
+    {
+        return static_cast<std::uint64_t>(entries) *
+               (tagBits + counterBits);
+    }
+};
+
+/** Tagged, confidence-based dead-instruction predictor. */
+class DeadInstPredictor
+{
+  public:
+    explicit DeadInstPredictor(const DeadPredictorConfig &cfg = {});
+
+    /** Predict whether the instance (pc, future signature) is dead. */
+    bool predict(Addr pc, FutureSig sig) const;
+
+    /** Train with the detector's verdict for an instance. */
+    void train(Addr pc, FutureSig sig, bool dead);
+
+    /** Clear the entry after a costly dead misprediction, guaranteeing
+     * the same instance will not be predicted dead again immediately. */
+    void punish(Addr pc, FutureSig sig);
+
+    /** Mask a raw signature down to the configured future depth. */
+    FutureSig
+    maskSig(FutureSig sig) const
+    {
+        unsigned d = _cfg.futureDepth;
+        return d == 0 ? 0
+                      : static_cast<FutureSig>(sig &
+                                               ((1u << d) - 1));
+    }
+
+    const DeadPredictorConfig &config() const { return _cfg; }
+    std::uint64_t sizeInBits() const { return _cfg.sizeInBits(); }
+
+    /** Counter state of the entry an instance maps to (for tests). */
+    unsigned counterOf(Addr pc, FutureSig sig) const;
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint16_t tag = 0;
+        std::uint8_t counter = 0;
+    };
+
+    std::size_t index(Addr pc, FutureSig sig) const;
+    std::uint16_t tag(Addr pc, FutureSig sig) const;
+
+    DeadPredictorConfig _cfg;
+    std::vector<Entry> _table;
+    unsigned _counterMax;
+};
+
+/**
+ * Ablation baseline: an untagged last-outcome predictor ("predict dead
+ * iff this static instruction's previous instance died").
+ */
+class LastOutcomePredictor
+{
+  public:
+    explicit LastOutcomePredictor(unsigned entries = 8192)
+        : _table(entries, false)
+    {
+        panic_if(!isPow2(entries), "size must be a power of two");
+    }
+
+    bool
+    predict(Addr pc) const
+    {
+        return _table[(pc >> 2) & (_table.size() - 1)];
+    }
+
+    void
+    train(Addr pc, bool dead)
+    {
+        _table[(pc >> 2) & (_table.size() - 1)] = dead;
+    }
+
+    std::uint64_t sizeInBits() const { return _table.size(); }
+
+  private:
+    std::vector<bool> _table;
+};
+
+} // namespace dde::predictor
+
+#endif // DDE_PREDICTOR_DEAD_PREDICTOR_HH

@@ -1,0 +1,78 @@
+#include "predictor/detector.hh"
+
+namespace dde::predictor
+{
+
+DeadValueDetector::DeadValueDetector(const DetectorConfig &cfg)
+    : _cfg(cfg), _mem(cfg.memEntries)
+{
+    panic_if(!isPow2(cfg.memEntries),
+             "detector memory table must be a power of two");
+}
+
+void
+DeadValueDetector::onRegRead(RegId r, std::vector<DeadEvent> &events)
+{
+    RegEntry &e = _regs[r];
+    if (e.tracking && !e.read) {
+        events.push_back(DeadEvent{e.producer, false});
+        e.read = true;
+    }
+}
+
+void
+DeadValueDetector::onRegWrite(RegId rd, const ProducerInfo &producer,
+                              std::vector<DeadEvent> &events)
+{
+    if (rd == kRegZero)
+        return;
+    RegEntry &e = _regs[rd];
+    if (e.tracking && !e.read)
+        events.push_back(DeadEvent{e.producer, true});
+    e.tracking = true;
+    e.read = false;
+    e.producer = producer;
+}
+
+void
+DeadValueDetector::onRegWriteOpaque(RegId rd,
+                                    std::vector<DeadEvent> &events)
+{
+    if (rd == kRegZero)
+        return;
+    RegEntry &e = _regs[rd];
+    if (e.tracking && !e.read)
+        events.push_back(DeadEvent{e.producer, true});
+    e.tracking = false;
+    e.read = false;
+}
+
+void
+DeadValueDetector::onLoad(Addr addr, std::vector<DeadEvent> &events)
+{
+    Addr word = addr & ~Addr(7);
+    MemEntry &e = _mem[memIndex(word)];
+    if (e.valid && e.wordAddr == word && !e.read) {
+        events.push_back(DeadEvent{e.producer, false});
+        e.read = true;
+    }
+}
+
+void
+DeadValueDetector::onStore(Addr addr, const ProducerInfo &producer,
+                           std::vector<DeadEvent> &events)
+{
+    Addr word = addr & ~Addr(7);
+    MemEntry &e = _mem[memIndex(word)];
+    if (e.valid && e.wordAddr == word && !e.read)
+        events.push_back(DeadEvent{e.producer, true});
+    // Conflicting entries are simply replaced: an eviction loses
+    // tracking for the old word, which can only suppress training
+    // events, never fabricate them.
+    e.valid = true;
+    e.read = false;
+    e.wordAddr = word;
+    e.producer = producer;
+}
+
+} // namespace dde::predictor

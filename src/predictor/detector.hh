@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Commit-time dead-value detector — the predictor's training source.
+ *
+ * Register side: one entry per architectural register remembering the
+ * last committed producer and whether its value has been read. An
+ * overwrite of an unread value proves the producer dead; the first
+ * read proves it live. Both generate training events.
+ *
+ * Memory side: a small direct-mapped, tagged table tracking the last
+ * store to recently-touched words. A store overwriting an unread
+ * store's word proves the earlier store dead; a load proves it live.
+ * Evictions drop tracking silently (conservative: no event).
+ *
+ * This is exactly the information a real commit stage can observe —
+ * transitively dead chains are *not* detected directly (the oracle in
+ * src/deadness handles those for characterization); they are still
+ * eliminated in steady state because each link's own value dies once
+ * its consumers are eliminated.
+ */
+
+#ifndef DDE_PREDICTOR_DETECTOR_HH
+#define DDE_PREDICTOR_DETECTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "predictor/dead_predictor.hh"
+
+namespace dde::predictor
+{
+
+/** Identity of a producing dynamic instruction, as captured at
+ * prediction time (the same signature must be used for training). */
+struct ProducerInfo
+{
+    Addr pc = 0;
+    FutureSig sig = 0;
+    SeqNum seq = 0;
+};
+
+/** One training event: the producer's value proved dead or live. */
+struct DeadEvent
+{
+    ProducerInfo producer;
+    bool dead = false;
+};
+
+/** Detector geometry. */
+struct DetectorConfig
+{
+    unsigned memEntries = 4096;  ///< memory-side table, power of two
+
+    std::uint64_t
+    sizeInBits() const
+    {
+        // Register side: pc (32) + sig (16) + read bit per arch reg.
+        // Memory side: tag (32) + pc (32) + sig (16) + read + valid.
+        return kNumArchRegs * (32 + 16 + 1) +
+               static_cast<std::uint64_t>(memEntries) *
+                   (32 + 32 + 16 + 2);
+    }
+};
+
+/** The detector itself. Feed it the committed instruction stream. */
+class DeadValueDetector
+{
+  public:
+    explicit DeadValueDetector(const DetectorConfig &cfg = {});
+
+    /**
+     * A committed instruction reads register r. Emits at most one
+     * live event (on the value's first read).
+     */
+    void onRegRead(RegId r, std::vector<DeadEvent> &events);
+
+    /**
+     * A committed, trainable producer writes register rd. Emits a
+     * dead event if the previous value was never read.
+     */
+    void onRegWrite(RegId rd, const ProducerInfo &producer,
+                    std::vector<DeadEvent> &events);
+
+    /**
+     * A committed write by a non-trainable producer (e.g. the link
+     * register write of jal). Resolves the previous value but leaves
+     * no producer to train.
+     */
+    void onRegWriteOpaque(RegId rd, std::vector<DeadEvent> &events);
+
+    /** A committed load from `addr`. */
+    void onLoad(Addr addr, std::vector<DeadEvent> &events);
+
+    /** A committed, trainable store to `addr`. */
+    void onStore(Addr addr, const ProducerInfo &producer,
+                 std::vector<DeadEvent> &events);
+
+    const DetectorConfig &config() const { return _cfg; }
+    std::uint64_t sizeInBits() const { return _cfg.sizeInBits(); }
+
+  private:
+    struct RegEntry
+    {
+        bool tracking = false;
+        bool read = false;
+        ProducerInfo producer;
+    };
+
+    struct MemEntry
+    {
+        bool valid = false;
+        bool read = false;
+        Addr wordAddr = 0;
+        ProducerInfo producer;
+    };
+
+    std::size_t
+    memIndex(Addr word_addr) const
+    {
+        return (word_addr >> 3) & (_mem.size() - 1);
+    }
+
+    DetectorConfig _cfg;
+    std::array<RegEntry, kNumArchRegs> _regs{};
+    std::vector<MemEntry> _mem;
+};
+
+} // namespace dde::predictor
+
+#endif // DDE_PREDICTOR_DETECTOR_HH

@@ -1,0 +1,161 @@
+#include "predictor/trace_eval.hh"
+
+namespace dde::predictor
+{
+
+std::vector<FutureSig>
+computeFutureSigs(const prog::Program &program,
+                  const std::vector<emu::TraceRecord> &trace,
+                  const FrontendConfig &frontend, bool oracle_future,
+                  TraceEvalResult *result)
+{
+    const std::size_t n = trace.size();
+
+    // Forward pass: a direction per conditional branch record.
+    std::vector<std::uint8_t> direction(n, 0);  // 1 = taken
+    GsharePredictor gshare(frontend.gshareEntries, frontend.historyBits);
+    TournamentPredictor tournament(frontend.gshareEntries,
+                                   frontend.historyBits);
+    bool use_tournament =
+        frontend.direction == DirectionPredictor::Tournament;
+    for (std::size_t k = 0; k < n; ++k) {
+        const auto &rec = trace[k];
+        const isa::Instruction &inst = program.inst(rec.staticIdx);
+        if (!inst.isCondBranch())
+            continue;
+        Addr pc = prog::Program::pcOf(rec.staticIdx);
+        bool predicted = use_tournament ? tournament.predict(pc)
+                                        : gshare.predict(pc);
+        if (use_tournament)
+            tournament.update(pc, rec.taken);
+        else
+            gshare.update(pc, rec.taken);
+        bool used = oracle_future ? rec.taken : predicted;
+        direction[k] = used ? 1 : 0;
+        if (result) {
+            result->condBranches++;
+            if (predicted == rec.taken)
+                result->condBranchHits++;
+        }
+    }
+
+    // Backward pass: accumulate the next-branch shift register.
+    std::vector<FutureSig> sigs(n, 0);
+    FutureSig after = 0;
+    for (std::size_t k = n; k-- > 0;) {
+        sigs[k] = after;
+        const isa::Instruction &inst = program.inst(trace[k].staticIdx);
+        if (inst.isCondBranch())
+            after = static_cast<FutureSig>((after << 1) | direction[k]);
+    }
+    return sigs;
+}
+
+TraceEvalResult
+evaluateOnTrace(const prog::Program &program,
+                const std::vector<emu::TraceRecord> &trace,
+                const TraceEvalConfig &config)
+{
+    TraceEvalResult result;
+    result.dynTotal = trace.size();
+
+    std::vector<FutureSig> sigs = computeFutureSigs(
+        program, trace, config.frontend, config.oracleFuture, &result);
+
+    DeadInstPredictor predictor(config.predictor);
+    LastOutcomePredictor last_outcome;
+    DeadValueDetector detector(config.detector);
+    result.predictorBits = config.lastOutcomeBaseline
+                               ? last_outcome.sizeInBits()
+                               : predictor.sizeInBits();
+
+    // Per-candidate prediction, labeled lazily by detector events.
+    enum class Label : std::uint8_t { None, Dead, Live };
+    std::vector<Label> label(trace.size(), Label::None);
+    std::vector<bool> predicted(trace.size(), false);
+    std::vector<bool> candidate(trace.size(), false);
+
+    std::vector<DeadEvent> events;
+    auto drain = [&]() {
+        for (const DeadEvent &ev : events) {
+            std::size_t k = ev.producer.seq;
+            label[k] = ev.dead ? Label::Dead : Label::Live;
+            if (config.lastOutcomeBaseline)
+                last_outcome.train(ev.producer.pc, ev.dead);
+            else
+                predictor.train(ev.producer.pc, ev.producer.sig,
+                                ev.dead);
+        }
+        events.clear();
+    };
+
+    for (std::size_t k = 0; k < trace.size(); ++k) {
+        const auto &rec = trace[k];
+        const isa::Instruction &inst = program.inst(rec.staticIdx);
+        Addr pc = prog::Program::pcOf(rec.staticIdx);
+        FutureSig sig = config.lastOutcomeBaseline
+                            ? 0
+                            : predictor.maskSig(sigs[k]);
+
+        bool trainable_reg =
+            inst.writesReg() && !inst.hasSideEffect();
+        bool trainable_store = inst.isStore();
+
+        if (trainable_reg || trainable_store) {
+            candidate[k] = true;
+            result.candidates++;
+            predicted[k] = config.lastOutcomeBaseline
+                               ? last_outcome.predict(pc)
+                               : predictor.predict(pc, sig);
+            if (predicted[k])
+                result.predictedDead++;
+        }
+
+        // Commit-order detector updates: reads, then writes.
+        auto srcs = inst.srcRegs();
+        for (unsigned s = 0; s < inst.numSrcs(); ++s)
+            detector.onRegRead(srcs[s], events);
+        if (inst.isLoad())
+            detector.onLoad(rec.effAddr, events);
+        if (inst.isOut()) {
+            // onRegRead already issued above via srcRegs().
+        }
+        if (inst.writesReg()) {
+            if (trainable_reg) {
+                detector.onRegWrite(
+                    inst.rd, ProducerInfo{pc, sig, k}, events);
+            } else {
+                detector.onRegWriteOpaque(inst.rd, events);
+            }
+        }
+        if (inst.isStore())
+            detector.onStore(rec.effAddr, ProducerInfo{pc, sig, k},
+                             events);
+        drain();
+    }
+
+    for (std::size_t k = 0; k < trace.size(); ++k) {
+        if (!candidate[k])
+            continue;
+        switch (label[k]) {
+          case Label::Dead:
+            result.labeledDead++;
+            if (predicted[k])
+                result.truePositives++;
+            break;
+          case Label::Live:
+            result.labeledLive++;
+            if (predicted[k])
+                result.falsePositives++;
+            break;
+          case Label::None:
+            result.unresolved++;
+            if (predicted[k])
+                result.predictedUnresolved++;
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace dde::predictor

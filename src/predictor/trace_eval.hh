@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Trace-driven evaluation of the dead-instruction predictor: replays a
+ * committed-instruction trace through the front-end branch predictor
+ * (to form future control-flow signatures), the commit-time detector
+ * (to generate training events and ground-truth labels) and the
+ * dead-instruction predictor (to measure accuracy and coverage),
+ * without the cost of the full out-of-order core. This mirrors the
+ * paper's predictor characterization methodology.
+ */
+
+#ifndef DDE_PREDICTOR_TRACE_EVAL_HH
+#define DDE_PREDICTOR_TRACE_EVAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "emu/emulator.hh"
+#include "predictor/branch.hh"
+#include "predictor/dead_predictor.hh"
+#include "predictor/detector.hh"
+#include "prog/program.hh"
+
+namespace dde::predictor
+{
+
+/** Evaluation knobs. */
+struct TraceEvalConfig
+{
+    DeadPredictorConfig predictor;
+    DetectorConfig detector;
+    FrontendConfig frontend;
+    /** Use actual future branch outcomes instead of predictions
+     * (idealized-future ablation). */
+    bool oracleFuture = false;
+    /** Evaluate the last-outcome baseline instead of the tagged
+     * confidence predictor. */
+    bool lastOutcomeBaseline = false;
+};
+
+/** Metrics from one evaluation run. */
+struct TraceEvalResult
+{
+    std::uint64_t dynTotal = 0;
+    std::uint64_t candidates = 0;    ///< trainable producers seen
+    std::uint64_t labeledDead = 0;   ///< detector-confirmed dead
+    std::uint64_t labeledLive = 0;
+    std::uint64_t unresolved = 0;    ///< never labeled by trace end
+
+    std::uint64_t predictedDead = 0;           ///< all dead predictions
+    std::uint64_t truePositives = 0;           ///< predicted & dead
+    std::uint64_t falsePositives = 0;          ///< predicted & live
+    std::uint64_t predictedUnresolved = 0;     ///< predicted, no label
+
+    std::uint64_t condBranches = 0;
+    std::uint64_t condBranchHits = 0;
+
+    std::uint64_t predictorBits = 0;
+
+    /** Fraction of detector-dead instances the predictor identified. */
+    double
+    coverage() const
+    {
+        return labeledDead ? double(truePositives) / double(labeledDead)
+                           : 0.0;
+    }
+
+    /** Fraction of dead predictions that were correct (labeled only). */
+    double
+    accuracy() const
+    {
+        std::uint64_t judged = truePositives + falsePositives;
+        return judged ? double(truePositives) / double(judged) : 1.0;
+    }
+
+    double
+    branchAccuracy() const
+    {
+        return condBranches
+                   ? double(condBranchHits) / double(condBranches)
+                   : 1.0;
+    }
+};
+
+/**
+ * Compute the future control-flow signature of every trace record:
+ * the directions of the next (up to 16) conditional branches after
+ * it, nearest branch in the LSB. Directions are the front-end
+ * predictor's predictions, or actual outcomes with `oracle_future`.
+ * Also reports branch prediction accuracy via `result`.
+ */
+std::vector<FutureSig>
+computeFutureSigs(const prog::Program &program,
+                  const std::vector<emu::TraceRecord> &trace,
+                  const FrontendConfig &frontend, bool oracle_future,
+                  TraceEvalResult *result = nullptr);
+
+/** Run the full trace-driven evaluation. */
+TraceEvalResult evaluateOnTrace(const prog::Program &program,
+                                const std::vector<emu::TraceRecord> &trace,
+                                const TraceEvalConfig &config = {});
+
+} // namespace dde::predictor
+
+#endif // DDE_PREDICTOR_TRACE_EVAL_HH

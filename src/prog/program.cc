@@ -1,0 +1,25 @@
+#include "prog/program.hh"
+
+namespace dde::prog
+{
+
+const char *
+originName(InstOrigin origin)
+{
+    switch (origin) {
+      case InstOrigin::Original:
+        return "original";
+      case InstOrigin::HoistedSpec:
+        return "hoisted-spec";
+      case InstOrigin::Spill:
+        return "spill";
+      case InstOrigin::CalleeSave:
+        return "callee-save";
+      case InstOrigin::Prologue:
+        return "prologue";
+      default:
+        return "unknown";
+    }
+}
+
+} // namespace dde::prog

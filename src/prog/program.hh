@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Executable program image: text, initialized data, memory layout, and
+ * per-static-instruction provenance metadata.
+ *
+ * Provenance (InstOrigin) records which compiler mechanism created each
+ * static instruction. The paper attributes much of the observed
+ * deadness to compiler instruction scheduling; because our workloads
+ * are compiled by our own mini compiler, the attribution here is exact
+ * rather than inferred.
+ */
+
+#ifndef DDE_PROG_PROGRAM_HH
+#define DDE_PROG_PROGRAM_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+#include "isa/instruction.hh"
+
+namespace dde::prog
+{
+
+/** Where the text section starts; one 4-byte slot per instruction. */
+constexpr Addr kTextBase = 0x10000;
+/** Where static data lives. */
+constexpr Addr kDataBase = 0x100000;
+/** Initial stack pointer (stack grows down). */
+constexpr Addr kStackTop = 0x1000000;
+
+/** Which compiler mechanism produced a static instruction. */
+enum class InstOrigin : std::uint8_t
+{
+    Original,    ///< direct translation of source semantics
+    HoistedSpec, ///< speculatively hoisted by the scheduler (code motion)
+    Spill,       ///< register-allocator spill store or reload
+    CalleeSave,  ///< calling-convention save/restore
+    Prologue,    ///< startup / frame management glue
+    NumOrigins
+};
+
+constexpr unsigned kNumOrigins =
+    static_cast<unsigned>(InstOrigin::NumOrigins);
+
+/** Human-readable origin name for reports. */
+const char *originName(InstOrigin origin);
+
+/** A complete, loadable program. */
+class Program
+{
+  public:
+    explicit Program(std::string name = "anon") : _name(std::move(name)) {}
+
+    /** Append one instruction; returns its static index. */
+    std::size_t
+    append(const isa::Instruction &inst,
+           InstOrigin origin = InstOrigin::Original)
+    {
+        _text.push_back(inst);
+        _origins.push_back(origin);
+        return _text.size() - 1;
+    }
+
+    /** Initialize one 8-byte data word (addr must be 8-aligned). */
+    void
+    poke(Addr addr, RegVal value)
+    {
+        panic_if(addr % 8 != 0, "unaligned data init at ", addr);
+        _initData[addr] = value;
+    }
+
+    std::size_t numInsts() const { return _text.size(); }
+
+    const isa::Instruction &
+    inst(std::size_t index) const
+    {
+        panic_if(index >= _text.size(), "inst index ", index,
+                 " out of range");
+        return _text[index];
+    }
+
+    isa::Instruction &
+    inst(std::size_t index)
+    {
+        panic_if(index >= _text.size(), "inst index ", index,
+                 " out of range");
+        return _text[index];
+    }
+
+    InstOrigin
+    origin(std::size_t index) const
+    {
+        panic_if(index >= _origins.size(), "origin index out of range");
+        return _origins[index];
+    }
+
+    /** PC of a static instruction. */
+    static Addr
+    pcOf(std::size_t index)
+    {
+        return kTextBase + 4 * static_cast<Addr>(index);
+    }
+
+    /** Static index of a PC; panics if outside the text section. */
+    std::size_t
+    indexOf(Addr pc) const
+    {
+        panic_if(pc < kTextBase || (pc - kTextBase) % 4 != 0,
+                 "bad text pc ", pc);
+        std::size_t index = (pc - kTextBase) / 4;
+        panic_if(index >= _text.size(), "pc ", pc, " beyond text end");
+        return index;
+    }
+
+    bool
+    containsPc(Addr pc) const
+    {
+        return pc >= kTextBase && (pc - kTextBase) % 4 == 0 &&
+               (pc - kTextBase) / 4 < _text.size();
+    }
+
+    Addr entryPc() const { return pcOf(0); }
+
+    const std::unordered_map<Addr, RegVal> &initData() const
+    {
+        return _initData;
+    }
+
+    const std::string &name() const { return _name; }
+
+    const std::vector<isa::Instruction> &text() const { return _text; }
+
+  private:
+    std::string _name;
+    std::vector<isa::Instruction> _text;
+    std::vector<InstOrigin> _origins;
+    std::unordered_map<Addr, RegVal> _initData;
+};
+
+} // namespace dde::prog
+
+#endif // DDE_PROG_PROGRAM_HH

@@ -1,0 +1,185 @@
+#include "sim/simulator.hh"
+
+#include "common/logging.hh"
+#include "isa/semantics.hh"
+#include "predictor/detector.hh"
+
+namespace dde::sim
+{
+
+mir::CompileOptions
+referenceCompileOptions()
+{
+    mir::CompileOptions opts;
+    opts.hoist.enabled = true;
+    opts.regalloc.numCallerSaved = 5;
+    opts.regalloc.numCalleeSaved = 6;
+    return opts;
+}
+
+std::vector<std::vector<bool>>
+computeOracleLabels(const prog::Program &program,
+                    const std::vector<emu::TraceRecord> &trace,
+                    const predictor::DetectorConfig &detector_cfg,
+                    std::size_t max_distance)
+{
+    using predictor::DeadEvent;
+    predictor::DeadValueDetector detector(detector_cfg);
+    std::vector<DeadEvent> events;
+
+    enum class Label : std::uint8_t { Unresolved, Dead, Live };
+    std::vector<Label> labels(trace.size(), Label::Unresolved);
+
+    for (std::size_t k = 0; k < trace.size(); ++k) {
+        const auto &rec = trace[k];
+        const isa::Instruction &inst = program.inst(rec.staticIdx);
+        auto srcs = inst.srcRegs();
+        for (unsigned s = 0; s < inst.numSrcs(); ++s)
+            detector.onRegRead(srcs[s], events);
+        if (inst.isLoad())
+            detector.onLoad(rec.effAddr, events);
+        bool candidate =
+            !inst.hasSideEffect() &&
+            (inst.writesReg() || inst.isStore());
+        predictor::ProducerInfo producer{
+            prog::Program::pcOf(rec.staticIdx), 0, k};
+        if (inst.writesReg()) {
+            if (candidate)
+                detector.onRegWrite(inst.rd, producer, events);
+            else
+                detector.onRegWriteOpaque(inst.rd, events);
+        }
+        if (inst.isStore())
+            detector.onStore(rec.effAddr, producer, events);
+        for (const DeadEvent &ev : events) {
+            // Deadness resolved further away than the instruction
+            // window cannot be exploited (the verified-commit rule
+            // would time out), so the idealized predictor skips it.
+            bool dead = ev.dead && k - ev.producer.seq <= max_distance;
+            labels[ev.producer.seq] = dead ? Label::Dead : Label::Live;
+        }
+        events.clear();
+    }
+
+    std::vector<std::vector<bool>> per_static(program.numInsts());
+    for (std::size_t k = 0; k < trace.size(); ++k) {
+        const auto &rec = trace[k];
+        const isa::Instruction &inst = program.inst(rec.staticIdx);
+        bool candidate =
+            !inst.hasSideEffect() &&
+            (inst.writesReg() || inst.isStore());
+        if (!candidate)
+            continue;
+        per_static[rec.staticIdx].push_back(labels[k] == Label::Dead);
+    }
+    return per_static;
+}
+
+namespace
+{
+
+/** Per-commit lockstep check against the architectural emulator. */
+class Cosim
+{
+  public:
+    explicit Cosim(const prog::Program &program) : _emu(program) {}
+
+    void
+    check(const core::DynInst &inst)
+    {
+        panic_if(_emu.halted(), "core committed past emulator halt");
+        Addr expect_pc = _emu.pc();
+        panic_if(inst.pc != expect_pc, "cosim: core committed pc ",
+                 inst.pc, " but emulator is at ", expect_pc,
+                 " (seq ", inst.seq, ")");
+        std::array<RegVal, kNumArchRegs> before = _emu.regs();
+        _emu.step();
+        if (inst.inst.isCondBranch()) {
+            bool expect_taken = _emu.pc() != expect_pc + 4;
+            panic_if(inst.actualTaken != expect_taken,
+                     "cosim: branch direction diverged at pc ",
+                     inst.pc);
+        }
+        if (!inst.eliminated && !inst.repairPoisoned &&
+            inst.inst.writesReg()) {
+            RegVal expect = _emu.reg(inst.inst.rd);
+            panic_if(inst.result != expect,
+                     "cosim: result mismatch at pc ", inst.pc,
+                     ": core ", inst.result, " emu ", expect);
+        }
+        // Eliminated loads never generate their address; eliminated
+        // stores still do (for disambiguation), so check those.
+        if (inst.inst.isMem() &&
+            !(inst.eliminated && inst.inst.isLoad())) {
+            RegVal base = before[inst.inst.rs1];
+            Addr expect_addr = isa::effectiveAddr(inst.inst, base);
+            panic_if(inst.effAddr != expect_addr,
+                     "cosim: address mismatch at pc ", inst.pc);
+        }
+    }
+
+  private:
+    emu::Emulator _emu;
+};
+
+RunStats
+snapshot(const core::Core &core, const std::string &name)
+{
+    RunStats s;
+    const stats::Group &g = core.stats();
+    s.name = name;
+    s.cycles = core.cycles();
+    s.committed = core.committedInsts();
+    s.ipc = core.ipc();
+    s.committedEliminated =
+        g.lookupCounter("committedEliminated").value();
+    s.predictedDead = g.lookupCounter("predictedDead").value();
+    s.deadMispredicts = g.lookupCounter("deadMispredicts").value();
+    s.branchMispredicts =
+        g.lookupCounter("branchMispredicts").value();
+    s.physRegAllocs = g.lookupCounter("physRegAllocs").value();
+    s.rfReads = g.lookupCounter("rfReads").value();
+    s.rfWrites = g.lookupCounter("rfWrites").value();
+    s.dcacheLoads = g.lookupCounter("dcacheLoads").value();
+    s.dcacheStores = g.lookupCounter("dcacheStores").value();
+    s.detectorDead = g.lookupCounter("detectorDead").value();
+    s.detectorLive = g.lookupCounter("detectorLive").value();
+    return s;
+}
+
+} // namespace
+
+SimResult
+runOnCore(const prog::Program &program, const core::CoreConfig &cfg,
+          const RunOptions &opts)
+{
+    core::Core core(program, cfg);
+
+    std::unique_ptr<Cosim> cosim;
+    if (opts.cosim) {
+        cosim = std::make_unique<Cosim>(program);
+        core.onCommit(
+            [&](const core::DynInst &inst) { cosim->check(inst); });
+    }
+    if (cfg.elim.enable && cfg.elim.oraclePredictor) {
+        auto ref = emu::runProgram(program);
+        core.setOracleLabels(computeOracleLabels(
+            program, ref.trace, cfg.elim.detector));
+    }
+
+    core.run(opts.maxCycles);
+
+    SimResult result;
+    result.stats = snapshot(core, program.name());
+    result.output = core.output();
+    result.memory = core.memoryState();
+    return result;
+}
+
+bool
+observablyEqual(const SimResult &a, const emu::RunResult &reference)
+{
+    return a.output == reference.output && a.memory == reference.memory;
+}
+
+} // namespace dde::sim

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Top-level simulation driver: compiles or accepts a program, runs it
+ * on a configured core, optionally co-simulates against the
+ * architectural emulator at every commit (catching any microarchitual
+ * divergence immediately), and snapshots the statistics the paper's
+ * evaluation reports.
+ */
+
+#ifndef DDE_SIM_SIMULATOR_HH
+#define DDE_SIM_SIMULATOR_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.hh"
+#include "emu/emulator.hh"
+#include "mir/compiler.hh"
+#include "prog/program.hh"
+
+namespace dde::sim
+{
+
+/** The reference compiler configuration for all reported experiments:
+ * moderate register pressure (so spill code exists, as in real SPEC
+ * binaries) with speculative hoisting on. */
+mir::CompileOptions referenceCompileOptions();
+
+/** Snapshot of the statistics the evaluation section reports. */
+struct RunStats
+{
+    std::string name;
+    Cycle cycles = 0;
+    std::uint64_t committed = 0;
+    double ipc = 0.0;
+
+    std::uint64_t committedEliminated = 0;
+    std::uint64_t predictedDead = 0;
+    std::uint64_t deadMispredicts = 0;
+    std::uint64_t branchMispredicts = 0;
+
+    std::uint64_t physRegAllocs = 0;
+    std::uint64_t rfReads = 0;
+    std::uint64_t rfWrites = 0;
+    std::uint64_t dcacheLoads = 0;
+    std::uint64_t dcacheStores = 0;
+    std::uint64_t detectorDead = 0;
+    std::uint64_t detectorLive = 0;
+
+    std::uint64_t dcacheAccesses() const
+    {
+        return dcacheLoads + dcacheStores;
+    }
+};
+
+/** Result of one simulated run. */
+struct SimResult
+{
+    RunStats stats;
+    std::vector<RegVal> output;
+    emu::Memory memory;
+};
+
+/** Options for Simulator::run. */
+struct RunOptions
+{
+    /** Step the emulator at every commit and panic on divergence in
+     * PCs, results, branch outcomes, store addresses or output. */
+    bool cosim = false;
+    Cycle maxCycles = 1'000'000'000;
+};
+
+/**
+ * Compute idealized per-instance deadness labels (what a perfect
+ * detector-scope predictor would know) for ElimConfig::oraclePredictor:
+ * labels[staticIdx][k] = k-th committed instance of that static
+ * instruction is detector-dead.
+ */
+std::vector<std::vector<bool>>
+computeOracleLabels(const prog::Program &program,
+                    const std::vector<emu::TraceRecord> &trace,
+                    const predictor::DetectorConfig &detector_cfg = {},
+                    std::size_t max_distance = 1 << 20);
+
+/** Run `program` on a core built from `cfg`. */
+SimResult runOnCore(const prog::Program &program,
+                    const core::CoreConfig &cfg,
+                    const RunOptions &opts = {});
+
+/** Convenience: compare two memories + outputs for the elimination
+ * correctness contract (memory words and output stream identical). */
+bool observablyEqual(const SimResult &a,
+                     const emu::RunResult &reference);
+
+} // namespace dde::sim
+
+#endif // DDE_SIM_SIMULATOR_HH

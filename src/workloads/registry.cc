@@ -1,0 +1,46 @@
+#include "workloads/workloads.hh"
+
+#include "common/logging.hh"
+
+namespace dde::workloads
+{
+
+const std::vector<WorkloadInfo> &
+allWorkloads()
+{
+    static const std::vector<WorkloadInfo> registry = {
+        {"compress", makeCompress},
+        {"parse", makeParse},
+        {"pointer", makePointer},
+        {"sortq", makeSortq},
+        {"hashmix", makeHashmix},
+        {"fsm", makeFsm},
+        {"callsweep", makeCallsweep},
+        {"numeric", makeNumeric},
+    };
+    return registry;
+}
+
+const std::vector<WorkloadInfo> &
+extendedWorkloads()
+{
+    static const std::vector<WorkloadInfo> registry = [] {
+        std::vector<WorkloadInfo> all = allWorkloads();
+        all.push_back({"stencil", makeStencil});
+        all.push_back({"graphbfs", makeGraphBfs});
+        return all;
+    }();
+    return registry;
+}
+
+const WorkloadInfo &
+workloadByName(const std::string &name)
+{
+    for (const WorkloadInfo &info : extendedWorkloads()) {
+        if (info.name == name)
+            return info;
+    }
+    fatal("unknown workload '", name, "'");
+}
+
+} // namespace dde::workloads

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * "callsweep": a call-intensive workload with leaf, memory, branchy
+ * and recursive callees. Values held live across calls force
+ * callee-saved register use, so the calling convention's save/restore
+ * traffic — a dead-instruction source the paper highlights — occurs at
+ * high frequency.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/random.hh"
+#include "mir/builder.hh"
+
+namespace dde::workloads
+{
+
+using namespace dde::mir;
+
+mir::Module
+makeCallsweep(const Params &p)
+{
+    Module module;
+    module.name = "callsweep";
+
+    const unsigned iters = 150 * p.scale;
+    const std::uint64_t glob_off = 0;
+
+    Rng rng(p.seed);
+    for (unsigned i = 0; i < 64; ++i)
+        module.dataWords[glob_off + 8ULL * i] = rng.range(1, 100000);
+
+    // f_leaf(a, b): pure arithmetic mixer.
+    {
+        FunctionBuilder f(module, "f_leaf", 2);
+        VReg a = f.param(0);
+        VReg bb = f.param(1);
+        VReg x = f.xor_(a, f.slli(bb, 7));
+        VReg y = f.add(x, f.srli(a, 3));
+        VReg z = f.mul(y, f.li(0x45d9f3b));
+        VReg w = f.xor_(z, f.srli(z, 11));
+        f.ret(w);
+    }
+
+    // f_mem(a): read-modify-write one global slot.
+    {
+        FunctionBuilder f(module, "f_mem", 1);
+        VReg a = f.param(0);
+        VReg glob = f.li(
+            static_cast<std::int64_t>(prog::kDataBase + glob_off));
+        VReg idx = f.andi(a, 63);
+        VReg addr = f.add(f.slli(idx, 3), glob);
+        VReg t = f.load(addr, 0);
+        VReg t2 = f.add(t, a);
+        f.store(t2, addr, 0);
+        f.ret(t2);
+    }
+
+    // f_mid(a, b): locals live across two conditional calls.
+    {
+        FunctionBuilder f(module, "f_mid", 2);
+        VReg a = f.param(0);
+        VReg bb = f.param(1);
+        VReg x = f.mul(a, f.li(3));
+        VReg y = f.xori(bb, 5);
+        VReg r = f.call("f_leaf", {x, y});
+        BlockId odd = f.newBlock();
+        BlockId join = f.newBlock();
+        VReg bit = f.andi(r, 1);
+        f.br(Cond::Ne, bit, f.li(0), odd, join);
+        f.setBlock(odd);
+        VReg m = f.call("f_mem", {x});
+        f.into2(MOp::Add, r, r, m);
+        f.jmp(join);
+        f.setBlock(join);
+        VReg s = f.add(r, x);
+        VReg t = f.add(s, y);
+        f.ret(t);
+    }
+
+    // f_deep(n): small recursion, quadratic accumulation.
+    {
+        FunctionBuilder f(module, "f_deep", 1);
+        VReg n = f.param(0);
+        BlockId base = f.newBlock();
+        BlockId rec = f.newBlock();
+        f.br(Cond::Lt, n, f.li(1), base, rec);
+        f.setBlock(base);
+        f.ret(f.li(1));
+        f.setBlock(rec);
+        VReg n1 = f.addi(n, -1);
+        VReg t = f.call("f_deep", {n1});
+        VReg sq = f.mul(n, n);
+        VReg r = f.add(t, sq);
+        f.ret(r);
+    }
+
+    FunctionBuilder b(module, "main", 0);
+    VReg kreg = b.li(iters);
+    VReg k = b.li(0);
+    VReg acc = b.li(static_cast<std::int64_t>(p.seed));
+
+    BlockId loop = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId deep = b.newBlock();
+    BlockId cont = b.newBlock();
+    BlockId exit = b.newBlock();
+
+    b.jmp(loop);
+    b.setBlock(loop);
+    b.br(Cond::Lt, k, kreg, body, exit);
+
+    b.setBlock(body);
+    VReg r = b.call("f_mid", {k, acc});
+    b.into2(MOp::Xor, acc, acc, r);
+    VReg low = b.andi(k, 7);
+    b.br(Cond::Eq, low, b.li(0), deep, cont);
+
+    b.setBlock(deep);
+    VReg depth = b.andi(k, 3);
+    VReg d6 = b.addi(depth, 6);
+    VReg dr = b.call("f_deep", {d6});
+    b.into2(MOp::Add, acc, acc, dr);
+    b.jmp(cont);
+
+    b.setBlock(cont);
+    b.intoImm(MOp::AddI, k, k, 1);
+    b.jmp(loop);
+
+    b.setBlock(exit);
+    b.output(acc);
+    b.halt();
+
+    return module;
+}
+
+} // namespace dde::workloads

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * "compress": gzip-like LZ scan. A hash of the previous symbol pair
+ * indexes a chain table of prior positions; matches are counted, and
+ * literals copied to an output buffer. Tight loop, biased branches
+ * (literals dominate), mixed loads and stores.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/random.hh"
+#include "mir/builder.hh"
+
+namespace dde::workloads
+{
+
+using namespace dde::mir;
+
+mir::Module
+makeCompress(const Params &p)
+{
+    Module module;
+    module.name = "compress";
+
+    const unsigned n = 512 * p.scale;
+    const std::uint64_t in_off = 0;
+    const std::uint64_t htab_off = 8ULL * n;
+    const std::uint64_t out_off = htab_off + 8ULL * 256;
+
+    // Input: symbols from a small, skewed alphabet so matches occur
+    // but literals dominate. Symbols are non-zero (0 marks an empty
+    // hash-table slot).
+    // Markov source: symbols arrive in runs (real byte streams are
+    // highly repetitive), with a skewed alphabet underneath.
+    Rng rng(p.seed);
+    std::uint64_t sym = 1;
+    for (unsigned i = 0; i < n; ++i) {
+        if (!rng.chance(0.55)) {
+            sym = rng.chance(0.6) ? 1 + rng.range(0, 3)
+                                  : 1 + rng.range(0, 40);
+        }
+        module.dataWords[in_off + 8ULL * i] = sym;
+    }
+
+    FunctionBuilder b(module, "main", 0);
+    VReg in = b.li(static_cast<std::int64_t>(prog::kDataBase + in_off));
+    VReg htab =
+        b.li(static_cast<std::int64_t>(prog::kDataBase + htab_off));
+    VReg outp =
+        b.li(static_cast<std::int64_t>(prog::kDataBase + out_off));
+    VReg nreg = b.li(n);
+    VReg i = b.li(1);
+    VReg prev = b.load(in, 0);
+    VReg lits = b.li(0);
+    VReg matches = b.li(0);
+
+    BlockId loop = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId chk = b.newBlock();
+    BlockId ismatch = b.newBlock();
+    BlockId lit = b.newBlock();
+    BlockId cont = b.newBlock();
+    BlockId exit = b.newBlock();
+
+    b.jmp(loop);
+
+    b.setBlock(loop);
+    b.br(Cond::Lt, i, nreg, body, exit);
+
+    b.setBlock(body);
+    VReg ioff = b.slli(i, 3);
+    VReg iaddr = b.add(ioff, in);
+    VReg cur = b.load(iaddr, 0);
+    VReg hp = b.mul(prev, b.li(31));
+    VReg hx = b.xor_(hp, cur);
+    VReg h = b.andi(hx, 255);
+    VReg hoff = b.slli(h, 3);
+    VReg haddr = b.add(hoff, htab);
+    VReg cand = b.load(haddr, 0);
+    b.store(i, haddr, 0);
+    VReg zero = b.li(0);
+    b.br(Cond::Ne, cand, zero, chk, lit);
+
+    // Candidate position exists: precompute the match token (the
+    // scheduler hoists this above the comparison — dead work whenever
+    // the candidate does not actually match) and compare symbols.
+    b.setBlock(chk);
+    VReg coff = b.slli(cand, 3);
+    VReg caddr = b.add(coff, in);
+    VReg cval = b.load(caddr, 0);
+    VReg dist = b.sub(i, cand);
+    VReg enc0 = b.slli(dist, 2);
+    VReg enc = b.ori(enc0, 1);  // tag as match token
+    b.br(Cond::Eq, cval, cur, ismatch, lit);
+
+    b.setBlock(ismatch);
+    b.intoImm(MOp::AddI, matches, matches, 1);
+    VReg moff = b.slli(lits, 3);
+    VReg maddr = b.add(moff, outp);
+    b.store(enc, maddr, 0);
+    b.intoImm(MOp::AddI, lits, lits, 1);
+    b.jmp(cont);
+
+    b.setBlock(lit);
+    VReg loff = b.slli(lits, 3);
+    VReg laddr = b.add(loff, outp);
+    b.store(cur, laddr, 0);
+    b.intoImm(MOp::AddI, lits, lits, 1);
+    b.jmp(cont);
+
+    b.setBlock(cont);
+    b.copy(prev, cur);
+    b.intoImm(MOp::AddI, i, i, 1);
+    b.jmp(loop);
+
+    b.setBlock(exit);
+    b.output(lits);
+    b.output(matches);
+    VReg sig = b.xor_(lits, matches);
+    b.output(sig);
+    b.halt();
+
+    return module;
+}
+
+} // namespace dde::workloads

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * "fsm": a bytecode-interpreter archetype. A pre-generated opcode
+ * stream is dispatched through an if-else chain to eight handlers that
+ * mutate an accumulator and a memory-resident virtual register file.
+ * The dispatch branches are the interesting part: their outcomes are
+ * decided by the opcode stream, not by arithmetic.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/random.hh"
+#include "mir/builder.hh"
+
+namespace dde::workloads
+{
+
+using namespace dde::mir;
+
+mir::Module
+makeFsm(const Params &p)
+{
+    Module module;
+    module.name = "fsm";
+
+    const unsigned n = 700 * p.scale;
+    const std::uint64_t ops_off = 0;
+    const std::uint64_t vmreg_off = 8ULL * n;
+
+    // Interpreted programs are loopy: the opcode stream is stitched
+    // from a small library of "basic blocks", so dispatch sequences
+    // repeat and the dispatch branches become learnable.
+    Rng rng(p.seed);
+    static const std::vector<std::vector<std::uint64_t>> blocks = {
+        {0, 1, 4},
+        {2, 0, 5, 1},
+        {6, 0, 4},
+        {3, 2, 0},
+        {5, 5, 1, 0},
+        {7, 0},
+    };
+    static const double block_weights[6] = {0.28, 0.22, 0.18,
+                                            0.14, 0.12, 0.06};
+    unsigned fill = 0;
+    while (fill < n) {
+        const auto &blk = blocks[rng.weighted(block_weights, 6)];
+        for (std::uint64_t op : blk) {
+            if (fill >= n)
+                break;
+            module.dataWords[ops_off + 8ULL * fill] = op;
+            ++fill;
+        }
+    }
+    for (unsigned r = 0; r < 8; ++r)
+        module.dataWords[vmreg_off + 8ULL * r] = rng.range(1, 1000);
+
+    FunctionBuilder b(module, "main", 0);
+    VReg ops =
+        b.li(static_cast<std::int64_t>(prog::kDataBase + ops_off));
+    VReg vmreg =
+        b.li(static_cast<std::int64_t>(prog::kDataBase + vmreg_off));
+    VReg nreg = b.li(n);
+    VReg i = b.li(0);
+    VReg acc = b.li(1);
+    VReg flags = b.li(0);
+
+    BlockId loop = b.newBlock();
+    BlockId body = b.newBlock();
+    std::vector<BlockId> handler(8), test(8);
+    for (int h = 0; h < 8; ++h)
+        handler[h] = b.newBlock();
+    for (int h = 0; h < 7; ++h)
+        test[h] = b.newBlock();
+    BlockId reset = b.newBlock();
+    BlockId no_reset = b.newBlock();
+    BlockId cont = b.newBlock();
+    BlockId exit = b.newBlock();
+
+    b.jmp(loop);
+    b.setBlock(loop);
+    b.br(Cond::Lt, i, nreg, body, exit);
+
+    b.setBlock(body);
+    VReg oaddr = b.add(b.slli(i, 3), ops);
+    VReg op = b.load(oaddr, 0);
+    b.br(Cond::Eq, op, b.li(0), handler[0], test[0]);
+    for (int h = 0; h < 7; ++h) {
+        b.setBlock(test[h]);
+        BlockId next = h + 1 < 7 ? test[h + 1] : handler[7];
+        b.br(Cond::Eq, op, b.li(h + 1), handler[h + 1], next);
+    }
+
+    // op0: acc += vmreg[0]
+    b.setBlock(handler[0]);
+    VReg v0 = b.load(vmreg, 0);
+    b.into2(MOp::Add, acc, acc, v0);
+    b.jmp(cont);
+
+    // op1: vmreg[1] = acc
+    b.setBlock(handler[1]);
+    b.store(acc, vmreg, 8);
+    b.jmp(cont);
+
+    // op2: acc = (acc << 1) ^ vmreg[2]
+    b.setBlock(handler[2]);
+    VReg sh = b.slli(acc, 1);
+    VReg v2 = b.load(vmreg, 16);
+    b.into2(MOp::Xor, acc, sh, v2);
+    b.jmp(cont);
+
+    // op3: saturate: if acc < 0 reset it from vmreg[3]
+    b.setBlock(handler[3]);
+    b.br(Cond::Lt, acc, b.li(0), reset, no_reset);
+    b.setBlock(reset);
+    VReg v3 = b.load(vmreg, 24);
+    b.copy(acc, v3);
+    b.intoImm(MOp::OrI, flags, flags, 1);
+    b.jmp(cont);
+    b.setBlock(no_reset);
+    b.intoImm(MOp::AddI, acc, acc, 3);
+    b.jmp(cont);
+
+    // op4: vmreg[4] += acc & 0xff
+    b.setBlock(handler[4]);
+    VReg masked = b.andi(acc, 0xff);
+    VReg v4 = b.load(vmreg, 32);
+    VReg v4n = b.add(v4, masked);
+    b.store(v4n, vmreg, 32);
+    b.jmp(cont);
+
+    // op5: vmreg[5]++, acc ^= vmreg[5]
+    b.setBlock(handler[5]);
+    VReg v5 = b.load(vmreg, 40);
+    VReg v5n = b.addi(v5, 1);
+    b.store(v5n, vmreg, 40);
+    b.into2(MOp::Xor, acc, acc, v5n);
+    b.jmp(cont);
+
+    // op6: collatz-ish: acc = acc*3 + 1 then halve twice
+    b.setBlock(handler[6]);
+    VReg t3 = b.mul(acc, b.li(3));
+    VReg t31 = b.addi(t3, 1);
+    b.intoImm(MOp::SrlI, acc, t31, 2);
+    b.jmp(cont);
+
+    // op7: fold flags into acc
+    b.setBlock(handler[7]);
+    VReg fx = b.xor_(flags, acc);
+    b.intoImm(MOp::AddI, acc, fx, 7);
+    b.liInto(flags, 0);
+    b.jmp(cont);
+
+    b.setBlock(cont);
+    b.intoImm(MOp::AddI, i, i, 1);
+    b.jmp(loop);
+
+    b.setBlock(exit);
+    b.output(acc);
+    b.output(flags);
+    VReg v4f = b.load(vmreg, 32);
+    VReg v5f = b.load(vmreg, 40);
+    b.output(v4f);
+    b.output(v5f);
+    b.halt();
+
+    return module;
+}
+
+} // namespace dde::workloads

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * "graphbfs" (extended set): breadth-first search over a random
+ * sparse graph in CSR form, with an explicit work queue and a visited
+ * bitmap in memory — irregular loads, data-dependent branches, and
+ * queue stores whose liveness depends on the traversal order.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/random.hh"
+#include "mir/builder.hh"
+
+namespace dde::workloads
+{
+
+using namespace dde::mir;
+
+mir::Module
+makeGraphBfs(const Params &p)
+{
+    Module module;
+    module.name = "graphbfs";
+
+    const unsigned nodes = 96 * p.scale;
+    const unsigned degree = 4;
+
+    // CSR layout: row offsets, edge targets, visited flags, queue.
+    const std::uint64_t row_off = 0;
+    const std::uint64_t edge_off = row_off + 8ULL * (nodes + 1);
+    const std::uint64_t visited_off =
+        edge_off + 8ULL * nodes * degree;
+    const std::uint64_t queue_off = visited_off + 8ULL * nodes;
+
+    Rng rng(p.seed);
+    unsigned edge_count = 0;
+    for (unsigned v = 0; v < nodes; ++v) {
+        module.dataWords[row_off + 8ULL * v] = edge_count;
+        for (unsigned e = 0; e < degree; ++e) {
+            // Mix of local and long-range edges (small-world-ish).
+            std::uint64_t target =
+                rng.chance(0.6) ? (v + 1 + rng.range(0, 7)) % nodes
+                                : rng.range(0, nodes - 1);
+            module.dataWords[edge_off + 8ULL * edge_count] = target;
+            ++edge_count;
+        }
+    }
+    module.dataWords[row_off + 8ULL * nodes] = edge_count;
+
+    FunctionBuilder b(module, "main", 0);
+    VReg rows = b.li(static_cast<std::int64_t>(prog::kDataBase + row_off));
+    VReg edges =
+        b.li(static_cast<std::int64_t>(prog::kDataBase + edge_off));
+    VReg visited =
+        b.li(static_cast<std::int64_t>(prog::kDataBase + visited_off));
+    VReg queue =
+        b.li(static_cast<std::int64_t>(prog::kDataBase + queue_off));
+
+    VReg head = b.li(0);
+    VReg tail = b.li(0);
+    VReg reached = b.li(0);
+    VReg depth_sum = b.li(0);
+
+    // Seed: node 0 at depth 1 (depth 0 = unvisited).
+    VReg one = b.li(1);
+    b.store(one, visited, 0);
+    VReg zero_node = b.li(0);
+    b.store(zero_node, queue, 0);
+    b.intoImm(MOp::AddI, tail, tail, 1);
+
+    BlockId loop = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId eloop = b.newBlock();
+    BlockId ebody = b.newBlock();
+    BlockId enqueue = b.newBlock();
+    BlockId skip = b.newBlock();
+    BlockId enext = b.newBlock();
+    BlockId done = b.newBlock();
+
+    b.jmp(loop);
+    b.setBlock(loop);
+    b.br(Cond::Lt, head, tail, body, done);
+
+    b.setBlock(body);
+    VReg haddr = b.add(b.slli(head, 3), queue);
+    VReg v = b.load(haddr, 0);
+    b.intoImm(MOp::AddI, head, head, 1);
+    b.intoImm(MOp::AddI, reached, reached, 1);
+    VReg vdaddr = b.add(b.slli(v, 3), visited);
+    VReg vdepth = b.load(vdaddr, 0);
+    b.into2(MOp::Add, depth_sum, depth_sum, vdepth);
+    VReg raddr = b.add(b.slli(v, 3), rows);
+    VReg e = b.load(raddr, 0);
+    VReg eend = b.load(raddr, 8);
+    b.jmp(eloop);
+
+    b.setBlock(eloop);
+    b.br(Cond::Lt, e, eend, ebody, loop);
+
+    b.setBlock(ebody);
+    VReg eaddr = b.add(b.slli(e, 3), edges);
+    VReg w = b.load(eaddr, 0);
+    VReg wvaddr = b.add(b.slli(w, 3), visited);
+    VReg wdepth = b.load(wvaddr, 0);
+    // Speculative next-depth computation: dead when already visited.
+    VReg next_depth = b.addi(vdepth, 1);
+    VReg z = b.li(0);
+    b.br(Cond::Eq, wdepth, z, enqueue, skip);
+
+    b.setBlock(enqueue);
+    b.store(next_depth, wvaddr, 0);
+    VReg taddr = b.add(b.slli(tail, 3), queue);
+    b.store(w, taddr, 0);
+    b.intoImm(MOp::AddI, tail, tail, 1);
+    b.jmp(enext);
+
+    b.setBlock(skip);
+    b.jmp(enext);
+
+    b.setBlock(enext);
+    b.intoImm(MOp::AddI, e, e, 1);
+    b.jmp(eloop);
+
+    b.setBlock(done);
+    b.output(reached);
+    b.output(depth_sum);
+    b.halt();
+
+    return module;
+}
+
+} // namespace dde::workloads

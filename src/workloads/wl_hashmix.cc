@@ -1,0 +1,140 @@
+/**
+ * @file
+ * "hashmix": vortex-like open-addressing hash table. Keys from an
+ * in-program LCG are hashed with a 64-bit finalizer and inserted with
+ * linear probing; duplicate keys bump a side counter table, and
+ * periodic deletions keep the table churning. Store-heavy with an
+ * unpredictable inner probe loop.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "mir/builder.hh"
+
+namespace dde::workloads
+{
+
+using namespace dde::mir;
+
+mir::Module
+makeHashmix(const Params &p)
+{
+    Module module;
+    module.name = "hashmix";
+
+    const unsigned table_size = 2048;  // power of two, kept under half full
+    const unsigned keys = 400 * p.scale;
+    const std::uint64_t table_off = 0;
+    const std::uint64_t counts_off = 8ULL * table_size;
+
+    FunctionBuilder b(module, "main", 0);
+    VReg table =
+        b.li(static_cast<std::int64_t>(prog::kDataBase + table_off));
+    VReg counts =
+        b.li(static_cast<std::int64_t>(prog::kDataBase + counts_off));
+    VReg kreg = b.li(keys);
+    VReg k = b.li(0);
+    VReg state = b.li(
+        static_cast<std::int64_t>((p.seed * 0x9e3779b97f4a7c15ULL) | 1));
+    VReg inserts = b.li(0);
+    VReg dups = b.li(0);
+    VReg probes = b.li(0);
+
+    BlockId loop = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId probe = b.newBlock();
+    BlockId empty_slot = b.newBlock();
+    BlockId occupied = b.newBlock();
+    BlockId dup_hit = b.newBlock();
+    BlockId next_slot = b.newBlock();
+    BlockId maybe_del = b.newBlock();
+    BlockId do_del = b.newBlock();
+    BlockId cont = b.newBlock();
+    BlockId exit = b.newBlock();
+
+    b.jmp(loop);
+    b.setBlock(loop);
+    b.br(Cond::Lt, k, kreg, body, exit);
+
+    b.setBlock(body);
+    // key = lcg(state) truncated to a small space to force duplicates
+    VReg mulc = b.li(static_cast<std::int64_t>(6364136223846793005ULL));
+    VReg s1 = b.mul(state, mulc);
+    b.intoImm(MOp::AddI, state, s1, 12345);
+    VReg key = b.andi(b.srli(state, 17), 0x3ff);
+    b.intoImm(MOp::OrI, key, key, 1);  // keys are non-zero
+    // h = finalizer(key) & mask
+    VReg h1 = b.xor_(key, b.srli(key, 3));
+    VReg h2 = b.mul(h1, b.li(0x2545F4914F6CDD1DLL));
+    VReg h = b.andi(b.srli(h2, 29), table_size - 1);
+    b.jmp(probe);
+
+    b.setBlock(probe);
+    VReg slot_addr = b.add(b.slli(h, 3), table);
+    VReg slot = b.load(slot_addr, 0);
+    b.br(Cond::Eq, slot, b.li(0), empty_slot, occupied);
+
+    b.setBlock(empty_slot);
+    VReg slot_addr2 = b.add(b.slli(h, 3), table);
+    b.store(key, slot_addr2, 0);
+    b.intoImm(MOp::AddI, inserts, inserts, 1);
+    b.jmp(maybe_del);
+
+    b.setBlock(occupied);
+    b.br(Cond::Eq, slot, key, dup_hit, next_slot);
+
+    b.setBlock(dup_hit);
+    VReg caddr = b.add(b.slli(h, 3), counts);
+    VReg c = b.load(caddr, 0);
+    VReg c1 = b.addi(c, 1);
+    b.store(c1, caddr, 0);
+    b.intoImm(MOp::AddI, dups, dups, 1);
+    b.jmp(maybe_del);
+
+    b.setBlock(next_slot);
+    b.intoImm(MOp::AddI, h, h, 1);
+    b.intoImm(MOp::AndI, h, h, table_size - 1);
+    b.intoImm(MOp::AddI, probes, probes, 1);
+    b.jmp(probe);
+
+    b.setBlock(maybe_del);
+    VReg low = b.andi(k, 63);
+    b.br(Cond::Eq, low, b.li(0), do_del, cont);
+
+    b.setBlock(do_del);
+    VReg dh = b.andi(b.add(h, k), table_size - 1);
+    VReg daddr = b.add(b.slli(dh, 3), table);
+    b.store(b.li(0), daddr, 0);
+    b.jmp(cont);
+
+    b.setBlock(cont);
+    b.intoImm(MOp::AddI, k, k, 1);
+    b.jmp(loop);
+
+    b.setBlock(exit);
+    // Checksum the first 64 counter slots.
+    VReg j = b.li(0);
+    VReg csum = b.li(0);
+    BlockId cloop = b.newBlock();
+    BlockId cbody = b.newBlock();
+    BlockId cexit = b.newBlock();
+    b.jmp(cloop);
+    b.setBlock(cloop);
+    b.br(Cond::Lt, j, b.li(64), cbody, cexit);
+    b.setBlock(cbody);
+    VReg ca = b.add(b.slli(j, 3), counts);
+    VReg cv = b.load(ca, 0);
+    b.into2(MOp::Add, csum, csum, cv);
+    b.intoImm(MOp::AddI, j, j, 1);
+    b.jmp(cloop);
+    b.setBlock(cexit);
+    b.output(inserts);
+    b.output(dups);
+    b.output(probes);
+    b.output(csum);
+    b.halt();
+
+    return module;
+}
+
+} // namespace dde::workloads

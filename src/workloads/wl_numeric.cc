@@ -1,0 +1,172 @@
+/**
+ * @file
+ * "numeric": integer arithmetic kernels over two arrays — an unrolled
+ * dot product, a branchy polynomial pass whose hot path invites
+ * speculative hoisting, and a prefix-sum store sweep whose output is
+ * only sparsely consumed (producing honest dead stores the compiler
+ * cannot see).
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/random.hh"
+#include "mir/builder.hh"
+
+namespace dde::workloads
+{
+
+using namespace dde::mir;
+
+mir::Module
+makeNumeric(const Params &p)
+{
+    Module module;
+    module.name = "numeric";
+
+    const unsigned n = 400 * p.scale;  // even
+    const std::uint64_t a_off = 0;
+    const std::uint64_t b_off = 8ULL * n;
+    const std::uint64_t c_off = 16ULL * n;
+
+    // Signs arrive in runs (sensor-like data), ~75% positive overall.
+    Rng rng(p.seed);
+    bool negative = false;
+    for (unsigned i = 0; i < n; ++i) {
+        if (!rng.chance(0.85))
+            negative = rng.chance(0.25);
+        std::int64_t v = static_cast<std::int64_t>(rng.range(1, 2000));
+        if (negative)
+            v = -v;
+        module.dataWords[a_off + 8ULL * i] = static_cast<RegVal>(v);
+        module.dataWords[b_off + 8ULL * i] = rng.range(1, 500);
+    }
+
+    FunctionBuilder b(module, "main", 0);
+    VReg arr_a = b.li(static_cast<std::int64_t>(prog::kDataBase + a_off));
+    VReg arr_b = b.li(static_cast<std::int64_t>(prog::kDataBase + b_off));
+    VReg arr_c = b.li(static_cast<std::int64_t>(prog::kDataBase + c_off));
+    VReg nreg = b.li(n);
+
+    // Kernel 1: dot product, unrolled by two.
+    VReg i = b.li(0);
+    VReg dot0 = b.li(0);
+    VReg dot1 = b.li(0);
+    BlockId k1loop = b.newBlock();
+    BlockId k1body = b.newBlock();
+    BlockId k1exit = b.newBlock();
+    b.jmp(k1loop);
+    b.setBlock(k1loop);
+    b.br(Cond::Lt, i, nreg, k1body, k1exit);
+    b.setBlock(k1body);
+    VReg off = b.slli(i, 3);
+    VReg pa = b.add(off, arr_a);
+    VReg pb = b.add(off, arr_b);
+    VReg a0 = b.load(pa, 0);
+    VReg b0 = b.load(pb, 0);
+    VReg m0 = b.mul(a0, b0);
+    b.into2(MOp::Add, dot0, dot0, m0);
+    VReg a1 = b.load(pa, 8);
+    VReg b1 = b.load(pb, 8);
+    VReg m1 = b.mul(a1, b1);
+    b.into2(MOp::Add, dot1, dot1, m1);
+    b.intoImm(MOp::AddI, i, i, 2);
+    b.jmp(k1loop);
+    b.setBlock(k1exit);
+    VReg dot = b.add(dot0, dot1);
+
+    // Kernel 2: branchy polynomial; the positive-path computation is
+    // speculation fodder for the hoisting scheduler.
+    VReg j = b.li(0);
+    VReg pos = b.li(0);
+    VReg neg = b.li(0);
+    BlockId k2loop = b.newBlock();
+    BlockId k2body = b.newBlock();
+    BlockId k2pos = b.newBlock();
+    BlockId k2neg = b.newBlock();
+    BlockId k2cont = b.newBlock();
+    BlockId k2exit = b.newBlock();
+    b.jmp(k2loop);
+    b.setBlock(k2loop);
+    b.br(Cond::Lt, j, nreg, k2body, k2exit);
+    b.setBlock(k2body);
+    VReg ja = b.add(b.slli(j, 3), arr_a);
+    VReg av = b.load(ja, 0);
+    b.br(Cond::Lt, b.li(0), av, k2pos, k2neg);
+    b.setBlock(k2pos);
+    VReg sq = b.mul(av, av);
+    VReg p3 = b.mul(sq, b.li(3));
+    VReg poly = b.add(p3, av);
+    b.into2(MOp::Add, pos, pos, poly);
+    b.jmp(k2cont);
+    b.setBlock(k2neg);
+    b.into2(MOp::Add, neg, neg, av);
+    b.jmp(k2cont);
+    b.setBlock(k2cont);
+    b.intoImm(MOp::AddI, j, j, 1);
+    b.jmp(k2loop);
+    b.setBlock(k2exit);
+
+    // Kernels 3+4 run twice so the second pass overwrites the first
+    // pass's stores; unread first-pass stores are then honest dead
+    // stores (resolvable by a commit-time detector).
+    VReg r = b.li(0);
+    VReg t = b.li(0);
+    VReg run = b.li(0);
+    VReg u = b.li(0);
+    VReg samp = b.li(0);
+    BlockId outer = b.newBlock();
+    BlockId outer_exit = b.newBlock();
+    BlockId k3loop = b.newBlock();
+    BlockId k3body = b.newBlock();
+    BlockId k3exit = b.newBlock();
+    b.jmp(outer);
+    b.setBlock(outer);
+    b.br(Cond::Lt, r, b.li(4), k3loop, outer_exit);
+    b.setBlock(k3loop);
+    b.liInto(t, 0);
+    b.liInto(run, 0);
+    BlockId k3head = b.newBlock();
+    b.jmp(k3head);
+    b.setBlock(k3head);
+    b.br(Cond::Lt, t, nreg, k3body, k3exit);
+    b.setBlock(k3body);
+    VReg ta = b.add(b.slli(t, 3), arr_a);
+    VReg tv = b.load(ta, 0);
+    b.into2(MOp::Add, run, run, tv);
+    VReg tc = b.add(b.slli(t, 3), arr_c);
+    b.store(run, tc, 0);
+    b.intoImm(MOp::AddI, t, t, 1);
+    b.jmp(k3head);
+    b.setBlock(k3exit);
+
+    // ... of which only every fourth is consumed downstream.
+    b.liInto(u, 0);
+    BlockId k4loop = b.newBlock();
+    BlockId k4body = b.newBlock();
+    BlockId k4exit = b.newBlock();
+    b.jmp(k4loop);
+    b.setBlock(k4loop);
+    b.br(Cond::Lt, u, nreg, k4body, k4exit);
+    b.setBlock(k4body);
+    VReg ua = b.add(b.slli(u, 3), arr_c);
+    VReg uv = b.load(ua, 0);
+    b.into2(MOp::Xor, samp, samp, uv);
+    VReg skew = b.andi(samp, 7);
+    b.into2(MOp::Add, u, u, skew);
+    b.intoImm(MOp::AddI, u, u, 2);
+    b.jmp(k4loop);
+    b.setBlock(k4exit);
+    b.intoImm(MOp::AddI, r, r, 1);
+    b.jmp(outer);
+    b.setBlock(outer_exit);
+
+    b.output(dot);
+    b.output(pos);
+    b.output(neg);
+    b.output(samp);
+    b.halt();
+
+    return module;
+}
+
+} // namespace dde::workloads

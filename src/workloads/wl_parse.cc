@@ -1,0 +1,179 @@
+/**
+ * @file
+ * "parse": a tokenizer/parser archetype. A pre-generated token stream
+ * is classified through an if-else dispatch chain; identifiers call an
+ * interning helper that hashes into a symbol table. Irregular,
+ * data-dependent branches and a call-heavy inner loop.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/random.hh"
+#include "mir/builder.hh"
+
+namespace dde::workloads
+{
+
+using namespace dde::mir;
+
+mir::Module
+makeParse(const Params &p)
+{
+    Module module;
+    module.name = "parse";
+
+    const unsigned n = 600 * p.scale;
+    const std::uint64_t tok_off = 0;
+    const std::uint64_t symtab_off = 8ULL * n;
+
+    // Token stream: class in the low 3 bits, value above. Real source
+    // text is phrase-structured, so the stream is built from a small
+    // library of grammatical templates rather than i.i.d. draws —
+    // this is what makes the dispatch branches learnable.
+    Rng rng(p.seed);
+    static const std::vector<std::vector<std::uint64_t>> phrases = {
+        {0, 4, 1, 5},        // ident = num ;
+        {0, 2, 0, 3, 5},     // ident ( ident ) ;
+        {0, 4, 0, 4, 1, 5},  // ident = ident + num ;
+        {2, 0, 4, 1, 3},     // ( ident = num )
+        {1, 5},              // num ;
+        {0, 2, 3, 5},        // ident ( ) ;
+    };
+    static const double phrase_weights[6] = {0.30, 0.22, 0.18,
+                                             0.12, 0.10, 0.08};
+    unsigned fill = 0;
+    while (fill < n) {
+        const auto &phrase = phrases[rng.weighted(phrase_weights, 6)];
+        for (std::uint64_t cls : phrase) {
+            if (fill >= n)
+                break;
+            std::uint64_t value = rng.range(1, 4000);
+            module.dataWords[tok_off + 8ULL * fill] = (value << 3) | cls;
+            ++fill;
+        }
+    }
+
+    // intern(token): hash into the symbol table, bump a use count,
+    // return a stable id for the token.
+    {
+        FunctionBuilder f(module, "intern", 1);
+        VReg tok = f.param(0);
+        VReg v = f.srli(tok, 3);
+        VReg m = f.mul(v, f.li(0x9e3779b9));
+        VReg hsh = f.srli(m, 7);
+        VReg idx = f.andi(hsh, 255);
+        VReg symtab = f.li(
+            static_cast<std::int64_t>(prog::kDataBase + symtab_off));
+        VReg slot = f.add(f.slli(idx, 3), symtab);
+        VReg count = f.load(slot, 0);
+        VReg count1 = f.addi(count, 1);
+        f.store(count1, slot, 0);
+
+        BlockId odd = f.newBlock();
+        BlockId even = f.newBlock();
+        BlockId done = f.newBlock();
+        VReg result = f.li(0);
+        VReg bit = f.andi(hsh, 1);
+        f.br(Cond::Ne, bit, f.li(0), odd, even);
+        f.setBlock(odd);
+        VReg r1 = f.mul(idx, f.li(3));
+        f.into2(MOp::Add, result, r1, count1);
+        f.jmp(done);
+        f.setBlock(even);
+        VReg r2 = f.addi(idx, 7);
+        f.into2(MOp::Xor, result, r2, v);
+        f.jmp(done);
+        f.setBlock(done);
+        f.ret(result);
+    }
+
+    FunctionBuilder b(module, "main", 0);
+    VReg toks =
+        b.li(static_cast<std::int64_t>(prog::kDataBase + tok_off));
+    VReg nreg = b.li(n);
+    VReg i = b.li(0);
+    VReg acc = b.li(0);
+    VReg num = b.li(0);
+    VReg depth = b.li(0);
+    VReg errs = b.li(0);
+    VReg sym = b.li(0);
+
+    BlockId loop = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId is_ident = b.newBlock();
+    BlockId not_ident = b.newBlock();
+    BlockId is_num = b.newBlock();
+    BlockId not_num = b.newBlock();
+    BlockId is_open = b.newBlock();
+    BlockId not_open = b.newBlock();
+    BlockId is_close = b.newBlock();
+    BlockId close_under = b.newBlock();
+    BlockId is_punct = b.newBlock();
+    BlockId cont = b.newBlock();
+    BlockId exit = b.newBlock();
+
+    b.jmp(loop);
+    b.setBlock(loop);
+    b.br(Cond::Lt, i, nreg, body, exit);
+
+    b.setBlock(body);
+    VReg taddr = b.add(b.slli(i, 3), toks);
+    VReg tok = b.load(taddr, 0);
+    VReg cls = b.andi(tok, 7);
+    VReg val = b.srli(tok, 3);
+    b.br(Cond::Eq, cls, b.li(0), is_ident, not_ident);
+
+    b.setBlock(is_ident);
+    VReg id = b.call("intern", {tok});
+    b.into2(MOp::Add, acc, acc, id);
+    b.jmp(cont);
+
+    b.setBlock(not_ident);
+    b.br(Cond::Eq, cls, b.li(1), is_num, not_num);
+
+    b.setBlock(is_num);
+    VReg n10 = b.mul(num, b.li(10));
+    b.into2(MOp::Add, num, n10, val);
+    b.jmp(cont);
+
+    b.setBlock(not_num);
+    b.br(Cond::Eq, cls, b.li(2), is_open, not_open);
+
+    b.setBlock(is_open);
+    b.intoImm(MOp::AddI, depth, depth, 1);
+    b.jmp(cont);
+
+    b.setBlock(not_open);
+    b.br(Cond::Eq, cls, b.li(3), is_close, is_punct);
+
+    b.setBlock(is_close);
+    b.intoImm(MOp::AddI, depth, depth, -1);
+    BlockId close_ok = b.newBlock();
+    b.br(Cond::Lt, depth, b.li(0), close_under, close_ok);
+    b.setBlock(close_under);
+    b.intoImm(MOp::AddI, errs, errs, 1);
+    b.liInto(depth, 0);
+    b.jmp(cont);
+    b.setBlock(close_ok);
+    b.jmp(cont);
+
+    b.setBlock(is_punct);
+    b.into2(MOp::Xor, sym, sym, val);
+    b.jmp(cont);
+
+    b.setBlock(cont);
+    b.intoImm(MOp::AddI, i, i, 1);
+    b.jmp(loop);
+
+    b.setBlock(exit);
+    b.output(acc);
+    b.output(num);
+    b.output(depth);
+    b.output(errs);
+    b.output(sym);
+    b.halt();
+
+    return module;
+}
+
+} // namespace dde::workloads

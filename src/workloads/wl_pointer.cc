@@ -1,0 +1,103 @@
+/**
+ * @file
+ * "pointer": mcf/health-like linked-structure traversal. Nodes are
+ * pre-linked into one long permutation cycle; the kernel chases next
+ * pointers, accumulates node values, and conditionally writes back an
+ * auxiliary field. Load-dominated with a data-dependent store.
+ */
+
+#include "workloads/workloads.hh"
+
+#include <numeric>
+
+#include "common/random.hh"
+#include "mir/builder.hh"
+
+namespace dde::workloads
+{
+
+using namespace dde::mir;
+
+mir::Module
+makePointer(const Params &p)
+{
+    Module module;
+    module.name = "pointer";
+
+    // Node layout: [value, next, aux, generation], 32 bytes each.
+    unsigned m = 256 * p.scale + 3;
+    const unsigned steps = 900 * p.scale;
+    const std::uint64_t nodes_off = 0;
+
+    // Build a single-cycle permutation with a fixed stride.
+    unsigned stride = 97;
+    while (std::gcd(stride, m) != 1)
+        ++stride;
+
+    Rng rng(p.seed);
+    for (unsigned i = 0; i < m; ++i) {
+        std::uint64_t base = nodes_off + 32ULL * i;
+        unsigned next = (i + stride) % m;
+        // Parity of the value steers the write-back branch; real node
+        // flags are heavily skewed, so bias it.
+        std::uint64_t value = rng.range(1, 1'000'000);
+        value = rng.chance(0.88) ? (value | 1) : (value & ~1ULL);
+        module.dataWords[base + 0] = value;
+        module.dataWords[base + 8] =
+            prog::kDataBase + nodes_off + 32ULL * next;
+        module.dataWords[base + 16] = 0;
+        module.dataWords[base + 24] = i;
+    }
+
+    FunctionBuilder b(module, "main", 0);
+    VReg node =
+        b.li(static_cast<std::int64_t>(prog::kDataBase + nodes_off));
+    VReg kreg = b.li(steps);
+    VReg k = b.li(0);
+    VReg sum = b.li(0);
+    VReg writes = b.li(0);
+
+    BlockId loop = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId do_write = b.newBlock();
+    BlockId skip = b.newBlock();
+    BlockId cont = b.newBlock();
+    BlockId exit = b.newBlock();
+
+    b.jmp(loop);
+    b.setBlock(loop);
+    b.br(Cond::Lt, k, kreg, body, exit);
+
+    b.setBlock(body);
+    VReg v = b.load(node, 0);
+    b.into2(MOp::Add, sum, sum, v);
+    VReg bit = b.andi(v, 1);
+    b.br(Cond::Ne, bit, b.li(0), do_write, skip);
+
+    b.setBlock(do_write);
+    VReg aux = b.load(node, 16);
+    VReg mixed = b.add(aux, sum);
+    b.store(mixed, node, 16);
+    b.intoImm(MOp::AddI, writes, writes, 1);
+    b.jmp(cont);
+
+    b.setBlock(skip);
+    // Touch the generation word so the wrong-path load is realistic.
+    VReg gen = b.load(node, 24);
+    b.into2(MOp::Xor, sum, sum, gen);
+    b.jmp(cont);
+
+    b.setBlock(cont);
+    b.loadInto(node, node, 8);  // chase the next pointer
+    b.intoImm(MOp::AddI, k, k, 1);
+    b.jmp(loop);
+
+    b.setBlock(exit);
+    b.output(sum);
+    b.output(writes);
+    b.halt();
+
+    return module;
+}
+
+} // namespace dde::workloads

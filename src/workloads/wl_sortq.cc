@@ -1,0 +1,204 @@
+/**
+ * @file
+ * "sortq": recursive quicksort with an insertion-sort base case over a
+ * pseudo-random array, followed by a verification sweep. Exercises
+ * recursion (deep call stacks, callee-save traffic), nested loops and
+ * heavily data-dependent branches.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/random.hh"
+#include "mir/builder.hh"
+
+namespace dde::workloads
+{
+
+using namespace dde::mir;
+
+mir::Module
+makeSortq(const Params &p)
+{
+    Module module;
+    module.name = "sortq";
+
+    const unsigned n = 160 * p.scale;
+    const std::uint64_t arr_off = 0;
+    const std::int64_t arr_base =
+        static_cast<std::int64_t>(prog::kDataBase + arr_off);
+
+    Rng rng(p.seed);
+    for (unsigned i = 0; i < n; ++i)
+        module.dataWords[arr_off + 8ULL * i] = rng.range(0, 1'000'000);
+
+    // insort(lo, hi): insertion sort of arr[lo..hi] inclusive.
+    {
+        FunctionBuilder f(module, "insort", 2);
+        VReg lo = f.param(0);
+        VReg hi = f.param(1);
+        VReg arr = f.li(arr_base);
+        VReg i = f.addi(lo, 1);
+
+        BlockId oloop = f.newBlock();
+        BlockId obody = f.newBlock();
+        BlockId iloop = f.newBlock();
+        BlockId itest = f.newBlock();
+        BlockId ishift = f.newBlock();
+        BlockId iplace = f.newBlock();
+        BlockId onext = f.newBlock();
+        BlockId done = f.newBlock();
+
+        f.jmp(oloop);
+        f.setBlock(oloop);
+        f.br(Cond::Lt, hi, i, done, obody);  // exit once i > hi
+
+        f.setBlock(obody);
+        VReg iaddr = f.add(f.slli(i, 3), arr);
+        VReg key = f.load(iaddr, 0);
+        VReg j = f.addi(i, 0);
+        f.jmp(iloop);
+
+        f.setBlock(iloop);
+        f.br(Cond::Lt, lo, j, itest, iplace);
+
+        f.setBlock(itest);
+        VReg jaddr = f.add(f.slli(j, 3), arr);
+        VReg below = f.load(jaddr, -8);
+        f.br(Cond::Lt, key, below, ishift, iplace);
+
+        f.setBlock(ishift);
+        VReg jaddr2 = f.add(f.slli(j, 3), arr);
+        VReg below2 = f.load(jaddr2, -8);
+        f.store(below2, jaddr2, 0);
+        f.intoImm(MOp::AddI, j, j, -1);
+        f.jmp(iloop);
+
+        f.setBlock(iplace);
+        VReg paddr = f.add(f.slli(j, 3), arr);
+        f.store(key, paddr, 0);
+        f.intoImm(MOp::AddI, i, i, 1);
+        f.jmp(onext);
+
+        f.setBlock(onext);
+        f.jmp(oloop);
+
+        f.setBlock(done);
+        f.ret();
+    }
+
+    // qsort(lo, hi): recursive quicksort of arr[lo..hi] inclusive.
+    {
+        FunctionBuilder f(module, "qsort", 2);
+        VReg lo = f.param(0);
+        VReg hi = f.param(1);
+        VReg arr = f.li(arr_base);
+
+        BlockId big = f.newBlock();
+        BlockId small = f.newBlock();
+        BlockId ploop = f.newBlock();
+        BlockId scan_i = f.newBlock();
+        BlockId scan_i_adv = f.newBlock();
+        BlockId scan_j = f.newBlock();
+        BlockId scan_j_adv = f.newBlock();
+        BlockId maybe_swap = f.newBlock();
+        BlockId do_swap = f.newBlock();
+        BlockId check_done = f.newBlock();
+        BlockId recurse = f.newBlock();
+
+        VReg span = f.sub(hi, lo);
+        f.br(Cond::Lt, span, f.li(12), small, big);
+
+        f.setBlock(small);
+        f.callVoid("insort", {lo, hi});
+        f.ret();
+
+        f.setBlock(big);
+        VReg mid = f.srli(f.add(lo, hi), 1);
+        VReg pivot = f.load(f.add(f.slli(mid, 3), arr), 0);
+        VReg i = f.addi(lo, 0);
+        VReg j = f.addi(hi, 0);
+        f.jmp(ploop);
+
+        f.setBlock(ploop);
+        f.jmp(scan_i);
+
+        f.setBlock(scan_i);
+        VReg ival = f.load(f.add(f.slli(i, 3), arr), 0);
+        f.br(Cond::Lt, ival, pivot, scan_i_adv, scan_j);
+        f.setBlock(scan_i_adv);
+        f.intoImm(MOp::AddI, i, i, 1);
+        f.jmp(scan_i);
+
+        f.setBlock(scan_j);
+        VReg jval = f.load(f.add(f.slli(j, 3), arr), 0);
+        f.br(Cond::Lt, pivot, jval, scan_j_adv, maybe_swap);
+        f.setBlock(scan_j_adv);
+        f.intoImm(MOp::AddI, j, j, -1);
+        f.jmp(scan_j);
+
+        f.setBlock(maybe_swap);
+        f.br(Cond::Lt, j, i, recurse, do_swap);
+
+        f.setBlock(do_swap);
+        VReg ia = f.add(f.slli(i, 3), arr);
+        VReg ja = f.add(f.slli(j, 3), arr);
+        VReg va = f.load(ia, 0);
+        VReg vb = f.load(ja, 0);
+        f.store(vb, ia, 0);
+        f.store(va, ja, 0);
+        f.intoImm(MOp::AddI, i, i, 1);
+        f.intoImm(MOp::AddI, j, j, -1);
+        f.jmp(check_done);
+
+        f.setBlock(check_done);
+        f.br(Cond::Lt, j, i, recurse, ploop);
+
+        f.setBlock(recurse);
+        f.callVoid("qsort", {lo, j});
+        f.callVoid("qsort", {i, hi});
+        f.ret();
+    }
+
+    FunctionBuilder b(module, "main", 0);
+    b.callVoid("qsort", {b.li(0), b.li(n - 1)});
+
+    // Verification sweep: weighted checksum and sortedness check.
+    VReg arr = b.li(arr_base);
+    VReg nreg = b.li(n);
+    VReg i = b.li(1);
+    VReg sum = b.load(arr, 0);
+    VReg inversions = b.li(0);
+
+    BlockId loop = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId bad = b.newBlock();
+    BlockId cont = b.newBlock();
+    BlockId exit = b.newBlock();
+
+    b.jmp(loop);
+    b.setBlock(loop);
+    b.br(Cond::Lt, i, nreg, body, exit);
+
+    b.setBlock(body);
+    VReg addr = b.add(b.slli(i, 3), arr);
+    VReg v = b.load(addr, 0);
+    VReg prev = b.load(addr, -8);
+    b.into2(MOp::Add, sum, sum, v);
+    b.br(Cond::Lt, v, prev, bad, cont);
+    b.setBlock(bad);
+    b.intoImm(MOp::AddI, inversions, inversions, 1);
+    b.jmp(cont);
+
+    b.setBlock(cont);
+    b.intoImm(MOp::AddI, i, i, 1);
+    b.jmp(loop);
+
+    b.setBlock(exit);
+    b.output(sum);
+    b.output(inversions);
+    b.halt();
+
+    return module;
+}
+
+} // namespace dde::workloads

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * "stencil" (extended set): a 1-D three-point stencil with boundary
+ * handling and periodic renormalization — a regular scientific kernel
+ * whose boundary branches are perfectly predictable and whose
+ * renormalization path carries hoistable computation.
+ */
+
+#include "workloads/workloads.hh"
+
+#include "common/random.hh"
+#include "mir/builder.hh"
+
+namespace dde::workloads
+{
+
+using namespace dde::mir;
+
+mir::Module
+makeStencil(const Params &p)
+{
+    Module module;
+    module.name = "stencil";
+
+    const unsigned n = 256 * p.scale;
+    const unsigned sweeps = 6;
+    const std::uint64_t a_off = 0;
+    const std::uint64_t b_off = 8ULL * (n + 2);
+
+    Rng rng(p.seed);
+    for (unsigned i = 0; i < n + 2; ++i)
+        module.dataWords[a_off + 8ULL * i] = rng.range(1, 4000);
+
+    FunctionBuilder b(module, "main", 0);
+    VReg src = b.li(static_cast<std::int64_t>(prog::kDataBase + a_off));
+    VReg dst = b.li(static_cast<std::int64_t>(prog::kDataBase + b_off));
+    VReg nreg = b.li(n);
+    VReg sweep = b.li(0);
+    VReg sweeps_reg = b.li(sweeps);
+    VReg checksum = b.li(0);
+
+    BlockId outer = b.newBlock();
+    BlockId inner_init = b.newBlock();
+    BlockId inner = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId renorm = b.newBlock();
+    BlockId keep = b.newBlock();
+    BlockId cont = b.newBlock();
+    BlockId inner_done = b.newBlock();
+    BlockId done = b.newBlock();
+
+    b.jmp(outer);
+    b.setBlock(outer);
+    b.br(Cond::Lt, sweep, sweeps_reg, inner_init, done);
+
+    b.setBlock(inner_init);
+    VReg i = b.li(1);
+    b.jmp(inner);
+
+    b.setBlock(inner);
+    b.br(Cond::GeU, i, nreg, inner_done, body);
+
+    b.setBlock(body);
+    VReg off = b.slli(i, 3);
+    VReg addr = b.add(off, src);
+    VReg left = b.load(addr, -8);
+    VReg mid = b.load(addr, 0);
+    VReg right = b.load(addr, 8);
+    VReg sum = b.add(left, right);
+    VReg twice_mid = b.slli(mid, 1);
+    VReg total = b.add(sum, twice_mid);
+    VReg avg = b.srli(total, 2);
+    // Renormalize rare large values (predictably not-taken branch);
+    // the scaled value is speculation fodder that dies when the value
+    // is in range.
+    VReg limit = b.li(60000);
+    b.br(Cond::Lt, limit, avg, renorm, keep);
+
+    b.setBlock(renorm);
+    VReg scaled = b.srli(avg, 4);
+    VReg biased = b.addi(scaled, 3);
+    VReg daddr1 = b.add(off, dst);
+    b.store(biased, daddr1, 0);
+    b.jmp(cont);
+
+    b.setBlock(keep);
+    VReg daddr2 = b.add(off, dst);
+    b.store(avg, daddr2, 0);
+    b.jmp(cont);
+
+    b.setBlock(cont);
+    b.intoImm(MOp::AddI, i, i, 1);
+    b.jmp(inner);
+
+    b.setBlock(inner_done);
+    // Ping-pong the buffers and fold a sample into the checksum.
+    VReg sample = b.load(dst, 8);
+    b.into2(MOp::Xor, checksum, checksum, sample);
+    VReg tmp = b.addi(src, 0);
+    b.copy(src, dst);
+    b.copy(dst, tmp);
+    b.intoImm(MOp::AddI, sweep, sweep, 1);
+    b.jmp(outer);
+
+    b.setBlock(done);
+    b.output(checksum);
+    VReg final_mid = b.load(src, 8 * (1 + 8));
+    b.output(final_mid);
+    b.halt();
+
+    return module;
+}
+
+} // namespace dde::workloads

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Benchmark workload generators.
+ *
+ * Each generator builds a complete MIR module implementing a real
+ * algorithm whose control and data behaviour mimics a SPEC CINT2000
+ * archetype (the paper's benchmark suite). They stand in for the
+ * paper's Alpha SPEC binaries; see DESIGN.md §2 for the substitution
+ * argument. All generators are deterministic in (seed, scale).
+ *
+ * Dead instructions are NOT planted: they arise from the mini
+ * compiler's speculative hoisting, spill code and calling convention,
+ * exactly as in the paper.
+ */
+
+#ifndef DDE_WORKLOADS_WORKLOADS_HH
+#define DDE_WORKLOADS_WORKLOADS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "mir/mir.hh"
+
+namespace dde::workloads
+{
+
+/** Generation parameters. */
+struct Params
+{
+    std::uint64_t seed = 42;
+    /** Work multiplier: 1 = unit-test sized (~10-40k dynamic
+     * instructions), 8 = bench sized, 32 = large. */
+    unsigned scale = 1;
+};
+
+mir::Module makeCompress(const Params &p);   ///< gzip-like LZ scan
+mir::Module makeParse(const Params &p);      ///< parser / tokenizer
+mir::Module makePointer(const Params &p);    ///< mcf-like pointer chase
+mir::Module makeSortq(const Params &p);      ///< recursive quicksort
+mir::Module makeHashmix(const Params &p);    ///< vortex-like hash table
+mir::Module makeFsm(const Params &p);        ///< interpreter dispatch
+mir::Module makeCallsweep(const Params &p);  ///< call-intensive
+mir::Module makeNumeric(const Params &p);    ///< arithmetic kernels
+mir::Module makeStencil(const Params &p);    ///< regular stencil sweep
+mir::Module makeGraphBfs(const Params &p);   ///< BFS over a CSR graph
+
+/** A registry entry for iteration by tests and benches. */
+struct WorkloadInfo
+{
+    std::string name;
+    std::function<mir::Module(const Params &)> make;
+};
+
+/** The eight workloads every reported experiment uses, in canonical
+ * report order (kept stable so EXPERIMENTS.md numbers regenerate). */
+const std::vector<WorkloadInfo> &allWorkloads();
+
+/** The reported set plus the extended workloads (stencil, graphbfs),
+ * used by the test suite for broader coverage. */
+const std::vector<WorkloadInfo> &extendedWorkloads();
+
+/** Look up one workload by name; fatal() if unknown. */
+const WorkloadInfo &workloadByName(const std::string &name);
+
+} // namespace dde::workloads
+
+#endif // DDE_WORKLOADS_WORKLOADS_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Branch-prediction component tests: 2-bit counters, bimodal and
+ * gshare behaviour (including history checkpointing), BTB tagging and
+ * the return address stack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/branch.hh"
+
+using namespace dde;
+using namespace dde::predictor;
+
+TEST(Counter2, SaturatesBothWays)
+{
+    Counter2 c;
+    EXPECT_FALSE(c.taken());  // weakly not-taken reset
+    c.update(true);
+    EXPECT_TRUE(c.taken());
+    c.update(true);
+    c.update(true);
+    EXPECT_EQ(c.state(), 3u);
+    c.update(false);
+    EXPECT_TRUE(c.taken()) << "hysteresis: one miss keeps the bias";
+    c.update(false);
+    c.update(false);
+    c.update(false);
+    EXPECT_EQ(c.state(), 0u);
+    EXPECT_FALSE(c.taken());
+}
+
+TEST(Bimodal, LearnsBiasedBranch)
+{
+    BimodalPredictor bp(256);
+    Addr pc = 0x10040;
+    for (int i = 0; i < 10; ++i)
+        bp.update(pc, true);
+    EXPECT_TRUE(bp.predict(pc));
+    for (int i = 0; i < 10; ++i)
+        bp.update(pc, false);
+    EXPECT_FALSE(bp.predict(pc));
+}
+
+TEST(Bimodal, SizeAccounting)
+{
+    EXPECT_EQ(BimodalPredictor(4096).sizeInBits(), 8192u);
+}
+
+TEST(Gshare, LearnsAlternatingPatternBimodalCannot)
+{
+    // Outcome alternates T,N,T,N... bimodal oscillates; gshare with
+    // history separates the two contexts.
+    Addr pc = 0x10100;
+    GsharePredictor gs(1024, 8);
+    BimodalPredictor bm(1024);
+    int gs_hits = 0, bm_hits = 0;
+    bool outcome = false;
+    for (int i = 0; i < 400; ++i) {
+        outcome = !outcome;
+        if (gs.predict(pc) == outcome)
+            ++gs_hits;
+        if (bm.predict(pc) == outcome)
+            ++bm_hits;
+        gs.update(pc, outcome);
+        bm.update(pc, outcome);
+    }
+    EXPECT_GT(gs_hits, 380);
+    EXPECT_LT(bm_hits, 260);
+}
+
+TEST(Gshare, HistoryCheckpointRestores)
+{
+    GsharePredictor gs(256, 12);
+    gs.shiftHistory(true);
+    gs.shiftHistory(false);
+    std::uint32_t checkpoint = gs.history();
+    gs.shiftHistory(true);
+    gs.shiftHistory(true);
+    EXPECT_NE(gs.history(), checkpoint);
+    gs.setHistory(checkpoint);
+    EXPECT_EQ(gs.history(), checkpoint);
+}
+
+TEST(Gshare, UpdateCounterAtUsesSuppliedHistory)
+{
+    GsharePredictor gs(256, 8);
+    Addr pc = 0x10000;
+    std::uint32_t hist = 0x5a;
+    for (int i = 0; i < 4; ++i)
+        gs.updateCounterAt(pc, hist, true);
+    EXPECT_TRUE(gs.predictAt(pc, hist));
+    // A different history indexes a different counter.
+    EXPECT_FALSE(gs.predictAt(pc, 0x00));
+}
+
+TEST(Btb, StoresAndTagsTargets)
+{
+    Btb btb(64);
+    EXPECT_EQ(btb.lookup(0x10000), 0u);
+    btb.update(0x10000, 0x20000);
+    EXPECT_EQ(btb.lookup(0x10000), 0x20000u);
+    // Aliasing index with different tag must miss, not mispredict.
+    Addr alias = 0x10000 + 64 * 4;
+    EXPECT_EQ(btb.lookup(alias), 0u);
+    btb.update(alias, 0x30000);
+    EXPECT_EQ(btb.lookup(alias), 0x30000u);
+    EXPECT_EQ(btb.lookup(0x10000), 0u) << "evicted by the alias";
+}
+
+TEST(Ras, PushPopNesting)
+{
+    ReturnAddressStack ras(8);
+    EXPECT_EQ(ras.pop(), 0u) << "empty stack predicts nothing";
+    ras.push(0x100);
+    ras.push(0x200);
+    ras.push(0x300);
+    EXPECT_EQ(ras.pop(), 0x300u);
+    EXPECT_EQ(ras.pop(), 0x200u);
+    ras.push(0x400);
+    EXPECT_EQ(ras.pop(), 0x400u);
+    EXPECT_EQ(ras.pop(), 0x100u);
+    EXPECT_EQ(ras.pop(), 0u);
+}
+
+TEST(Ras, OverflowWrapsKeepingNewest)
+{
+    ReturnAddressStack ras(4);
+    for (Addr a = 1; a <= 6; ++a)
+        ras.push(a * 0x10);
+    EXPECT_EQ(ras.size(), 4u);
+    EXPECT_EQ(ras.pop(), 0x60u);
+    EXPECT_EQ(ras.pop(), 0x50u);
+    EXPECT_EQ(ras.pop(), 0x40u);
+    EXPECT_EQ(ras.pop(), 0x30u);
+    EXPECT_EQ(ras.pop(), 0u) << "oldest entries were overwritten";
+}
+
+TEST(Frontend, SizeAccountingSumsComponents)
+{
+    FrontendConfig cfg;
+    FrontendPredictor fe(cfg);
+    EXPECT_EQ(fe.sizeInBits(),
+              fe.gshare().sizeInBits() + fe.btb().sizeInBits());
+    FrontendConfig tcfg;
+    tcfg.direction = DirectionPredictor::Tournament;
+    FrontendPredictor fet(tcfg);
+    EXPECT_GT(fet.sizeInBits(), fe.sizeInBits());
+}
+
+TEST(Tournament, BeatsBothComponentsOnMixedBranches)
+{
+    // Branch A is strongly biased (bimodal's strength), branch B
+    // alternates (gshare's strength). The tournament must track both.
+    TournamentPredictor tp(1024, 8);
+    BimodalPredictor bm(1024);
+    GsharePredictor gs(1024, 8);
+    Addr pc_a = 0x10000, pc_b = 0x10100;
+    int tp_hits = 0, bm_hits = 0, gs_hits = 0;
+    bool b_outcome = false;
+    for (int i = 0; i < 600; ++i) {
+        bool a_outcome = (i % 16) != 0;  // biased taken
+        b_outcome = !b_outcome;          // alternating
+        for (auto [pc, outcome] :
+             {std::pair<Addr, bool>{pc_a, a_outcome},
+              std::pair<Addr, bool>{pc_b, b_outcome}}) {
+            if (tp.predict(pc) == outcome)
+                ++tp_hits;
+            if (bm.predict(pc) == outcome)
+                ++bm_hits;
+            if (gs.predict(pc) == outcome)
+                ++gs_hits;
+            tp.update(pc, outcome);
+            bm.update(pc, outcome);
+            gs.update(pc, outcome);
+        }
+    }
+    EXPECT_GT(tp_hits, bm_hits);
+    EXPECT_GE(tp_hits + 24, gs_hits)
+        << "tournament should be within noise of the better component";
+    EXPECT_GT(tp_hits, 1000) << "out of 1200 predictions";
+}
+
+TEST(Tournament, ChooserLearnsPerBranch)
+{
+    TournamentPredictor tp(256, 8);
+    Addr pc = 0x10040;
+    // Alternating pattern: only gshare can learn this; the chooser
+    // must migrate toward it.
+    bool outcome = false;
+    int late_hits = 0;
+    for (int i = 0; i < 400; ++i) {
+        outcome = !outcome;
+        if (i >= 200 && tp.predict(pc) == outcome)
+            ++late_hits;
+        tp.update(pc, outcome);
+    }
+    EXPECT_GT(late_hits, 190);
+}

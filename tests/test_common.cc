@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit manipulation, statistics
+ * and the deterministic PRNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/bitutil.hh"
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "common/stats.hh"
+
+using namespace dde;
+
+TEST(BitUtil, BitsExtractsInclusiveRange)
+{
+    EXPECT_EQ(bits(0xff00, 15, 8), 0xffu);
+    EXPECT_EQ(bits(0xff00, 7, 0), 0u);
+    EXPECT_EQ(bits(0xdeadbeef, 31, 28), 0xdu);
+    EXPECT_EQ(bits(~0ULL, 63, 0), ~0ULL);
+}
+
+TEST(BitUtil, InsertBitsRoundTrips)
+{
+    std::uint64_t w = 0;
+    w = insertBits(w, 31, 26, 0x2a);
+    w = insertBits(w, 25, 21, 0x15);
+    EXPECT_EQ(bits(w, 31, 26), 0x2au);
+    EXPECT_EQ(bits(w, 25, 21), 0x15u);
+    // Overwriting a field replaces only that field.
+    w = insertBits(w, 31, 26, 0x01);
+    EXPECT_EQ(bits(w, 31, 26), 0x01u);
+    EXPECT_EQ(bits(w, 25, 21), 0x15u);
+}
+
+TEST(BitUtil, SignExtension)
+{
+    EXPECT_EQ(sext(0x8000, 16), -32768);
+    EXPECT_EQ(sext(0x7fff, 16), 32767);
+    EXPECT_EQ(sext(0xffff, 16), -1);
+    EXPECT_EQ(sext(0x0, 16), 0);
+    EXPECT_EQ(sext(0x100000, 21), -1048576);
+}
+
+TEST(BitUtil, FitsSigned)
+{
+    EXPECT_TRUE(fitsSigned(32767, 16));
+    EXPECT_FALSE(fitsSigned(32768, 16));
+    EXPECT_TRUE(fitsSigned(-32768, 16));
+    EXPECT_FALSE(fitsSigned(-32769, 16));
+}
+
+TEST(BitUtil, Pow2Helpers)
+{
+    EXPECT_TRUE(isPow2(1));
+    EXPECT_TRUE(isPow2(4096));
+    EXPECT_FALSE(isPow2(0));
+    EXPECT_FALSE(isPow2(48));
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(4096), 12u);
+    EXPECT_EQ(floorLog2(5000), 12u);
+}
+
+TEST(BitUtil, XorFoldStaysInWidth)
+{
+    for (unsigned width : {4u, 8u, 12u, 16u}) {
+        std::uint64_t folded = xorFold(0x123456789abcdef0ULL, width);
+        EXPECT_LT(folded, 1ULL << width);
+    }
+    // Folding must depend on high bits.
+    EXPECT_NE(xorFold(0x1ULL << 40, 8), xorFold(0x2ULL << 40, 8));
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a.next() == b.next())
+            ++same;
+    }
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        auto v = rng.range(3, 6);
+        ASSERT_GE(v, 3u);
+        ASSERT_LE(v, 6u);
+        saw_lo = saw_lo || v == 3;
+        saw_hi = saw_hi || v == 6;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, WeightedRespectsZeroWeight)
+{
+    Rng rng(9);
+    double weights[3] = {1.0, 0.0, 1.0};
+    for (int i = 0; i < 500; ++i)
+        EXPECT_NE(rng.weighted(weights, 3), 1u);
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(11);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Logging, PanicThrowsPanicError)
+{
+    EXPECT_THROW(panic("boom ", 42), PanicError);
+    EXPECT_THROW(fatal("bad config"), FatalError);
+    EXPECT_NO_THROW(panic_if(false, "fine"));
+    EXPECT_THROW(panic_if(true, "not fine"), PanicError);
+}
+
+TEST(Stats, CounterBasics)
+{
+    stats::Group g("test");
+    auto &c = g.counter("x", "a counter");
+    ++c;
+    c += 4;
+    EXPECT_EQ(c.value(), 5u);
+    EXPECT_EQ(g.lookupCounter("x").value(), 5u);
+    g.reset();
+    EXPECT_EQ(g.lookupCounter("x").value(), 0u);
+}
+
+TEST(Stats, CounterIsStableAcrossLookups)
+{
+    stats::Group g("test");
+    auto &c1 = g.counter("same");
+    auto &c2 = g.counter("same");
+    ++c1;
+    EXPECT_EQ(c2.value(), 1u);
+}
+
+TEST(Stats, LookupMissingCounterPanics)
+{
+    stats::Group g("test");
+    EXPECT_THROW(g.lookupCounter("absent"), PanicError);
+}
+
+TEST(Stats, HistogramBucketsAndMean)
+{
+    stats::Group g("test");
+    auto &h = g.histogram("lat", 0, 100, 10);
+    h.sample(5);
+    h.sample(15);
+    h.sample(15);
+    h.sample(-3);
+    h.sample(250);
+    EXPECT_EQ(h.samples(), 5u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(1), 2u);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Stats, DumpContainsFormulas)
+{
+    stats::Group g("grp");
+    g.counter("c", "desc") += 3;
+    g.formula("ipc", [] { return 1.5; }, "fake ipc");
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("grp.c"), std::string::npos);
+    EXPECT_NE(os.str().find("grp.ipc"), std::string::npos);
+    EXPECT_NE(os.str().find("1.5"), std::string::npos);
+}

@@ -1,0 +1,285 @@
+/**
+ * @file
+ * Out-of-order core tests (elimination off): architectural
+ * equivalence with the emulator across control flow, memory and
+ * calls; rename structures; branch recovery; store-to-load
+ * forwarding; and structural-limit safety.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core.hh"
+#include "core/rename.hh"
+#include "emu/emulator.hh"
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace dde;
+using namespace dde::core;
+
+namespace
+{
+
+prog::Program
+progFromAsm(const std::string &src)
+{
+    prog::Program program("t");
+    for (const auto &inst : isa::assemble(src).insts)
+        program.append(inst);
+    return program;
+}
+
+/** Run on the core (cosim on) and compare all architectural state
+ * with the emulator. */
+void
+expectMatchesEmulator(const prog::Program &program,
+                      const CoreConfig &cfg)
+{
+    auto ref = emu::runProgram(program);
+    sim::RunOptions opts;
+    opts.cosim = true;
+    auto result = sim::runOnCore(program, cfg, opts);
+    EXPECT_EQ(result.output, ref.output);
+    EXPECT_TRUE(result.memory == ref.memory);
+    EXPECT_EQ(result.stats.committed, ref.instCount);
+}
+
+} // namespace
+
+TEST(RenameStructures, FreeListLifo)
+{
+    FreeList fl(8);  // phys 1..7 free
+    EXPECT_EQ(fl.size(), 7u);
+    PhysRegId a = fl.alloc();
+    PhysRegId b = fl.alloc();
+    EXPECT_NE(a, b);
+    fl.release(a);
+    EXPECT_EQ(fl.alloc(), a);
+    EXPECT_THROW(fl.release(0), PanicError);
+}
+
+TEST(RenameStructures, PhysRegFileScoreboard)
+{
+    PhysRegFile prf(16);
+    EXPECT_TRUE(prf.isReady(0));
+    EXPECT_EQ(prf.read(0), 0u);
+    prf.write(3, 42);
+    EXPECT_TRUE(prf.isReady(3));
+    EXPECT_EQ(prf.read(3), 42u);
+    prf.clearReady(3);
+    EXPECT_THROW(prf.read(3), PanicError);
+    EXPECT_THROW(prf.write(0, 1), PanicError);
+}
+
+TEST(Core, StraightLineArithmetic)
+{
+    expectMatchesEmulator(progFromAsm(R"(
+        addi t0, zero, 6
+        addi t1, zero, 7
+        mul  t2, t0, t1
+        div  t3, t2, t1
+        rem  t4, t2, t0
+        out  t2
+        out  t3
+        out  t4
+        halt
+    )"), CoreConfig::wide());
+}
+
+TEST(Core, LoopWithDataDependentBranches)
+{
+    expectMatchesEmulator(progFromAsm(R"(
+            addi t0, zero, 50
+            addi t1, zero, 0
+        loop:
+            andi t2, t0, 3
+            beq  t2, zero, skip
+            add  t1, t1, t0
+        skip:
+            addi t0, t0, -1
+            bne  t0, zero, loop
+            out  t1
+            halt
+    )"), CoreConfig::wide());
+}
+
+TEST(Core, MemoryDependenciesAndForwarding)
+{
+    auto program = progFromAsm(R"(
+            addi t0, zero, 64
+            addi t3, zero, 0
+        loop:
+            st   t0, 0(gp)
+            ld   t1, 0(gp)      # forwarded from the store queue
+            add  t3, t3, t1
+            st   t3, 8(gp)
+            addi t0, t0, -1
+            bne  t0, zero, loop
+            ld   t4, 8(gp)
+            out  t4
+            halt
+    )");
+    auto ref = emu::runProgram(program);
+    auto result = sim::runOnCore(program, CoreConfig::wide());
+    EXPECT_EQ(result.output, ref.output);
+    EXPECT_GT(result.stats.rfReads, 0u);
+    core::Core core(program, CoreConfig::wide());
+    core.run();
+    EXPECT_GT(core.stats().lookupCounter("storeForwards").value(), 0u)
+        << "same-address store->load pairs should forward";
+}
+
+TEST(Core, CallsReturnsAndRecursion)
+{
+    expectMatchesEmulator(progFromAsm(R"(
+            addi a0, zero, 9
+            jal  ra, fib
+            out  a0
+            halt
+        fib:
+            addi t0, zero, 2
+            blt  a0, t0, done
+            addi sp, sp, -24
+            st   ra, 0(sp)
+            st   a0, 8(sp)
+            addi a0, a0, -1
+            jal  ra, fib
+            st   a0, 16(sp)
+            ld   a0, 8(sp)
+            addi a0, a0, -2
+            jal  ra, fib
+            ld   t1, 16(sp)
+            add  a0, a0, t1
+            ld   ra, 0(sp)
+            addi sp, sp, 24
+        done:
+            jalr zero, ra, 0
+    )"), CoreConfig::wide());
+}
+
+TEST(Core, TinyMachineStillCorrect)
+{
+    expectMatchesEmulator(progFromAsm(R"(
+            addi t0, zero, 30
+            addi t1, zero, 1
+        loop:
+            mul  t1, t1, t0
+            andi t1, t1, 65535
+            addi t0, t0, -1
+            bne  t0, zero, loop
+            out  t1
+            halt
+    )"), CoreConfig::tiny());
+}
+
+TEST(Core, BranchMispredictsAreRecovered)
+{
+    // Data-dependent unpredictable-ish pattern via a xorshift.
+    auto program = progFromAsm(R"(
+            addi t0, zero, 300
+            addi t1, zero, 12345
+            addi t5, zero, 0
+        loop:
+            slli t2, t1, 13
+            xor  t1, t1, t2
+            srli t2, t1, 7
+            xor  t1, t1, t2
+            slli t2, t1, 17
+            xor  t1, t1, t2
+            andi t2, t1, 1
+            beq  t2, zero, even
+            addi t5, t5, 1
+        even:
+            addi t0, t0, -1
+            bne  t0, zero, loop
+            out  t5
+            out  t1
+            halt
+    )");
+    auto ref = emu::runProgram(program);
+    sim::RunOptions opts;
+    opts.cosim = true;
+    auto result = sim::runOnCore(program, CoreConfig::wide(), opts);
+    EXPECT_EQ(result.output, ref.output);
+    EXPECT_GT(result.stats.branchMispredicts, 10u)
+        << "the xorshift parity branch must mispredict sometimes";
+}
+
+TEST(Core, IpcIsPlausible)
+{
+    workloads::Params p;
+    p.scale = 1;
+    auto program = mir::compile(workloads::makeNumeric(p),
+                                sim::referenceCompileOptions());
+    auto result = sim::runOnCore(program, CoreConfig::wide());
+    EXPECT_GT(result.stats.ipc, 0.3);
+    EXPECT_LT(result.stats.ipc, 4.0);
+}
+
+TEST(Core, ContendedMachineIsSlower)
+{
+    workloads::Params p;
+    p.scale = 2;
+    auto program = mir::compile(workloads::makeHashmix(p),
+                                sim::referenceCompileOptions());
+    auto wide = sim::runOnCore(program, CoreConfig::wide());
+    auto narrow = sim::runOnCore(program, CoreConfig::contended());
+    EXPECT_LT(narrow.stats.ipc, wide.stats.ipc);
+    EXPECT_EQ(narrow.stats.committed, wide.stats.committed);
+}
+
+TEST(Core, CycleLimitIsEnforced)
+{
+    auto program = progFromAsm("loop:\njal zero, loop\nhalt");
+    core::Core core(program, CoreConfig::tiny());
+    EXPECT_THROW(core.run(5'000), FatalError);
+}
+
+TEST(Core, TooFewPhysRegsRejected)
+{
+    auto program = progFromAsm("halt");
+    CoreConfig cfg = CoreConfig::tiny();
+    cfg.numPhysRegs = 16;
+    EXPECT_THROW(core::Core(program, cfg), FatalError);
+}
+
+TEST(Core, ResourceStatsAreCoherent)
+{
+    workloads::Params p;
+    p.scale = 1;
+    auto program = mir::compile(workloads::makeCompress(p),
+                                sim::referenceCompileOptions());
+    core::Core core(program, CoreConfig::wide());
+    core.run();
+    const auto &st = core.stats();
+    auto c = [&](const char *n) {
+        return st.lookupCounter(n).value();
+    };
+    EXPECT_GE(c("fetched"), c("renamed"));
+    EXPECT_GE(c("renamed"), c("committed"));
+    EXPECT_EQ(c("renamed") - c("committed"), c("squashedInsts"));
+    EXPECT_GE(c("issued"), 1u);
+    EXPECT_LE(c("physRegAllocs"), c("renamed"));
+}
+
+class AllWorkloadsOnCore
+    : public ::testing::TestWithParam<workloads::WorkloadInfo>
+{
+};
+
+TEST_P(AllWorkloadsOnCore, MatchesEmulatorExactly)
+{
+    workloads::Params p;
+    p.scale = 1;
+    auto program = mir::compile(GetParam().make(p),
+                                sim::referenceCompileOptions());
+    expectMatchesEmulator(program, CoreConfig::wide());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, AllWorkloadsOnCore,
+    ::testing::ValuesIn(workloads::extendedWorkloads()),
+    [](const ::testing::TestParamInfo<workloads::WorkloadInfo> &info) {
+        return info.param.name;
+    });

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Dead-instruction predictor tests: confidence dynamics, tagging, the
+ * future control-flow signature's role in separating instances of one
+ * static instruction, policy variants, state accounting and the
+ * last-outcome baseline.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "predictor/dead_predictor.hh"
+
+using namespace dde;
+using namespace dde::predictor;
+
+TEST(DeadPredictor, RequiresConfidenceBeforePredicting)
+{
+    DeadPredictorConfig cfg;
+    cfg.threshold = 2;
+    DeadInstPredictor dp(cfg);
+    Addr pc = 0x10010;
+    EXPECT_FALSE(dp.predict(pc, 0));
+    dp.train(pc, 0, true);
+    EXPECT_FALSE(dp.predict(pc, 0)) << "one dead event is not enough";
+    dp.train(pc, 0, true);
+    EXPECT_TRUE(dp.predict(pc, 0));
+}
+
+TEST(DeadPredictor, LiveEventDecrementsByDefault)
+{
+    DeadPredictorConfig cfg;
+    cfg.threshold = 2;
+    DeadInstPredictor dp(cfg);
+    Addr pc = 0x10020;
+    dp.train(pc, 0, true);
+    dp.train(pc, 0, true);
+    dp.train(pc, 0, true);  // saturated at 3
+    dp.train(pc, 0, false);
+    EXPECT_TRUE(dp.predict(pc, 0)) << "single live event only decays";
+    dp.train(pc, 0, false);
+    EXPECT_FALSE(dp.predict(pc, 0));
+}
+
+TEST(DeadPredictor, ClearOnLivePolicy)
+{
+    DeadPredictorConfig cfg;
+    cfg.threshold = 2;
+    cfg.clearOnLive = true;
+    DeadInstPredictor dp(cfg);
+    Addr pc = 0x10030;
+    dp.train(pc, 0, true);
+    dp.train(pc, 0, true);
+    dp.train(pc, 0, true);
+    dp.train(pc, 0, false);
+    EXPECT_FALSE(dp.predict(pc, 0)) << "clear policy drops to zero";
+}
+
+TEST(DeadPredictor, PunishGuaranteesNoPrediction)
+{
+    DeadInstPredictor dp;
+    Addr pc = 0x10040;
+    for (int i = 0; i < 4; ++i)
+        dp.train(pc, 3, true);
+    ASSERT_TRUE(dp.predict(pc, 3));
+    dp.punish(pc, 3);
+    EXPECT_FALSE(dp.predict(pc, 3));
+    EXPECT_EQ(dp.counterOf(pc, 3), 0u);
+}
+
+TEST(DeadPredictor, SignatureSeparatesInstances)
+{
+    // The same static instruction is dead on one future path and live
+    // on the other — the paper's core observation.
+    DeadInstPredictor dp;
+    Addr pc = 0x10050;
+    FutureSig dead_path = 0b0101;
+    FutureSig live_path = 0b1010;
+    for (int i = 0; i < 50; ++i) {
+        dp.train(pc, dead_path, true);
+        dp.train(pc, live_path, false);
+    }
+    EXPECT_TRUE(dp.predict(pc, dead_path));
+    EXPECT_FALSE(dp.predict(pc, live_path));
+}
+
+TEST(DeadPredictor, DepthZeroCollapsesSignatures)
+{
+    DeadPredictorConfig cfg;
+    cfg.futureDepth = 0;
+    DeadInstPredictor dp(cfg);
+    Addr pc = 0x10060;
+    // Alternating outcomes on "different" signatures hit one entry.
+    for (int i = 0; i < 50; ++i) {
+        dp.train(pc, dp.maskSig(0b0101), true);
+        dp.train(pc, dp.maskSig(0b1010), false);
+    }
+    EXPECT_EQ(dp.maskSig(0xffff), 0u);
+    EXPECT_FALSE(dp.predict(pc, dp.maskSig(0b0101)))
+        << "without future bits the entry can never stay confident";
+}
+
+TEST(DeadPredictor, MaskSigHonoursDepth)
+{
+    DeadPredictorConfig cfg;
+    cfg.futureDepth = 3;
+    DeadInstPredictor dp(cfg);
+    EXPECT_EQ(dp.maskSig(0xffff), 0b111u);
+    EXPECT_EQ(dp.maskSig(0b101010), 0b010u);
+}
+
+TEST(DeadPredictor, TagsRejectAliasedPcs)
+{
+    DeadPredictorConfig cfg;
+    cfg.entries = 64;  // force index collisions
+    DeadInstPredictor dp(cfg);
+    Addr pc_a = 0x10000;
+    Addr pc_b = pc_a + 64 * 4;  // same index, different tag
+    for (int i = 0; i < 4; ++i)
+        dp.train(pc_a, 0, true);
+    ASSERT_TRUE(dp.predict(pc_a, 0));
+    EXPECT_FALSE(dp.predict(pc_b, 0))
+        << "a tag mismatch must not predict dead";
+}
+
+TEST(DeadPredictor, AllocatesOnlyOnDeadOutcomes)
+{
+    DeadInstPredictor dp;
+    Addr pc = 0x10070;
+    for (int i = 0; i < 10; ++i)
+        dp.train(pc, 0, false);
+    EXPECT_EQ(dp.counterOf(pc, 0), 0u)
+        << "live-only training must not allocate";
+}
+
+TEST(DeadPredictor, StateBudgetMatchesPaper)
+{
+    DeadPredictorConfig cfg;  // defaults
+    EXPECT_EQ(cfg.sizeInBits(),
+              std::uint64_t(cfg.entries) *
+                  (cfg.tagBits + cfg.counterBits));
+    EXPECT_LT(cfg.sizeInBits(), 5u * 8192)
+        << "default geometry must stay under the paper's 5 KB";
+}
+
+TEST(DeadPredictor, ConfigValidation)
+{
+    DeadPredictorConfig bad;
+    bad.entries = 100;  // not a power of two
+    EXPECT_THROW(DeadInstPredictor{bad}, PanicError);
+    DeadPredictorConfig bad2;
+    bad2.threshold = 9;
+    EXPECT_THROW(DeadInstPredictor{bad2}, PanicError);
+    DeadPredictorConfig bad3;
+    bad3.futureDepth = 17;
+    EXPECT_THROW(DeadInstPredictor{bad3}, PanicError);
+}
+
+TEST(LastOutcome, TracksMostRecentVerdict)
+{
+    LastOutcomePredictor lp(1024);
+    Addr pc = 0x10080;
+    EXPECT_FALSE(lp.predict(pc));
+    lp.train(pc, true);
+    EXPECT_TRUE(lp.predict(pc));
+    lp.train(pc, false);
+    EXPECT_FALSE(lp.predict(pc));
+    EXPECT_EQ(lp.sizeInBits(), 1024u);
+}
+
+class ThresholdSweep : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ThresholdSweep, PredictsExactlyAtThreshold)
+{
+    DeadPredictorConfig cfg;
+    cfg.counterBits = 3;
+    cfg.threshold = GetParam();
+    DeadInstPredictor dp(cfg);
+    Addr pc = 0x10090;
+    for (unsigned i = 1; i <= 7; ++i) {
+        dp.train(pc, 0, true);
+        EXPECT_EQ(dp.predict(pc, 0), i >= GetParam())
+            << "after " << i << " dead events";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, ThresholdSweep,
+                         ::testing::Values(1u, 2u, 3u, 5u, 7u));

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Dead-instruction oracle tests on hand-built programs with known
+ * deadness structure: first-level deadness (overwrite before read),
+ * transitive chains, dead stores, conservative end-of-trace handling,
+ * side-effect roots, and the aggregation helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "deadness/analysis.hh"
+#include "emu/emulator.hh"
+#include "isa/assembler.hh"
+#include "prog/program.hh"
+
+using namespace dde;
+
+namespace
+{
+
+struct Analyzed
+{
+    prog::Program program{"t"};
+    emu::RunResult run;
+    deadness::Analysis analysis;
+};
+
+Analyzed
+analyzeAsm(const std::string &src, deadness::Config cfg = {})
+{
+    Analyzed a;
+    for (const auto &inst : isa::assemble(src).insts)
+        a.program.append(inst);
+    a.run = emu::runProgram(a.program);
+    a.analysis = deadness::analyze(a.program, a.run.trace, cfg);
+    return a;
+}
+
+} // namespace
+
+TEST(Deadness, OverwrittenBeforeReadIsFirstLevelDead)
+{
+    auto a = analyzeAsm(R"(
+        addi t0, zero, 1     # dead: overwritten below without read
+        addi t0, zero, 2
+        out  t0
+        halt
+    )");
+    EXPECT_EQ(a.analysis.dynDead, 1u);
+    EXPECT_EQ(a.analysis.firstLevelDead, 1u);
+    EXPECT_TRUE(a.analysis.dead[0]);
+    EXPECT_TRUE(a.analysis.firstLevel[0]);
+    EXPECT_FALSE(a.analysis.dead[1]);
+}
+
+TEST(Deadness, ReadValueIsLive)
+{
+    auto a = analyzeAsm(R"(
+        addi t0, zero, 1
+        addi t1, t0, 1       # reads t0
+        addi t0, zero, 2     # overwrite after the read
+        out  t0
+        out  t1
+        halt
+    )");
+    EXPECT_FALSE(a.analysis.dead[0]);
+}
+
+TEST(Deadness, TransitiveChainDies)
+{
+    auto a = analyzeAsm(R"(
+        addi t0, zero, 5      # read only by the next inst...
+        addi t1, t0, 1        # ...whose value is overwritten unread
+        addi t1, zero, 9
+        addi t0, zero, 0
+        out  t1
+        out  t0
+        halt
+    )");
+    // inst 1 is first-level dead; inst 0 is transitively dead.
+    EXPECT_TRUE(a.analysis.dead[1]);
+    EXPECT_TRUE(a.analysis.firstLevel[1]);
+    EXPECT_TRUE(a.analysis.dead[0]);
+    EXPECT_FALSE(a.analysis.firstLevel[0]);
+    EXPECT_EQ(a.analysis.transitiveDead, 1u);
+}
+
+TEST(Deadness, TransitivityCanBeDisabled)
+{
+    deadness::Config cfg;
+    cfg.transitive = false;
+    auto a = analyzeAsm(R"(
+        addi t0, zero, 5
+        addi t1, t0, 1
+        addi t1, zero, 9
+        addi t0, zero, 0
+        out  t1
+        out  t0
+        halt
+    )", cfg);
+    EXPECT_TRUE(a.analysis.dead[1]);
+    EXPECT_FALSE(a.analysis.dead[0]) << "chain must stop at one level";
+}
+
+TEST(Deadness, DeadStoreOverwrittenBeforeLoad)
+{
+    auto a = analyzeAsm(R"(
+        addi t0, zero, 7
+        st   t0, 0(gp)       # dead store: overwritten before any load
+        st   t0, 8(gp)       # live store: loaded below
+        addi t1, zero, 8
+        st   t1, 0(gp)
+        ld   t2, 0(gp)
+        ld   t3, 8(gp)
+        out  t2
+        out  t3
+        halt
+    )");
+    EXPECT_EQ(a.analysis.deadStores, 1u);
+    EXPECT_TRUE(a.analysis.dead[1]);
+    EXPECT_FALSE(a.analysis.dead[2]);
+    EXPECT_FALSE(a.analysis.dead[4]);
+}
+
+TEST(Deadness, StoreTrackingCanBeDisabled)
+{
+    deadness::Config cfg;
+    cfg.trackStores = false;
+    auto a = analyzeAsm(R"(
+        addi t0, zero, 7
+        st   t0, 0(gp)
+        st   t0, 0(gp)
+        ld   t1, 0(gp)
+        out  t1
+        halt
+    )", cfg);
+    EXPECT_EQ(a.analysis.deadStores, 0u);
+    EXPECT_FALSE(a.analysis.dead[1]);
+}
+
+TEST(Deadness, UnresolvedAtEndIsConservativelyLive)
+{
+    auto a = analyzeAsm(R"(
+        addi t0, zero, 1     # never read, never overwritten
+        halt
+    )");
+    EXPECT_EQ(a.analysis.dynDead, 0u)
+        << "unresolved fate must not be declared dead";
+}
+
+TEST(Deadness, SideEffectInstructionsAreNeverDead)
+{
+    auto a = analyzeAsm(R"(
+            addi t0, zero, 1
+            beq  t0, t0, next
+        next:
+            jal  ra, sub
+            out  t0
+            halt
+        sub:
+            jalr zero, ra, 0
+    )");
+    for (std::size_t k = 0; k < a.run.trace.size(); ++k) {
+        const auto &inst = a.program.inst(a.run.trace[k].staticIdx);
+        if (inst.hasSideEffect()) {
+            EXPECT_FALSE(a.analysis.dead[k]);
+        }
+    }
+    // jal's link value (ra) is both control and a write; the write is
+    // consumed by the return, and the instruction is never a candidate.
+    EXPECT_EQ(a.analysis.dynTotal, a.run.trace.size());
+}
+
+TEST(Deadness, WritesToZeroRegisterAreNotCandidates)
+{
+    auto a = analyzeAsm(R"(
+        addi zero, zero, 5
+        addi zero, zero, 6
+        halt
+    )");
+    EXPECT_EQ(a.analysis.dynCandidates, 0u);
+    EXPECT_EQ(a.analysis.dynDead, 0u);
+}
+
+TEST(Deadness, PerStaticAggregationAndClassification)
+{
+    // A loop where one static instruction is dead half the time.
+    auto a = analyzeAsm(R"(
+            addi t0, zero, 4
+        loop:
+            andi t1, t0, 1       # partially dead: used only when odd
+            beq  t1, zero, skip
+            out  t1
+        skip:
+            addi t1, zero, 0     # kills t1 (read by branch first)
+            addi t0, t0, -1
+            bne  t0, zero, loop
+            out  t0
+            halt
+    )");
+    auto cls = a.analysis.classifyStatics();
+    EXPECT_GE(a.analysis.dynDead, 1u);
+    EXPECT_GE(cls.partiallyDead + cls.alwaysDead, 1u);
+    // Locality curve is monotone and ends at 1.
+    auto curve = a.analysis.localityCurve();
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_GE(curve[i], curve[i - 1]);
+    if (!curve.empty()) {
+        EXPECT_DOUBLE_EQ(curve.back(), 1.0);
+    }
+}
+
+TEST(Deadness, OriginAttributionFollowsProgramMetadata)
+{
+    prog::Program program("t");
+    using namespace isa::build;
+    program.append(li(8, 1), prog::InstOrigin::HoistedSpec);  // dead
+    program.append(li(8, 2), prog::InstOrigin::Original);
+    program.append(out(8), prog::InstOrigin::Original);
+    program.append(halt(), prog::InstOrigin::Original);
+    auto run = emu::runProgram(program);
+    auto an = deadness::analyze(program, run.trace);
+    auto hoisted =
+        an.perOrigin[static_cast<unsigned>(prog::InstOrigin::HoistedSpec)];
+    EXPECT_EQ(hoisted.execs, 1u);
+    EXPECT_EQ(hoisted.deads, 1u);
+    auto original =
+        an.perOrigin[static_cast<unsigned>(prog::InstOrigin::Original)];
+    EXPECT_EQ(original.deads, 0u);
+}
+
+TEST(Deadness, LoadFeedingOnlyDeadConsumerIsTransitivelyDead)
+{
+    auto a = analyzeAsm(R"(
+        addi t0, zero, 42
+        st   t0, 0(gp)
+        ld   t1, 0(gp)       # read only by a dead consumer
+        addi t2, t1, 1       # overwritten unread
+        addi t2, zero, 0
+        out  t2
+        addi t1, zero, 0     # resolve t1's fate (overwrite)
+        out  t1
+        ld   t3, 0(gp)       # keeps the store alive
+        out  t3
+        halt
+    )");
+    EXPECT_TRUE(a.analysis.dead[3]);
+    EXPECT_TRUE(a.analysis.dead[2]) << "load used only by dead inst";
+    EXPECT_FALSE(a.analysis.dead[1]) << "store has a live reader";
+}

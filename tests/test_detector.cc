@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Commit-time dead-value detector tests: overwrite-before-read and
+ * first-use events on the register side; store overwrite, load
+ * liveness and conservative eviction on the memory side.
+ */
+
+#include <gtest/gtest.h>
+
+#include "predictor/detector.hh"
+
+using namespace dde;
+using namespace dde::predictor;
+
+namespace
+{
+
+ProducerInfo
+prod(Addr pc, SeqNum seq = 0)
+{
+    return ProducerInfo{pc, 0, seq};
+}
+
+} // namespace
+
+TEST(Detector, OverwriteWithoutReadEmitsDead)
+{
+    DeadValueDetector det;
+    std::vector<DeadEvent> ev;
+    det.onRegWrite(5, prod(0x100, 1), ev);
+    EXPECT_TRUE(ev.empty());
+    det.onRegWrite(5, prod(0x104, 2), ev);
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_TRUE(ev[0].dead);
+    EXPECT_EQ(ev[0].producer.pc, 0x100u);
+    EXPECT_EQ(ev[0].producer.seq, 1u);
+}
+
+TEST(Detector, FirstReadEmitsLiveExactlyOnce)
+{
+    DeadValueDetector det;
+    std::vector<DeadEvent> ev;
+    det.onRegWrite(5, prod(0x100, 1), ev);
+    det.onRegRead(5, ev);
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_FALSE(ev[0].dead);
+    ev.clear();
+    det.onRegRead(5, ev);
+    EXPECT_TRUE(ev.empty()) << "only the first use trains live";
+    // Overwrite after a read: the value was consumed, no dead event.
+    det.onRegWrite(5, prod(0x108, 3), ev);
+    EXPECT_TRUE(ev.empty());
+}
+
+TEST(Detector, OpaqueWriterResolvesButIsNotTrainable)
+{
+    DeadValueDetector det;
+    std::vector<DeadEvent> ev;
+    det.onRegWrite(1, prod(0x100, 1), ev);
+    det.onRegWriteOpaque(1, ev);  // e.g. jal writing the link register
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_TRUE(ev[0].dead);
+    ev.clear();
+    // The opaque writer itself is not tracked: a subsequent overwrite
+    // emits nothing.
+    det.onRegWrite(1, prod(0x108, 3), ev);
+    EXPECT_TRUE(ev.empty());
+}
+
+TEST(Detector, ZeroRegisterIsIgnored)
+{
+    DeadValueDetector det;
+    std::vector<DeadEvent> ev;
+    det.onRegWrite(kRegZero, prod(0x100, 1), ev);
+    det.onRegWrite(kRegZero, prod(0x104, 2), ev);
+    EXPECT_TRUE(ev.empty());
+}
+
+TEST(Detector, IndependentRegistersDoNotInterfere)
+{
+    DeadValueDetector det;
+    std::vector<DeadEvent> ev;
+    det.onRegWrite(3, prod(0x100, 1), ev);
+    det.onRegWrite(4, prod(0x104, 2), ev);
+    det.onRegRead(3, ev);
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_EQ(ev[0].producer.seq, 1u);
+}
+
+TEST(Detector, StoreOverwrittenBeforeLoadIsDead)
+{
+    DeadValueDetector det;
+    std::vector<DeadEvent> ev;
+    det.onStore(0x2000, prod(0x100, 1), ev);
+    det.onStore(0x2000, prod(0x104, 2), ev);
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_TRUE(ev[0].dead);
+    EXPECT_EQ(ev[0].producer.seq, 1u);
+}
+
+TEST(Detector, LoadMarksStoreLive)
+{
+    DeadValueDetector det;
+    std::vector<DeadEvent> ev;
+    det.onStore(0x2000, prod(0x100, 1), ev);
+    det.onLoad(0x2000, ev);
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_FALSE(ev[0].dead);
+    ev.clear();
+    det.onStore(0x2000, prod(0x108, 3), ev);
+    EXPECT_TRUE(ev.empty()) << "consumed store is not dead";
+}
+
+TEST(Detector, SubWordAddressesShareAWord)
+{
+    DeadValueDetector det;
+    std::vector<DeadEvent> ev;
+    det.onStore(0x2000, prod(0x100, 1), ev);
+    det.onLoad(0x2004, ev);  // same 8-byte word
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_FALSE(ev[0].dead);
+}
+
+TEST(Detector, ConflictEvictionIsSilent)
+{
+    DetectorConfig cfg;
+    cfg.memEntries = 2;  // tiny: force conflicts
+    DeadValueDetector det(cfg);
+    std::vector<DeadEvent> ev;
+    det.onStore(0x0, prod(0x100, 1), ev);
+    det.onStore(0x10, prod(0x104, 2), ev);  // same index, new word
+    EXPECT_TRUE(ev.empty())
+        << "losing tracking must not fabricate a dead event";
+    // The evicted word's later overwrite also stays silent.
+    det.onStore(0x0, prod(0x108, 3), ev);
+    EXPECT_TRUE(ev.empty());
+}
+
+TEST(Detector, DifferentWordsTrackIndependently)
+{
+    DeadValueDetector det;
+    std::vector<DeadEvent> ev;
+    det.onStore(0x2000, prod(0x100, 1), ev);
+    det.onStore(0x2008, prod(0x104, 2), ev);
+    EXPECT_TRUE(ev.empty());
+    det.onStore(0x2008, prod(0x108, 3), ev);
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_EQ(ev[0].producer.seq, 2u);
+}
+
+TEST(Detector, SizeAccounting)
+{
+    DetectorConfig cfg;
+    EXPECT_GT(cfg.sizeInBits(), 0u);
+    DetectorConfig bigger;
+    bigger.memEntries = 8192;
+    EXPECT_GT(bigger.sizeInBits(), cfg.sizeInBits());
+}
+
+TEST(Detector, NonPow2MemTableRejected)
+{
+    DetectorConfig cfg;
+    cfg.memEntries = 1000;
+    EXPECT_THROW(DeadValueDetector{cfg}, PanicError);
+}

@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Dead-instruction elimination mechanism tests: the observable-state
+ * correctness contract under elimination, poison/parking/UEB repair
+ * behaviour, dead-store handling, resource-utilization reductions,
+ * recovery-mode ablation, and the oracle-predictor mode.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core.hh"
+#include "emu/emulator.hh"
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace dde;
+using namespace dde::core;
+
+namespace
+{
+
+prog::Program
+progFromAsm(const std::string &src)
+{
+    prog::Program program("t");
+    for (const auto &inst : isa::assemble(src).insts)
+        program.append(inst);
+    return program;
+}
+
+CoreConfig
+elimConfig(CoreConfig base = CoreConfig::wide())
+{
+    base.elim.enable = true;
+    return base;
+}
+
+} // namespace
+
+TEST(Elimination, AlwaysDeadInstructionGetsEliminated)
+{
+    // t1's first def is dead every iteration; after warmup the
+    // predictor should eliminate it.
+    auto program = progFromAsm(R"(
+            addi t0, zero, 400
+        loop:
+            addi t1, t0, 7       # always dead
+            addi t1, zero, 1
+            addi t0, t0, -1
+            bne  t0, t1, loop
+            out  t0
+            halt
+    )");
+    auto ref = emu::runProgram(program);
+    sim::RunOptions opts;
+    opts.cosim = true;
+    auto result = sim::runOnCore(program, elimConfig(), opts);
+    EXPECT_EQ(result.output, ref.output);
+    EXPECT_GT(result.stats.committedEliminated, 300u);
+    EXPECT_EQ(result.stats.deadMispredicts, 0u);
+}
+
+TEST(Elimination, ObservableStateContractHoldsOnAllWorkloads)
+{
+    for (const auto &w : workloads::extendedWorkloads()) {
+        workloads::Params p;
+        p.scale = 1;
+        auto program = mir::compile(w.make(p),
+                                    sim::referenceCompileOptions());
+        auto ref = emu::runProgram(program);
+        sim::RunOptions opts;
+        opts.cosim = true;
+        auto result = sim::runOnCore(program, elimConfig(), opts);
+        EXPECT_TRUE(sim::observablyEqual(result, ref)) << w.name;
+        EXPECT_EQ(result.stats.committed, ref.instCount) << w.name;
+    }
+}
+
+TEST(Elimination, EliminationReducesResourceUtilization)
+{
+    workloads::Params p;
+    p.scale = 4;
+    auto program = mir::compile(workloads::makeFsm(p),
+                                sim::referenceCompileOptions());
+    auto base = sim::runOnCore(program, CoreConfig::wide());
+    auto elim = sim::runOnCore(program, elimConfig());
+    EXPECT_GT(elim.stats.committedEliminated, 0u);
+    // The paper's reported resource savings.
+    EXPECT_LT(elim.stats.physRegAllocs, base.stats.physRegAllocs);
+    EXPECT_LT(elim.stats.rfReads, base.stats.rfReads);
+    EXPECT_LT(elim.stats.rfWrites, base.stats.rfWrites);
+}
+
+TEST(Elimination, WrongPredictionIsRepairedNotCorrupted)
+{
+    // t1 is dead for 300 iterations, then suddenly needed: the
+    // predictor is confidently wrong once and the UEB repair must
+    // deliver the correct value.
+    auto program = progFromAsm(R"(
+            addi t0, zero, 301
+            addi t4, zero, 0
+        loop:
+            addi t1, t0, 7        # dead except on the last iteration
+            addi t2, zero, 1
+            beq  t0, t2, use
+            addi t1, zero, 1      # kill
+            addi t0, t0, -1
+            jal  zero, loop
+        use:
+            add  t4, t4, t1       # t1 == t0 + 7 == 8 here
+            out  t4
+            halt
+    )");
+    auto ref = emu::runProgram(program);
+    sim::RunOptions opts;
+    opts.cosim = true;
+    auto result = sim::runOnCore(program, elimConfig(), opts);
+    ASSERT_EQ(result.output.size(), 1u);
+    EXPECT_EQ(result.output[0], ref.output[0]);
+    EXPECT_EQ(result.output[0], 8u);
+    EXPECT_GT(result.stats.committedEliminated, 200u);
+}
+
+TEST(Elimination, DeadStoresSkipTheDataCache)
+{
+    // Stores to a scratch slot are overwritten before any load.
+    auto program = progFromAsm(R"(
+            addi t0, zero, 500
+        loop:
+            st   t0, 0(gp)       # dead store (overwritten next iter)
+            addi t0, t0, -1
+            bne  t0, zero, loop
+            addi t3, zero, 9
+            st   t3, 0(gp)
+            ld   t4, 0(gp)
+            out  t4
+            halt
+    )");
+    auto ref = emu::runProgram(program);
+    auto base = sim::runOnCore(program, CoreConfig::wide());
+    sim::RunOptions opts;
+    opts.cosim = true;
+    auto elim = sim::runOnCore(program, elimConfig(), opts);
+    EXPECT_EQ(elim.output, ref.output);
+    EXPECT_TRUE(elim.memory == ref.memory);
+    EXPECT_LT(elim.stats.dcacheStores, base.stats.dcacheStores);
+}
+
+TEST(Elimination, LoadHittingDeadStoreIsServedFromUeb)
+{
+    // The store looks dead for a long time, then a load needs it.
+    auto program = progFromAsm(R"(
+            addi t0, zero, 260
+        loop:
+            st   t0, 0(gp)        # overwritten next iteration...
+            addi t0, t0, -1
+            bne  t0, zero, loop
+            ld   t5, 0(gp)        # ...but the last one is read
+            out  t5
+            halt
+    )");
+    auto ref = emu::runProgram(program);
+    sim::RunOptions opts;
+    opts.cosim = true;
+    auto result = sim::runOnCore(program, elimConfig(), opts);
+    ASSERT_EQ(result.output.size(), 1u);
+    EXPECT_EQ(result.output[0], ref.output[0]);
+    EXPECT_TRUE(result.memory == ref.memory);
+}
+
+TEST(Elimination, ChainsAreEliminatedLinkByLink)
+{
+    // v -> w chain where w dies: once w is eliminated, v's value is
+    // never read and the detector learns v is dead too.
+    auto program = progFromAsm(R"(
+            addi t0, zero, 600
+        loop:
+            addi t1, t0, 1       # v: read only by w
+            slli t2, t1, 2       # w: overwritten unread
+            addi t2, zero, 0
+            addi t0, t0, -1
+            bne  t0, t2, loop
+            out  t0
+            halt
+    )");
+    auto ref = emu::runProgram(program);
+    sim::RunOptions opts;
+    opts.cosim = true;
+    auto result = sim::runOnCore(program, elimConfig(), opts);
+    EXPECT_EQ(result.output, ref.output);
+    // Both links eliminated in steady state: > 600 total eliminations.
+    EXPECT_GT(result.stats.committedEliminated, 700u);
+}
+
+TEST(Elimination, DisablingLoadAndStoreEliminationIsRespected)
+{
+    workloads::Params p;
+    p.scale = 2;
+    auto program = mir::compile(workloads::makeNumeric(p),
+                                sim::referenceCompileOptions());
+    CoreConfig no_mem = elimConfig();
+    no_mem.elim.eliminateLoads = false;
+    no_mem.elim.eliminateStores = false;
+    auto ref = emu::runProgram(program);
+    auto result = sim::runOnCore(program, no_mem);
+    EXPECT_TRUE(sim::observablyEqual(result, ref));
+    core::Core core(program, no_mem);
+    core.run();
+    // Every committed eliminated instruction must be an ALU op.
+    EXPECT_EQ(core.stats().lookupCounter("uebStoreFlushes").value(), 0u);
+}
+
+TEST(Elimination, SquashRecoveryModeStaysCorrect)
+{
+    CoreConfig cfg = elimConfig();
+    cfg.elim.recovery = RecoveryMode::SquashProducer;
+    for (const char *name : {"parse", "hashmix", "sortq"}) {
+        workloads::Params p;
+        p.scale = 1;
+        auto program =
+            mir::compile(workloads::workloadByName(name).make(p),
+                         sim::referenceCompileOptions());
+        auto ref = emu::runProgram(program);
+        sim::RunOptions opts;
+        opts.cosim = true;
+        auto result = sim::runOnCore(program, cfg, opts);
+        EXPECT_TRUE(sim::observablyEqual(result, ref)) << name;
+    }
+}
+
+TEST(Elimination, OraclePredictorModeIsCleanAndCorrect)
+{
+    workloads::Params p;
+    p.scale = 2;
+    auto program = mir::compile(workloads::makeParse(p),
+                                sim::referenceCompileOptions());
+    CoreConfig cfg = elimConfig(CoreConfig::contended());
+    cfg.elim.oraclePredictor = true;
+    auto ref = emu::runProgram(program);
+    sim::RunOptions opts;
+    opts.cosim = true;
+    auto result = sim::runOnCore(program, cfg, opts);
+    EXPECT_TRUE(sim::observablyEqual(result, ref));
+    EXPECT_GT(result.stats.committedEliminated, 0u);
+    EXPECT_EQ(result.stats.deadMispredicts, 0u)
+        << "perfect labels with UEB recovery never squash";
+}
+
+TEST(Elimination, BaselineHasNoEliminationStats)
+{
+    workloads::Params p;
+    p.scale = 1;
+    auto program = mir::compile(workloads::makeCompress(p),
+                                sim::referenceCompileOptions());
+    auto base = sim::runOnCore(program, CoreConfig::wide());
+    EXPECT_EQ(base.stats.committedEliminated, 0u);
+    EXPECT_EQ(base.stats.predictedDead, 0u);
+    EXPECT_EQ(base.stats.deadMispredicts, 0u);
+}
+
+TEST(Elimination, UebStoreEvictionFlushesLate)
+{
+    // Many distinct dead-store addresses overflow a tiny UEB store
+    // buffer; evictions perform the writes late, which must be
+    // invisible in final memory.
+    auto program = progFromAsm(R"(
+            addi t0, zero, 300
+            addi t2, zero, 0
+        loop:
+            andi t1, t0, 63
+            slli t1, t1, 3
+            add  t1, t1, gp
+            st   t0, 0(t1)       # rotates over 64 slots; most dead
+            st   t2, 0(t1)       # immediate overwrite: first is dead
+            addi t2, t2, 3
+            addi t0, t0, -1
+            bne  t0, zero, loop
+            ld   t5, 0(gp)
+            out  t5
+            halt
+    )");
+    auto ref = emu::runProgram(program);
+    CoreConfig cfg = elimConfig();
+    cfg.elim.uebStoreEntries = 4;  // force constant evictions
+    cfg.elim.predictor.threshold = 1;
+    sim::RunOptions opts;
+    opts.cosim = true;
+    auto result = sim::runOnCore(program, cfg, opts);
+    EXPECT_EQ(result.output, ref.output);
+    EXPECT_TRUE(result.memory == ref.memory);
+}
+
+TEST(Elimination, DeadnessAcrossCallBoundaries)
+{
+    // The callee's last write to its scratch register is dead from
+    // the caller's perspective (caller clobbers it after return) —
+    // the calling-convention deadness the paper highlights.
+    auto program = progFromAsm(R"(
+            addi t0, zero, 300
+            addi t3, zero, 0
+        loop:
+            jal  ra, helper
+            addi t2, zero, 5     # clobbers helper's last t2 write
+            add  t3, t3, t2
+            addi t0, t0, -1
+            bne  t0, zero, loop
+            out  t3
+            halt
+        helper:
+            add  t2, t0, t3      # dead: caller overwrites t2 unread
+            jalr zero, ra, 0
+    )");
+    auto ref = emu::runProgram(program);
+    sim::RunOptions opts;
+    opts.cosim = true;
+    auto result = sim::runOnCore(program, elimConfig(), opts);
+    EXPECT_EQ(result.output, ref.output);
+    EXPECT_GT(result.stats.committedEliminated, 200u)
+        << "helper's dead write must get eliminated";
+}
+
+TEST(Elimination, PoisonConsumerBothOperands)
+{
+    // A consumer whose BOTH sources are poison tokens from two
+    // different eliminated producers must repair both.
+    auto program = progFromAsm(R"(
+            addi t0, zero, 300
+            addi t5, zero, 0
+        loop:
+            addi t1, t0, 3       # usually dead
+            addi t2, t0, 4       # usually dead
+            addi t3, zero, 7
+            beq  t0, t3, use
+            addi t1, zero, 0
+            addi t2, zero, 0
+            addi t0, t0, -1
+            jal  zero, loop
+        use:
+            add  t5, t1, t2      # needs BOTH eliminated values
+            out  t5
+            halt
+    )");
+    auto ref = emu::runProgram(program);
+    sim::RunOptions opts;
+    opts.cosim = true;
+    auto result = sim::runOnCore(program, elimConfig(), opts);
+    ASSERT_EQ(result.output.size(), 1u);
+    EXPECT_EQ(result.output[0], ref.output[0]);
+    EXPECT_EQ(result.output[0], 21u);  // (7+3) + (7+4)
+}
+
+TEST(Elimination, StatsCoherenceUnderElimination)
+{
+    workloads::Params p;
+    p.scale = 2;
+    auto program = mir::compile(workloads::makeParse(p),
+                                sim::referenceCompileOptions());
+    core::Core core(program, elimConfig(CoreConfig::contended()));
+    core.run();
+    auto c = [&](const char *n) {
+        return core.stats().lookupCounter(n).value();
+    };
+    EXPECT_LE(c("committedEliminated"), c("predictedDead"));
+    EXPECT_EQ(c("renamed") - c("committed"), c("squashedInsts"));
+    // UEB mode: no squash-based dead recoveries at all.
+    EXPECT_EQ(c("deadMispredicts"), 0u);
+    // Shadow executions can't exceed eliminated commits.
+    EXPECT_LE(c("shadowExecs"), c("committedEliminated"));
+}
+
+TEST(Elimination, ContendedConfigBenefitsOnFavourableWorkload)
+{
+    workloads::Params p;
+    p.scale = 4;
+    auto program = mir::compile(workloads::makeFsm(p),
+                                sim::referenceCompileOptions());
+    auto base = sim::runOnCore(program, CoreConfig::contended());
+    auto elim = sim::runOnCore(program, elimConfig(CoreConfig::contended()));
+    EXPECT_GT(elim.stats.ipc, base.stats.ipc)
+        << "fsm under contention is the paper's favourable case";
+}

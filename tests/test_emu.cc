@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Functional emulator tests: per-opcode semantics, control flow,
+ * memory, calling sequences, traces and termination safeguards.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "emu/emulator.hh"
+#include "isa/assembler.hh"
+#include "prog/program.hh"
+
+using namespace dde;
+using namespace dde::isa::build;
+
+namespace
+{
+
+prog::Program
+progFromAsm(const std::string &src)
+{
+    prog::Program program("test");
+    for (const auto &inst : isa::assemble(src).insts)
+        program.append(inst);
+    return program;
+}
+
+} // namespace
+
+TEST(Emulator, InitialState)
+{
+    prog::Program program("t");
+    program.append(halt());
+    emu::Emulator emulator(program);
+    EXPECT_EQ(emulator.reg(kRegSp), prog::kStackTop);
+    EXPECT_EQ(emulator.reg(kRegGp), prog::kDataBase);
+    EXPECT_EQ(emulator.reg(kRegZero), 0u);
+    EXPECT_EQ(emulator.pc(), program.entryPc());
+}
+
+TEST(Emulator, ZeroRegisterIsImmutable)
+{
+    auto program = progFromAsm(R"(
+        addi zero, zero, 55
+        out  zero
+        halt
+    )");
+    auto result = emu::runProgram(program);
+    ASSERT_EQ(result.output.size(), 1u);
+    EXPECT_EQ(result.output[0], 0u);
+}
+
+TEST(Emulator, ArithmeticSequence)
+{
+    auto program = progFromAsm(R"(
+        addi t0, zero, 6
+        addi t1, zero, 7
+        mul  t2, t0, t1
+        sub  t3, t2, t0
+        out  t2
+        out  t3
+        halt
+    )");
+    auto result = emu::runProgram(program);
+    ASSERT_EQ(result.output.size(), 2u);
+    EXPECT_EQ(result.output[0], 42u);
+    EXPECT_EQ(result.output[1], 36u);
+}
+
+TEST(Emulator, LuiOriMaterialization)
+{
+    auto program = progFromAsm(R"(
+        lui  t0, 4660
+        ori  t0, t0, 22136
+        out  t0
+        halt
+    )");
+    auto result = emu::runProgram(program);
+    EXPECT_EQ(result.output[0], 0x12345678u);
+}
+
+TEST(Emulator, LoadStoreRoundTrip)
+{
+    auto program = progFromAsm(R"(
+        addi t0, zero, 1234
+        st   t0, 0(gp)
+        st   t0, 8(gp)
+        ld   t1, 8(gp)
+        addi t1, t1, 1
+        st   t1, 8(gp)
+        ld   t2, 8(gp)
+        out  t2
+        halt
+    )");
+    auto result = emu::runProgram(program);
+    EXPECT_EQ(result.output[0], 1235u);
+    EXPECT_EQ(result.memory.read(prog::kDataBase), 1234u);
+    EXPECT_EQ(result.memory.read(prog::kDataBase + 8), 1235u);
+}
+
+TEST(Emulator, InitializedDataIsVisible)
+{
+    prog::Program program("t");
+    program.poke(prog::kDataBase + 16, 777);
+    for (const auto &inst : isa::assemble("ld t0, 16(gp)\nout t0\nhalt").insts)
+        program.append(inst);
+    auto result = emu::runProgram(program);
+    EXPECT_EQ(result.output[0], 777u);
+}
+
+TEST(Emulator, UnalignedAccessFatals)
+{
+    auto program = progFromAsm("ld t0, 4(gp)\nhalt");
+    emu::Emulator emulator(program);
+    EXPECT_THROW(emulator.run(), FatalError);
+}
+
+TEST(Emulator, BranchLoopCountsCorrectly)
+{
+    auto program = progFromAsm(R"(
+            addi t0, zero, 5
+            addi t1, zero, 0
+        loop:
+            add  t1, t1, t0
+            addi t0, t0, -1
+            bne  t0, zero, loop
+            out  t1
+            halt
+    )");
+    auto result = emu::runProgram(program);
+    EXPECT_EQ(result.output[0], 15u);  // 5+4+3+2+1
+    EXPECT_EQ(result.instCount, 2 + 3 * 5 + 2u);
+}
+
+TEST(Emulator, BranchVariantsEvaluate)
+{
+    auto program = progFromAsm(R"(
+            addi t0, zero, -1
+            addi t1, zero, 1
+            blt  t0, t1, sgood
+            out  zero
+        sgood:
+            bltu t0, t1, bad
+            addi t2, zero, 1
+            out  t2
+            halt
+        bad:
+            out  zero
+            halt
+    )");
+    auto result = emu::runProgram(program);
+    ASSERT_EQ(result.output.size(), 1u);
+    EXPECT_EQ(result.output[0], 1u);
+}
+
+TEST(Emulator, CallAndReturn)
+{
+    auto program = progFromAsm(R"(
+            addi a0, zero, 20
+            jal  ra, double
+            out  a0
+            halt
+        double:
+            add  a0, a0, a0
+            jalr zero, ra, 0
+    )");
+    auto result = emu::runProgram(program);
+    EXPECT_EQ(result.output[0], 40u);
+}
+
+TEST(Emulator, RecursiveFactorial)
+{
+    auto program = progFromAsm(R"(
+            addi a0, zero, 6
+            jal  ra, fact
+            out  a0
+            halt
+        fact:
+            addi t0, zero, 2
+            blt  a0, t0, base
+            addi sp, sp, -16
+            st   ra, 0(sp)
+            st   a0, 8(sp)
+            addi a0, a0, -1
+            jal  ra, fact
+            ld   t1, 8(sp)
+            mul  a0, a0, t1
+            ld   ra, 0(sp)
+            addi sp, sp, 16
+        base:
+            jalr zero, ra, 0
+    )");
+    auto result = emu::runProgram(program);
+    EXPECT_EQ(result.output[0], 720u);
+}
+
+TEST(Emulator, TraceRecordsBranchOutcomesAndAddresses)
+{
+    auto program = progFromAsm(R"(
+            addi t0, zero, 2
+        loop:
+            st   t0, 0(gp)
+            addi t0, t0, -1
+            bne  t0, zero, loop
+            halt
+    )");
+    auto result = emu::runProgram(program);
+    ASSERT_EQ(result.trace.size(), result.instCount);
+    // Two loop iterations: first bne taken, second not taken.
+    std::vector<bool> outcomes;
+    std::vector<Addr> addrs;
+    for (const auto &rec : result.trace) {
+        const auto &inst = program.inst(rec.staticIdx);
+        if (inst.isCondBranch())
+            outcomes.push_back(rec.taken);
+        if (inst.isStore())
+            addrs.push_back(rec.effAddr);
+    }
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_TRUE(outcomes[0]);
+    EXPECT_FALSE(outcomes[1]);
+    ASSERT_EQ(addrs.size(), 2u);
+    EXPECT_EQ(addrs[0], prog::kDataBase);
+}
+
+TEST(Emulator, RunawayProgramHitsLimit)
+{
+    auto program = progFromAsm("loop:\njal zero, loop\nhalt");
+    emu::Emulator emulator(program);
+    EXPECT_THROW(emulator.run(10'000), FatalError);
+}
+
+TEST(Emulator, EmptyProgramIsRejected)
+{
+    prog::Program program("empty");
+    EXPECT_THROW(emu::Emulator em(program), FatalError);
+}
+
+TEST(Memory, EqualityIgnoresExplicitZeros)
+{
+    emu::Memory a, b;
+    a.write(64, 0);
+    EXPECT_TRUE(a == b);
+    a.write(64, 5);
+    EXPECT_FALSE(a == b);
+    b.write(64, 5);
+    EXPECT_TRUE(a == b);
+}
+
+TEST(Program, PcIndexMapping)
+{
+    prog::Program program("t");
+    program.append(nop());
+    program.append(halt());
+    EXPECT_EQ(program.pcOf(1), prog::kTextBase + 4);
+    EXPECT_EQ(program.indexOf(prog::kTextBase + 4), 1u);
+    EXPECT_TRUE(program.containsPc(prog::kTextBase));
+    EXPECT_FALSE(program.containsPc(prog::kTextBase + 8));
+    EXPECT_FALSE(program.containsPc(prog::kTextBase + 2));
+    EXPECT_THROW(program.indexOf(prog::kTextBase + 8), PanicError);
+}

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Cross-module integration tests: the full pipeline from workload
+ * generation through compilation, emulation, oracle analysis,
+ * trace-driven prediction and the out-of-order core (with and
+ * without elimination), checking the relationships the experiments
+ * rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "deadness/analysis.hh"
+#include "emu/emulator.hh"
+#include "mir/compiler.hh"
+#include "predictor/trace_eval.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace dde;
+
+class EndToEnd : public ::testing::TestWithParam<workloads::WorkloadInfo>
+{
+  protected:
+    void
+    SetUp() override
+    {
+        workloads::Params p;
+        p.scale = 2;
+        program = mir::compile(GetParam().make(p),
+                               sim::referenceCompileOptions());
+        run = emu::runProgram(program);
+    }
+
+    prog::Program program{"unset"};
+    emu::RunResult run;
+};
+
+TEST_P(EndToEnd, DeadFractionInPlausibleBand)
+{
+    auto analysis = deadness::analyze(program, run.trace);
+    // The paper reports 3-16%; our workloads land in roughly the same
+    // band (allow slack at both ends for the small test scale).
+    EXPECT_GT(analysis.deadFraction(), 0.01) << GetParam().name;
+    EXPECT_LT(analysis.deadFraction(), 0.30) << GetParam().name;
+}
+
+TEST_P(EndToEnd, MostDeadInstancesComeFromPartiallyDeadStatics)
+{
+    auto analysis = deadness::analyze(program, run.trace);
+    auto cls = analysis.classifyStatics();
+    EXPECT_GT(cls.dynFromPartial + cls.dynFromAlways, 0u);
+    EXPECT_GE(cls.dynFromPartial, cls.dynFromAlways)
+        << "the paper: most dead instances come from static "
+           "instructions that also produce useful values";
+}
+
+TEST_P(EndToEnd, SchedulingCreatesDeadInstructions)
+{
+    workloads::Params p;
+    p.scale = 2;
+    mir::CompileOptions no_sched = sim::referenceCompileOptions();
+    no_sched.hoist.enabled = false;
+    auto prog_ns = mir::compile(GetParam().make(p), no_sched);
+    auto run_ns = emu::runProgram(prog_ns);
+    auto with = deadness::analyze(program, run.trace);
+    auto without = deadness::analyze(prog_ns, run_ns.trace);
+    EXPECT_GE(with.deadFraction() + 1e-9, without.deadFraction())
+        << GetParam().name
+        << ": hoisting should only add dead instances";
+}
+
+TEST_P(EndToEnd, DetectorFindsSubsetOfOracleFirstLevelDeadness)
+{
+    auto analysis = deadness::analyze(program, run.trace);
+    auto result = predictor::evaluateOnTrace(program, run.trace);
+    // The commit-time detector can label at most the oracle's
+    // first-level dead instances plus dead stores (bounded tables
+    // may lose a few).
+    EXPECT_LE(result.labeledDead,
+              analysis.firstLevelDead + analysis.deadStores + 8);
+    EXPECT_GT(result.labeledDead, 0u) << GetParam().name;
+}
+
+TEST_P(EndToEnd, EliminationPreservesObservableState)
+{
+    core::CoreConfig cfg = core::CoreConfig::contended();
+    cfg.elim.enable = true;
+    sim::RunOptions opts;
+    opts.cosim = true;
+    auto result = sim::runOnCore(program, cfg, opts);
+    EXPECT_TRUE(sim::observablyEqual(result, run)) << GetParam().name;
+    EXPECT_EQ(result.stats.committed, run.instCount);
+}
+
+TEST_P(EndToEnd, EliminatedFractionBoundedByDetectorDeadness)
+{
+    core::CoreConfig cfg = core::CoreConfig::wide();
+    cfg.elim.enable = true;
+    auto result = sim::runOnCore(program, cfg);
+    // Eliminations cannot exceed candidates; sanity bound against
+    // total committed instructions.
+    EXPECT_LT(result.stats.committedEliminated,
+              result.stats.committed / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, EndToEnd,
+    ::testing::ValuesIn(workloads::extendedWorkloads()),
+    [](const ::testing::TestParamInfo<workloads::WorkloadInfo> &info) {
+        return info.param.name;
+    });
+
+TEST(Integration, OracleLabelsMatchDetectorReplay)
+{
+    workloads::Params p;
+    p.scale = 1;
+    auto program = mir::compile(workloads::makeFsm(p),
+                                sim::referenceCompileOptions());
+    auto run = emu::runProgram(program);
+    auto labels = sim::computeOracleLabels(program, run.trace, {},
+                                           1 << 20);
+    // Sum of per-static dead labels equals the trace-eval detector's
+    // labeled-dead total.
+    std::uint64_t oracle_dead = 0;
+    for (const auto &vec : labels) {
+        for (bool b : vec)
+            oracle_dead += b ? 1 : 0;
+    }
+    auto eval = predictor::evaluateOnTrace(program, run.trace);
+    EXPECT_EQ(oracle_dead, eval.labeledDead);
+}
+
+TEST(Integration, StatsDumpIsWellFormed)
+{
+    workloads::Params p;
+    p.scale = 1;
+    auto program = mir::compile(workloads::makeCompress(p),
+                                sim::referenceCompileOptions());
+    core::Core core(program, core::CoreConfig::wide());
+    core.run();
+    std::ostringstream os;
+    core.stats().dump(os);
+    EXPECT_NE(os.str().find("core.committed"), std::string::npos);
+    EXPECT_NE(os.str().find("core.ipc"), std::string::npos);
+}

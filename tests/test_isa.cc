@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Unit tests for the ISA layer: opcode properties, binary
+ * encode/decode round trips, semantics, register naming and the
+ * assembler/disassembler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "isa/assembler.hh"
+#include "isa/encoding.hh"
+#include "isa/instruction.hh"
+#include "isa/regnames.hh"
+#include "isa/semantics.hh"
+
+using namespace dde;
+using namespace dde::isa;
+
+TEST(Opcodes, TableIsConsistent)
+{
+    for (unsigned i = 0; i < kNumOpcodes; ++i) {
+        auto op = static_cast<Opcode>(i);
+        const OpInfo &info = opInfo(op);
+        EXPECT_FALSE(info.mnemonic.empty());
+        EXPECT_EQ(opcodeFromMnemonic(info.mnemonic), op)
+            << "mnemonic " << info.mnemonic;
+    }
+    EXPECT_EQ(opcodeFromMnemonic("bogus"), Opcode::NumOpcodes);
+}
+
+TEST(Opcodes, ClassPredicates)
+{
+    EXPECT_TRUE(isConditionalBranch(Opcode::Beq));
+    EXPECT_FALSE(isConditionalBranch(Opcode::Jal));
+    EXPECT_TRUE(isControl(Opcode::Jal));
+    EXPECT_TRUE(isControl(Opcode::Jalr));
+    EXPECT_TRUE(isControl(Opcode::Halt));
+    EXPECT_FALSE(isControl(Opcode::Add));
+}
+
+TEST(Instruction, SourceAndDestAccounting)
+{
+    using namespace build;
+    Instruction add = rr(Opcode::Add, 5, 6, 7);
+    EXPECT_TRUE(add.writesReg());
+    EXPECT_EQ(add.numSrcs(), 2u);
+    EXPECT_EQ(add.srcRegs()[0], 6);
+    EXPECT_EQ(add.srcRegs()[1], 7);
+
+    Instruction addi_r0 = ri(Opcode::Addi, kRegZero, 6, 1);
+    EXPECT_FALSE(addi_r0.writesReg()) << "r0 writes are discarded";
+
+    Instruction load = ld(3, 2, 16);
+    EXPECT_TRUE(load.isLoad());
+    EXPECT_EQ(load.numSrcs(), 1u);
+
+    Instruction store = st(4, 2, 8);
+    EXPECT_TRUE(store.isStore());
+    EXPECT_FALSE(store.writesReg());
+    EXPECT_EQ(store.numSrcs(), 2u);
+
+    Instruction link = jal(kRegRa, 10);
+    EXPECT_TRUE(link.writesReg());
+    EXPECT_TRUE(link.hasSideEffect());
+
+    Instruction o = out(9);
+    EXPECT_TRUE(o.hasSideEffect());
+    EXPECT_FALSE(o.writesReg());
+}
+
+TEST(Encoding, RoundTripsEveryFormat)
+{
+    using namespace build;
+    std::vector<Instruction> cases = {
+        rr(Opcode::Add, 1, 2, 3),
+        rr(Opcode::Mul, 31, 30, 29),
+        ri(Opcode::Addi, 4, 5, -1234),
+        ri(Opcode::Andi, 6, 7, 0x7fff),
+        ri(Opcode::Lui, 8, 0, -32768),
+        ld(9, 10, 32760),
+        st(11, 12, -32768),
+        br(Opcode::Beq, 13, 14, -100),
+        br(Opcode::Bgeu, 15, 16, 32767),
+        jal(1, -1000000),
+        jalr(0, 1, 0),
+        out(17),
+        halt(),
+        nop(),
+    };
+    for (const Instruction &inst : cases) {
+        Instruction back = decode(encode(inst));
+        EXPECT_EQ(back, inst) << disassemble(inst);
+    }
+}
+
+TEST(Encoding, ImmediateOverflowPanics)
+{
+    using namespace build;
+    EXPECT_THROW(encode(ri(Opcode::Addi, 1, 2, 40000)), PanicError);
+    EXPECT_THROW(encode(jal(1, 1 << 21)), PanicError);
+}
+
+TEST(Encoding, IllegalOpcodeFieldFatals)
+{
+    std::uint32_t word = 0xffffffffu;  // opcode field 63: out of range
+    EXPECT_THROW(decode(word), FatalError);
+}
+
+TEST(Encoding, ExhaustiveRandomRoundTrip)
+{
+    // Every opcode with several operand patterns.
+    for (unsigned opi = 0; opi < kNumOpcodes; ++opi) {
+        auto op = static_cast<Opcode>(opi);
+        for (int k = 0; k < 8; ++k) {
+            Instruction inst;
+            inst.op = op;
+            inst.rd = static_cast<RegId>((k * 7 + 1) % 32);
+            inst.rs1 = static_cast<RegId>((k * 11 + 2) % 32);
+            inst.rs2 = static_cast<RegId>((k * 13 + 3) % 32);
+            switch (opInfo(op).format) {
+              case Format::R:
+                break;
+              case Format::I:
+              case Format::M:
+              case Format::B:
+                inst.imm = (k - 4) * 811;
+                if (op == Opcode::St)
+                    inst.rd = 0;
+                if (opInfo(op).format == Format::B)
+                    inst.rd = 0;
+                if (op == Opcode::Lui)
+                    inst.rs1 = 0;
+                break;
+              case Format::J:
+                inst.imm = (k - 4) * 99991;
+                inst.rs1 = 0;
+                inst.rs2 = 0;
+                break;
+              case Format::X:
+                inst.rd = 0;
+                inst.rs2 = 0;
+                inst.imm = 0;
+                if (op != Opcode::Out)
+                    inst.rs1 = 0;
+                break;
+            }
+            if (opInfo(op).format == Format::I && op != Opcode::Lui) {
+                inst.rs2 = 0;
+            } else if (opInfo(op).format == Format::I) {
+                inst.rs1 = 0;
+                inst.rs2 = 0;
+            }
+            if (opInfo(op).format == Format::M && op == Opcode::Ld)
+                inst.rs2 = 0;
+            Instruction back = decode(encode(inst));
+            EXPECT_EQ(back, inst) << disassemble(inst);
+        }
+    }
+}
+
+TEST(Semantics, AluBasics)
+{
+    EXPECT_EQ(evalAlu(Opcode::Add, 2, 3), 5u);
+    EXPECT_EQ(evalAlu(Opcode::Sub, 2, 3), static_cast<RegVal>(-1));
+    EXPECT_EQ(evalAlu(Opcode::And, 0xf0f0, 0xff00), 0xf000u);
+    EXPECT_EQ(evalAlu(Opcode::Or, 0xf0f0, 0x0f0f), 0xffffu);
+    EXPECT_EQ(evalAlu(Opcode::Xor, 0xff, 0x0f), 0xf0u);
+    EXPECT_EQ(evalAlu(Opcode::Sll, 1, 40), 1ULL << 40);
+    EXPECT_EQ(evalAlu(Opcode::Srl, ~0ULL, 60), 0xfULL);
+    EXPECT_EQ(evalAlu(Opcode::Sra, static_cast<RegVal>(-16), 2),
+              static_cast<RegVal>(-4));
+    EXPECT_EQ(evalAlu(Opcode::Mul, 7, 6), 42u);
+}
+
+TEST(Semantics, ShiftAmountsMaskTo6Bits)
+{
+    EXPECT_EQ(evalAlu(Opcode::Sll, 1, 64), 1u);
+    EXPECT_EQ(evalAlu(Opcode::Sll, 1, 65), 2u);
+}
+
+TEST(Semantics, SignedVsUnsignedCompare)
+{
+    RegVal neg1 = static_cast<RegVal>(-1);
+    EXPECT_EQ(evalAlu(Opcode::Slt, neg1, 0), 1u);
+    EXPECT_EQ(evalAlu(Opcode::Sltu, neg1, 0), 0u);
+    EXPECT_TRUE(evalBranch(Opcode::Blt, neg1, 0));
+    EXPECT_FALSE(evalBranch(Opcode::Bltu, neg1, 0));
+    EXPECT_TRUE(evalBranch(Opcode::Bgeu, neg1, 0));
+}
+
+TEST(Semantics, DivisionFollowsRiscV)
+{
+    RegVal neg1 = static_cast<RegVal>(-1);
+    EXPECT_EQ(evalAlu(Opcode::Div, 7, 0), ~0ULL);
+    EXPECT_EQ(evalAlu(Opcode::Rem, 7, 0), 7u);
+    EXPECT_EQ(evalAlu(Opcode::Div, static_cast<RegVal>(INT64_MIN), neg1),
+              static_cast<RegVal>(INT64_MIN));
+    EXPECT_EQ(evalAlu(Opcode::Rem, static_cast<RegVal>(INT64_MIN), neg1),
+              0u);
+    EXPECT_EQ(evalAlu(Opcode::Div, static_cast<RegVal>(-7), 2),
+              static_cast<RegVal>(-3));
+}
+
+TEST(Semantics, LogicalImmediatesZeroExtend)
+{
+    using namespace build;
+    Instruction ori = ri(Opcode::Ori, 1, 2, -1);  // 0xffff after decode
+    Instruction round = decode(encode(ori));
+    EXPECT_EQ(immOperand(round), 0xffffu);
+    Instruction addi = ri(Opcode::Addi, 1, 2, -1);
+    EXPECT_EQ(immOperand(decode(encode(addi))),
+              static_cast<RegVal>(-1));
+}
+
+TEST(RegNames, AbiRoundTrip)
+{
+    for (unsigned r = 0; r < kNumArchRegs; ++r) {
+        auto reg = static_cast<RegId>(r);
+        auto parsed = parseRegName(regAbiName(reg));
+        ASSERT_TRUE(parsed.has_value()) << regAbiName(reg);
+        EXPECT_EQ(*parsed, reg);
+        auto parsed_raw = parseRegName(regName(reg));
+        ASSERT_TRUE(parsed_raw.has_value());
+        EXPECT_EQ(*parsed_raw, reg);
+    }
+    EXPECT_FALSE(parseRegName("r32").has_value());
+    EXPECT_FALSE(parseRegName("x1").has_value());
+    EXPECT_FALSE(parseRegName("t10").has_value());
+}
+
+TEST(Assembler, AssemblesBranchesToLabels)
+{
+    auto result = assemble(R"(
+        start:
+            addi t0, zero, 10
+        loop:
+            addi t0, t0, -1
+            bne  t0, zero, loop
+            jal  zero, start
+            halt
+    )");
+    ASSERT_EQ(result.insts.size(), 5u);
+    EXPECT_EQ(result.labels.at("start"), 0u);
+    EXPECT_EQ(result.labels.at("loop"), 1u);
+    // bne at index 2 targets index 1: displacement -1.
+    EXPECT_EQ(result.insts[2].op, Opcode::Bne);
+    EXPECT_EQ(result.insts[2].imm, -1);
+    // jal at index 3 targets index 0: displacement -3.
+    EXPECT_EQ(result.insts[3].imm, -3);
+}
+
+TEST(Assembler, MemoryOperandSyntax)
+{
+    auto result = assemble("ld t1, 8(sp)\nst t1, -16(sp)\nld t2, (gp)");
+    ASSERT_EQ(result.insts.size(), 3u);
+    EXPECT_EQ(result.insts[0].op, Opcode::Ld);
+    EXPECT_EQ(result.insts[0].rd, parseRegName("t1").value());
+    EXPECT_EQ(result.insts[0].rs1, kRegSp);
+    EXPECT_EQ(result.insts[0].imm, 8);
+    EXPECT_EQ(result.insts[1].op, Opcode::St);
+    EXPECT_EQ(result.insts[1].rs2, parseRegName("t1").value());
+    EXPECT_EQ(result.insts[1].imm, -16);
+    EXPECT_EQ(result.insts[2].imm, 0);
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    auto result = assemble("# leading comment\n\n  add t0, t1, t2 # trailing\n");
+    ASSERT_EQ(result.insts.size(), 1u);
+    EXPECT_EQ(result.insts[0].op, Opcode::Add);
+}
+
+TEST(Assembler, ErrorsAreFatalWithLineInfo)
+{
+    EXPECT_THROW(assemble("frobnicate t0, t1"), FatalError);
+    EXPECT_THROW(assemble("add t0, t1"), FatalError);
+    EXPECT_THROW(assemble("beq t0, t1, nowhere"), FatalError);
+    EXPECT_THROW(assemble("add t0, t1, r95"), FatalError);
+    EXPECT_THROW(assemble("dup:\ndup:\nnop"), FatalError);
+}
+
+TEST(Assembler, DisassembleReassembles)
+{
+    auto result = assemble(R"(
+        lui  t3, 4096
+        ori  t3, t3, 255
+        mul  t4, t3, t3
+        st   t4, 0(gp)
+        out  t4
+        halt
+    )");
+    for (const Instruction &inst : result.insts) {
+        auto round = assemble(disassemble(inst));
+        ASSERT_EQ(round.insts.size(), 1u);
+        EXPECT_EQ(round.insts[0], inst) << disassemble(inst);
+    }
+}

@@ -1,0 +1,539 @@
+/**
+ * @file
+ * Mini-compiler tests: liveness dataflow, the speculative hoisting
+ * scheduler's safety conditions and origin tagging, linear-scan
+ * register allocation (including spills and call-crossing
+ * constraints), and end-to-end lowering correctness checked by
+ * emulation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "emu/emulator.hh"
+#include "mir/builder.hh"
+#include "mir/compiler.hh"
+#include "mir/dce.hh"
+#include "mir/hoist.hh"
+#include "mir/liveness.hh"
+#include "mir/regalloc.hh"
+
+using namespace dde;
+using namespace dde::mir;
+
+namespace
+{
+
+/** A diamond: entry branches to then/else, both join; then-block
+ * computes t = a + b where a, b are defined in the entry. */
+Module
+diamondModule(bool use_t_in_else = false)
+{
+    Module m;
+    m.name = "diamond";
+    FunctionBuilder b(m, "main", 0);
+    VReg a = b.li(10);
+    VReg c = b.li(1);
+    VReg z = b.li(0);
+    BlockId then_b = b.newBlock();
+    BlockId else_b = b.newBlock();
+    BlockId join = b.newBlock();
+    b.br(Cond::Ne, c, z, then_b, else_b);
+
+    b.setBlock(then_b);
+    VReg t = b.add(a, a);
+    b.output(t);
+    b.jmp(join);
+
+    b.setBlock(else_b);
+    if (use_t_in_else) {
+        // Pretend t flows in from elsewhere: redefine-and-use pattern
+        // that must block hoisting of the then-block def.
+        b.output(t);
+    }
+    b.output(c);
+    b.jmp(join);
+
+    b.setBlock(join);
+    b.halt();
+    return m;
+}
+
+} // namespace
+
+TEST(Liveness, StraightLine)
+{
+    Module m;
+    FunctionBuilder b(m, "main", 0);
+    VReg x = b.li(1);
+    VReg y = b.addi(x, 2);
+    b.output(y);
+    b.halt();
+    Liveness live = computeLiveness(m.function("main"));
+    EXPECT_TRUE(live.liveIn[0].empty());
+    EXPECT_TRUE(live.liveOut[0].empty());
+}
+
+TEST(Liveness, LoopCarriedValueIsLiveAroundBackedge)
+{
+    Module m;
+    FunctionBuilder b(m, "main", 0);
+    VReg i = b.li(0);
+    VReg n = b.li(10);
+    BlockId loop = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+    b.jmp(loop);
+    b.setBlock(loop);
+    b.br(Cond::Lt, i, n, body, exit);
+    b.setBlock(body);
+    b.intoImm(MOp::AddI, i, i, 1);
+    b.jmp(loop);
+    b.setBlock(exit);
+    b.output(i);
+    b.halt();
+
+    Liveness live = computeLiveness(m.function("main"));
+    EXPECT_TRUE(live.isLiveIn(loop, i));
+    EXPECT_TRUE(live.isLiveOut(body, i));
+    EXPECT_TRUE(live.isLiveIn(loop, n));
+    EXPECT_TRUE(live.isLiveIn(exit, i));
+    EXPECT_FALSE(live.isLiveIn(exit, n));
+}
+
+TEST(Liveness, BranchSourcesAreUses)
+{
+    Module m;
+    FunctionBuilder b(m, "main", 0);
+    VReg a = b.li(1);
+    VReg c = b.li(2);
+    BlockId t = b.newBlock();
+    BlockId f = b.newBlock();
+    b.br(Cond::Lt, a, c, t, f);
+    b.setBlock(t);
+    b.halt();
+    b.setBlock(f);
+    b.halt();
+    Liveness live = computeLiveness(m.function("main"));
+    // a and c are used by block 0's terminator, defined in block 0.
+    EXPECT_FALSE(live.isLiveIn(0, a));
+    EXPECT_FALSE(live.isLiveIn(0, c));
+}
+
+TEST(Hoist, MovesSpeculableComputationAboveBranch)
+{
+    Module m = diamondModule();
+    Function &fn = m.function("main");
+    std::size_t then_before = fn.block(1).insts.size();
+    unsigned moved = hoistSpeculatively(fn, HoistOptions{});
+    EXPECT_GE(moved, 1u);
+    EXPECT_LT(fn.block(1).insts.size(), then_before);
+    // Hoisted instruction is tagged with its origin.
+    bool found_tag = false;
+    for (const MirInst &inst : fn.block(0).insts) {
+        if (inst.origin == prog::InstOrigin::HoistedSpec)
+            found_tag = true;
+    }
+    EXPECT_TRUE(found_tag);
+}
+
+TEST(Hoist, RefusesWhenDestLiveIntoOtherSuccessor)
+{
+    Module m = diamondModule(true);
+    Function &fn = m.function("main");
+    auto then_insts = fn.block(1).insts.size();
+    hoistSpeculatively(fn, HoistOptions{});
+    // The add defining t must stay: t is live into the else block.
+    bool add_in_then = false;
+    for (const MirInst &inst : fn.block(1).insts) {
+        if (inst.op == MOp::Add)
+            add_in_then = true;
+    }
+    EXPECT_TRUE(add_in_then);
+    (void)then_insts;
+}
+
+TEST(Hoist, NeverMovesStoresCallsOrOutput)
+{
+    Module m;
+    FunctionBuilder b(m, "main", 0);
+    VReg a = b.li(5);
+    VReg base = b.li(static_cast<std::int64_t>(prog::kDataBase));
+    VReg z = b.li(0);
+    BlockId then_b = b.newBlock();
+    BlockId join = b.newBlock();
+    b.br(Cond::Ne, a, z, then_b, join);
+    b.setBlock(then_b);
+    b.store(a, base, 0);
+    b.output(a);
+    b.jmp(join);
+    b.setBlock(join);
+    b.halt();
+
+    unsigned moved = hoistSpeculatively(m.function("main"), HoistOptions{});
+    EXPECT_EQ(moved, 0u);
+}
+
+TEST(Hoist, LoadHoistingIsOptional)
+{
+    auto make = [] {
+        Module m;
+        FunctionBuilder b(m, "main", 0);
+        VReg base = b.li(static_cast<std::int64_t>(prog::kDataBase));
+        VReg c = b.li(1);
+        VReg z = b.li(0);
+        BlockId then_b = b.newBlock();
+        BlockId join = b.newBlock();
+        b.br(Cond::Ne, c, z, then_b, join);
+        b.setBlock(then_b);
+        VReg v = b.load(base, 0);
+        b.output(v);
+        b.jmp(join);
+        b.setBlock(join);
+        b.halt();
+        return m;
+    };
+    HoistOptions no_loads;
+    no_loads.hoistLoads = false;
+    Module m1 = make();
+    EXPECT_EQ(hoistSpeculatively(m1.function("main"), no_loads), 0u);
+    Module m2 = make();
+    EXPECT_EQ(hoistSpeculatively(m2.function("main"), HoistOptions{}),
+              1u);
+}
+
+TEST(Hoist, LoadsDoNotMoveAboveStores)
+{
+    Module m;
+    FunctionBuilder b(m, "main", 0);
+    VReg base = b.li(static_cast<std::int64_t>(prog::kDataBase));
+    VReg c = b.li(1);
+    VReg z = b.li(0);
+    BlockId then_b = b.newBlock();
+    BlockId join = b.newBlock();
+    b.br(Cond::Ne, c, z, then_b, join);
+    b.setBlock(then_b);
+    b.store(c, base, 0);       // possible alias
+    VReg v = b.load(base, 0);  // must not move above the store
+    b.output(v);
+    b.jmp(join);
+    b.setBlock(join);
+    b.halt();
+
+    EXPECT_EQ(hoistSpeculatively(m.function("main"), HoistOptions{}),
+              0u);
+}
+
+TEST(Hoist, PreservesSemantics)
+{
+    Module m = diamondModule();
+    auto before = emu::runProgram(compile(m, [] {
+        CompileOptions o;
+        o.hoist.enabled = false;
+        return o;
+    }()));
+    auto after = emu::runProgram(compile(m, CompileOptions{}));
+    EXPECT_EQ(before.output, after.output);
+}
+
+TEST(RegAlloc, SmallFunctionNeedsNoSpills)
+{
+    Module m;
+    FunctionBuilder b(m, "main", 0);
+    VReg x = b.li(1);
+    VReg y = b.addi(x, 1);
+    b.output(y);
+    b.halt();
+    Allocation alloc = allocateRegisters(m.function("main"));
+    EXPECT_EQ(alloc.numSlots, 0u);
+    for (const auto &kv : alloc.locs)
+        EXPECT_TRUE(kv.second.isReg());
+}
+
+TEST(RegAlloc, PressureForcesSpills)
+{
+    Module m;
+    FunctionBuilder b(m, "main", 0);
+    std::vector<VReg> vals;
+    for (int i = 0; i < 20; ++i)
+        vals.push_back(b.li(i));
+    VReg sum = b.li(0);
+    for (VReg v : vals)
+        b.into2(MOp::Add, sum, sum, v);
+    b.output(sum);
+    b.halt();
+
+    RegAllocOptions tight;
+    tight.numCallerSaved = 3;
+    tight.numCalleeSaved = 3;
+    Allocation alloc = allocateRegisters(m.function("main"), tight);
+    EXPECT_GT(alloc.numSlots, 0u);
+}
+
+TEST(RegAlloc, ValuesLiveAcrossCallsGetCalleeSaved)
+{
+    Module m;
+    {
+        FunctionBuilder f(m, "leaf", 1);
+        f.ret(f.addi(f.param(0), 1));
+    }
+    FunctionBuilder b(m, "main", 0);
+    VReg keep = b.li(123);          // live across the call
+    VReg r = b.call("leaf", {keep});
+    VReg s = b.add(keep, r);
+    b.output(s);
+    b.halt();
+
+    Allocation alloc = allocateRegisters(m.function("main"));
+    const Location &loc = alloc.loc(keep);
+    ASSERT_TRUE(loc.isReg());
+    EXPECT_GE(loc.reg(), kRegSaved0)
+        << "call-crossing value must live in a callee-saved register";
+    EXPECT_FALSE(alloc.usedCalleeSaved.empty());
+    EXPECT_TRUE(alloc.hasCalls);
+}
+
+TEST(RegAlloc, DisjointLifetimesShareRegisters)
+{
+    Module m;
+    FunctionBuilder b(m, "main", 0);
+    // 40 sequential short-lived values through a tiny pool.
+    VReg acc = b.li(0);
+    for (int i = 0; i < 40; ++i) {
+        VReg t = b.li(i);
+        b.into2(MOp::Add, acc, acc, t);
+    }
+    b.output(acc);
+    b.halt();
+    RegAllocOptions tiny;
+    tiny.numCallerSaved = 3;
+    tiny.numCalleeSaved = 0;
+    Allocation alloc = allocateRegisters(m.function("main"), tiny);
+    EXPECT_EQ(alloc.numSlots, 0u)
+        << "sequential lifetimes must reuse registers, not spill";
+}
+
+TEST(Lower, SpilledProgramsStillComputeCorrectly)
+{
+    Module m;
+    FunctionBuilder b(m, "main", 0);
+    std::vector<VReg> vals;
+    for (int i = 1; i <= 15; ++i)
+        vals.push_back(b.li(i * i));
+    VReg sum = b.li(0);
+    for (VReg v : vals)
+        b.into2(MOp::Add, sum, sum, v);
+    b.output(sum);
+    b.halt();
+
+    CompileOptions tight;
+    tight.regalloc.numCallerSaved = 3;
+    tight.regalloc.numCalleeSaved = 2;
+    CompileStats stats;
+    auto program = compile(m, tight, &stats);
+    EXPECT_GT(stats.lower.spillLoads + stats.lower.spillStores, 0u);
+    auto result = emu::runProgram(program);
+    std::uint64_t expect = 0;
+    for (int i = 1; i <= 15; ++i)
+        expect += std::uint64_t(i) * i;
+    ASSERT_EQ(result.output.size(), 1u);
+    EXPECT_EQ(result.output[0], expect);
+}
+
+TEST(Lower, CalleeSaveRoundTrip)
+{
+    Module m;
+    {
+        // Clobbers every callee-saved register it is given.
+        FunctionBuilder f(m, "clobber", 1);
+        VReg acc = f.addi(f.param(0), 0);
+        for (int i = 0; i < 12; ++i) {
+            VReg t = f.mul(acc, f.li(3));
+            acc = f.xor_(t, f.li(i));
+        }
+        f.ret(acc);
+    }
+    FunctionBuilder b(m, "main", 0);
+    VReg a = b.li(11);
+    VReg c = b.li(22);
+    VReg r = b.call("clobber", {a});
+    VReg s = b.add(a, c);  // a, c survived the call
+    b.output(s);
+    b.output(r);
+    b.halt();
+
+    CompileStats stats;
+    auto program = compile(m, CompileOptions{}, &stats);
+    auto result = emu::runProgram(program);
+    ASSERT_EQ(result.output.size(), 2u);
+    EXPECT_EQ(result.output[0], 33u);
+    // main never returns (it halts), so its saves have no matching
+    // restores; every other function restores what it saved.
+    EXPECT_GE(stats.lower.calleeSaves, stats.lower.calleeRestores);
+}
+
+TEST(Lower, OriginTagsSurviveLowering)
+{
+    Module m = diamondModule();
+    CompileStats stats;
+    auto program = compile(m, CompileOptions{}, &stats);
+    ASSERT_GE(stats.hoisted, 1u);
+    unsigned hoisted_tags = 0;
+    for (std::size_t i = 0; i < program.numInsts(); ++i) {
+        if (program.origin(i) == prog::InstOrigin::HoistedSpec)
+            ++hoisted_tags;
+    }
+    EXPECT_EQ(hoisted_tags, stats.hoisted);
+}
+
+TEST(Lower, LargeConstantsMaterialize)
+{
+    Module m;
+    FunctionBuilder b(m, "main", 0);
+    std::int64_t big = 0x123456789abcdef0LL;
+    std::int64_t neg = -123456789;
+    b.output(b.li(big));
+    b.output(b.li(neg));
+    b.output(b.li(42));
+    b.halt();
+    auto result = emu::runProgram(compile(m));
+    ASSERT_EQ(result.output.size(), 3u);
+    EXPECT_EQ(result.output[0], static_cast<RegVal>(big));
+    EXPECT_EQ(result.output[1], static_cast<RegVal>(neg));
+    EXPECT_EQ(result.output[2], 42u);
+}
+
+TEST(Lower, ImmediatesOutOfFieldRangeFallBackToRegisters)
+{
+    Module m;
+    FunctionBuilder b(m, "main", 0);
+    VReg x = b.li(1);
+    b.output(b.addi(x, 1'000'000));        // exceeds 16-bit field
+    b.output(b.andi(b.li(-1), 0x12340));   // exceeds logical range
+    b.halt();
+    auto result = emu::runProgram(compile(m));
+    EXPECT_EQ(result.output[0], 1'000'001u);
+    EXPECT_EQ(result.output[1], 0x12340u);
+}
+
+TEST(Lower, MissingMainIsFatal)
+{
+    Module m;
+    FunctionBuilder b(m, "not_main", 0);
+    b.halt();
+    EXPECT_THROW(compile(m), FatalError);
+}
+
+TEST(Lower, CallToUnknownFunctionIsFatal)
+{
+    Module m;
+    FunctionBuilder b(m, "main", 0);
+    b.callVoid("ghost", {});
+    b.halt();
+    EXPECT_THROW(compile(m), FatalError);
+}
+
+TEST(Dce, RemovesProvablyDeadCode)
+{
+    Module m;
+    FunctionBuilder b(m, "main", 0);
+    VReg used = b.li(5);
+    VReg dead1 = b.li(7);        // never used
+    VReg dead2 = b.addi(dead1, 1);  // uses dead1 but is itself unused
+    b.output(used);
+    b.halt();
+    (void)dead2;
+    unsigned removed = eliminateDeadCode(m.function("main"));
+    EXPECT_EQ(removed, 2u) << "fixpoint must remove the whole chain";
+    // Remaining: the li feeding the output, and the out itself.
+    EXPECT_EQ(m.function("main").block(0).insts.size(), 2u);
+}
+
+TEST(Dce, KeepsSideEffectsAndPartiallyDeadCode)
+{
+    Module m;
+    FunctionBuilder b(m, "main", 0);
+    VReg base = b.li(static_cast<std::int64_t>(prog::kDataBase));
+    VReg v = b.li(9);
+    VReg z = b.li(0);
+    b.store(v, base, 0);  // result-free side effect: must stay
+    BlockId then_b = b.newBlock();
+    BlockId join = b.newBlock();
+    b.br(Cond::Ne, v, z, then_b, join);
+    b.setBlock(then_b);
+    // Partially dead at the DYNAMIC level is invisible here: t is used
+    // on this path, so whole-static DCE must keep it.
+    VReg t = b.add(v, v);
+    b.output(t);
+    b.jmp(join);
+    b.setBlock(join);
+    b.halt();
+
+    auto count_insts = [&] {
+        std::size_t n = 0;
+        for (const Block &blk : m.function("main").blocks)
+            n += blk.insts.size();
+        return n;
+    };
+    std::size_t before = count_insts();
+    eliminateDeadCode(m.function("main"));
+    EXPECT_EQ(count_insts(), before);
+}
+
+TEST(Dce, LoopCarriedValuesSurvive)
+{
+    Module m;
+    FunctionBuilder b(m, "main", 0);
+    VReg i = b.li(0);
+    VReg n = b.li(10);
+    VReg acc = b.li(0);
+    BlockId head = b.newBlock();
+    BlockId body = b.newBlock();
+    BlockId exit = b.newBlock();
+    b.jmp(head);
+    b.setBlock(head);
+    b.br(Cond::Lt, i, n, body, exit);
+    b.setBlock(body);
+    b.into2(MOp::Add, acc, acc, i);
+    b.intoImm(MOp::AddI, i, i, 1);
+    b.jmp(head);
+    b.setBlock(exit);
+    b.output(acc);
+    b.halt();
+
+    eliminateDeadCode(m.function("main"));
+    auto result = emu::runProgram(compile(m));
+    EXPECT_EQ(result.output[0], 45u);
+}
+
+TEST(Dce, PreservesSemanticsOfEveryWorkloadStyleProgram)
+{
+    Module m = diamondModule();
+    CompileOptions with_dce;
+    CompileOptions without;
+    without.dce = false;
+    auto a = emu::runProgram(compile(m, with_dce));
+    auto b2 = emu::runProgram(compile(m, without));
+    EXPECT_EQ(a.output, b2.output);
+}
+
+TEST(Lower, DeepRecursionWorks)
+{
+    Module m;
+    {
+        FunctionBuilder f(m, "tri", 1);
+        VReg n = f.param(0);
+        BlockId base = f.newBlock();
+        BlockId rec = f.newBlock();
+        f.br(Cond::Lt, n, f.li(1), base, rec);
+        f.setBlock(base);
+        f.ret(f.li(0));
+        f.setBlock(rec);
+        VReg r = f.call("tri", {f.addi(n, -1)});
+        f.ret(f.add(r, n));
+    }
+    FunctionBuilder b(m, "main", 0);
+    b.output(b.call("tri", {b.li(100)}));
+    b.halt();
+    auto result = emu::runProgram(compile(m));
+    EXPECT_EQ(result.output[0], 5050u);
+}

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Property-based tests: randomly generated (but terminating by
+ * construction) programs are run through the mini compiler under
+ * several configurations, the functional emulator, and the
+ * out-of-order core with and without dead-instruction elimination.
+ * Invariants:
+ *   - compiler knobs never change program outputs,
+ *   - the baseline core matches the emulator on all architectural
+ *     state,
+ *   - the eliminating core matches on memory + output stream,
+ *   - eliminations never exceed candidates and stats stay coherent.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "core/core.hh"
+#include "emu/emulator.hh"
+#include "mir/builder.hh"
+#include "mir/compiler.hh"
+#include "sim/simulator.hh"
+
+using namespace dde;
+using namespace dde::mir;
+
+namespace
+{
+
+/** Builds a random structured program: straight-line arithmetic,
+ * if-diamonds, fixed-trip loops, and memory traffic into a small
+ * scratch region. Always terminates. */
+class RandomProgramBuilder
+{
+  public:
+    explicit RandomProgramBuilder(std::uint64_t seed) : _rng(seed) {}
+
+    Module
+    build()
+    {
+        Module m;
+        m.name = "fuzz";
+        FunctionBuilder b(m, "main", 0);
+        _pool.clear();
+        _pool.push_back(b.li(static_cast<std::int64_t>(_rng.range(1, 100))));
+        _pool.push_back(b.li(static_cast<std::int64_t>(_rng.range(1, 100))));
+        _base = b.li(static_cast<std::int64_t>(prog::kDataBase));
+
+        unsigned constructs = 3 + _rng.range(0, 5);
+        for (unsigned i = 0; i < constructs; ++i)
+            emitConstruct(b, 2);
+
+        for (VReg v : _pool)
+            b.output(v);
+        b.halt();
+        return m;
+    }
+
+  private:
+    VReg pick() { return _pool[_rng.range(0, _pool.size() - 1)]; }
+
+    void
+    remember(VReg v)
+    {
+        _pool.push_back(v);
+        if (_pool.size() > 12)
+            _pool.erase(_pool.begin() + (_rng.next() % 4));
+    }
+
+    void
+    emitArith(FunctionBuilder &b)
+    {
+        static const MOp ops[] = {MOp::Add, MOp::Sub, MOp::Xor,
+                                  MOp::And, MOp::Or, MOp::Mul,
+                                  MOp::Slt, MOp::Sltu};
+        MOp op = ops[_rng.range(0, 7)];
+        remember(b.emit2(op, pick(), pick()));
+        if (_rng.chance(0.3)) {
+            remember(b.emitImm(MOp::AndI, pick(),
+                               static_cast<std::int64_t>(
+                                   _rng.range(1, 0x7fff))));
+        }
+        if (_rng.chance(0.2)) {
+            remember(b.emitImm(MOp::SrlI, pick(),
+                               static_cast<std::int64_t>(
+                                   _rng.range(1, 13))));
+        }
+    }
+
+    void
+    emitMemory(FunctionBuilder &b)
+    {
+        // Keep addresses in a 32-word scratch region.
+        VReg idx = b.andi(pick(), 31);
+        VReg off = b.slli(idx, 3);
+        VReg addr = b.add(off, _base);
+        if (_rng.chance(0.5)) {
+            b.store(pick(), addr, 0);
+        } else {
+            remember(b.load(addr, 0));
+        }
+    }
+
+    void
+    emitDiamond(FunctionBuilder &b, unsigned depth)
+    {
+        BlockId then_b = b.newBlock();
+        BlockId else_b = b.newBlock();
+        BlockId join = b.newBlock();
+        static const Cond conds[] = {Cond::Eq, Cond::Ne, Cond::Lt,
+                                     Cond::Ge, Cond::LtU, Cond::GeU};
+        b.br(conds[_rng.range(0, 5)], pick(), pick(), then_b, else_b);
+        auto pool_snapshot = _pool;
+        b.setBlock(then_b);
+        emitLeafStatements(b, depth);
+        b.jmp(join);
+        // Both arms define into fresh vregs; restore the pool so the
+        // else arm (and the join) never consumes a then-only value.
+        _pool = pool_snapshot;
+        b.setBlock(else_b);
+        emitLeafStatements(b, depth);
+        b.jmp(join);
+        _pool = pool_snapshot;
+        b.setBlock(join);
+    }
+
+    void
+    emitLoop(FunctionBuilder &b, unsigned depth)
+    {
+        unsigned trips = 2 + _rng.range(0, 30);
+        VReg i = b.li(0);
+        VReg n = b.li(trips);
+        BlockId head = b.newBlock();
+        BlockId body = b.newBlock();
+        BlockId exit = b.newBlock();
+        b.jmp(head);
+        b.setBlock(head);
+        b.br(Cond::Lt, i, n, body, exit);
+        b.setBlock(body);
+        auto pool_snapshot = _pool;
+        emitLeafStatements(b, depth);
+        _pool = pool_snapshot;
+        b.intoImm(MOp::AddI, i, i, 1);
+        b.jmp(head);
+        b.setBlock(exit);
+        remember(i);
+    }
+
+    void
+    emitLeafStatements(FunctionBuilder &b, unsigned depth)
+    {
+        unsigned statements = 1 + _rng.range(0, 3);
+        for (unsigned i = 0; i < statements; ++i)
+            emitConstruct(b, depth);
+    }
+
+    void
+    emitConstruct(FunctionBuilder &b, unsigned depth)
+    {
+        double r = _rng.uniform();
+        if (depth == 0 || r < 0.5) {
+            emitArith(b);
+        } else if (r < 0.7) {
+            emitMemory(b);
+        } else if (r < 0.88) {
+            emitDiamond(b, depth - 1);
+        } else {
+            emitLoop(b, depth - 1);
+        }
+    }
+
+    Rng _rng;
+    std::vector<VReg> _pool;
+    VReg _base = kNoVReg;
+};
+
+} // namespace
+
+class RandomPrograms : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomPrograms, CompilerKnobsPreserveOutputs)
+{
+    RandomProgramBuilder gen(1000 + GetParam());
+    Module m = gen.build();
+    auto reference = emu::runProgram(compile(m), 20'000'000, false);
+
+    mir::CompileOptions variants[3];
+    variants[0].hoist.enabled = false;
+    variants[1].regalloc.numCallerSaved = 3;
+    variants[1].regalloc.numCalleeSaved = 2;
+    variants[2].hoist.window = 8;
+    variants[2].hoist.maxPerBlock = 6;
+    variants[2].regalloc.numCallerSaved = 4;
+    for (const auto &opts : variants) {
+        auto result =
+            emu::runProgram(compile(m, opts), 20'000'000, false);
+        EXPECT_EQ(result.output, reference.output);
+        // Stack layout is legitimately configuration-dependent (spill
+        // slots, callee-save areas); the program-visible scratch
+        // region must match exactly.
+        for (unsigned w = 0; w < 32; ++w) {
+            Addr a = prog::kDataBase + 8 * w;
+            EXPECT_EQ(result.memory.read(a), reference.memory.read(a));
+        }
+    }
+}
+
+TEST_P(RandomPrograms, BaselineCoreMatchesEmulatorExactly)
+{
+    RandomProgramBuilder gen(2000 + GetParam());
+    auto program = compile(gen.build(), sim::referenceCompileOptions());
+    auto ref = emu::runProgram(program);
+    sim::RunOptions opts;
+    opts.cosim = true;
+    for (const auto &cfg :
+         {core::CoreConfig::wide(), core::CoreConfig::contended(),
+          core::CoreConfig::tiny()}) {
+        auto result = sim::runOnCore(program, cfg, opts);
+        EXPECT_EQ(result.output, ref.output);
+        EXPECT_TRUE(result.memory == ref.memory);
+        EXPECT_EQ(result.stats.committed, ref.instCount);
+    }
+}
+
+TEST_P(RandomPrograms, EliminationPreservesObservableState)
+{
+    RandomProgramBuilder gen(3000 + GetParam());
+    auto program = compile(gen.build(), sim::referenceCompileOptions());
+    auto ref = emu::runProgram(program);
+    sim::RunOptions opts;
+    opts.cosim = true;
+
+    core::CoreConfig ueb = core::CoreConfig::contended();
+    ueb.elim.enable = true;
+    ueb.elim.predictor.threshold = 1;  // maximally aggressive
+    auto r1 = sim::runOnCore(program, ueb, opts);
+    EXPECT_TRUE(sim::observablyEqual(r1, ref));
+
+    core::CoreConfig squash = ueb;
+    squash.elim.recovery = core::RecoveryMode::SquashProducer;
+    auto r2 = sim::runOnCore(program, squash, opts);
+    EXPECT_TRUE(sim::observablyEqual(r2, ref));
+
+    core::CoreConfig tiny_ueb = core::CoreConfig::tiny();
+    tiny_ueb.elim.enable = true;
+    tiny_ueb.elim.uebStoreEntries = 4;  // stress evictions
+    auto r3 = sim::runOnCore(program, tiny_ueb, opts);
+    EXPECT_TRUE(sim::observablyEqual(r3, ref));
+}
+
+TEST_P(RandomPrograms, OracleAndSquashModesPreserveObservableState)
+{
+    RandomProgramBuilder gen(4000 + GetParam());
+    auto program = compile(gen.build(), sim::referenceCompileOptions());
+    auto ref = emu::runProgram(program);
+    sim::RunOptions opts;
+    opts.cosim = true;
+
+    core::CoreConfig oracle = core::CoreConfig::contended();
+    oracle.elim.enable = true;
+    oracle.elim.oraclePredictor = true;
+    auto r1 = sim::runOnCore(program, oracle, opts);
+    EXPECT_TRUE(sim::observablyEqual(r1, ref));
+
+    core::CoreConfig squash_tiny = core::CoreConfig::tiny();
+    squash_tiny.elim.enable = true;
+    squash_tiny.elim.recovery = core::RecoveryMode::SquashProducer;
+    squash_tiny.elim.predictor.threshold = 1;
+    auto r2 = sim::runOnCore(program, squash_tiny, opts);
+    EXPECT_TRUE(sim::observablyEqual(r2, ref));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
+                         ::testing::Range(0, 20));

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Simulation-driver tests: reference compile options, oracle label
+ * computation (alignment, distance filter), the co-simulation hook,
+ * observable-equality semantics, and the machine presets.
+ */
+
+#include <gtest/gtest.h>
+
+#include "emu/emulator.hh"
+#include "isa/assembler.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace dde;
+
+namespace
+{
+
+prog::Program
+progFromAsm(const std::string &src)
+{
+    prog::Program program("t");
+    for (const auto &inst : isa::assemble(src).insts)
+        program.append(inst);
+    return program;
+}
+
+} // namespace
+
+TEST(Sim, ReferenceCompileOptionsInduceRealisticPressure)
+{
+    auto opts = sim::referenceCompileOptions();
+    EXPECT_TRUE(opts.hoist.enabled);
+    EXPECT_TRUE(opts.dce);
+    EXPECT_LT(opts.regalloc.numCallerSaved, kNumTmpRegs - 2);
+    EXPECT_LT(opts.regalloc.numCalleeSaved, kNumSavedRegs);
+}
+
+TEST(Sim, OracleLabelsAlignWithCommitOrder)
+{
+    auto program = progFromAsm(R"(
+            addi t0, zero, 6
+        loop:
+            addi t1, t0, 1       # dead on even t0, live on odd t0
+            andi t2, t0, 1
+            beq  t2, zero, kill
+            out  t1
+        kill:
+            addi t1, zero, 0
+            addi t0, t0, -1
+            bne  t0, zero, loop
+            halt
+    )");
+    auto run = emu::runProgram(program);
+    auto labels = sim::computeOracleLabels(program, run.trace);
+    // Static index 1 is "addi t1, t0, 1": six instances, t0=6..1.
+    // Even t0 -> overwritten before the out: dead; odd t0 -> out reads
+    // it first: live.
+    ASSERT_EQ(labels[1].size(), 6u);
+    for (int k = 0; k < 6; ++k) {
+        int t0 = 6 - k;
+        EXPECT_EQ(labels[1][k], t0 % 2 == 0) << "instance " << k;
+    }
+}
+
+TEST(Sim, OracleLabelDistanceFilter)
+{
+    // The dead store is overwritten ~3*N instructions later; a tight
+    // distance filter must refuse to call it dead.
+    auto program = progFromAsm(R"(
+            addi t0, zero, 100
+            st   t0, 0(gp)        # dead, but resolved far away
+        spin:
+            addi t0, t0, -1
+            bne  t0, zero, spin
+            st   t0, 0(gp)
+            ld   t1, 0(gp)
+            out  t1
+            halt
+    )");
+    auto run = emu::runProgram(program);
+    auto loose = sim::computeOracleLabels(program, run.trace, {}, 1u << 20);
+    auto tight = sim::computeOracleLabels(program, run.trace, {}, 16);
+    EXPECT_TRUE(loose[1][0]);
+    EXPECT_FALSE(tight[1][0]);
+}
+
+TEST(Sim, CosimCatchesNothingOnHealthyRuns)
+{
+    workloads::Params p;
+    p.scale = 1;
+    auto program = mir::compile(workloads::makeStencil(p),
+                                sim::referenceCompileOptions());
+    sim::RunOptions opts;
+    opts.cosim = true;
+    EXPECT_NO_THROW(
+        sim::runOnCore(program, core::CoreConfig::wide(), opts));
+}
+
+TEST(Sim, ObservableEqualityComparesOutputAndMemory)
+{
+    auto program = progFromAsm(R"(
+        addi t0, zero, 3
+        st   t0, 0(gp)
+        out  t0
+        halt
+    )");
+    auto ref = emu::runProgram(program);
+    auto result = sim::runOnCore(program, core::CoreConfig::wide());
+    EXPECT_TRUE(sim::observablyEqual(result, ref));
+    // Perturb the output: no longer equal.
+    sim::SimResult tampered = result;
+    tampered.output.push_back(99);
+    EXPECT_FALSE(sim::observablyEqual(tampered, ref));
+    sim::SimResult tampered2 = result;
+    tampered2.memory.write(prog::kDataBase, 999);
+    EXPECT_FALSE(sim::observablyEqual(tampered2, ref));
+}
+
+TEST(Sim, PresetsAreOrderedByCapability)
+{
+    auto wide = core::CoreConfig::wide();
+    auto contended = core::CoreConfig::contended();
+    auto tiny = core::CoreConfig::tiny();
+    EXPECT_GT(wide.numPhysRegs, contended.numPhysRegs);
+    EXPECT_GT(contended.numPhysRegs, tiny.numPhysRegs);
+    EXPECT_GT(wide.iqSize, contended.iqSize);
+    EXPECT_GE(contended.iqSize, tiny.iqSize);
+}
+
+TEST(Sim, RunStatsSnapshotIsComplete)
+{
+    workloads::Params p;
+    p.scale = 1;
+    auto program = mir::compile(workloads::makeCompress(p),
+                                sim::referenceCompileOptions());
+    core::CoreConfig cfg = core::CoreConfig::wide();
+    cfg.elim.enable = true;
+    auto result = sim::runOnCore(program, cfg);
+    EXPECT_GT(result.stats.cycles, 0u);
+    EXPECT_GT(result.stats.committed, 0u);
+    EXPECT_GT(result.stats.ipc, 0.0);
+    EXPECT_GT(result.stats.rfReads, 0u);
+    EXPECT_GT(result.stats.rfWrites, 0u);
+    EXPECT_GT(result.stats.dcacheAccesses(), 0u);
+    EXPECT_GT(result.stats.detectorDead + result.stats.detectorLive,
+              0u);
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Workload generator tests: every benchmark compiles, terminates,
+ * scales, is deterministic in its seed, and is insensitive (in its
+ * outputs) to the compiler configuration used to build it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "emu/emulator.hh"
+#include "mir/compiler.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace dde;
+
+class WorkloadTest
+    : public ::testing::TestWithParam<workloads::WorkloadInfo>
+{
+};
+
+TEST_P(WorkloadTest, CompilesAndTerminates)
+{
+    workloads::Params p;
+    p.scale = 1;
+    auto program = mir::compile(GetParam().make(p),
+                                sim::referenceCompileOptions());
+    EXPECT_GT(program.numInsts(), 10u);
+    auto result = emu::runProgram(program, 5'000'000, false);
+    EXPECT_GT(result.instCount, 1000u);
+    EXPECT_FALSE(result.output.empty())
+        << "workloads must emit live results";
+}
+
+TEST_P(WorkloadTest, DeterministicInSeed)
+{
+    workloads::Params p;
+    p.scale = 1;
+    auto r1 = emu::runProgram(mir::compile(GetParam().make(p)),
+                              5'000'000, false);
+    auto r2 = emu::runProgram(mir::compile(GetParam().make(p)),
+                              5'000'000, false);
+    EXPECT_EQ(r1.output, r2.output);
+    EXPECT_EQ(r1.instCount, r2.instCount);
+
+    workloads::Params other = p;
+    other.seed = p.seed + 1;
+    auto r3 = emu::runProgram(mir::compile(GetParam().make(other)),
+                              5'000'000, false);
+    EXPECT_NE(r1.output, r3.output)
+        << "different seeds should change the computation";
+}
+
+TEST_P(WorkloadTest, ScaleGrowsWork)
+{
+    workloads::Params small;
+    small.scale = 1;
+    workloads::Params big;
+    big.scale = 3;
+    auto rs = emu::runProgram(mir::compile(GetParam().make(small)),
+                              20'000'000, false);
+    auto rb = emu::runProgram(mir::compile(GetParam().make(big)),
+                              60'000'000, false);
+    EXPECT_GT(rb.instCount, 2 * rs.instCount);
+}
+
+TEST_P(WorkloadTest, OutputInvariantUnderCompilerKnobs)
+{
+    workloads::Params p;
+    p.scale = 1;
+    auto reference =
+        emu::runProgram(mir::compile(GetParam().make(p)), 20'000'000,
+                        false);
+
+    mir::CompileOptions no_hoist;
+    no_hoist.hoist.enabled = false;
+    auto r1 = emu::runProgram(
+        mir::compile(GetParam().make(p), no_hoist), 20'000'000, false);
+    EXPECT_EQ(r1.output, reference.output) << "hoisting changed results";
+
+    mir::CompileOptions tight;
+    tight.regalloc.numCallerSaved = 3;
+    tight.regalloc.numCalleeSaved = 3;
+    auto r2 = emu::runProgram(
+        mir::compile(GetParam().make(p), tight), 40'000'000, false);
+    EXPECT_EQ(r2.output, reference.output) << "spilling changed results";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, WorkloadTest,
+    ::testing::ValuesIn(workloads::extendedWorkloads()),
+    [](const ::testing::TestParamInfo<workloads::WorkloadInfo> &info) {
+        return info.param.name;
+    });
+
+TEST(WorkloadRegistry, ReportedAndExtendedSets)
+{
+    EXPECT_EQ(workloads::allWorkloads().size(), 8u);
+    EXPECT_EQ(workloads::extendedWorkloads().size(), 10u);
+    EXPECT_EQ(workloads::workloadByName("compress").name, "compress");
+    EXPECT_EQ(workloads::workloadByName("graphbfs").name, "graphbfs");
+    EXPECT_THROW(workloads::workloadByName("nonesuch"), FatalError);
+}
+
+TEST(WorkloadRegistry, SortqActuallySorts)
+{
+    workloads::Params p;
+    p.scale = 2;
+    auto result = emu::runProgram(
+        mir::compile(workloads::makeSortq(p)), 50'000'000, false);
+    ASSERT_EQ(result.output.size(), 2u);
+    EXPECT_EQ(result.output[1], 0u) << "inversions after sorting";
+}
+
+TEST(WorkloadRegistry, ParseBalancesDepth)
+{
+    workloads::Params p;
+    p.scale = 2;
+    auto result = emu::runProgram(
+        mir::compile(workloads::makeParse(p)), 50'000'000, false);
+    ASSERT_EQ(result.output.size(), 5u);
+    // depth (output[2]) stays small and never goes negative thanks to
+    // the error-reset path.
+    EXPECT_LT(result.output[2], 1000u);
+}
