@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_dead_fraction.dir/fig1_dead_fraction.cc.o"
+  "CMakeFiles/fig1_dead_fraction.dir/fig1_dead_fraction.cc.o.d"
+  "fig1_dead_fraction"
+  "fig1_dead_fraction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_dead_fraction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_static_locality.dir/fig2_static_locality.cc.o"
+  "CMakeFiles/fig2_static_locality.dir/fig2_static_locality.cc.o.d"
+  "fig2_static_locality"
+  "fig2_static_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_static_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

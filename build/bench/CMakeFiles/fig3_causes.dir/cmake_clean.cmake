@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_causes.dir/fig3_causes.cc.o"
+  "CMakeFiles/fig3_causes.dir/fig3_causes.cc.o.d"
+  "fig3_causes"
+  "fig3_causes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_causes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_future_cf.dir/fig4_future_cf.cc.o"
+  "CMakeFiles/fig4_future_cf.dir/fig4_future_cf.cc.o.d"
+  "fig4_future_cf"
+  "fig4_future_cf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_future_cf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_future_cf.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_resource_reduction.dir/fig5_resource_reduction.cc.o"
+  "CMakeFiles/fig5_resource_reduction.dir/fig5_resource_reduction.cc.o.d"
+  "fig5_resource_reduction"
+  "fig5_resource_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_resource_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

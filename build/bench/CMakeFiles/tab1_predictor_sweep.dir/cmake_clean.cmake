@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_predictor_sweep.dir/tab1_predictor_sweep.cc.o"
+  "CMakeFiles/tab1_predictor_sweep.dir/tab1_predictor_sweep.cc.o.d"
+  "tab1_predictor_sweep"
+  "tab1_predictor_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_predictor_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

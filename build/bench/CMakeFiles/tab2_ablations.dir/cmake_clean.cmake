@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_ablations.dir/tab2_ablations.cc.o"
+  "CMakeFiles/tab2_ablations.dir/tab2_ablations.cc.o.d"
+  "tab2_ablations"
+  "tab2_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/custom_workload.cpp" "examples/CMakeFiles/custom_workload.dir/custom_workload.cpp.o" "gcc" "examples/CMakeFiles/custom_workload.dir/custom_workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dde_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dde_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/dde_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mir/CMakeFiles/dde_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/predictor/CMakeFiles/dde_predictor.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/dde_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/deadness/CMakeFiles/dde_deadness.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/dde_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/dde_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dde_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dde_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ddesim.dir/ddesim.cpp.o"
+  "CMakeFiles/ddesim.dir/ddesim.cpp.o.d"
+  "ddesim"
+  "ddesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ddesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dead_analysis.dir/dead_analysis.cpp.o"
+  "CMakeFiles/dead_analysis.dir/dead_analysis.cpp.o.d"
+  "dead_analysis"
+  "dead_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dead_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_cache.dir/cache.cc.o"
+  "CMakeFiles/dde_cache.dir/cache.cc.o.d"
+  "libdde_cache.a"
+  "libdde_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

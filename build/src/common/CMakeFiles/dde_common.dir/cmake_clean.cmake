@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_common.dir/stats.cc.o"
+  "CMakeFiles/dde_common.dir/stats.cc.o.d"
+  "libdde_common.a"
+  "libdde_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_core.dir/core.cc.o"
+  "CMakeFiles/dde_core.dir/core.cc.o.d"
+  "libdde_core.a"
+  "libdde_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

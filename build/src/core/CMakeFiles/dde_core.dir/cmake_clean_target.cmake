@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdde_core.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deadness/analysis.cc" "src/deadness/CMakeFiles/dde_deadness.dir/analysis.cc.o" "gcc" "src/deadness/CMakeFiles/dde_deadness.dir/analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/emu/CMakeFiles/dde_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/dde_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dde_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dde_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

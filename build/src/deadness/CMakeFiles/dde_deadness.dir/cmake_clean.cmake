@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_deadness.dir/analysis.cc.o"
+  "CMakeFiles/dde_deadness.dir/analysis.cc.o.d"
+  "libdde_deadness.a"
+  "libdde_deadness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_deadness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

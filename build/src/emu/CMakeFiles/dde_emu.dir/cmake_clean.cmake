@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_emu.dir/emulator.cc.o"
+  "CMakeFiles/dde_emu.dir/emulator.cc.o.d"
+  "libdde_emu.a"
+  "libdde_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

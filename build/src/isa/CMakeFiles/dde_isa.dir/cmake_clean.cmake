@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_isa.dir/assembler.cc.o"
+  "CMakeFiles/dde_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/dde_isa.dir/encoding.cc.o"
+  "CMakeFiles/dde_isa.dir/encoding.cc.o.d"
+  "CMakeFiles/dde_isa.dir/opcodes.cc.o"
+  "CMakeFiles/dde_isa.dir/opcodes.cc.o.d"
+  "CMakeFiles/dde_isa.dir/regnames.cc.o"
+  "CMakeFiles/dde_isa.dir/regnames.cc.o.d"
+  "libdde_isa.a"
+  "libdde_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

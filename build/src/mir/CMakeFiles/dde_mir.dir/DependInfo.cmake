@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mir/compiler.cc" "src/mir/CMakeFiles/dde_mir.dir/compiler.cc.o" "gcc" "src/mir/CMakeFiles/dde_mir.dir/compiler.cc.o.d"
+  "/root/repo/src/mir/dce.cc" "src/mir/CMakeFiles/dde_mir.dir/dce.cc.o" "gcc" "src/mir/CMakeFiles/dde_mir.dir/dce.cc.o.d"
+  "/root/repo/src/mir/hoist.cc" "src/mir/CMakeFiles/dde_mir.dir/hoist.cc.o" "gcc" "src/mir/CMakeFiles/dde_mir.dir/hoist.cc.o.d"
+  "/root/repo/src/mir/liveness.cc" "src/mir/CMakeFiles/dde_mir.dir/liveness.cc.o" "gcc" "src/mir/CMakeFiles/dde_mir.dir/liveness.cc.o.d"
+  "/root/repo/src/mir/lower.cc" "src/mir/CMakeFiles/dde_mir.dir/lower.cc.o" "gcc" "src/mir/CMakeFiles/dde_mir.dir/lower.cc.o.d"
+  "/root/repo/src/mir/regalloc.cc" "src/mir/CMakeFiles/dde_mir.dir/regalloc.cc.o" "gcc" "src/mir/CMakeFiles/dde_mir.dir/regalloc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/prog/CMakeFiles/dde_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dde_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dde_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_mir.dir/compiler.cc.o"
+  "CMakeFiles/dde_mir.dir/compiler.cc.o.d"
+  "CMakeFiles/dde_mir.dir/dce.cc.o"
+  "CMakeFiles/dde_mir.dir/dce.cc.o.d"
+  "CMakeFiles/dde_mir.dir/hoist.cc.o"
+  "CMakeFiles/dde_mir.dir/hoist.cc.o.d"
+  "CMakeFiles/dde_mir.dir/liveness.cc.o"
+  "CMakeFiles/dde_mir.dir/liveness.cc.o.d"
+  "CMakeFiles/dde_mir.dir/lower.cc.o"
+  "CMakeFiles/dde_mir.dir/lower.cc.o.d"
+  "CMakeFiles/dde_mir.dir/regalloc.cc.o"
+  "CMakeFiles/dde_mir.dir/regalloc.cc.o.d"
+  "libdde_mir.a"
+  "libdde_mir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_mir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predictor/dead_predictor.cc" "src/predictor/CMakeFiles/dde_predictor.dir/dead_predictor.cc.o" "gcc" "src/predictor/CMakeFiles/dde_predictor.dir/dead_predictor.cc.o.d"
+  "/root/repo/src/predictor/detector.cc" "src/predictor/CMakeFiles/dde_predictor.dir/detector.cc.o" "gcc" "src/predictor/CMakeFiles/dde_predictor.dir/detector.cc.o.d"
+  "/root/repo/src/predictor/trace_eval.cc" "src/predictor/CMakeFiles/dde_predictor.dir/trace_eval.cc.o" "gcc" "src/predictor/CMakeFiles/dde_predictor.dir/trace_eval.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/emu/CMakeFiles/dde_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/dde_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dde_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dde_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_predictor.dir/dead_predictor.cc.o"
+  "CMakeFiles/dde_predictor.dir/dead_predictor.cc.o.d"
+  "CMakeFiles/dde_predictor.dir/detector.cc.o"
+  "CMakeFiles/dde_predictor.dir/detector.cc.o.d"
+  "CMakeFiles/dde_predictor.dir/trace_eval.cc.o"
+  "CMakeFiles/dde_predictor.dir/trace_eval.cc.o.d"
+  "libdde_predictor.a"
+  "libdde_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

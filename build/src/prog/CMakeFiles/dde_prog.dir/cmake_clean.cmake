@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_prog.dir/program.cc.o"
+  "CMakeFiles/dde_prog.dir/program.cc.o.d"
+  "libdde_prog.a"
+  "libdde_prog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_prog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

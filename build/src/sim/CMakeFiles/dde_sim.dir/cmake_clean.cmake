@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_sim.dir/simulator.cc.o"
+  "CMakeFiles/dde_sim.dir/simulator.cc.o.d"
+  "libdde_sim.a"
+  "libdde_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

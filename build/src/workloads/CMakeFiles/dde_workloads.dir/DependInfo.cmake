@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/registry.cc" "src/workloads/CMakeFiles/dde_workloads.dir/registry.cc.o" "gcc" "src/workloads/CMakeFiles/dde_workloads.dir/registry.cc.o.d"
+  "/root/repo/src/workloads/wl_callsweep.cc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_callsweep.cc.o" "gcc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_callsweep.cc.o.d"
+  "/root/repo/src/workloads/wl_compress.cc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_compress.cc.o" "gcc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_compress.cc.o.d"
+  "/root/repo/src/workloads/wl_fsm.cc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_fsm.cc.o" "gcc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_fsm.cc.o.d"
+  "/root/repo/src/workloads/wl_graphbfs.cc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_graphbfs.cc.o" "gcc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_graphbfs.cc.o.d"
+  "/root/repo/src/workloads/wl_hashmix.cc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_hashmix.cc.o" "gcc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_hashmix.cc.o.d"
+  "/root/repo/src/workloads/wl_numeric.cc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_numeric.cc.o" "gcc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_numeric.cc.o.d"
+  "/root/repo/src/workloads/wl_parse.cc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_parse.cc.o" "gcc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_parse.cc.o.d"
+  "/root/repo/src/workloads/wl_pointer.cc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_pointer.cc.o" "gcc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_pointer.cc.o.d"
+  "/root/repo/src/workloads/wl_sortq.cc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_sortq.cc.o" "gcc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_sortq.cc.o.d"
+  "/root/repo/src/workloads/wl_stencil.cc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_stencil.cc.o" "gcc" "src/workloads/CMakeFiles/dde_workloads.dir/wl_stencil.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mir/CMakeFiles/dde_mir.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dde_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/prog/CMakeFiles/dde_prog.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dde_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

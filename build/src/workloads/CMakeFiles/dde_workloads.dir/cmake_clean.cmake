@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dde_workloads.dir/registry.cc.o"
+  "CMakeFiles/dde_workloads.dir/registry.cc.o.d"
+  "CMakeFiles/dde_workloads.dir/wl_callsweep.cc.o"
+  "CMakeFiles/dde_workloads.dir/wl_callsweep.cc.o.d"
+  "CMakeFiles/dde_workloads.dir/wl_compress.cc.o"
+  "CMakeFiles/dde_workloads.dir/wl_compress.cc.o.d"
+  "CMakeFiles/dde_workloads.dir/wl_fsm.cc.o"
+  "CMakeFiles/dde_workloads.dir/wl_fsm.cc.o.d"
+  "CMakeFiles/dde_workloads.dir/wl_graphbfs.cc.o"
+  "CMakeFiles/dde_workloads.dir/wl_graphbfs.cc.o.d"
+  "CMakeFiles/dde_workloads.dir/wl_hashmix.cc.o"
+  "CMakeFiles/dde_workloads.dir/wl_hashmix.cc.o.d"
+  "CMakeFiles/dde_workloads.dir/wl_numeric.cc.o"
+  "CMakeFiles/dde_workloads.dir/wl_numeric.cc.o.d"
+  "CMakeFiles/dde_workloads.dir/wl_parse.cc.o"
+  "CMakeFiles/dde_workloads.dir/wl_parse.cc.o.d"
+  "CMakeFiles/dde_workloads.dir/wl_pointer.cc.o"
+  "CMakeFiles/dde_workloads.dir/wl_pointer.cc.o.d"
+  "CMakeFiles/dde_workloads.dir/wl_sortq.cc.o"
+  "CMakeFiles/dde_workloads.dir/wl_sortq.cc.o.d"
+  "CMakeFiles/dde_workloads.dir/wl_stencil.cc.o"
+  "CMakeFiles/dde_workloads.dir/wl_stencil.cc.o.d"
+  "libdde_workloads.a"
+  "libdde_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dde_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

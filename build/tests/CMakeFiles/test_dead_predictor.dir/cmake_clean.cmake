@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dead_predictor.dir/test_dead_predictor.cc.o"
+  "CMakeFiles/test_dead_predictor.dir/test_dead_predictor.cc.o.d"
+  "test_dead_predictor"
+  "test_dead_predictor.pdb"
+  "test_dead_predictor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dead_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deadness.dir/test_deadness.cc.o"
+  "CMakeFiles/test_deadness.dir/test_deadness.cc.o.d"
+  "test_deadness"
+  "test_deadness.pdb"
+  "test_deadness[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deadness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mir.dir/test_mir.cc.o"
+  "CMakeFiles/test_mir.dir/test_mir.cc.o.d"
+  "test_mir"
+  "test_mir.pdb"
+  "test_mir[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

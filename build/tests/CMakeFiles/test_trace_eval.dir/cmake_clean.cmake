@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_eval.dir/test_trace_eval.cc.o"
+  "CMakeFiles/test_trace_eval.dir/test_trace_eval.cc.o.d"
+  "test_trace_eval"
+  "test_trace_eval.pdb"
+  "test_trace_eval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

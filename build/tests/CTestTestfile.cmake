@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_emu[1]_include.cmake")
+include("/root/repo/build/tests/test_mir[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_deadness[1]_include.cmake")
+include("/root/repo/build/tests/test_branch_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_dead_predictor[1]_include.cmake")
+include("/root/repo/build/tests/test_detector[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_eval[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_elimination[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
