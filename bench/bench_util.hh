@@ -1,21 +1,26 @@
 /**
  * @file
  * Shared plumbing for the table/figure regeneration binaries: every
- * bench compiles the eight workloads at the reference scale with the
- * reference compiler configuration, runs whatever engines it needs,
- * and prints the rows/series of its paper counterpart.
+ * bench builds its (workload × configuration) grid as SweepRunner
+ * jobs, runs them on the thread pool (compiled programs and reference
+ * traces are cached and shared across the grid), renders its paper
+ * table from the report, and can export the report as JSON/CSV via
+ * the common --json/--csv flags.
  */
 
 #ifndef DDE_BENCH_BENCH_UTIL_HH
 #define DDE_BENCH_BENCH_UTIL_HH
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "emu/emulator.hh"
 #include "mir/compiler.hh"
+#include "runner/runner.hh"
 #include "sim/simulator.hh"
 #include "workloads/workloads.hh"
 
@@ -25,23 +30,147 @@ namespace dde::bench
 /** Work multiplier used by all reported experiments. */
 constexpr unsigned kBenchScale = 8;
 
+/** Common command-line options shared by every bench binary. */
+struct BenchArgs
+{
+    unsigned scale = kBenchScale;
+    unsigned threads = 0;  ///< 0 = DDE_SWEEP_THREADS or hardware
+    std::string jsonPath;
+    std::string csvPath;
+};
+
+inline void
+benchUsage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --json PATH    write the sweep report as JSON\n"
+        "  --csv PATH     write the sweep report as CSV\n"
+        "  --threads N    worker threads (default: DDE_SWEEP_THREADS\n"
+        "                 or hardware concurrency)\n"
+        "  --scale N      workload size multiplier (default %u)\n",
+        prog, kBenchScale);
+}
+
+/** Parse the shared bench flags; exits on --help or bad arguments. */
+inline BenchArgs
+parseBenchArgs(int argc, char **argv)
+{
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        auto nextUnsigned = [&](unsigned min_value) -> unsigned {
+            const char *text = next();
+            char *end = nullptr;
+            unsigned long v = std::strtoul(text, &end, 10);
+            if (end == text || *end != '\0' || v < min_value ||
+                v > 1u << 20) {
+                std::fprintf(stderr, "bad value '%s' for %s\n", text,
+                             arg.c_str());
+                std::exit(2);
+            }
+            return static_cast<unsigned>(v);
+        };
+        if (arg == "--json") {
+            args.jsonPath = next();
+        } else if (arg == "--csv") {
+            args.csvPath = next();
+        } else if (arg == "--threads") {
+            args.threads = nextUnsigned(1);
+        } else if (arg == "--scale") {
+            args.scale = nextUnsigned(1);
+        } else if (arg == "--help" || arg == "-h") {
+            benchUsage(argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown argument '%s' (try --help)\n",
+                         arg.c_str());
+            std::exit(2);
+        }
+    }
+    return args;
+}
+
+/** A runner honouring the bench's --threads flag. */
+inline runner::SweepRunner
+makeRunner(const BenchArgs &args)
+{
+    runner::SweepRunner::Options opts;
+    opts.threads = args.threads;
+    return runner::SweepRunner(opts);
+}
+
+/** Reference-options program key for one workload at the bench scale. */
+inline runner::ProgramKey
+refKey(const std::string &workload, const BenchArgs &args)
+{
+    return runner::ProgramKey(workload, args.scale);
+}
+
+/**
+ * Write the report artifacts requested on the command line and fail
+ * the binary if any job failed (so CI catches broken grids).
+ * @return exit code for main().
+ */
+inline int
+finishReport(const runner::SweepReport &report, const BenchArgs &args)
+{
+    if (!args.jsonPath.empty()) {
+        std::ofstream os(args.jsonPath);
+        if (!os) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         args.jsonPath.c_str());
+            return 1;
+        }
+        report.writeJson(os);
+        std::printf("\nwrote %s\n", args.jsonPath.c_str());
+    }
+    if (!args.csvPath.empty()) {
+        std::ofstream os(args.csvPath);
+        if (!os) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         args.csvPath.c_str());
+            return 1;
+        }
+        report.writeCsv(os);
+        std::printf("wrote %s\n", args.csvPath.c_str());
+    }
+    for (const auto &r : report.results) {
+        if (!r.ok) {
+            std::fprintf(stderr, "job '%s' failed: %s\n",
+                         r.label.c_str(), r.error.c_str());
+        }
+    }
+    return report.allOk() ? 0 : 1;
+}
+
 struct BenchProgram
 {
     std::string name;
     prog::Program program;
 };
 
-/** Compile all eight workloads with the reference options. */
+/**
+ * Compile all eight workloads with the reference options through a
+ * shared cache (used by the microbenchmarks; the table benches
+ * compile lazily inside their sweep jobs instead).
+ */
 inline std::vector<BenchProgram>
-compileAll(unsigned scale = kBenchScale)
+compileAll(runner::ArtifactCache &cache, unsigned scale = kBenchScale)
 {
     std::vector<BenchProgram> out;
     for (const auto &w : workloads::allWorkloads()) {
-        workloads::Params p;
-        p.scale = scale;
         out.push_back(BenchProgram{
             w.name,
-            mir::compile(w.make(p), sim::referenceCompileOptions())});
+            cache.program(runner::ProgramKey(w.name, scale))});
     }
     return out;
 }

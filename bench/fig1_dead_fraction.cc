@@ -7,7 +7,8 @@
  *
  * For each benchmark: total committed instructions and the oracle's
  * dead fraction, split into first-level register deadness, transitive
- * deadness and dead stores.
+ * deadness and dead stores. One sweep job per workload; the oracle
+ * analysis runs on the cached reference trace.
  */
 
 #include "bench/bench_util.hh"
@@ -16,25 +17,45 @@
 using namespace dde;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto args = bench::parseBenchArgs(argc, argv);
     bench::printHeader("E1 / Fig.1",
                        "dynamically dead instruction fraction");
+
+    auto sweep = bench::makeRunner(args);
+    for (const auto &w : workloads::allWorkloads()) {
+        auto key = bench::refKey(w.name, args);
+        sweep.add(w.name, [key](runner::JobContext &ctx) {
+            auto ref = ctx.cache.reference(key);
+            auto an = deadness::analyze(ctx.cache.program(key),
+                                        ref->trace);
+            runner::JobResult r;
+            r.add({"dynInsts", an.dynTotal});
+            r.add({"deadFrac", an.deadFraction()});
+            r.add({"firstFrac",
+                   double(an.firstLevelDead) / an.dynTotal});
+            r.add({"transFrac",
+                   double(an.transitiveDead) / an.dynTotal});
+            r.add({"storeFrac", double(an.deadStores) / an.dynTotal});
+            return r;
+        });
+    }
+    auto report = sweep.run();
+
     std::printf("%-10s %12s %8s %8s %8s %8s\n", "bench", "dynInsts",
                 "dead%", "1st%", "trans%", "store%");
-
     double min_frac = 1e9, max_frac = 0, sum = 0;
-    for (const auto &bp : bench::compileAll()) {
-        auto run = emu::runProgram(bp.program);
-        auto an = deadness::analyze(bp.program, run.trace);
-        double frac = an.deadFraction();
+    for (const auto &r : report.results) {
+        if (!r.ok)
+            continue;
+        double frac = r.real("deadFrac");
         std::printf("%-10s %12llu %7.2f%% %7.2f%% %7.2f%% %7.2f%%\n",
-                    bp.name.c_str(),
-                    static_cast<unsigned long long>(an.dynTotal),
-                    bench::pct(frac),
-                    bench::pct(double(an.firstLevelDead) / an.dynTotal),
-                    bench::pct(double(an.transitiveDead) / an.dynTotal),
-                    bench::pct(double(an.deadStores) / an.dynTotal));
+                    r.label.c_str(),
+                    static_cast<unsigned long long>(r.uint("dynInsts")),
+                    bench::pct(frac), bench::pct(r.real("firstFrac")),
+                    bench::pct(r.real("transFrac")),
+                    bench::pct(r.real("storeFrac")));
         min_frac = std::min(min_frac, frac);
         max_frac = std::max(max_frac, frac);
         sum += frac;
@@ -42,6 +63,6 @@ main()
     std::printf("\nrange %.1f%% .. %.1f%%, mean %.1f%%"
                 "   (paper: 3%% to 16%%)\n",
                 bench::pct(min_frac), bench::pct(max_frac),
-                bench::pct(sum / 8));
-    return 0;
+                bench::pct(sum / report.size()));
+    return bench::finishReport(report, args);
 }

@@ -8,6 +8,7 @@
  *
  * For each benchmark: the cumulative fraction of all dead dynamic
  * instances covered by the top-N static instructions (by dead count).
+ * One sweep job per workload over the cached reference trace.
  */
 
 #include "bench/bench_util.hh"
@@ -15,33 +16,62 @@
 
 using namespace dde;
 
-int
-main()
+namespace
 {
+constexpr std::size_t kPoints[] = {1, 2, 4, 8, 16, 32, 64};
+}
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseBenchArgs(argc, argv);
     bench::printHeader("E2 / Fig.2",
                        "cumulative dead coverage by top-N statics");
-    static const std::size_t points[] = {1, 2, 4, 8, 16, 32, 64};
+
+    auto sweep = bench::makeRunner(args);
+    for (const auto &w : workloads::allWorkloads()) {
+        auto key = bench::refKey(w.name, args);
+        sweep.add(w.name, [key](runner::JobContext &ctx) {
+            auto ref = ctx.cache.reference(key);
+            auto an = deadness::analyze(ctx.cache.program(key),
+                                        ref->trace);
+            auto curve = an.localityCurve(64);
+            runner::JobResult r;
+            r.add({"deadStatics",
+                   static_cast<std::uint64_t>(curve.size())});
+            for (std::size_t n : kPoints) {
+                double cov = 0;
+                if (!curve.empty())
+                    cov = curve[std::min(n, curve.size()) - 1];
+                r.add({"top" + std::to_string(n), cov});
+            }
+            return r;
+        });
+    }
+    auto report = sweep.run();
+
     std::printf("%-10s %8s", "bench", "#dead-statics");
-    for (std::size_t n : points)
+    for (std::size_t n : kPoints)
         std::printf("  top%-3zu", n);
     std::printf("\n");
-
-    for (const auto &bp : bench::compileAll()) {
-        auto run = emu::runProgram(bp.program);
-        auto an = deadness::analyze(bp.program, run.trace);
-        auto curve = an.localityCurve(64);
-        std::printf("%-10s %13zu", bp.name.c_str(), curve.size());
-        for (std::size_t n : points) {
-            if (curve.empty()) {
+    for (const auto &r : report.results) {
+        if (!r.ok)
+            continue;
+        std::printf("%-10s %13llu", r.label.c_str(),
+                    static_cast<unsigned long long>(
+                        r.uint("deadStatics")));
+        for (std::size_t n : kPoints) {
+            if (r.uint("deadStatics") == 0) {
                 std::printf("  %5s ", "-");
             } else {
-                std::size_t idx = std::min(n, curve.size()) - 1;
-                std::printf("  %5.1f%%", bench::pct(curve[idx]));
+                std::printf("  %5.1f%%",
+                            bench::pct(r.real(
+                                "top" + std::to_string(n))));
             }
         }
         std::printf("\n");
     }
     std::printf("\n(expected shape: a handful of static instructions "
                 "cover most dead instances)\n");
-    return 0;
+    return bench::finishReport(report, args);
 }

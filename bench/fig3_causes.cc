@@ -7,13 +7,19 @@
  * optimization (specifically instruction scheduling) creates a
  * significant portion of these partially dead static instructions."
  *
- * Three views per benchmark:
+ * Four views per benchmark:
  *  (a) static classification (always / partially / never dead) and
  *      the dynamic dead contribution of each class,
  *  (b) exact attribution of dead instances to the compiler mechanism
  *      that created the static instruction (origin tags),
  *  (c) an ablation: dead fraction with the hoisting scheduler ON vs
- *      OFF.
+ *      OFF,
+ *  (d) static DCE removal counts vs the surviving dynamic deadness.
+ *
+ * Two jobs per workload: the reference-options oracle analysis
+ * (sections a, b, d and the ON half of c) and the hoisting-off
+ * ablation (the OFF half of c). The hoisting-on compile/trace is
+ * shared with every other job through the sweep cache.
  */
 
 #include "bench/bench_util.hh"
@@ -22,29 +28,75 @@
 using namespace dde;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto args = bench::parseBenchArgs(argc, argv);
     bench::printHeader("E3 / Fig.3", "causes of dead instructions");
+
+    auto sweep = bench::makeRunner(args);
+    std::vector<std::size_t> an_jobs, off_jobs;
+    for (const auto &w : workloads::allWorkloads()) {
+        auto key = bench::refKey(w.name, args);
+        an_jobs.push_back(sweep.add(
+            "an:" + w.name, [key](runner::JobContext &ctx) {
+                auto compiled = ctx.cache.compiled(key);
+                auto ref = ctx.cache.reference(key);
+                auto an = deadness::analyze(compiled->program,
+                                            ref->trace);
+                auto cls = an.classifyStatics();
+                runner::JobResult r;
+                r.add({"always", cls.alwaysDead});
+                r.add({"partial", cls.partiallyDead});
+                r.add({"never", cls.neverDead});
+                r.add({"dynDead", an.dynDead});
+                r.add({"dynFromPartial", cls.dynFromPartial});
+                r.add({"dynFromAlways", cls.dynFromAlways});
+                for (unsigned o = 0; o < prog::kNumOrigins; ++o) {
+                    r.add({std::string("origin:") +
+                               prog::originName(
+                                   static_cast<prog::InstOrigin>(o)),
+                           an.perOrigin[o].deads});
+                }
+                r.add({"deadFrac", an.deadFraction()});
+                r.add({"dceRemoved", static_cast<std::uint64_t>(
+                                         compiled->cstats.dceRemoved)});
+                return r;
+            }));
+
+        auto off_key = key;
+        off_key.copts.hoist.enabled = false;
+        off_jobs.push_back(sweep.add(
+            "hoist-off:" + w.name, [off_key](runner::JobContext &ctx) {
+                auto ref = ctx.cache.reference(off_key);
+                auto an = deadness::analyze(
+                    ctx.cache.program(off_key), ref->trace);
+                runner::JobResult r;
+                r.add({"deadFrac", an.deadFraction()});
+                return r;
+            }));
+    }
+    auto report = sweep.run();
+    const auto &names = workloads::allWorkloads();
 
     std::printf("--- (a) static classification ---\n");
     std::printf("%-10s %8s %8s %8s | %14s %14s\n", "bench", "always",
                 "partial", "never", "dyn-from-part%", "dyn-from-alw%");
-    auto programs = bench::compileAll();
-    std::vector<deadness::Analysis> analyses;
-    for (const auto &bp : programs) {
-        auto run = emu::runProgram(bp.program);
-        analyses.push_back(deadness::analyze(bp.program, run.trace));
-        const auto &an = analyses.back();
-        auto cls = an.classifyStatics();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &r = report[an_jobs[i]];
+        if (!r.ok)
+            continue;
+        double dyn_dead = r.real("dynDead");
         std::printf("%-10s %8llu %8llu %8llu | %13.1f%% %13.1f%%\n",
-                    bp.name.c_str(),
-                    (unsigned long long)cls.alwaysDead,
-                    (unsigned long long)cls.partiallyDead,
-                    (unsigned long long)cls.neverDead,
-                    an.dynDead ? 100.0 * cls.dynFromPartial / an.dynDead
-                               : 0.0,
-                    an.dynDead ? 100.0 * cls.dynFromAlways / an.dynDead
-                               : 0.0);
+                    names[i].name.c_str(),
+                    (unsigned long long)r.uint("always"),
+                    (unsigned long long)r.uint("partial"),
+                    (unsigned long long)r.uint("never"),
+                    dyn_dead ? 100.0 * r.real("dynFromPartial") /
+                                   dyn_dead
+                             : 0.0,
+                    dyn_dead ? 100.0 * r.real("dynFromAlways") /
+                                   dyn_dead
+                             : 0.0);
     }
 
     std::printf("\n--- (b) dead instances by compiler origin ---\n");
@@ -54,15 +106,18 @@ main()
                     prog::originName(static_cast<prog::InstOrigin>(o)));
     }
     std::printf("\n");
-    for (std::size_t i = 0; i < programs.size(); ++i) {
-        const auto &an = analyses[i];
-        std::printf("%-10s", programs[i].name.c_str());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &r = report[an_jobs[i]];
+        if (!r.ok)
+            continue;
+        std::printf("%-10s", names[i].name.c_str());
+        double dyn_dead = r.real("dynDead");
         for (unsigned o = 0; o < prog::kNumOrigins; ++o) {
-            double share = an.dynDead
-                               ? 100.0 * an.perOrigin[o].deads /
-                                     an.dynDead
-                               : 0.0;
-            std::printf(" %11.1f%%", share);
+            double deads = r.real(
+                std::string("origin:") +
+                prog::originName(static_cast<prog::InstOrigin>(o)));
+            std::printf(" %11.1f%%",
+                        dyn_dead ? 100.0 * deads / dyn_dead : 0.0);
         }
         std::printf("\n");
     }
@@ -71,44 +126,34 @@ main()
                 "ON vs OFF ---\n");
     std::printf("%-10s %10s %10s %12s\n", "bench", "sched-on",
                 "sched-off", "from-sched");
-    for (const auto &w : workloads::allWorkloads()) {
-        workloads::Params p;
-        p.scale = bench::kBenchScale;
-        auto opts_on = sim::referenceCompileOptions();
-        auto opts_off = opts_on;
-        opts_off.hoist.enabled = false;
-        auto prog_on = mir::compile(w.make(p), opts_on);
-        auto prog_off = mir::compile(w.make(p), opts_off);
-        auto an_on = deadness::analyze(prog_on,
-                                       emu::runProgram(prog_on).trace);
-        auto an_off = deadness::analyze(
-            prog_off, emu::runProgram(prog_off).trace);
-        std::printf("%-10s %9.2f%% %9.2f%% %11.2f%%\n", w.name.c_str(),
-                    bench::pct(an_on.deadFraction()),
-                    bench::pct(an_off.deadFraction()),
-                    bench::pct(an_on.deadFraction() -
-                               an_off.deadFraction()));
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &on = report[an_jobs[i]];
+        const auto &off = report[off_jobs[i]];
+        if (!on.ok || !off.ok)
+            continue;
+        std::printf("%-10s %9.2f%% %9.2f%% %11.2f%%\n",
+                    names[i].name.c_str(),
+                    bench::pct(on.real("deadFrac")),
+                    bench::pct(off.real("deadFrac")),
+                    bench::pct(on.real("deadFrac") -
+                               off.real("deadFrac")));
     }
+
     std::printf("\n--- (d) static DCE cannot remove dynamic deadness ---\n");
     std::printf("%-10s %12s %14s\n", "bench", "dce-removed",
                 "dead% after DCE");
-    for (const auto &w : workloads::allWorkloads()) {
-        workloads::Params p;
-        p.scale = bench::kBenchScale;
-        mir::CompileStats cstats;
-        auto program = mir::compile(w.make(p),
-                                    sim::referenceCompileOptions(),
-                                    &cstats);
-        auto an =
-            deadness::analyze(program, emu::runProgram(program).trace);
-        std::printf("%-10s %12u %13.2f%%\n", w.name.c_str(),
-                    cstats.dceRemoved,
-                    bench::pct(an.deadFraction()));
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &r = report[an_jobs[i]];
+        if (!r.ok)
+            continue;
+        std::printf("%-10s %12llu %13.2f%%\n", names[i].name.c_str(),
+                    (unsigned long long)r.uint("dceRemoved"),
+                    bench::pct(r.real("deadFrac")));
     }
     std::printf("\n(paper: scheduling/code motion is a major producer "
                 "of partially dead instructions; whole-static DCE — the "
                 "best a path-blind\ncompiler can do — leaves the "
                 "dynamic deadness intact, motivating the hardware "
                 "mechanism)\n");
-    return 0;
+    return bench::finishReport(report, args);
 }

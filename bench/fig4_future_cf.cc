@@ -10,7 +10,8 @@
  * Aggregate accuracy/coverage vs. the number of future branch
  * predictions in the signature (depth 0 is the PC-only ablation),
  * plus the last-outcome baseline and the idealized (oracle-future)
- * variant.
+ * variant. One job per (signature variant, workload) on the cached
+ * reference traces.
  */
 
 #include "bench/bench_util.hh"
@@ -18,70 +19,86 @@
 
 using namespace dde;
 
-int
-main()
+namespace
 {
+
+struct Variant
+{
+    std::string label;
+    predictor::TraceEvalConfig cfg;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseBenchArgs(argc, argv);
     bench::printHeader("E5 / Fig.4",
                        "accuracy/coverage vs future-CF depth");
 
-    std::vector<std::pair<prog::Program, std::vector<emu::TraceRecord>>>
-        runs;
-    for (const auto &bp : bench::compileAll()) {
-        auto run = emu::runProgram(bp.program);
-        runs.emplace_back(bp.program, std::move(run.trace));
-    }
-
-    auto aggregate = [&](const predictor::TraceEvalConfig &cfg,
-                         double &cov, double &acc) {
-        std::uint64_t tp = 0, fp = 0, dead = 0;
-        for (auto &[program, trace] : runs) {
-            auto r = predictor::evaluateOnTrace(program, trace, cfg);
-            tp += r.truePositives;
-            fp += r.falsePositives;
-            dead += r.labeledDead;
-        }
-        cov = dead ? double(tp) / dead : 0;
-        acc = (tp + fp) ? double(tp) / (tp + fp) : 1.0;
-    };
-
-    std::printf("%-26s %9s %9s\n", "signature", "coverage", "accuracy");
+    std::vector<Variant> variants;
     for (unsigned depth : {0u, 1u, 2u, 4u, 6u, 8u, 12u, 16u}) {
         predictor::TraceEvalConfig cfg;
         cfg.predictor.futureDepth = depth;
-        double cov, acc;
-        aggregate(cfg, cov, acc);
-        std::printf("depth %-20u %8.1f%% %8.1f%%\n", depth,
-                    bench::pct(cov), bench::pct(acc));
+        variants.push_back(
+            {"depth " + std::to_string(depth), cfg});
     }
     {
         predictor::TraceEvalConfig cfg;
         cfg.oracleFuture = true;
-        double cov, acc;
-        aggregate(cfg, cov, acc);
-        std::printf("%-26s %8.1f%% %8.1f%%\n",
-                    "depth 8, oracle future", bench::pct(cov),
-                    bench::pct(acc));
+        variants.push_back({"depth 8, oracle future", cfg});
     }
     {
         predictor::TraceEvalConfig cfg;
         cfg.frontend.direction =
             predictor::DirectionPredictor::Tournament;
-        double cov, acc;
-        aggregate(cfg, cov, acc);
-        std::printf("%-26s %8.1f%% %8.1f%%\n",
-                    "depth 8, tournament BP", bench::pct(cov),
-                    bench::pct(acc));
+        variants.push_back({"depth 8, tournament BP", cfg});
     }
     {
         predictor::TraceEvalConfig cfg;
         cfg.lastOutcomeBaseline = true;
-        double cov, acc;
-        aggregate(cfg, cov, acc);
+        variants.push_back({"last-outcome baseline", cfg});
+    }
+
+    auto sweep = bench::makeRunner(args);
+    const auto &names = workloads::allWorkloads();
+    for (const auto &v : variants) {
+        for (const auto &w : names) {
+            auto key = bench::refKey(w.name, args);
+            sweep.add(v.label + " / " + w.name,
+                      [key, cfg = v.cfg](runner::JobContext &ctx) {
+                          auto ref = ctx.cache.reference(key);
+                          auto res = predictor::evaluateOnTrace(
+                              ctx.cache.program(key), ref->trace, cfg);
+                          runner::JobResult r;
+                          r.add({"truePositives", res.truePositives});
+                          r.add({"falsePositives", res.falsePositives});
+                          r.add({"labeledDead", res.labeledDead});
+                          return r;
+                      });
+        }
+    }
+    auto report = sweep.run();
+
+    std::printf("%-26s %9s %9s\n", "signature", "coverage", "accuracy");
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        std::uint64_t tp = 0, fp = 0, dead = 0;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const auto &r = report[v * names.size() + i];
+            if (!r.ok)
+                continue;
+            tp += r.uint("truePositives");
+            fp += r.uint("falsePositives");
+            dead += r.uint("labeledDead");
+        }
+        double cov = dead ? double(tp) / dead : 0;
+        double acc = (tp + fp) ? double(tp) / (tp + fp) : 1.0;
         std::printf("%-26s %8.1f%% %8.1f%%\n",
-                    "last-outcome baseline", bench::pct(cov),
+                    variants[v].label.c_str(), bench::pct(cov),
                     bench::pct(acc));
     }
     std::printf("\n(paper: future control-flow information is the key "
                 "accuracy lever)\n");
-    return 0;
+    return bench::finishReport(report, args);
 }

@@ -7,7 +7,8 @@
  * register management (allocation and freeing), register file read
  * and write traffic, and data cache accesses."
  *
- * Full-core runs (wide configuration), elimination on vs off.
+ * Full-core runs (wide configuration), elimination on vs off: two
+ * parallel core jobs per workload sharing one compiled program.
  */
 
 #include "bench/bench_util.hh"
@@ -16,21 +17,32 @@
 using namespace dde;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto args = bench::parseBenchArgs(argc, argv);
     bench::printHeader("E6 / Fig.5",
                        "resource utilization reduction (elim on vs off)");
-    std::printf("%-10s %9s %9s %9s %9s %9s\n", "bench", "elim%",
-                "regAlloc", "rfRead", "rfWrite", "dcache");
 
-    double s_alloc = 0, s_rd = 0, s_wr = 0, s_dc = 0;
-    for (const auto &bp : bench::compileAll()) {
-        auto base =
-            sim::runOnCore(bp.program, core::CoreConfig::wide());
+    auto sweep = bench::makeRunner(args);
+    const auto &names = workloads::allWorkloads();
+    for (const auto &w : names) {
+        auto key = bench::refKey(w.name, args);
+        sweep.addCoreRun("base:" + w.name, key,
+                         core::CoreConfig::wide());
         core::CoreConfig elim_cfg = core::CoreConfig::wide();
         elim_cfg.elim.enable = true;
-        auto elim = sim::runOnCore(bp.program, elim_cfg);
+        sweep.addCoreRun("elim:" + w.name, key, elim_cfg);
+    }
+    auto report = sweep.run();
 
+    std::printf("%-10s %9s %9s %9s %9s %9s\n", "bench", "elim%",
+                "regAlloc", "rfRead", "rfWrite", "dcache");
+    double s_alloc = 0, s_rd = 0, s_wr = 0, s_dc = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &base = report[2 * i];
+        const auto &elim = report[2 * i + 1];
+        if (!base.ok || !elim.ok)
+            continue;
         double d_alloc = bench::reduction(elim.stats.physRegAllocs,
                                           base.stats.physRegAllocs);
         double d_rd =
@@ -40,7 +52,7 @@ main()
         double d_dc = bench::reduction(elim.stats.dcacheAccesses(),
                                        base.stats.dcacheAccesses());
         std::printf("%-10s %8.2f%% %8.2f%% %8.2f%% %8.2f%% %8.2f%%\n",
-                    bp.name.c_str(),
+                    names[i].name.c_str(),
                     100.0 * elim.stats.committedEliminated /
                         elim.stats.committed,
                     d_alloc, d_rd, d_wr, d_dc);
@@ -50,8 +62,9 @@ main()
         s_dc += d_dc;
     }
     std::printf("%-10s %9s %8.2f%% %8.2f%% %8.2f%% %8.2f%%\n", "MEAN",
-                "", s_alloc / 8, s_rd / 8, s_wr / 8, s_dc / 8);
+                "", s_alloc / names.size(), s_rd / names.size(),
+                s_wr / names.size(), s_dc / names.size());
     std::printf("\n(paper: reductions averaging over 5%%, sometimes "
                 "exceeding 10%%)\n");
-    return 0;
+    return bench::finishReport(report, args);
 }

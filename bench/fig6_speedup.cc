@@ -7,7 +7,8 @@
  *
  * Per-benchmark IPC speedup on the contended machine (the paper's
  * reported configuration class), the wide machine for contrast, and
- * the idealized-predictor upper bound.
+ * the idealized-predictor upper bound. Five parallel core jobs per
+ * workload sharing one compiled program and reference trace.
  */
 
 #include "bench/bench_util.hh"
@@ -16,31 +17,49 @@
 using namespace dde;
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto args = bench::parseBenchArgs(argc, argv);
     bench::printHeader("E7 / Fig.6",
                        "IPC speedup from dead-instruction elimination");
-    std::printf("%-10s %9s | %9s %9s %9s | %9s\n", "bench",
-                "baseIPC", "contended", "oracle", "elim%", "wide");
 
-    double s_cont = 0, s_oracle = 0, s_wide = 0;
-    for (const auto &bp : bench::compileAll()) {
-        auto base_c =
-            sim::runOnCore(bp.program, core::CoreConfig::contended());
+    auto sweep = bench::makeRunner(args);
+    const auto &names = workloads::allWorkloads();
+    constexpr std::size_t kJobsPer = 5;
+    for (const auto &w : names) {
+        auto key = bench::refKey(w.name, args);
+        sweep.addCoreRun("base-cont:" + w.name, key,
+                         core::CoreConfig::contended());
+
         core::CoreConfig elim_c = core::CoreConfig::contended();
         elim_c.elim.enable = true;
-        auto with_c = sim::runOnCore(bp.program, elim_c);
+        sweep.addCoreRun("elim-cont:" + w.name, key, elim_c);
 
         core::CoreConfig oracle_c = elim_c;
         oracle_c.elim.oraclePredictor = true;
-        auto with_o = sim::runOnCore(bp.program, oracle_c);
+        sweep.addCoreRun("oracle-cont:" + w.name, key, oracle_c);
 
-        auto base_w =
-            sim::runOnCore(bp.program, core::CoreConfig::wide());
+        sweep.addCoreRun("base-wide:" + w.name, key,
+                         core::CoreConfig::wide());
         core::CoreConfig elim_w = core::CoreConfig::wide();
         elim_w.elim.enable = true;
-        auto with_w = sim::runOnCore(bp.program, elim_w);
+        sweep.addCoreRun("elim-wide:" + w.name, key, elim_w);
+    }
+    auto report = sweep.run();
 
+    std::printf("%-10s %9s | %9s %9s %9s | %9s\n", "bench",
+                "baseIPC", "contended", "oracle", "elim%", "wide");
+    double s_cont = 0, s_oracle = 0, s_wide = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &base_c = report[kJobsPer * i];
+        const auto &with_c = report[kJobsPer * i + 1];
+        const auto &with_o = report[kJobsPer * i + 2];
+        const auto &base_w = report[kJobsPer * i + 3];
+        const auto &with_w = report[kJobsPer * i + 4];
+        if (!base_c.ok || !with_c.ok || !with_o.ok || !base_w.ok ||
+            !with_w.ok) {
+            continue;
+        }
         double sp_c =
             100.0 * (with_c.stats.ipc / base_c.stats.ipc - 1.0);
         double sp_o =
@@ -48,7 +67,7 @@ main()
         double sp_w =
             100.0 * (with_w.stats.ipc / base_w.stats.ipc - 1.0);
         std::printf("%-10s %9.3f | %+8.2f%% %+8.2f%% %8.2f%% | %+8.2f%%\n",
-                    bp.name.c_str(), base_c.stats.ipc, sp_c, sp_o,
+                    names[i].name.c_str(), base_c.stats.ipc, sp_c, sp_o,
                     100.0 * with_c.stats.committedEliminated /
                         with_c.stats.committed,
                     sp_w);
@@ -57,8 +76,9 @@ main()
         s_wide += sp_w;
     }
     std::printf("%-10s %9s | %+8.2f%% %+8.2f%% %9s | %+8.2f%%\n",
-                "MEAN", "", s_cont / 8, s_oracle / 8, "", s_wide / 8);
+                "MEAN", "", s_cont / names.size(),
+                s_oracle / names.size(), "", s_wide / names.size());
     std::printf("\n(paper: +3.6%% average on a resource-contended "
                 "architecture)\n");
-    return 0;
+    return bench::finishReport(report, args);
 }

@@ -23,7 +23,8 @@ namespace
 const std::vector<bench::BenchProgram> &
 cachedPrograms()
 {
-    static const auto programs = bench::compileAll(2);
+    static runner::ArtifactCache cache;
+    static const auto programs = bench::compileAll(cache, 2);
     return programs;
 }
 

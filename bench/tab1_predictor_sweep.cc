@@ -8,7 +8,8 @@
  *
  * Trace-driven aggregate accuracy/coverage across all benchmarks for
  * a sweep of table sizes and future depths, with the state budget of
- * each configuration.
+ * each configuration. One job per (configuration, workload); every
+ * job replays the same cached reference trace.
  */
 
 #include "bench/bench_util.hh"
@@ -16,64 +17,96 @@
 
 using namespace dde;
 
-int
-main()
+namespace
 {
+
+struct Variant
+{
+    std::string label;
+    predictor::TraceEvalConfig cfg;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto args = bench::parseBenchArgs(argc, argv);
     bench::printHeader("E4 / Tab.1", "predictor configuration sweep");
 
-    std::vector<std::pair<prog::Program, std::vector<emu::TraceRecord>>>
-        runs;
-    for (const auto &bp : bench::compileAll()) {
-        auto run = emu::runProgram(bp.program);
-        runs.emplace_back(bp.program, std::move(run.trace));
-    }
-
-    auto evaluate = [&](const predictor::TraceEvalConfig &cfg,
-                        const char *label) {
-        std::uint64_t tp = 0, fp = 0, dead = 0;
-        for (auto &[program, trace] : runs) {
-            auto r = predictor::evaluateOnTrace(program, trace, cfg);
-            tp += r.truePositives;
-            fp += r.falsePositives;
-            dead += r.labeledDead;
-        }
-        double cov = dead ? double(tp) / dead : 0;
-        double acc = (tp + fp) ? double(tp) / (tp + fp) : 1.0;
-        std::printf("%-28s %8.2f KB %8.1f%% %8.1f%%\n", label,
-                    cfg.predictor.sizeInBits() / 8192.0,
-                    bench::pct(cov), bench::pct(acc));
-    };
-
-    std::printf("%-28s %11s %9s %9s\n", "configuration", "state",
-                "coverage", "accuracy");
-
+    std::vector<Variant> variants;
+    std::vector<std::size_t> separators;  // blank lines in the table
     for (unsigned entries : {256u, 512u, 1024u, 2048u, 4096u}) {
         predictor::TraceEvalConfig cfg;
         cfg.predictor.entries = entries;
-        char label[64];
-        std::snprintf(label, sizeof label, "%u entries, depth 8",
-                      entries);
-        evaluate(cfg, label);
+        variants.push_back({std::to_string(entries) +
+                                " entries, depth 8",
+                            cfg});
     }
-    std::printf("\n");
+    separators.push_back(variants.size());
     for (unsigned tag : {0u, 4u, 8u, 12u}) {
         predictor::TraceEvalConfig cfg;
         cfg.predictor.tagBits = tag;
-        char label[64];
-        std::snprintf(label, sizeof label, "2048 entries, %u-bit tag",
-                      tag);
-        evaluate(cfg, label);
+        variants.push_back({"2048 entries, " + std::to_string(tag) +
+                                "-bit tag",
+                            cfg});
     }
-    std::printf("\n");
+    separators.push_back(variants.size());
     for (unsigned thr : {1u, 2u, 3u}) {
         predictor::TraceEvalConfig cfg;
         cfg.predictor.threshold = thr;
-        char label[64];
-        std::snprintf(label, sizeof label, "2048 entries, threshold %u",
-                      thr);
-        evaluate(cfg, label);
+        variants.push_back({"2048 entries, threshold " +
+                                std::to_string(thr),
+                            cfg});
+    }
+
+    auto sweep = bench::makeRunner(args);
+    const auto &names = workloads::allWorkloads();
+    for (const auto &v : variants) {
+        for (const auto &w : names) {
+            auto key = bench::refKey(w.name, args);
+            sweep.add(v.label + " / " + w.name,
+                      [key, cfg = v.cfg](runner::JobContext &ctx) {
+                          auto ref = ctx.cache.reference(key);
+                          auto res = predictor::evaluateOnTrace(
+                              ctx.cache.program(key), ref->trace, cfg);
+                          runner::JobResult r;
+                          r.add({"truePositives", res.truePositives});
+                          r.add({"falsePositives", res.falsePositives});
+                          r.add({"labeledDead", res.labeledDead});
+                          r.add({"stateBits",
+                                 static_cast<std::uint64_t>(
+                                     cfg.predictor.sizeInBits())});
+                          return r;
+                      });
+        }
+    }
+    auto report = sweep.run();
+
+    std::printf("%-28s %11s %9s %9s\n", "configuration", "state",
+                "coverage", "accuracy");
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        for (std::size_t sep : separators) {
+            if (v == sep)
+                std::printf("\n");
+        }
+        std::uint64_t tp = 0, fp = 0, dead = 0, bits = 0;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const auto &r = report[v * names.size() + i];
+            if (!r.ok)
+                continue;
+            tp += r.uint("truePositives");
+            fp += r.uint("falsePositives");
+            dead += r.uint("labeledDead");
+            bits = r.uint("stateBits");
+        }
+        double cov = dead ? double(tp) / dead : 0;
+        double acc = (tp + fp) ? double(tp) / (tp + fp) : 1.0;
+        std::printf("%-28s %8.2f KB %8.1f%% %8.1f%%\n",
+                    variants[v].label.c_str(), bits / 8192.0,
+                    bench::pct(cov), bench::pct(acc));
     }
 
     std::printf("\n(paper: >91%% coverage at 93%% accuracy in <5 KB)\n");
-    return 0;
+    return bench::finishReport(report, args);
 }

@@ -9,6 +9,9 @@
  *  - live-event policy (decrement vs clear),
  *  - what is eligible (ALU only / +loads / +stores),
  *  - UEB dead-store buffer capacity.
+ *
+ * The full (variant × workload) grid — baselines included — runs as
+ * one parallel sweep over shared compiled programs.
  */
 
 #include "bench/bench_util.hh"
@@ -19,104 +22,108 @@ using namespace dde;
 namespace
 {
 
-double
-meanSpeedup(const std::vector<bench::BenchProgram> &programs,
-            const std::vector<double> &base_ipc,
-            const core::CoreConfig &cfg)
+struct Variant
 {
-    double sum = 0;
-    for (std::size_t i = 0; i < programs.size(); ++i) {
-        auto r = sim::runOnCore(programs[i].program, cfg);
-        sum += 100.0 * (r.stats.ipc / base_ipc[i] - 1.0);
-    }
-    return sum / programs.size();
+    std::string label;
+    core::CoreConfig cfg;
+};
+
+core::CoreConfig
+baseCfg()
+{
+    core::CoreConfig cfg = core::CoreConfig::contended();
+    cfg.elim.enable = true;
+    return cfg;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    auto args = bench::parseBenchArgs(argc, argv);
     bench::printHeader("E8 / Tab.2", "design-choice ablations");
 
-    auto programs = bench::compileAll();
-    std::vector<double> base_ipc;
-    for (const auto &bp : programs) {
-        base_ipc.push_back(
-            sim::runOnCore(bp.program, core::CoreConfig::contended())
-                .stats.ipc);
-    }
-
-    auto base_cfg = [] {
-        core::CoreConfig cfg = core::CoreConfig::contended();
-        cfg.elim.enable = true;
-        return cfg;
-    };
-
-    std::printf("%-44s %10s\n", "variant", "mean sp");
+    std::vector<Variant> variants;
+    variants.push_back({"default (UEB repair, thr 2)", baseCfg()});
     {
-        auto cfg = base_cfg();
-        std::printf("%-44s %+9.2f%%\n", "default (UEB repair, thr 2)",
-                    meanSpeedup(programs, base_ipc, cfg));
-    }
-    {
-        auto cfg = base_cfg();
+        auto cfg = baseCfg();
         cfg.elim.recovery = core::RecoveryMode::SquashProducer;
-        std::printf("%-44s %+9.2f%%\n",
-                    "squash-from-producer recovery",
-                    meanSpeedup(programs, base_ipc, cfg));
+        variants.push_back({"squash-from-producer recovery", cfg});
     }
     {
-        auto cfg = base_cfg();
+        auto cfg = baseCfg();
         cfg.elim.recovery = core::RecoveryMode::SquashProducer;
         cfg.elim.fullFlushRecovery = true;
-        std::printf("%-44s %+9.2f%%\n",
-                    "squash recovery + extra flush penalty",
-                    meanSpeedup(programs, base_ipc, cfg));
+        variants.push_back({"squash recovery + extra flush penalty",
+                            cfg});
     }
     for (unsigned thr : {1u, 3u}) {
-        auto cfg = base_cfg();
+        auto cfg = baseCfg();
         cfg.elim.predictor.threshold = thr;
-        char label[64];
-        std::snprintf(label, sizeof label, "confidence threshold %u",
-                      thr);
-        std::printf("%-44s %+9.2f%%\n", label,
-                    meanSpeedup(programs, base_ipc, cfg));
+        variants.push_back({"confidence threshold " +
+                                std::to_string(thr),
+                            cfg});
     }
     {
-        auto cfg = base_cfg();
+        auto cfg = baseCfg();
         cfg.elim.predictor.clearOnLive = true;
-        std::printf("%-44s %+9.2f%%\n", "clear-on-live counters",
-                    meanSpeedup(programs, base_ipc, cfg));
+        variants.push_back({"clear-on-live counters", cfg});
     }
     {
-        auto cfg = base_cfg();
+        auto cfg = baseCfg();
         cfg.elim.eliminateLoads = false;
         cfg.elim.eliminateStores = false;
-        std::printf("%-44s %+9.2f%%\n", "ALU results only",
-                    meanSpeedup(programs, base_ipc, cfg));
+        variants.push_back({"ALU results only", cfg});
     }
     {
-        auto cfg = base_cfg();
+        auto cfg = baseCfg();
         cfg.elim.eliminateStores = false;
-        std::printf("%-44s %+9.2f%%\n", "ALU + loads (no dead stores)",
-                    meanSpeedup(programs, base_ipc, cfg));
+        variants.push_back({"ALU + loads (no dead stores)", cfg});
     }
     for (unsigned entries : {8u, 256u}) {
-        auto cfg = base_cfg();
+        auto cfg = baseCfg();
         cfg.elim.uebStoreEntries = entries;
-        char label[64];
-        std::snprintf(label, sizeof label, "UEB store buffer: %u entries",
-                      entries);
-        std::printf("%-44s %+9.2f%%\n", label,
-                    meanSpeedup(programs, base_ipc, cfg));
+        variants.push_back({"UEB store buffer: " +
+                                std::to_string(entries) + " entries",
+                            cfg});
     }
     {
-        auto cfg = base_cfg();
+        auto cfg = baseCfg();
         cfg.elim.predictor.futureDepth = 0;
-        std::printf("%-44s %+9.2f%%\n",
-                    "no future-CF signature (depth 0)",
-                    meanSpeedup(programs, base_ipc, cfg));
+        variants.push_back({"no future-CF signature (depth 0)", cfg});
     }
-    return 0;
+
+    auto sweep = bench::makeRunner(args);
+    const auto &names = workloads::allWorkloads();
+    for (const auto &w : names) {
+        sweep.addCoreRun("baseline:" + w.name,
+                         bench::refKey(w.name, args),
+                         core::CoreConfig::contended());
+    }
+    for (const auto &v : variants) {
+        for (const auto &w : names) {
+            sweep.addCoreRun(v.label + " / " + w.name,
+                             bench::refKey(w.name, args), v.cfg);
+        }
+    }
+    auto report = sweep.run();
+
+    std::printf("%-44s %10s\n", "variant", "mean sp");
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+        double sum = 0;
+        std::size_t counted = 0;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const auto &base = report[i];
+            const auto &run =
+                report[names.size() * (v + 1) + i];
+            if (!base.ok || !run.ok)
+                continue;
+            sum += 100.0 * (run.stats.ipc / base.stats.ipc - 1.0);
+            ++counted;
+        }
+        std::printf("%-44s %+9.2f%%\n", variants[v].label.c_str(),
+                    counted ? sum / counted : 0.0);
+    }
+    return bench::finishReport(report, args);
 }

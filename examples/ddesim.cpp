@@ -4,11 +4,14 @@
  *
  * Runs a built-in workload or an assembly file on the emulator or the
  * out-of-order core, with the dead-instruction machinery switchable
- * from the command line, and dumps the full statistics report.
+ * from the command line, and dumps the full statistics report. The
+ * configured run and the --compare baseline execute as parallel
+ * SweepRunner jobs, and the aggregated report can be exported as JSON
+ * for regression diffing.
  *
  *   ddesim --workload parse --scale 4 --config contended --elim
  *   ddesim --asm prog.s --stats
- *   ddesim --workload fsm --elim --oracle --compare
+ *   ddesim --workload fsm --elim --oracle --compare --json out.json
  *   ddesim --list
  */
 
@@ -24,6 +27,7 @@
 #include "emu/emulator.hh"
 #include "isa/assembler.hh"
 #include "mir/compiler.hh"
+#include "runner/runner.hh"
 #include "sim/simulator.hh"
 #include "workloads/workloads.hh"
 
@@ -46,6 +50,8 @@ struct Options
     bool deadness = false; // oracle characterization
     bool stats = false;    // full stat dump
     bool cosim = false;
+    unsigned threads = 0;  // sweep workers; 0 = auto
+    std::string jsonPath;  // sweep report export
 };
 
 void
@@ -69,7 +75,9 @@ usage()
         "  --compare           also run the baseline, report speedup\n"
         "  --deadness          print the oracle dead characterization\n"
         "  --stats             dump the full core statistics report\n"
-        "  --cosim             lockstep-check every commit vs emulator");
+        "  --cosim             lockstep-check every commit vs emulator\n"
+        "  --threads N         parallel run workers (default: auto)\n"
+        "  --json PATH         write the run statistics as JSON");
 }
 
 bool
@@ -106,6 +114,10 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.stats = true;
         } else if (arg == "--cosim") {
             opt.cosim = true;
+        } else if (arg == "--threads") {
+            opt.threads = std::atoi(next());
+        } else if (arg == "--json") {
+            opt.jsonPath = next();
         } else if (arg == "--list") {
             for (const auto &w : workloads::extendedWorkloads())
                 std::printf("%s\n", w.name.c_str());
@@ -125,7 +137,7 @@ parseArgs(int argc, char **argv, Options &opt)
 }
 
 prog::Program
-loadProgram(const Options &opt)
+loadProgram(const Options &opt, runner::ArtifactCache &cache)
 {
     if (!opt.asmFile.empty()) {
         std::ifstream in(opt.asmFile);
@@ -137,12 +149,8 @@ loadProgram(const Options &opt)
             program.append(inst);
         return program;
     }
-    workloads::Params params;
-    params.seed = opt.seed;
-    params.scale = opt.scale;
-    return mir::compile(
-        workloads::workloadByName(opt.workload).make(params),
-        sim::referenceCompileOptions());
+    runner::ProgramKey key(opt.workload, opt.scale, opt.seed);
+    return cache.program(key);
 }
 
 core::CoreConfig
@@ -174,7 +182,11 @@ main(int argc, char **argv)
         if (!parseArgs(argc, argv, opt))
             return 0;
 
-        prog::Program program = loadProgram(opt);
+        runner::SweepRunner::Options sweep_opts;
+        sweep_opts.threads = opt.threads;
+        runner::SweepRunner sweep(sweep_opts);
+
+        prog::Program program = loadProgram(opt, sweep.cache());
         std::printf("program: %s (%zu static instructions)\n",
                     program.name().c_str(), program.numInsts());
 
@@ -197,39 +209,81 @@ main(int argc, char **argv)
         core::CoreConfig cfg = makeConfig(opt);
         sim::RunOptions run_opts;
         run_opts.cosim = opt.cosim;
-        auto result = sim::runOnCore(program, cfg, run_opts);
-        std::printf("core(%s%s%s): %llu cycles, IPC %.3f",
-                    opt.config.c_str(), opt.elim ? "+elim" : "",
-                    opt.oracle ? "+oracle" : "",
-                    (unsigned long long)result.stats.cycles,
-                    result.stats.ipc);
-        if (opt.elim) {
-            std::printf(", eliminated %llu (%.2f%%)",
-                        (unsigned long long)
-                            result.stats.committedEliminated,
-                        100.0 * result.stats.committedEliminated /
-                            result.stats.committed);
-        }
-        std::printf("\n");
-        std::printf("observable state matches emulator: %s\n",
-                    sim::observablyEqual(result, ref) ? "yes" : "NO");
 
+        std::vector<std::vector<bool>> oracle_labels;
+        if (cfg.elim.enable && cfg.elim.oraclePredictor) {
+            oracle_labels = sim::computeOracleLabels(
+                program, ref.trace, cfg.elim.detector);
+            run_opts.oracleLabels = &oracle_labels;
+        }
+
+        // The configured run and (with --compare) its baseline go
+        // through the sweep runner as parallel jobs.
+        sim::SimResult run_result, base_result;
+        std::string run_label = opt.config +
+                                (opt.elim ? "+elim" : "") +
+                                (opt.oracle ? "+oracle" : "");
+        sweep.add(run_label,
+                  [&](runner::JobContext &) {
+                      run_result =
+                          sim::runOnCore(program, cfg, run_opts);
+                      runner::JobResult r;
+                      r.hasStats = true;
+                      r.stats = run_result.stats;
+                      return r;
+                  });
         if (opt.compare) {
             core::CoreConfig base_cfg = cfg;
             base_cfg.elim.enable = false;
-            auto base = sim::runOnCore(program, base_cfg);
+            sweep.add("baseline:" + opt.config,
+                      [&, base_cfg](runner::JobContext &) {
+                          base_result =
+                              sim::runOnCore(program, base_cfg);
+                          runner::JobResult r;
+                          r.hasStats = true;
+                          r.stats = base_result.stats;
+                          return r;
+                      });
+        }
+        auto report = sweep.run();
+        for (const auto &r : report.results)
+            fatal_if(!r.ok, "job '", r.label, "' failed: ", r.error);
+
+        std::printf("core(%s): %llu cycles, IPC %.3f",
+                    run_label.c_str(),
+                    (unsigned long long)run_result.stats.cycles,
+                    run_result.stats.ipc);
+        if (opt.elim) {
+            std::printf(", eliminated %llu (%.2f%%)",
+                        (unsigned long long)
+                            run_result.stats.committedEliminated,
+                        100.0 * run_result.stats.committedEliminated /
+                            run_result.stats.committed);
+        }
+        std::printf("\n");
+        std::printf("observable state matches emulator: %s\n",
+                    sim::observablyEqual(run_result, ref) ? "yes"
+                                                          : "NO");
+
+        if (opt.compare) {
             std::printf("baseline: IPC %.3f -> speedup %+.2f%%\n",
-                        base.stats.ipc,
-                        100.0 * (result.stats.ipc / base.stats.ipc -
+                        base_result.stats.ipc,
+                        100.0 * (run_result.stats.ipc /
+                                     base_result.stats.ipc -
                                  1.0));
+        }
+
+        if (!opt.jsonPath.empty()) {
+            std::ofstream os(opt.jsonPath);
+            fatal_if(!os, "cannot write '", opt.jsonPath, "'");
+            report.writeJson(os);
+            std::printf("wrote %s\n", opt.jsonPath.c_str());
         }
 
         if (opt.stats) {
             core::Core core(program, cfg);
-            if (cfg.elim.enable && cfg.elim.oraclePredictor) {
-                core.setOracleLabels(sim::computeOracleLabels(
-                    program, ref.trace, cfg.elim.detector));
-            }
+            if (cfg.elim.enable && cfg.elim.oraclePredictor)
+                core.setOracleLabels(oracle_labels);
             core.run();
             std::printf("\n");
             std::ostringstream os;

@@ -1,0 +1,201 @@
+#include "common/json.hh"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace dde::json
+{
+
+std::string
+quote(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(static_cast<char>(c));
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+formatDouble(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof buf, v);
+    panic_if(res.ec != std::errc(), "double does not fit buffer");
+    return std::string(buf, res.ptr);
+}
+
+void
+Writer::newline()
+{
+    _os << '\n';
+    for (std::size_t i = 0; i < _hasMember.size(); ++i)
+        _os << "  ";
+}
+
+void
+Writer::preValue()
+{
+    if (_pendingKey) {
+        _pendingKey = false;
+        return;
+    }
+    if (!_hasMember.empty()) {
+        if (_hasMember.back())
+            _os << ',';
+        _hasMember.back() = true;
+        newline();
+    }
+}
+
+void
+Writer::beginObject()
+{
+    preValue();
+    _os << '{';
+    _hasMember.push_back(false);
+}
+
+void
+Writer::endObject()
+{
+    panic_if(_hasMember.empty(), "json: endObject with no open scope");
+    bool had = _hasMember.back();
+    _hasMember.pop_back();
+    if (had)
+        newline();
+    _os << '}';
+    if (_hasMember.empty())
+        _os << '\n';
+}
+
+void
+Writer::beginArray()
+{
+    preValue();
+    _os << '[';
+    _hasMember.push_back(false);
+}
+
+void
+Writer::endArray()
+{
+    panic_if(_hasMember.empty(), "json: endArray with no open scope");
+    bool had = _hasMember.back();
+    _hasMember.pop_back();
+    if (had)
+        newline();
+    _os << ']';
+    if (_hasMember.empty())
+        _os << '\n';
+}
+
+void
+Writer::key(std::string_view name)
+{
+    panic_if(_hasMember.empty(), "json: key outside an object");
+    if (_hasMember.back())
+        _os << ',';
+    _hasMember.back() = true;
+    newline();
+    _os << quote(name) << ": ";
+    _pendingKey = true;
+}
+
+void
+Writer::value(std::string_view v)
+{
+    preValue();
+    _os << quote(v);
+}
+
+void
+Writer::value(double v)
+{
+    preValue();
+    _os << formatDouble(v);
+}
+
+void
+Writer::value(bool v)
+{
+    preValue();
+    _os << (v ? "true" : "false");
+}
+
+void
+Writer::value(std::uint64_t v)
+{
+    preValue();
+    _os << v;
+}
+
+void
+Writer::value(std::int64_t v)
+{
+    preValue();
+    _os << v;
+}
+
+void
+Writer::nullValue()
+{
+    preValue();
+    _os << "null";
+}
+
+std::string
+csvField(std::string_view s)
+{
+    bool needs_quote = s.find_first_of(",\"\n\r") != std::string_view::npos;
+    if (!needs_quote)
+        return std::string(s);
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        if (c == '"')
+            out.push_back('"');
+        out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+std::string
+csvRecord(const std::vector<std::string> &fields)
+{
+    std::string out;
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (i)
+            out.push_back(',');
+        out += csvField(fields[i]);
+    }
+    return out;
+}
+
+} // namespace dde::json

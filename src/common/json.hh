@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal dependency-free JSON and CSV emission for machine-readable
+ * experiment artifacts (runner::SweepReport, bench --json exports).
+ *
+ * Output is byte-deterministic: keys are emitted in call order, and
+ * doubles use std::to_chars shortest round-trip formatting, so two
+ * runs of the same deterministic sweep serialize identically — the
+ * property the golden/determinism tests pin down.
+ */
+
+#ifndef DDE_COMMON_JSON_HH
+#define DDE_COMMON_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dde::json
+{
+
+/** Escape and quote a string for a JSON document. */
+std::string quote(std::string_view s);
+
+/** Shortest round-trip decimal form of a double (to_chars); always
+ * parseable as a JSON number (inf/nan clamp to null). */
+std::string formatDouble(double v);
+
+/**
+ * A streaming JSON writer with explicit structure calls:
+ *
+ *   json::Writer w(os);
+ *   w.beginObject();
+ *   w.key("jobs"); w.beginArray();
+ *   ...
+ *   w.endArray();
+ *   w.endObject();
+ *
+ * The writer tracks nesting and comma placement; documents are
+ * pretty-printed with two-space indentation.
+ */
+class Writer
+{
+  public:
+    explicit Writer(std::ostream &os) : _os(os) {}
+
+    void beginObject();
+    void endObject();
+    void beginArray();
+    void endArray();
+
+    void key(std::string_view name);
+
+    void value(std::string_view v);
+    void value(const char *v) { value(std::string_view(v)); }
+    void value(const std::string &v) { value(std::string_view(v)); }
+    void value(double v);
+    void value(bool v);
+    void value(std::uint64_t v);
+    void value(std::int64_t v);
+    void value(int v) { value(static_cast<std::int64_t>(v)); }
+    void value(unsigned v) { value(static_cast<std::uint64_t>(v)); }
+    void nullValue();
+
+    /** key + value in one call. */
+    template <typename T>
+    void
+    field(std::string_view name, const T &v)
+    {
+        key(name);
+        value(v);
+    }
+
+  private:
+    void preValue();
+    void newline();
+
+    std::ostream &_os;
+    /** One frame per open container: true once a member was emitted. */
+    std::vector<bool> _hasMember;
+    bool _pendingKey = false;
+};
+
+/** Escape one CSV field (RFC 4180 quoting when needed). */
+std::string csvField(std::string_view s);
+
+/** Join fields into one CSV record (no trailing newline). */
+std::string csvRecord(const std::vector<std::string> &fields);
+
+} // namespace dde::json
+
+#endif // DDE_COMMON_JSON_HH

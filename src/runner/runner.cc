@@ -1,0 +1,448 @@
+#include "runner/runner.hh"
+
+#include <atomic>
+#include <charconv>
+#include <cstdlib>
+#include <sstream>
+#include <thread>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "workloads/workloads.hh"
+
+namespace dde::runner
+{
+
+std::string
+fingerprint(const mir::CompileOptions &opts)
+{
+    std::ostringstream os;
+    os << "dce=" << opts.dce
+       << ";hoist=" << opts.hoist.enabled
+       << ",loads=" << opts.hoist.hoistLoads
+       << ",win=" << opts.hoist.window
+       << ",max=" << opts.hoist.maxPerBlock
+       << ";ra=" << opts.regalloc.numCallerSaved
+       << "," << opts.regalloc.numCalleeSaved;
+    return os.str();
+}
+
+std::string
+cacheKey(const ProgramKey &key)
+{
+    std::ostringstream os;
+    os << key.workload << "@seed=" << key.seed
+       << ",scale=" << key.scale << "|" << fingerprint(key.copts);
+    return os.str();
+}
+
+namespace
+{
+
+/**
+ * Memoize: the first caller of a key installs a packaged task and
+ * runs it outside the lock; everyone else waits on the same
+ * shared_future. Exceptions propagate to all waiters.
+ */
+template <typename T, typename Map, typename Fn>
+std::shared_ptr<const T>
+memoize(std::mutex &mutex, Map &map, const std::string &key, Fn make)
+{
+    std::packaged_task<std::shared_ptr<const T>()> task(std::move(make));
+    std::shared_future<std::shared_ptr<const T>> fut;
+    bool ours = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        auto it = map.find(key);
+        if (it == map.end()) {
+            fut = task.get_future().share();
+            map.emplace(key, fut);
+            ours = true;
+        } else {
+            fut = it->second;
+        }
+    }
+    if (ours)
+        task();
+    return fut.get();
+}
+
+} // namespace
+
+std::shared_ptr<const CompiledProgram>
+ArtifactCache::compiled(const ProgramKey &key)
+{
+    return memoize<CompiledProgram>(
+        _mutex, _programs, cacheKey(key), [&key] {
+            const auto &info = workloads::workloadByName(key.workload);
+            workloads::Params params;
+            params.seed = key.seed;
+            params.scale = key.scale;
+            mir::CompileStats cstats;
+            prog::Program program =
+                mir::compile(info.make(params), key.copts, &cstats);
+            return std::make_shared<const CompiledProgram>(
+                std::move(program), cstats);
+        });
+}
+
+std::shared_ptr<const emu::RunResult>
+ArtifactCache::reference(const ProgramKey &key)
+{
+    auto compiled_prog = compiled(key);
+    return memoize<emu::RunResult>(
+        _mutex, _references, cacheKey(key), [compiled_prog] {
+            return std::make_shared<const emu::RunResult>(
+                emu::runProgram(compiled_prog->program));
+        });
+}
+
+std::size_t
+ArtifactCache::compileCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _programs.size();
+}
+
+std::size_t
+ArtifactCache::traceCount() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _references.size();
+}
+
+double
+Metric::asReal() const
+{
+    switch (kind) {
+      case Kind::UInt: return static_cast<double>(u);
+      case Kind::Real: return d;
+      case Kind::Text: return 0.0;
+    }
+    return 0.0;
+}
+
+std::string
+Metric::render() const
+{
+    switch (kind) {
+      case Kind::UInt: return std::to_string(u);
+      case Kind::Real: return json::formatDouble(d);
+      case Kind::Text: return s;
+    }
+    return {};
+}
+
+const Metric &
+JobResult::metric(const std::string &name) const
+{
+    for (const Metric &m : metrics) {
+        if (m.name == name)
+            return m;
+    }
+    panic("no metric '", name, "' in job '", label, "'");
+}
+
+double
+JobResult::real(const std::string &name) const
+{
+    return metric(name).asReal();
+}
+
+std::uint64_t
+JobResult::uint(const std::string &name) const
+{
+    const Metric &m = metric(name);
+    panic_if(m.kind != Metric::Kind::UInt,
+             "metric '", name, "' of job '", label, "' is not a uint");
+    return m.u;
+}
+
+bool
+SweepReport::allOk() const
+{
+    for (const JobResult &r : results) {
+        if (!r.ok)
+            return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+void
+writeStats(json::Writer &w, const sim::RunStats &s)
+{
+    w.field("name", s.name);
+    w.field("cycles", static_cast<std::uint64_t>(s.cycles));
+    w.field("committed", s.committed);
+    w.field("ipc", s.ipc);
+    w.field("committedEliminated", s.committedEliminated);
+    w.field("predictedDead", s.predictedDead);
+    w.field("deadMispredicts", s.deadMispredicts);
+    w.field("branchMispredicts", s.branchMispredicts);
+    w.field("physRegAllocs", s.physRegAllocs);
+    w.field("rfReads", s.rfReads);
+    w.field("rfWrites", s.rfWrites);
+    w.field("dcacheLoads", s.dcacheLoads);
+    w.field("dcacheStores", s.dcacheStores);
+    w.field("detectorDead", s.detectorDead);
+    w.field("detectorLive", s.detectorLive);
+}
+
+constexpr const char *kStatColumns[] = {
+    "cycles", "committed", "ipc", "committedEliminated",
+    "predictedDead", "deadMispredicts", "branchMispredicts",
+    "physRegAllocs", "rfReads", "rfWrites", "dcacheLoads",
+    "dcacheStores", "detectorDead", "detectorLive",
+};
+
+std::vector<std::string>
+statValues(const JobResult &r)
+{
+    if (!r.hasStats) {
+        return std::vector<std::string>(std::size(kStatColumns));
+    }
+    const sim::RunStats &s = r.stats;
+    return {
+        std::to_string(static_cast<std::uint64_t>(s.cycles)),
+        std::to_string(s.committed),
+        json::formatDouble(s.ipc),
+        std::to_string(s.committedEliminated),
+        std::to_string(s.predictedDead),
+        std::to_string(s.deadMispredicts),
+        std::to_string(s.branchMispredicts),
+        std::to_string(s.physRegAllocs),
+        std::to_string(s.rfReads),
+        std::to_string(s.rfWrites),
+        std::to_string(s.dcacheLoads),
+        std::to_string(s.dcacheStores),
+        std::to_string(s.detectorDead),
+        std::to_string(s.detectorLive),
+    };
+}
+
+} // namespace
+
+void
+SweepReport::writeJson(std::ostream &os) const
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.field("schema", "dde.sweep/1");
+    w.field("jobs", static_cast<std::uint64_t>(results.size()));
+    w.key("results");
+    w.beginArray();
+    for (const JobResult &r : results) {
+        w.beginObject();
+        w.field("label", r.label);
+        w.field("ok", r.ok);
+        if (!r.ok)
+            w.field("error", r.error);
+        if (r.hasStats) {
+            w.key("stats");
+            w.beginObject();
+            writeStats(w, r.stats);
+            w.endObject();
+        }
+        if (!r.metrics.empty()) {
+            w.key("metrics");
+            w.beginObject();
+            for (const Metric &m : r.metrics) {
+                switch (m.kind) {
+                  case Metric::Kind::UInt:
+                    w.field(m.name, m.u);
+                    break;
+                  case Metric::Kind::Real:
+                    w.field(m.name, m.d);
+                    break;
+                  case Metric::Kind::Text:
+                    w.field(m.name, m.s);
+                    break;
+                }
+            }
+            w.endObject();
+        }
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
+void
+SweepReport::writeCsv(std::ostream &os) const
+{
+    // Metric columns: union of metric names in first-appearance order.
+    std::vector<std::string> metric_cols;
+    for (const JobResult &r : results) {
+        for (const Metric &m : r.metrics) {
+            bool known = false;
+            for (const std::string &c : metric_cols)
+                known = known || c == m.name;
+            if (!known)
+                metric_cols.push_back(m.name);
+        }
+    }
+
+    std::vector<std::string> header = {"label", "ok", "error"};
+    for (const char *c : kStatColumns)
+        header.push_back(c);
+    for (const std::string &c : metric_cols)
+        header.push_back(c);
+    os << json::csvRecord(header) << '\n';
+
+    for (const JobResult &r : results) {
+        std::vector<std::string> row = {r.label, r.ok ? "1" : "0",
+                                        r.error};
+        for (std::string &v : statValues(r))
+            row.push_back(std::move(v));
+        for (const std::string &c : metric_cols) {
+            std::string cell;
+            for (const Metric &m : r.metrics) {
+                if (m.name == c) {
+                    cell = m.render();
+                    break;
+                }
+            }
+            row.push_back(std::move(cell));
+        }
+        os << json::csvRecord(row) << '\n';
+    }
+}
+
+std::string
+SweepReport::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+std::string
+SweepReport::toCsv() const
+{
+    std::ostringstream os;
+    writeCsv(os);
+    return os.str();
+}
+
+std::uint64_t
+deriveSeed(std::uint64_t base, std::size_t index)
+{
+    std::uint64_t z = base ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+unsigned
+defaultThreads()
+{
+    if (const char *env = std::getenv("DDE_SWEEP_THREADS")) {
+        unsigned n = 0;
+        auto res = std::from_chars(env, env + std::string(env).size(), n);
+        fatal_if(res.ec != std::errc() || n == 0,
+                 "DDE_SWEEP_THREADS must be a positive integer, got '",
+                 env, "'");
+        return std::min(n, 64u);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return std::min(hw ? hw : 1u, 64u);
+}
+
+SweepRunner::SweepRunner(Options opts)
+    : _threads(opts.threads ? opts.threads : defaultThreads()),
+      _seed(opts.seed)
+{}
+
+std::size_t
+SweepRunner::add(std::string label, JobFn fn)
+{
+    _queue.push_back(Pending{std::move(label), std::move(fn)});
+    return _queue.size() - 1;
+}
+
+std::size_t
+SweepRunner::addCoreRun(std::string label, ProgramKey key,
+                        core::CoreConfig cfg, sim::RunOptions run_opts,
+                        bool check)
+{
+    return add(std::move(label),
+               [key = std::move(key), cfg, run_opts,
+                check](JobContext &ctx) {
+                   const prog::Program &program =
+                       ctx.cache.program(key);
+                   sim::RunOptions opts = run_opts;
+                   std::vector<std::vector<bool>> labels;
+                   if (cfg.elim.enable && cfg.elim.oraclePredictor) {
+                       auto ref = ctx.cache.reference(key);
+                       labels = sim::computeOracleLabels(
+                           program, ref->trace, cfg.elim.detector);
+                       opts.oracleLabels = &labels;
+                   }
+                   sim::SimResult result =
+                       sim::runOnCore(program, cfg, opts);
+                   if (check) {
+                       auto ref = ctx.cache.reference(key);
+                       panic_if(!sim::observablyEqual(result, *ref),
+                                "job violates the observable-state "
+                                "contract");
+                   }
+                   JobResult out;
+                   out.hasStats = true;
+                   out.stats = result.stats;
+                   return out;
+               });
+}
+
+SweepReport
+SweepRunner::run()
+{
+    std::vector<Pending> queue;
+    queue.swap(_queue);
+
+    SweepReport report;
+    report.results.resize(queue.size());
+    for (std::size_t i = 0; i < queue.size(); ++i)
+        report.results[i].label = queue[i].label;
+
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1);
+            if (i >= queue.size())
+                return;
+            JobContext ctx{i, deriveSeed(_seed, i), _cache};
+            JobResult &slot = report.results[i];
+            try {
+                JobResult r = queue[i].fn(ctx);
+                r.label = std::move(slot.label);
+                r.ok = true;
+                slot = std::move(r);
+            } catch (const std::exception &e) {
+                slot.ok = false;
+                slot.error = e.what();
+            } catch (...) {
+                slot.ok = false;
+                slot.error = "unknown exception";
+            }
+        }
+    };
+
+    unsigned n = static_cast<unsigned>(
+        std::min<std::size_t>(_threads, queue.size()));
+    if (n <= 1) {
+        worker();
+        return report;
+    }
+    std::vector<std::thread> pool;
+    pool.reserve(n);
+    for (unsigned t = 0; t < n; ++t)
+        pool.emplace_back(worker);
+    for (std::thread &t : pool)
+        t.join();
+    return report;
+}
+
+} // namespace dde::runner

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Parallel experiment sweep runner.
+ *
+ * Every bench binary evaluates a (workload × configuration) grid; the
+ * seed implementation recompiled the eight workloads per binary and
+ * walked the grid serially. SweepRunner centralizes that loop:
+ *
+ *  - jobs execute on a fixed-size std::thread pool, but results land
+ *    in submission order, carry deterministic per-job seeds, and are
+ *    bit-identical to a serial (one-thread) run;
+ *  - an ArtifactCache memoizes compiled programs and architectural
+ *    reference runs, so each (workload, seed, scale, CompileOptions)
+ *    point is compiled and traced once per sweep regardless of how
+ *    many jobs share it;
+ *  - results aggregate into a SweepReport that renders the benches'
+ *    stdout tables and serializes to JSON/CSV for regression diffing
+ *    (the organization mirrors gem5-style stats dumps).
+ *
+ * A job that throws fails only its own slot (ok=false, error text);
+ * the pool and the remaining jobs are unaffected.
+ */
+
+#ifndef DDE_RUNNER_RUNNER_HH
+#define DDE_RUNNER_RUNNER_HH
+
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "emu/emulator.hh"
+#include "mir/compiler.hh"
+#include "sim/simulator.hh"
+
+namespace dde::runner
+{
+
+/** Identifies one compiled-program artifact: which workload, at which
+ * generation parameters, under which compiler configuration. */
+struct ProgramKey
+{
+    std::string workload;
+    std::uint64_t seed = 42;
+    unsigned scale = 1;
+    mir::CompileOptions copts;
+
+    ProgramKey() : copts(sim::referenceCompileOptions()) {}
+    ProgramKey(std::string workload_, unsigned scale_,
+               std::uint64_t seed_ = 42)
+        : workload(std::move(workload_)), seed(seed_), scale(scale_),
+          copts(sim::referenceCompileOptions())
+    {}
+};
+
+/** Stable textual fingerprint of a compiler configuration (part of
+ * the cache key; two options structs collide iff they are equal). */
+std::string fingerprint(const mir::CompileOptions &opts);
+
+/** Full cache key of a ProgramKey. */
+std::string cacheKey(const ProgramKey &key);
+
+/** A compiled program plus what the compiler did to produce it. */
+struct CompiledProgram
+{
+    prog::Program program;
+    mir::CompileStats cstats;
+
+    CompiledProgram(prog::Program p, mir::CompileStats s)
+        : program(std::move(p)), cstats(s)
+    {}
+};
+
+/**
+ * Thread-safe memoization of compiled programs and emulator reference
+ * runs. The first requester of a key performs the work; concurrent
+ * requesters block on the same shared_future, so each artifact is
+ * built exactly once per sweep.
+ */
+class ArtifactCache
+{
+  public:
+    /** Compile (once) and return the program for a key. */
+    std::shared_ptr<const CompiledProgram>
+    compiled(const ProgramKey &key);
+
+    /** Convenience: just the program. */
+    const prog::Program &
+    program(const ProgramKey &key)
+    {
+        return compiled(key)->program;
+    }
+
+    /** Run the emulator (once) over the key's program and return the
+     * reference result including the committed-instruction trace. */
+    std::shared_ptr<const emu::RunResult>
+    reference(const ProgramKey &key);
+
+    /** Number of distinct programs compiled so far. */
+    std::size_t compileCount() const;
+    /** Number of distinct reference traces produced so far. */
+    std::size_t traceCount() const;
+
+  private:
+    template <typename T>
+    using Slot = std::shared_future<std::shared_ptr<const T>>;
+
+    mutable std::mutex _mutex;
+    std::map<std::string, Slot<CompiledProgram>> _programs;
+    std::map<std::string, Slot<emu::RunResult>> _references;
+};
+
+/** One named scalar in a job's result row. */
+struct Metric
+{
+    enum class Kind : std::uint8_t { UInt, Real, Text };
+
+    std::string name;
+    Kind kind = Kind::Real;
+    std::uint64_t u = 0;
+    double d = 0.0;
+    std::string s;
+
+    Metric(std::string name_, std::uint64_t v)
+        : name(std::move(name_)), kind(Kind::UInt), u(v)
+    {}
+    Metric(std::string name_, double v)
+        : name(std::move(name_)), kind(Kind::Real), d(v)
+    {}
+    Metric(std::string name_, std::string v)
+        : name(std::move(name_)), kind(Kind::Text), s(std::move(v))
+    {}
+
+    /** Numeric view (UInt widens; Text parses to 0). */
+    double asReal() const;
+    /** Rendering used by JSON/CSV serialization. */
+    std::string render() const;
+};
+
+/** Outcome of one job, in submission order inside the report. */
+struct JobResult
+{
+    std::string label;
+    bool ok = false;
+    std::string error;
+
+    /** Core-simulation statistics, when the job ran a core. */
+    bool hasStats = false;
+    sim::RunStats stats;
+
+    /** Additional bench-specific scalars, in insertion order. */
+    std::vector<Metric> metrics;
+
+    const Metric &metric(const std::string &name) const;
+    double real(const std::string &name) const;
+    std::uint64_t uint(const std::string &name) const;
+
+    void
+    add(Metric m)
+    {
+        metrics.push_back(std::move(m));
+    }
+};
+
+/** Aggregated sweep outcome; serializes deterministically. */
+struct SweepReport
+{
+    std::vector<JobResult> results;
+
+    std::size_t size() const { return results.size(); }
+    const JobResult &operator[](std::size_t i) const
+    {
+        return results.at(i);
+    }
+
+    /** All jobs completed without throwing. */
+    bool allOk() const;
+
+    void writeJson(std::ostream &os) const;
+    void writeCsv(std::ostream &os) const;
+    std::string toJson() const;
+    std::string toCsv() const;
+};
+
+/** Handed to each job; the seed is a deterministic function of the
+ * sweep seed and the job's submission index. */
+struct JobContext
+{
+    std::size_t index;
+    std::uint64_t seed;
+    ArtifactCache &cache;
+};
+
+/** Derive the per-job seed (splitmix64 over base ^ index). */
+std::uint64_t deriveSeed(std::uint64_t base, std::size_t index);
+
+/** Default worker count: DDE_SWEEP_THREADS if set, else the hardware
+ * concurrency, clamped to [1, 64]. */
+unsigned defaultThreads();
+
+/** SweepRunner construction knobs. */
+struct SweepOptions
+{
+    /** Worker threads; 0 means defaultThreads(). */
+    unsigned threads = 0;
+    /** Base seed for per-job seed derivation. */
+    std::uint64_t seed = 0x5eed;
+};
+
+class SweepRunner
+{
+  public:
+    using Options = SweepOptions;
+
+    explicit SweepRunner(Options opts = {});
+
+    using JobFn = std::function<JobResult(JobContext &)>;
+
+    /** Enqueue an arbitrary job. Returns its submission index, which
+     * is also its slot in the report's results vector. */
+    std::size_t add(std::string label, JobFn fn);
+
+    /**
+     * Enqueue a full core simulation of `key`'s program under `cfg`.
+     * The result carries RunStats; programs, reference traces and
+     * oracle labels come from the shared cache. With `check`, the
+     * job also verifies the observable-state contract against the
+     * emulator and fails if it is violated.
+     */
+    std::size_t addCoreRun(std::string label, ProgramKey key,
+                           core::CoreConfig cfg,
+                           sim::RunOptions run_opts = {},
+                           bool check = false);
+
+    /** Execute all queued jobs and return the report. The queue is
+     * consumed; the runner can be reused for a fresh sweep. */
+    SweepReport run();
+
+    ArtifactCache &cache() { return _cache; }
+    unsigned threads() const { return _threads; }
+
+  private:
+    struct Pending
+    {
+        std::string label;
+        JobFn fn;
+    };
+
+    unsigned _threads;
+    std::uint64_t _seed;
+    std::vector<Pending> _queue;
+    ArtifactCache _cache;
+};
+
+} // namespace dde::runner
+
+#endif // DDE_RUNNER_RUNNER_HH

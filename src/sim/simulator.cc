@@ -162,9 +162,13 @@ runOnCore(const prog::Program &program, const core::CoreConfig &cfg,
             [&](const core::DynInst &inst) { cosim->check(inst); });
     }
     if (cfg.elim.enable && cfg.elim.oraclePredictor) {
-        auto ref = emu::runProgram(program);
-        core.setOracleLabels(computeOracleLabels(
-            program, ref.trace, cfg.elim.detector));
+        if (opts.oracleLabels) {
+            core.setOracleLabels(*opts.oracleLabels);
+        } else {
+            auto ref = emu::runProgram(program);
+            core.setOracleLabels(computeOracleLabels(
+                program, ref.trace, cfg.elim.detector));
+        }
     }
 
     core.run(opts.maxCycles);

@@ -2,7 +2,7 @@
  * @file
  * Top-level simulation driver: compiles or accepts a program, runs it
  * on a configured core, optionally co-simulates against the
- * architectural emulator at every commit (catching any microarchitual
+ * architectural emulator at every commit (catching any microarchitectural
  * divergence immediately), and snapshots the statistics the paper's
  * evaluation reports.
  */
@@ -69,6 +69,12 @@ struct RunOptions
      * PCs, results, branch outcomes, store addresses or output. */
     bool cosim = false;
     Cycle maxCycles = 1'000'000'000;
+    /** Precomputed computeOracleLabels() result for
+     * ElimConfig::oraclePredictor runs; when null, runOnCore derives
+     * the labels itself from a fresh emulator run. Callers with a
+     * cached reference trace (runner::ArtifactCache) supply this to
+     * avoid re-tracing the program. Must stay alive across the run. */
+    const std::vector<std::vector<bool>> *oracleLabels = nullptr;
 };
 
 /**

@@ -1,14 +1,17 @@
 /**
  * @file
- * Unit tests for the common utilities: bit manipulation, statistics
- * and the deterministic PRNG.
+ * Unit tests for the common utilities: bit manipulation, statistics,
+ * the deterministic PRNG, and the JSON/CSV writer.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <sstream>
 
 #include "common/bitutil.hh"
+#include "common/json.hh"
 #include "common/logging.hh"
 #include "common/random.hh"
 #include "common/stats.hh"
@@ -185,4 +188,64 @@ TEST(Stats, DumpContainsFormulas)
     EXPECT_NE(os.str().find("grp.c"), std::string::npos);
     EXPECT_NE(os.str().find("grp.ipc"), std::string::npos);
     EXPECT_NE(os.str().find("1.5"), std::string::npos);
+}
+
+TEST(Json, QuoteEscapesSpecials)
+{
+    EXPECT_EQ(json::quote("plain"), "\"plain\"");
+    EXPECT_EQ(json::quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    EXPECT_EQ(json::quote("line\nbreak\ttab"),
+              "\"line\\nbreak\\ttab\"");
+    EXPECT_EQ(json::quote(std::string("ctl\x01", 4)), "\"ctl\\u0001\"");
+}
+
+TEST(Json, FormatDoubleRoundTrips)
+{
+    EXPECT_EQ(json::formatDouble(0.0), "0");
+    EXPECT_EQ(json::formatDouble(1.5), "1.5");
+    EXPECT_EQ(std::stod(json::formatDouble(0.1)), 0.1);
+    EXPECT_EQ(std::stod(json::formatDouble(3.6)), 3.6);
+    EXPECT_EQ(json::formatDouble(
+                  std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(Json, WriterProducesValidNestedDocument)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject();
+    w.field("name", "sweep");
+    w.field("jobs", std::uint64_t{2});
+    w.field("ipc", 1.25);
+    w.field("ok", true);
+    w.key("tags");
+    w.beginArray();
+    w.value("a");
+    w.value("b");
+    w.endArray();
+    w.key("nested");
+    w.beginObject();
+    w.field("x", std::int64_t{-3});
+    w.endObject();
+    w.endObject();
+    std::string doc = os.str();
+    EXPECT_NE(doc.find("\"name\": \"sweep\""), std::string::npos);
+    EXPECT_NE(doc.find("\"jobs\": 2"), std::string::npos);
+    EXPECT_NE(doc.find("\"ipc\": 1.25"), std::string::npos);
+    EXPECT_NE(doc.find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(doc.find("\"x\": -3"), std::string::npos);
+    // Balanced braces/brackets.
+    EXPECT_EQ(std::count(doc.begin(), doc.end(), '{'),
+              std::count(doc.begin(), doc.end(), '}'));
+    EXPECT_EQ(std::count(doc.begin(), doc.end(), '['),
+              std::count(doc.begin(), doc.end(), ']'));
+}
+
+TEST(Json, CsvQuotesOnlyWhenNeeded)
+{
+    EXPECT_EQ(json::csvField("plain"), "plain");
+    EXPECT_EQ(json::csvField("a,b"), "\"a,b\"");
+    EXPECT_EQ(json::csvField("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(json::csvRecord({"a", "b,c", "d"}), "a,\"b,c\",d");
 }

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Golden statistics regression test.
+ *
+ * Runs one small workload (compress, scale 1, seed 42) through
+ * runOnCore with elimination enabled on the contended machine and
+ * asserts the exact counter values against checked-in expectations.
+ * The simulator is deterministic (fixed seeds, portable PRNG), so any
+ * divergence means a behavioural change in the core, the predictor,
+ * the detector, the compiler, or the workload generators — silent
+ * stat drift in core.cc now fails CI instead of quietly shifting
+ * EXPERIMENTS.md.
+ *
+ * If a change *intends* to alter these numbers (a new optimization, a
+ * policy fix), re-run and update the constants in the same commit,
+ * and say so in the commit message.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core.hh"
+#include "runner/runner.hh"
+#include "sim/simulator.hh"
+
+using namespace dde;
+
+namespace
+{
+
+sim::SimResult
+goldenRun(bool elim)
+{
+    runner::ArtifactCache cache;
+    runner::ProgramKey key("compress", 1);
+    core::CoreConfig cfg = core::CoreConfig::contended();
+    cfg.elim.enable = elim;
+    return sim::runOnCore(cache.program(key), cfg);
+}
+
+} // namespace
+
+TEST(GoldenStats, EliminationRunCountersAreExact)
+{
+    auto result = goldenRun(true);
+    const sim::RunStats &s = result.stats;
+
+    EXPECT_EQ(s.committed, 17176u);
+    EXPECT_EQ(s.cycles, 18963u);
+    EXPECT_EQ(s.committedEliminated, 346u);
+    EXPECT_EQ(s.predictedDead, 493u);
+    EXPECT_EQ(s.deadMispredicts, 0u);
+    EXPECT_EQ(s.branchMispredicts, 417u);
+    EXPECT_EQ(s.physRegAllocs, 18289u);
+    EXPECT_EQ(s.rfReads, 25565u);
+    EXPECT_EQ(s.rfWrites, 14036u);
+    EXPECT_EQ(s.dcacheLoads, 3204u);
+    EXPECT_EQ(s.dcacheStores, 1841u);
+    EXPECT_EQ(s.detectorDead, 554u);
+    EXPECT_EQ(s.detectorLive, 13542u);
+}
+
+TEST(GoldenStats, BaselineRunCountersAreExact)
+{
+    auto result = goldenRun(false);
+    const sim::RunStats &s = result.stats;
+
+    EXPECT_EQ(s.committed, 17176u);
+    EXPECT_EQ(s.cycles, 18913u);
+    EXPECT_EQ(s.committedEliminated, 0u);
+    EXPECT_EQ(s.branchMispredicts, 415u);
+}
+
+TEST(GoldenStats, EliminationRunKeepsObservableContract)
+{
+    runner::ArtifactCache cache;
+    runner::ProgramKey key("compress", 1);
+    core::CoreConfig cfg = core::CoreConfig::contended();
+    cfg.elim.enable = true;
+    auto result = sim::runOnCore(cache.program(key), cfg);
+    auto ref = cache.reference(key);
+    EXPECT_TRUE(sim::observablyEqual(result, *ref));
+}

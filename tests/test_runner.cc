@@ -1,0 +1,279 @@
+/**
+ * @file
+ * SweepRunner determinism and pool-semantics tests: byte-identical
+ * reports across repeated runs of the same sweep, parallel == serial,
+ * submission-order results, per-job seed stability, once-per-key
+ * artifact caching, and throwing jobs failing only their own slot.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "core/core.hh"
+#include "runner/runner.hh"
+
+using namespace dde;
+
+namespace
+{
+
+runner::SweepRunner
+makeRunner(unsigned threads, std::uint64_t seed = 0x5eed)
+{
+    runner::SweepRunner::Options opts;
+    opts.threads = threads;
+    opts.seed = seed;
+    return runner::SweepRunner(opts);
+}
+
+/** A small but representative sweep: core runs (baseline and
+ * elimination sharing one compiled program), a trace-level metrics
+ * job, and a second workload. */
+void
+buildSmallSweep(runner::SweepRunner &sweep)
+{
+    runner::ProgramKey fsm("fsm", 1);
+    sweep.addCoreRun("fsm-base", fsm, core::CoreConfig::tiny());
+    core::CoreConfig elim = core::CoreConfig::tiny();
+    elim.elim.enable = true;
+    sweep.addCoreRun("fsm-elim", fsm, elim);
+    sweep.addCoreRun("numeric-base", runner::ProgramKey("numeric", 1),
+                     core::CoreConfig::tiny());
+    sweep.add("fsm-trace", [fsm](runner::JobContext &ctx) {
+        auto ref = ctx.cache.reference(fsm);
+        runner::JobResult r;
+        r.add({"instCount", ref->instCount});
+        r.add({"outputs",
+               static_cast<std::uint64_t>(ref->output.size())});
+        r.add({"note", std::string("trace-level")});
+        return r;
+    });
+}
+
+} // namespace
+
+TEST(Runner, SameSeedGivesByteIdenticalReports)
+{
+    auto first = makeRunner(2);
+    buildSmallSweep(first);
+    auto a = first.run();
+
+    auto second = makeRunner(2);
+    buildSmallSweep(second);
+    auto b = second.run();
+
+    ASSERT_TRUE(a.allOk());
+    ASSERT_TRUE(b.allOk());
+    EXPECT_EQ(a.toJson(), b.toJson());
+    EXPECT_EQ(a.toCsv(), b.toCsv());
+}
+
+TEST(Runner, ParallelMatchesSerial)
+{
+    auto serial = makeRunner(1);
+    buildSmallSweep(serial);
+    auto a = serial.run();
+
+    auto parallel = makeRunner(4);
+    buildSmallSweep(parallel);
+    auto b = parallel.run();
+
+    ASSERT_TRUE(a.allOk());
+    ASSERT_TRUE(b.allOk());
+    // Bit-identical statistics regardless of worker count.
+    EXPECT_EQ(a.toJson(), b.toJson());
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].label, b[i].label);
+        if (a[i].hasStats) {
+            EXPECT_EQ(a[i].stats.cycles, b[i].stats.cycles);
+            EXPECT_EQ(a[i].stats.committed, b[i].stats.committed);
+            EXPECT_EQ(a[i].stats.committedEliminated,
+                      b[i].stats.committedEliminated);
+        }
+    }
+}
+
+TEST(Runner, ResultsKeepSubmissionOrder)
+{
+    auto sweep = makeRunner(4);
+    constexpr std::size_t kJobs = 16;
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        sweep.add("job" + std::to_string(i),
+                  [i](runner::JobContext &ctx) {
+                      // Early jobs sleep longest so completion order
+                      // inverts submission order under parallelism.
+                      std::this_thread::sleep_for(
+                          std::chrono::milliseconds(kJobs - i));
+                      runner::JobResult r;
+                      r.add({"index",
+                             static_cast<std::uint64_t>(ctx.index)});
+                      return r;
+                  });
+    }
+    auto report = sweep.run();
+    ASSERT_EQ(report.size(), kJobs);
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        EXPECT_EQ(report[i].label, "job" + std::to_string(i));
+        EXPECT_EQ(report[i].uint("index"), i);
+    }
+}
+
+TEST(Runner, ThrowingJobFailsOnlyItsSlotWithoutDeadlock)
+{
+    auto sweep = makeRunner(4);
+    sweep.add("good0", [](runner::JobContext &) {
+        runner::JobResult r;
+        r.add({"v", std::uint64_t{1}});
+        return r;
+    });
+    sweep.add("throws", [](runner::JobContext &) -> runner::JobResult {
+        throw std::runtime_error("boom");
+    });
+    sweep.add("fatals", [](runner::JobContext &) -> runner::JobResult {
+        fatal("bad user config");
+    });
+    sweep.add("panics", [](runner::JobContext &) -> runner::JobResult {
+        panic("invariant violated");
+    });
+    sweep.add("good1", [](runner::JobContext &) {
+        runner::JobResult r;
+        r.add({"v", std::uint64_t{2}});
+        return r;
+    });
+
+    auto report = sweep.run();
+    ASSERT_EQ(report.size(), 5u);
+    EXPECT_TRUE(report[0].ok);
+    EXPECT_FALSE(report[1].ok);
+    EXPECT_EQ(report[1].error, "boom");
+    EXPECT_FALSE(report[2].ok);
+    EXPECT_EQ(report[2].error, "bad user config");
+    EXPECT_FALSE(report[3].ok);
+    EXPECT_EQ(report[3].error, "invariant violated");
+    EXPECT_TRUE(report[4].ok);
+    EXPECT_FALSE(report.allOk());
+    // Failed slots keep their labels and serialize their errors.
+    EXPECT_NE(report.toJson().find("\"error\": \"boom\""),
+              std::string::npos);
+}
+
+TEST(Runner, PerJobSeedsAreStableAndDistinct)
+{
+    auto run_once = [] {
+        auto sweep = makeRunner(2, 1234);
+        for (int i = 0; i < 8; ++i) {
+            sweep.add("seed" + std::to_string(i),
+                      [](runner::JobContext &ctx) {
+                          runner::JobResult r;
+                          r.add({"seed", ctx.seed});
+                          return r;
+                      });
+        }
+        return sweep.run();
+    };
+    auto a = run_once();
+    auto b = run_once();
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].uint("seed"), b[i].uint("seed"));
+        EXPECT_EQ(a[i].uint("seed"), runner::deriveSeed(1234, i));
+        for (std::size_t j = i + 1; j < a.size(); ++j)
+            EXPECT_NE(a[i].uint("seed"), a[j].uint("seed"));
+    }
+}
+
+TEST(Runner, CacheBuildsEachArtifactOncePerSweep)
+{
+    auto sweep = makeRunner(4);
+    runner::ProgramKey key("parse", 1);
+    for (int i = 0; i < 8; ++i) {
+        sweep.add("probe" + std::to_string(i),
+                  [key](runner::JobContext &ctx) {
+                      auto ref = ctx.cache.reference(key);
+                      runner::JobResult r;
+                      r.add({"insts", ref->instCount});
+                      return r;
+                  });
+    }
+    auto report = sweep.run();
+    ASSERT_TRUE(report.allOk());
+    EXPECT_EQ(sweep.cache().compileCount(), 1u);
+    EXPECT_EQ(sweep.cache().traceCount(), 1u);
+    for (std::size_t i = 1; i < report.size(); ++i)
+        EXPECT_EQ(report[i].uint("insts"), report[0].uint("insts"));
+
+    // A different compiler configuration is a different artifact.
+    auto off = key;
+    off.copts.hoist.enabled = false;
+    (void)sweep.cache().program(off);
+    EXPECT_EQ(sweep.cache().compileCount(), 2u);
+    EXPECT_NE(runner::cacheKey(key), runner::cacheKey(off));
+}
+
+TEST(Runner, CoreRunMatchesDirectSimulation)
+{
+    runner::ProgramKey key("compress", 1);
+    core::CoreConfig cfg = core::CoreConfig::tiny();
+    cfg.elim.enable = true;
+
+    auto sweep = makeRunner(2);
+    sweep.addCoreRun("compress-elim", key, cfg, {}, /*check=*/true);
+    auto report = sweep.run();
+    ASSERT_TRUE(report.allOk());
+    ASSERT_TRUE(report[0].hasStats);
+
+    auto direct = sim::runOnCore(sweep.cache().program(key), cfg);
+    EXPECT_EQ(report[0].stats.cycles, direct.stats.cycles);
+    EXPECT_EQ(report[0].stats.committed, direct.stats.committed);
+    EXPECT_EQ(report[0].stats.committedEliminated,
+              direct.stats.committedEliminated);
+    EXPECT_EQ(report[0].stats.rfWrites, direct.stats.rfWrites);
+}
+
+TEST(Runner, OracleRunsUseCachedLabelsIdentically)
+{
+    runner::ProgramKey key("fsm", 1);
+    core::CoreConfig cfg = core::CoreConfig::tiny();
+    cfg.elim.enable = true;
+    cfg.elim.oraclePredictor = true;
+
+    auto sweep = makeRunner(2);
+    sweep.addCoreRun("fsm-oracle", key, cfg);
+    auto report = sweep.run();
+    ASSERT_TRUE(report.allOk());
+
+    // runOnCore without injected labels re-derives them itself; the
+    // cached-label path must be bit-identical.
+    auto direct = sim::runOnCore(sweep.cache().program(key), cfg);
+    EXPECT_EQ(report[0].stats.cycles, direct.stats.cycles);
+    EXPECT_EQ(report[0].stats.committedEliminated,
+              direct.stats.committedEliminated);
+    EXPECT_EQ(report[0].stats.deadMispredicts,
+              direct.stats.deadMispredicts);
+}
+
+TEST(Runner, CsvReportHasHeaderAndOneRowPerJob)
+{
+    auto sweep = makeRunner(2);
+    buildSmallSweep(sweep);
+    auto report = sweep.run();
+    ASSERT_TRUE(report.allOk());
+
+    std::string csv = report.toCsv();
+    std::size_t lines = 0;
+    for (char c : csv)
+        lines += c == '\n';
+    EXPECT_EQ(lines, report.size() + 1);
+    EXPECT_EQ(csv.rfind("label,ok,error,cycles,", 0), 0u);
+    // Metric columns appear after the fixed stat columns.
+    EXPECT_NE(csv.find(",instCount"), std::string::npos);
+    EXPECT_NE(csv.find("trace-level"), std::string::npos);
+}
+
+TEST(Runner, DefaultThreadCountIsPositive)
+{
+    EXPECT_GE(runner::defaultThreads(), 1u);
+    EXPECT_LE(runner::defaultThreads(), 64u);
+}
