@@ -37,6 +37,10 @@ struct BenchArgs
     unsigned threads = 0;  ///< 0 = DDE_SWEEP_THREADS or hardware
     std::string jsonPath;
     std::string csvPath;
+    /** Cycle-accounting + per-PC profile on every core run; exported
+     * through the report's dde.sweep/2 profile block. */
+    bool profile = false;
+    unsigned topn = 10;
 };
 
 inline void
@@ -48,7 +52,11 @@ benchUsage(const char *prog)
         "  --csv PATH     write the sweep report as CSV\n"
         "  --threads N    worker threads (default: DDE_SWEEP_THREADS\n"
         "                 or hardware concurrency)\n"
-        "  --scale N      workload size multiplier (default %u)\n",
+        "  --scale N      workload size multiplier (default %u)\n"
+        "  --profile      record commit-slot cycle accounting and\n"
+        "                 per-PC dead-prediction profiles per run\n"
+        "  --topn N       per-PC entries kept per profiled run\n"
+        "                 (default 10)\n",
         prog, kBenchScale);
 }
 
@@ -87,6 +95,10 @@ parseBenchArgs(int argc, char **argv)
             args.threads = nextUnsigned(1);
         } else if (arg == "--scale") {
             args.scale = nextUnsigned(1);
+        } else if (arg == "--profile") {
+            args.profile = true;
+        } else if (arg == "--topn") {
+            args.topn = nextUnsigned(1);
         } else if (arg == "--help" || arg == "-h") {
             benchUsage(argv[0]);
             std::exit(0);
@@ -105,6 +117,8 @@ makeRunner(const BenchArgs &args)
 {
     runner::SweepRunner::Options opts;
     opts.threads = args.threads;
+    opts.profile = args.profile;
+    opts.profileTopN = args.topn;
     return runner::SweepRunner(opts);
 }
 

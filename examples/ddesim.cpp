@@ -50,6 +50,8 @@ struct Options
     bool deadness = false; // oracle characterization
     bool stats = false;    // full stat dump
     bool cosim = false;
+    bool profile = false;  // commit-slot accounting + per-PC profile
+    unsigned topn = 10;    // per-PC entries in the profile report
     unsigned threads = 0;  // sweep workers; 0 = auto
     std::string jsonPath;  // sweep report export
 };
@@ -76,6 +78,9 @@ usage()
         "  --deadness          print the oracle dead characterization\n"
         "  --stats             dump the full core statistics report\n"
         "  --cosim             lockstep-check every commit vs emulator\n"
+        "  --profile           commit-slot cycle accounting and the\n"
+        "                      top-N dead-prediction PC table\n"
+        "  --topn N            PCs in the profile table (default 10)\n"
         "  --threads N         parallel run workers (default: auto)\n"
         "  --json PATH         write the run statistics as JSON");
 }
@@ -114,6 +119,10 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.stats = true;
         } else if (arg == "--cosim") {
             opt.cosim = true;
+        } else if (arg == "--profile") {
+            opt.profile = true;
+        } else if (arg == "--topn") {
+            opt.topn = std::atoi(next());
         } else if (arg == "--threads") {
             opt.threads = std::atoi(next());
         } else if (arg == "--json") {
@@ -169,7 +178,55 @@ makeConfig(const Options &opt)
     cfg.elim.oraclePredictor = opt.oracle;
     if (opt.squashRecovery)
         cfg.elim.recovery = core::RecoveryMode::SquashProducer;
+    cfg.profile.enable = opt.profile;
+    cfg.profile.topN = opt.topn;
     return cfg;
+}
+
+/** Render the --profile cycle-accounting breakdown and PC table. */
+void
+printProfile(const sim::CycleProfile &p, Cycle cycles)
+{
+    const double total = double(p.totalSlots());
+    auto line = [&](const char *name, std::uint64_t slots) {
+        if (slots)
+            std::printf("  %-18s %12llu  %6.2f%%\n", name,
+                        (unsigned long long)slots,
+                        100.0 * double(slots) / total);
+    };
+    std::printf("\ncycle accounting (%u slots x %llu cycles = %llu):\n",
+                p.commitWidth, (unsigned long long)cycles,
+                (unsigned long long)p.totalSlots());
+    line("usefulCommit", p.slotsUsefulCommit);
+    line("deadEliminated", p.slotsDeadEliminated);
+    line("frontEndStarved", p.slotsFrontEndStarved);
+    line("mispredictSquash", p.slotsMispredictSquash);
+    line("iqFull", p.slotsIqFull);
+    line("lsqFull", p.slotsLsqFull);
+    line("physRegStall", p.slotsPhysRegStall);
+    line("cacheMissStall", p.slotsCacheMissStall);
+    line("execStall", p.slotsExecStall);
+    line("verifyStall", p.slotsVerifyStall);
+    std::printf("occupancy p50/p90/p99: rob %.1f/%.1f/%.1f  "
+                "iq %.1f/%.1f/%.1f\n",
+                p.robP50, p.robP90, p.robP99, p.iqP50, p.iqP90,
+                p.iqP99);
+    if (!p.topPcs.empty()) {
+        std::printf("top static PCs by committed eliminations:\n");
+        std::printf("  %-10s %10s %10s %10s %8s %8s\n", "pc",
+                    "predicted", "elim", "mispred", "cover",
+                    "falseElim");
+        for (const auto &pc : p.topPcs) {
+            std::printf("  %#-10llx %10llu %10llu %10llu %7.1f%% "
+                        "%7.2f%%\n",
+                        (unsigned long long)pc.pc,
+                        (unsigned long long)pc.predicted,
+                        (unsigned long long)pc.eliminated,
+                        (unsigned long long)pc.mispredicts,
+                        100.0 * pc.coverage(),
+                        100.0 * pc.falseElimRate());
+        }
+    }
 }
 
 } // namespace
@@ -248,6 +305,14 @@ main(int argc, char **argv)
         auto report = sweep.run();
         for (const auto &r : report.results)
             fatal_if(!r.ok, "job '", r.label, "' failed: ", r.error);
+        // A truncated run never reaches here via addCoreRun jobs, but
+        // these are hand-rolled lambdas — enforce the same contract.
+        fatal_if(run_result.cyclesExhausted,
+                 "run hit the cycle limit without halting; "
+                 "stats are truncated");
+        fatal_if(opt.compare && base_result.cyclesExhausted,
+                 "baseline hit the cycle limit without halting; "
+                 "stats are truncated");
 
         std::printf("core(%s): %llu cycles, IPC %.3f",
                     run_label.c_str(),
@@ -273,6 +338,10 @@ main(int argc, char **argv)
                                  1.0));
         }
 
+        if (opt.profile && run_result.stats.profile.valid)
+            printProfile(run_result.stats.profile,
+                         run_result.stats.cycles);
+
         if (!opt.jsonPath.empty()) {
             std::ofstream os(opt.jsonPath);
             fatal_if(!os, "cannot write '", opt.jsonPath, "'");
@@ -285,6 +354,8 @@ main(int argc, char **argv)
             if (cfg.elim.enable && cfg.elim.oraclePredictor)
                 core.setOracleLabels(oracle_labels);
             core.run();
+            fatal_if(!core.halted(),
+                     "stats run hit the cycle limit without halting");
             std::printf("\n");
             std::ostringstream os;
             core.stats().dump(os);

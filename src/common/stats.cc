@@ -1,14 +1,33 @@
 #include "common/stats.hh"
 
 #include <iomanip>
+#include <limits>
+#include <sstream>
 
 namespace dde::stats
 {
 
+namespace
+{
+
+/** Shortest exact decimal form of a double (max_digits10 round-trips;
+ * the default 6-significant-digit stream precision rounds any value
+ * >= 10M, which silently corrupted large counters in reports). */
+std::string
+formatReal(double v)
+{
+    std::ostringstream os;
+    os << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << v;
+    return os.str();
+}
+
+} // namespace
+
 void
 Group::dump(std::ostream &os) const
 {
-    auto emit = [&](const std::string &stat, double value) {
+    auto emit = [&](const std::string &stat, const std::string &value) {
         os << std::left << std::setw(42) << (_name + "." + stat) << " "
            << std::right << std::setw(16) << value;
         auto it = _descs.find(stat);
@@ -17,15 +36,22 @@ Group::dump(std::ostream &os) const
         os << "\n";
     };
 
+    // Integral counters print exactly, never through a double.
     for (const auto &kv : _counters)
-        emit(kv.first, static_cast<double>(kv.second.value()));
+        emit(kv.first, std::to_string(kv.second.value()));
     for (const auto &kv : _histograms) {
-        emit(kv.first + "::samples",
-             static_cast<double>(kv.second.samples()));
-        emit(kv.first + "::mean", kv.second.mean());
+        const Histogram &h = kv.second;
+        emit(kv.first + "::samples", std::to_string(h.samples()));
+        emit(kv.first + "::mean", formatReal(h.mean()));
+        emit(kv.first + "::p50", formatReal(h.p50()));
+        emit(kv.first + "::p90", formatReal(h.p90()));
+        emit(kv.first + "::p99", formatReal(h.p99()));
+        // Clipped samples must be visible, not silently folded away.
+        emit(kv.first + "::underflow", std::to_string(h.underflow()));
+        emit(kv.first + "::overflow", std::to_string(h.overflow()));
     }
     for (const auto &kv : _formulas)
-        emit(kv.first, kv.second());
+        emit(kv.first, formatReal(kv.second()));
 }
 
 } // namespace dde::stats

@@ -11,8 +11,10 @@
 #ifndef DDE_COMMON_STATS_HH
 #define DDE_COMMON_STATS_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <ostream>
 #include <string>
@@ -63,7 +65,11 @@ class Histogram
     sample(std::int64_t v, std::uint64_t count = 1)
     {
         _samples += count;
-        _sum += v * static_cast<std::int64_t>(count);
+        // Accumulate in 128 bits: int64 wraps silently once
+        // v * count * samples approaches 2^63 (long contended runs).
+        _sum += static_cast<Accum>(v) * static_cast<Accum>(count);
+        _obsMin = std::min(_obsMin, v);
+        _obsMax = std::max(_obsMax, v);
         if (v < _min) {
             _underflow += count;
         } else if (v >= _max) {
@@ -86,6 +92,50 @@ class Histogram
     std::uint64_t underflow() const { return _underflow; }
     std::uint64_t overflow() const { return _overflow; }
 
+    /**
+     * Value below which fraction `p` (in [0, 1]) of the samples fall,
+     * linearly interpolated inside the containing bucket and clamped
+     * to the observed sample extremes (interpolation alone can
+     * overshoot the largest sample in a sparsely filled top bucket).
+     * Underflow samples count at `min`, overflow samples at `max` (so
+     * clipped distributions report clipped percentiles rather than
+     * lying).
+     */
+    double
+    percentile(double p) const
+    {
+        if (_samples == 0)
+            return 0.0;
+        double lo = static_cast<double>(std::max(_min, _obsMin));
+        double hi = static_cast<double>(std::min(_max, _obsMax));
+        double target = p * static_cast<double>(_samples);
+        if (target < 1.0)
+            target = 1.0;
+        double cum = static_cast<double>(_underflow);
+        if (cum >= target)
+            return static_cast<double>(_min);
+        double width = static_cast<double>(_max - _min) /
+                       static_cast<double>(_counts.size());
+        for (std::size_t i = 0; i < _counts.size(); ++i) {
+            if (_counts[i] == 0)
+                continue;
+            double prev = cum;
+            cum += static_cast<double>(_counts[i]);
+            if (cum >= target) {
+                double frac = (target - prev) /
+                              static_cast<double>(_counts[i]);
+                double v = static_cast<double>(_min) +
+                           width * (static_cast<double>(i) + frac);
+                return std::clamp(v, lo, hi);
+            }
+        }
+        return hi;  // in the overflow region
+    }
+
+    double p50() const { return percentile(0.50); }
+    double p90() const { return percentile(0.90); }
+    double p99() const { return percentile(0.99); }
+
     void
     reset()
     {
@@ -93,17 +143,25 @@ class Histogram
         _sum = 0;
         _underflow = 0;
         _overflow = 0;
+        _obsMin = std::numeric_limits<std::int64_t>::max();
+        _obsMax = std::numeric_limits<std::int64_t>::min();
         std::fill(_counts.begin(), _counts.end(), 0);
     }
 
   private:
+    /** 128-bit sum accumulator (see sample()). */
+    using Accum = __int128;
+
     std::int64_t _min;
     std::int64_t _max;
     std::vector<std::uint64_t> _counts;
     std::uint64_t _samples = 0;
-    std::int64_t _sum = 0;
+    Accum _sum = 0;
     std::uint64_t _underflow = 0;
     std::uint64_t _overflow = 0;
+    /** Observed sample extremes (percentile clamp bounds). */
+    std::int64_t _obsMin = std::numeric_limits<std::int64_t>::max();
+    std::int64_t _obsMax = std::numeric_limits<std::int64_t>::min();
 };
 
 /** A named collection of statistics owned by one component. */

@@ -63,6 +63,18 @@ struct ElimConfig
     }
 };
 
+/** Pipeline observability knobs (the cycle-accounting layer). */
+struct ProfileConfig
+{
+    /** Collect top-down commit-slot cycle accounting and the
+     * per-static-PC dead-prediction profile. Off by default: the
+     * accounting hooks are no-ops and reports omit the profile. */
+    bool enable = false;
+    /** Per-PC entries exported in reports (the top-N by committed
+     * eliminations). */
+    unsigned topN = 10;
+};
+
 /** All pipeline, predictor and memory parameters of one core. */
 struct CoreConfig
 {
@@ -95,6 +107,7 @@ struct CoreConfig
     predictor::FrontendConfig frontend;
     cache::HierarchyConfig memory;
     ElimConfig elim;
+    ProfileConfig profile;
 
     /** A renamed-register-starved, narrower machine: the paper's
      * "architecture exhibiting resource contention". */

@@ -71,7 +71,8 @@ CoreConfig::tiny()
 Core::Core(const prog::Program &program, const CoreConfig &cfg)
     : _program(program), _cfg(cfg), _caches(cfg.memory),
       _frontend(cfg.frontend), _deadPredictor(cfg.elim.predictor),
-      _detector(cfg.elim.detector), _prf(cfg.numPhysRegs),
+      _detector(cfg.elim.detector), _pcProfiler(cfg.profile.enable),
+      _prf(cfg.numPhysRegs),
       _freeList(cfg.numPhysRegs), _retireRat(kNumArchRegs),
       _pc(program.entryPc()), _stats("core"),
       _sFetched(_stats.counter("fetched", "instructions fetched")),
@@ -133,6 +134,34 @@ Core::Core(const prog::Program &program, const CoreConfig &cfg)
           "uebRepairs", "consumer repairs served from the UEB")),
       _sUebStoreFlushes(_stats.counter(
           "uebStoreFlushes", "UEB dead-store entries flushed to memory")),
+      _sSlotUseful(_stats.counter(
+          "slotsUsefulCommit",
+          "commit slots: useful instruction committed")),
+      _sSlotDeadElim(_stats.counter(
+          "slotsDeadEliminated",
+          "commit slots: eliminated instruction committed")),
+      _sSlotFrontEnd(_stats.counter(
+          "slotsFrontEndStarved",
+          "commit slots idle: ROB empty, front end starved")),
+      _sSlotSquash(_stats.counter(
+          "slotsMispredictSquash",
+          "commit slots idle: squash recovery / refill")),
+      _sSlotIqFull(_stats.counter(
+          "slotsIqFull", "commit slots idle: issue queue full")),
+      _sSlotLsqFull(_stats.counter(
+          "slotsLsqFull", "commit slots idle: load/store queue full")),
+      _sSlotPhysReg(_stats.counter(
+          "slotsPhysRegStall",
+          "commit slots idle: no free physical register")),
+      _sSlotCacheMiss(_stats.counter(
+          "slotsCacheMissStall",
+          "commit slots idle: head memory op in the cache hierarchy")),
+      _sSlotExec(_stats.counter(
+          "slotsExecStall",
+          "commit slots idle: head executing or awaiting issue")),
+      _sSlotVerify(_stats.counter(
+          "slotsVerifyStall",
+          "commit slots idle: head awaiting dead verification")),
       _hRobOccupancy(_stats.histogram(
           "robOccupancy", 0, cfg.robSize + 1, 16,
           "ROB entries in use, sampled per cycle")),
@@ -221,11 +250,12 @@ Core::tick()
 void
 Core::run(Cycle max_cycles)
 {
-    while (!_halted) {
-        fatal_if(_cycle >= max_cycles, "cycle limit (", max_cycles,
-                 ") exceeded for program '", _program.name(), "'");
+    // Hitting the limit is NOT an error here: the core simply stops
+    // and halted() stays false. It is the caller's job to refuse to
+    // aggregate the (truncated) statistics of such a run — see
+    // sim::SimResult::cyclesExhausted and the runner's job gating.
+    while (!_halted && _cycle < max_cycles)
         tick();
-    }
 }
 
 // --------------------------------------------------------------------
@@ -360,8 +390,10 @@ Core::tryEliminate(const InstPtr &inst)
         return false;
     if (_noElim.count(inst->pc) || _stickyNoElim.count(inst->pc))
         return false;
-    if (predicted)
+    if (predicted) {
         ++_sPredictedDead;
+        _pcProfiler.onPredict(inst->pc);
+    }
     return predicted;
 }
 
@@ -372,6 +404,7 @@ Core::deadMispredictRecovery(SeqNum producer_seq, const char *trigger)
     panic_if(!producer, "dead mispredict: producer ", producer_seq,
              " not in ROB (", trigger, ")");
     ++_sDeadMispredicts;
+    _pcProfiler.onMispredict(producer->pc);
     _noElim[producer->pc] = kNoElimWindow;
     if (!_cfg.elim.oraclePredictor && producer->sigValid)
         _deadPredictor.punish(producer->pc, producer->sig);
@@ -383,6 +416,7 @@ Core::deadMispredictRecovery(SeqNum producer_seq, const char *trigger)
 void
 Core::rename()
 {
+    _lastRenameStall = RenameStall::None;
     unsigned renamed = 0;
     while (renamed < _cfg.renameWidth && !_fetchQueue.empty()) {
         InstPtr inst = _fetchQueue.front();
@@ -390,6 +424,7 @@ Core::rename()
             break;
         if (_rob.size() >= _cfg.robSize) {
             ++_sStallRob;
+            _lastRenameStall = RenameStall::Rob;
             break;
         }
 
@@ -406,20 +441,24 @@ Core::rename()
 
         if (needs_iq && _iq.size() >= _cfg.iqSize) {
             ++_sStallIq;
+            _lastRenameStall = RenameStall::Iq;
             break;
         }
         if (needs_lq && _loadQueue.size() >= _cfg.loadQueueSize) {
             ++_sStallLsq;
+            _lastRenameStall = RenameStall::Lsq;
             break;
         }
         if (needs_sq && _storeQueue.size() >= _cfg.storeQueueSize) {
             ++_sStallLsq;
+            _lastRenameStall = RenameStall::Lsq;
             break;
         }
         // Keep one register in reserve so a head repair can always
         // allocate (commit is what refills the free list).
         if (needs_phys && _freeList.size() <= 1) {
             ++_sStallPhys;
+            _lastRenameStall = RenameStall::Phys;
             break;
         }
 
@@ -456,6 +495,7 @@ Core::rename()
             }
             if (stall_for_repair) {
                 ++_sStallPhys;
+                _lastRenameStall = RenameStall::Phys;
                 break;
             }
             // An eliminated store with a poisoned operand degrades to
@@ -860,6 +900,7 @@ Core::trainFromEvents()
             ++_sDetectorDead;
         else
             ++_sDetectorLive;
+        _pcProfiler.onDetectorVerdict(ev.producer.pc, ev.dead);
         if (_cfg.elim.enable && !_cfg.elim.oraclePredictor) {
             _deadPredictor.train(ev.producer.pc, ev.producer.sig,
                                  ev.dead);
@@ -1216,6 +1257,7 @@ Core::repairAtHead()
     const Instruction &in = inst->inst;
     ++_sRepairs;
     ++_sUnverifiedRecoveries;
+    _pcProfiler.onRepair(inst->pc);
     if (++_repairCount[inst->pc] >= _cfg.elim.repairLimit)
         _stickyNoElim.insert(inst->pc);
 
@@ -1297,6 +1339,49 @@ Core::repairAtHead()
 }
 
 void
+Core::accountCommitSlots(unsigned useful, unsigned dead)
+{
+    if (!_cfg.profile.enable)
+        return;
+    _sSlotUseful += useful;
+    _sSlotDeadElim += dead;
+    unsigned idle = _cfg.commitWidth - useful - dead;
+    if (idle == 0)
+        return;
+    // Top-down: all of this cycle's idle slots are charged to the one
+    // condition gating the ROB head (or the front end, if the window
+    // is empty). The decision tree mirrors the order commit itself
+    // gives up in, so the classification is exact, not sampled.
+    stats::Counter *cls;
+    if (_rob.empty()) {
+        cls = _cycle < _squashRefillUntil ? &_sSlotSquash
+                                          : &_sSlotFrontEnd;
+    } else {
+        const InstPtr &head = _rob.front().inst;
+        if (head->eliminated && !head->verified && head->completed) {
+            // SquashProducer ablation: head stalls for verification.
+            cls = &_sSlotVerify;
+        } else if (head->poisonProducer != 0) {
+            // Parked on a dead-mispredict recovery.
+            cls = &_sSlotSquash;
+        } else if (head->issued && !head->completed) {
+            cls = head->inst.isMem() ? &_sSlotCacheMiss : &_sSlotExec;
+        } else {
+            // Head is still waiting to issue. Attribute to the
+            // resource rename last blocked on — that is what capped
+            // the in-flight window — else to plain execution slack.
+            switch (_lastRenameStall) {
+              case RenameStall::Iq: cls = &_sSlotIqFull; break;
+              case RenameStall::Lsq: cls = &_sSlotLsqFull; break;
+              case RenameStall::Phys: cls = &_sSlotPhysReg; break;
+              default: cls = &_sSlotExec; break;
+            }
+        }
+    }
+    *cls += idle;
+}
+
+void
 Core::commit()
 {
     if (_cfg.elim.enable &&
@@ -1318,6 +1403,7 @@ Core::commit()
     }
 
     unsigned committed = 0;
+    unsigned committed_dead = 0;
     while (committed < _cfg.commitWidth && !_rob.empty()) {
         RobEntry &entry = _rob.front();
         InstPtr inst = entry.inst;
@@ -1373,6 +1459,8 @@ Core::commit()
             if (_onCommit)
                 _onCommit(*inst);
             _rob.pop_front();
+            accountCommitSlots(committed + 1 - committed_dead,
+                               committed_dead);
             return;
         }
 
@@ -1467,13 +1555,17 @@ Core::commit()
             _onCommit(*inst);
 
         ++_sCommitted;
-        if (inst->eliminated)
+        if (inst->eliminated) {
             ++_sCommittedElim;
+            ++committed_dead;
+            _pcProfiler.onEliminated(inst->pc);
+        }
         ++_committedInsts;
         ++committed;
         _lastCommitCycle = _cycle;
         _rob.pop_front();
     }
+    accountCommitSlots(committed - committed_dead, committed_dead);
 }
 
 // --------------------------------------------------------------------
@@ -1571,6 +1663,11 @@ Core::squashFrom(SeqNum first_bad, Addr new_pc,
     // overwriter; give verification a fresh soft-timeout window.
     if (!_rob.empty() && _rob.front().inst->seq == _headStallSeq)
         _headStallSince = _cycle;
+
+    // Cycle accounting: ROB-empty cycles until the refetched path can
+    // reach commit again are squash recovery, not front-end supply.
+    _squashRefillUntil = std::max(
+        _squashRefillUntil, _cycle + _cfg.frontendDelay + 2);
 
     _frontend.setHistory(new_history);
     redirectFetch(new_pc);

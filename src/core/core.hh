@@ -53,6 +53,7 @@
 #include "predictor/branch.hh"
 #include "predictor/dead_predictor.hh"
 #include "predictor/detector.hh"
+#include "predictor/profile.hh"
 #include "prog/program.hh"
 
 namespace dde::core
@@ -67,7 +68,12 @@ class Core
     /** Advance one cycle. */
     void tick();
 
-    /** Run to completion (commit of halt) or the cycle limit. */
+    /**
+     * Run to completion (commit of halt) or until `max_cycles` have
+     * elapsed — check halted() afterwards to tell which. A run cut
+     * off by the limit has *truncated* statistics; callers that
+     * aggregate results must treat it as failed, not partial.
+     */
     void run(Cycle max_cycles = 1'000'000'000);
 
     bool halted() const { return _halted; }
@@ -91,6 +97,24 @@ class Core
     stats::Group &stats() { return _stats; }
     const stats::Group &stats() const { return _stats; }
     cache::Hierarchy &caches() { return _caches; }
+    const CoreConfig &config() const { return _cfg; }
+
+    /** Per-static-PC dead-prediction profile (empty unless
+     * CoreConfig::profile.enable). */
+    const predictor::DeadPcProfiler &pcProfiler() const
+    {
+        return _pcProfiler;
+    }
+
+    /** ROB / issue-queue occupancy histograms (per-cycle samples). */
+    const stats::Histogram &robOccupancy() const
+    {
+        return _hRobOccupancy;
+    }
+    const stats::Histogram &iqOccupancy() const
+    {
+        return _hIqOccupancy;
+    }
 
     /** Commit observer (used for co-simulation checks). */
     void onCommit(std::function<void(const DynInst &)> cb)
@@ -123,6 +147,22 @@ class Core
     void issue();
     void rename();
     void fetch();
+
+    // --- cycle accounting --------------------------------------------
+    /** Why rename last stalled (read by the slot classifier one cycle
+     * later; commit runs before rename inside a tick). */
+    enum class RenameStall : std::uint8_t { None, Rob, Iq, Lsq, Phys };
+
+    /**
+     * Top-down commit-slot accounting for one cycle: `useful` and
+     * `dead` slots committed something; the remaining
+     * commitWidth - useful - dead slots are charged to a single stall
+     * class chosen from the machine state (see the decision tree in
+     * core.cc). Called once on every commit() exit path so the slot
+     * identity — all classes sum to commitWidth × cycles — holds
+     * unconditionally. No-op unless profiling.
+     */
+    void accountCommitSlots(unsigned useful, unsigned dead);
 
     // --- helpers ------------------------------------------------------
     void squashFrom(SeqNum first_bad, Addr new_pc,
@@ -163,6 +203,7 @@ class Core
     predictor::FrontendPredictor _frontend;
     predictor::DeadInstPredictor _deadPredictor;
     predictor::DeadValueDetector _detector;
+    predictor::DeadPcProfiler _pcProfiler;
     std::vector<predictor::DeadEvent> _events;
     std::vector<std::vector<bool>> _oracleLabels;
     std::vector<std::uint32_t> _oracleCursor;
@@ -205,6 +246,11 @@ class Core
     SeqNum _headStallSeq = 0;
     Cycle _headStallSince = 0;
     Cycle _headStallFirst = 0;
+    /** Cycle accounting: rename's stall reason from the previous
+     * cycle, and the end of the post-squash refill window (ROB-empty
+     * cycles inside it are charged to mispredict-squash). */
+    RenameStall _lastRenameStall = RenameStall::None;
+    Cycle _squashRefillUntil = 0;
     /** Head repairs seen per PC; repeat offenders go sticky. */
     std::unordered_map<Addr, unsigned> _repairCount;
 
@@ -265,6 +311,17 @@ class Core
     stats::Counter &_sShadowExecs;
     stats::Counter &_sUebRepairs;
     stats::Counter &_sUebStoreFlushes;
+    // Commit-slot cycle accounting (all zero unless profiling).
+    stats::Counter &_sSlotUseful;
+    stats::Counter &_sSlotDeadElim;
+    stats::Counter &_sSlotFrontEnd;
+    stats::Counter &_sSlotSquash;
+    stats::Counter &_sSlotIqFull;
+    stats::Counter &_sSlotLsqFull;
+    stats::Counter &_sSlotPhysReg;
+    stats::Counter &_sSlotCacheMiss;
+    stats::Counter &_sSlotExec;
+    stats::Counter &_sSlotVerify;
     stats::Histogram &_hRobOccupancy;
     stats::Histogram &_hIqOccupancy;
 };

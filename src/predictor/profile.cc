@@ -1,0 +1,36 @@
+#include "predictor/profile.hh"
+
+#include <algorithm>
+
+namespace dde::predictor
+{
+
+std::vector<PcProfile>
+DeadPcProfiler::top(std::size_t n) const
+{
+    std::vector<PcProfile> all;
+    all.reserve(_profiles.size());
+    for (const auto &kv : _profiles) {
+        const PcProfile &p = kv.second;
+        // PCs whose only activity is live verdicts carry no
+        // dead-prediction signal; keep them out of the report.
+        if (p.predicted == 0 && p.eliminated == 0 &&
+            p.mispredicts == 0 && p.repairs == 0 &&
+            p.detectorDead == 0)
+            continue;
+        all.push_back(p);
+    }
+    std::sort(all.begin(), all.end(),
+              [](const PcProfile &a, const PcProfile &b) {
+                  if (a.eliminated != b.eliminated)
+                      return a.eliminated > b.eliminated;
+                  if (a.detectorDead != b.detectorDead)
+                      return a.detectorDead > b.detectorDead;
+                  return a.pc < b.pc;
+              });
+    if (all.size() > n)
+        all.resize(n);
+    return all;
+}
+
+} // namespace dde::predictor

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Per-static-PC dead-prediction profiling.
+ *
+ * The paper's locality argument is that a small set of static
+ * instructions produces most of the dead instances; the predictor's
+ * job is to exploit exactly that set. This profiler checks the claim
+ * against what the machine actually did: for every static PC it
+ * counts the dead predictions made, the eliminations that committed,
+ * the false eliminations (dead-mispredict recoveries and head
+ * repairs), and the detector's dead/live verdicts — so coverage
+ * (eliminated / detector-dead) and false-elimination rate fall out
+ * per PC, and a top-N report names the instructions that carry the
+ * mechanism.
+ *
+ * Collection is off unless enabled (CoreConfig::profile), and every
+ * hook is a no-op in that state, keeping the hot path untouched.
+ */
+
+#ifndef DDE_PREDICTOR_PROFILE_HH
+#define DDE_PREDICTOR_PROFILE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace dde::predictor
+{
+
+/** Accumulated dead-prediction behaviour of one static instruction. */
+struct PcProfile
+{
+    Addr pc = 0;
+    std::uint64_t predicted = 0;     ///< dead predictions at rename
+    std::uint64_t eliminated = 0;    ///< eliminations that committed
+    std::uint64_t mispredicts = 0;   ///< dead-mispredict recoveries
+    std::uint64_t repairs = 0;       ///< unverified head repairs
+    std::uint64_t detectorDead = 0;  ///< detector dead verdicts
+    std::uint64_t detectorLive = 0;  ///< detector live verdicts
+
+    /** Fraction of detector-dead instances actually eliminated. Can
+     * slightly exceed 1: an eliminated instance is counted at commit,
+     * but its detector verdict only resolves at the next overwrite or
+     * read of the value, so instances still unresolved when the
+     * program halts inflate the ratio. The report shows the raw value
+     * rather than hiding the skew. */
+    double
+    coverage() const
+    {
+        return detectorDead
+                   ? static_cast<double>(eliminated) / detectorDead
+                   : 0.0;
+    }
+
+    /** Fraction of dead predictions that turned out wrong. */
+    double
+    falseElimRate() const
+    {
+        return predicted ? static_cast<double>(mispredicts + repairs) /
+                               predicted
+                         : 0.0;
+    }
+};
+
+/** Collects PcProfile records keyed by static PC. */
+class DeadPcProfiler
+{
+  public:
+    explicit DeadPcProfiler(bool enabled = false) : _enabled(enabled)
+    {}
+
+    bool enabled() const { return _enabled; }
+
+    void onPredict(Addr pc) { if (_enabled) ++at(pc).predicted; }
+    void onEliminated(Addr pc) { if (_enabled) ++at(pc).eliminated; }
+    void onMispredict(Addr pc) { if (_enabled) ++at(pc).mispredicts; }
+    void onRepair(Addr pc) { if (_enabled) ++at(pc).repairs; }
+
+    void
+    onDetectorVerdict(Addr pc, bool dead)
+    {
+        if (!_enabled)
+            return;
+        PcProfile &p = at(pc);
+        if (dead)
+            ++p.detectorDead;
+        else
+            ++p.detectorLive;
+    }
+
+    /** Number of distinct PCs with any recorded activity. */
+    std::size_t numPcs() const { return _profiles.size(); }
+
+    /**
+     * The n most-eliminated PCs (ties broken by detector-dead count,
+     * then by ascending PC, so the order is deterministic). PCs that
+     * were never predicted dead but have detector-dead instances
+     * still rank — they are exactly the coverage the predictor left
+     * on the table.
+     */
+    std::vector<PcProfile> top(std::size_t n) const;
+
+  private:
+    PcProfile &
+    at(Addr pc)
+    {
+        PcProfile &p = _profiles[pc];
+        p.pc = pc;
+        return p;
+    }
+
+    bool _enabled;
+    std::unordered_map<Addr, PcProfile> _profiles;
+};
+
+} // namespace dde::predictor
+
+#endif // DDE_PREDICTOR_PROFILE_HH

@@ -178,6 +178,7 @@ writeStats(json::Writer &w, const sim::RunStats &s)
     w.field("cycles", static_cast<std::uint64_t>(s.cycles));
     w.field("committed", s.committed);
     w.field("ipc", s.ipc);
+    w.field("halted", s.halted);
     w.field("committedEliminated", s.committedEliminated);
     w.field("predictedDead", s.predictedDead);
     w.field("deadMispredicts", s.deadMispredicts);
@@ -191,8 +192,72 @@ writeStats(json::Writer &w, const sim::RunStats &s)
     w.field("detectorLive", s.detectorLive);
 }
 
+/** (name, value accessor) for each commit-slot class, shared by the
+ * JSON and CSV serializers so the column sets cannot drift apart. */
+struct SlotField
+{
+    const char *name;
+    std::uint64_t sim::CycleProfile::*member;
+};
+
+constexpr SlotField kSlotFields[] = {
+    {"usefulCommit", &sim::CycleProfile::slotsUsefulCommit},
+    {"deadEliminated", &sim::CycleProfile::slotsDeadEliminated},
+    {"frontEndStarved", &sim::CycleProfile::slotsFrontEndStarved},
+    {"mispredictSquash", &sim::CycleProfile::slotsMispredictSquash},
+    {"iqFull", &sim::CycleProfile::slotsIqFull},
+    {"lsqFull", &sim::CycleProfile::slotsLsqFull},
+    {"physRegStall", &sim::CycleProfile::slotsPhysRegStall},
+    {"cacheMissStall", &sim::CycleProfile::slotsCacheMissStall},
+    {"execStall", &sim::CycleProfile::slotsExecStall},
+    {"verifyStall", &sim::CycleProfile::slotsVerifyStall},
+};
+
+void
+writeProfile(json::Writer &w, const sim::CycleProfile &p)
+{
+    w.key("profile");
+    w.beginObject();
+    w.field("commitWidth", p.commitWidth);
+    w.field("totalSlots", p.totalSlots());
+    w.key("slots");
+    w.beginObject();
+    for (const SlotField &f : kSlotFields)
+        w.field(f.name, p.*(f.member));
+    w.endObject();
+    w.key("robOccupancy");
+    w.beginObject();
+    w.field("p50", p.robP50);
+    w.field("p90", p.robP90);
+    w.field("p99", p.robP99);
+    w.endObject();
+    w.key("iqOccupancy");
+    w.beginObject();
+    w.field("p50", p.iqP50);
+    w.field("p90", p.iqP90);
+    w.field("p99", p.iqP99);
+    w.endObject();
+    w.key("topPcs");
+    w.beginArray();
+    for (const predictor::PcProfile &pc : p.topPcs) {
+        w.beginObject();
+        w.field("pc", static_cast<std::uint64_t>(pc.pc));
+        w.field("predicted", pc.predicted);
+        w.field("eliminated", pc.eliminated);
+        w.field("mispredicts", pc.mispredicts);
+        w.field("repairs", pc.repairs);
+        w.field("detectorDead", pc.detectorDead);
+        w.field("detectorLive", pc.detectorLive);
+        w.field("coverage", pc.coverage());
+        w.field("falseElimRate", pc.falseElimRate());
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+}
+
 constexpr const char *kStatColumns[] = {
-    "cycles", "committed", "ipc", "committedEliminated",
+    "cycles", "committed", "ipc", "halted", "committedEliminated",
     "predictedDead", "deadMispredicts", "branchMispredicts",
     "physRegAllocs", "rfReads", "rfWrites", "dcacheLoads",
     "dcacheStores", "detectorDead", "detectorLive",
@@ -209,6 +274,7 @@ statValues(const JobResult &r)
         std::to_string(static_cast<std::uint64_t>(s.cycles)),
         std::to_string(s.committed),
         json::formatDouble(s.ipc),
+        s.halted ? "1" : "0",
         std::to_string(s.committedEliminated),
         std::to_string(s.predictedDead),
         std::to_string(s.deadMispredicts),
@@ -230,7 +296,7 @@ SweepReport::writeJson(std::ostream &os) const
 {
     json::Writer w(os);
     w.beginObject();
-    w.field("schema", "dde.sweep/1");
+    w.field("schema", "dde.sweep/2");
     w.field("jobs", static_cast<std::uint64_t>(results.size()));
     w.key("results");
     w.beginArray();
@@ -245,6 +311,8 @@ SweepReport::writeJson(std::ostream &os) const
             w.beginObject();
             writeStats(w, r.stats);
             w.endObject();
+            if (r.stats.profile.valid)
+                writeProfile(w, r.stats.profile);
         }
         if (!r.metrics.empty()) {
             w.key("metrics");
@@ -285,11 +353,21 @@ SweepReport::writeCsv(std::ostream &os) const
         }
     }
 
+    // Profile columns appear only when at least one result carries a
+    // valid profile, so unprofiled sweeps keep the dde.sweep/1 shape.
+    bool any_profile = false;
+    for (const JobResult &r : results)
+        any_profile = any_profile || r.stats.profile.valid;
+
     std::vector<std::string> header = {"label", "ok", "error"};
     for (const char *c : kStatColumns)
         header.push_back(c);
     for (const std::string &c : metric_cols)
         header.push_back(c);
+    if (any_profile) {
+        for (const SlotField &f : kSlotFields)
+            header.push_back(std::string("slots.") + f.name);
+    }
     os << json::csvRecord(header) << '\n';
 
     for (const JobResult &r : results) {
@@ -306,6 +384,12 @@ SweepReport::writeCsv(std::ostream &os) const
                 }
             }
             row.push_back(std::move(cell));
+        }
+        if (any_profile) {
+            const sim::CycleProfile &p = r.stats.profile;
+            for (const SlotField &f : kSlotFields)
+                row.push_back(
+                    p.valid ? std::to_string(p.*(f.member)) : "");
         }
         os << json::csvRecord(row) << '\n';
     }
@@ -353,7 +437,8 @@ defaultThreads()
 
 SweepRunner::SweepRunner(Options opts)
     : _threads(opts.threads ? opts.threads : defaultThreads()),
-      _seed(opts.seed)
+      _seed(opts.seed), _profile(opts.profile),
+      _profileTopN(opts.profileTopN)
 {}
 
 std::size_t
@@ -368,6 +453,10 @@ SweepRunner::addCoreRun(std::string label, ProgramKey key,
                         core::CoreConfig cfg, sim::RunOptions run_opts,
                         bool check)
 {
+    if (_profile) {
+        cfg.profile.enable = true;
+        cfg.profile.topN = _profileTopN;
+    }
     return add(std::move(label),
                [key = std::move(key), cfg, run_opts,
                 check](JobContext &ctx) {
@@ -383,6 +472,15 @@ SweepRunner::addCoreRun(std::string label, ProgramKey key,
                    }
                    sim::SimResult result =
                        sim::runOnCore(program, cfg, opts);
+                   // Truncated runs fail their slot: the counters of
+                   // a core cut off mid-execution look complete and
+                   // would silently poison any aggregate.
+                   fatal_if(result.cyclesExhausted,
+                            "cycle limit (", opts.maxCycles,
+                            ") exhausted after ",
+                            result.stats.committed,
+                            " committed instructions; stats are "
+                            "truncated");
                    if (check) {
                        auto ref = ctx.cache.reference(key);
                        panic_if(!sim::observablyEqual(result, *ref),

@@ -210,6 +210,11 @@ struct SweepOptions
     unsigned threads = 0;
     /** Base seed for per-job seed derivation. */
     std::uint64_t seed = 0x5eed;
+    /** Enable the cycle-accounting / per-PC profile layer on every
+     * core run queued via addCoreRun (the benches' --profile flag). */
+    bool profile = false;
+    /** Per-PC entries exported per profiled run (--topn). */
+    unsigned profileTopN = 10;
 };
 
 class SweepRunner
@@ -230,7 +235,11 @@ class SweepRunner
      * The result carries RunStats; programs, reference traces and
      * oracle labels come from the shared cache. With `check`, the
      * job also verifies the observable-state contract against the
-     * emulator and fails if it is violated.
+     * emulator and fails if it is violated. A run that exhausts
+     * RunOptions::maxCycles without halting FAILS its slot (its
+     * counters are truncated, and aggregating them would silently
+     * poison the sweep). SweepOptions::profile turns on the
+     * cycle-accounting layer for every run queued here.
      */
     std::size_t addCoreRun(std::string label, ProgramKey key,
                            core::CoreConfig cfg,
@@ -253,6 +262,8 @@ class SweepRunner
 
     unsigned _threads;
     std::uint64_t _seed;
+    bool _profile;
+    unsigned _profileTopN;
     std::vector<Pending> _queue;
     ArtifactCache _cache;
 };

@@ -131,6 +131,7 @@ snapshot(const core::Core &core, const std::string &name)
     s.cycles = core.cycles();
     s.committed = core.committedInsts();
     s.ipc = core.ipc();
+    s.halted = core.halted();
     s.committedEliminated =
         g.lookupCounter("committedEliminated").value();
     s.predictedDead = g.lookupCounter("predictedDead").value();
@@ -144,6 +145,33 @@ snapshot(const core::Core &core, const std::string &name)
     s.dcacheStores = g.lookupCounter("dcacheStores").value();
     s.detectorDead = g.lookupCounter("detectorDead").value();
     s.detectorLive = g.lookupCounter("detectorLive").value();
+
+    const core::CoreConfig &cfg = core.config();
+    if (cfg.profile.enable) {
+        CycleProfile &p = s.profile;
+        p.valid = true;
+        p.commitWidth = cfg.commitWidth;
+        auto slot = [&](const char *stat) {
+            return g.lookupCounter(stat).value();
+        };
+        p.slotsUsefulCommit = slot("slotsUsefulCommit");
+        p.slotsDeadEliminated = slot("slotsDeadEliminated");
+        p.slotsFrontEndStarved = slot("slotsFrontEndStarved");
+        p.slotsMispredictSquash = slot("slotsMispredictSquash");
+        p.slotsIqFull = slot("slotsIqFull");
+        p.slotsLsqFull = slot("slotsLsqFull");
+        p.slotsPhysRegStall = slot("slotsPhysRegStall");
+        p.slotsCacheMissStall = slot("slotsCacheMissStall");
+        p.slotsExecStall = slot("slotsExecStall");
+        p.slotsVerifyStall = slot("slotsVerifyStall");
+        p.robP50 = core.robOccupancy().p50();
+        p.robP90 = core.robOccupancy().p90();
+        p.robP99 = core.robOccupancy().p99();
+        p.iqP50 = core.iqOccupancy().p50();
+        p.iqP90 = core.iqOccupancy().p90();
+        p.iqP99 = core.iqOccupancy().p99();
+        p.topPcs = core.pcProfiler().top(cfg.profile.topN);
+    }
     return s;
 }
 
@@ -174,6 +202,8 @@ runOnCore(const prog::Program &program, const core::CoreConfig &cfg,
     core.run(opts.maxCycles);
 
     SimResult result;
+    result.halted = core.halted();
+    result.cyclesExhausted = !core.halted();
     result.stats = snapshot(core, program.name());
     result.output = core.output();
     result.memory = core.memoryState();

@@ -17,6 +17,7 @@
 #include "core/core.hh"
 #include "emu/emulator.hh"
 #include "mir/compiler.hh"
+#include "predictor/profile.hh"
 #include "prog/program.hh"
 
 namespace dde::sim
@@ -27,6 +28,50 @@ namespace dde::sim
  * binaries) with speculative hoisting on. */
 mir::CompileOptions referenceCompileOptions();
 
+/**
+ * Top-down commit-slot cycle accounting plus occupancy percentiles
+ * and the per-static-PC dead-prediction profile, captured when
+ * CoreConfig::profile.enable is set (valid == false otherwise).
+ *
+ * The slot classes partition every commit slot of every cycle: their
+ * sum is exactly commitWidth × cycles (test-enforced), so each class
+ * divided by that total is the fraction of machine bandwidth the
+ * condition consumed — the attribution the paper's resource claims
+ * need.
+ */
+struct CycleProfile
+{
+    bool valid = false;
+    unsigned commitWidth = 0;
+
+    std::uint64_t slotsUsefulCommit = 0;
+    std::uint64_t slotsDeadEliminated = 0;
+    std::uint64_t slotsFrontEndStarved = 0;
+    std::uint64_t slotsMispredictSquash = 0;
+    std::uint64_t slotsIqFull = 0;
+    std::uint64_t slotsLsqFull = 0;
+    std::uint64_t slotsPhysRegStall = 0;
+    std::uint64_t slotsCacheMissStall = 0;
+    std::uint64_t slotsExecStall = 0;
+    std::uint64_t slotsVerifyStall = 0;
+
+    /** ROB / issue-queue occupancy percentiles (per-cycle samples). */
+    double robP50 = 0, robP90 = 0, robP99 = 0;
+    double iqP50 = 0, iqP90 = 0, iqP99 = 0;
+
+    /** Top-N static PCs by committed eliminations. */
+    std::vector<predictor::PcProfile> topPcs;
+
+    std::uint64_t
+    totalSlots() const
+    {
+        return slotsUsefulCommit + slotsDeadEliminated +
+               slotsFrontEndStarved + slotsMispredictSquash +
+               slotsIqFull + slotsLsqFull + slotsPhysRegStall +
+               slotsCacheMissStall + slotsExecStall + slotsVerifyStall;
+    }
+};
+
 /** Snapshot of the statistics the evaluation section reports. */
 struct RunStats
 {
@@ -34,6 +79,9 @@ struct RunStats
     Cycle cycles = 0;
     std::uint64_t committed = 0;
     double ipc = 0.0;
+    /** The program committed its halt; false means the run was cut
+     * off by RunOptions::maxCycles and every counter is truncated. */
+    bool halted = false;
 
     std::uint64_t committedEliminated = 0;
     std::uint64_t predictedDead = 0;
@@ -52,6 +100,8 @@ struct RunStats
     {
         return dcacheLoads + dcacheStores;
     }
+
+    CycleProfile profile;
 };
 
 /** Result of one simulated run. */
@@ -60,6 +110,12 @@ struct SimResult
     RunStats stats;
     std::vector<RegVal> output;
     emu::Memory memory;
+    /** The core committed its halt instruction. */
+    bool halted = false;
+    /** The run hit RunOptions::maxCycles before halting: stats,
+     * output and memory are truncated mid-execution and MUST NOT be
+     * aggregated as if complete (runner jobs fail on this). */
+    bool cyclesExhausted = false;
 };
 
 /** Options for Simulator::run. */

@@ -190,6 +190,98 @@ TEST(Stats, DumpContainsFormulas)
     EXPECT_NE(os.str().find("1.5"), std::string::npos);
 }
 
+// Regression: counters used to go through the default ostream double
+// formatting (6 significant digits), so any count past ~10M printed
+// rounded — 123456789 as 1.23457e+08. Counters must print exactly.
+TEST(Stats, DumpPrintsLargeCountersExactly)
+{
+    stats::Group g("grp");
+    g.counter("big", "large count") += 123456789u;
+    g.counter("huge", "very large count") += 3141592653589793238ull;
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("123456789"), std::string::npos);
+    EXPECT_NE(os.str().find("3141592653589793238"), std::string::npos);
+    EXPECT_EQ(os.str().find("e+"), std::string::npos);
+}
+
+// Doubles round-trip: max_digits10 precision, so a dump never loses
+// bits of a formula or mean value.
+TEST(Stats, DumpPrintsDoublesAtFullPrecision)
+{
+    stats::Group g("grp");
+    double v = 0.1234567890123456789;
+    g.formula("f", [v] { return v; }, "precise");
+    std::ostringstream os;
+    g.dump(os);
+    std::string out = os.str();
+    auto pos = out.find("grp.f");
+    ASSERT_NE(pos, std::string::npos);
+    std::istringstream line(out.substr(pos + 5));
+    double parsed = 0;
+    line >> parsed;
+    EXPECT_EQ(parsed, v);
+}
+
+// Histogram sums accumulate in 128 bits: samples near 2^62 used to
+// wrap the int64 running sum after a handful of samples.
+TEST(Stats, HistogramSumSurvivesHugeSamples)
+{
+    stats::Histogram h(0, 100, 10);
+    const std::int64_t big = std::int64_t{1} << 62;
+    for (int i = 0; i < 8; ++i)
+        h.sample(big);  // 8 * 2^62 = 2^65 overflows int64
+    EXPECT_EQ(h.samples(), 8u);
+    EXPECT_EQ(h.overflow(), 8u);
+    EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(big));
+}
+
+// Under/overflow clipping is surfaced in the dump, not silent.
+TEST(Stats, DumpSurfacesHistogramClipping)
+{
+    stats::Group g("grp");
+    auto &h = g.histogram("lat", 0, 10, 5);
+    h.sample(-1);
+    h.sample(5);
+    h.sample(99);
+    std::ostringstream os;
+    g.dump(os);
+    EXPECT_NE(os.str().find("lat::underflow"), std::string::npos);
+    EXPECT_NE(os.str().find("lat::overflow"), std::string::npos);
+    EXPECT_NE(os.str().find("lat::p50"), std::string::npos);
+}
+
+TEST(Stats, HistogramPercentiles)
+{
+    stats::Histogram h(0, 100, 100);
+    for (int v = 0; v < 100; ++v)
+        h.sample(v);
+    EXPECT_NEAR(h.p50(), 50.0, 1.0);
+    EXPECT_NEAR(h.p90(), 90.0, 1.0);
+    EXPECT_NEAR(h.p99(), 99.0, 1.0);
+    EXPECT_LE(h.p50(), h.p90());
+    EXPECT_LE(h.p90(), h.p99());
+
+    // Percentiles never exceed the largest observed sample, even when
+    // bucket interpolation would overshoot within the top bucket.
+    stats::Histogram narrow(0, 10, 10);
+    for (int i = 0; i < 100; ++i)
+        narrow.sample(8);
+    EXPECT_DOUBLE_EQ(narrow.p50(), 8.0);
+    EXPECT_DOUBLE_EQ(narrow.p99(), 8.0);
+
+    // Degenerate cases: empty histogram, single sample, overflow run.
+    stats::Histogram empty(0, 10, 10);
+    EXPECT_DOUBLE_EQ(empty.p50(), 0.0);
+    stats::Histogram one(0, 10, 10);
+    one.sample(3);
+    EXPECT_DOUBLE_EQ(one.p50(), 3.0);
+    stats::Histogram clipped(0, 10, 10);
+    for (int i = 0; i < 10; ++i)
+        clipped.sample(500);
+    EXPECT_DOUBLE_EQ(clipped.p99(), 10.0);  // clipped at max
+}
+
 TEST(Json, QuoteEscapesSpecials)
 {
     EXPECT_EQ(json::quote("plain"), "\"plain\"");

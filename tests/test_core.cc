@@ -233,7 +233,29 @@ TEST(Core, CycleLimitIsEnforced)
 {
     auto program = progFromAsm("loop:\njal zero, loop\nhalt");
     core::Core core(program, CoreConfig::tiny());
-    EXPECT_THROW(core.run(5'000), FatalError);
+    core.run(5'000);
+    // The core stops at the limit and reports the truncation through
+    // halted(); failing the run is the caller's responsibility (the
+    // sweep runner fails the job, sim::SimResult::cyclesExhausted).
+    EXPECT_FALSE(core.halted());
+    EXPECT_EQ(core.cycles(), 5'000u);
+}
+
+TEST(Core, CycleLimitTruncationIsReportedBySimResult)
+{
+    auto program = progFromAsm("loop:\njal zero, loop\nhalt");
+    sim::RunOptions opts;
+    opts.maxCycles = 2'000;
+    auto r = sim::runOnCore(program, CoreConfig::tiny(), opts);
+    EXPECT_FALSE(r.halted);
+    EXPECT_TRUE(r.cyclesExhausted);
+    EXPECT_FALSE(r.stats.halted);
+
+    auto halting = progFromAsm("addi t0, zero, 1\nhalt");
+    auto ok = sim::runOnCore(halting, CoreConfig::tiny());
+    EXPECT_TRUE(ok.halted);
+    EXPECT_FALSE(ok.cyclesExhausted);
+    EXPECT_TRUE(ok.stats.halted);
 }
 
 TEST(Core, TooFewPhysRegsRejected)

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Cycle-accounting observability layer tests: the commit-slot classes
+ * must partition every slot of every cycle (sum == commitWidth ×
+ * cycles) on every workload/preset/elimination combination, profiling
+ * must be inert when disabled, and the per-PC dead-prediction profile
+ * must reconcile with the core's aggregate counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core.hh"
+#include "mir/compiler.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace dde;
+
+namespace
+{
+
+prog::Program
+compileWorkload(const std::string &name, unsigned scale = 1)
+{
+    workloads::Params p;
+    p.scale = scale;
+    return mir::compile(workloads::workloadByName(name).make(p),
+                        sim::referenceCompileOptions());
+}
+
+struct Preset
+{
+    const char *name;
+    core::CoreConfig cfg;
+};
+
+std::vector<Preset>
+presets()
+{
+    return {{"tiny", core::CoreConfig::tiny()},
+            {"contended", core::CoreConfig::contended()},
+            {"wide", core::CoreConfig::wide()}};
+}
+
+core::CoreConfig
+withProfile(core::CoreConfig cfg, unsigned topn = 10)
+{
+    cfg.profile.enable = true;
+    cfg.profile.topN = topn;
+    return cfg;
+}
+
+} // namespace
+
+// The acceptance identity: on every workload × preset × elimination
+// mode the ten slot classes sum to exactly commitWidth × cycles —
+// nothing double-counted, nothing dropped.
+TEST(CycleAccounting, SlotsPartitionEveryCycleOnAllWorkloads)
+{
+    for (const auto &w : workloads::extendedWorkloads()) {
+        auto program = compileWorkload(w.name);
+        for (const Preset &p : presets()) {
+            for (int mode = 0; mode < 3; ++mode) {
+                core::CoreConfig cfg = withProfile(p.cfg);
+                cfg.elim.enable = mode != 0;
+                if (mode == 2)
+                    cfg.elim.recovery =
+                        core::RecoveryMode::SquashProducer;
+                auto r = sim::runOnCore(program, cfg);
+                ASSERT_TRUE(r.halted);
+                ASSERT_TRUE(r.stats.profile.valid);
+                EXPECT_EQ(r.stats.profile.totalSlots(),
+                          std::uint64_t(cfg.commitWidth) *
+                              r.stats.cycles)
+                    << w.name << " × " << p.name << " mode " << mode;
+            }
+        }
+    }
+}
+
+// Useful + eliminated slots must equal the committed instruction
+// count: a committed instruction occupies exactly one slot.
+TEST(CycleAccounting, CommitSlotsMatchCommittedInstructions)
+{
+    auto program = compileWorkload("compress");
+    core::CoreConfig cfg =
+        withProfile(core::CoreConfig::contended());
+    cfg.elim.enable = true;
+    auto r = sim::runOnCore(program, cfg);
+    const sim::CycleProfile &p = r.stats.profile;
+    EXPECT_EQ(p.slotsUsefulCommit + p.slotsDeadEliminated,
+              r.stats.committed);
+    EXPECT_EQ(p.slotsDeadEliminated, r.stats.committedEliminated);
+}
+
+// The accounting layer is observability only: enabling it must not
+// change a single architectural or timing counter.
+TEST(CycleAccounting, ProfilingDoesNotPerturbTiming)
+{
+    auto program = compileWorkload("hashmix");
+    core::CoreConfig base = core::CoreConfig::contended();
+    base.elim.enable = true;
+    auto off = sim::runOnCore(program, base);
+    auto on = sim::runOnCore(program, withProfile(base));
+    EXPECT_FALSE(off.stats.profile.valid);
+    EXPECT_TRUE(on.stats.profile.valid);
+    EXPECT_EQ(off.stats.cycles, on.stats.cycles);
+    EXPECT_EQ(off.stats.committed, on.stats.committed);
+    EXPECT_EQ(off.stats.committedEliminated,
+              on.stats.committedEliminated);
+    EXPECT_EQ(off.stats.deadMispredicts, on.stats.deadMispredicts);
+    EXPECT_EQ(off.output, on.output);
+}
+
+// With topN covering every PC, the per-PC eliminations must sum to
+// the aggregate counter, and the list must be sorted (eliminations
+// descending, PC ascending tiebreak) for deterministic reports.
+TEST(CycleAccounting, PcProfileReconcilesWithAggregates)
+{
+    auto program = compileWorkload("compress");
+    core::CoreConfig cfg =
+        withProfile(core::CoreConfig::contended(), 1u << 20);
+    cfg.elim.enable = true;
+    auto r = sim::runOnCore(program, cfg);
+    const auto &pcs = r.stats.profile.topPcs;
+    ASSERT_FALSE(pcs.empty());
+
+    std::uint64_t eliminated = 0, predicted = 0, mispredicts = 0;
+    for (const auto &pc : pcs) {
+        eliminated += pc.eliminated;
+        predicted += pc.predicted;
+        mispredicts += pc.mispredicts;
+        // coverage() may exceed 1 slightly (verdicts unresolved at
+        // halt); it must still be a sane ratio.
+        EXPECT_GE(pc.coverage(), 0.0);
+        EXPECT_LE(pc.falseElimRate(), 1.0);
+    }
+    EXPECT_EQ(eliminated, r.stats.committedEliminated);
+    EXPECT_EQ(predicted, r.stats.predictedDead);
+    EXPECT_EQ(mispredicts, r.stats.deadMispredicts);
+
+    for (std::size_t i = 1; i < pcs.size(); ++i) {
+        EXPECT_GE(pcs[i - 1].eliminated, pcs[i].eliminated);
+        if (pcs[i - 1].eliminated == pcs[i].eliminated &&
+            pcs[i - 1].detectorDead == pcs[i].detectorDead) {
+            EXPECT_LT(pcs[i - 1].pc, pcs[i].pc);
+        }
+    }
+}
+
+// topN truncates the table, keeping the heaviest eliminators.
+TEST(CycleAccounting, TopNTruncatesDeterministically)
+{
+    auto program = compileWorkload("compress");
+    core::CoreConfig cfg =
+        withProfile(core::CoreConfig::contended(), 3);
+    cfg.elim.enable = true;
+    auto r = sim::runOnCore(program, cfg);
+
+    core::CoreConfig full_cfg = withProfile(cfg, 1u << 20);
+    auto full = sim::runOnCore(program, full_cfg);
+
+    ASSERT_LE(r.stats.profile.topPcs.size(), 3u);
+    ASSERT_GE(full.stats.profile.topPcs.size(),
+              r.stats.profile.topPcs.size());
+    for (std::size_t i = 0; i < r.stats.profile.topPcs.size(); ++i) {
+        EXPECT_EQ(r.stats.profile.topPcs[i].pc,
+                  full.stats.profile.topPcs[i].pc);
+        EXPECT_EQ(r.stats.profile.topPcs[i].eliminated,
+                  full.stats.profile.topPcs[i].eliminated);
+    }
+}
+
+// Occupancy percentiles are monotone and bounded by the structure
+// sizes they sample.
+TEST(CycleAccounting, OccupancyPercentilesAreSane)
+{
+    auto program = compileWorkload("pointer");
+    core::CoreConfig cfg = withProfile(core::CoreConfig::tiny());
+    auto r = sim::runOnCore(program, cfg);
+    const sim::CycleProfile &p = r.stats.profile;
+    EXPECT_LE(p.robP50, p.robP90);
+    EXPECT_LE(p.robP90, p.robP99);
+    EXPECT_LE(p.robP99, double(cfg.robSize));
+    EXPECT_LE(p.iqP50, p.iqP90);
+    EXPECT_LE(p.iqP90, p.iqP99);
+    EXPECT_LE(p.iqP99, double(cfg.iqSize));
+    EXPECT_GE(p.robP50, 0.0);
+}
+
+// A truncated run still satisfies the slot identity for the cycles it
+// did execute, and is flagged as exhausted.
+TEST(CycleAccounting, TruncatedRunKeepsIdentityAndIsFlagged)
+{
+    auto program = compileWorkload("fsm");
+    core::CoreConfig cfg = withProfile(core::CoreConfig::tiny());
+    sim::RunOptions opts;
+    opts.maxCycles = 1'000;
+    auto r = sim::runOnCore(program, cfg, opts);
+    EXPECT_TRUE(r.cyclesExhausted);
+    EXPECT_FALSE(r.halted);
+    EXPECT_EQ(r.stats.cycles, 1'000u);
+    EXPECT_EQ(r.stats.profile.totalSlots(),
+              std::uint64_t(cfg.commitWidth) * r.stats.cycles);
+}

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <chrono>
+#include <set>
 #include <thread>
 
 #include "core/core.hh"
@@ -182,6 +183,74 @@ TEST(Runner, PerJobSeedsAreStableAndDistinct)
         for (std::size_t j = i + 1; j < a.size(); ++j)
             EXPECT_NE(a[i].uint("seed"), a[j].uint("seed"));
     }
+}
+
+TEST(Runner, DeriveSeedIsCollisionFreeAcrossBasesAndIndices)
+{
+    // Sweep seeds come from a handful of user bases crossed with job
+    // indices; a collision would silently correlate two jobs' RNG
+    // streams. Exhaustively check a realistic envelope.
+    const std::uint64_t bases[] = {0, 1, 42, 0x5eed, 1234,
+                                   0xffffffffffffffffULL};
+    std::set<std::uint64_t> seen;
+    std::size_t produced = 0;
+    for (std::uint64_t base : bases) {
+        for (std::size_t idx = 0; idx < 1024; ++idx) {
+            seen.insert(runner::deriveSeed(base, idx));
+            ++produced;
+        }
+    }
+    EXPECT_EQ(seen.size(), produced);
+}
+
+TEST(Runner, CycleExhaustedCoreRunFailsItsSlot)
+{
+    auto sweep = makeRunner(2);
+    runner::ProgramKey key("fsm", 1);
+    sim::RunOptions opts;
+    opts.maxCycles = 100;  // far too few for any workload
+    sweep.addCoreRun("fsm-truncated", key, core::CoreConfig::tiny(),
+                     opts);
+    sweep.addCoreRun("fsm-full", key, core::CoreConfig::tiny());
+    auto report = sweep.run();
+    ASSERT_EQ(report.size(), 2u);
+    EXPECT_FALSE(report[0].ok);
+    EXPECT_NE(report[0].error.find("cycle limit"), std::string::npos);
+    EXPECT_TRUE(report[1].ok);
+    EXPECT_TRUE(report[1].stats.halted);
+    EXPECT_FALSE(report.allOk());
+}
+
+TEST(Runner, ProfiledSweepExportsProfileBlocks)
+{
+    runner::SweepRunner::Options opts;
+    opts.threads = 2;
+    opts.profile = true;
+    opts.profileTopN = 4;
+    runner::SweepRunner sweep(opts);
+    core::CoreConfig cfg = core::CoreConfig::tiny();
+    cfg.elim.enable = true;
+    sweep.addCoreRun("fsm-elim", runner::ProgramKey("fsm", 1), cfg);
+    auto report = sweep.run();
+    ASSERT_TRUE(report.allOk());
+    ASSERT_TRUE(report[0].stats.profile.valid);
+    EXPECT_LE(report[0].stats.profile.topPcs.size(), 4u);
+
+    std::string json = report.toJson();
+    EXPECT_NE(json.find("\"schema\": \"dde.sweep/2\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"profile\""), std::string::npos);
+    EXPECT_NE(json.find("\"usefulCommit\""), std::string::npos);
+    EXPECT_NE(json.find("\"topPcs\""), std::string::npos);
+    EXPECT_NE(json.find("\"halted\": true"), std::string::npos);
+
+    std::string csv = report.toCsv();
+    EXPECT_NE(csv.find("slots.usefulCommit"), std::string::npos);
+    // Unprofiled sweeps keep the slim CSV shape.
+    auto plain = makeRunner(1);
+    plain.addCoreRun("fsm-base", runner::ProgramKey("fsm", 1),
+                     core::CoreConfig::tiny());
+    EXPECT_EQ(plain.run().toCsv().find("slots."), std::string::npos);
 }
 
 TEST(Runner, CacheBuildsEachArtifactOncePerSweep)
