@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Simulator-throughput benchmark: wall-clock cost of the fig6 sweep.
+ *
+ * Every experiment funnels through Core::tick(), so simulated
+ * instructions per wall-clock second is the metric that bounds how
+ * large a design space the repo can sweep. This bench runs the exact
+ * fig6 grid (8 workloads x {base,elim,oracle} contended + {base,elim}
+ * wide), times each core run, and reports per-job and aggregate
+ * throughput:
+ *
+ *  - `mips`    simulated (committed) instructions per wall second,
+ *  - `mcps`    simulated cycles per wall second (millions),
+ *
+ * both computed from the best of `--repeat` timings per job, so a
+ * cold cache or scheduler hiccup cannot masquerade as a regression.
+ * Program compilation and oracle-label derivation are excluded from
+ * the timed region; only sim::runOnCore is measured.
+ *
+ * The aggregate is the sum of committed instructions over the grid
+ * divided by the sum of per-job best wall times: a single-threaded
+ * work metric independent of the --threads used to collect it.
+ *
+ * `--out PATH` writes the measurements as a `dde.throughput/1` JSON
+ * object. The repo root's BENCH_throughput.json keeps one such object
+ * per recorded point (label + git commit) so subsequent PRs have a
+ * perf trajectory to regress against; see README.md.
+ */
+
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+#include "common/json.hh"
+#include "core/core.hh"
+
+using namespace dde;
+
+namespace
+{
+
+struct ThroughputArgs
+{
+    bench::BenchArgs common;
+    unsigned repeat = 3;
+    std::string outPath;
+    std::string label = "unlabeled";
+    bool requireRelease = false;
+};
+
+ThroughputArgs
+parseArgs(int argc, char **argv)
+{
+    // Peel off the throughput-specific flags, forward the rest to the
+    // shared bench parser.
+    ThroughputArgs args;
+    std::vector<char *> rest;
+    rest.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--repeat") {
+            args.repeat =
+                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
+            if (args.repeat == 0)
+                args.repeat = 1;
+        } else if (arg == "--out") {
+            args.outPath = next();
+        } else if (arg == "--label") {
+            args.label = next();
+        } else if (arg == "--require-release") {
+            args.requireRelease = true;
+        } else {
+            rest.push_back(argv[i]);
+        }
+    }
+    args.common = bench::parseBenchArgs(static_cast<int>(rest.size()),
+                                        rest.data());
+    return args;
+}
+
+/** One measured grid point. */
+struct Timing
+{
+    std::string label;
+    std::uint64_t committed = 0;
+    std::uint64_t cycles = 0;
+    double wallSeconds = 0.0;  ///< best of --repeat runs
+
+    double mips() const
+    {
+        return wallSeconds > 0.0
+                   ? double(committed) / wallSeconds / 1e6
+                   : 0.0;
+    }
+    double mcps() const
+    {
+        return wallSeconds > 0.0 ? double(cycles) / wallSeconds / 1e6
+                                 : 0.0;
+    }
+};
+
+void
+writeThroughputJson(std::ostream &os, const ThroughputArgs &args,
+                    const std::vector<Timing> &timings)
+{
+    std::uint64_t committed = 0, cycles = 0;
+    double wall = 0.0;
+    for (const Timing &t : timings) {
+        committed += t.committed;
+        cycles += t.cycles;
+        wall += t.wallSeconds;
+    }
+
+    json::Writer w(os);
+    w.beginObject();
+    w.field("schema", "dde.throughput/1");
+    w.field("label", args.label);
+    w.field("grid", "fig6");
+    w.field("scale", args.common.scale);
+    w.field("repeat", args.repeat);
+#ifdef NDEBUG
+    w.field("build", "Release");
+#else
+    w.field("build", "Debug");
+#endif
+    w.key("aggregate");
+    w.beginObject();
+    w.field("committed", committed);
+    w.field("cycles", cycles);
+    w.field("wallSeconds", wall);
+    w.field("mips", wall > 0.0 ? double(committed) / wall / 1e6 : 0.0);
+    w.field("mcps", wall > 0.0 ? double(cycles) / wall / 1e6 : 0.0);
+    w.endObject();
+    w.key("jobs");
+    w.beginArray();
+    for (const Timing &t : timings) {
+        w.beginObject();
+        w.field("label", t.label);
+        w.field("committed", t.committed);
+        w.field("cycles", static_cast<std::uint64_t>(t.cycles));
+        w.field("wallSeconds", t.wallSeconds);
+        w.field("mips", t.mips());
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto args = parseArgs(argc, argv);
+    bench::printHeader("THROUGHPUT",
+                       "simulator wall-clock throughput on the fig6 grid");
+
+#ifndef NDEBUG
+    // Satellite guard: numbers from an assert-enabled build are
+    // meaningless as a perf trajectory and must never land in
+    // BENCH_throughput.json.
+    std::fprintf(stderr,
+                 "********************************************************\n"
+                 "** WARNING: built without NDEBUG (assertions enabled) **\n"
+                 "** -- throughput numbers are NOT comparable.          **\n"
+                 "********************************************************\n");
+    if (args.requireRelease) {
+        std::fprintf(stderr,
+                     "--require-release given: refusing to measure a "
+                     "debug build\n");
+        return 2;
+    }
+#endif
+
+    auto sweep = bench::makeRunner(args.common);
+    const auto &names = workloads::allWorkloads();
+
+    // The fig6 grid, verbatim (bench/fig6_speedup.cc): five core
+    // configurations per workload.
+    struct GridPoint
+    {
+        std::string label;
+        runner::ProgramKey key;
+        core::CoreConfig cfg;
+    };
+    std::vector<GridPoint> grid;
+    grid.reserve(names.size() * 5);
+    for (const auto &w : names) {
+        auto key = bench::refKey(w.name, args.common);
+        grid.push_back({"base-cont:" + w.name, key,
+                        core::CoreConfig::contended()});
+        core::CoreConfig elim_c = core::CoreConfig::contended();
+        elim_c.elim.enable = true;
+        grid.push_back({"elim-cont:" + w.name, key, elim_c});
+        core::CoreConfig oracle_c = elim_c;
+        oracle_c.elim.oraclePredictor = true;
+        grid.push_back({"oracle-cont:" + w.name, key, oracle_c});
+        grid.push_back({"base-wide:" + w.name, key,
+                        core::CoreConfig::wide()});
+        core::CoreConfig elim_w = core::CoreConfig::wide();
+        elim_w.elim.enable = true;
+        grid.push_back({"elim-wide:" + w.name, key, elim_w});
+    }
+
+    unsigned repeat = args.repeat;
+    for (const GridPoint &p : grid) {
+        sweep.add(p.label, [p, repeat](runner::JobContext &ctx) {
+            const prog::Program &program = ctx.cache.program(p.key);
+            sim::RunOptions opts;
+            std::vector<std::vector<bool>> labels;
+            if (p.cfg.elim.enable && p.cfg.elim.oraclePredictor) {
+                auto ref = ctx.cache.reference(p.key);
+                labels = sim::computeOracleLabels(
+                    program, ref->trace, p.cfg.elim.detector);
+                opts.oracleLabels = &labels;
+            }
+            double best = 0.0;
+            sim::SimResult result;
+            for (unsigned r = 0; r < repeat; ++r) {
+                auto t0 = std::chrono::steady_clock::now();
+                result = sim::runOnCore(program, p.cfg, opts);
+                auto t1 = std::chrono::steady_clock::now();
+                double s =
+                    std::chrono::duration<double>(t1 - t0).count();
+                if (r == 0 || s < best)
+                    best = s;
+            }
+            fatal_if(result.cyclesExhausted,
+                     "cycle limit exhausted; timing is meaningless");
+            runner::JobResult out;
+            out.hasStats = true;
+            out.stats = result.stats;
+            out.add(runner::Metric("wallSeconds", best));
+            out.add(runner::Metric(
+                "mips", best > 0.0 ? double(result.stats.committed) /
+                                         best / 1e6
+                                   : 0.0));
+            return out;
+        });
+    }
+
+    auto report = sweep.run();
+
+    std::vector<Timing> timings;
+    timings.reserve(report.size());
+    std::printf("%-22s %12s %12s %10s %10s\n", "job", "committed",
+                "cycles", "wall(ms)", "MIPS");
+    for (const auto &r : report.results) {
+        if (!r.ok)
+            continue;
+        Timing t;
+        t.label = r.label;
+        t.committed = r.stats.committed;
+        t.cycles = r.stats.cycles;
+        t.wallSeconds = r.real("wallSeconds");
+        timings.push_back(t);
+        std::printf("%-22s %12llu %12llu %10.3f %10.2f\n",
+                    t.label.c_str(),
+                    static_cast<unsigned long long>(t.committed),
+                    static_cast<unsigned long long>(t.cycles),
+                    1e3 * t.wallSeconds, t.mips());
+    }
+
+    std::uint64_t committed = 0, cycles = 0;
+    double wall = 0.0;
+    for (const Timing &t : timings) {
+        committed += t.committed;
+        cycles += t.cycles;
+        wall += t.wallSeconds;
+    }
+    std::printf("%-22s %12llu %12llu %10.3f %10.2f\n", "AGGREGATE",
+                static_cast<unsigned long long>(committed),
+                static_cast<unsigned long long>(cycles), 1e3 * wall,
+                wall > 0.0 ? double(committed) / wall / 1e6 : 0.0);
+
+    if (!args.outPath.empty()) {
+        std::ofstream os(args.outPath);
+        if (!os) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         args.outPath.c_str());
+            return 1;
+        }
+        writeThroughputJson(os, args, timings);
+        std::printf("\nwrote %s\n", args.outPath.c_str());
+    }
+    return bench::finishReport(report, args.common);
+}

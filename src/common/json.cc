@@ -189,7 +189,13 @@ csvField(std::string_view s)
 std::string
 csvRecord(const std::vector<std::string> &fields)
 {
+    // Pre-size for the unquoted common case (content + separators) so
+    // a wide row builds without repeated reallocation.
+    std::size_t len = fields.empty() ? 0 : fields.size() - 1;
+    for (const std::string &f : fields)
+        len += f.size();
     std::string out;
+    out.reserve(len);
     for (std::size_t i = 0; i < fields.size(); ++i) {
         if (i)
             out.push_back(',');

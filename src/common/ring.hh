@@ -1,0 +1,197 @@
+/**
+ * @file
+ * A fixed-capacity ring buffer with deque-like ends and stable
+ * iteration order.
+ *
+ * The core's pipeline queues (ROB, fetch queue, load/store queues)
+ * are bounded by configuration and churn once per instruction, which
+ * makes std::deque's chunk allocation a steady-state heap cost.
+ * BoundedRing stores all elements in one flat array sized at
+ * construction: push/pop at either end, indexed access, ordered
+ * in-place filtering, and random-access iterators, none of which ever
+ * allocate after construction.
+ *
+ * Logical index 0 is always the front (oldest element); iteration
+ * runs front to back, exactly like the deques it replaces.
+ */
+
+#ifndef DDE_COMMON_RING_HH
+#define DDE_COMMON_RING_HH
+
+#include <cstddef>
+#include <iterator>
+#include <utility>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace dde
+{
+
+template <typename T>
+class BoundedRing
+{
+  public:
+    explicit BoundedRing(std::size_t capacity)
+        : _buf(capacity), _cap(capacity)
+    {}
+
+    std::size_t size() const { return _size; }
+    std::size_t capacity() const { return _cap; }
+    bool empty() const { return _size == 0; }
+    bool full() const { return _size == _cap; }
+
+    T &operator[](std::size_t i) { return _buf[wrap(_head + i)]; }
+    const T &operator[](std::size_t i) const
+    {
+        return _buf[wrap(_head + i)];
+    }
+
+    T &front() { return (*this)[0]; }
+    const T &front() const { return (*this)[0]; }
+    T &back() { return (*this)[_size - 1]; }
+    const T &back() const { return (*this)[_size - 1]; }
+
+    void
+    push_back(T v)
+    {
+        panic_if(full(), "BoundedRing overflow (capacity ", _cap, ")");
+        _buf[wrap(_head + _size)] = std::move(v);
+        ++_size;
+    }
+
+    /** Pop the front element; its slot is reset to T{} so it drops
+     * any resources (e.g. pooled-instruction handles) immediately. */
+    void
+    pop_front()
+    {
+        panic_if(empty(), "BoundedRing::pop_front on empty ring");
+        _buf[_head] = T{};
+        _head = wrap(_head + 1);
+        --_size;
+    }
+
+    void
+    pop_back()
+    {
+        panic_if(empty(), "BoundedRing::pop_back on empty ring");
+        _buf[wrap(_head + _size - 1)] = T{};
+        --_size;
+    }
+
+    void
+    clear()
+    {
+        for (std::size_t i = 0; i < _size; ++i)
+            _buf[wrap(_head + i)] = T{};
+        _head = 0;
+        _size = 0;
+    }
+
+    /** Remove every element matching `pred`, preserving the relative
+     * order of survivors. Returns the number removed. */
+    template <typename Pred>
+    std::size_t
+    eraseIf(Pred pred)
+    {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < _size; ++i) {
+            T &v = (*this)[i];
+            if (pred(v))
+                continue;
+            if (out != i)
+                (*this)[out] = std::move(v);
+            ++out;
+        }
+        std::size_t removed = _size - out;
+        for (std::size_t i = out; i < _size; ++i)
+            (*this)[i] = T{};
+        _size = out;
+        return removed;
+    }
+
+    /** Random-access iterator over logical positions. */
+    template <bool Const>
+    class Iter
+    {
+        using Ring =
+            std::conditional_t<Const, const BoundedRing, BoundedRing>;
+
+      public:
+        using iterator_category = std::random_access_iterator_tag;
+        using value_type = T;
+        using difference_type = std::ptrdiff_t;
+        using reference = std::conditional_t<Const, const T &, T &>;
+        using pointer = std::conditional_t<Const, const T *, T *>;
+
+        Iter() = default;
+        Iter(Ring *ring, std::size_t pos) : _ring(ring), _pos(pos) {}
+
+        reference operator*() const { return (*_ring)[_pos]; }
+        pointer operator->() const { return &(*_ring)[_pos]; }
+        reference operator[](difference_type n) const
+        {
+            return (*_ring)[_pos + n];
+        }
+
+        Iter &operator++() { ++_pos; return *this; }
+        Iter operator++(int) { Iter t = *this; ++_pos; return t; }
+        Iter &operator--() { --_pos; return *this; }
+        Iter operator--(int) { Iter t = *this; --_pos; return t; }
+        Iter &operator+=(difference_type n) { _pos += n; return *this; }
+        Iter &operator-=(difference_type n) { _pos -= n; return *this; }
+        friend Iter operator+(Iter it, difference_type n)
+        {
+            return it += n;
+        }
+        friend Iter operator-(Iter it, difference_type n)
+        {
+            return it -= n;
+        }
+        friend difference_type operator-(const Iter &a, const Iter &b)
+        {
+            return static_cast<difference_type>(a._pos) -
+                   static_cast<difference_type>(b._pos);
+        }
+        friend bool operator==(const Iter &a, const Iter &b)
+        {
+            return a._pos == b._pos;
+        }
+        friend bool operator!=(const Iter &a, const Iter &b)
+        {
+            return a._pos != b._pos;
+        }
+        friend bool operator<(const Iter &a, const Iter &b)
+        {
+            return a._pos < b._pos;
+        }
+
+      private:
+        Ring *_ring = nullptr;
+        std::size_t _pos = 0;
+    };
+
+    using iterator = Iter<false>;
+    using const_iterator = Iter<true>;
+
+    iterator begin() { return iterator(this, 0); }
+    iterator end() { return iterator(this, _size); }
+    const_iterator begin() const { return const_iterator(this, 0); }
+    const_iterator end() const { return const_iterator(this, _size); }
+
+  private:
+    std::size_t
+    wrap(std::size_t i) const
+    {
+        return i >= _cap ? i - _cap : i;
+    }
+
+    std::vector<T> _buf;
+    std::size_t _cap;
+    std::size_t _head = 0;
+    std::size_t _size = 0;
+};
+
+} // namespace dde
+
+#endif // DDE_COMMON_RING_HH

@@ -20,6 +20,28 @@ namespace
 /** Clean commits of a PC required before it may be eliminated again
  * after a dead misprediction. */
 constexpr unsigned kNoElimWindow = 32;
+
+/**
+ * Completion timing-wheel size for a configuration: the longest
+ * possible execution latency (a full L1D→L2→memory miss chain, or
+ * the slowest function unit) rounded up to a power of two so the
+ * slot of cycle c is c & (size - 1). A slot always drains before any
+ * insertion can wrap back onto it.
+ */
+std::size_t
+wheelSlots(const CoreConfig &cfg)
+{
+    Cycle span = std::max({cfg.aluLatency, cfg.multLatency,
+                           cfg.divLatency, cfg.branchLatency,
+                           cfg.memory.l1d.hitLatency +
+                               cfg.memory.l2.hitLatency +
+                               cfg.memory.memLatency}) +
+                 2;
+    std::size_t n = 1;
+    while (n < span)
+        n <<= 1;
+    return n;
+}
 } // namespace
 
 CoreConfig
@@ -74,6 +96,9 @@ Core::Core(const prog::Program &program, const CoreConfig &cfg)
       _detector(cfg.elim.detector), _pcProfiler(cfg.profile.enable),
       _prf(cfg.numPhysRegs),
       _freeList(cfg.numPhysRegs), _retireRat(kNumArchRegs),
+      _fetchQueue(cfg.fetchQueueSize), _rob(cfg.robSize),
+      _loadQueue(cfg.loadQueueSize), _storeQueue(cfg.storeQueueSize),
+      _wheel(wheelSlots(cfg)),
       _pc(program.entryPc()), _stats("core"),
       _sFetched(_stats.counter("fetched", "instructions fetched")),
       _sRenamed(_stats.counter("renamed", "instructions renamed")),
@@ -190,6 +215,13 @@ Core::Core(const prog::Program &program, const CoreConfig &cfg)
     _oracleCursor.assign(program.numInsts(), 0);
     _uebStore.resize(cfg.elim.uebStoreEntries);
 
+    // Hot-path scratch: sized once so the per-cycle loops never grow
+    // them (the rename stall checks bound _iq at iqSize).
+    _wheelMask = static_cast<Cycle>(_wheel.size() - 1);
+    _iq.reserve(cfg.iqSize);
+    _readyList.reserve(cfg.iqSize);
+    _releaseScratch.reserve(cfg.robSize + cfg.fetchQueueSize);
+
     _stats.formula("ipc", [this] { return ipc(); },
                    "committed instructions per cycle");
 }
@@ -288,7 +320,7 @@ Core::fetch()
             }
         }
 
-        auto inst = std::make_shared<DynInst>();
+        InstPtr inst = _instPool.alloc();
         inst->seq = _nextSeq++;
         inst->pc = _pc;
         inst->staticIdx =
@@ -347,9 +379,9 @@ Core::captureFutureSig() const
     predictor::FutureSig sig = 0;
     unsigned got = 0;
     for (std::size_t i = 1; i < _fetchQueue.size() && got < 16; ++i) {
-        const InstPtr &inst = _fetchQueue[i];
-        if (inst->inst.isCondBranch()) {
-            if (inst->predTaken)
+        const DynInst *const d = _fetchQueue[i].get();
+        if (d->inst.isCondBranch()) {
+            if (d->predTaken)
                 sig |= static_cast<predictor::FutureSig>(1u << got);
             ++got;
         }
@@ -388,7 +420,10 @@ Core::tryEliminate(const InstPtr &inst)
         return false;
     if (inst->isStore() && !_cfg.elim.eliminateStores)
         return false;
-    if (_noElim.count(inst->pc) || _stickyNoElim.count(inst->pc))
+    // Both maps are empty for a core that has never dead-mispredicted;
+    // skip the hash probes entirely on that common path.
+    if ((!_noElim.empty() && _noElim.count(inst->pc)) ||
+        (!_stickyNoElim.empty() && _stickyNoElim.count(inst->pc)))
         return false;
     if (predicted) {
         ++_sPredictedDead;
@@ -420,7 +455,8 @@ Core::rename()
     unsigned renamed = 0;
     while (renamed < _cfg.renameWidth && !_fetchQueue.empty()) {
         InstPtr inst = _fetchQueue.front();
-        if (inst->fetchCycle + _cfg.frontendDelay > _cycle)
+        DynInst *const d = inst.get();
+        if (d->fetchCycle + _cfg.frontendDelay > _cycle)
             break;
         if (_rob.size() >= _cfg.robSize) {
             ++_sStallRob;
@@ -428,16 +464,16 @@ Core::rename()
             break;
         }
 
-        const Instruction &in = inst->inst;
+        const Instruction &in = d->inst;
         bool is_trivial = in.op == Opcode::Nop || in.isHalt();
 
-        inst->eliminated = tryEliminate(inst);
+        d->eliminated = tryEliminate(inst);
 
         bool needs_iq =
-            !is_trivial && (!inst->eliminated || inst->isStore());
-        bool needs_lq = inst->isLoad() && !inst->eliminated;
-        bool needs_sq = inst->isStore();
-        bool needs_phys = in.writesReg() && !inst->eliminated;
+            !is_trivial && (!d->eliminated || d->isStore());
+        bool needs_lq = d->isLoad() && !d->eliminated;
+        bool needs_sq = d->isStore();
+        bool needs_phys = in.writesReg() && !d->eliminated;
 
         if (needs_iq && _iq.size() >= _cfg.iqSize) {
             ++_sStallIq;
@@ -467,7 +503,7 @@ Core::rename()
         // It is parked rather than recovered immediately: if it turns
         // out to be wrong-path, an older branch squash disposes of it
         // for free (firePendingPoison handles the true-path case).
-        if (!inst->eliminated || inst->isStore()) {
+        if (!d->eliminated || d->isStore()) {
             auto srcs = in.srcRegs();
             unsigned nsrcs = in.numSrcs();
             bool stall_for_repair = false;
@@ -487,10 +523,10 @@ Core::rename()
                     uebMaterialize(srcs[s], e.producerSeq);
                     continue;  // the mapping is clean now
                 }
-                inst->srcPoisonSeq[s] = e.producerSeq;
-                if (inst->poisonProducer == 0 ||
-                    e.producerSeq < inst->poisonProducer) {
-                    inst->poisonProducer = e.producerSeq;
+                d->srcPoisonSeq[s] = e.producerSeq;
+                if (d->poisonProducer == 0 ||
+                    e.producerSeq < d->poisonProducer) {
+                    d->poisonProducer = e.producerSeq;
                 }
             }
             if (stall_for_repair) {
@@ -501,29 +537,29 @@ Core::rename()
             // An eliminated store with a poisoned operand degrades to
             // an ordinary parked consumer; this keeps repair of dead
             // stores free of committed poison.
-            if (inst->eliminated && inst->poisonProducer != 0)
-                inst->eliminated = false;
+            if (d->eliminated && d->poisonProducer != 0)
+                d->eliminated = false;
         }
 
         _fetchQueue.pop_front();
 
         // Source renaming.
-        if (!inst->eliminated || inst->isStore()) {
+        if (!d->eliminated || d->isStore()) {
             auto srcs = in.srcRegs();
-            inst->numSrcs = in.numSrcs();
-            if (inst->eliminated && inst->isStore())
-                inst->numSrcs = 1;
-            for (unsigned s = 0; s < inst->numSrcs; ++s) {
+            d->numSrcs = in.numSrcs();
+            if (d->eliminated && d->isStore())
+                d->numSrcs = 1;
+            for (unsigned s = 0; s < d->numSrcs; ++s) {
                 const RatEntry &e = _rat[srcs[s]];
-                inst->srcPhys[s] = e.poisoned ? 0 : e.phys;
+                d->srcPhys[s] = e.poisoned ? 0 : e.phys;
                 // A poisoned source stays not-ready; the instruction
                 // waits (parked) in the issue queue until its producer
                 // commits and the value is materialized.
-                inst->srcReady[s] =
+                d->srcReady[s] =
                     e.poisoned ? false : _prf.isReady(e.phys);
             }
         } else {
-            inst->numSrcs = 0;
+            d->numSrcs = 0;
         }
 
         // Destination renaming.
@@ -533,26 +569,27 @@ Core::rename()
             entry.hasMapping = true;
             entry.archDest = in.rd;
             entry.prevMap = _rat[in.rd];
-            if (inst->eliminated) {
+            if (d->eliminated) {
                 RatEntry poisoned;
                 poisoned.poisoned = true;
-                poisoned.producerSeq = inst->seq;
+                poisoned.producerSeq = d->seq;
                 _rat.set(in.rd, poisoned);
             } else {
-                inst->destPhys = _freeList.alloc();
-                _prf.clearReady(inst->destPhys);
-                _rat.set(in.rd, RatEntry{inst->destPhys, false, 0});
+                d->destPhys = _freeList.alloc();
+                _prf.clearReady(d->destPhys);
+                _rat.set(in.rd, RatEntry{d->destPhys, false, 0});
                 ++_sPhysAllocs;
             }
         }
 
         if (is_trivial) {
-            inst->completed = true;
-        } else if (inst->eliminated && !inst->isStore()) {
-            inst->completed = true;
+            d->completed = true;
+        } else if (d->eliminated && !d->isStore()) {
+            d->completed = true;
         } else {
-            inst->inIq = true;
+            d->inIq = true;
             _iq.push_back(inst);
+            maybeMarkReady(inst);
         }
         if (needs_lq)
             _loadQueue.push_back(inst);
@@ -576,16 +613,17 @@ Core::loadBlocked(const InstPtr &load, InstPtr &dead_store_hit,
     dead_store_hit = nullptr;
     forward_from = nullptr;
     Addr word = emu::Memory::wordAddr(load->effAddr);
+    SeqNum load_seq = load->seq;
     // Scan older stores youngest-first.
-    for (auto it = _storeQueue.rbegin(); it != _storeQueue.rend();
-         ++it) {
-        const InstPtr &store = *it;
-        if (store->seq > load->seq)
+    for (std::size_t k = _storeQueue.size(); k-- > 0;) {
+        const InstPtr &store = _storeQueue[k];
+        const DynInst *const s = store.get();
+        if (s->seq > load_seq)
             continue;
-        if (!store->addrReady)
+        if (!s->addrReady)
             return true;  // conservative: wait for all older addresses
-        if (emu::Memory::wordAddr(store->effAddr) == word) {
-            if (store->eliminated)
+        if (emu::Memory::wordAddr(s->effAddr) == word) {
+            if (s->eliminated)
                 dead_store_hit = store;
             else
                 forward_from = store;
@@ -606,22 +644,23 @@ Core::loadValue(const InstPtr &load, const InstPtr &forward_from)
 void
 Core::executeInst(const InstPtr &inst, Cycle issue_cycle)
 {
-    const Instruction &in = inst->inst;
+    DynInst *const d = inst.get();
+    const Instruction &in = d->inst;
     Cycle latency = _cfg.aluLatency;
 
     // Register file reads happen at issue; UEB-forwarded operands
     // bypass the register file entirely.
     RegVal s1 = 0, s2 = 0;
-    if (inst->numSrcs >= 1) {
-        s1 = inst->srcIsOverride[0] ? inst->srcOverride[0]
-                                    : _prf.read(inst->srcPhys[0]);
-        if (!inst->srcIsOverride[0])
+    if (d->numSrcs >= 1) {
+        s1 = d->srcIsOverride[0] ? d->srcOverride[0]
+                                 : _prf.read(d->srcPhys[0]);
+        if (!d->srcIsOverride[0])
             ++_sRfReads;
     }
-    if (inst->numSrcs >= 2) {
-        s2 = inst->srcIsOverride[1] ? inst->srcOverride[1]
-                                    : _prf.read(inst->srcPhys[1]);
-        if (!inst->srcIsOverride[1])
+    if (d->numSrcs >= 2) {
+        s2 = d->srcIsOverride[1] ? d->srcOverride[1]
+                                 : _prf.read(d->srcPhys[1]);
+        if (!d->srcIsOverride[1])
             ++_sRfReads;
     }
 
@@ -632,7 +671,7 @@ Core::executeInst(const InstPtr &inst, Cycle issue_cycle)
         RegVal rhs = in.info().format == isa::Format::R
                          ? s2
                          : isa::immOperand(in);
-        inst->result = isa::evalAlu(in.op, s1, rhs);
+        d->result = isa::evalAlu(in.op, s1, rhs);
         if (in.info().cls == OpClass::IntMult) {
             latency = _cfg.multLatency;
         } else if (in.info().cls == OpClass::IntDiv) {
@@ -642,23 +681,23 @@ Core::executeInst(const InstPtr &inst, Cycle issue_cycle)
         break;
       }
       case OpClass::Load: {
-        inst->effAddr = isa::effectiveAddr(in, s1);
+        d->effAddr = isa::effectiveAddr(in, s1);
         InstPtr dead_hit, forward_from;
         loadBlocked(inst, dead_hit, forward_from);
-        Addr word = emu::Memory::wordAddr(inst->effAddr);
+        Addr word = emu::Memory::wordAddr(d->effAddr);
         RegVal banked;
         if (forward_from) {
-            inst->result = forward_from->storeData;
+            d->result = forward_from->storeData;
             ++_sForwards;
             latency = 1;
         } else if (uebStoreLookup(word, banked)) {
             // The youngest prior store to this word was a banked dead
             // store: read its shadow data (store-buffer-like hit).
-            inst->result = banked;
+            d->result = banked;
             ++_sForwards;
             latency = 1;
         } else {
-            inst->result = loadValue(inst, forward_from);
+            d->result = loadValue(inst, forward_from);
             latency = _caches.l1d().access(word, false);
             ++_sDcacheLoads;
         }
@@ -667,132 +706,190 @@ Core::executeInst(const InstPtr &inst, Cycle issue_cycle)
       case OpClass::Store: {
         // Address generation; eliminated stores skip the data read
         // (numSrcs == 1), real stores latch their data here.
-        inst->effAddr = isa::effectiveAddr(in, s1);
-        if (!inst->eliminated)
-            inst->storeData = s2;
+        d->effAddr = isa::effectiveAddr(in, s1);
+        if (!d->eliminated)
+            d->storeData = s2;
         latency = 1;
         break;
       }
       case OpClass::Branch: {
-        inst->actualTaken = isa::evalBranch(in.op, s1, s2);
-        inst->actualTarget = inst->actualTaken
-                                 ? in.branchTarget(inst->pc)
-                                 : inst->pc + 4;
+        d->actualTaken = isa::evalBranch(in.op, s1, s2);
+        d->actualTarget = d->actualTaken ? in.branchTarget(d->pc)
+                                         : d->pc + 4;
         latency = _cfg.branchLatency;
         break;
       }
       case OpClass::Jump: {
-        inst->actualTaken = true;
+        d->actualTaken = true;
         if (in.op == Opcode::Jalr) {
-            inst->actualTarget =
+            d->actualTarget =
                 (s1 + static_cast<Addr>(in.imm)) & ~Addr(3);
         } else {
-            inst->actualTarget = in.branchTarget(inst->pc);
+            d->actualTarget = in.branchTarget(d->pc);
         }
-        inst->result = inst->pc + 4;  // link value
+        d->result = d->pc + 4;  // link value
         latency = _cfg.branchLatency;
         break;
       }
       case OpClass::Other:
         // out: latch the value for commit.
-        inst->result = s1;
+        d->result = s1;
         latency = 1;
         break;
     }
 
-    inst->issued = true;
-    _completions.emplace(issue_cycle + std::max<Cycle>(latency, 1),
-                         inst);
+    d->issued = true;
+    scheduleCompletion(issue_cycle + std::max<Cycle>(latency, 1),
+                       inst);
     ++_sIssued;
+}
+
+void
+Core::scheduleCompletion(Cycle when, const InstPtr &inst)
+{
+    panic_if(when <= _cycle || when - _cycle > _wheelMask,
+             "completion at +", when - _cycle,
+             " cycles outside the timing wheel span");
+    inst->inWheel = true;
+    _wheel[when & _wheelMask].push_back(inst);
+}
+
+void
+Core::maybeMarkReady(const InstPtr &inst)
+{
+    DynInst *const d = inst.get();
+    if (!d->inIq || d->issued || d->squashed || d->inReadyList ||
+        d->poisonProducer != 0)
+        return;
+    for (unsigned s = 0; s < d->numSrcs; ++s)
+        if (!d->srcReady[s])
+            return;
+    d->inReadyList = true;
+    // Keep the list sorted by seq on insert: most wakeups arrive in
+    // program order (append), and the occasional older straggler is a
+    // short tail shift — cheaper than re-sorting at select.
+    if (_readyList.empty() || _readyList.back().get()->seq < d->seq) {
+        _readyList.push_back(inst);
+        return;
+    }
+    auto pos = std::upper_bound(
+        _readyList.begin(), _readyList.end(), d->seq,
+        [](SeqNum seq, const InstPtr &e) { return seq < e.get()->seq; });
+    _readyList.insert(pos, inst);
 }
 
 void
 Core::issue()
 {
-    // Oldest-first select among ready instructions.
-    std::vector<InstPtr> ready;
-    for (const InstPtr &inst : _iq) {
-        if (inst->squashed || inst->issued ||
-            inst->poisonProducer != 0) {
-            continue;
-        }
-        bool ok = true;
-        for (unsigned s = 0; s < inst->numSrcs; ++s)
-            ok = ok && inst->srcReady[s];
-        if (ok)
-            ready.push_back(inst);
-    }
-    std::sort(ready.begin(), ready.end(),
-              [](const InstPtr &a, const InstPtr &b) {
-                  return a->seq < b->seq;
-              });
-
+    // Oldest-first select over the persistent ready list, which
+    // maybeMarkReady keeps populated (and seq-sorted) from
+    // dispatch/wakeup/unpark events — no per-cycle rebuild, sort, or
+    // scan of the whole IQ.
     unsigned issue_left = _cfg.issueWidth;
     unsigned alu_left = _cfg.numAlus;
     unsigned mult_left = _cfg.numMults;
     unsigned mem_left = _cfg.numMemPorts;
 
-    for (const InstPtr &inst : ready) {
-        if (issue_left == 0)
-            break;
-        const Instruction &in = inst->inst;
-        OpClass cls = in.info().cls;
+    bool issued_any = false;
+    std::size_t out = 0;
+    for (std::size_t k = 0; k < _readyList.size(); ++k) {
+        InstPtr inst = _readyList[k];
+        DynInst *const d = inst.get();
+        // Squashes scrub the list eagerly and parks happen in this
+        // loop, so a defensive recheck: anything no longer selectable
+        // is dropped, anything passed over stays for a later cycle.
+        bool consumed = false;
+        if (d->squashed || d->issued || d->poisonProducer != 0) {
+            consumed = true;
+        } else if (issue_left > 0) {
+            const Instruction &in = d->inst;
+            OpClass cls = in.info().cls;
 
-        switch (cls) {
-          case OpClass::IntAlu:
-          case OpClass::Branch:
-          case OpClass::Jump:
-          case OpClass::Other:
-            if (alu_left == 0)
-                continue;
-            --alu_left;
-            break;
-          case OpClass::IntMult:
-            if (mult_left == 0)
-                continue;
-            --mult_left;
-            break;
-          case OpClass::IntDiv:
-            if (_cfg.numDivs == 0 || _divBusyUntil > _cycle)
-                continue;
-            break;
-          case OpClass::Load:
-          case OpClass::Store:
-            if (mem_left == 0)
-                continue;
-            break;
-        }
+            bool selectable = true;
+            switch (cls) {
+              case OpClass::IntAlu:
+              case OpClass::Branch:
+              case OpClass::Jump:
+              case OpClass::Other:
+                selectable = alu_left > 0;
+                break;
+              case OpClass::IntMult:
+                selectable = mult_left > 0;
+                break;
+              case OpClass::IntDiv:
+                selectable =
+                    _cfg.numDivs != 0 && _divBusyUntil <= _cycle;
+                break;
+              case OpClass::Load:
+              case OpClass::Store:
+                selectable = mem_left > 0;
+                break;
+            }
 
-        if (cls == OpClass::Load) {
-            // Disambiguation needs this load's address: compute it
-            // from the (ready) base without charging the RF read
-            // twice; executeInst re-reads below.
-            RegVal base = inst->srcIsOverride[0]
-                              ? inst->srcOverride[0]
-                              : _prf.read(inst->srcPhys[0]);
-            inst->effAddr = isa::effectiveAddr(in, base);
-            InstPtr dead_hit, forward_from;
-            if (loadBlocked(inst, dead_hit, forward_from))
-                continue;  // older store address unknown
-            if (dead_hit) {
-                // The load needs a value an eliminated store never
-                // wrote: park it (dead-store misprediction, pending
-                // squash-safety).
-                inst->poisonProducer = dead_hit->seq;
-                inst->poisonFromLsq = true;
-                continue;
+            if (selectable && cls == OpClass::Load) {
+                // Disambiguation needs this load's address: compute it
+                // from the (ready) base without charging the RF read
+                // twice; executeInst re-reads below.
+                RegVal base = d->srcIsOverride[0]
+                                  ? d->srcOverride[0]
+                                  : _prf.read(d->srcPhys[0]);
+                d->effAddr = isa::effectiveAddr(in, base);
+                InstPtr dead_hit, forward_from;
+                if (loadBlocked(inst, dead_hit, forward_from)) {
+                    selectable = false;  // older store addr unknown
+                } else if (dead_hit) {
+                    // The load needs a value an eliminated store
+                    // never wrote: park it (dead-store misprediction,
+                    // pending squash-safety).
+                    d->poisonProducer = dead_hit->seq;
+                    d->poisonFromLsq = true;
+                    selectable = false;
+                    consumed = true;  // parked; unpark re-inserts
+                }
+            }
+
+            if (selectable) {
+                switch (cls) {
+                  case OpClass::IntAlu:
+                  case OpClass::Branch:
+                  case OpClass::Jump:
+                  case OpClass::Other:
+                    --alu_left;
+                    break;
+                  case OpClass::IntMult:
+                    --mult_left;
+                    break;
+                  case OpClass::IntDiv:
+                    break;
+                  case OpClass::Load:
+                  case OpClass::Store:
+                    --mem_left;
+                    break;
+                }
+                --issue_left;
+                executeInst(inst, _cycle);
+                issued_any = true;
+                consumed = true;
             }
         }
 
-        if (cls == OpClass::Load || cls == OpClass::Store)
-            --mem_left;
-        --issue_left;
-        executeInst(inst, _cycle);
+        if (consumed) {
+            d->inReadyList = false;
+        } else {
+            if (out != k)
+                _readyList[out] = inst;
+            ++out;
+        }
     }
+    _readyList.resize(out);
 
-    std::erase_if(_iq, [](const InstPtr &inst) {
-        return inst->issued || inst->squashed;
-    });
+    // Squashed entries were already scrubbed by squashFrom, so the IQ
+    // only needs compacting on cycles that actually issued something.
+    if (issued_any) {
+        std::erase_if(_iq, [](const InstPtr &inst) {
+            return inst->issued || inst->squashed;
+        });
+    }
 }
 
 // --------------------------------------------------------------------
@@ -828,33 +925,49 @@ Core::resolveBranch(const InstPtr &inst)
 void
 Core::writeback()
 {
-    auto end = _completions.upper_bound(_cycle);
-    std::vector<InstPtr> done;
-    for (auto it = _completions.begin(); it != end; ++it)
-        done.push_back(it->second);
-    _completions.erase(_completions.begin(), end);
-
-    for (const InstPtr &inst : done) {
-        if (inst->squashed)
+    // Writeback runs every non-halted cycle and every completion is
+    // scheduled strictly in the future within the wheel span, so the
+    // bucket for this cycle holds exactly the instructions the old
+    // multimap would have drained (same-key order preserved: both are
+    // insertion-ordered). Iterate by index — a resolved branch can
+    // squash, which scrubs other structures but never this bucket.
+    auto &bucket = _wheel[_cycle & _wheelMask];
+    for (std::size_t k = 0; k < bucket.size(); ++k) {
+        InstPtr inst = bucket[k];
+        DynInst *const d = inst.get();
+        d->inWheel = false;
+        if (d->squashed) {
+            // Squashed while in flight; its pool release was deferred
+            // to this drain (squashFrom skips records still in-wheel).
+            _instPool.release(inst);
             continue;
-        inst->completed = true;
-        if (inst->isStore())
-            inst->addrReady = true;
+        }
+        d->completed = true;
+        if (d->isStore())
+            d->addrReady = true;
 
-        if (inst->destPhys != kNoPhysReg) {
-            _prf.write(inst->destPhys, inst->result);
+        if (d->destPhys != kNoPhysReg) {
+            const PhysRegId dest = d->destPhys;
+            _prf.write(dest, d->result);
             ++_sRfWrites;
             for (const InstPtr &waiting : _iq) {
-                for (unsigned s = 0; s < waiting->numSrcs; ++s) {
-                    if (waiting->srcPhys[s] == inst->destPhys)
-                        waiting->srcReady[s] = true;
+                DynInst *const w = waiting.get();
+                bool woke = false;
+                for (unsigned s = 0; s < w->numSrcs; ++s) {
+                    if (w->srcPhys[s] == dest) {
+                        w->srcReady[s] = true;
+                        woke = true;
+                    }
                 }
+                if (woke)
+                    maybeMarkReady(waiting);
             }
         }
 
-        if (inst->inst.isCondBranch() || inst->inst.isJump())
+        if (d->inst.isCondBranch() || d->inst.isJump())
             resolveBranch(inst);
     }
+    bucket.clear();
 }
 
 // --------------------------------------------------------------------
@@ -973,41 +1086,41 @@ Core::verifyEliminated(std::size_t rob_index)
     Addr my_word = emu::Memory::wordAddr(head->effAddr);
     bool is_store = head->isStore();
 
+    RegId my_rd = head->inst.rd;
     for (std::size_t i = rob_index + 1; i < _rob.size(); ++i) {
         const RobEntry &entry = _rob[i];
-        const InstPtr &inst = entry.inst;
+        const DynInst *const d = entry.inst.get();
 
         // Found the overwriter? It must not itself be able to vanish
         // in a recovery that would restore our mapping: an eliminated
         // overwriter counts only once it is verified.
         if (is_store) {
-            if (inst->isStore()) {
-                if (!inst->addrReady)
+            if (d->isStore()) {
+                if (!d->addrReady)
                     return false;  // matching unknown yet
-                if (emu::Memory::wordAddr(inst->effAddr) == my_word) {
-                    return (!inst->eliminated || inst->verified) &&
-                           inst->poisonProducer == 0;
+                if (emu::Memory::wordAddr(d->effAddr) == my_word) {
+                    return (!d->eliminated || d->verified) &&
+                           d->poisonProducer == 0;
                 }
             }
-        } else if (entry.hasMapping &&
-                   entry.archDest == head->inst.rd) {
+        } else if (entry.hasMapping && entry.archDest == my_rd) {
             // The overwriter must not itself be a parked consumer of
             // our poison (a self-overwriting consumer like
             // "addi r5, r5, 1" both reads and replaces the mapping).
-            return (!inst->eliminated || inst->verified) &&
-                   inst->poisonProducer == 0;
+            return (!d->eliminated || d->verified) &&
+                   d->poisonProducer == 0;
         }
 
         // Squash hazards older than any potential overwriter.
-        if ((inst->inst.isCondBranch() || inst->inst.isJump()) &&
-            !inst->completed) {
+        if ((d->inst.isCondBranch() || d->inst.isJump()) &&
+            !d->completed) {
             return false;
         }
-        if (inst->isLoad() && !inst->eliminated && !inst->issued)
+        if (d->isLoad() && !d->eliminated && !d->issued)
             return false;
-        if (inst->eliminated && !inst->verified)
+        if (d->eliminated && !d->verified)
             return false;
-        if (inst->poisonProducer != 0)
+        if (d->poisonProducer != 0)
             return false;  // its recovery would squash the overwriter
     }
     return false;  // no overwriter in the window yet
@@ -1128,17 +1241,18 @@ Core::uebMaterialize(RegId arch_reg, SeqNum producer_seq)
 void
 Core::unparkConsumers(const InstPtr &producer, RegVal value)
 {
+    SeqNum producer_seq = producer->seq;
     for (RobEntry &entry : _rob) {
-        const InstPtr &consumer = entry.inst;
-        if (consumer->poisonProducer == 0 || consumer->squashed)
+        DynInst *const c = entry.inst.get();
+        if (c->poisonProducer == 0 || c->squashed)
             continue;
         bool touched = false;
-        for (unsigned s = 0; s < consumer->numSrcs; ++s) {
-            if (consumer->srcPoisonSeq[s] == producer->seq) {
-                consumer->srcOverride[s] = value;
-                consumer->srcIsOverride[s] = true;
-                consumer->srcReady[s] = true;
-                consumer->srcPoisonSeq[s] = 0;
+        for (unsigned s = 0; s < c->numSrcs; ++s) {
+            if (c->srcPoisonSeq[s] == producer_seq) {
+                c->srcOverride[s] = value;
+                c->srcIsOverride[s] = true;
+                c->srcReady[s] = true;
+                c->srcPoisonSeq[s] = 0;
                 touched = true;
             }
         }
@@ -1146,23 +1260,22 @@ Core::unparkConsumers(const InstPtr &producer, RegVal value)
             continue;
         ++_sUebRepairs;
         SeqNum remaining = 0;
-        for (unsigned s = 0; s < consumer->numSrcs; ++s) {
-            if (consumer->srcPoisonSeq[s] != 0 &&
-                (remaining == 0 ||
-                 consumer->srcPoisonSeq[s] < remaining)) {
-                remaining = consumer->srcPoisonSeq[s];
+        for (unsigned s = 0; s < c->numSrcs; ++s) {
+            if (c->srcPoisonSeq[s] != 0 &&
+                (remaining == 0 || c->srcPoisonSeq[s] < remaining)) {
+                remaining = c->srcPoisonSeq[s];
             }
         }
-        consumer->poisonProducer = remaining;
+        c->poisonProducer = remaining;
         if (remaining == 0) {
             // Refresh readiness of register sources missed while
             // parked (wakeups skip parked instructions' dead slots).
-            for (unsigned s = 0; s < consumer->numSrcs; ++s) {
-                if (!consumer->srcIsOverride[s]) {
-                    consumer->srcReady[s] =
-                        _prf.isReady(consumer->srcPhys[s]);
+            for (unsigned s = 0; s < c->numSrcs; ++s) {
+                if (!c->srcIsOverride[s]) {
+                    c->srcReady[s] = _prf.isReady(c->srcPhys[s]);
                 }
             }
+            maybeMarkReady(entry.inst);
         }
     }
 }
@@ -1394,11 +1507,9 @@ Core::commit()
     // the younger links' freshly-set verified flags).
     if (_cfg.elim.enable) {
         for (std::size_t i = _rob.size(); i-- > 0;) {
-            const InstPtr &inst = _rob[i].inst;
-            if (inst->eliminated && !inst->verified &&
-                verifyEliminated(i)) {
-                inst->verified = true;
-            }
+            DynInst *const d = _rob[i].inst.get();
+            if (d->eliminated && !d->verified && verifyEliminated(i))
+                d->verified = true;
         }
     }
 
@@ -1407,18 +1518,19 @@ Core::commit()
     while (committed < _cfg.commitWidth && !_rob.empty()) {
         RobEntry &entry = _rob.front();
         InstPtr inst = entry.inst;
-        if (!inst->completed)
+        DynInst *const d = inst.get();
+        if (!d->completed)
             break;
-        panic_if(inst->squashed, "squashed instruction at ROB head");
+        panic_if(d->squashed, "squashed instruction at ROB head");
 
         bool shadowed = false;
         bool has_parked = false;
-        if (inst->eliminated && !inst->verified) {
+        if (d->eliminated && !d->verified) {
             if (_cfg.elim.recovery == RecoveryMode::SquashProducer) {
                 // Ablation mode: stall for verification, then repair
                 // in place (squash-based recovery handles consumers).
-                if (_headStallSeq != inst->seq) {
-                    _headStallSeq = inst->seq;
+                if (_headStallSeq != d->seq) {
+                    _headStallSeq = d->seq;
                     _headStallSince = _cycle;
                 }
                 ++_sVerifyStallCycles;
@@ -1432,13 +1544,13 @@ Core::commit()
                 // UEB mode: never stall. Shadow-execute against
                 // retirement state and bank the value.
                 for (const RobEntry &e : _rob) {
-                    const InstPtr &c = e.inst;
+                    const DynInst *const c = e.inst.get();
                     if (c->squashed || c->poisonProducer == 0)
                         continue;
                     if (c->poisonFromLsq
-                            ? c->poisonProducer == inst->seq
-                            : (c->srcPoisonSeq[0] == inst->seq ||
-                               c->srcPoisonSeq[1] == inst->seq)) {
+                            ? c->poisonProducer == d->seq
+                            : (c->srcPoisonSeq[0] == d->seq ||
+                               c->srcPoisonSeq[1] == d->seq)) {
                         has_parked = true;
                         break;
                     }
@@ -1448,7 +1560,7 @@ Core::commit()
             }
         }
 
-        const Instruction &in = inst->inst;
+        const Instruction &in = d->inst;
 
         if (in.isHalt()) {
             uebStoreFlushAll();
@@ -1461,30 +1573,31 @@ Core::commit()
             _rob.pop_front();
             accountCommitSlots(committed + 1 - committed_dead,
                                committed_dead);
+            _instPool.release(inst);
             return;
         }
 
-        if (inst->isStore()) {
-            Addr word = emu::Memory::wordAddr(inst->effAddr);
-            if (!inst->eliminated) {
-                _memState.write(word, inst->storeData);
+        if (d->isStore()) {
+            Addr word = emu::Memory::wordAddr(d->effAddr);
+            if (!d->eliminated) {
+                _memState.write(word, d->storeData);
                 _caches.l1d().access(word, true);
                 ++_sDcacheStores;
                 // This write retires any older banked dead store to
                 // the same word: its D-cache access is saved for good.
                 uebStoreInvalidate(word);
             } else if (shadowed) {
-                uebStoreInsert(word, inst->storeData);
+                uebStoreInsert(word, d->storeData);
             } else {
                 // Verified dead: the write is provably unobservable.
                 uebStoreInvalidate(word);
             }
         }
         if (in.isOut())
-            _output.push_back(inst->result);
+            _output.push_back(d->result);
         if (in.isCondBranch()) {
-            _frontend.updateDirection(inst->pc, inst->histAtPred,
-                                      inst->actualTaken);
+            _frontend.updateDirection(d->pc, d->histAtPred,
+                                      d->actualTaken);
         }
 
         feedDetector(inst);
@@ -1492,37 +1605,37 @@ Core::commit()
 
         if (entry.hasMapping) {
             RatEntry old = _retireRat[entry.archDest];
-            if (inst->eliminated) {
+            if (d->eliminated) {
                 RatEntry poisoned;
                 poisoned.poisoned = true;
-                poisoned.producerSeq = inst->seq;
+                poisoned.producerSeq = d->seq;
                 _retireRat[entry.archDest] = poisoned;
             } else {
                 _retireRat[entry.archDest] =
-                    RatEntry{inst->destPhys, false, 0};
+                    RatEntry{d->destPhys, false, 0};
             }
             if (!old.poisoned && old.phys != 0)
                 _freeList.release(old.phys);
             // UEB register side: a shadowed producer banks its value;
             // any other writer makes the previous poison unreachable.
-            if (shadowed && inst->inst.writesReg()) {
+            if (shadowed && in.writesReg()) {
                 _uebReg[entry.archDest] =
-                    UebRegEntry{true, inst->seq, inst->result};
+                    UebRegEntry{true, d->seq, d->result};
             } else {
                 _uebReg[entry.archDest].valid = false;
             }
         }
 
         if (has_parked) {
-            if (inst->inst.writesReg()) {
-                unparkConsumers(inst, inst->result);
-            } else if (inst->isStore()) {
+            if (in.writesReg()) {
+                unparkConsumers(inst, d->result);
+            } else if (d->isStore()) {
                 // Un-park loads that hit this dead store; they re-issue
                 // and read the banked data from the UEB.
                 for (RobEntry &e : _rob) {
-                    const InstPtr &c = e.inst;
+                    DynInst *const c = e.inst.get();
                     if (!c->squashed && c->poisonFromLsq &&
-                        c->poisonProducer == inst->seq) {
+                        c->poisonProducer == d->seq) {
                         c->poisonProducer = 0;
                         c->poisonFromLsq = false;
                         for (unsigned sidx = 0; sidx < c->numSrcs;
@@ -1530,40 +1643,42 @@ Core::commit()
                             c->srcReady[sidx] =
                                 _prf.isReady(c->srcPhys[sidx]);
                         }
+                        maybeMarkReady(e.inst);
                     }
                 }
             }
         }
 
-        if (!inst->eliminated) {
-            auto it = _noElim.find(inst->pc);
+        if (!d->eliminated && !_noElim.empty()) {
+            auto it = _noElim.find(d->pc);
             if (it != _noElim.end() && --it->second == 0)
                 _noElim.erase(it);
         }
 
         // Retire from the load/store queues.
         if (!_loadQueue.empty() &&
-            _loadQueue.front()->seq == inst->seq) {
+            _loadQueue.front()->seq == d->seq) {
             _loadQueue.pop_front();
         }
         if (!_storeQueue.empty() &&
-            _storeQueue.front()->seq == inst->seq) {
+            _storeQueue.front()->seq == d->seq) {
             _storeQueue.pop_front();
         }
 
         if (_onCommit)
-            _onCommit(*inst);
+            _onCommit(*d);
 
         ++_sCommitted;
-        if (inst->eliminated) {
+        if (d->eliminated) {
             ++_sCommittedElim;
             ++committed_dead;
-            _pcProfiler.onEliminated(inst->pc);
+            _pcProfiler.onEliminated(d->pc);
         }
         ++_committedInsts;
         ++committed;
         _lastCommitCycle = _cycle;
         _rob.pop_front();
+        _instPool.release(inst);
     }
     accountCommitSlots(committed - committed_dead, committed_dead);
 }
@@ -1575,10 +1690,19 @@ Core::commit()
 InstPtr
 Core::findInRob(SeqNum seq) const
 {
-    for (auto it = _rob.rbegin(); it != _rob.rend(); ++it) {
-        if (it->inst->seq == seq)
-            return it->inst;
+    // The ROB is sorted by seq by construction (rename appends with
+    // increasing seq; commit/squash pop from the ends), so the lookup
+    // is a binary search over the ring instead of a linear scan.
+    std::size_t lo = 0, hi = _rob.size();
+    while (lo < hi) {
+        std::size_t mid = lo + (hi - lo) / 2;
+        if (_rob[mid].inst->seq < seq)
+            lo = mid + 1;
+        else
+            hi = mid;
     }
+    if (lo < _rob.size() && _rob[lo].inst->seq == seq)
+        return _rob[lo].inst;
     return nullptr;
 }
 
@@ -1628,6 +1752,7 @@ Core::squashFrom(SeqNum first_bad, Addr new_pc,
             auto &cursor = _oracleCursor[inst->staticIdx];
             cursor = std::min(cursor, inst->oracleIdx);
         }
+        _releaseScratch.push_back(inst);
         _rob.pop_back();
     }
 
@@ -1639,6 +1764,7 @@ Core::squashFrom(SeqNum first_bad, Addr new_pc,
             auto &cursor = _oracleCursor[inst->staticIdx];
             cursor = std::min(cursor, inst->oracleIdx);
         }
+        _releaseScratch.push_back(inst);
     }
     _fetchQueue.clear();
 
@@ -1646,8 +1772,14 @@ Core::squashFrom(SeqNum first_bad, Addr new_pc,
         return inst->squashed;
     };
     std::erase_if(_iq, is_squashed);
-    std::erase_if(_loadQueue, is_squashed);
-    std::erase_if(_storeQueue, is_squashed);
+    _loadQueue.eraseIf(is_squashed);
+    _storeQueue.eraseIf(is_squashed);
+    std::erase_if(_readyList, [](const InstPtr &inst) {
+        if (!inst->squashed)
+            return false;
+        inst->inReadyList = false;
+        return true;
+    });
 
     // Squashing a store or re-exposing a poison token invalidates the
     // assumptions other verifications were made under; conservatively
@@ -1671,6 +1803,16 @@ Core::squashFrom(SeqNum first_bad, Addr new_pc,
 
     _frontend.setHistory(new_history);
     redirectFetch(new_pc);
+
+    // Recycle the victims last — every structure above has been
+    // scrubbed, so no live handle to them remains. A victim still on
+    // the completion wheel is recycled when its slot drains instead
+    // (writeback checks the squashed flag before touching it).
+    for (const InstPtr &inst : _releaseScratch) {
+        if (!inst->inWheel)
+            _instPool.release(inst);
+    }
+    _releaseScratch.clear();
 }
 
 void

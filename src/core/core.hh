@@ -37,17 +37,17 @@
 #ifndef DDE_CORE_CORE_HH
 #define DDE_CORE_CORE_HH
 
-#include <deque>
 #include <functional>
-#include <map>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "cache/cache.hh"
+#include "common/ring.hh"
 #include "common/stats.hh"
 #include "core/config.hh"
 #include "core/dyninst.hh"
+#include "core/inst_pool.hh"
 #include "core/rename.hh"
 #include "emu/emulator.hh"
 #include "predictor/branch.hh"
@@ -122,6 +122,10 @@ class Core
         _onCommit = std::move(cb);
     }
 
+    /** The DynInst slab pool (exposed for the recycling/steady-state
+     * allocation tests). */
+    const InstPool &instPool() const { return _instPool; }
+
     /**
      * Idealized-predictor labels for ElimConfig::oraclePredictor:
      * labels[staticIdx][k] tells whether the k-th committed instance
@@ -194,7 +198,18 @@ class Core
     RegVal loadValue(const InstPtr &load, const InstPtr &forward_from);
     void feedDetector(const InstPtr &inst);
     void trainFromEvents();
+    /** Seq→entry lookup: the ROB is sorted by seq by construction
+     * (dispatch appends increasing seqs; retire/squash pop the ends),
+     * so the ring itself is the index and the slot of a seq is a
+     * binary search, not the seed's O(ROB) scan. */
     InstPtr findInRob(SeqNum seq) const;
+    /** Append to the issue ready list iff the instruction just became
+     * selectable (in the IQ, unissued, unparked, all sources ready).
+     * Called from every event that can complete its readiness:
+     * dispatch, writeback wakeup, and the two unpark paths. */
+    void maybeMarkReady(const InstPtr &inst);
+    /** Put an executed instruction on the completion timing wheel. */
+    void scheduleCompletion(Cycle when, const InstPtr &inst);
 
     // --- configuration / substrate -----------------------------------
     const prog::Program &_program;
@@ -217,12 +232,32 @@ class Core
     std::vector<RatEntry> _retireRat;  ///< committed mappings
 
     // --- pipeline structures --------------------------------------------
-    std::deque<InstPtr> _fetchQueue;
-    std::deque<RobEntry> _rob;
+    /** All in-flight DynInst records; queues hold handles into it. */
+    InstPool _instPool;
+    BoundedRing<InstPtr> _fetchQueue;
+    BoundedRing<RobEntry> _rob;
     std::vector<InstPtr> _iq;
-    std::deque<InstPtr> _loadQueue;
-    std::deque<InstPtr> _storeQueue;
-    std::multimap<Cycle, InstPtr> _completions;
+    BoundedRing<InstPtr> _loadQueue;
+    BoundedRing<InstPtr> _storeQueue;
+    /**
+     * Completion event queue as a timing wheel: slot c & mask holds
+     * the instructions completing at cycle c. The wheel spans the
+     * longest possible completion latency (full cache-miss chain,
+     * divide), so a slot always drains before it can be reused —
+     * writeback pops exactly one slot per cycle instead of walking a
+     * std::multimap (and its per-node allocations).
+     */
+    std::vector<std::vector<InstPtr>> _wheel;
+    Cycle _wheelMask = 0;
+    /**
+     * Issue-stage ready list: instructions whose sources are all
+     * ready, maintained incrementally (and kept seq-sorted on insert)
+     * by maybeMarkReady instead of being rebuilt and sorted from the
+     * whole IQ every cycle.
+     */
+    std::vector<InstPtr> _readyList;
+    /** Squash scratch: victims pending pool release (hoisted). */
+    std::vector<InstPtr> _releaseScratch;
 
     // --- fetch state -------------------------------------------------
     Addr _pc;

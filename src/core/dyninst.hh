@@ -1,16 +1,25 @@
 /**
  * @file
  * The in-flight dynamic instruction record shared by all pipeline
- * stages of the out-of-order core.
+ * stages of the out-of-order core, and the generation-checked handle
+ * the stages pass around.
+ *
+ * Records live in a slab pool (core/inst_pool.hh) and are recycled
+ * through a free list: fetch never touches the heap in steady state,
+ * and squash storms return records to the pool instead of freeing
+ * them. A handle (InstRef) captures the record's generation at
+ * allocation; dereferencing a handle whose record has since been
+ * recycled panics instead of silently reading the new occupant.
  */
 
 #ifndef DDE_CORE_DYNINST_HH
 #define DDE_CORE_DYNINST_HH
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
-#include <memory>
 
+#include "common/logging.hh"
 #include "common/types.hh"
 #include "isa/instruction.hh"
 #include "predictor/dead_predictor.hh"
@@ -75,6 +84,12 @@ struct DynInst
     bool issued = false;
     bool completed = false;
     bool squashed = false;
+    /** On the issue stage's ready list (all sources ready, not parked,
+     * awaiting select). Maintained by Core::maybeMarkReady. */
+    bool inReadyList = false;
+    /** Scheduled on the completion timing wheel; a squashed record is
+     * recycled only after its wheel slot drains. */
+    bool inWheel = false;
 
     // --- execution -------------------------------------------------------
     RegVal result = 0;
@@ -97,9 +112,71 @@ struct DynInst
         return !inst.hasSideEffect() &&
                (inst.writesReg() || inst.isStore());
     }
+
+    /** Recycle generation, owned by InstPool: bumped every time the
+     * record returns to the free list, so handles minted before the
+     * recycle can be told from handles to the new occupant. */
+    std::uint32_t poolGen = 0;
 };
 
-using InstPtr = std::shared_ptr<DynInst>;
+class InstPool;
+
+/**
+ * Generation-checked handle to a pooled DynInst. Copying is two
+ * words; dereference validates that the record has not been recycled
+ * since the handle was minted and panics on a stale access (the
+ * pooled equivalent of a use-after-free).
+ */
+class InstRef
+{
+  public:
+    InstRef() = default;
+    InstRef(std::nullptr_t) {}
+
+    DynInst *
+    get() const
+    {
+        // panic_if is a function, so its message arguments would be
+        // evaluated (dereferencing _inst) even for a null handle;
+        // branch first.
+        if (_inst && _inst->poolGen != _gen)
+            panic("stale DynInst handle (record recycled: gen ", _gen,
+                  " vs ", _inst->poolGen, ")");
+        return _inst;
+    }
+
+    DynInst &operator*() const { return *get(); }
+    DynInst *operator->() const { return get(); }
+    explicit operator bool() const { return _inst != nullptr; }
+
+    /** Non-null and not recycled (no panic; for tests/assertions). */
+    bool
+    valid() const
+    {
+        return _inst != nullptr && _inst->poolGen == _gen;
+    }
+
+    friend bool
+    operator==(const InstRef &a, const InstRef &b)
+    {
+        return a._inst == b._inst && a._gen == b._gen;
+    }
+    friend bool
+    operator!=(const InstRef &a, const InstRef &b)
+    {
+        return !(a == b);
+    }
+
+  private:
+    friend class InstPool;
+    InstRef(DynInst *inst, std::uint32_t gen) : _inst(inst), _gen(gen)
+    {}
+
+    DynInst *_inst = nullptr;
+    std::uint32_t _gen = 0;
+};
+
+using InstPtr = InstRef;
 
 } // namespace dde::core
 

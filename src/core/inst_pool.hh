@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Slab pool of DynInst records.
+ *
+ * The seed core paid one std::make_shared per fetched instruction —
+ * a heap allocation plus atomic refcount traffic on the hottest path
+ * in the simulator. The pool instead carves records out of
+ * fixed-size slabs that are never freed, recycles them through a
+ * LIFO free list, and hands out generation-checked handles
+ * (core/dyninst.hh): after warmup the fetch/squash/commit cycle is
+ * allocation-free, and a squash storm recycles its victims instead
+ * of returning them to the allocator.
+ *
+ * Stale-handle detection: release() bumps the record's generation,
+ * so any handle minted before the recycle panics on dereference. A
+ * double release is caught the same way (the first release
+ * invalidated the handle being released).
+ */
+
+#ifndef DDE_CORE_INST_POOL_HH
+#define DDE_CORE_INST_POOL_HH
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+#include "core/dyninst.hh"
+
+namespace dde::core
+{
+
+class InstPool
+{
+  public:
+    /** Records per slab. One slab covers a whole tiny core; big
+     * configurations settle at a handful after warmup. */
+    static constexpr std::size_t kSlabInsts = 128;
+
+    /** Take a record off the free list (growing by one slab if the
+     * pool is dry), reset it to a freshly-constructed DynInst, and
+     * return a handle bound to its current generation. */
+    InstRef
+    alloc()
+    {
+        if (_free.empty())
+            grow();
+        DynInst *slot = _free.back();
+        _free.pop_back();
+        std::uint32_t gen = slot->poolGen;
+        *slot = DynInst{};
+        slot->poolGen = gen;
+        ++_live;
+        ++_totalAllocs;
+        return InstRef(slot, gen);
+    }
+
+    /** Return a record to the free list and invalidate every handle
+     * to it. Releasing a stale (already-released) handle panics. */
+    void
+    release(const InstRef &ref)
+    {
+        DynInst *slot = ref.get();  // panics if already recycled
+        panic_if(slot == nullptr, "releasing a null DynInst handle");
+        ++slot->poolGen;
+        _free.push_back(slot);
+        --_live;
+    }
+
+    /** Slabs allocated so far (monotone; steady state is flat). */
+    std::size_t slabs() const { return _slabs.size(); }
+    /** Total records across all slabs. */
+    std::size_t capacity() const { return _slabs.size() * kSlabInsts; }
+    /** Records currently handed out. */
+    std::size_t live() const { return _live; }
+    /** Lifetime alloc() count — exceeds capacity() iff recycling. */
+    std::uint64_t totalAllocs() const { return _totalAllocs; }
+
+  private:
+    void
+    grow()
+    {
+        _slabs.push_back(std::make_unique<DynInst[]>(kSlabInsts));
+        _free.reserve(capacity());
+        DynInst *base = _slabs.back().get();
+        for (std::size_t i = kSlabInsts; i-- > 0;)
+            _free.push_back(&base[i]);
+    }
+
+    std::vector<std::unique_ptr<DynInst[]>> _slabs;
+    std::vector<DynInst *> _free;
+    std::size_t _live = 0;
+    std::uint64_t _totalAllocs = 0;
+};
+
+} // namespace dde::core
+
+#endif // DDE_CORE_INST_POOL_HH

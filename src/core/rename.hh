@@ -70,6 +70,10 @@ class FreeList
   public:
     explicit FreeList(unsigned num_regs)
     {
+        // The list can never exceed num_regs entries, so one up-front
+        // reservation keeps alloc/release allocation-free for the
+        // simulation's lifetime.
+        _free.reserve(num_regs);
         for (PhysRegId r = num_regs; r-- > 1;)
             _free.push_back(r);
     }

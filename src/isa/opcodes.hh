@@ -12,6 +12,7 @@
 #ifndef DDE_ISA_OPCODES_HH
 #define DDE_ISA_OPCODES_HH
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 
@@ -75,8 +76,54 @@ struct OpInfo
     bool readsRs2;
 };
 
-/** Property table lookup. */
-const OpInfo &opInfo(Opcode op);
+/** Static property table, indexed by opcode value. */
+inline constexpr std::array<OpInfo, kNumOpcodes> kOpTable = {{
+    // mnemonic  class             format     dest   rs1    rs2
+    {"add",  OpClass::IntAlu,  Format::R, true,  true,  true},
+    {"sub",  OpClass::IntAlu,  Format::R, true,  true,  true},
+    {"and",  OpClass::IntAlu,  Format::R, true,  true,  true},
+    {"or",   OpClass::IntAlu,  Format::R, true,  true,  true},
+    {"xor",  OpClass::IntAlu,  Format::R, true,  true,  true},
+    {"sll",  OpClass::IntAlu,  Format::R, true,  true,  true},
+    {"srl",  OpClass::IntAlu,  Format::R, true,  true,  true},
+    {"sra",  OpClass::IntAlu,  Format::R, true,  true,  true},
+    {"slt",  OpClass::IntAlu,  Format::R, true,  true,  true},
+    {"sltu", OpClass::IntAlu,  Format::R, true,  true,  true},
+    {"mul",  OpClass::IntMult, Format::R, true,  true,  true},
+    {"div",  OpClass::IntDiv,  Format::R, true,  true,  true},
+    {"rem",  OpClass::IntDiv,  Format::R, true,  true,  true},
+    {"addi", OpClass::IntAlu,  Format::I, true,  true,  false},
+    {"andi", OpClass::IntAlu,  Format::I, true,  true,  false},
+    {"ori",  OpClass::IntAlu,  Format::I, true,  true,  false},
+    {"xori", OpClass::IntAlu,  Format::I, true,  true,  false},
+    {"slli", OpClass::IntAlu,  Format::I, true,  true,  false},
+    {"srli", OpClass::IntAlu,  Format::I, true,  true,  false},
+    {"srai", OpClass::IntAlu,  Format::I, true,  true,  false},
+    {"slti", OpClass::IntAlu,  Format::I, true,  true,  false},
+    {"lui",  OpClass::IntAlu,  Format::I, true,  false, false},
+    {"ld",   OpClass::Load,    Format::M, true,  true,  false},
+    {"st",   OpClass::Store,   Format::M, false, true,  true},
+    {"beq",  OpClass::Branch,  Format::B, false, true,  true},
+    {"bne",  OpClass::Branch,  Format::B, false, true,  true},
+    {"blt",  OpClass::Branch,  Format::B, false, true,  true},
+    {"bge",  OpClass::Branch,  Format::B, false, true,  true},
+    {"bltu", OpClass::Branch,  Format::B, false, true,  true},
+    {"bgeu", OpClass::Branch,  Format::B, false, true,  true},
+    {"jal",  OpClass::Jump,    Format::J, true,  false, false},
+    {"jalr", OpClass::Jump,    Format::I, true,  true,  false},
+    {"out",  OpClass::Other,   Format::X, false, true,  false},
+    {"halt", OpClass::Other,   Format::X, false, false, false},
+    {"nop",  OpClass::Other,   Format::X, false, false, false},
+}};
+
+/** Property table lookup. Inline: this sits on the decode path of
+ * every pipeline stage, where an out-of-line call dominates the
+ * actual one-load lookup. */
+inline const OpInfo &
+opInfo(Opcode op)
+{
+    return kOpTable[static_cast<std::size_t>(op)];
+}
 
 /** Mnemonic → opcode; returns NumOpcodes if unknown. */
 Opcode opcodeFromMnemonic(std::string_view mnemonic);

@@ -343,6 +343,7 @@ SweepReport::writeCsv(std::ostream &os) const
 {
     // Metric columns: union of metric names in first-appearance order.
     std::vector<std::string> metric_cols;
+    metric_cols.reserve(8);
     for (const JobResult &r : results) {
         for (const Metric &m : r.metrics) {
             bool known = false;
@@ -359,7 +360,10 @@ SweepReport::writeCsv(std::ostream &os) const
     for (const JobResult &r : results)
         any_profile = any_profile || r.stats.profile.valid;
 
-    std::vector<std::string> header = {"label", "ok", "error"};
+    std::vector<std::string> header;
+    header.reserve(3 + std::size(kStatColumns) + metric_cols.size() +
+                   (any_profile ? std::size(kSlotFields) : 0));
+    header.insert(header.end(), {"label", "ok", "error"});
     for (const char *c : kStatColumns)
         header.push_back(c);
     for (const std::string &c : metric_cols)
@@ -371,8 +375,9 @@ SweepReport::writeCsv(std::ostream &os) const
     os << json::csvRecord(header) << '\n';
 
     for (const JobResult &r : results) {
-        std::vector<std::string> row = {r.label, r.ok ? "1" : "0",
-                                        r.error};
+        std::vector<std::string> row;
+        row.reserve(header.size());
+        row.insert(row.end(), {r.label, r.ok ? "1" : "0", r.error});
         for (std::string &v : statValues(r))
             row.push_back(std::move(v));
         for (const std::string &c : metric_cols) {

@@ -37,6 +37,17 @@ goldenRun(const std::string &workload, bool elim)
     return sim::runOnCore(cache.program(key), cfg);
 }
 
+sim::SimResult
+goldenSquashRun(const std::string &workload)
+{
+    runner::ArtifactCache cache;
+    runner::ProgramKey key(workload, 1);
+    core::CoreConfig cfg = core::CoreConfig::contended();
+    cfg.elim.enable = true;
+    cfg.elim.recovery = core::RecoveryMode::SquashProducer;
+    return sim::runOnCore(cache.program(key), cfg);
+}
+
 } // namespace
 
 TEST(GoldenStats, EliminationRunCountersAreExact)
@@ -94,6 +105,52 @@ TEST(GoldenStats, HashmixEliminationCountersAreExact)
     EXPECT_EQ(s.detectorLive, 14510u);
 }
 
+// SquashProducer recovery pinned per workload: the squash path walks
+// completely different core machinery (producer-relative flush,
+// re-fetch, RAT rollback) than UEB repair, so the UEB goldens alone
+// would not catch drift in it.
+TEST(GoldenStats, CompressSquashProducerCountersAreExact)
+{
+    auto result = goldenSquashRun("compress");
+    const sim::RunStats &s = result.stats;
+
+    EXPECT_TRUE(result.halted);
+    EXPECT_EQ(s.committed, 17176u);
+    EXPECT_EQ(s.cycles, 19094u);
+    EXPECT_EQ(s.committedEliminated, 8u);
+    EXPECT_EQ(s.predictedDead, 48u);
+    EXPECT_EQ(s.deadMispredicts, 21u);
+    EXPECT_EQ(s.branchMispredicts, 423u);
+    EXPECT_EQ(s.physRegAllocs, 18815u);
+    EXPECT_EQ(s.rfReads, 25768u);
+    EXPECT_EQ(s.rfWrites, 14296u);
+    EXPECT_EQ(s.dcacheLoads, 3236u);
+    EXPECT_EQ(s.dcacheStores, 1841u);
+    EXPECT_EQ(s.detectorDead, 324u);
+    EXPECT_EQ(s.detectorLive, 13772u);
+}
+
+TEST(GoldenStats, HashmixSquashProducerCountersAreExact)
+{
+    auto result = goldenSquashRun("hashmix");
+    const sim::RunStats &s = result.stats;
+
+    EXPECT_TRUE(result.halted);
+    EXPECT_EQ(s.committed, 19006u);
+    EXPECT_EQ(s.cycles, 31519u);
+    EXPECT_EQ(s.committedEliminated, 585u);
+    EXPECT_EQ(s.predictedDead, 830u);
+    EXPECT_EQ(s.deadMispredicts, 29u);
+    EXPECT_EQ(s.branchMispredicts, 316u);
+    EXPECT_EQ(s.physRegAllocs, 19797u);
+    EXPECT_EQ(s.rfReads, 24738u);
+    EXPECT_EQ(s.rfWrites, 17109u);
+    EXPECT_EQ(s.dcacheLoads, 1270u);
+    EXPECT_EQ(s.dcacheStores, 824u);
+    EXPECT_EQ(s.detectorDead, 942u);
+    EXPECT_EQ(s.detectorLive, 14974u);
+}
+
 TEST(GoldenStats, HashmixEliminationKeepsObservableContract)
 {
     runner::ArtifactCache cache;
@@ -114,4 +171,52 @@ TEST(GoldenStats, EliminationRunKeepsObservableContract)
     auto result = sim::runOnCore(cache.program(key), cfg);
     auto ref = cache.reference(key);
     EXPECT_TRUE(sim::observablyEqual(result, *ref));
+}
+
+namespace
+{
+
+/** The golden grid as a sweep: both pinned workloads in both
+ * recovery modes on the contended machine. */
+void
+buildGoldenSweep(runner::SweepRunner &sweep)
+{
+    for (const char *workload : {"compress", "hashmix"}) {
+        runner::ProgramKey key(workload, 1);
+        for (auto mode : {core::RecoveryMode::UebRepair,
+                          core::RecoveryMode::SquashProducer}) {
+            core::CoreConfig cfg = core::CoreConfig::contended();
+            cfg.elim.enable = true;
+            cfg.elim.recovery = mode;
+            std::string label = std::string(workload) +
+                (mode == core::RecoveryMode::UebRepair ? "-ueb"
+                                                       : "-squash");
+            sweep.addCoreRun(label, key, cfg);
+        }
+    }
+}
+
+} // namespace
+
+// The parallel sweep runner must be a pure scheduling change: running
+// the golden grid on one thread and on four must serialize to the
+// same bytes, JSON and CSV alike.
+TEST(GoldenStats, ParallelSweepMatchesSerialByteForByte)
+{
+    runner::SweepRunner::Options serial_opts;
+    serial_opts.threads = 1;
+    runner::SweepRunner serial(serial_opts);
+    buildGoldenSweep(serial);
+    auto a = serial.run();
+
+    runner::SweepRunner::Options parallel_opts;
+    parallel_opts.threads = 4;
+    runner::SweepRunner parallel(parallel_opts);
+    buildGoldenSweep(parallel);
+    auto b = parallel.run();
+
+    ASSERT_TRUE(a.allOk());
+    ASSERT_TRUE(b.allOk());
+    EXPECT_EQ(a.toJson(), b.toJson());
+    EXPECT_EQ(a.toCsv(), b.toCsv());
 }
