@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Differential-correctness fuzzer driver: K random programs × the
+ * fig6 config grid (elimination off / on under both recovery modes),
+ * each co-simulated in lockstep against the functional emulator on
+ * the SweepRunner thread pool. Any divergence fails the run; the
+ * first failure is minimized by greedy instruction deletion and
+ * written as a dde.fuzzdiff/1 artifact (CI uploads it on failure).
+ *
+ * --inject-bug plants a known correctness fault in the core
+ * (eliminations skip commit-time verification) to prove the oracle
+ * and shrinker catch real bugs — the CI forced-failure dry run.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "verify/fuzzdiff.hh"
+
+using namespace dde;
+
+namespace
+{
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --seeds N      random programs to run (default 200)\n"
+        "  --seed-base X  base seed for program derivation\n"
+        "  --scale N      program size multiplier (default 1)\n"
+        "  --threads N    worker threads (default: DDE_SWEEP_THREADS\n"
+        "                 or hardware concurrency)\n"
+        "  --out PATH     minimized-repro artifact on failure\n"
+        "                 (default fuzzdiff-repro.json)\n"
+        "  --json PATH    write the full sweep report as JSON\n"
+        "  --inject-bug   plant the skip-verify core fault (forced\n"
+        "                 failure; oracle self-test)\n",
+        prog);
+}
+
+std::uint64_t
+parseUint(const char *flag, const char *text)
+{
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(text, &end, 0);
+    if (end == text || *end != '\0') {
+        std::fprintf(stderr, "bad value '%s' for %s\n", text, flag);
+        std::exit(2);
+    }
+    return v;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    verify::FuzzDiffOptions opts;
+    std::string artifact_path = "fuzzdiff-repro.json";
+    std::string json_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--seeds") {
+            opts.seeds = parseUint("--seeds", next());
+        } else if (arg == "--seed-base") {
+            opts.seedBase = parseUint("--seed-base", next());
+        } else if (arg == "--scale") {
+            opts.scale = unsigned(parseUint("--scale", next()));
+        } else if (arg == "--threads") {
+            opts.threads = unsigned(parseUint("--threads", next()));
+        } else if (arg == "--out") {
+            artifact_path = next();
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--inject-bug") {
+            opts.injectBug = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else {
+            std::fprintf(stderr, "unknown argument '%s' (try --help)\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+
+    std::printf("fuzz_diff: %llu seeds x %zu configs, scale %u%s\n",
+                (unsigned long long)opts.seeds,
+                verify::fuzzConfigGrid(false).size(), opts.scale,
+                opts.injectBug ? " [INJECTED BUG]" : "");
+
+    auto result = verify::runFuzzDiff(opts);
+
+    // Per-config pass/diverge tally.
+    std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
+        tally;
+    for (const auto &r : result.report.results) {
+        std::string config = r.label.substr(0, r.label.find(":s"));
+        if (r.ok)
+            ++tally[config].first;
+        else
+            ++tally[config].second;
+    }
+    std::printf("%-14s %8s %10s\n", "config", "clean", "diverged");
+    for (const auto &kv : tally) {
+        std::printf("%-14s %8llu %10llu\n", kv.first.c_str(),
+                    (unsigned long long)kv.second.first,
+                    (unsigned long long)kv.second.second);
+    }
+    std::printf("total: %zu jobs, %zu divergences\n", result.jobs,
+                result.divergences);
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        if (!os) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         json_path.c_str());
+            return 1;
+        }
+        result.report.writeJson(os);
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+
+    if (result.ok())
+        return 0;
+
+    for (const auto &f : result.failures) {
+        std::printf(
+            "\nminimized repro: seed %llu, config %s, "
+            "%zu -> %zu instructions\n",
+            (unsigned long long)f.seed, f.config.c_str(),
+            f.originalInsts, f.minimizedInsts);
+        std::printf("%s\n", f.report.render().c_str());
+        std::printf("program:\n%s", f.minimizedText.c_str());
+    }
+    std::ofstream os(artifact_path);
+    if (!os) {
+        std::fprintf(stderr, "cannot write '%s'\n",
+                     artifact_path.c_str());
+        return 1;
+    }
+    verify::writeFuzzDiffArtifact(os, opts, result);
+    std::fprintf(stderr, "fuzz_diff: FAILED, repro artifact at %s\n",
+                 artifact_path.c_str());
+    return 1;
+}

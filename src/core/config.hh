@@ -51,6 +51,14 @@ struct ElimConfig
     Cycle verifyGrace = 8;
     /** Head repairs of one PC tolerated before it is blacklisted. */
     unsigned repairLimit = 4;
+    /** Fault-injection hook for the differential oracle's self-test:
+     * eliminations at this PC are marked verified without running the
+     * commit-time verification sweep (~0 = every PC, 0 = off/normal).
+     * This is a correctness bug by construction — bench/fuzz_diff
+     * --inject-bug and tests/test_verify.cc use it to prove the
+     * lockstep oracle and shrinker catch real divergences. Must never
+     * be set in experiments. */
+    Addr debugSkipVerifyPc = 0;
     predictor::DeadPredictorConfig predictor;
     predictor::DetectorConfig detector;
 

@@ -1506,10 +1506,16 @@ Core::commit()
     // eliminated instructions can verify in one pass (each link sees
     // the younger links' freshly-set verified flags).
     if (_cfg.elim.enable) {
+        const Addr inject = _cfg.elim.debugSkipVerifyPc;
         for (std::size_t i = _rob.size(); i-- > 0;) {
             DynInst *const d = _rob[i].inst.get();
-            if (d->eliminated && !d->verified && verifyEliminated(i))
+            if (!d->eliminated || d->verified)
+                continue;
+            if (verifyEliminated(i) ||
+                (inject != 0 &&
+                 (inject == ~Addr(0) || inject == d->pc))) {
                 d->verified = true;
+            }
         }
     }
 

@@ -106,6 +106,23 @@ class Core
         return _pcProfiler;
     }
 
+    /** The dead-instruction predictor (read-only; the lockstep
+     * oracle's divergence reports quote its per-PC state). */
+    const predictor::DeadInstPredictor &deadPredictor() const
+    {
+        return _deadPredictor;
+    }
+    /** `pc` is temporarily barred from elimination after a dead
+     * misprediction. */
+    bool elimBarred(Addr pc) const { return _noElim.count(pc) != 0; }
+    /** `pc` failed commit-time verification repeatedly and is
+     * permanently blacklisted. */
+    bool
+    elimSticky(Addr pc) const
+    {
+        return _stickyNoElim.count(pc) != 0;
+    }
+
     /** ROB / issue-queue occupancy histograms (per-cycle samples). */
     const stats::Histogram &robOccupancy() const
     {

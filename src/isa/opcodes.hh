@@ -125,8 +125,17 @@ opInfo(Opcode op)
     return kOpTable[static_cast<std::size_t>(op)];
 }
 
-/** Mnemonic → opcode; returns NumOpcodes if unknown. */
-Opcode opcodeFromMnemonic(std::string_view mnemonic);
+/** Mnemonic → opcode; returns NumOpcodes if unknown. Cold path
+ * (assembler only), but too small to deserve its own object file. */
+inline Opcode
+opcodeFromMnemonic(std::string_view mnemonic)
+{
+    for (std::size_t i = 0; i < kOpTable.size(); ++i) {
+        if (kOpTable[i].mnemonic == mnemonic)
+            return static_cast<Opcode>(i);
+    }
+    return Opcode::NumOpcodes;
+}
 
 inline bool
 isConditionalBranch(Opcode op)

@@ -1,0 +1,229 @@
+#include "verify/fuzzdiff.hh"
+
+#include <stdexcept>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "emu/emulator.hh"
+
+namespace dde::verify
+{
+
+namespace
+{
+
+/** Emulator instruction cap for generator-produced programs: they
+ * terminate by construction, so hitting this is a generator bug. */
+constexpr std::uint64_t kFuzzEmuCap = 5'000'000;
+
+/** Core cycle budget for a program whose reference execution commits
+ * `insts` instructions: generous enough that only a genuine hang (a
+ * consumer parked forever, a livelock) exhausts it. */
+Cycle
+cycleBudget(std::uint64_t insts)
+{
+    return 100'000 + 30 * insts;
+}
+
+core::CoreConfig
+withElim(core::CoreConfig cfg, core::RecoveryMode recovery,
+         bool inject_bug)
+{
+    cfg.elim.enable = true;
+    cfg.elim.recovery = recovery;
+    if (inject_bug)
+        cfg.elim.debugSkipVerifyPc = ~Addr(0);
+    return cfg;
+}
+
+} // namespace
+
+std::vector<FuzzDiffConfigPoint>
+fuzzConfigGrid(bool inject_bug)
+{
+    using core::CoreConfig;
+    using core::RecoveryMode;
+    std::vector<FuzzDiffConfigPoint> grid;
+    grid.push_back({"base-cont", CoreConfig::contended()});
+    grid.push_back({"ueb-cont",
+                    withElim(CoreConfig::contended(),
+                             RecoveryMode::UebRepair, inject_bug)});
+    grid.push_back({"squash-cont",
+                    withElim(CoreConfig::contended(),
+                             RecoveryMode::SquashProducer, inject_bug)});
+    grid.push_back({"base-wide", CoreConfig::wide()});
+    grid.push_back({"ueb-wide",
+                    withElim(CoreConfig::wide(),
+                             RecoveryMode::UebRepair, inject_bug)});
+    grid.push_back({"squash-wide",
+                    withElim(CoreConfig::wide(),
+                             RecoveryMode::SquashProducer, inject_bug)});
+    return grid;
+}
+
+namespace
+{
+
+/** One (seed, config) lockstep job. */
+runner::JobResult
+runOne(std::uint64_t seed, const FuzzDiffConfigPoint &point,
+       const FuzzOptions &fopts)
+{
+    runner::JobResult r;
+    prog::Program program = fuzzProgram(seed, fopts);
+    auto ref = emu::runProgram(program, kFuzzEmuCap, false);
+
+    LockstepOptions lopts;
+    lopts.maxCycles = cycleBudget(ref.instCount);
+    LockstepResult ls = runLockstep(program, point.cfg, lopts);
+
+    // SweepRunner marks any job that returns as ok; a divergence must
+    // fail its slot, so surface it as the job's exception.
+    if (!ls.ok)
+        throw std::runtime_error(ls.report.summary());
+    r.add(runner::Metric("staticInsts",
+                         std::uint64_t(program.numInsts())));
+    r.add(runner::Metric("refInsts", ref.instCount));
+    r.add(runner::Metric("committed", ls.committed));
+    r.add(runner::Metric("eliminated", ls.committedEliminated));
+    r.add(runner::Metric("cycles", ls.cycles));
+    return r;
+}
+
+FuzzDiffFailure
+minimize(std::uint64_t seed, const FuzzDiffConfigPoint &point,
+         const FuzzOptions &fopts)
+{
+    FuzzDiffFailure failure;
+    failure.seed = seed;
+    failure.config = point.name;
+
+    prog::Program program = fuzzProgram(seed, fopts);
+    failure.originalInsts = program.numInsts();
+
+    auto diverges = [&point](const prog::Program &candidate,
+                             DivergenceReport *out) -> bool {
+        std::uint64_t ref_insts;
+        try {
+            // A candidate must still be a valid terminating program:
+            // deletions that break termination or escape the text
+            // section do not count as reproducing the bug.
+            auto ref = emu::runProgram(candidate, kFuzzEmuCap, false);
+            ref_insts = ref.instCount;
+        } catch (const FatalError &) {
+            return false;
+        } catch (const PanicError &) {
+            return false;
+        }
+        LockstepOptions lopts;
+        lopts.maxCycles = cycleBudget(ref_insts);
+        LockstepResult ls = runLockstep(candidate, point.cfg, lopts);
+        if (ls.diverged && out)
+            *out = ls.report;
+        return ls.diverged;
+    };
+
+    prog::Program minimized = shrinkProgram(
+        program, [&](const prog::Program &candidate) {
+            return diverges(candidate, nullptr);
+        });
+
+    DivergenceReport report;
+    bool still = diverges(minimized, &report);
+    panic_if(!still, "minimized program stopped reproducing");
+    failure.report = std::move(report);
+    failure.minimizedInsts = minimized.numInsts();
+    failure.minimizedText = programText(minimized);
+    return failure;
+}
+
+} // namespace
+
+FuzzDiffResult
+runFuzzDiff(const FuzzDiffOptions &opts)
+{
+    FuzzDiffResult result;
+    auto grid = fuzzConfigGrid(opts.injectBug);
+
+    FuzzOptions fopts = opts.fuzz;
+    fopts.scale = opts.scale;
+
+    runner::SweepRunner::Options ropts;
+    ropts.threads = opts.threads;
+    ropts.seed = opts.seedBase;
+    runner::SweepRunner sweep(ropts);
+
+    /** (seed, grid index) of each job, in submission order. */
+    std::vector<std::pair<std::uint64_t, std::size_t>> job_key;
+    for (std::uint64_t s = 0; s < opts.seeds; ++s) {
+        std::uint64_t seed = runner::deriveSeed(opts.seedBase, s);
+        for (std::size_t c = 0; c < grid.size(); ++c) {
+            job_key.emplace_back(seed, c);
+            sweep.add(grid[c].name + ":s" + std::to_string(seed),
+                      [seed, c, &grid, fopts](runner::JobContext &) {
+                          return runOne(seed, grid[c], fopts);
+                      });
+        }
+    }
+
+    result.report = sweep.run();
+    result.seedsRun = opts.seeds;
+    result.jobs = result.report.size();
+    for (const runner::JobResult &r : result.report.results) {
+        if (!r.ok)
+            ++result.divergences;
+    }
+
+    // Minimize the first failures, deterministically (submission
+    // order), one at a time: shrinking re-runs lockstep O(n²) times.
+    for (std::size_t i = 0;
+         i < result.report.size() &&
+         result.failures.size() < opts.maxShrink;
+         ++i) {
+        if (result.report[i].ok)
+            continue;
+        auto [seed, c] = job_key[i];
+        result.failures.push_back(minimize(seed, grid[c], fopts));
+    }
+    return result;
+}
+
+void
+writeFuzzDiffArtifact(std::ostream &os, const FuzzDiffOptions &opts,
+                      const FuzzDiffResult &result)
+{
+    json::Writer w(os);
+    w.beginObject();
+    w.field("schema", "dde.fuzzdiff/1");
+    w.field("seeds", std::uint64_t(opts.seeds));
+    w.field("seedBase", std::uint64_t(opts.seedBase));
+    w.field("scale", unsigned(opts.scale));
+    w.field("injectBug", opts.injectBug);
+    w.key("configs");
+    w.beginArray();
+    for (const auto &point : fuzzConfigGrid(false))
+        w.value(point.name);
+    w.endArray();
+    w.field("jobs", std::uint64_t(result.jobs));
+    w.field("divergences", std::uint64_t(result.divergences));
+    w.key("failures");
+    w.beginArray();
+    for (const FuzzDiffFailure &f : result.failures) {
+        w.beginObject();
+        w.field("seed", f.seed);
+        w.field("config", f.config);
+        w.field("kind", f.report.kind);
+        w.field("summary", f.report.summary());
+        w.field("pc", f.report.pc);
+        w.field("seq", f.report.seq);
+        w.field("originalInsts", std::uint64_t(f.originalInsts));
+        w.field("minimizedInsts", std::uint64_t(f.minimizedInsts));
+        w.field("program", f.minimizedText);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << "\n";
+}
+
+} // namespace dde::verify

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Differential fuzzing campaign: K random programs × the fig6
+ * configuration grid (baseline / elimination under both recovery
+ * modes, contended and wide machines), each run under the lockstep
+ * oracle on the SweepRunner thread pool.
+ *
+ * Any failing (seed, config) point is re-run deterministically, the
+ * program is minimized by greedy instruction deletion while the
+ * divergence keeps reproducing, and the result — seed, config,
+ * divergence report, minimized program text — serializes as a
+ * `dde.fuzzdiff/1` JSON artifact that CI uploads and a developer can
+ * replay from the text alone.
+ */
+
+#ifndef DDE_VERIFY_FUZZDIFF_HH
+#define DDE_VERIFY_FUZZDIFF_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/config.hh"
+#include "runner/runner.hh"
+#include "verify/lockstep.hh"
+#include "verify/progfuzz.hh"
+
+namespace dde::verify
+{
+
+/** One point of the differential config grid. */
+struct FuzzDiffConfigPoint
+{
+    std::string name;
+    core::CoreConfig cfg;
+};
+
+/**
+ * The fig6 grid extended with both recovery modes: baseline (no
+ * elimination), UEB-repair and SquashProducer elimination, each on
+ * the contended and wide machines. With `inject_bug`, every
+ * elimination config carries the debugSkipVerifyPc=all fault — the
+ * oracle self-test / CI forced-failure dry run.
+ */
+std::vector<FuzzDiffConfigPoint> fuzzConfigGrid(bool inject_bug);
+
+/** Campaign knobs (bench/fuzz_diff's command line). */
+struct FuzzDiffOptions
+{
+    std::uint64_t seeds = 200;
+    std::uint64_t seedBase = 0xd1ff;
+    unsigned scale = 1;
+    unsigned threads = 0;  ///< 0 = SweepRunner default
+    bool injectBug = false;
+    /** Failing points minimized for the artifact (shrinking is the
+     * expensive part; the first failure is what CI triages). */
+    std::size_t maxShrink = 1;
+    FuzzOptions fuzz;
+};
+
+/** One minimized failure. */
+struct FuzzDiffFailure
+{
+    std::uint64_t seed = 0;
+    std::string config;
+    DivergenceReport report;
+    std::size_t originalInsts = 0;
+    std::size_t minimizedInsts = 0;
+    /** Assembler text of the minimized repro; feed back through
+     * programFromText + runLockstep to replay. */
+    std::string minimizedText;
+};
+
+/** Campaign outcome. */
+struct FuzzDiffResult
+{
+    std::uint64_t seedsRun = 0;
+    std::size_t jobs = 0;
+    std::size_t divergences = 0;
+    runner::SweepReport report;
+    std::vector<FuzzDiffFailure> failures;
+
+    bool ok() const { return divergences == 0; }
+};
+
+/** Run the campaign: seeds × grid lockstep jobs in parallel, then
+ * minimize up to maxShrink failures serially. */
+FuzzDiffResult runFuzzDiff(const FuzzDiffOptions &opts);
+
+/** Serialize the campaign outcome as a dde.fuzzdiff/1 document. */
+void writeFuzzDiffArtifact(std::ostream &os,
+                           const FuzzDiffOptions &opts,
+                           const FuzzDiffResult &result);
+
+} // namespace dde::verify
+
+#endif // DDE_VERIFY_FUZZDIFF_HH

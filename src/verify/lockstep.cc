@@ -1,0 +1,344 @@
+#include "verify/lockstep.hh"
+
+#include <algorithm>
+#include <deque>
+#include <iomanip>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "core/core.hh"
+#include "emu/emulator.hh"
+#include "isa/assembler.hh"
+#include "isa/semantics.hh"
+#include "sim/simulator.hh"
+
+namespace dde::verify
+{
+
+namespace
+{
+
+std::string
+hexPc(Addr pc)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << pc;
+    return os.str();
+}
+
+/** Thrown by the commit callback to abandon the core mid-run once a
+ * divergence report has been captured. */
+struct DivergeSignal
+{
+};
+
+/** The per-commit comparator; owns the reference emulator and the
+ * recent-commit ring. */
+class Checker
+{
+  public:
+    Checker(const prog::Program &program, const core::Core &core,
+            const LockstepOptions &opts)
+        : _emu(program), _core(core), _opts(opts)
+    {}
+
+    void
+    onCommit(const core::DynInst &d)
+    {
+        pushHistory(d);
+        if (_emu.halted()) {
+            diverge(d, "pc",
+                    "core committed past the emulator's halt");
+        }
+        Addr expect_pc = _emu.pc();
+        if (d.pc != expect_pc) {
+            diverge(d, "pc",
+                    "expected pc " + hexPc(expect_pc) + ", core committed " +
+                        hexPc(d.pc));
+        }
+
+        std::array<RegVal, kNumArchRegs> before = _emu.regs();
+        _emu.step();
+
+        const isa::Instruction &in = d.inst;
+        if (in.isCondBranch()) {
+            bool expect_taken = _emu.pc() != expect_pc + 4;
+            if (d.actualTaken != expect_taken) {
+                diverge(d, "branch-direction",
+                        std::string("expected ") +
+                            (expect_taken ? "taken" : "not-taken") +
+                            ", core resolved " +
+                            (d.actualTaken ? "taken" : "not-taken"));
+            }
+        }
+        if (!d.eliminated && !d.repairPoisoned && in.writesReg()) {
+            RegVal expect = _emu.reg(in.rd);
+            if (d.result != expect) {
+                diverge(d, "result",
+                        "expected " + std::to_string(expect) +
+                            ", core wrote " + std::to_string(d.result));
+            }
+        }
+        // Eliminated loads never generate their address; eliminated
+        // stores still do (for disambiguation), so those are checked.
+        if (in.isMem() && !(d.eliminated && in.isLoad())) {
+            Addr expect_addr = isa::effectiveAddr(in, before[in.rs1]);
+            if (d.effAddr != expect_addr) {
+                diverge(d, "eff-addr",
+                        "expected address " + hexPc(expect_addr) +
+                            ", core generated " + hexPc(d.effAddr));
+            }
+            if (in.isStore() && !d.eliminated) {
+                RegVal expect = _emu.memory().read(expect_addr);
+                if (d.storeData != expect) {
+                    diverge(d, "store-value",
+                            "expected store data " +
+                                std::to_string(expect) + ", core wrote " +
+                                std::to_string(d.storeData));
+                }
+            }
+        }
+        if (in.isOut()) {
+            RegVal expect = _emu.output().back();
+            if (d.result != expect) {
+                diverge(d, "output",
+                        "expected output " + std::to_string(expect) +
+                            ", core emitted " + std::to_string(d.result));
+            }
+        }
+    }
+
+    /** Final-state comparison once the core halted cleanly.
+     * @return true if a divergence was recorded. */
+    bool
+    checkFinalState()
+    {
+        for (RegId r = 1; r < kNumArchRegs; ++r) {
+            // A poisoned register's last writer was verified dead:
+            // its architectural value is legitimately undefined.
+            if (_core.archRegPoisoned(r))
+                continue;
+            RegVal expect = _emu.reg(r);
+            RegVal got = _core.archReg(r);
+            if (got != expect) {
+                std::string detail = "r";
+                detail += std::to_string(unsigned(r));
+                detail += ": expected " + std::to_string(expect) +
+                          ", core has " + std::to_string(got);
+                divergeFinal("final-reg", detail);
+                return true;
+            }
+        }
+        if (std::string mism = firstMemoryMismatch(); !mism.empty()) {
+            divergeFinal("final-mem", mism);
+            return true;
+        }
+        if (_core.output() != _emu.output()) {
+            divergeFinal("final-output",
+                         "output streams differ (emulator " +
+                             std::to_string(_emu.output().size()) +
+                             " values, core " +
+                             std::to_string(_core.output().size()) + ")");
+            return true;
+        }
+        return false;
+    }
+
+    /** Build a report for a failure with no diverging commit record
+     * (panic, fatal, cycle exhaustion). */
+    DivergenceReport
+    exceptionReport(const std::string &kind, const std::string &detail)
+    {
+        _report = DivergenceReport{};
+        _report.kind = kind;
+        _report.detail = detail;
+        if (!_history.empty()) {
+            _report.seq = _history.back().seq;
+            _report.pc = _history.back().pc;
+            _report.disasm = _history.back().disasm;
+            captureElimState(_report.pc, 0, false);
+        }
+        _report.history.assign(_history.begin(), _history.end());
+        return _report;
+    }
+
+    const DivergenceReport &report() const { return _report; }
+
+  private:
+    void
+    pushHistory(const core::DynInst &d)
+    {
+        CommittedInst rec;
+        rec.seq = d.seq;
+        rec.pc = d.pc;
+        rec.disasm = isa::disassemble(d.inst);
+        rec.eliminated = d.eliminated;
+        rec.verified = d.verified;
+        _history.push_back(std::move(rec));
+        if (_history.size() > _opts.historyDepth)
+            _history.pop_front();
+    }
+
+    void
+    captureElimState(Addr pc, predictor::FutureSig sig, bool sig_valid)
+    {
+        _report.haveElimState = true;
+        _report.elimBarred = _core.elimBarred(pc);
+        _report.elimSticky = _core.elimSticky(pc);
+        if (sig_valid) {
+            const auto &pred = _core.deadPredictor();
+            _report.predictorCounter =
+                pred.counterOf(pc, pred.maskSig(sig));
+        }
+    }
+
+    [[noreturn]] void
+    diverge(const core::DynInst &d, const std::string &kind,
+            const std::string &detail)
+    {
+        _report = DivergenceReport{};
+        _report.kind = kind;
+        _report.detail = detail;
+        _report.seq = d.seq;
+        _report.pc = d.pc;
+        _report.disasm = isa::disassemble(d.inst);
+        captureElimState(d.pc, d.sig, d.sigValid);
+        _report.history.assign(_history.begin(), _history.end());
+        throw DivergeSignal{};
+    }
+
+    void
+    divergeFinal(const std::string &kind, const std::string &detail)
+    {
+        _report = exceptionReport(kind, detail);
+    }
+
+    /** First differing committed-memory word, lowest address wins;
+     * empty string when the memories match. */
+    std::string
+    firstMemoryMismatch() const
+    {
+        const emu::Memory &a = _core.memoryState();
+        const emu::Memory &b = _emu.memory();
+        bool found = false;
+        Addr word = 0;
+        auto scan = [&](const emu::Memory &x, const emu::Memory &y) {
+            for (const auto &kv : x.words()) {
+                if (y.read(kv.first) != kv.second &&
+                    (!found || kv.first < word)) {
+                    found = true;
+                    word = kv.first;
+                }
+            }
+        };
+        scan(a, b);
+        scan(b, a);
+        if (!found)
+            return "";
+        return "memory word " + hexPc(word) + ": expected " +
+               std::to_string(b.read(word)) + ", core has " +
+               std::to_string(a.read(word));
+    }
+
+    emu::Emulator _emu;
+    const core::Core &_core;
+    LockstepOptions _opts;
+    std::deque<CommittedInst> _history;
+    DivergenceReport _report;
+};
+
+} // namespace
+
+std::string
+DivergenceReport::summary() const
+{
+    std::ostringstream os;
+    os << kind << " divergence at pc " << hexPc(pc) << " seq " << seq;
+    if (!disasm.empty())
+        os << " (" << disasm << ")";
+    os << ": " << detail;
+    return os.str();
+}
+
+std::string
+DivergenceReport::render() const
+{
+    std::ostringstream os;
+    os << "lockstep divergence: " << kind << "\n"
+       << "  at: seq " << seq << ", pc " << hexPc(pc);
+    if (!disasm.empty())
+        os << "  " << disasm;
+    os << "\n  " << detail << "\n";
+    if (haveElimState) {
+        os << "  eliminator state for pc: predictor-counter="
+           << predictorCounter << " barred=" << (elimBarred ? 1 : 0)
+           << " sticky=" << (elimSticky ? 1 : 0) << "\n";
+    }
+    os << "  last " << history.size() << " commits (oldest first):\n";
+    for (const CommittedInst &c : history) {
+        os << "    seq " << std::setw(8) << c.seq << "  "
+           << hexPc(c.pc) << "  "
+           << (c.eliminated ? (c.verified ? "[EV]" : "[E ]") : "[  ]")
+           << " " << c.disasm << "\n";
+    }
+    return os.str();
+}
+
+LockstepResult
+runLockstep(const prog::Program &program, const core::CoreConfig &cfg,
+            const LockstepOptions &opts)
+{
+    LockstepResult result;
+    core::Core core(program, cfg);
+    Checker checker(program, core, opts);
+    core.onCommit(
+        [&](const core::DynInst &d) { checker.onCommit(d); });
+
+    try {
+        if (cfg.elim.enable && cfg.elim.oraclePredictor) {
+            auto ref = emu::runProgram(program);
+            core.setOracleLabels(sim::computeOracleLabels(
+                program, ref.trace, cfg.elim.detector));
+        }
+        core.run(opts.maxCycles);
+    } catch (const DivergeSignal &) {
+        result.diverged = true;
+        result.report = checker.report();
+    } catch (const PanicError &e) {
+        result.diverged = true;
+        result.report = checker.exceptionReport("panic", e.what());
+    } catch (const FatalError &e) {
+        result.diverged = true;
+        result.report = checker.exceptionReport("fatal", e.what());
+    }
+
+    result.committed = core.committedInsts();
+    result.cycles = core.cycles();
+    result.committedEliminated =
+        core.stats().lookupCounter("committedEliminated").value();
+
+    if (result.diverged)
+        return result;
+
+    if (!core.halted()) {
+        result.diverged = true;
+        result.report = checker.exceptionReport(
+            "no-halt", "core exhausted " +
+                           std::to_string(opts.maxCycles) +
+                           " cycles without committing halt (" +
+                           std::to_string(result.committed) +
+                           " instructions committed)");
+        return result;
+    }
+
+    if (checker.checkFinalState()) {
+        result.diverged = true;
+        result.report = checker.report();
+        return result;
+    }
+
+    result.ok = true;
+    return result;
+}
+
+} // namespace dde::verify

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Lockstep differential oracle: co-simulate the timed out-of-order
+ * core against the functional emulator and compare architectural
+ * state at every commit.
+ *
+ * This is the systematic form of the correctness argument behind
+ * dead-instruction elimination: the mechanism is legal only if it is
+ * architecturally invisible, so the committed stream of the core with
+ * elimination enabled must be indistinguishable — PC trace, register
+ * writes, store addresses and values, the output stream, and the
+ * final architectural state — from a plain in-order execution.
+ *
+ * Unlike sim::RunOptions::cosim (which panics at the first mismatch),
+ * the oracle captures a structured first-divergence report: the
+ * diverging commit's seq/PC/disassembly, expected vs. actual values,
+ * the last N committed instructions, and the predictor/eliminator
+ * state for that PC — everything needed to triage a fuzzer-found
+ * failure without re-running under a debugger.
+ */
+
+#ifndef DDE_VERIFY_LOCKSTEP_HH
+#define DDE_VERIFY_LOCKSTEP_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/config.hh"
+#include "prog/program.hh"
+
+namespace dde::verify
+{
+
+/** One entry of the recent-commit history ring in a report. */
+struct CommittedInst
+{
+    SeqNum seq = 0;
+    Addr pc = 0;
+    std::string disasm;
+    bool eliminated = false;
+    bool verified = false;
+};
+
+/** First-divergence report: what went wrong, where, and what the
+ * elimination machinery thought about that PC. */
+struct DivergenceReport
+{
+    /** Mismatch class: "pc", "branch-direction", "result",
+     * "eff-addr", "store-value", "output", "final-reg", "final-mem",
+     * "final-output", "no-halt", "panic", "fatal". */
+    std::string kind;
+    /** Human-readable expected-vs-actual detail. */
+    std::string detail;
+
+    SeqNum seq = 0;
+    Addr pc = 0;
+    std::string disasm;
+
+    /** Predictor / eliminator state for the diverging PC. */
+    bool haveElimState = false;
+    unsigned predictorCounter = 0;
+    bool elimBarred = false;
+    bool elimSticky = false;
+
+    /** Last N committed instructions, oldest first; the diverging
+     * commit (when there is one) is the final entry. */
+    std::vector<CommittedInst> history;
+
+    /** One-line "kind at pc/seq: detail" form (job error strings). */
+    std::string summary() const;
+    /** Full multi-line report including the commit history. */
+    std::string render() const;
+};
+
+/** Lockstep run knobs. */
+struct LockstepOptions
+{
+    /** Core cycle budget; exhausting it is a "no-halt" divergence. */
+    Cycle maxCycles = 20'000'000;
+    /** Committed instructions kept in the history ring. */
+    std::size_t historyDepth = 16;
+};
+
+/** Outcome of one lockstep co-simulation. */
+struct LockstepResult
+{
+    /** Halted with every per-commit and final-state check clean. */
+    bool ok = false;
+    bool diverged = false;
+    DivergenceReport report;
+
+    std::uint64_t committed = 0;
+    std::uint64_t committedEliminated = 0;
+    Cycle cycles = 0;
+};
+
+/**
+ * Run `program` on a core built from `cfg` with the emulator stepped
+ * in lockstep at every commit. Returns at the first divergence (the
+ * core is abandoned mid-flight) or after the halt commit plus a full
+ * final-state comparison. Core-internal panics and emulator fatals
+ * are captured as divergences, not propagated.
+ */
+LockstepResult runLockstep(const prog::Program &program,
+                           const core::CoreConfig &cfg,
+                           const LockstepOptions &opts = {});
+
+} // namespace dde::verify
+
+#endif // DDE_VERIFY_LOCKSTEP_HH

@@ -1,0 +1,438 @@
+#include "verify/progfuzz.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "isa/assembler.hh"
+
+namespace dde::verify
+{
+
+using isa::Instruction;
+using isa::Opcode;
+using namespace isa::build;
+
+namespace
+{
+
+/** Dedicated loop-trip register; never a random destination, so every
+ * backward branch is a counted loop that provably exits. */
+constexpr RegId kCounterReg = 31;
+/** Scratch register for computed-address sequences. */
+constexpr RegId kAddrReg = 30;
+
+constexpr Opcode kAluR[] = {
+    Opcode::Add, Opcode::Sub, Opcode::And, Opcode::Or, Opcode::Xor,
+    Opcode::Sll, Opcode::Srl, Opcode::Sra, Opcode::Slt, Opcode::Sltu,
+};
+constexpr Opcode kAluI[] = {
+    Opcode::Addi, Opcode::Andi, Opcode::Ori, Opcode::Xori,
+    Opcode::Slli, Opcode::Srli, Opcode::Srai, Opcode::Slti,
+    Opcode::Lui,
+};
+constexpr Opcode kMulDiv[] = {Opcode::Mul, Opcode::Div, Opcode::Rem};
+constexpr Opcode kBranches[] = {
+    Opcode::Beq, Opcode::Bne, Opcode::Blt,
+    Opcode::Bge, Opcode::Bltu, Opcode::Bgeu,
+};
+
+class Generator
+{
+  public:
+    Generator(std::uint64_t seed, const FuzzOptions &opts)
+        : _rng(seed), _opts(opts)
+    {}
+
+    prog::Program
+    build(const std::string &name)
+    {
+        unsigned segments = (6 + _rng.range(0, 3)) * _opts.scale + 4;
+        for (unsigned s = 0; s < segments; ++s)
+            emitSegment();
+        // Make the output stream and a few registers observable so
+        // the final-state comparison always has signal.
+        emit(out(pickSrc()));
+        emit(out(pickSrc()));
+        emit(halt());
+        emitFunctions();
+        patchCalls();
+
+        prog::Program program(name);
+        for (const Instruction &inst : _text)
+            program.append(inst);
+        return program;
+    }
+
+  private:
+    // --- random picks -------------------------------------------------
+    RegId pickDest() { return RegId(_rng.range(4, 29)); }
+
+    RegId
+    pickSrc()
+    {
+        // Mostly general registers; occasionally zero or gp so their
+        // read patterns are covered too.
+        double roll = _rng.uniform();
+        if (roll < 0.06)
+            return kRegZero;
+        if (roll < 0.10)
+            return kRegGp;
+        return RegId(_rng.range(4, 29));
+    }
+
+    RegId
+    pickSrcNot(RegId avoid)
+    {
+        for (;;) {
+            RegId r = pickSrc();
+            if (r != avoid)
+                return r;
+        }
+    }
+
+    std::int64_t alignedOff()
+    {
+        return 8 * std::int64_t(_rng.range(0, _opts.dataWords - 1));
+    }
+
+    void emit(const Instruction &inst) { _text.push_back(inst); }
+
+    // --- instruction-level emitters -----------------------------------
+    /** One random non-control instruction writing into `rd` (or a
+     * random destination when rd == 0), never reading `avoid`. */
+    void
+    emitAluInto(RegId rd, RegId avoid)
+    {
+        if (_rng.chance(0.5)) {
+            Opcode op = kAluR[_rng.range(0, std::size(kAluR) - 1)];
+            emit(rr(op, rd, pickSrcNot(avoid), pickSrcNot(avoid)));
+            return;
+        }
+        Opcode op = kAluI[_rng.range(0, std::size(kAluI) - 1)];
+        std::int64_t imm;
+        switch (op) {
+          case Opcode::Slli:
+          case Opcode::Srli:
+          case Opcode::Srai:
+            imm = std::int64_t(_rng.range(0, 63));
+            break;
+          case Opcode::Lui:
+            imm = std::int64_t(_rng.range(0, 1023)) - 512;
+            break;
+          default:
+            imm = std::int64_t(_rng.range(0, 255)) - 128;
+            break;
+        }
+        if (op == Opcode::Lui)
+            emit(Instruction(op, rd, 0, 0, imm));
+        else
+            emit(ri(op, rd, pickSrcNot(avoid), imm));
+    }
+
+    void
+    emitBodyInst(bool allow_mem = true)
+    {
+        double w[5] = {_opts.wAlu, _opts.wMulDiv,
+                       allow_mem ? _opts.wLoad : 0.0,
+                       allow_mem ? _opts.wStore : 0.0, _opts.wOut};
+        switch (_rng.weighted(w, 5)) {
+          case 0:
+            emitAluInto(pickDest(), kRegZero);
+            break;
+          case 1: {
+            Opcode op = kMulDiv[_rng.range(0, std::size(kMulDiv) - 1)];
+            emit(rr(op, pickDest(), pickSrc(), pickSrc()));
+            break;
+          }
+          case 2:
+            if (_rng.chance(0.25)) {
+                // Computed base: stays 8-aligned and in-bounds.
+                std::int64_t a = alignedOff();
+                emit(ri(Opcode::Addi, kAddrReg, kRegGp, a));
+                std::int64_t span =
+                    8 * std::int64_t(_opts.dataWords) - a;
+                emit(ld(pickDest(), kAddrReg,
+                        8 * std::int64_t(_rng.range(
+                                0, std::uint64_t(span / 8) - 1))));
+            } else {
+                emit(ld(pickDest(), kRegGp, alignedOff()));
+            }
+            break;
+          case 3:
+            emit(st(pickSrc(), kRegGp, alignedOff()));
+            break;
+          default:
+            emit(out(pickSrc()));
+            break;
+        }
+    }
+
+    /** One deliberate dead-value idiom. */
+    void
+    emitDeadIdiom()
+    {
+        switch (_rng.range(0, 2)) {
+          case 0: {
+            // Overwrite-before-read: first write of rd is dead.
+            RegId rd = pickDest();
+            emitAluInto(rd, kRegZero);
+            unsigned fillers = unsigned(_rng.range(0, 2));
+            for (unsigned i = 0; i < fillers; ++i)
+                emitAluInto(pickDestNot(rd), rd);
+            emitAluInto(rd, rd);
+            break;
+          }
+          case 1: {
+            // Dead store: same word overwritten before any load.
+            std::int64_t off = alignedOff();
+            emit(st(pickSrc(), kRegGp, off));
+            unsigned fillers = unsigned(_rng.range(0, 2));
+            for (unsigned i = 0; i < fillers; ++i)
+                emitAluInto(pickDest(), kRegZero);
+            emit(st(pickSrc(), kRegGp, off));
+            break;
+          }
+          default: {
+            // "Hoisted" computation: the consumer hides behind a
+            // data-dependent branch, so the definition is dead on the
+            // taken path — exactly the future-control-flow pattern
+            // the predictor's signature is built to capture.
+            RegId tmp = pickDest();
+            emitAluInto(tmp, kRegZero);
+            Opcode bop =
+                kBranches[_rng.range(0, std::size(kBranches) - 1)];
+            emit(br(bop, pickSrcNot(tmp), pickSrcNot(tmp), 2));
+            emit(rr(Opcode::Add, pickDestNot(tmp), tmp,
+                    pickSrcNot(tmp)));
+            emitAluInto(tmp, tmp);
+            break;
+          }
+        }
+    }
+
+    RegId
+    pickDestNot(RegId avoid)
+    {
+        for (;;) {
+            RegId r = pickDest();
+            if (r != avoid)
+                return r;
+        }
+    }
+
+    // --- segment-level emitters ---------------------------------------
+    void
+    emitSegment()
+    {
+        double w[5] = {_opts.wStraight, _opts.wLoop, _opts.wBranch,
+                       _opts.wCall, _opts.wDeadIdiom};
+        switch (_rng.weighted(w, 5)) {
+          case 0: {
+            unsigned n = unsigned(_rng.range(3, 8));
+            for (unsigned i = 0; i < n; ++i)
+                emitBodyInst();
+            break;
+          }
+          case 1:
+            emitLoop();
+            break;
+          case 2: {
+            // Forward branch over a short then-block.
+            unsigned n = unsigned(_rng.range(1, 4));
+            Opcode bop =
+                kBranches[_rng.range(0, std::size(kBranches) - 1)];
+            emit(br(bop, pickSrc(), pickSrc(),
+                    std::int64_t(n) + 1));
+            for (unsigned i = 0; i < n; ++i)
+                emitBodyInst();
+            break;
+          }
+          case 3:
+            emitCall();
+            break;
+          default:
+            emitDeadIdiom();
+            break;
+        }
+    }
+
+    void
+    emitLoop()
+    {
+        unsigned trips =
+            unsigned(_rng.range(2, _opts.maxLoopTrips));
+        emit(li(kCounterReg, trips));
+        std::size_t loop_start = _text.size();
+        unsigned n = unsigned(_rng.range(2, 5));
+        for (unsigned i = 0; i < n; ++i)
+            emitBodyInst();
+        if (_rng.chance(_opts.loopIdiomChance))
+            emitDeadIdiom();
+        emit(ri(Opcode::Addi, kCounterReg, kCounterReg, -1));
+        std::int64_t disp = std::int64_t(loop_start) -
+                            std::int64_t(_text.size());
+        emit(br(Opcode::Bne, kCounterReg, kRegZero, disp));
+    }
+
+    void
+    emitCall()
+    {
+        constexpr std::size_t kMaxFuncs = 3;
+        std::size_t func;
+        if (_numFuncs > 0 &&
+            (_numFuncs >= kMaxFuncs || _rng.chance(0.5))) {
+            func = _rng.range(0, _numFuncs - 1);
+        } else {
+            func = _numFuncs++;
+        }
+        _patches.push_back({_text.size(), func});
+        emit(jal(kRegRa, 0));  // displacement patched at the end
+    }
+
+    /** Leaf functions, placed after the halt; straight-line bodies
+     * that never touch ra or the loop counter, closed by a return. */
+    void
+    emitFunctions()
+    {
+        for (std::size_t f = 0; f < _numFuncs; ++f) {
+            _funcStart.push_back(_text.size());
+            unsigned n = unsigned(_rng.range(3, 7));
+            for (unsigned i = 0; i < n; ++i)
+                emitBodyInst();
+            if (_rng.chance(0.5))
+                emitDeadIdiom();
+            emit(jalr(kRegZero, kRegRa, 0));
+        }
+    }
+
+    void
+    patchCalls()
+    {
+        for (const CallPatch &p : _patches) {
+            _text[p.index].imm =
+                std::int64_t(_funcStart[p.func]) -
+                std::int64_t(p.index);
+        }
+    }
+
+    struct CallPatch
+    {
+        std::size_t index;
+        std::size_t func;
+    };
+
+    Rng _rng;
+    FuzzOptions _opts;
+    std::vector<Instruction> _text;
+    std::vector<CallPatch> _patches;
+    std::vector<std::size_t> _funcStart;
+    std::size_t _numFuncs = 0;
+};
+
+/** PC-relative control (conditional branches and jal); jalr targets
+ * are register values and shift with the code automatically. */
+bool
+isPcRelative(const Instruction &inst)
+{
+    return inst.isCondBranch() || inst.op == Opcode::Jal;
+}
+
+} // namespace
+
+prog::Program
+fuzzProgram(std::uint64_t seed, const FuzzOptions &opts)
+{
+    panic_if(opts.dataWords == 0, "fuzz data region is empty");
+    Generator gen(seed, opts);
+    return gen.build("fuzz-" + std::to_string(seed));
+}
+
+std::string
+programText(const prog::Program &program)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < program.numInsts(); ++i)
+        os << isa::disassemble(program.inst(i)) << "\n";
+    return os.str();
+}
+
+prog::Program
+programFromText(const std::string &name, const std::string &text)
+{
+    isa::AsmResult assembled = isa::assemble(text);
+    prog::Program program(name);
+    for (const Instruction &inst : assembled.insts)
+        program.append(inst);
+    return program;
+}
+
+prog::Program
+deleteInst(const prog::Program &program, std::size_t index)
+{
+    panic_if(index >= program.numInsts(),
+             "deleteInst index out of range");
+    prog::Program out(program.name());
+    const auto del = std::int64_t(index);
+    for (std::size_t i = 0; i < program.numInsts(); ++i) {
+        if (i == index)
+            continue;
+        Instruction inst = program.inst(i);
+        if (isPcRelative(inst)) {
+            std::int64_t j = std::int64_t(i);
+            std::int64_t t = j + inst.imm;
+            // Deleting a slot between source and target shortens the
+            // displacement by one; a branch whose exact target died
+            // falls through to the target's successor (same slot).
+            if (j < del && t > del)
+                inst.imm -= 1;
+            else if (j > del && t <= del)
+                inst.imm += 1;
+        }
+        out.append(inst, program.origin(i));
+    }
+    for (const auto &kv : program.initData())
+        out.poke(kv.first, kv.second);
+    return out;
+}
+
+bool
+controlTargetsValid(const prog::Program &program)
+{
+    const auto n = std::int64_t(program.numInsts());
+    for (std::int64_t i = 0; i < n; ++i) {
+        const Instruction &inst = program.inst(std::size_t(i));
+        if (!isPcRelative(inst))
+            continue;
+        std::int64_t t = i + inst.imm;
+        if (t < 0 || t >= n)
+            return false;
+    }
+    return n > 0;
+}
+
+prog::Program
+shrinkProgram(const prog::Program &program,
+              const std::function<bool(const prog::Program &)> &reproduces)
+{
+    prog::Program current = program;
+    bool progress = true;
+    while (progress && current.numInsts() > 1) {
+        progress = false;
+        std::size_t i = 0;
+        while (i < current.numInsts() && current.numInsts() > 1) {
+            prog::Program candidate = deleteInst(current, i);
+            if (controlTargetsValid(candidate) &&
+                reproduces(candidate)) {
+                current = std::move(candidate);
+                progress = true;
+                // The next instruction now occupies slot i.
+            } else {
+                ++i;
+            }
+        }
+    }
+    return current;
+}
+
+} // namespace dde::verify

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Seeded random program generator and greedy shrinker for the
+ * differential-correctness fuzzer.
+ *
+ * Programs are generated structurally so they terminate by
+ * construction: backward branches only appear as counted loops with a
+ * dedicated, never-clobbered trip register; every other conditional
+ * branch is forward; calls go to straight-line leaf functions placed
+ * after the halt that return through an untouched `ra`. Within that
+ * skeleton the generator draws from the full opcode table with
+ * tunable mixes of ALU/mul/div work, loads/stores over an
+ * always-aligned scratch region off `gp`, and — the part that
+ * actually stresses the dead-instruction machinery — deliberate
+ * dead-value idioms: overwrite-before-read chains, dead stores, and
+ * speculatively "hoisted" computations whose consumer sits behind a
+ * data-dependent branch.
+ *
+ * The shrinker minimizes a failing program by greedy single
+ * instruction deletion (with PC-relative displacement fix-up) while a
+ * caller-supplied predicate keeps reproducing, producing the small
+ * repro a dde.fuzzdiff/1 artifact records.
+ */
+
+#ifndef DDE_VERIFY_PROGFUZZ_HH
+#define DDE_VERIFY_PROGFUZZ_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "prog/program.hh"
+
+namespace dde::verify
+{
+
+/** Size and mix knobs for the generator. */
+struct FuzzOptions
+{
+    /** Segment-count multiplier (the fuzzer's --scale). */
+    unsigned scale = 1;
+    /** Scratch data words addressable off gp (aligned, in-bounds). */
+    unsigned dataWords = 64;
+    /** Maximum trip count of one counted loop. */
+    unsigned maxLoopTrips = 12;
+
+    // Segment-type weights.
+    double wStraight = 3.0;
+    double wLoop = 3.0;
+    double wBranch = 3.0;
+    double wCall = 1.5;
+    double wDeadIdiom = 3.0;
+
+    // Per-instruction weights inside a block body.
+    double wAlu = 6.0;
+    double wMulDiv = 1.0;
+    double wLoad = 2.0;
+    double wStore = 2.0;
+    double wOut = 0.4;
+    /** Chance a loop body embeds a dead-value idiom (repeated
+     * instances are what train the predictor). */
+    double loopIdiomChance = 0.6;
+};
+
+/** Generate a valid, terminating random program for `seed`. The same
+ * (seed, options) pair always yields a byte-identical program. */
+prog::Program fuzzProgram(std::uint64_t seed,
+                          const FuzzOptions &opts = {});
+
+/** Render a program as assembler text (one instruction per line,
+ * numeric displacements) that assembles back to the identical
+ * instruction sequence. */
+std::string programText(const prog::Program &program);
+
+/** Parse programText output (or any assemblable source) back into a
+ * Program named `name`. */
+prog::Program programFromText(const std::string &name,
+                              const std::string &text);
+
+/** Remove the instruction at `index`, fixing up every PC-relative
+ * branch/jal displacement that crosses the deletion point (a branch
+ * whose exact target is deleted retargets to the next instruction). */
+prog::Program deleteInst(const prog::Program &program,
+                         std::size_t index);
+
+/** Every PC-relative control target lands inside the text section. */
+bool controlTargetsValid(const prog::Program &program);
+
+/**
+ * Greedy instruction-deletion shrinker: repeatedly try deleting each
+ * instruction and keep any deletion for which `reproduces` stays
+ * true, to a fixed point. `reproduces` must treat an invalid or
+ * non-terminating candidate as false (fuzzdiff's predicate re-runs
+ * the reference emulator to enforce this).
+ */
+prog::Program
+shrinkProgram(const prog::Program &program,
+              const std::function<bool(const prog::Program &)> &reproduces);
+
+} // namespace dde::verify
+
+#endif // DDE_VERIFY_PROGFUZZ_HH
