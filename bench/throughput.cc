@@ -1,25 +1,47 @@
 /**
  * @file
- * Simulator-throughput benchmark: wall-clock cost of the fig6 sweep.
+ * Simulator-throughput benchmark: wall-clock cost of the fig6 sweep,
+ * per simulation mode.
  *
  * Every experiment funnels through Core::tick(), so simulated
  * instructions per wall-clock second is the metric that bounds how
  * large a design space the repo can sweep. This bench runs the exact
  * fig6 grid (8 workloads x {base,elim,oracle} contended + {base,elim}
- * wide), times each core run, and reports per-job and aggregate
- * throughput:
+ * wide) in three modes:
  *
- *  - `mips`    simulated (committed) instructions per wall second,
- *  - `mcps`    simulated cycles per wall second (millions),
+ *  - `interp`      detailed core, interpreting fetch
+ *                  (fastpath.blockCache off) — the pre-fast-path
+ *                  baseline,
+ *  - `blockcache`  detailed core fetching through the decoded-block
+ *                  cache — the default configuration,
+ *  - `fastforward` functional fast-forward over 90% of the reference
+ *                  execution, detailed core for the remainder
+ *                  (oracle-predictor points are skipped in this mode:
+ *                  their label derivation would sit inside the timed
+ *                  region and drown the signal),
+ *
+ * and reports per-job and aggregate throughput:
+ *
+ *  - `mips`    simulated instructions advanced per wall second
+ *              (millions) — committed plus fast-forwarded, so modes
+ *              that cover the same program are directly comparable,
+ *  - `mcps`    simulated detailed cycles per wall second (millions),
  *
  * both computed from the best of `--repeat` timings per job, so a
  * cold cache or scheduler hiccup cannot masquerade as a regression.
  * Program compilation and oracle-label derivation are excluded from
- * the timed region; only sim::runOnCore is measured.
+ * the timed region; only sim::runOnCore is measured (for fastforward
+ * that includes the functional prefix — it is part of the cost of the
+ * mode).
  *
- * The aggregate is the sum of committed instructions over the grid
- * divided by the sum of per-job best wall times: a single-threaded
- * work metric independent of the --threads used to collect it.
+ * The top-level aggregate covers the `blockcache` rows — the default
+ * detailed path, comparable with the pre-fast-path entries in
+ * BENCH_throughput.json — and the `modes` object carries one
+ * aggregate per mode so the interp/blockcache/fastforward ratios are
+ * machine-independent. The aggregate is the sum of instructions over
+ * the grid divided by the sum of per-job best wall times: a
+ * single-threaded work metric independent of the --threads used to
+ * collect it.
  *
  * `--out PATH` writes the measurements as a `dde.throughput/1` JSON
  * object. The repo root's BENCH_throughput.json keeps one such object
@@ -88,18 +110,43 @@ parseArgs(int argc, char **argv)
     return args;
 }
 
+/** The simulation modes under measurement. */
+enum class Mode
+{
+    Interp,
+    BlockCache,
+    FastForward,
+};
+
+const char *
+modeName(Mode m)
+{
+    switch (m) {
+    case Mode::Interp: return "interp";
+    case Mode::BlockCache: return "blockcache";
+    case Mode::FastForward: return "fastforward";
+    }
+    return "?";
+}
+
 /** One measured grid point. */
 struct Timing
 {
     std::string label;
+    Mode mode = Mode::BlockCache;
     std::uint64_t committed = 0;
+    std::uint64_t fastForwarded = 0;
     std::uint64_t cycles = 0;
     double wallSeconds = 0.0;  ///< best of --repeat runs
+
+    /** Instructions the run advanced through, functional + detailed:
+     * the numerator that makes modes comparable. */
+    std::uint64_t covered() const { return committed + fastForwarded; }
 
     double mips() const
     {
         return wallSeconds > 0.0
-                   ? double(committed) / wallSeconds / 1e6
+                   ? double(covered()) / wallSeconds / 1e6
                    : 0.0;
     }
     double mcps() const
@@ -109,16 +156,54 @@ struct Timing
     }
 };
 
+/** Sum of a slice of timings, for one aggregate block. */
+struct Aggregate
+{
+    std::uint64_t committed = 0;
+    std::uint64_t fastForwarded = 0;
+    std::uint64_t cycles = 0;
+    double wall = 0.0;
+
+    void
+    add(const Timing &t)
+    {
+        committed += t.committed;
+        fastForwarded += t.fastForwarded;
+        cycles += t.cycles;
+        wall += t.wallSeconds;
+    }
+
+    std::uint64_t covered() const { return committed + fastForwarded; }
+    double mips() const
+    {
+        return wall > 0.0 ? double(covered()) / wall / 1e6 : 0.0;
+    }
+    double mcps() const
+    {
+        return wall > 0.0 ? double(cycles) / wall / 1e6 : 0.0;
+    }
+};
+
+void
+writeAggregateFields(json::Writer &w, const Aggregate &a)
+{
+    w.field("committed", a.committed);
+    w.field("fastForwarded", a.fastForwarded);
+    w.field("coveredInsts", a.covered());
+    w.field("cycles", a.cycles);
+    w.field("wallSeconds", a.wall);
+    w.field("mips", a.mips());
+    w.field("mcps", a.mcps());
+}
+
 void
 writeThroughputJson(std::ostream &os, const ThroughputArgs &args,
                     const std::vector<Timing> &timings)
 {
-    std::uint64_t committed = 0, cycles = 0;
-    double wall = 0.0;
+    Aggregate def;
     for (const Timing &t : timings) {
-        committed += t.committed;
-        cycles += t.cycles;
-        wall += t.wallSeconds;
+        if (t.mode == Mode::BlockCache)
+            def.add(t);
     }
 
     json::Writer w(os);
@@ -133,20 +218,34 @@ writeThroughputJson(std::ostream &os, const ThroughputArgs &args,
 #else
     w.field("build", "Debug");
 #endif
+    // The headline aggregate is the default detailed path (blockcache
+    // mode) — directly comparable with pre-fast-path entries.
     w.key("aggregate");
     w.beginObject();
-    w.field("committed", committed);
-    w.field("cycles", cycles);
-    w.field("wallSeconds", wall);
-    w.field("mips", wall > 0.0 ? double(committed) / wall / 1e6 : 0.0);
-    w.field("mcps", wall > 0.0 ? double(cycles) / wall / 1e6 : 0.0);
+    writeAggregateFields(w, def);
+    w.endObject();
+    w.key("modes");
+    w.beginObject();
+    for (Mode m : {Mode::Interp, Mode::BlockCache, Mode::FastForward}) {
+        Aggregate a;
+        for (const Timing &t : timings) {
+            if (t.mode == m)
+                a.add(t);
+        }
+        w.key(modeName(m));
+        w.beginObject();
+        writeAggregateFields(w, a);
+        w.endObject();
+    }
     w.endObject();
     w.key("jobs");
     w.beginArray();
     for (const Timing &t : timings) {
         w.beginObject();
         w.field("label", t.label);
+        w.field("mode", modeName(t.mode));
         w.field("committed", t.committed);
+        w.field("fastForwarded", t.fastForwarded);
         w.field("cycles", static_cast<std::uint64_t>(t.cycles));
         w.field("wallSeconds", t.wallSeconds);
         w.field("mips", t.mips());
@@ -187,35 +286,59 @@ main(int argc, char **argv)
     const auto &names = workloads::allWorkloads();
 
     // The fig6 grid, verbatim (bench/fig6_speedup.cc): five core
-    // configurations per workload.
+    // configurations per workload, crossed with the simulation modes.
     struct GridPoint
     {
         std::string label;
+        Mode mode;
         runner::ProgramKey key;
         core::CoreConfig cfg;
     };
     std::vector<GridPoint> grid;
-    grid.reserve(names.size() * 5);
     for (const auto &w : names) {
         auto key = bench::refKey(w.name, args.common);
-        grid.push_back({"base-cont:" + w.name, key,
-                        core::CoreConfig::contended()});
+        struct ConfigPoint
+        {
+            std::string label;
+            core::CoreConfig cfg;
+        };
+        std::vector<ConfigPoint> configs;
+        configs.push_back({"base-cont:" + w.name,
+                           core::CoreConfig::contended()});
         core::CoreConfig elim_c = core::CoreConfig::contended();
         elim_c.elim.enable = true;
-        grid.push_back({"elim-cont:" + w.name, key, elim_c});
+        configs.push_back({"elim-cont:" + w.name, elim_c});
         core::CoreConfig oracle_c = elim_c;
         oracle_c.elim.oraclePredictor = true;
-        grid.push_back({"oracle-cont:" + w.name, key, oracle_c});
-        grid.push_back({"base-wide:" + w.name, key,
-                        core::CoreConfig::wide()});
+        configs.push_back({"oracle-cont:" + w.name, oracle_c});
+        configs.push_back({"base-wide:" + w.name,
+                           core::CoreConfig::wide()});
         core::CoreConfig elim_w = core::CoreConfig::wide();
         elim_w.elim.enable = true;
-        grid.push_back({"elim-wide:" + w.name, key, elim_w});
+        configs.push_back({"elim-wide:" + w.name, elim_w});
+
+        for (Mode mode :
+             {Mode::Interp, Mode::BlockCache, Mode::FastForward}) {
+            for (const ConfigPoint &c : configs) {
+                if (mode == Mode::FastForward &&
+                    c.cfg.elim.oraclePredictor) {
+                    // Suffix-label derivation would run inside the
+                    // timed region; skip rather than report noise.
+                    continue;
+                }
+                core::CoreConfig cfg = c.cfg;
+                cfg.fastpath.blockCache = (mode != Mode::Interp);
+                grid.push_back({std::string(modeName(mode)) + "/" +
+                                    c.label,
+                                mode, key, cfg});
+            }
+        }
     }
 
     unsigned repeat = args.repeat;
     for (const GridPoint &p : grid) {
-        sweep.add(p.label, [p, repeat](runner::JobContext &ctx) {
+        Mode mode = p.mode;
+        sweep.add(p.label, [p, mode, repeat](runner::JobContext &ctx) {
             const prog::Program &program = ctx.cache.program(p.key);
             sim::RunOptions opts;
             std::vector<std::vector<bool>> labels;
@@ -224,6 +347,10 @@ main(int argc, char **argv)
                 labels = sim::computeOracleLabels(
                     program, ref->trace, p.cfg.elim.detector);
                 opts.oracleLabels = &labels;
+            }
+            if (mode == Mode::FastForward) {
+                auto ref = ctx.cache.reference(p.key);
+                opts.fastForwardInsts = (ref->instCount * 9) / 10;
             }
             double best = 0.0;
             sim::SimResult result;
@@ -242,10 +369,11 @@ main(int argc, char **argv)
             out.hasStats = true;
             out.stats = result.stats;
             out.add(runner::Metric("wallSeconds", best));
+            std::uint64_t covered = result.stats.committed +
+                                    result.stats.fastForwarded;
             out.add(runner::Metric(
-                "mips", best > 0.0 ? double(result.stats.committed) /
-                                         best / 1e6
-                                   : 0.0));
+                "mips",
+                best > 0.0 ? double(covered) / best / 1e6 : 0.0));
             return out;
         });
     }
@@ -254,35 +382,46 @@ main(int argc, char **argv)
 
     std::vector<Timing> timings;
     timings.reserve(report.size());
-    std::printf("%-22s %12s %12s %10s %10s\n", "job", "committed",
-                "cycles", "wall(ms)", "MIPS");
+    std::printf("%-36s %12s %12s %12s %10s %10s\n", "job", "committed",
+                "ffwd", "cycles", "wall(ms)", "MIPS");
     for (const auto &r : report.results) {
         if (!r.ok)
             continue;
         Timing t;
         t.label = r.label;
+        if (r.label.rfind("interp/", 0) == 0)
+            t.mode = Mode::Interp;
+        else if (r.label.rfind("fastforward/", 0) == 0)
+            t.mode = Mode::FastForward;
+        else
+            t.mode = Mode::BlockCache;
         t.committed = r.stats.committed;
+        t.fastForwarded = r.stats.fastForwarded;
         t.cycles = r.stats.cycles;
         t.wallSeconds = r.real("wallSeconds");
         timings.push_back(t);
-        std::printf("%-22s %12llu %12llu %10.3f %10.2f\n",
+        std::printf("%-36s %12llu %12llu %12llu %10.3f %10.2f\n",
                     t.label.c_str(),
                     static_cast<unsigned long long>(t.committed),
+                    static_cast<unsigned long long>(t.fastForwarded),
                     static_cast<unsigned long long>(t.cycles),
                     1e3 * t.wallSeconds, t.mips());
     }
 
-    std::uint64_t committed = 0, cycles = 0;
-    double wall = 0.0;
-    for (const Timing &t : timings) {
-        committed += t.committed;
-        cycles += t.cycles;
-        wall += t.wallSeconds;
+    for (Mode m : {Mode::Interp, Mode::BlockCache, Mode::FastForward}) {
+        Aggregate a;
+        for (const Timing &t : timings) {
+            if (t.mode == m)
+                a.add(t);
+        }
+        std::string label = std::string("AGGREGATE ") + modeName(m);
+        std::printf("%-36s %12llu %12llu %12llu %10.3f %10.2f\n",
+                    label.c_str(),
+                    static_cast<unsigned long long>(a.committed),
+                    static_cast<unsigned long long>(a.fastForwarded),
+                    static_cast<unsigned long long>(a.cycles),
+                    1e3 * a.wall, a.mips());
     }
-    std::printf("%-22s %12llu %12llu %10.3f %10.2f\n", "AGGREGATE",
-                static_cast<unsigned long long>(committed),
-                static_cast<unsigned long long>(cycles), 1e3 * wall,
-                wall > 0.0 ? double(committed) / wall / 1e6 : 0.0);
 
     if (!args.outPath.empty()) {
         std::ofstream os(args.outPath);

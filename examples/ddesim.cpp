@@ -50,6 +50,7 @@ struct Options
     bool deadness = false; // oracle characterization
     bool stats = false;    // full stat dump
     bool cosim = false;
+    std::uint64_t fastForward = 0;  // functional warm-up depth
     bool profile = false;  // commit-slot accounting + per-PC profile
     unsigned topn = 10;    // per-PC entries in the profile report
     unsigned threads = 0;  // sweep workers; 0 = auto
@@ -78,6 +79,9 @@ usage()
         "  --deadness          print the oracle dead characterization\n"
         "  --stats             dump the full core statistics report\n"
         "  --cosim             lockstep-check every commit vs emulator\n"
+        "  --fast-forward N    execute >= N instructions functionally\n"
+        "                      (to a block boundary), then warm-boot\n"
+        "                      the detailed core from the checkpoint\n"
         "  --profile           commit-slot cycle accounting and the\n"
         "                      top-N dead-prediction PC table\n"
         "  --topn N            PCs in the profile table (default 10)\n"
@@ -117,6 +121,8 @@ parseArgs(int argc, char **argv, Options &opt)
             opt.deadness = true;
         } else if (arg == "--stats") {
             opt.stats = true;
+        } else if (arg == "--fast-forward") {
+            opt.fastForward = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--cosim") {
             opt.cosim = true;
         } else if (arg == "--profile") {
@@ -266,6 +272,7 @@ main(int argc, char **argv)
         core::CoreConfig cfg = makeConfig(opt);
         sim::RunOptions run_opts;
         run_opts.cosim = opt.cosim;
+        run_opts.fastForwardInsts = opt.fastForward;
 
         std::vector<std::vector<bool>> oracle_labels;
         if (cfg.elim.enable && cfg.elim.oraclePredictor) {
@@ -318,6 +325,11 @@ main(int argc, char **argv)
                     run_label.c_str(),
                     (unsigned long long)run_result.stats.cycles,
                     run_result.stats.ipc);
+        if (run_result.stats.fastForwarded != 0) {
+            std::printf(", fast-forwarded %llu",
+                        (unsigned long long)
+                            run_result.stats.fastForwarded);
+        }
         if (opt.elim) {
             std::printf(", eliminated %llu (%.2f%%)",
                         (unsigned long long)

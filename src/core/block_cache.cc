@@ -1,0 +1,105 @@
+#include "core/block_cache.hh"
+
+#include "common/logging.hh"
+
+namespace dde::core
+{
+
+const DecodedBlock *
+BlockCache::lookup(Addr pc)
+{
+    if (!_program.containsPc(pc))
+        return nullptr;
+
+    auto it = _blocks.find(pc);
+    if (it != _blocks.end()) {
+        DecodedBlock *block = it->second.get();
+        if (block->gen == _gen) {
+            ++_stats.hits;
+        } else {
+            // Stale after a generation bump: rebuild in place. The
+            // entry keeps its slot so invalidation costs nothing per
+            // block until the block is actually re-fetched.
+            ++_stats.misses;
+            buildInto(*block, pc);
+        }
+        block->lastUse = ++_useClock;
+        _pinned = block;
+        return block;
+    }
+
+    ++_stats.misses;
+    if (_blocks.size() >= _cfg.capacityBlocks)
+        evictOne();
+    auto block = std::make_unique<DecodedBlock>();
+    DecodedBlock *raw = block.get();
+    buildInto(*raw, pc);
+    raw->lastUse = ++_useClock;
+    _blocks.emplace(pc, std::move(block));
+    _pinned = raw;
+    return raw;
+}
+
+void
+BlockCache::buildInto(DecodedBlock &block, Addr pc)
+{
+    ++_stats.builds;
+    block.startPc = pc;
+    block.gen = _gen;
+    block.insts.clear();
+
+    while (_program.containsPc(pc) &&
+           block.insts.size() < _cfg.maxBlockInsts) {
+        InstTemplate t;
+        DynInst &d = t.proto;
+        d.pc = pc;
+        d.staticIdx =
+            static_cast<std::uint32_t>(_program.indexOf(pc));
+        d.inst = _program.inst(d.staticIdx);
+        t.fetchLine = pc / _cfg.lineBytes;
+
+        // Crack the control flow once. The classification (and its
+        // order) mirrors Core::fetchInterp exactly; any new opcode
+        // class added there must be added here.
+        const isa::Instruction &in = d.inst;
+        if (in.isCondBranch()) {
+            t.ctrl = FetchCtrl::CondBranch;
+            t.staticTarget = in.branchTarget(pc);
+        } else if (in.op == isa::Opcode::Jal) {
+            t.ctrl = FetchCtrl::Jal;
+            t.staticTarget = in.branchTarget(pc);
+            t.pushRas = (in.rd == kRegRa);
+        } else if (in.op == isa::Opcode::Jalr) {
+            t.ctrl = FetchCtrl::Jalr;
+        } else if (in.isHalt()) {
+            t.ctrl = FetchCtrl::Halt;
+        }
+
+        block.insts.push_back(t);
+        if (t.ctrl != FetchCtrl::None)
+            break;
+        pc += 4;
+    }
+    panic_if(block.insts.empty(),
+             "built an empty decoded block at pc ", pc);
+}
+
+void
+BlockCache::evictOne()
+{
+    auto victim = _blocks.end();
+    for (auto it = _blocks.begin(); it != _blocks.end(); ++it) {
+        if (it->second.get() == _pinned)
+            continue;
+        if (victim == _blocks.end() ||
+            it->second->lastUse < victim->second->lastUse) {
+            victim = it;
+        }
+    }
+    if (victim != _blocks.end()) {
+        _blocks.erase(victim);
+        ++_stats.evictions;
+    }
+}
+
+} // namespace dde::core

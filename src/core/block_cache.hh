@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Decoded basic-block cache for the fetch stage.
+ *
+ * Interpreting fetch re-runs the same work for every dynamic instance
+ * of a static instruction: PC→index lookup, instruction copy out of
+ * the program image, opcode dispatch to classify the control flow,
+ * branch-target arithmetic, I-cache line computation. Real emulators
+ * (and the trace-reuse literature) pay that once per *static* block
+ * instead. The BlockCache does the same for the detailed core: the
+ * first fetch of a block decodes and cracks it into a vector of
+ * InstTemplates — a prototype DynInst with all static fields
+ * pre-filled plus the pre-classified control kind and pre-computed
+ * target/line — and every later fetch stamps dynamic instances by
+ * copying the prototype (InstPool::allocFrom) and filling in only the
+ * dynamic identity (seq, cycle, branch history).
+ *
+ * This is a pure software fast path: it must never change simulated
+ * behaviour. tests/test_block_cache.cc pins byte-identical counters
+ * with the cache on and off across the whole fig6 grid.
+ *
+ * Invalidation reuses the inst_pool.hh generation scheme: the cache
+ * carries a generation counter, every DecodedBlock records the
+ * generation it was built under, and bumpGeneration() makes every
+ * resident block stale at once — a stale hit rebuilds in place. The
+ * core additionally re-checks its block cursor's generation each
+ * fetch cycle, so a mid-block bump cannot keep stamping from a stale
+ * template.
+ */
+
+#ifndef DDE_CORE_BLOCK_CACHE_HH
+#define DDE_CORE_BLOCK_CACHE_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hh"
+#include "core/dyninst.hh"
+#include "prog/program.hh"
+
+namespace dde::core
+{
+
+/** Pre-cracked control classification of a template; replaces the
+ * per-instance opcode dispatch in the fetch loop. */
+enum class FetchCtrl : std::uint8_t
+{
+    None,        ///< straight-line instruction
+    CondBranch,  ///< direction-predicted, static target
+    Jal,         ///< unconditionally taken, static target
+    Jalr,        ///< indirect: target comes from the RAS
+    Halt,        ///< fetch stops for good
+};
+
+/** One pre-decoded slot of a block. */
+struct InstTemplate
+{
+    /** Prototype record with the static identity (pc, staticIdx,
+     * inst) pre-filled; fetch copies it wholesale and stamps the
+     * dynamic fields (seq, fetchCycle, histAtPred, prediction). */
+    DynInst proto;
+    FetchCtrl ctrl = FetchCtrl::None;
+    /** branchTarget(pc) for CondBranch/Jal; 0 otherwise. */
+    Addr staticTarget = 0;
+    /** Jal that links ra: fetch pushes the return address. */
+    bool pushRas = false;
+    /** Pre-computed I-cache line index of pc. */
+    Addr fetchLine = 0;
+};
+
+/** A decoded static block: straight-line run of templates ending at
+ * the first control-flow instruction (inclusive), the block length
+ * cap, or the end of the text section. */
+struct DecodedBlock
+{
+    Addr startPc = 0;
+    /** BlockCache generation this block was built under; a block
+     * whose gen trails the cache's is stale (see bumpGeneration). */
+    std::uint32_t gen = 0;
+    std::uint64_t lastUse = 0;
+    std::vector<InstTemplate> insts;
+};
+
+class BlockCache
+{
+  public:
+    struct Config
+    {
+        /** Resident blocks before LRU eviction kicks in. */
+        std::size_t capacityBlocks = 1024;
+        /** Longest block a single entry may hold. */
+        unsigned maxBlockInsts = 32;
+        /** I-cache line size, for the pre-computed fetch lines. */
+        Addr lineBytes = 64;
+    };
+
+    struct Stats
+    {
+        std::uint64_t hits = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t builds = 0;       ///< includes stale rebuilds
+        std::uint64_t evictions = 0;
+        std::uint64_t invalidations = 0;  ///< bumpGeneration calls
+    };
+
+    BlockCache(const prog::Program &program, const Config &cfg)
+        : _program(program), _cfg(cfg)
+    {}
+
+    /**
+     * The decoded block starting at `pc`, building (or rebuilding a
+     * stale entry in place) on miss; nullptr when `pc` is outside the
+     * text section. The returned pointer stays valid until the next
+     * lookup() — the most-recently-returned block is pinned against
+     * eviction so the core's fetch cursor can never dangle.
+     */
+    const DecodedBlock *lookup(Addr pc);
+
+    /** Invalidate every resident block at once (template generation
+     * bump): the blocks stay resident but stale, and the next lookup
+     * of each rebuilds it from the program image. */
+    void
+    bumpGeneration()
+    {
+        ++_gen;
+        ++_stats.invalidations;
+        _pinned = nullptr;
+    }
+
+    std::uint32_t generation() const { return _gen; }
+    const Stats &stats() const { return _stats; }
+    /** Resident blocks (fresh and stale alike). */
+    std::size_t size() const { return _blocks.size(); }
+
+  private:
+    void buildInto(DecodedBlock &block, Addr pc);
+    void evictOne();
+
+    const prog::Program &_program;
+    Config _cfg;
+    std::uint32_t _gen = 1;
+    std::uint64_t _useClock = 0;
+    /** Most recently returned block: never evicted (the core's fetch
+     * cursor may still be walking it). */
+    const DecodedBlock *_pinned = nullptr;
+    std::unordered_map<Addr, std::unique_ptr<DecodedBlock>> _blocks;
+    Stats _stats;
+};
+
+} // namespace dde::core
+
+#endif // DDE_CORE_BLOCK_CACHE_HH

@@ -71,6 +71,24 @@ struct ElimConfig
     }
 };
 
+/**
+ * Simulator software fast-path knobs. Everything here changes only
+ * host wall-clock behaviour, never simulated behaviour: all counters
+ * are byte-identical with these on or off (tests/test_block_cache.cc
+ * pins that across the fig6 grid).
+ */
+struct FastPathConfig
+{
+    /** Fetch through the decoded basic-block cache: decode and crack
+     * each static block once, stamp dynamic instances from its
+     * DynInst templates (core/block_cache.hh). */
+    bool blockCache = true;
+    /** Cached blocks before LRU eviction. */
+    unsigned blockCacheBlocks = 1024;
+    /** Longest cached block, in instructions. */
+    unsigned maxBlockInsts = 32;
+};
+
 /** Pipeline observability knobs (the cycle-accounting layer). */
 struct ProfileConfig
 {
@@ -116,6 +134,7 @@ struct CoreConfig
     cache::HierarchyConfig memory;
     ElimConfig elim;
     ProfileConfig profile;
+    FastPathConfig fastpath;
 
     /** A renamed-register-starved, narrower machine: the paper's
      * "architecture exhibiting resource contention". */

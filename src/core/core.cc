@@ -90,7 +90,8 @@ CoreConfig::tiny()
     return cfg;
 }
 
-Core::Core(const prog::Program &program, const CoreConfig &cfg)
+Core::Core(const prog::Program &program, const CoreConfig &cfg,
+           const emu::Checkpoint *resume)
     : _program(program), _cfg(cfg), _caches(cfg.memory),
       _frontend(cfg.frontend), _deadPredictor(cfg.elim.predictor),
       _detector(cfg.elim.detector), _pcProfiler(cfg.profile.enable),
@@ -198,10 +199,6 @@ Core::Core(const prog::Program &program, const CoreConfig &cfg)
              "too few physical registers (", cfg.numPhysRegs, ")");
     fatal_if(program.numInsts() == 0, "cannot run an empty program");
 
-    // Architectural reset state: sp and gp hold the ABI values, all
-    // other registers read as zero through phys 0.
-    for (const auto &kv : program.initData())
-        _memState.write(kv.first, kv.second);
     auto init_reg = [&](RegId r, RegVal value) {
         PhysRegId p = _freeList.alloc();
         _prf.write(p, value);
@@ -209,11 +206,48 @@ Core::Core(const prog::Program &program, const CoreConfig &cfg)
         _rat.set(r, entry);
         _retireRat[r] = entry;
     };
-    init_reg(kRegSp, prog::kStackTop);
-    init_reg(kRegGp, prog::kDataBase);
+    if (resume) {
+        // Warm boot from a functional checkpoint: every register
+        // whose checkpointed value is nonzero gets a mapped physical
+        // register; zero-valued ones keep reading zero through phys 0
+        // (the unwritten == zero convention). Memory and the output
+        // stream are adopted wholesale, so the resumed run's
+        // observable state is the whole program's.
+        fatal_if(resume->halted,
+                 "cannot warm-boot a core from a halted checkpoint");
+        fatal_if(!program.containsPc(resume->pc),
+                 "checkpoint pc ", resume->pc,
+                 " is outside the text section");
+        _memState = resume->memory;
+        _output = resume->output;
+        _pc = resume->pc;
+        for (RegId r = 1; r < kNumArchRegs; ++r) {
+            if (resume->regs[r] != 0)
+                init_reg(r, resume->regs[r]);
+        }
+    } else {
+        // Architectural reset state: sp and gp hold the ABI values,
+        // all other registers read as zero through phys 0.
+        for (const auto &kv : program.initData())
+            _memState.write(kv.first, kv.second);
+        init_reg(kRegSp, prog::kStackTop);
+        init_reg(kRegGp, prog::kDataBase);
+    }
 
     _oracleCursor.assign(program.numInsts(), 0);
     _uebStore.resize(cfg.elim.uebStoreEntries);
+
+    if (cfg.fastpath.blockCache) {
+        fatal_if(cfg.fastpath.maxBlockInsts == 0,
+                 "fastpath.maxBlockInsts must be at least 1");
+        fatal_if(cfg.fastpath.blockCacheBlocks == 0,
+                 "fastpath.blockCacheBlocks must be at least 1");
+        BlockCache::Config bc;
+        bc.capacityBlocks = cfg.fastpath.blockCacheBlocks;
+        bc.maxBlockInsts = cfg.fastpath.maxBlockInsts;
+        bc.lineBytes = cfg.memory.l1i.lineBytes;
+        _blockCache = std::make_unique<BlockCache>(program, bc);
+    }
 
     // Hot-path scratch: sized once so the per-cycle loops never grow
     // them (the rename stall checks bound _iq at iqSize).
@@ -246,8 +280,13 @@ void
 Core::tick()
 {
     panic_if(_halted, "ticking a halted core");
-    _hRobOccupancy.sample(static_cast<std::int64_t>(_rob.size()));
-    _hIqOccupancy.sample(static_cast<std::int64_t>(_iq.size()));
+    // The occupancy percentiles are only ever read under
+    // profile.enable (sim::snapshot, runner::writeProfile), so the
+    // per-cycle samples are pure overhead otherwise.
+    if (_cfg.profile.enable) {
+        _hRobOccupancy.sample(static_cast<std::int64_t>(_rob.size()));
+        _hIqOccupancy.sample(static_cast<std::int64_t>(_iq.size()));
+    }
     commit();
     if (!_halted) {
         writeback();
@@ -299,7 +338,15 @@ Core::fetch()
 {
     if (_fetchHalted || !_fetchValid || _cycle < _fetchStallUntil)
         return;
+    if (_blockCache)
+        fetchCached();
+    else
+        fetchInterp();
+}
 
+void
+Core::fetchInterp()
+{
     unsigned fetched = 0;
     while (fetched < _cfg.fetchWidth &&
            _fetchQueue.size() < _cfg.fetchQueueSize) {
@@ -355,6 +402,101 @@ Core::fetch()
         ++fetched;
 
         if (inst->inst.isHalt())
+            break;
+        if (next_pc == 0) {
+            // Unpredictable indirect target (empty RAS): stall until
+            // the jalr resolves and redirects us.
+            _fetchValid = false;
+            break;
+        }
+        _pc = next_pc;
+    }
+}
+
+void
+Core::fetchCached()
+{
+    // A generation bump (template invalidation) orphans the cursor;
+    // the next lookup below rebuilds the block from the image.
+    if (_fetchBlock && _fetchBlock->gen != _blockCache->generation())
+        _fetchBlock = nullptr;
+
+    unsigned fetched = 0;
+    while (fetched < _cfg.fetchWidth &&
+           _fetchQueue.size() < _cfg.fetchQueueSize) {
+        if (!_fetchBlock ||
+            _fetchBlockIdx >= _fetchBlock->insts.size()) {
+            _fetchBlock = _blockCache->lookup(_pc);
+            _fetchBlockIdx = 0;
+            if (!_fetchBlock) {
+                // Wrong-path fetch ran off the text section; wait for
+                // the inevitable squash to redirect us.
+                _fetchValid = false;
+                break;
+            }
+        }
+
+        const InstTemplate &t = _fetchBlock->insts[_fetchBlockIdx];
+        panic_if(t.proto.pc != _pc,
+                 "block-cache cursor desynced: template pc ",
+                 t.proto.pc, " vs fetch pc ", _pc);
+
+        if (t.fetchLine != _lastFetchLine) {
+            Cycle lat = _caches.l1i().access(_pc, false);
+            _lastFetchLine = t.fetchLine;
+            if (lat > _cfg.memory.l1i.hitLatency) {
+                _fetchStallUntil = _cycle + lat;
+                break;
+            }
+        }
+
+        // Stamp a dynamic instance from the template: the static
+        // identity comes with the copy, only the dynamic fields are
+        // filled here. This must mirror fetchInterp exactly.
+        InstPtr inst = _instPool.allocFrom(t.proto);
+        DynInst *const d = inst.get();
+        d->seq = _nextSeq++;
+        d->fetchCycle = _cycle;
+        d->histAtPred = _frontend.history();
+
+        Addr next_pc = _pc + 4;
+        switch (t.ctrl) {
+          case FetchCtrl::CondBranch:
+            d->predTaken = _frontend.directionAt(_pc, d->histAtPred);
+            _frontend.shiftHistory(d->predTaken);
+            if (d->predTaken)
+                next_pc = t.staticTarget;
+            break;
+          case FetchCtrl::Jal:
+            d->predTaken = true;
+            next_pc = t.staticTarget;
+            if (t.pushRas)
+                _frontend.ras().push(_pc + 4);
+            break;
+          case FetchCtrl::Jalr:
+            d->predTaken = true;
+            next_pc = _frontend.ras().pop();
+            break;
+          case FetchCtrl::Halt:
+            _fetchHalted = true;
+            break;
+          case FetchCtrl::None:
+            break;
+        }
+        d->predTarget = next_pc;
+
+        _fetchQueue.push_back(inst);
+        ++_sFetched;
+        ++fetched;
+        ++_fetchBlockIdx;
+        // Blocks end at their first control instruction, so any
+        // non-straight-line template is the block's last; the cursor
+        // re-enters the cache at next_pc (which also covers the
+        // not-taken fall-through — a different block start).
+        if (t.ctrl != FetchCtrl::None)
+            _fetchBlock = nullptr;
+
+        if (t.ctrl == FetchCtrl::Halt)
             break;
         if (next_pc == 0) {
             // Unpredictable indirect target (empty RAS): stall until
@@ -596,6 +738,8 @@ Core::rename()
         if (needs_sq)
             _storeQueue.push_back(inst);
 
+        if (d->eliminated)
+            ++_unverifiedElims;
         _rob.push_back(std::move(entry));
         ++_sRenamed;
         ++renamed;
@@ -1437,6 +1581,8 @@ Core::repairAtHead()
         }
     }
 
+    // Only an eliminated-and-unverified head is ever repaired.
+    --_unverifiedElims;
     inst->eliminated = false;
     inst->repaired = true;
 
@@ -1504,8 +1650,10 @@ Core::commit()
 
     // Verification sweep, youngest first so a whole chain of
     // eliminated instructions can verify in one pass (each link sees
-    // the younger links' freshly-set verified flags).
-    if (_cfg.elim.enable) {
+    // the younger links' freshly-set verified flags). The O(ROB) walk
+    // only runs on cycles with something to verify: _unverifiedElims
+    // counts exactly the entries the sweep could touch.
+    if (_cfg.elim.enable && _unverifiedElims != 0) {
         const Addr inject = _cfg.elim.debugSkipVerifyPc;
         for (std::size_t i = _rob.size(); i-- > 0;) {
             DynInst *const d = _rob[i].inst.get();
@@ -1515,6 +1663,7 @@ Core::commit()
                 (inject != 0 &&
                  (inject == ~Addr(0) || inject == d->pc))) {
                 d->verified = true;
+                --_unverifiedElims;
             }
         }
     }
@@ -1679,6 +1828,9 @@ Core::commit()
             ++_sCommittedElim;
             ++committed_dead;
             _pcProfiler.onEliminated(d->pc);
+            // A UEB-shadowed head retires while still unverified.
+            if (!d->verified)
+                --_unverifiedElims;
         }
         ++_committedInsts;
         ++committed;
@@ -1723,6 +1875,8 @@ Core::squashFrom(SeqNum first_bad, Addr new_pc,
         InstPtr inst = entry.inst;
         inst->squashed = true;
         ++_sSquashedInsts;
+        if (inst->eliminated && !inst->verified)
+            --_unverifiedElims;
         if (entry.hasMapping) {
             _rat.set(entry.archDest, entry.prevMap);
             if (entry.prevMap.poisoned &&
@@ -1732,7 +1886,10 @@ Core::squashFrom(SeqNum first_bad, Addr new_pc,
                 // verified-commit rule guarantees it is still here.
                 InstPtr producer = findInRob(entry.prevMap.producerSeq);
                 if (producer) {
-                    producer->verified = false;
+                    if (producer->verified) {
+                        producer->verified = false;
+                        ++_unverifiedElims;
+                    }
                 } else {
                     // Producer committed unverified: its value is in
                     // the UEB and a future consumer repairs inline.
@@ -1792,8 +1949,11 @@ Core::squashFrom(SeqNum first_bad, Addr new_pc,
     // re-verify every in-flight elimination (the sweep is per-cycle).
     if (reverify) {
         for (RobEntry &entry : _rob) {
-            if (entry.inst->eliminated)
-                entry.inst->verified = false;
+            DynInst *const d = entry.inst.get();
+            if (d->eliminated && d->verified) {
+                d->verified = false;
+                ++_unverifiedElims;
+            }
         }
     }
 
@@ -1828,6 +1988,7 @@ Core::redirectFetch(Addr new_pc)
     _fetchValid = true;
     _fetchHalted = false;
     _lastFetchLine = ~Addr(0);
+    _fetchBlock = nullptr;
     _fetchStallUntil = std::max(_fetchStallUntil, _cycle + 1);
 }
 

@@ -42,9 +42,12 @@
 #include <unordered_set>
 #include <vector>
 
+#include <memory>
+
 #include "cache/cache.hh"
 #include "common/ring.hh"
 #include "common/stats.hh"
+#include "core/block_cache.hh"
 #include "core/config.hh"
 #include "core/dyninst.hh"
 #include "core/inst_pool.hh"
@@ -63,7 +66,16 @@ namespace dde::core
 class Core
 {
   public:
-    Core(const prog::Program &program, const CoreConfig &cfg);
+    /**
+     * Construct at program entry, or — when `resume` is given — warm-
+     * boot from a functional checkpoint (the fast-forward handoff):
+     * architectural registers, memory, the output stream and the
+     * start pc come from the checkpoint instead of the reset state.
+     * Counters still start at zero; they cover only the detailed
+     * portion of the run.
+     */
+    Core(const prog::Program &program, const CoreConfig &cfg,
+         const emu::Checkpoint *resume = nullptr);
 
     /** Advance one cycle. */
     void tick();
@@ -143,6 +155,13 @@ class Core
      * allocation tests). */
     const InstPool &instPool() const { return _instPool; }
 
+    /** The decoded-block cache, or nullptr when the core fetches
+     * through the interpreting path (fastpath.blockCache = false).
+     * Non-const so tests can bumpGeneration() to exercise
+     * invalidation. */
+    BlockCache *blockCache() { return _blockCache.get(); }
+    const BlockCache *blockCache() const { return _blockCache.get(); }
+
     /**
      * Idealized-predictor labels for ElimConfig::oraclePredictor:
      * labels[staticIdx][k] tells whether the k-th committed instance
@@ -168,6 +187,12 @@ class Core
     void issue();
     void rename();
     void fetch();
+    /** The interpreting fetch path: decode from the program image per
+     * dynamic instance. */
+    void fetchInterp();
+    /** The fast path: stamp instances from decoded-block templates.
+     * Must be observably identical to fetchInterp. */
+    void fetchCached();
 
     // --- cycle accounting --------------------------------------------
     /** Why rename last stalled (read by the slot classifier one cycle
@@ -282,6 +307,14 @@ class Core
     bool _fetchHalted = false;
     Cycle _fetchStallUntil = 0;
     Addr _lastFetchLine = ~Addr(0);
+    /** Decoded-block cache (fastpath.blockCache; null = interpret). */
+    std::unique_ptr<BlockCache> _blockCache;
+    /** Fetch cursor into the current decoded block. Invariant: when
+     * non-null it is the cache's most-recently-returned (pinned)
+     * block and _fetchBlockIdx-th template's pc == _pc. Reset on any
+     * redirect and re-checked against the cache generation. */
+    const DecodedBlock *_fetchBlock = nullptr;
+    std::size_t _fetchBlockIdx = 0;
 
     // --- misc state -----------------------------------------------------
     Cycle _cycle = 0;
@@ -298,6 +331,12 @@ class Core
     SeqNum _headStallSeq = 0;
     Cycle _headStallSince = 0;
     Cycle _headStallFirst = 0;
+    /** In-flight eliminated-and-unverified ROB entries. Maintained at
+     * every transition of (eliminated, verified) population so the
+     * commit-time verification sweep — an O(ROB) walk — runs only on
+     * cycles that can actually verify something. Pure wall-clock
+     * optimization: zero means the sweep would be a no-op. */
+    std::size_t _unverifiedElims = 0;
     /** Cycle accounting: rename's stall reason from the previous
      * cycle, and the end of the post-squash refill window (ROB-empty
      * cycles inside it are charged to mispredict-squash). */

@@ -42,12 +42,27 @@ class InstPool
     InstRef
     alloc()
     {
+        static const DynInst kFresh{};
+        return allocFrom(kFresh);
+    }
+
+    /**
+     * alloc(), but stamped from a prototype instead of a fresh
+     * DynInst: the block cache's fetch path copies a pre-decoded
+     * template (static identity already filled in) rather than
+     * resetting the record and re-decoding. The slot's own recycle
+     * generation is preserved — the prototype's poolGen never leaks
+     * into the pool's handle scheme.
+     */
+    InstRef
+    allocFrom(const DynInst &proto)
+    {
         if (_free.empty())
             grow();
         DynInst *slot = _free.back();
         _free.pop_back();
         std::uint32_t gen = slot->poolGen;
-        *slot = DynInst{};
+        *slot = proto;
         slot->poolGen = gen;
         ++_live;
         ++_totalAllocs;

@@ -105,6 +105,57 @@ Emulator::step()
     return !_halted;
 }
 
+std::uint64_t
+Emulator::fastForward(std::uint64_t min_insts)
+{
+    std::uint64_t start = _instCount;
+    if (min_insts == 0)
+        return 0;
+    while (!_halted) {
+        fatal_if(!_program.containsPc(_pc),
+                 "pc ", _pc, " escaped the text section (program '",
+                 _program.name(), "')");
+        const Instruction &inst =
+            _program.inst(_program.indexOf(_pc));
+        // Stop *before* the halt: the detailed core taking over must
+        // still observe it to terminate.
+        if (inst.isHalt())
+            break;
+        bool control = inst.isControl();
+        step();
+        // Block boundary: the first control transfer at or past the
+        // requested depth ends the fast-forward, leaving the pc at a
+        // block entry point.
+        if (control && _instCount - start >= min_insts)
+            break;
+    }
+    return _instCount - start;
+}
+
+Checkpoint
+Emulator::checkpoint() const
+{
+    Checkpoint c;
+    c.regs = _regs;
+    c.memory = _memory;
+    c.output = _output;
+    c.pc = _pc;
+    c.instCount = _instCount;
+    c.halted = _halted;
+    return c;
+}
+
+void
+Emulator::restore(const Checkpoint &c)
+{
+    _regs = c.regs;
+    _memory = c.memory;
+    _output = c.output;
+    _pc = c.pc;
+    _instCount = c.instCount;
+    _halted = c.halted;
+}
+
 void
 Emulator::run(std::uint64_t max_insts, std::vector<TraceRecord> *trace)
 {

@@ -70,6 +70,23 @@ class Memory
     std::unordered_map<Addr, RegVal> _words;
 };
 
+/**
+ * A point-in-time architectural snapshot of an Emulator: everything
+ * needed to resume functional execution, or to warm-boot the
+ * detailed core mid-program (fast-forward handoff). The output
+ * stream is carried along so the resumed run's observable output is
+ * the whole program's, not just the suffix.
+ */
+struct Checkpoint
+{
+    std::array<RegVal, kNumArchRegs> regs{};
+    Memory memory;
+    std::vector<RegVal> output;
+    Addr pc = 0;
+    std::uint64_t instCount = 0;
+    bool halted = false;
+};
+
 /** The emulator itself; also usable as a step-wise oracle. */
 class Emulator
 {
@@ -78,6 +95,26 @@ class Emulator
 
     /** Execute one instruction. Returns false once halted. */
     bool step();
+
+    /**
+     * Block-granular functional fast-forward: execute at least
+     * `min_insts` instructions, then keep going to the end of the
+     * current basic block (through the next control-flow
+     * instruction), so the resume pc is a block entry point. The
+     * halt instruction is never consumed — a detailed core taking
+     * over from the checkpoint must still fetch and commit it.
+     * @return instructions actually executed (0 when min_insts is 0,
+     *         possibly more than min_insts to reach the boundary,
+     *         fewer if the halt is reached first).
+     */
+    std::uint64_t fastForward(std::uint64_t min_insts);
+
+    /** Snapshot the architectural state for later restore() or for a
+     * detailed-core warm boot. */
+    Checkpoint checkpoint() const;
+    /** Replace the architectural state with a checkpoint's (taken
+     * from an emulator running the same program). */
+    void restore(const Checkpoint &c);
 
     /**
      * Run until halt or the instruction limit.

@@ -82,7 +82,13 @@ namespace
 class Cosim
 {
   public:
-    explicit Cosim(const prog::Program &program) : _emu(program) {}
+    explicit Cosim(const prog::Program &program,
+                   const emu::Checkpoint *resume = nullptr)
+        : _emu(program)
+    {
+        if (resume)
+            _emu.restore(*resume);
+    }
 
     void
     check(const core::DynInst &inst)
@@ -181,16 +187,40 @@ SimResult
 runOnCore(const prog::Program &program, const core::CoreConfig &cfg,
           const RunOptions &opts)
 {
-    core::Core core(program, cfg);
+    // Fast-forward: run the functional emulator to the requested
+    // block boundary and warm-boot the core from the checkpoint. A
+    // fast-forward that reaches the halt leaves the core just the
+    // halt commit — still a complete, halting run.
+    std::uint64_t fast_forwarded = 0;
+    std::unique_ptr<emu::Checkpoint> resume;
+    if (opts.fastForwardInsts != 0) {
+        emu::Emulator ff(program);
+        fast_forwarded = ff.fastForward(opts.fastForwardInsts);
+        resume = std::make_unique<emu::Checkpoint>(ff.checkpoint());
+    }
+
+    core::Core core(program, cfg, resume.get());
 
     std::unique_ptr<Cosim> cosim;
     if (opts.cosim) {
-        cosim = std::make_unique<Cosim>(program);
+        cosim = std::make_unique<Cosim>(program, resume.get());
         core.onCommit(
             [&](const core::DynInst &inst) { cosim->check(inst); });
     }
     if (cfg.elim.enable && cfg.elim.oraclePredictor) {
-        if (opts.oracleLabels) {
+        if (resume) {
+            // Full-run labels index committed instances per static
+            // instruction from program entry; the resumed core's
+            // cursors restart at the checkpoint, so derive labels
+            // from the suffix trace instead (any supplied
+            // opts.oracleLabels would be misaligned).
+            emu::Emulator suffix(program);
+            suffix.restore(*resume);
+            std::vector<emu::TraceRecord> trace;
+            suffix.run(100'000'000, &trace);
+            core.setOracleLabels(computeOracleLabels(
+                program, trace, cfg.elim.detector));
+        } else if (opts.oracleLabels) {
             core.setOracleLabels(*opts.oracleLabels);
         } else {
             auto ref = emu::runProgram(program);
@@ -205,6 +235,7 @@ runOnCore(const prog::Program &program, const core::CoreConfig &cfg,
     result.halted = core.halted();
     result.cyclesExhausted = !core.halted();
     result.stats = snapshot(core, program.name());
+    result.stats.fastForwarded = fast_forwarded;
     result.output = core.output();
     result.memory = core.memoryState();
     return result;

@@ -82,6 +82,10 @@ struct RunStats
     /** The program committed its halt; false means the run was cut
      * off by RunOptions::maxCycles and every counter is truncated. */
     bool halted = false;
+    /** Instructions executed functionally (and skipped by the timed
+     * core) by RunOptions::fastForwardInsts; 0 for a cold run. All
+     * other counters cover only the detailed portion. */
+    std::uint64_t fastForwarded = 0;
 
     std::uint64_t committedEliminated = 0;
     std::uint64_t predictedDead = 0;
@@ -131,6 +135,19 @@ struct RunOptions
      * cached reference trace (runner::ArtifactCache) supply this to
      * avoid re-tracing the program. Must stay alive across the run. */
     const std::vector<std::vector<bool>> *oracleLabels = nullptr;
+    /**
+     * Functional fast-forward depth: execute at least this many
+     * instructions on the architectural emulator (rounded up to the
+     * next basic-block boundary), then warm-boot the detailed core
+     * from the checkpoint. 0 = cold detailed run from program entry.
+     * The observable contract (final memory + full output stream) is
+     * unchanged; cycle/event counters cover only the detailed
+     * suffix, and RunStats::fastForwarded records the skipped count.
+     * With ElimConfig::oraclePredictor, `oracleLabels` is ignored and
+     * labels are re-derived from the suffix trace (full-run labels
+     * would be misaligned with the resumed instance counters).
+     */
+    std::uint64_t fastForwardInsts = 0;
 };
 
 /**

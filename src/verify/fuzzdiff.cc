@@ -58,6 +58,17 @@ fuzzConfigGrid(bool inject_bug)
     grid.push_back({"squash-wide",
                     withElim(CoreConfig::wide(),
                              RecoveryMode::SquashProducer, inject_bug)});
+    // Fast-forward handoff variants: functional warm-up into the
+    // detailed core, checked by the same per-commit oracle.
+    grid.push_back({"base-cont-ff", CoreConfig::contended(), true});
+    grid.push_back({"ueb-cont-ff",
+                    withElim(CoreConfig::contended(),
+                             RecoveryMode::UebRepair, inject_bug),
+                    true});
+    grid.push_back({"squash-cont-ff",
+                    withElim(CoreConfig::contended(),
+                             RecoveryMode::SquashProducer, inject_bug),
+                    true});
     return grid;
 }
 
@@ -75,6 +86,8 @@ runOne(std::uint64_t seed, const FuzzDiffConfigPoint &point,
 
     LockstepOptions lopts;
     lopts.maxCycles = cycleBudget(ref.instCount);
+    if (point.fastForward)
+        lopts.fastForwardInsts = ref.instCount / 2;
     LockstepResult ls = runLockstep(program, point.cfg, lopts);
 
     // SweepRunner marks any job that returns as ok; a divergence must
@@ -87,6 +100,7 @@ runOne(std::uint64_t seed, const FuzzDiffConfigPoint &point,
     r.add(runner::Metric("committed", ls.committed));
     r.add(runner::Metric("eliminated", ls.committedEliminated));
     r.add(runner::Metric("cycles", ls.cycles));
+    r.add(runner::Metric("fastForwarded", ls.fastForwarded));
     return r;
 }
 
@@ -117,6 +131,8 @@ minimize(std::uint64_t seed, const FuzzDiffConfigPoint &point,
         }
         LockstepOptions lopts;
         lopts.maxCycles = cycleBudget(ref_insts);
+        if (point.fastForward)
+            lopts.fastForwardInsts = ref_insts / 2;
         LockstepResult ls = runLockstep(candidate, point.cfg, lopts);
         if (ls.diverged && out)
             *out = ls.report;

@@ -34,14 +34,20 @@ struct FuzzDiffConfigPoint
 {
     std::string name;
     core::CoreConfig cfg;
+    /** Fast-forward roughly half the reference execution functionally
+     * and warm-boot the core from the checkpoint, so the campaign
+     * exercises the handoff path (LockstepOptions::fastForwardInsts)
+     * on every fuzzed program, not just the curated workloads. */
+    bool fastForward = false;
 };
 
 /**
  * The fig6 grid extended with both recovery modes: baseline (no
  * elimination), UEB-repair and SquashProducer elimination, each on
- * the contended and wide machines. With `inject_bug`, every
- * elimination config carries the debugSkipVerifyPc=all fault — the
- * oracle self-test / CI forced-failure dry run.
+ * the contended and wide machines, plus fast-forward-handoff variants
+ * of the contended points. With `inject_bug`, every elimination
+ * config carries the debugSkipVerifyPc=all fault — the oracle
+ * self-test / CI forced-failure dry run.
  */
 std::vector<FuzzDiffConfigPoint> fuzzConfigGrid(bool inject_bug);
 

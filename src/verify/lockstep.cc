@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 #include <iomanip>
+#include <memory>
 #include <sstream>
 
 #include "common/logging.hh"
@@ -38,9 +39,16 @@ class Checker
 {
   public:
     Checker(const prog::Program &program, const core::Core &core,
-            const LockstepOptions &opts)
+            const LockstepOptions &opts,
+            const emu::Checkpoint *resume = nullptr)
         : _emu(program), _core(core), _opts(opts)
-    {}
+    {
+        // Fast-forward handoff: the reference emulator resumes from
+        // the same checkpoint the core warm-booted from, so the
+        // per-commit comparison tracks the detailed suffix.
+        if (resume)
+            _emu.restore(*resume);
+    }
 
     void
     onCommit(const core::DynInst &d)
@@ -289,16 +297,35 @@ runLockstep(const prog::Program &program, const core::CoreConfig &cfg,
             const LockstepOptions &opts)
 {
     LockstepResult result;
-    core::Core core(program, cfg);
-    Checker checker(program, core, opts);
+
+    std::unique_ptr<emu::Checkpoint> resume;
+    if (opts.fastForwardInsts != 0) {
+        emu::Emulator ff(program);
+        result.fastForwarded = ff.fastForward(opts.fastForwardInsts);
+        resume = std::make_unique<emu::Checkpoint>(ff.checkpoint());
+    }
+
+    core::Core core(program, cfg, resume.get());
+    Checker checker(program, core, opts, resume.get());
     core.onCommit(
         [&](const core::DynInst &d) { checker.onCommit(d); });
 
     try {
         if (cfg.elim.enable && cfg.elim.oraclePredictor) {
-            auto ref = emu::runProgram(program);
-            core.setOracleLabels(sim::computeOracleLabels(
-                program, ref.trace, cfg.elim.detector));
+            if (resume) {
+                // Per-static instance labels must restart at the
+                // checkpoint (see sim::runOnCore): trace the suffix.
+                emu::Emulator suffix(program);
+                suffix.restore(*resume);
+                std::vector<emu::TraceRecord> trace;
+                suffix.run(100'000'000, &trace);
+                core.setOracleLabels(sim::computeOracleLabels(
+                    program, trace, cfg.elim.detector));
+            } else {
+                auto ref = emu::runProgram(program);
+                core.setOracleLabels(sim::computeOracleLabels(
+                    program, ref.trace, cfg.elim.detector));
+            }
         }
         core.run(opts.maxCycles);
     } catch (const DivergeSignal &) {

@@ -81,6 +81,15 @@ struct LockstepOptions
     Cycle maxCycles = 20'000'000;
     /** Committed instructions kept in the history ring. */
     std::size_t historyDepth = 16;
+    /**
+     * Functional fast-forward depth before the detailed core takes
+     * over (sim::RunOptions::fastForwardInsts): the reference
+     * emulator fast-forwards to a block boundary, the core warm-boots
+     * from the checkpoint, and the per-commit comparison covers the
+     * detailed suffix. Exercises the checkpoint handoff under the
+     * oracle. 0 = cold run from program entry.
+     */
+    std::uint64_t fastForwardInsts = 0;
 };
 
 /** Outcome of one lockstep co-simulation. */
@@ -94,6 +103,10 @@ struct LockstepResult
     std::uint64_t committed = 0;
     std::uint64_t committedEliminated = 0;
     Cycle cycles = 0;
+    /** Instructions skipped functionally before the detailed run
+     * (LockstepOptions::fastForwardInsts rounded up to the block
+     * boundary actually used). */
+    std::uint64_t fastForwarded = 0;
 };
 
 /**

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Fast-forward handoff tests.
+ *
+ * The fast-forward mode runs a functional emulator to a basic-block
+ * boundary, checkpoints, and warm-boots the detailed core from the
+ * checkpoint. Its correctness contract has two halves:
+ *
+ *  1. The emulator half — checkpoint/restore round-trips exactly, and
+ *     a resumed execution produces the identical committed suffix a
+ *     cold execution would (trace-level, not just final-state).
+ *  2. The core half — a fast-forwarded detailed run reproduces the
+ *     reference observables (full output stream, final memory) for
+ *     any fast-forward depth, with the commit counts partitioning
+ *     exactly: fastForwarded + committed == cold-run committed.
+ *
+ * The lockstep tests close the loop: the per-commit differential
+ * oracle rides the resumed core, so every committed instruction of
+ * the detailed suffix is checked against the reference emulator —
+ * with elimination on, in both recovery modes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/core.hh"
+#include "emu/emulator.hh"
+#include "runner/runner.hh"
+#include "sim/simulator.hh"
+#include "verify/lockstep.hh"
+#include "verify/progfuzz.hh"
+#include "workloads/workloads.hh"
+
+using namespace dde;
+
+namespace
+{
+
+const prog::Program &
+compressProgram(runner::ArtifactCache &artifacts)
+{
+    return artifacts.program(runner::ProgramKey("compress", 1));
+}
+
+} // namespace
+
+TEST(EmulatorCheckpoint, RestoreRoundTripsExactly)
+{
+    runner::ArtifactCache artifacts;
+    const prog::Program &program = compressProgram(artifacts);
+
+    emu::Emulator a(program);
+    a.fastForward(5000);
+    emu::Checkpoint cp = a.checkpoint();
+
+    emu::Emulator b(program);
+    b.restore(cp);
+    EXPECT_EQ(b.pc(), a.pc());
+    EXPECT_EQ(b.instCount(), a.instCount());
+    EXPECT_EQ(b.regs(), a.regs());
+    EXPECT_EQ(b.output(), a.output());
+    EXPECT_TRUE(b.memory() == a.memory());
+    EXPECT_FALSE(b.halted());
+
+    // Both continuations land on the same final state.
+    a.run();
+    b.run();
+    EXPECT_EQ(a.instCount(), b.instCount());
+    EXPECT_EQ(a.output(), b.output());
+    EXPECT_TRUE(a.memory() == b.memory());
+}
+
+TEST(EmulatorCheckpoint, FastForwardZeroIsANoop)
+{
+    runner::ArtifactCache artifacts;
+    const prog::Program &program = compressProgram(artifacts);
+    emu::Emulator e(program);
+    EXPECT_EQ(e.fastForward(0), 0u);
+    EXPECT_EQ(e.instCount(), 0u);
+    EXPECT_EQ(e.pc(), program.entryPc());
+}
+
+TEST(EmulatorCheckpoint, FastForwardNeverConsumesHalt)
+{
+    runner::ArtifactCache artifacts;
+    const prog::Program &program = compressProgram(artifacts);
+    auto ref = emu::runProgram(program);
+
+    emu::Emulator e(program);
+    std::uint64_t done = e.fastForward(~std::uint64_t(0));
+    // Everything but the halt ran; the detailed core taking over must
+    // still fetch and commit it.
+    EXPECT_FALSE(e.halted());
+    EXPECT_EQ(done, ref.instCount - 1);
+    ASSERT_TRUE(program.containsPc(e.pc()));
+    EXPECT_TRUE(program.inst(program.indexOf(e.pc())).isHalt());
+}
+
+TEST(EmulatorCheckpoint, ResumedTraceEqualsColdSuffix)
+{
+    // The strong form of "resume == cold run truncated at the same
+    // boundary": the committed trace after restore must equal the
+    // cold trace's suffix record for record, not merely end in the
+    // same final state.
+    runner::ArtifactCache artifacts;
+    const prog::Program &program = compressProgram(artifacts);
+    auto ref = emu::runProgram(program);
+
+    emu::Emulator ff(program);
+    std::uint64_t skipped = ff.fastForward(ref.instCount / 2);
+    EXPECT_GE(skipped, ref.instCount / 2);
+
+    emu::Emulator resumed(program);
+    resumed.restore(ff.checkpoint());
+    std::vector<emu::TraceRecord> suffix;
+    resumed.run(100'000'000, &suffix);
+
+    ASSERT_EQ(skipped + suffix.size(), ref.trace.size());
+    for (std::size_t i = 0; i < suffix.size(); ++i) {
+        const auto &got = suffix[i];
+        const auto &want = ref.trace[skipped + i];
+        ASSERT_EQ(got.staticIdx, want.staticIdx) << "record " << i;
+        ASSERT_EQ(got.taken, want.taken) << "record " << i;
+        ASSERT_EQ(got.effAddr, want.effAddr) << "record " << i;
+    }
+}
+
+namespace
+{
+
+/** Cold-run committed count for (program, cfg). */
+std::uint64_t
+coldCommitted(const prog::Program &program,
+              const core::CoreConfig &cfg)
+{
+    auto cold = sim::runOnCore(program, cfg);
+    return cold.stats.committed;
+}
+
+/** Run with fast-forward depth `n` and check the full contract
+ * against the functional reference and the cold detailed run. */
+void
+expectFastForwardContract(const prog::Program &program,
+                          const core::CoreConfig &cfg,
+                          const emu::RunResult &ref,
+                          std::uint64_t cold_committed,
+                          std::uint64_t n)
+{
+    sim::RunOptions opts;
+    opts.fastForwardInsts = n;
+    auto result = sim::runOnCore(program, cfg, opts);
+
+    ASSERT_TRUE(result.halted) << "ff=" << n;
+    // Observable contract: whole-program output and final memory.
+    EXPECT_EQ(result.output, ref.output) << "ff=" << n;
+    EXPECT_TRUE(result.memory == ref.memory) << "ff=" << n;
+    // The dynamic instruction stream partitions exactly between the
+    // functional prefix and the detailed suffix.
+    EXPECT_EQ(result.stats.fastForwarded + result.stats.committed,
+              cold_committed)
+        << "ff=" << n;
+    if (n == 0)
+        EXPECT_EQ(result.stats.fastForwarded, 0u);
+    else
+        EXPECT_GE(result.stats.fastForwarded,
+                  std::min(n, cold_committed - 1));
+    // The core always commits at least the halt itself.
+    EXPECT_GE(result.stats.committed, 1u);
+}
+
+} // namespace
+
+TEST(FastForward, DepthSweepKeepsObservableContract)
+{
+    runner::ArtifactCache artifacts;
+    runner::ProgramKey key("compress", 1);
+    const prog::Program &program = artifacts.program(key);
+    auto ref = artifacts.reference(key);
+
+    core::CoreConfig cfg = core::CoreConfig::contended();
+    cfg.elim.enable = true;
+    std::uint64_t cold = coldCommitted(program, cfg);
+
+    for (std::uint64_t n :
+         {std::uint64_t(0), std::uint64_t(1), cold / 4,
+          (cold * 9) / 10, cold * 2}) {
+        expectFastForwardContract(program, cfg, *ref, cold, n);
+    }
+}
+
+TEST(FastForward, ZeroDepthIsByteIdenticalToColdRun)
+{
+    runner::ArtifactCache artifacts;
+    const prog::Program &program = compressProgram(artifacts);
+    core::CoreConfig cfg = core::CoreConfig::contended();
+    cfg.elim.enable = true;
+
+    auto cold = sim::runOnCore(program, cfg);
+    sim::RunOptions opts;
+    opts.fastForwardInsts = 0;
+    auto ff = sim::runOnCore(program, cfg, opts);
+
+    EXPECT_EQ(ff.stats.cycles, cold.stats.cycles);
+    EXPECT_EQ(ff.stats.committed, cold.stats.committed);
+    EXPECT_EQ(ff.stats.committedEliminated,
+              cold.stats.committedEliminated);
+    EXPECT_EQ(ff.stats.branchMispredicts,
+              cold.stats.branchMispredicts);
+    EXPECT_EQ(ff.stats.fastForwarded, 0u);
+    EXPECT_EQ(ff.output, cold.output);
+    EXPECT_TRUE(ff.memory == cold.memory);
+}
+
+TEST(FastForward, BothRecoveryModesAcrossWorkloads)
+{
+    runner::ArtifactCache artifacts;
+    for (const char *w : {"hashmix", "sortq", "fsm"}) {
+        runner::ProgramKey key(w, 1);
+        const prog::Program &program = artifacts.program(key);
+        auto ref = artifacts.reference(key);
+        for (auto mode : {core::RecoveryMode::UebRepair,
+                          core::RecoveryMode::SquashProducer}) {
+            core::CoreConfig cfg = core::CoreConfig::contended();
+            cfg.elim.enable = true;
+            cfg.elim.recovery = mode;
+            std::uint64_t cold = coldCommitted(program, cfg);
+            expectFastForwardContract(program, cfg, *ref, cold,
+                                      cold / 2);
+        }
+    }
+}
+
+TEST(FastForward, CosimRidesTheResumedCore)
+{
+    // RunOptions::cosim panics on any per-commit divergence; with
+    // fast-forward it compares the detailed suffix against a resumed
+    // reference emulator. A clean run is the assertion.
+    runner::ArtifactCache artifacts;
+    runner::ProgramKey key("compress", 1);
+    const prog::Program &program = artifacts.program(key);
+    auto ref = artifacts.reference(key);
+
+    core::CoreConfig cfg = core::CoreConfig::contended();
+    cfg.elim.enable = true;
+    sim::RunOptions opts;
+    opts.cosim = true;
+    opts.fastForwardInsts = 4000;
+    auto result = sim::runOnCore(program, cfg, opts);
+    ASSERT_TRUE(result.halted);
+    EXPECT_EQ(result.output, ref->output);
+    EXPECT_TRUE(result.memory == ref->memory);
+}
+
+TEST(FastForward, OracleLabelsRederivedFromSuffix)
+{
+    // With the oracle predictor, full-run labels would be misaligned
+    // against the resumed core's per-static instance cursors; the
+    // runner must re-derive them from the suffix trace. Perfect
+    // labels with UEB recovery still never squash.
+    runner::ArtifactCache artifacts;
+    runner::ProgramKey key("parse", 1);
+    const prog::Program &program = artifacts.program(key);
+    auto ref = artifacts.reference(key);
+
+    core::CoreConfig cfg = core::CoreConfig::contended();
+    cfg.elim.enable = true;
+    cfg.elim.oraclePredictor = true;
+    sim::RunOptions opts;
+    opts.cosim = true;
+    opts.fastForwardInsts = 3000;
+    auto result = sim::runOnCore(program, cfg, opts);
+    ASSERT_TRUE(result.halted);
+    EXPECT_EQ(result.output, ref->output);
+    EXPECT_TRUE(result.memory == ref->memory);
+    EXPECT_EQ(result.stats.deadMispredicts, 0u);
+}
+
+TEST(FastForwardLockstep, OracleChecksDetailedSuffix)
+{
+    runner::ArtifactCache artifacts;
+    const prog::Program &program = compressProgram(artifacts);
+
+    for (auto mode : {core::RecoveryMode::UebRepair,
+                      core::RecoveryMode::SquashProducer}) {
+        core::CoreConfig cfg = core::CoreConfig::contended();
+        cfg.elim.enable = true;
+        cfg.elim.recovery = mode;
+        verify::LockstepOptions opts;
+        opts.fastForwardInsts = 5000;
+        auto ls = verify::runLockstep(program, cfg, opts);
+        EXPECT_TRUE(ls.ok) << ls.report.summary();
+        EXPECT_GE(ls.fastForwarded, 5000u);
+        EXPECT_GT(ls.committed, 0u);
+    }
+}
+
+TEST(FastForwardLockstep, InjectedBugStillCaughtAfterHandoff)
+{
+    // The oracle must not lose its teeth on the resumed core: the
+    // skip-verification fault the fuzz campaign uses as its
+    // forced-failure dry run has to diverge under fast-forward too.
+    // Any one program may happen not to mispredict in its detailed
+    // suffix, so sweep seeds until one does (mirrors
+    // Lockstep.CatchesInjectedBug).
+    bool caught = false;
+    for (std::uint64_t seed = 1; seed <= 30 && !caught; ++seed) {
+        prog::Program program = verify::fuzzProgram(seed);
+        auto ref = emu::runProgram(program, 5'000'000, false);
+        for (auto mode : {core::RecoveryMode::UebRepair,
+                          core::RecoveryMode::SquashProducer}) {
+            core::CoreConfig cfg = core::CoreConfig::tiny();
+            cfg.elim.enable = true;
+            cfg.elim.recovery = mode;
+            cfg.elim.debugSkipVerifyPc = ~Addr(0);
+            verify::LockstepOptions opts;
+            opts.fastForwardInsts = ref.instCount / 2;
+            auto ls = verify::runLockstep(program, cfg, opts);
+            if (ls.diverged) {
+                caught = true;
+                break;
+            }
+        }
+    }
+    EXPECT_TRUE(caught)
+        << "skip-verification fault never diverged under fast-forward";
+}
