@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Tab.1-pareto — equal-budget dead-predictor Pareto sweep.
+ *
+ * The paper's single confidence-counter table (93% accuracy, >91%
+ * coverage, <5 KB) is one point in a large design space. This sweep
+ * races every zoo variant (paper, TAGE, perceptron, local/global
+ * hybrid — see src/predictor/zoo.hh) at *matched* state budgets
+ * (~2.5 KB and ~5 KB, geometry fitted by fitBudget) and two future
+ * depths across all workloads, mapping the accuracy/coverage/state
+ * Pareto frontier.
+ *
+ * One trace-driven job per (variant, budget, depth, workload) on the
+ * shared reference traces; parallel and serial runs are
+ * bit-identical (SweepRunner contract). Besides the standard
+ * --json/--csv SweepReport exports, --out writes the aggregated
+ * frontier as a `dde.tab1pareto/1` JSON report: a `points` array
+ * with one object per (variant, budget, depth) carrying the fitted
+ * state size, aggregate coverage/accuracy (null when undefined, not
+ * a fake 100%), and the per-workload breakdown.
+ */
+
+#include <fstream>
+
+#include "bench/bench_util.hh"
+#include "common/json.hh"
+#include "predictor/trace_eval.hh"
+#include "predictor/zoo.hh"
+
+using namespace dde;
+
+namespace
+{
+
+constexpr std::uint64_t kBudgetsBits[] = {20480, 40960};  // 2.5 / 5 KB
+constexpr unsigned kDepths[] = {4, 8};
+
+struct Point
+{
+    predictor::DeadPredictorKind kind;
+    std::uint64_t budgetBits;
+    unsigned depth;
+    predictor::TraceEvalConfig cfg;
+
+    std::string
+    label() const
+    {
+        return std::string(predictor::kindName(kind)) + " @ " +
+               std::to_string(budgetBits / 8192.0).substr(0, 4) +
+               " KB, depth " + std::to_string(depth);
+    }
+};
+
+struct Aggregate
+{
+    std::uint64_t tp = 0, fp = 0, dead = 0, candidates = 0,
+                  predicted = 0, bits = 0;
+    std::size_t failed = 0;
+
+    bool accuracyDefined() const { return tp + fp != 0; }
+    double coverage() const
+    {
+        return dead ? double(tp) / double(dead) : 0.0;
+    }
+    double accuracy() const
+    {
+        return accuracyDefined() ? double(tp) / double(tp + fp) : 0.0;
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --out is this bench's own flag; everything else is the shared
+    // bench interface.
+    std::string out_path;
+    std::vector<char *> rest;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]) == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+            continue;
+        }
+        rest.push_back(argv[i]);
+    }
+    auto args = bench::parseBenchArgs(static_cast<int>(rest.size()),
+                                      rest.data());
+    bench::printHeader("Tab.1-pareto",
+                       "equal-budget predictor zoo sweep");
+
+    std::vector<Point> points;
+    for (std::uint64_t budget : kBudgetsBits) {
+        for (unsigned depth : kDepths) {
+            for (predictor::DeadPredictorKind kind :
+                 predictor::kAllKinds) {
+                Point p;
+                p.kind = kind;
+                p.budgetBits = budget;
+                p.depth = depth;
+                auto fit = predictor::fitBudget(kind, budget, depth);
+                p.cfg.predictor = fit.paper;
+                p.cfg.zoo = fit.zoo;
+                points.push_back(std::move(p));
+            }
+        }
+    }
+
+    auto sweep = bench::makeRunner(args);
+    const auto &names = workloads::allWorkloads();
+    for (const auto &p : points) {
+        for (const auto &w : names) {
+            auto key = bench::refKey(w.name, args);
+            sweep.add(p.label() + " / " + w.name,
+                      [key, cfg = p.cfg](runner::JobContext &ctx) {
+                          auto ref = ctx.cache.reference(key);
+                          auto res = predictor::evaluateOnTrace(
+                              ctx.cache.program(key), ref->trace, cfg);
+                          runner::JobResult r;
+                          r.add({"truePositives", res.truePositives});
+                          r.add({"falsePositives", res.falsePositives});
+                          r.add({"labeledDead", res.labeledDead});
+                          r.add({"candidates", res.candidates});
+                          r.add({"predictedDead", res.predictedDead});
+                          r.add({"stateBits", res.predictorBits});
+                          return r;
+                      });
+        }
+    }
+    auto report = sweep.run();
+
+    auto aggregate = [&](std::size_t point_idx) {
+        Aggregate a;
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const auto &r = report[point_idx * names.size() + i];
+            if (!r.ok) {
+                ++a.failed;
+                continue;
+            }
+            a.tp += r.uint("truePositives");
+            a.fp += r.uint("falsePositives");
+            a.dead += r.uint("labeledDead");
+            a.candidates += r.uint("candidates");
+            a.predicted += r.uint("predictedDead");
+            a.bits = r.uint("stateBits");
+        }
+        return a;
+    };
+
+    std::printf("%-32s %11s %9s %9s\n", "variant", "state",
+                "coverage", "accuracy");
+    std::uint64_t last_budget = 0;
+    for (std::size_t v = 0; v < points.size(); ++v) {
+        if (points[v].budgetBits != last_budget) {
+            if (last_budget)
+                std::printf("\n");
+            last_budget = points[v].budgetBits;
+        }
+        Aggregate a = aggregate(v);
+        if (a.failed == names.size()) {
+            std::printf("%-32s %11s %9s %9s  (all jobs failed)\n",
+                        points[v].label().c_str(), "n/a", "n/a",
+                        "n/a");
+            continue;
+        }
+        std::printf("%-32s %8.2f KB %8.1f%% ",
+                    points[v].label().c_str(), a.bits / 8192.0,
+                    bench::pct(a.coverage()));
+        if (a.accuracyDefined())
+            std::printf("%8.1f%%", bench::pct(a.accuracy()));
+        else
+            std::printf("%9s", "n/a");
+        if (a.failed)
+            std::printf("  (%zu/%zu jobs failed)", a.failed,
+                        names.size());
+        std::printf("\n");
+    }
+    std::printf("\n(paper table: >91%% coverage at 93%% accuracy in"
+                " <5 KB)\n");
+
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        if (!os) {
+            std::fprintf(stderr, "cannot write '%s'\n",
+                         out_path.c_str());
+            return 1;
+        }
+        json::Writer w(os);
+        w.beginObject();
+        w.field("schema", "dde.tab1pareto/1");
+        w.field("scale", args.scale);
+        w.key("budgetsBits");
+        w.beginArray();
+        for (std::uint64_t b : kBudgetsBits)
+            w.value(b);
+        w.endArray();
+        w.key("futureDepths");
+        w.beginArray();
+        for (unsigned d : kDepths)
+            w.value(d);
+        w.endArray();
+        w.key("points");
+        w.beginArray();
+        for (std::size_t v = 0; v < points.size(); ++v) {
+            Aggregate a = aggregate(v);
+            w.beginObject();
+            w.field("variant",
+                    predictor::kindName(points[v].kind));
+            w.field("budgetBits", points[v].budgetBits);
+            w.field("futureDepth", points[v].depth);
+            w.field("ok", a.failed == 0);
+            w.field("failedJobs",
+                    static_cast<std::uint64_t>(a.failed));
+            if (a.failed == names.size()) {
+                w.key("stateBits");
+                w.nullValue();
+            } else {
+                w.field("stateBits", a.bits);
+            }
+            w.field("truePositives", a.tp);
+            w.field("falsePositives", a.fp);
+            w.field("labeledDead", a.dead);
+            w.field("candidates", a.candidates);
+            w.field("predictedDead", a.predicted);
+            w.field("coverage", a.coverage());
+            w.key("accuracy");
+            if (a.accuracyDefined())
+                w.value(a.accuracy());
+            else
+                w.nullValue();
+            w.key("perWorkload");
+            w.beginArray();
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                const auto &r = report[v * names.size() + i];
+                w.beginObject();
+                w.field("workload", names[i].name);
+                w.field("ok", r.ok);
+                if (r.ok) {
+                    std::uint64_t tp = r.uint("truePositives");
+                    std::uint64_t fp = r.uint("falsePositives");
+                    std::uint64_t dead = r.uint("labeledDead");
+                    w.field("truePositives", tp);
+                    w.field("falsePositives", fp);
+                    w.field("labeledDead", dead);
+                    w.field("coverage",
+                            dead ? double(tp) / double(dead) : 0.0);
+                    w.key("accuracy");
+                    if (tp + fp)
+                        w.value(double(tp) / double(tp + fp));
+                    else
+                        w.nullValue();
+                }
+                w.endObject();
+            }
+            w.endArray();
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        os << "\n";
+        std::printf("wrote %s\n", out_path.c_str());
+    }
+
+    return bench::finishReport(report, args);
+}

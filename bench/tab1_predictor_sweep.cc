@@ -91,20 +91,45 @@ main(int argc, char **argv)
                 std::printf("\n");
         }
         std::uint64_t tp = 0, fp = 0, dead = 0, bits = 0;
+        std::size_t failed = 0;
         for (std::size_t i = 0; i < names.size(); ++i) {
             const auto &r = report[v * names.size() + i];
-            if (!r.ok)
+            if (!r.ok) {
+                ++failed;
                 continue;
+            }
             tp += r.uint("truePositives");
             fp += r.uint("falsePositives");
             dead += r.uint("labeledDead");
             bits = r.uint("stateBits");
         }
+        if (failed == names.size()) {
+            // Every job failed: there is no state size and no
+            // measurement — a zero row here would read as a healthy
+            // 0 KB / 100% config. finishReport() fails the binary.
+            std::printf("%-28s %11s %9s %9s  (all %zu jobs failed)\n",
+                        variants[v].label.c_str(), "n/a", "n/a",
+                        "n/a", names.size());
+            continue;
+        }
         double cov = dead ? double(tp) / dead : 0;
-        double acc = (tp + fp) ? double(tp) / (tp + fp) : 1.0;
-        std::printf("%-28s %8.2f KB %8.1f%% %8.1f%%\n",
-                    variants[v].label.c_str(), bits / 8192.0,
-                    bench::pct(cov), bench::pct(acc));
+        if (tp + fp) {
+            std::printf("%-28s %8.2f KB %8.1f%% %8.1f%%",
+                        variants[v].label.c_str(), bits / 8192.0,
+                        bench::pct(cov),
+                        bench::pct(double(tp) / double(tp + fp)));
+        } else {
+            // No dead prediction was ever issued: accuracy is
+            // undefined, not a perfect 100%.
+            std::printf("%-28s %8.2f KB %8.1f%% %9s",
+                        variants[v].label.c_str(), bits / 8192.0,
+                        bench::pct(cov), "n/a");
+        }
+        if (failed) {
+            std::printf("  (%zu/%zu jobs failed)", failed,
+                        names.size());
+        }
+        std::printf("\n");
     }
 
     std::printf("\n(paper: >91%% coverage at 93%% accuracy in <5 KB)\n");

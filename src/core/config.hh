@@ -11,6 +11,7 @@
 #include "predictor/branch.hh"
 #include "predictor/dead_predictor.hh"
 #include "predictor/detector.hh"
+#include "predictor/zoo.hh"
 
 namespace dde::core
 {
@@ -60,6 +61,11 @@ struct ElimConfig
      * be set in experiments. */
     Addr debugSkipVerifyPc = 0;
     predictor::DeadPredictorConfig predictor;
+    /** Which dead-predictor variant drives elimination. The default
+     * (Paper) builds the table from `predictor` above and is
+     * bit-identical to the pre-zoo core; the other kinds take their
+     * geometry from the matching ZooConfig member. */
+    predictor::ZooConfig zoo;
     predictor::DetectorConfig detector;
 
     ElimConfig()

@@ -93,7 +93,9 @@ CoreConfig::tiny()
 Core::Core(const prog::Program &program, const CoreConfig &cfg,
            const emu::Checkpoint *resume)
     : _program(program), _cfg(cfg), _caches(cfg.memory),
-      _frontend(cfg.frontend), _deadPredictor(cfg.elim.predictor),
+      _frontend(cfg.frontend),
+      _deadPredictor(predictor::makeDeadPredictor(cfg.elim.zoo,
+                                                  cfg.elim.predictor)),
       _detector(cfg.elim.detector), _pcProfiler(cfg.profile.enable),
       _prf(cfg.numPhysRegs),
       _freeList(cfg.numPhysRegs), _retireRat(kNumArchRegs),
@@ -540,7 +542,7 @@ Core::tryEliminate(const InstPtr &inst)
     // decision (and the signature it was made with) must stick.
     if (inst->sigValid)
         return inst->eliminated;
-    inst->sig = _deadPredictor.maskSig(captureFutureSig());
+    inst->sig = _deadPredictor->maskSig(captureFutureSig());
     inst->sigValid = true;
 
     bool predicted;
@@ -555,7 +557,7 @@ Core::tryEliminate(const InstPtr &inst)
         predicted = inst->oracleIdx < labels.size() &&
                     labels[inst->oracleIdx];
     } else {
-        predicted = _deadPredictor.predict(inst->pc, inst->sig);
+        predicted = _deadPredictor->predict(inst->pc, inst->sig);
     }
 
     if (inst->isLoad() && !_cfg.elim.eliminateLoads)
@@ -584,7 +586,7 @@ Core::deadMispredictRecovery(SeqNum producer_seq, const char *trigger)
     _pcProfiler.onMispredict(producer->pc);
     _noElim[producer->pc] = kNoElimWindow;
     if (!_cfg.elim.oraclePredictor && producer->sigValid)
-        _deadPredictor.punish(producer->pc, producer->sig);
+        _deadPredictor->punish(producer->pc, producer->sig);
     squashFrom(producer_seq, producer->pc, producer->histAtPred);
     if (_cfg.elim.fullFlushRecovery)
         _fetchStallUntil = _cycle + 4;
@@ -1159,8 +1161,8 @@ Core::trainFromEvents()
             ++_sDetectorLive;
         _pcProfiler.onDetectorVerdict(ev.producer.pc, ev.dead);
         if (_cfg.elim.enable && !_cfg.elim.oraclePredictor) {
-            _deadPredictor.train(ev.producer.pc, ev.producer.sig,
-                                 ev.dead);
+            _deadPredictor->train(ev.producer.pc, ev.producer.sig,
+                                  ev.dead);
         }
     }
     _events.clear();

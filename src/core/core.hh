@@ -119,10 +119,11 @@ class Core
     }
 
     /** The dead-instruction predictor (read-only; the lockstep
-     * oracle's divergence reports quote its per-PC state). */
-    const predictor::DeadInstPredictor &deadPredictor() const
+     * oracle's divergence reports quote its per-PC state). Any zoo
+     * variant, not just the paper table — see ElimConfig::zoo. */
+    const predictor::DeadPredictor &deadPredictor() const
     {
-        return _deadPredictor;
+        return *_deadPredictor;
     }
     /** `pc` is temporarily barred from elimination after a dead
      * misprediction. */
@@ -258,7 +259,7 @@ class Core
     CoreConfig _cfg;
     cache::Hierarchy _caches;
     predictor::FrontendPredictor _frontend;
-    predictor::DeadInstPredictor _deadPredictor;
+    std::unique_ptr<predictor::DeadPredictor> _deadPredictor;
     predictor::DeadValueDetector _detector;
     predictor::DeadPcProfiler _pcProfiler;
     std::vector<predictor::DeadEvent> _events;

@@ -111,13 +111,13 @@ class GsharePredictor
     shiftHistory(bool outcome)
     {
         _history = ((_history << 1) | (outcome ? 1 : 0)) &
-                   ((1u << _historyBits) - 1);
+                   historyMask();
     }
 
     std::uint32_t history() const { return _history; }
     void setHistory(std::uint32_t h)
     {
-        _history = h & ((1u << _historyBits) - 1);
+        _history = h & historyMask();
     }
 
     std::uint64_t sizeInBits() const
@@ -135,6 +135,14 @@ class GsharePredictor
     indexAt(Addr pc, std::uint32_t hist) const
     {
         return ((pc >> 2) ^ hist) & (_table.size() - 1);
+    }
+    /** Computed in 64-bit: the constructor admits history_bits == 32,
+     * where `1u << 32` would be UB. */
+    std::uint32_t
+    historyMask() const
+    {
+        return static_cast<std::uint32_t>(
+            (1ull << _historyBits) - 1);
     }
     std::vector<Counter2> _table;
     std::uint32_t _history = 0;

@@ -10,14 +10,20 @@
  * signature is what lets the predictor tell useless from useful
  * instances of the same static instruction — whether a value will be
  * consumed is usually decided by the path taken after it is produced.
- * With the default geometry (2048 entries x (8-bit tag + 2-bit
- * counter)) the table holds 2.5 KB of state, inside the paper's 5 KB
- * budget.
+ * With the default geometry (2048 entries x (valid + 8-bit tag +
+ * 2-bit counter)) the table holds 2.75 KB of state, inside the
+ * paper's 5 KB budget.
  *
  * Training comes from the commit-time DeadValueDetector: a "dead"
  * event when a value was overwritten unread strengthens the entry; a
  * "live" event on a value's first use decrements it (or clears it
  * under the more conservative clearOnLive policy).
+ *
+ * The paper's table is one point in a larger design space; the
+ * abstract DeadPredictor interface below is what the evaluation
+ * paths (trace-driven and detailed core) program against, so the
+ * zoo variants in tage.hh / perceptron.hh / hybrid.hh can compete
+ * against it at a matched state budget (see zoo.hh).
  */
 
 #ifndef DDE_PREDICTOR_DEAD_PREDICTOR_HH
@@ -37,6 +43,50 @@ namespace dde::predictor
  * directions, LSB = nearest future branch. */
 using FutureSig = std::uint16_t;
 
+/** Mask a raw signature down to `depth` future branches (0 erases
+ * the signature entirely — the PC-only ablation). */
+constexpr FutureSig
+maskSigToDepth(FutureSig sig, unsigned depth)
+{
+    return depth == 0
+               ? FutureSig(0)
+               : static_cast<FutureSig>(sig & ((1u << depth) - 1));
+}
+
+/**
+ * The pluggable dead-instruction predictor interface. Everything the
+ * two evaluation paths need from a predictor:
+ *
+ *  - predict() at rename/replay time with the instance's PC and
+ *    future control-flow signature;
+ *  - train() with the commit-time detector's dead/live verdict for
+ *    the same (pc, sig) the prediction was made with;
+ *  - punish() after a costly dead misprediction — the variant must
+ *    make its best effort (a hard guarantee for counter-based
+ *    variants) that the same instance is not predicted dead again
+ *    immediately;
+ *  - maskSig() so callers can canonicalize a raw signature to the
+ *    variant's configured future depth before storing it with the
+ *    in-flight instruction;
+ *  - sizeInBits() for the equal-budget comparisons, and counterOf()
+ *    as a variant-scaled confidence diagnostic (lockstep divergence
+ *    reports quote it).
+ */
+class DeadPredictor
+{
+  public:
+    virtual ~DeadPredictor() = default;
+
+    virtual bool predict(Addr pc, FutureSig sig) const = 0;
+    virtual void train(Addr pc, FutureSig sig, bool dead) = 0;
+    virtual void punish(Addr pc, FutureSig sig) = 0;
+    virtual FutureSig maskSig(FutureSig sig) const = 0;
+    virtual std::uint64_t sizeInBits() const = 0;
+    virtual unsigned counterOf(Addr pc, FutureSig sig) const = 0;
+    /** Stable variant label used in reports ("paper", "tage", ...). */
+    virtual const char *name() const = 0;
+};
+
 /** Geometry and policy of the dead-instruction predictor. */
 struct DeadPredictorConfig
 {
@@ -55,42 +105,45 @@ struct DeadPredictorConfig
     std::uint64_t
     sizeInBits() const
     {
+        // One valid bit per entry: an invalid entry must not match,
+        // and real SRAM pays for that bit, so the budget does too.
         return static_cast<std::uint64_t>(entries) *
-               (tagBits + counterBits);
+               (1 + tagBits + counterBits);
     }
 };
 
 /** Tagged, confidence-based dead-instruction predictor. */
-class DeadInstPredictor
+class DeadInstPredictor final : public DeadPredictor
 {
   public:
     explicit DeadInstPredictor(const DeadPredictorConfig &cfg = {});
 
     /** Predict whether the instance (pc, future signature) is dead. */
-    bool predict(Addr pc, FutureSig sig) const;
+    bool predict(Addr pc, FutureSig sig) const override;
 
     /** Train with the detector's verdict for an instance. */
-    void train(Addr pc, FutureSig sig, bool dead);
+    void train(Addr pc, FutureSig sig, bool dead) override;
 
     /** Clear the entry after a costly dead misprediction, guaranteeing
      * the same instance will not be predicted dead again immediately. */
-    void punish(Addr pc, FutureSig sig);
+    void punish(Addr pc, FutureSig sig) override;
 
     /** Mask a raw signature down to the configured future depth. */
     FutureSig
-    maskSig(FutureSig sig) const
+    maskSig(FutureSig sig) const override
     {
-        unsigned d = _cfg.futureDepth;
-        return d == 0 ? 0
-                      : static_cast<FutureSig>(sig &
-                                               ((1u << d) - 1));
+        return maskSigToDepth(sig, _cfg.futureDepth);
     }
 
     const DeadPredictorConfig &config() const { return _cfg; }
-    std::uint64_t sizeInBits() const { return _cfg.sizeInBits(); }
+    std::uint64_t sizeInBits() const override
+    {
+        return _cfg.sizeInBits();
+    }
+    const char *name() const override { return "paper"; }
 
     /** Counter state of the entry an instance maps to (for tests). */
-    unsigned counterOf(Addr pc, FutureSig sig) const;
+    unsigned counterOf(Addr pc, FutureSig sig) const override;
 
   private:
     struct Entry

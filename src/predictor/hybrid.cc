@@ -1,0 +1,133 @@
+#include "predictor/hybrid.hh"
+
+namespace dde::predictor
+{
+
+HybridDeadPredictor::HybridDeadPredictor(const HybridDeadConfig &cfg)
+    : _cfg(cfg), _local(cfg.localEntries, 0),
+      _global(cfg.globalEntries),
+      _chooser(cfg.chooserEntries, 2),  // weakly trust global
+      _counterMax((1u << cfg.counterBits) - 1)
+{
+    panic_if(!isPow2(cfg.localEntries) || !isPow2(cfg.globalEntries) ||
+                 !isPow2(cfg.chooserEntries),
+             "hybrid table sizes must be powers of two");
+    panic_if(cfg.counterBits == 0 || cfg.counterBits > 8,
+             "counter width must be 1..8 bits");
+    panic_if(cfg.threshold == 0 || cfg.threshold > _counterMax,
+             "threshold exceeds counter range");
+    panic_if(cfg.tagBits == 0 || cfg.tagBits > 16,
+             "tag width must be 1..16 bits");
+    panic_if(cfg.futureDepth == 0 || cfg.futureDepth > 16,
+             "future depth must be 1..16");
+}
+
+std::size_t
+HybridDeadPredictor::localIndex(Addr pc) const
+{
+    return (pc >> 2) & (_local.size() - 1);
+}
+
+std::size_t
+HybridDeadPredictor::globalIndex(Addr pc, FutureSig sig) const
+{
+    std::uint64_t raw =
+        (pc >> 2) ^ (static_cast<std::uint64_t>(maskSig(sig)) << 3);
+    return raw & (_global.size() - 1);
+}
+
+std::uint16_t
+HybridDeadPredictor::globalTag(Addr pc, FutureSig sig) const
+{
+    std::uint64_t raw = ((pc >> 2) * 0x9e3779b97f4a7c15ULL) ^
+                        (static_cast<std::uint64_t>(maskSig(sig))
+                         << 11);
+    return static_cast<std::uint16_t>(
+        xorFold(raw >> 7, _cfg.tagBits));
+}
+
+bool
+HybridDeadPredictor::localPredict(Addr pc) const
+{
+    return _local[localIndex(pc)] >= _cfg.threshold;
+}
+
+bool
+HybridDeadPredictor::globalPredict(Addr pc, FutureSig sig) const
+{
+    const GlobalEntry &e = _global[globalIndex(pc, sig)];
+    return e.valid && e.tag == globalTag(pc, sig) &&
+           e.counter >= _cfg.threshold;
+}
+
+bool
+HybridDeadPredictor::predict(Addr pc, FutureSig sig) const
+{
+    return _chooser[chooserIndex(pc)] >= 2 ? globalPredict(pc, sig)
+                                           : localPredict(pc);
+}
+
+void
+HybridDeadPredictor::train(Addr pc, FutureSig sig, bool dead)
+{
+    // Grade the components before updating them, then steer the
+    // chooser toward whichever was right (no-op on agreement).
+    bool l = localPredict(pc);
+    bool g = globalPredict(pc, sig);
+    if (l != g) {
+        std::uint8_t &c = _chooser[chooserIndex(pc)];
+        if (g == dead) {
+            if (c < 3)
+                ++c;
+        } else if (c > 0) {
+            --c;
+        }
+    }
+
+    std::uint8_t &lc = _local[localIndex(pc)];
+    if (dead) {
+        if (lc < _counterMax)
+            ++lc;
+    } else if (lc > 0) {
+        --lc;
+    }
+
+    GlobalEntry &e = _global[globalIndex(pc, sig)];
+    std::uint16_t t = globalTag(pc, sig);
+    if (e.valid && e.tag == t) {
+        if (dead) {
+            if (e.counter < _counterMax)
+                ++e.counter;
+        } else if (e.counter > 0) {
+            --e.counter;
+        }
+    } else if (dead) {
+        // Allocate only on dead outcomes, like the paper's table.
+        e.valid = true;
+        e.tag = t;
+        e.counter = 1;
+    }
+}
+
+void
+HybridDeadPredictor::punish(Addr pc, FutureSig sig)
+{
+    // Clearing both components guarantees a live prediction next
+    // time, whichever way the chooser points.
+    _local[localIndex(pc)] = 0;
+    GlobalEntry &e = _global[globalIndex(pc, sig)];
+    if (e.valid && e.tag == globalTag(pc, sig))
+        e.counter = 0;
+}
+
+unsigned
+HybridDeadPredictor::counterOf(Addr pc, FutureSig sig) const
+{
+    if (_chooser[chooserIndex(pc)] >= 2) {
+        const GlobalEntry &e = _global[globalIndex(pc, sig)];
+        return e.valid && e.tag == globalTag(pc, sig) ? e.counter : 0;
+    }
+    return _local[localIndex(pc)];
+}
+
+} // namespace dde::predictor

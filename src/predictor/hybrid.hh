@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Local/global hybrid dead-instruction predictor.
+ *
+ * The Alpha-21264 tournament idea transplanted to dead prediction
+ * (cf. TournamentPredictor in branch.hh): a *local* component — an
+ * untagged per-PC dead-confidence table that captures instructions
+ * which are (almost) always dead or always live regardless of path —
+ * and a *global* component — a paper-style tagged table indexed by
+ * PC x future signature that separates path-dependent instances — with
+ * a per-PC chooser that learns, on disagreement, which component to
+ * trust for each static instruction. Static instructions with
+ * path-invariant deadness stop consuming tagged capacity, leaving the
+ * global table to the instances that need the signature.
+ */
+
+#ifndef DDE_PREDICTOR_HYBRID_HH
+#define DDE_PREDICTOR_HYBRID_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "predictor/dead_predictor.hh"
+
+namespace dde::predictor
+{
+
+/** Geometry of the hybrid variant. */
+struct HybridDeadConfig
+{
+    unsigned localEntries = 1024;   ///< untagged per-PC counters
+    unsigned globalEntries = 1024;  ///< tagged (pc, sig) entries
+    unsigned chooserEntries = 1024; ///< per-PC 2-bit chooser
+    unsigned tagBits = 8;
+    unsigned counterBits = 2;
+    /** Fire threshold shared by both components. */
+    unsigned threshold = 2;
+    unsigned futureDepth = 8;
+
+    std::uint64_t
+    sizeInBits() const
+    {
+        return static_cast<std::uint64_t>(localEntries) * counterBits +
+               static_cast<std::uint64_t>(globalEntries) *
+                   (1 + tagBits + counterBits) +
+               2ULL * chooserEntries;
+    }
+};
+
+class HybridDeadPredictor final : public DeadPredictor
+{
+  public:
+    explicit HybridDeadPredictor(const HybridDeadConfig &cfg = {});
+
+    bool predict(Addr pc, FutureSig sig) const override;
+    void train(Addr pc, FutureSig sig, bool dead) override;
+    void punish(Addr pc, FutureSig sig) override;
+
+    FutureSig
+    maskSig(FutureSig sig) const override
+    {
+        return maskSigToDepth(sig, _cfg.futureDepth);
+    }
+
+    std::uint64_t sizeInBits() const override
+    {
+        return _cfg.sizeInBits();
+    }
+    unsigned counterOf(Addr pc, FutureSig sig) const override;
+    const char *name() const override { return "hybrid"; }
+
+    const HybridDeadConfig &config() const { return _cfg; }
+
+    /** Chooser state for a PC (tests): >= 2 means "trust global". */
+    unsigned chooserOf(Addr pc) const
+    {
+        return _chooser[chooserIndex(pc)];
+    }
+
+  private:
+    struct GlobalEntry
+    {
+        bool valid = false;
+        std::uint16_t tag = 0;
+        std::uint8_t counter = 0;
+    };
+
+    std::size_t localIndex(Addr pc) const;
+    std::size_t chooserIndex(Addr pc) const
+    {
+        return (pc >> 2) & (_chooser.size() - 1);
+    }
+    std::size_t globalIndex(Addr pc, FutureSig sig) const;
+    std::uint16_t globalTag(Addr pc, FutureSig sig) const;
+
+    bool localPredict(Addr pc) const;
+    bool globalPredict(Addr pc, FutureSig sig) const;
+
+    HybridDeadConfig _cfg;
+    std::vector<std::uint8_t> _local;
+    std::vector<GlobalEntry> _global;
+    std::vector<std::uint8_t> _chooser;  ///< 2-bit, init weakly-global
+    unsigned _counterMax;
+};
+
+} // namespace dde::predictor
+
+#endif // DDE_PREDICTOR_HYBRID_HH

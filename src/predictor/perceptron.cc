@@ -1,0 +1,96 @@
+#include "predictor/perceptron.hh"
+
+namespace dde::predictor
+{
+
+PerceptronDeadPredictor::PerceptronDeadPredictor(
+    const PerceptronDeadConfig &cfg)
+    : _cfg(cfg),
+      _weights(static_cast<std::size_t>(cfg.entries) *
+                   (cfg.futureDepth + 1),
+               0),
+      _weightMax((1 << (cfg.weightBits - 1)) - 1),
+      _weightMin(-(1 << (cfg.weightBits - 1)))
+{
+    panic_if(!isPow2(cfg.entries),
+             "perceptron rows must be a power of two");
+    panic_if(cfg.weightBits < 2 || cfg.weightBits > 16,
+             "weight width must be 2..16 bits");
+    panic_if(cfg.futureDepth == 0 || cfg.futureDepth > 16,
+             "future depth must be 1..16");
+    panic_if(cfg.fireMargin < 0, "fire margin must be >= 0");
+}
+
+std::size_t
+PerceptronDeadPredictor::rowIndex(Addr pc) const
+{
+    std::uint64_t raw = (pc >> 2) * 0x9e3779b97f4a7c15ULL;
+    return (raw >> 17) & (_cfg.entries - 1);
+}
+
+int
+PerceptronDeadPredictor::sum(Addr pc, FutureSig sig) const
+{
+    const std::int16_t *row =
+        &_weights[rowIndex(pc) * (_cfg.futureDepth + 1)];
+    FutureSig s = maskSig(sig);
+    int acc = row[0];  // bias
+    for (unsigned i = 0; i < _cfg.futureDepth; ++i)
+        acc += (s >> i) & 1 ? row[i + 1] : -row[i + 1];
+    return acc;
+}
+
+bool
+PerceptronDeadPredictor::predict(Addr pc, FutureSig sig) const
+{
+    return sum(pc, sig) > _cfg.fireMargin;
+}
+
+void
+PerceptronDeadPredictor::step(Addr pc, FutureSig sig, int direction)
+{
+    std::int16_t *row =
+        &_weights[rowIndex(pc) * (_cfg.futureDepth + 1)];
+    FutureSig s = maskSig(sig);
+    auto bump = [&](std::int16_t &w, int d) {
+        int v = w + d;
+        if (v > _weightMax)
+            v = _weightMax;
+        if (v < _weightMin)
+            v = _weightMin;
+        w = static_cast<std::int16_t>(v);
+    };
+    bump(row[0], direction);
+    for (unsigned i = 0; i < _cfg.futureDepth; ++i)
+        bump(row[i + 1], (s >> i) & 1 ? direction : -direction);
+}
+
+void
+PerceptronDeadPredictor::train(Addr pc, FutureSig sig, bool dead)
+{
+    int acc = sum(pc, sig);
+    bool predicted = acc > _cfg.fireMargin;
+    int magnitude = acc < 0 ? -acc : acc;
+    if (predicted != dead ||
+        magnitude <= static_cast<int>(_cfg.effectiveTheta())) {
+        step(pc, sig, dead ? 1 : -1);
+    }
+}
+
+void
+PerceptronDeadPredictor::punish(Addr pc, FutureSig sig)
+{
+    for (unsigned i = 0; i < _cfg.punishSteps; ++i)
+        step(pc, sig, -1);
+}
+
+unsigned
+PerceptronDeadPredictor::counterOf(Addr pc, FutureSig sig) const
+{
+    // Confidence diagnostic: margin excess above the firing line,
+    // zero while the predictor says live.
+    int excess = sum(pc, sig) - _cfg.fireMargin;
+    return excess > 0 ? static_cast<unsigned>(excess) : 0u;
+}
+
+} // namespace dde::predictor

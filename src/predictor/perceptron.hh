@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Perceptron dead-instruction predictor.
+ *
+ * A PC-hashed table of perceptrons whose inputs are the bits of the
+ * future control-flow signature (Jiménez/Lin-style, per the
+ * DL-predictor survey in PAPERS.md). Where the paper's table needs
+ * one entry per (pc, signature) pair it has seen, a perceptron
+ * learns a linear function of the signature bits, so correlated
+ * futures generalize from far fewer table entries — its budget
+ * scales with depth, not with 2^depth.
+ *
+ * Deadness-specific choices:
+ *  - the predictor fires only when the weighted sum clears a
+ *    configurable margin above zero, because a false "dead" costs a
+ *    recovery while a false "live" only forfeits an elimination;
+ *  - training is margin-based (classic theta = 1.93*depth + 14):
+ *    weights update on a misprediction or while the sum is inside
+ *    the margin;
+ *  - punish() applies a multi-step anti-dead update. Unlike the
+ *    counter variants this is best-effort rather than a hard
+ *    guarantee (a linear function cannot be clamped for one input
+ *    pattern only); the core's per-PC no-eliminate window covers the
+ *    residual risk.
+ */
+
+#ifndef DDE_PREDICTOR_PERCEPTRON_HH
+#define DDE_PREDICTOR_PERCEPTRON_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "predictor/dead_predictor.hh"
+
+namespace dde::predictor
+{
+
+/** Geometry of the perceptron variant. */
+struct PerceptronDeadConfig
+{
+    unsigned entries = 256;   ///< perceptron rows, power of two
+    unsigned weightBits = 8;  ///< signed saturating weights
+    unsigned futureDepth = 8; ///< signature inputs (plus a bias)
+    /** Fire (predict dead) only when sum > fireMargin. */
+    int fireMargin = 0;
+    /** Training margin theta; 0 = the classic 1.93*depth + 14. */
+    unsigned theta = 0;
+    /** Weight steps applied by one punish(). */
+    unsigned punishSteps = 4;
+
+    unsigned
+    effectiveTheta() const
+    {
+        return theta ? theta
+                     : static_cast<unsigned>(1.93 * futureDepth + 14);
+    }
+
+    std::uint64_t
+    sizeInBits() const
+    {
+        return static_cast<std::uint64_t>(entries) *
+               (futureDepth + 1) * weightBits;
+    }
+};
+
+class PerceptronDeadPredictor final : public DeadPredictor
+{
+  public:
+    explicit PerceptronDeadPredictor(
+        const PerceptronDeadConfig &cfg = {});
+
+    bool predict(Addr pc, FutureSig sig) const override;
+    void train(Addr pc, FutureSig sig, bool dead) override;
+    void punish(Addr pc, FutureSig sig) override;
+
+    FutureSig
+    maskSig(FutureSig sig) const override
+    {
+        return maskSigToDepth(sig, _cfg.futureDepth);
+    }
+
+    std::uint64_t sizeInBits() const override
+    {
+        return _cfg.sizeInBits();
+    }
+    unsigned counterOf(Addr pc, FutureSig sig) const override;
+    const char *name() const override { return "perceptron"; }
+
+    const PerceptronDeadConfig &config() const { return _cfg; }
+
+    /** The raw weighted sum for an instance (tests). */
+    int sum(Addr pc, FutureSig sig) const;
+
+  private:
+    std::size_t rowIndex(Addr pc) const;
+    /** One signed training step toward dead (+1) or live (-1). */
+    void step(Addr pc, FutureSig sig, int direction);
+
+    PerceptronDeadConfig _cfg;
+    std::vector<std::int16_t> _weights;  ///< rows x (1 + depth)
+    int _weightMax;
+    int _weightMin;
+};
+
+} // namespace dde::predictor
+
+#endif // DDE_PREDICTOR_PERCEPTRON_HH

@@ -1,0 +1,189 @@
+#include "predictor/tage.hh"
+
+namespace dde::predictor
+{
+
+TageDeadPredictor::TageDeadPredictor(const TageDeadConfig &cfg)
+    : _cfg(cfg), _base(cfg.baseEntries, 0),
+      _counterMax((1u << cfg.counterBits) - 1),
+      _usefulMax((1u << cfg.usefulBits) - 1)
+{
+    panic_if(cfg.numTables == 0 || cfg.numTables > 8,
+             "tage needs 1..8 tagged tables");
+    panic_if(!isPow2(cfg.entriesPerTable),
+             "tage table size must be a power of two");
+    panic_if(!isPow2(cfg.baseEntries),
+             "tage base size must be a power of two");
+    panic_if(cfg.counterBits == 0 || cfg.counterBits > 8,
+             "counter width must be 1..8 bits");
+    panic_if(cfg.usefulBits == 0 || cfg.usefulBits > 4,
+             "useful width must be 1..4 bits");
+    panic_if(cfg.tagBits == 0 || cfg.tagBits > 16,
+             "tag width must be 1..16 bits");
+    panic_if(cfg.threshold == 0 || cfg.threshold > _counterMax,
+             "threshold exceeds counter range");
+    panic_if(cfg.futureDepth == 0 || cfg.futureDepth > 16,
+             "future depth must be 1..16");
+    _tables.assign(cfg.numTables,
+                   std::vector<Entry>(cfg.entriesPerTable));
+}
+
+std::size_t
+TageDeadPredictor::baseIndex(Addr pc) const
+{
+    return (pc >> 2) & (_base.size() - 1);
+}
+
+std::size_t
+TageDeadPredictor::index(unsigned t, Addr pc, FutureSig sig) const
+{
+    FutureSig h = maskSigToDepth(sig, _cfg.histLength(t));
+    // A distinct odd multiplier per table decorrelates the sets the
+    // same (pc, sig) occupies across tables.
+    std::uint64_t raw = (pc >> 2) * (2 * t + 1) ^
+                        (static_cast<std::uint64_t>(h) *
+                         0x9e3779b97f4a7c15ULL >> (8 + t));
+    return raw & (_tables[t].size() - 1);
+}
+
+std::uint16_t
+TageDeadPredictor::tag(unsigned t, Addr pc, FutureSig sig) const
+{
+    FutureSig h = maskSigToDepth(sig, _cfg.histLength(t));
+    std::uint64_t raw = ((pc >> 2) * 0xff51afd7ed558ccdULL) ^
+                        (static_cast<std::uint64_t>(h) << (5 + t));
+    return static_cast<std::uint16_t>(
+        xorFold(raw >> 11, _cfg.tagBits));
+}
+
+int
+TageDeadPredictor::provider(Addr pc, FutureSig sig) const
+{
+    for (int t = static_cast<int>(_cfg.numTables) - 1; t >= 0; --t) {
+        const Entry &e = _tables[t][index(t, pc, sig)];
+        if (e.valid && e.tag == tag(t, pc, sig))
+            return t;
+    }
+    return -1;
+}
+
+bool
+TageDeadPredictor::firesAt(int table, Addr pc, FutureSig sig) const
+{
+    if (table < 0)
+        return _base[baseIndex(pc)] >= _cfg.threshold;
+    const Entry &e = _tables[table][index(table, pc, sig)];
+    return e.counter >= _cfg.threshold;
+}
+
+bool
+TageDeadPredictor::predict(Addr pc, FutureSig sig) const
+{
+    return firesAt(provider(pc, sig), pc, sig);
+}
+
+void
+TageDeadPredictor::train(Addr pc, FutureSig sig, bool dead)
+{
+    int prov = provider(pc, sig);
+    bool predicted = firesAt(prov, pc, sig);
+
+    // Altpred: the next-longest matching table (or the base), used
+    // only to grade the provider's usefulness.
+    if (prov >= 0) {
+        int alt = -1;
+        for (int t = prov - 1; t >= 0; --t) {
+            const Entry &e = _tables[t][index(t, pc, sig)];
+            if (e.valid && e.tag == tag(t, pc, sig)) {
+                alt = t;
+                break;
+            }
+        }
+        bool alt_pred = firesAt(alt, pc, sig);
+        Entry &e = _tables[prov][index(prov, pc, sig)];
+        if (predicted != alt_pred) {
+            if (predicted == dead) {
+                if (e.useful < _usefulMax)
+                    ++e.useful;
+            } else if (e.useful > 0) {
+                --e.useful;
+            }
+        }
+        if (dead) {
+            if (e.counter < _counterMax)
+                ++e.counter;
+        } else if (e.counter > 0) {
+            --e.counter;
+        }
+    } else {
+        std::uint8_t &c = _base[baseIndex(pc)];
+        if (dead) {
+            if (c < _counterMax)
+                ++c;
+        } else if (c > 0) {
+            --c;
+        }
+    }
+
+    // Allocate only when the provider mispredicted AND the counter
+    // update did not already correct it: a freshly allocated entry
+    // warming toward the threshold would otherwise "mispredict" once
+    // more and cascade an allocation into every longer table.
+    if (predicted == dead || firesAt(prov, pc, sig) == dead)
+        return;
+
+    // Mispredicted: allocate one entry in a longer-history table so
+    // the finer signature context can separate this instance. The
+    // first candidate with a spent usefulness counter wins; if all
+    // are defended, age them instead (classic TAGE back-off).
+    bool allocated = false;
+    for (unsigned t = prov + 1; t < _cfg.numTables; ++t) {
+        Entry &e = _tables[t][index(t, pc, sig)];
+        if (!e.valid || e.useful == 0) {
+            e.valid = true;
+            e.tag = tag(t, pc, sig);
+            // A new entry must re-earn the firing threshold: one
+            // confirmation away on a dead outcome, floor on live.
+            e.counter = dead
+                            ? static_cast<std::uint8_t>(
+                                  _cfg.threshold - 1)
+                            : 0;
+            e.useful = 0;
+            allocated = true;
+            break;
+        }
+    }
+    if (!allocated) {
+        for (unsigned t = prov + 1; t < _cfg.numTables; ++t) {
+            Entry &e = _tables[t][index(t, pc, sig)];
+            if (e.useful > 0)
+                --e.useful;
+        }
+    }
+}
+
+void
+TageDeadPredictor::punish(Addr pc, FutureSig sig)
+{
+    // Hard guarantee: every structure this instance can read out of
+    // goes below threshold, so the next predict() says live.
+    for (unsigned t = 0; t < _cfg.numTables; ++t) {
+        Entry &e = _tables[t][index(t, pc, sig)];
+        if (e.valid && e.tag == tag(t, pc, sig)) {
+            e.counter = 0;
+            e.useful = 0;
+        }
+    }
+    _base[baseIndex(pc)] = 0;
+}
+
+unsigned
+TageDeadPredictor::counterOf(Addr pc, FutureSig sig) const
+{
+    int prov = provider(pc, sig);
+    if (prov < 0)
+        return _base[baseIndex(pc)];
+    return _tables[prov][index(prov, pc, sig)].counter;
+}
+
+} // namespace dde::predictor

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * TAGE-style dead-instruction predictor.
+ *
+ * The TAGE family (tagged geometric history lengths; see the
+ * branch-prediction surveys in PAPERS.md) adapts naturally to dead
+ * prediction: the "history" is the future control-flow signature, and
+ * the tagged tables observe geometrically longer prefixes of it. A
+ * short-history table captures instances whose deadness is decided by
+ * the very next branch; a long-history table separates instances that
+ * only differ many branches downstream. The provider is the matching
+ * table with the longest history; usefulness bits steer allocation
+ * toward entries that never contributed a decisive prediction.
+ *
+ * Deviations from branch TAGE, forced by the asymmetric cost of a
+ * dead misprediction:
+ *  - counters are unsigned dead-confidence counters with a firing
+ *    threshold (like the paper's table), not signed taken/not-taken
+ *    counters, so a freshly allocated entry must re-earn confidence
+ *    before the predictor fires;
+ *  - allocation is deterministic (first free longer table, no PRNG)
+ *    so equal-seed sweeps are bit-reproducible;
+ *  - punish() clears every matching entry across all tables plus the
+ *    base counter, which hard-guarantees the instance is predicted
+ *    live next time.
+ */
+
+#ifndef DDE_PREDICTOR_TAGE_HH
+#define DDE_PREDICTOR_TAGE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "predictor/dead_predictor.hh"
+
+namespace dde::predictor
+{
+
+/** Geometry of the TAGE-style variant. */
+struct TageDeadConfig
+{
+    unsigned numTables = 4;        ///< tagged tables (1..8)
+    unsigned entriesPerTable = 512;///< per tagged table, power of two
+    unsigned baseEntries = 1024;   ///< tagless PC-indexed base table
+    unsigned tagBits = 8;
+    unsigned counterBits = 3;      ///< dead-confidence width
+    unsigned usefulBits = 1;
+    /** Counter value at or above which a provider predicts dead. */
+    unsigned threshold = 4;
+    /** Longest signature prefix any table observes (the geometric
+     * series tops out here). */
+    unsigned futureDepth = 8;
+
+    /** Signature prefix length of tagged table `t` (geometric:
+     * futureDepth halved per step down, floor 1). */
+    unsigned
+    histLength(unsigned t) const
+    {
+        unsigned len = futureDepth >> (numTables - 1 - t);
+        return len == 0 ? 1 : len;
+    }
+
+    std::uint64_t
+    sizeInBits() const
+    {
+        return static_cast<std::uint64_t>(baseEntries) * counterBits +
+               static_cast<std::uint64_t>(numTables) * entriesPerTable *
+                   (1 + tagBits + counterBits + usefulBits);
+    }
+};
+
+class TageDeadPredictor final : public DeadPredictor
+{
+  public:
+    explicit TageDeadPredictor(const TageDeadConfig &cfg = {});
+
+    bool predict(Addr pc, FutureSig sig) const override;
+    void train(Addr pc, FutureSig sig, bool dead) override;
+    void punish(Addr pc, FutureSig sig) override;
+
+    FutureSig
+    maskSig(FutureSig sig) const override
+    {
+        return maskSigToDepth(sig, _cfg.futureDepth);
+    }
+
+    std::uint64_t sizeInBits() const override
+    {
+        return _cfg.sizeInBits();
+    }
+    unsigned counterOf(Addr pc, FutureSig sig) const override;
+    const char *name() const override { return "tage"; }
+
+    const TageDeadConfig &config() const { return _cfg; }
+
+  private:
+    struct Entry
+    {
+        bool valid = false;
+        std::uint16_t tag = 0;
+        std::uint8_t counter = 0;
+        std::uint8_t useful = 0;
+    };
+
+    std::size_t baseIndex(Addr pc) const;
+    std::size_t index(unsigned t, Addr pc, FutureSig sig) const;
+    std::uint16_t tag(unsigned t, Addr pc, FutureSig sig) const;
+    /** Longest matching tagged table, or -1 for the base table. */
+    int provider(Addr pc, FutureSig sig) const;
+    bool firesAt(int table, Addr pc, FutureSig sig) const;
+
+    TageDeadConfig _cfg;
+    std::vector<std::uint8_t> _base;        ///< dead confidence per PC
+    std::vector<std::vector<Entry>> _tables;
+    unsigned _counterMax;
+    unsigned _usefulMax;
+};
+
+} // namespace dde::predictor
+
+#endif // DDE_PREDICTOR_TAGE_HH

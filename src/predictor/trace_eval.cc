@@ -62,12 +62,13 @@ evaluateOnTrace(const prog::Program &program,
     std::vector<FutureSig> sigs = computeFutureSigs(
         program, trace, config.frontend, config.oracleFuture, &result);
 
-    DeadInstPredictor predictor(config.predictor);
+    std::unique_ptr<DeadPredictor> predictor =
+        makeDeadPredictor(config.zoo, config.predictor);
     LastOutcomePredictor last_outcome;
     DeadValueDetector detector(config.detector);
     result.predictorBits = config.lastOutcomeBaseline
                                ? last_outcome.sizeInBits()
-                               : predictor.sizeInBits();
+                               : predictor->sizeInBits();
 
     // Per-candidate prediction, labeled lazily by detector events.
     enum class Label : std::uint8_t { None, Dead, Live };
@@ -83,8 +84,8 @@ evaluateOnTrace(const prog::Program &program,
             if (config.lastOutcomeBaseline)
                 last_outcome.train(ev.producer.pc, ev.dead);
             else
-                predictor.train(ev.producer.pc, ev.producer.sig,
-                                ev.dead);
+                predictor->train(ev.producer.pc, ev.producer.sig,
+                                 ev.dead);
         }
         events.clear();
     };
@@ -95,7 +96,7 @@ evaluateOnTrace(const prog::Program &program,
         Addr pc = prog::Program::pcOf(rec.staticIdx);
         FutureSig sig = config.lastOutcomeBaseline
                             ? 0
-                            : predictor.maskSig(sigs[k]);
+                            : predictor->maskSig(sigs[k]);
 
         bool trainable_reg =
             inst.writesReg() && !inst.hasSideEffect();
@@ -106,7 +107,7 @@ evaluateOnTrace(const prog::Program &program,
             result.candidates++;
             predicted[k] = config.lastOutcomeBaseline
                                ? last_outcome.predict(pc)
-                               : predictor.predict(pc, sig);
+                               : predictor->predict(pc, sig);
             if (predicted[k])
                 result.predictedDead++;
         }

@@ -19,6 +19,7 @@
 #include "predictor/branch.hh"
 #include "predictor/dead_predictor.hh"
 #include "predictor/detector.hh"
+#include "predictor/zoo.hh"
 #include "prog/program.hh"
 
 namespace dde::predictor
@@ -27,7 +28,10 @@ namespace dde::predictor
 /** Evaluation knobs. */
 struct TraceEvalConfig
 {
+    /** Paper-table geometry (used when zoo.kind == Paper). */
     DeadPredictorConfig predictor;
+    /** Which DeadPredictor variant to evaluate (default: paper). */
+    ZooConfig zoo;
     DetectorConfig detector;
     FrontendConfig frontend;
     /** Use actual future branch outcomes instead of predictions

@@ -1,0 +1,143 @@
+#include "predictor/zoo.hh"
+
+namespace dde::predictor
+{
+
+const char *
+kindName(DeadPredictorKind kind)
+{
+    switch (kind) {
+      case DeadPredictorKind::Paper:
+        return "paper";
+      case DeadPredictorKind::Tage:
+        return "tage";
+      case DeadPredictorKind::Perceptron:
+        return "perceptron";
+      case DeadPredictorKind::Hybrid:
+        return "hybrid";
+    }
+    return "?";
+}
+
+bool
+parseKind(std::string_view text, DeadPredictorKind &kind)
+{
+    for (DeadPredictorKind k : kAllKinds) {
+        if (text == kindName(k)) {
+            kind = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::unique_ptr<DeadPredictor>
+makeDeadPredictor(const ZooConfig &zoo, const DeadPredictorConfig &paper)
+{
+    switch (zoo.kind) {
+      case DeadPredictorKind::Paper:
+        return std::make_unique<DeadInstPredictor>(paper);
+      case DeadPredictorKind::Tage:
+        return std::make_unique<TageDeadPredictor>(zoo.tage);
+      case DeadPredictorKind::Perceptron:
+        return std::make_unique<PerceptronDeadPredictor>(
+            zoo.perceptron);
+      case DeadPredictorKind::Hybrid:
+        return std::make_unique<HybridDeadPredictor>(zoo.hybrid);
+    }
+    panic("unknown dead predictor kind");
+}
+
+std::uint64_t
+zooSizeInBits(const ZooConfig &zoo, const DeadPredictorConfig &paper)
+{
+    switch (zoo.kind) {
+      case DeadPredictorKind::Paper:
+        return paper.sizeInBits();
+      case DeadPredictorKind::Tage:
+        return zoo.tage.sizeInBits();
+      case DeadPredictorKind::Perceptron:
+        return zoo.perceptron.sizeInBits();
+      case DeadPredictorKind::Hybrid:
+        return zoo.hybrid.sizeInBits();
+    }
+    panic("unknown dead predictor kind");
+}
+
+namespace
+{
+
+/** Largest power-of-two scale whose size fits the budget. */
+template <typename SizeAtScale>
+unsigned
+fitScale(std::uint64_t budget_bits, SizeAtScale size_at)
+{
+    panic_if(size_at(1u) > budget_bits,
+             "budget too small for the variant's minimum geometry");
+    unsigned scale = 1;
+    while (size_at(scale * 2) <= budget_bits)
+        scale *= 2;
+    return scale;
+}
+
+} // namespace
+
+BudgetFit
+fitBudget(DeadPredictorKind kind, std::uint64_t budget_bits,
+          unsigned future_depth)
+{
+    BudgetFit fit;
+    fit.zoo.kind = kind;
+    switch (kind) {
+      case DeadPredictorKind::Paper: {
+        DeadPredictorConfig &c = fit.paper;
+        c.futureDepth = future_depth;
+        c.entries = fitScale(budget_bits, [&](unsigned e) {
+            DeadPredictorConfig probe = c;
+            probe.entries = e;
+            return probe.sizeInBits();
+        });
+        break;
+      }
+      case DeadPredictorKind::Tage: {
+        TageDeadConfig &c = fit.zoo.tage;
+        c.futureDepth = future_depth;
+        // Base stays twice a tagged table: it is untagged and cheap,
+        // and every instance falls through to it.
+        c.entriesPerTable = fitScale(budget_bits, [&](unsigned e) {
+            TageDeadConfig probe = c;
+            probe.entriesPerTable = e;
+            probe.baseEntries = 2 * e;
+            return probe.sizeInBits();
+        });
+        c.baseEntries = 2 * c.entriesPerTable;
+        break;
+      }
+      case DeadPredictorKind::Perceptron: {
+        PerceptronDeadConfig &c = fit.zoo.perceptron;
+        c.futureDepth = future_depth;
+        c.entries = fitScale(budget_bits, [&](unsigned e) {
+            PerceptronDeadConfig probe = c;
+            probe.entries = e;
+            return probe.sizeInBits();
+        });
+        break;
+      }
+      case DeadPredictorKind::Hybrid: {
+        HybridDeadConfig &c = fit.zoo.hybrid;
+        c.futureDepth = future_depth;
+        unsigned e = fitScale(budget_bits, [&](unsigned n) {
+            HybridDeadConfig probe = c;
+            probe.localEntries = n;
+            probe.globalEntries = n;
+            probe.chooserEntries = n;
+            return probe.sizeInBits();
+        });
+        c.localEntries = c.globalEntries = c.chooserEntries = e;
+        break;
+      }
+    }
+    return fit;
+}
+
+} // namespace dde::predictor

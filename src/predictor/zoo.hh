@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The dead-predictor zoo: every DeadPredictor variant behind one
+ * config + factory, plus equal-budget geometry fitting.
+ *
+ * The paper's confidence-counter table is one point in a large design
+ * space; the zoo lets the TAGE-style, perceptron and local/global
+ * hybrid variants (see their headers for the structures) compete
+ * against it through the same two evaluation paths — trace-driven
+ * (TraceEvalConfig::zoo) and the detailed core (ElimConfig::zoo) —
+ * at a matched state budget (fitBudget sizes any variant to a target
+ * bit budget; bench/tab1_pareto.cc maps the resulting
+ * accuracy/coverage/state Pareto frontier).
+ *
+ * The default kind is Paper, constructed from the caller's existing
+ * DeadPredictorConfig, so a config that never touches the zoo is
+ * bit-identical to the pre-zoo simulator.
+ */
+
+#ifndef DDE_PREDICTOR_ZOO_HH
+#define DDE_PREDICTOR_ZOO_HH
+
+#include <memory>
+#include <string_view>
+
+#include "predictor/dead_predictor.hh"
+#include "predictor/hybrid.hh"
+#include "predictor/perceptron.hh"
+#include "predictor/tage.hh"
+
+namespace dde::predictor
+{
+
+/** The selectable dead-predictor variants. */
+enum class DeadPredictorKind : std::uint8_t
+{
+    Paper,       ///< tagged confidence-counter table (the default)
+    Tage,        ///< tagged geometric future-signature history
+    Perceptron,  ///< signed weights over signature bits
+    Hybrid,      ///< local/global with a chooser
+};
+
+/** Stable lower-case label ("paper", "tage", ...). */
+const char *kindName(DeadPredictorKind kind);
+
+/** Parse a kindName() label; returns false on unknown text. */
+bool parseKind(std::string_view text, DeadPredictorKind &kind);
+
+/** All kinds, in report order. */
+inline constexpr DeadPredictorKind kAllKinds[] = {
+    DeadPredictorKind::Paper,
+    DeadPredictorKind::Tage,
+    DeadPredictorKind::Perceptron,
+    DeadPredictorKind::Hybrid,
+};
+
+/**
+ * Which variant to build and the geometry of each non-paper variant.
+ * The paper geometry deliberately lives *outside* this struct (in
+ * TraceEvalConfig::predictor / ElimConfig::predictor, where it always
+ * has) so there is exactly one source of truth for it.
+ */
+struct ZooConfig
+{
+    DeadPredictorKind kind = DeadPredictorKind::Paper;
+    TageDeadConfig tage;
+    PerceptronDeadConfig perceptron;
+    HybridDeadConfig hybrid;
+};
+
+/** Construct the configured variant (paper geometry from `paper`). */
+std::unique_ptr<DeadPredictor>
+makeDeadPredictor(const ZooConfig &zoo,
+                  const DeadPredictorConfig &paper);
+
+/** State the configured variant would hold, without building it. */
+std::uint64_t zooSizeInBits(const ZooConfig &zoo,
+                            const DeadPredictorConfig &paper);
+
+/** A budget-fitted configuration pair for one variant. */
+struct BudgetFit
+{
+    ZooConfig zoo;
+    DeadPredictorConfig paper;
+};
+
+/**
+ * Size `kind` to the largest power-of-two geometry that fits in
+ * `budget_bits` at the given future depth. The fit lands in
+ * (budget/2, budget] — doubling any table would overflow — so
+ * variants fitted to the same budget are genuinely comparable.
+ */
+BudgetFit fitBudget(DeadPredictorKind kind, std::uint64_t budget_bits,
+                    unsigned future_depth);
+
+} // namespace dde::predictor
+
+#endif // DDE_PREDICTOR_ZOO_HH

@@ -82,6 +82,26 @@ TEST(Gshare, HistoryCheckpointRestores)
     EXPECT_EQ(gs.history(), checkpoint);
 }
 
+TEST(Gshare, FullWidthHistoryIsWellDefined)
+{
+    // Regression: the constructor admits history_bits == 32, where
+    // the old `1u << history_bits` mask computation was undefined
+    // behaviour. The mask must cover all 32 bits.
+    GsharePredictor gs(256, 32);
+    for (int i = 0; i < 40; ++i)
+        gs.shiftHistory(true);
+    EXPECT_EQ(gs.history(), 0xffffffffu);
+    gs.shiftHistory(false);
+    EXPECT_EQ(gs.history(), 0xfffffffeu);
+    gs.setHistory(0xdeadbeef);
+    EXPECT_EQ(gs.history(), 0xdeadbeefu);
+    // Narrower widths still truncate.
+    GsharePredictor gs8(256, 8);
+    gs8.setHistory(0xdeadbeef);
+    EXPECT_EQ(gs8.history(), 0xefu);
+    EXPECT_THROW(GsharePredictor(256, 33), PanicError);
+}
+
 TEST(Gshare, UpdateCounterAtUsesSuppliedHistory)
 {
     GsharePredictor gs(256, 8);

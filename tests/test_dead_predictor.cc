@@ -123,6 +123,34 @@ TEST(DeadPredictor, TagsRejectAliasedPcs)
         << "a tag mismatch must not predict dead";
 }
 
+TEST(DeadPredictor, TagsSeparateAliasedSignatures)
+{
+    // With 16 entries the index keeps only 4 bits of (pc ^ sig << 3),
+    // so signatures 0 and 2 of one PC land in the same set and only
+    // the tag can tell them apart.
+    DeadPredictorConfig cfg;
+    cfg.entries = 16;
+    DeadInstPredictor dp(cfg);
+    Addr pc = 0x10000;
+    FutureSig resident = 0, alias = 2;
+    for (int i = 0; i < 3; ++i)
+        dp.train(pc, resident, true);
+    ASSERT_TRUE(dp.predict(pc, resident));
+    EXPECT_FALSE(dp.predict(pc, alias))
+        << "a tag mismatch must not predict dead";
+    EXPECT_EQ(dp.counterOf(pc, alias), 0u);
+    // punish() through the aliasing instance must leave the resident
+    // entry alone: the tags do not match, so it was not the source of
+    // the misprediction.
+    dp.punish(pc, alias);
+    EXPECT_TRUE(dp.predict(pc, resident));
+    // A dead outcome for the alias evicts the resident entry and
+    // restarts confidence from 1.
+    dp.train(pc, alias, true);
+    EXPECT_FALSE(dp.predict(pc, resident));
+    EXPECT_EQ(dp.counterOf(pc, alias), 1u);
+}
+
 TEST(DeadPredictor, AllocatesOnlyOnDeadOutcomes)
 {
     DeadInstPredictor dp;
@@ -136,9 +164,13 @@ TEST(DeadPredictor, AllocatesOnlyOnDeadOutcomes)
 TEST(DeadPredictor, StateBudgetMatchesPaper)
 {
     DeadPredictorConfig cfg;  // defaults
+    // The per-entry valid bit counts: without it the "state" column
+    // of the tab1 sweeps understated every configuration by
+    // entries/8192 KB.
     EXPECT_EQ(cfg.sizeInBits(),
               std::uint64_t(cfg.entries) *
-                  (cfg.tagBits + cfg.counterBits));
+                  (1 + cfg.tagBits + cfg.counterBits));
+    EXPECT_EQ(cfg.sizeInBits(), 22528u) << "2048 x (1+8+2) = 2.75 KB";
     EXPECT_LT(cfg.sizeInBits(), 5u * 8192)
         << "default geometry must stay under the paper's 5 KB";
 }

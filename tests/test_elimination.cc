@@ -350,6 +350,52 @@ TEST(Elimination, PoisonConsumerBothOperands)
     EXPECT_EQ(result.output[0], 21u);  // (7+3) + (7+4)
 }
 
+TEST(Elimination, ZooVariantsDriveTheDetailedCore)
+{
+    // Every alternative dead predictor is selectable in the detailed
+    // core via ElimConfig::zoo; the observable-state contract must
+    // hold and an always-dead instruction must still be eliminated in
+    // steady state (punish/train semantics survive the swap).
+    auto program = progFromAsm(R"(
+            addi t0, zero, 400
+        loop:
+            addi t1, t0, 7       # always dead
+            addi t1, zero, 1
+            addi t0, t0, -1
+            bne  t0, t1, loop
+            out  t0
+            halt
+    )");
+    auto ref = emu::runProgram(program);
+    for (auto kind : predictor::kAllKinds) {
+        CoreConfig cfg = elimConfig();
+        cfg.elim.zoo.kind = kind;
+        sim::RunOptions opts;
+        opts.cosim = true;
+        auto result = sim::runOnCore(program, cfg, opts);
+        EXPECT_EQ(result.output, ref.output)
+            << predictor::kindName(kind);
+        EXPECT_GT(result.stats.committedEliminated, 250u)
+            << predictor::kindName(kind);
+    }
+}
+
+TEST(Elimination, TageVariantHoldsTheContractOnAWorkload)
+{
+    workloads::Params p;
+    p.scale = 1;
+    auto program = mir::compile(workloads::makeParse(p),
+                                sim::referenceCompileOptions());
+    auto ref = emu::runProgram(program);
+    CoreConfig cfg = elimConfig();
+    cfg.elim.zoo.kind = predictor::DeadPredictorKind::Tage;
+    sim::RunOptions opts;
+    opts.cosim = true;
+    auto result = sim::runOnCore(program, cfg, opts);
+    EXPECT_TRUE(sim::observablyEqual(result, ref));
+    EXPECT_EQ(result.stats.committed, ref.instCount);
+}
+
 TEST(Elimination, StatsCoherenceUnderElimination)
 {
     workloads::Params p;

@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Dead-predictor zoo tests: the DeadPredictor interface contract per
+ * variant (learn / unlearn / punish semantics), variant-specific
+ * behaviour (TAGE provider allocation, perceptron generalization,
+ * hybrid chooser steering), equal-budget geometry fitting, factory
+ * dispatch, determinism, and trace-driven evaluation of every kind.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mir/compiler.hh"
+#include "predictor/trace_eval.hh"
+#include "predictor/zoo.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace dde;
+using namespace dde::predictor;
+
+namespace
+{
+
+/** Train one instance `n` times with the same verdict. */
+void
+drill(DeadPredictor &p, Addr pc, FutureSig sig, bool dead, int n)
+{
+    for (int i = 0; i < n; ++i)
+        p.train(pc, sig, dead);
+}
+
+std::unique_ptr<DeadPredictor>
+makeKind(DeadPredictorKind kind)
+{
+    ZooConfig zoo;
+    zoo.kind = kind;
+    return makeDeadPredictor(zoo, DeadPredictorConfig{});
+}
+
+class EveryKind
+    : public ::testing::TestWithParam<DeadPredictorKind>
+{
+};
+
+} // namespace
+
+TEST_P(EveryKind, LearnsUnlearnsAndReportsState)
+{
+    auto p = makeKind(GetParam());
+    ASSERT_NE(p, nullptr);
+    EXPECT_STREQ(p->name(), kindName(GetParam()));
+    EXPECT_GT(p->sizeInBits(), 0u);
+
+    Addr pc = 0x10040;
+    FutureSig sig = p->maskSig(0xb);
+    EXPECT_FALSE(p->predict(pc, sig))
+        << "a cold predictor must not fire";
+
+    drill(*p, pc, sig, true, 16);
+    EXPECT_TRUE(p->predict(pc, sig))
+        << "repeated dead outcomes must saturate into a dead "
+           "prediction";
+    EXPECT_GT(p->counterOf(pc, sig), 0u);
+
+    drill(*p, pc, sig, false, 32);
+    EXPECT_FALSE(p->predict(pc, sig))
+        << "repeated live outcomes must unlearn the entry";
+}
+
+TEST_P(EveryKind, PunishSuppressesTheInstance)
+{
+    auto p = makeKind(GetParam());
+    Addr pc = 0x10080;
+    FutureSig sig = p->maskSig(0x5);
+    drill(*p, pc, sig, true, 16);
+    ASSERT_TRUE(p->predict(pc, sig));
+    p->punish(pc, sig);
+    EXPECT_FALSE(p->predict(pc, sig))
+        << "a punished instance must not be predicted dead again "
+           "immediately";
+}
+
+TEST_P(EveryKind, MaskSigHonoursFutureDepth)
+{
+    auto p = makeKind(GetParam());
+    // All defaults use depth 8: bits above the depth must be erased.
+    EXPECT_EQ(p->maskSig(0xffff), 0xffu);
+    EXPECT_EQ(p->maskSig(0x00ff), 0xffu);
+}
+
+TEST_P(EveryKind, DeterministicAcrossInstances)
+{
+    auto a = makeKind(GetParam());
+    auto b = makeKind(GetParam());
+    // A mixed pseudo-random train/predict stream must leave two
+    // instances in identical states (no PRNG, no address-dependent
+    // behaviour) — the property the parallel==serial sweeps rest on.
+    std::uint64_t x = 0x1234567;
+    for (int i = 0; i < 5000; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        Addr pc = 0x10000 + 4 * ((x >> 32) & 0x3ff);
+        FutureSig sig = static_cast<FutureSig>(x >> 13);
+        bool dead = (x >> 7) % 3 == 0;
+        a->train(pc, a->maskSig(sig), dead);
+        b->train(pc, b->maskSig(sig), dead);
+        ASSERT_EQ(a->predict(pc, a->maskSig(sig)),
+                  b->predict(pc, b->maskSig(sig)));
+        ASSERT_EQ(a->counterOf(pc, a->maskSig(sig)),
+                  b->counterOf(pc, b->maskSig(sig)));
+    }
+}
+
+TEST_P(EveryKind, BudgetFitsLandJustUnderTheBudget)
+{
+    for (std::uint64_t budget : {20480ull, 40960ull}) {
+        for (unsigned depth : {4u, 8u}) {
+            auto fit = fitBudget(GetParam(), budget, depth);
+            std::uint64_t bits = zooSizeInBits(fit.zoo, fit.paper);
+            EXPECT_LE(bits, budget) << kindName(GetParam());
+            EXPECT_GT(bits, budget / 2)
+                << kindName(GetParam())
+                << ": doubling the geometry should overflow the "
+                   "budget, otherwise the fit is too small";
+            // The constructed predictor agrees with the config math.
+            auto p = makeDeadPredictor(fit.zoo, fit.paper);
+            EXPECT_EQ(p->sizeInBits(), bits);
+            EXPECT_EQ(p->maskSig(0xffff),
+                      maskSigToDepth(0xffff, depth));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Zoo, EveryKind, ::testing::ValuesIn(kAllKinds),
+    [](const ::testing::TestParamInfo<DeadPredictorKind> &info) {
+        return kindName(info.param);
+    });
+
+TEST(Zoo, KindNamesRoundTrip)
+{
+    for (DeadPredictorKind k : kAllKinds) {
+        DeadPredictorKind parsed;
+        ASSERT_TRUE(parseKind(kindName(k), parsed)) << kindName(k);
+        EXPECT_EQ(parsed, k);
+    }
+    DeadPredictorKind parsed;
+    EXPECT_FALSE(parseKind("gshare", parsed));
+    EXPECT_FALSE(parseKind("", parsed));
+}
+
+TEST(Zoo, FactoryBuildsTheRequestedVariant)
+{
+    DeadPredictorConfig paper;
+    paper.entries = 128;
+    ZooConfig zoo;
+    auto p = makeDeadPredictor(zoo, paper);
+    EXPECT_STREQ(p->name(), "paper");
+    EXPECT_EQ(p->sizeInBits(), paper.sizeInBits())
+        << "paper geometry must come from the legacy config field";
+    zoo.kind = DeadPredictorKind::Tage;
+    EXPECT_STREQ(makeDeadPredictor(zoo, paper)->name(), "tage");
+    zoo.kind = DeadPredictorKind::Perceptron;
+    EXPECT_STREQ(makeDeadPredictor(zoo, paper)->name(), "perceptron");
+    zoo.kind = DeadPredictorKind::Hybrid;
+    EXPECT_STREQ(makeDeadPredictor(zoo, paper)->name(), "hybrid");
+}
+
+// ---------------------------------------------------------------------
+// TAGE specifics
+// ---------------------------------------------------------------------
+
+TEST(TageDead, HistoryLengthsAreGeometric)
+{
+    TageDeadConfig cfg;  // depth 8, 4 tables
+    EXPECT_EQ(cfg.histLength(0), 1u);
+    EXPECT_EQ(cfg.histLength(1), 2u);
+    EXPECT_EQ(cfg.histLength(2), 4u);
+    EXPECT_EQ(cfg.histLength(3), 8u);
+    cfg.futureDepth = 16;
+    EXPECT_EQ(cfg.histLength(3), 16u);
+    EXPECT_EQ(cfg.histLength(0), 2u);
+}
+
+TEST(TageDead, LongHistorySeparatesWhatShortHistoryCannot)
+{
+    TageDeadPredictor p;
+    Addr pc = 0x10100;
+    // Two signatures identical in their low 2 bits but different at
+    // bit 3: only tables with histLength > 3 can tell them apart.
+    FutureSig dead_sig = 0x9;  // 0b1001
+    FutureSig live_sig = 0x1;  // 0b0001
+    for (int i = 0; i < 64; ++i) {
+        p.train(pc, dead_sig, true);
+        p.train(pc, live_sig, false);
+    }
+    EXPECT_TRUE(p.predict(pc, dead_sig));
+    EXPECT_FALSE(p.predict(pc, live_sig));
+}
+
+TEST(TageDead, FreshAllocationMustReearnTheThreshold)
+{
+    TageDeadPredictor p;
+    Addr pc = 0x10140;
+    FutureSig sig = 0x3;
+    // First dead outcome allocates (mispredict: cold predicts live)
+    // but a single observation must not fire the predictor yet.
+    p.train(pc, sig, true);
+    EXPECT_FALSE(p.predict(pc, sig))
+        << "one dead observation must not be enough to eliminate";
+    p.train(pc, sig, true);
+    EXPECT_TRUE(p.predict(pc, sig));
+}
+
+TEST(TageDead, PunishClearsEveryMatchingTable)
+{
+    TageDeadPredictor p;
+    Addr pc = 0x10180;
+    FutureSig sig = 0x7;
+    for (int i = 0; i < 32; ++i)
+        p.train(pc, sig, true);
+    ASSERT_TRUE(p.predict(pc, sig));
+    p.punish(pc, sig);
+    EXPECT_FALSE(p.predict(pc, sig));
+    EXPECT_EQ(p.counterOf(pc, sig), 0u);
+}
+
+TEST(TageDead, ConfigValidation)
+{
+    TageDeadConfig bad;
+    bad.entriesPerTable = 100;
+    EXPECT_THROW(TageDeadPredictor{bad}, PanicError);
+    TageDeadConfig bad2;
+    bad2.numTables = 0;
+    EXPECT_THROW(TageDeadPredictor{bad2}, PanicError);
+    TageDeadConfig bad3;
+    bad3.threshold = 8;  // 3-bit counter maxes at 7
+    EXPECT_THROW(TageDeadPredictor{bad3}, PanicError);
+    TageDeadConfig bad4;
+    bad4.futureDepth = 0;
+    EXPECT_THROW(TageDeadPredictor{bad4}, PanicError);
+}
+
+// ---------------------------------------------------------------------
+// Perceptron specifics
+// ---------------------------------------------------------------------
+
+TEST(PerceptronDead, GeneralizesALinearRuleToUnseenSignatures)
+{
+    // Deadness decided by one future branch (bit 2 of the signature):
+    // the perceptron must learn the rule from a subset of signatures
+    // and apply it to signatures it never trained on — the capability
+    // a finite table fundamentally lacks.
+    PerceptronDeadPredictor p;
+    Addr pc = 0x10200;
+    for (int round = 0; round < 12; ++round) {
+        for (FutureSig s : {0x04, 0x05, 0x26, 0x87, 0x44, 0xe5})
+            p.train(pc, static_cast<FutureSig>(s), true);
+        for (FutureSig s : {0x00, 0x01, 0x22, 0x83, 0x40, 0xe1})
+            p.train(pc, static_cast<FutureSig>(s), false);
+    }
+    // Held-out signatures, same rule.
+    EXPECT_TRUE(p.predict(pc, 0x6c));   // bit 2 set
+    EXPECT_TRUE(p.predict(pc, 0x14));
+    EXPECT_FALSE(p.predict(pc, 0x68));  // bit 2 clear
+    EXPECT_FALSE(p.predict(pc, 0x10));
+}
+
+TEST(PerceptronDead, PunishAppliesAStrongAntiDeadUpdate)
+{
+    PerceptronDeadPredictor p;
+    Addr pc = 0x10240;
+    FutureSig sig = 0x2;
+    drill(p, pc, sig, true, 20);
+    ASSERT_TRUE(p.predict(pc, sig));
+    int before = p.sum(pc, sig);
+    p.punish(pc, sig);
+    EXPECT_LT(p.sum(pc, sig), before);
+    // punishSteps defaults to a multi-step hammer; a couple of
+    // punishes must silence even a saturated instance.
+    p.punish(pc, sig);
+    p.punish(pc, sig);
+    p.punish(pc, sig);
+    EXPECT_FALSE(p.predict(pc, sig));
+}
+
+TEST(PerceptronDead, WeightsSaturateInsteadOfWrapping)
+{
+    PerceptronDeadConfig cfg;
+    cfg.weightBits = 4;  // [-8, 7]: easy to saturate
+    cfg.theta = 500;     // keep training past the usual margin
+    PerceptronDeadPredictor p(cfg);
+    Addr pc = 0x10280;
+    FutureSig sig = 0xff;
+    drill(p, pc, sig, true, 1000);
+    EXPECT_TRUE(p.predict(pc, sig));
+    // depth 8 inputs + bias, all saturated at +7 and all active.
+    EXPECT_EQ(p.sum(pc, sig), 9 * 7);
+    drill(p, pc, sig, false, 1000);
+    EXPECT_EQ(p.sum(pc, sig), 9 * -8);
+}
+
+TEST(PerceptronDead, ConfigValidation)
+{
+    PerceptronDeadConfig bad;
+    bad.entries = 100;
+    EXPECT_THROW(PerceptronDeadPredictor{bad}, PanicError);
+    PerceptronDeadConfig bad2;
+    bad2.weightBits = 1;
+    EXPECT_THROW(PerceptronDeadPredictor{bad2}, PanicError);
+}
+
+// ---------------------------------------------------------------------
+// Hybrid specifics
+// ---------------------------------------------------------------------
+
+TEST(HybridDead, ChooserSteersPathInvariantPcsToLocal)
+{
+    HybridDeadPredictor p;
+    Addr pc = 0x10300;
+    // Always dead, but under an ever-changing signature: the tagged
+    // global table keeps missing/realloc'ing while the local per-PC
+    // counter nails it, so the chooser must swing local and the
+    // predictor must fire even for a never-seen signature.
+    for (FutureSig s = 0; s < 200; ++s)
+        p.train(pc, p.maskSig(s * 37 + 11), true);
+    EXPECT_LT(p.chooserOf(pc), 2u) << "chooser should trust local";
+    EXPECT_TRUE(p.predict(pc, p.maskSig(0xabc)));
+}
+
+TEST(HybridDead, GlobalComponentSeparatesPathDependentInstances)
+{
+    HybridDeadPredictor p;
+    Addr pc = 0x10340;
+    FutureSig dead_sig = 0x9, live_sig = 0x1;
+    for (int i = 0; i < 64; ++i) {
+        p.train(pc, dead_sig, true);
+        p.train(pc, live_sig, false);
+    }
+    // 50/50 local counter can't fire reliably; global must, and the
+    // chooser must have learned to use it.
+    EXPECT_GE(p.chooserOf(pc), 2u);
+    EXPECT_TRUE(p.predict(pc, dead_sig));
+    EXPECT_FALSE(p.predict(pc, live_sig));
+}
+
+TEST(HybridDead, PunishClearsBothComponents)
+{
+    HybridDeadPredictor p;
+    Addr pc = 0x10380;
+    FutureSig sig = 0x5;
+    drill(p, pc, sig, true, 16);
+    ASSERT_TRUE(p.predict(pc, sig));
+    p.punish(pc, sig);
+    EXPECT_FALSE(p.predict(pc, sig));
+    EXPECT_EQ(p.counterOf(pc, sig), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Trace-driven evaluation through the zoo
+// ---------------------------------------------------------------------
+
+TEST(ZooTraceEval, EveryKindEvaluatesConsistently)
+{
+    workloads::Params params;
+    params.scale = 2;
+    auto program = mir::compile(workloads::makeParse(params),
+                                sim::referenceCompileOptions());
+    auto run = emu::runProgram(program);
+    for (DeadPredictorKind kind : kAllKinds) {
+        TraceEvalConfig cfg;
+        cfg.zoo = fitBudget(kind, 40960, 8).zoo;
+        cfg.predictor = fitBudget(kind, 40960, 8).paper;
+        auto r = evaluateOnTrace(program, run.trace, cfg);
+        EXPECT_EQ(r.dynTotal, run.trace.size()) << kindName(kind);
+        EXPECT_EQ(r.labeledDead + r.labeledLive + r.unresolved,
+                  r.candidates)
+            << kindName(kind);
+        EXPECT_LE(r.truePositives, r.labeledDead) << kindName(kind);
+        EXPECT_GT(r.coverage(), 0.1)
+            << kindName(kind) << " learned nothing";
+        EXPECT_GT(r.accuracy(), 0.5) << kindName(kind);
+        EXPECT_EQ(r.predictorBits,
+                  zooSizeInBits(cfg.zoo, cfg.predictor))
+            << kindName(kind);
+    }
+}

@@ -60,6 +60,81 @@ TEST(FutureSigs, NearestBranchInLsbUsingOracleDirections)
     EXPECT_EQ(metrics.condBranches, 2u);
 }
 
+TEST(FutureSigs, HandBuiltTraceMatchesTheBackwardShiftRegister)
+{
+    auto program = progFromAsm(R"(
+            addi t0, zero, 1
+            beq  t0, zero, done
+            addi t1, zero, 2
+            bne  t0, zero, done
+            addi t2, zero, 3
+        done:
+            halt
+    )");
+    // Hand-built commit order — idx0, beq (not taken), idx2, bne
+    // (taken), halt — so every record's signature is checkable
+    // exactly, not just its low bits.
+    std::vector<emu::TraceRecord> trace = {
+        {0, false, 0}, {1, false, 0}, {2, false, 0},
+        {3, true, 0},  {5, false, 0},
+    };
+    auto sigs = computeFutureSigs(program, trace, FrontendConfig{},
+                                  /*oracle_future=*/true);
+    ASSERT_EQ(sigs.size(), trace.size());
+    EXPECT_EQ(sigs[0], 0b10u) << "beq N in the LSB, bne T above it";
+    EXPECT_EQ(sigs[1], 0b1u) << "a branch's own direction is excluded";
+    EXPECT_EQ(sigs[2], 0b1u) << "only bne remains";
+    EXPECT_EQ(sigs[3], 0u);
+    EXPECT_EQ(sigs[4], 0u) << "no future branches after the last one";
+}
+
+TEST(FutureSigs, OlderBranchesShiftTowardTheMsb)
+{
+    auto program = progFromAsm(R"(
+            addi t0, zero, 1
+            beq  t0, zero, done
+        done:
+            halt
+    )");
+    // Four dynamic instances of the same branch, directions T,N,T,N
+    // walking away from record 0: the shift register must keep the
+    // nearest direction in the LSB and push older ones up.
+    std::vector<emu::TraceRecord> trace = {
+        {0, false, 0}, {1, true, 0},  {0, false, 0}, {1, false, 0},
+        {0, false, 0}, {1, true, 0},  {0, false, 0}, {1, false, 0},
+    };
+    auto sigs = computeFutureSigs(program, trace, FrontendConfig{},
+                                  /*oracle_future=*/true);
+    std::vector<FutureSig> expect = {0b101, 0b10, 0b10, 0b1,
+                                     0b1,   0,    0,    0};
+    EXPECT_EQ(sigs, expect);
+}
+
+TEST(FutureSigs, PredictedSigsUseTheFrontendNotTheOracle)
+{
+    auto program = progFromAsm(R"(
+            addi t0, zero, 1
+            beq  t0, zero, done
+        done:
+            halt
+    )");
+    // Both instances of the branch are taken; a cold gshare (weakly
+    // not-taken counters) predicts neither, so the predicted
+    // signature stream must diverge from the oracle one.
+    std::vector<emu::TraceRecord> trace = {
+        {0, false, 0}, {1, true, 0}, {0, false, 0}, {1, true, 0},
+    };
+    TraceEvalResult metrics;
+    auto oracle = computeFutureSigs(program, trace, FrontendConfig{},
+                                    true, &metrics);
+    auto predicted = computeFutureSigs(program, trace,
+                                       FrontendConfig{}, false);
+    EXPECT_EQ(oracle[0], 0b11u);
+    EXPECT_EQ(predicted[0], 0u) << "cold counters say not-taken";
+    EXPECT_EQ(metrics.condBranches, 2u);
+    EXPECT_EQ(metrics.condBranchHits, 0u);
+}
+
 TEST(FutureSigs, PredictedDirectionsDifferFromOracleWhenPredictorIsCold)
 {
     auto program = progFromAsm(R"(
