@@ -14,13 +14,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/json.hh"
 #include "emu/emulator.hh"
 #include "mir/compiler.hh"
+#include "runner/fingerprint.hh"
 #include "runner/runner.hh"
+#include "runner/store.hh"
 #include "sim/simulator.hh"
 #include "workloads/workloads.hh"
 
@@ -41,10 +45,33 @@ struct BenchArgs
      * through the report's dde.sweep/2 profile block. */
     bool profile = false;
     unsigned topn = 10;
+
+    /** Persistent result store root (--store-dir, or the
+     * DDE_SWEEP_STORE environment default). Empty = no store. */
+    std::string storeDir;
+    /** Sidecar JSON with the run's store traffic (--store-stats).
+     * Kept out of the main report so warm and cold reports stay
+     * byte-identical. */
+    std::string storeStatsPath;
+    /** Deterministic multi-process partitioning (--shards N with
+     * --shard-index i), work stealing (--steal) and store-only
+     * assembly (--merge). */
+    unsigned shards = 1;
+    unsigned shardIndex = 0;
+    bool steal = false;
+    bool merge = false;
+
+    /** This process runs only part of the grid, so the report has
+     * skipped slots and the bench must not render its table. */
+    bool
+    partialRun() const
+    {
+        return (shards > 1 || steal) && !merge;
+    }
 };
 
 inline void
-benchUsage(const char *prog)
+benchUsage(const char *prog, const char *extra_usage = nullptr)
 {
     std::printf(
         "usage: %s [options]\n"
@@ -56,15 +83,52 @@ benchUsage(const char *prog)
         "  --profile      record commit-slot cycle accounting and\n"
         "                 per-PC dead-prediction profiles per run\n"
         "  --topn N       per-PC entries kept per profiled run\n"
-        "                 (default 10)\n",
+        "                 (default 10)\n"
+        "  --store-dir D  persistent result store: prior results are\n"
+        "                 reused, new ones saved (default: the\n"
+        "                 DDE_SWEEP_STORE environment variable)\n"
+        "  --no-store     ignore DDE_SWEEP_STORE; run storeless\n"
+        "  --store-stats P  write store hit/miss counters as JSON\n"
+        "  --shards N     split the grid over N processes...\n"
+        "  --shard-index I  ...of which this one is number I\n"
+        "  --steal        claim jobs via store lock files instead of\n"
+        "                 the static shard partition\n"
+        "  --merge        assemble the full report from the store;\n"
+        "                 a missing entry fails its job\n",
         prog, kBenchScale);
+    if (extra_usage)
+        std::printf("%s", extra_usage);
 }
 
-/** Parse the shared bench flags; exits on --help or bad arguments. */
+/** Pull the next flag value; exits 2 when it is missing. Handed to
+ * ExtraFlagFn so bench-specific flags parse values the same way. */
+using NextValueFn = std::function<const char *()>;
+
+/**
+ * Hook for a bench binary's own flags, invoked for any argument the
+ * shared parser does not recognize. Return true when the flag was
+ * consumed (call `next()` for its value); false falls through to the
+ * shared unknown-argument error.
+ */
+using ExtraFlagFn =
+    std::function<bool(const std::string &arg, const NextValueFn &next)>;
+
+/**
+ * Parse the shared bench flags (plus `extra`, for binaries with their
+ * own); exits on --help or bad arguments. Every bench parses its
+ * command line through here, so the sweep-store/sharding surface and
+ * the error behaviour are uniform across all of them.
+ */
 inline BenchArgs
-parseBenchArgs(int argc, char **argv)
+parseBenchArgs(int argc, char **argv, BenchArgs defaults = {},
+               const ExtraFlagFn &extra = {},
+               const char *extra_usage = nullptr)
 {
-    BenchArgs args;
+    BenchArgs args = std::move(defaults);
+    if (const char *env = std::getenv("DDE_SWEEP_STORE");
+        env && args.storeDir.empty())
+        args.storeDir = env;
+    bool no_store = false;
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -99,19 +163,49 @@ parseBenchArgs(int argc, char **argv)
             args.profile = true;
         } else if (arg == "--topn") {
             args.topn = nextUnsigned(1);
+        } else if (arg == "--store-dir") {
+            args.storeDir = next();
+        } else if (arg == "--no-store") {
+            no_store = true;
+        } else if (arg == "--store-stats") {
+            args.storeStatsPath = next();
+        } else if (arg == "--shards") {
+            args.shards = nextUnsigned(1);
+        } else if (arg == "--shard-index") {
+            args.shardIndex = nextUnsigned(0);
+        } else if (arg == "--steal") {
+            args.steal = true;
+        } else if (arg == "--merge") {
+            args.merge = true;
         } else if (arg == "--help" || arg == "-h") {
-            benchUsage(argv[0]);
+            benchUsage(argv[0], extra_usage);
             std::exit(0);
+        } else if (extra && extra(arg, next)) {
+            // Bench-specific flag, consumed by the hook.
         } else {
             std::fprintf(stderr, "unknown argument '%s' (try --help)\n",
                          arg.c_str());
             std::exit(2);
         }
     }
+    if (no_store)
+        args.storeDir.clear();
+    if (args.shardIndex >= args.shards) {
+        std::fprintf(stderr,
+                     "--shard-index %u out of range for --shards %u\n",
+                     args.shardIndex, args.shards);
+        std::exit(2);
+    }
+    if ((args.steal || args.merge) && args.storeDir.empty()) {
+        std::fprintf(stderr, "%s requires --store-dir (or "
+                     "DDE_SWEEP_STORE)\n",
+                     args.steal ? "--steal" : "--merge");
+        std::exit(2);
+    }
     return args;
 }
 
-/** A runner honouring the bench's --threads flag. */
+/** A runner honouring the bench's sweep flags. */
 inline runner::SweepRunner
 makeRunner(const BenchArgs &args)
 {
@@ -119,6 +213,11 @@ makeRunner(const BenchArgs &args)
     opts.threads = args.threads;
     opts.profile = args.profile;
     opts.profileTopN = args.topn;
+    opts.storeDir = args.storeDir;
+    opts.shards = args.shards;
+    opts.shardIndex = args.shardIndex;
+    opts.workSteal = args.steal;
+    opts.mergeOnly = args.merge;
     return runner::SweepRunner(opts);
 }
 
@@ -129,14 +228,65 @@ refKey(const std::string &workload, const BenchArgs &args)
     return runner::ProgramKey(workload, args.scale);
 }
 
+/** Serialize a runner's store traffic plus the report's skip count
+ * (the warm/shard CI gates assert hit ratios over this document). */
+inline void
+writeStoreStats(std::ostream &os, const runner::SweepRunner &sweep,
+                const runner::SweepReport &report)
+{
+    runner::StoreStats s = sweep.storeStats();
+    std::uint64_t skipped = 0;
+    for (const auto &r : report.results)
+        skipped += r.skipped ? 1 : 0;
+    json::Writer w(os);
+    w.beginObject();
+    w.field("schema", "dde.sweepstore.stats/1");
+    w.field("dir",
+            sweep.store() ? sweep.store()->dir() : std::string());
+    w.field("jobs", static_cast<std::uint64_t>(report.size()));
+    w.field("skipped", skipped);
+    w.field("hits", s.hits);
+    w.field("misses", s.misses);
+    w.field("stale", s.stale);
+    w.field("writes", s.writes);
+    w.field("claims", s.claims);
+    w.field("claimsLost", s.claimsLost);
+    w.field("lookups", s.lookups());
+    w.endObject();
+}
+
 /**
  * Write the report artifacts requested on the command line and fail
- * the binary if any job failed (so CI catches broken grids).
+ * the binary if any job failed (so CI catches broken grids). Pass the
+ * runner to surface store traffic (--store-stats and stdout); store
+ * counters deliberately never enter the main report, which must stay
+ * byte-identical between cold and warm runs.
  * @return exit code for main().
  */
 inline int
-finishReport(const runner::SweepReport &report, const BenchArgs &args)
+finishReport(const runner::SweepReport &report, const BenchArgs &args,
+             const runner::SweepRunner *sweep = nullptr)
 {
+    if (sweep && sweep->store()) {
+        runner::StoreStats s = sweep->storeStats();
+        std::printf("\nstore %s: %llu hits, %llu misses, %llu stale, "
+                    "%llu writes\n",
+                    sweep->store()->dir().c_str(),
+                    static_cast<unsigned long long>(s.hits),
+                    static_cast<unsigned long long>(s.misses),
+                    static_cast<unsigned long long>(s.stale),
+                    static_cast<unsigned long long>(s.writes));
+        if (!args.storeStatsPath.empty()) {
+            std::ofstream os(args.storeStatsPath);
+            if (!os) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             args.storeStatsPath.c_str());
+                return 1;
+            }
+            writeStoreStats(os, *sweep, report);
+            std::printf("wrote %s\n", args.storeStatsPath.c_str());
+        }
+    }
     if (!args.jsonPath.empty()) {
         std::ofstream os(args.jsonPath);
         if (!os) {
@@ -184,7 +334,8 @@ compileAll(runner::ArtifactCache &cache, unsigned scale = kBenchScale)
     for (const auto &w : workloads::allWorkloads()) {
         out.push_back(BenchProgram{
             w.name,
-            cache.program(runner::ProgramKey(w.name, scale))});
+            cache.compiled(runner::ProgramKey(w.name, scale))
+                ->program});
     }
     return out;
 }

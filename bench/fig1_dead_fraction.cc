@@ -26,9 +26,13 @@ main(int argc, char **argv)
     auto sweep = bench::makeRunner(args);
     for (const auto &w : workloads::allWorkloads()) {
         auto key = bench::refKey(w.name, args);
-        sweep.add(w.name, [key](runner::JobContext &ctx) {
+        std::string store_key =
+            "fig1.dead_fraction|prog{" + runner::cacheKey(key) + "}";
+        sweep.addKeyed(w.name, store_key,
+                       [key](runner::JobContext &ctx) {
             auto ref = ctx.cache.reference(key);
-            auto an = deadness::analyze(ctx.cache.program(key),
+            auto compiled = ctx.cache.compiled(key);
+            auto an = deadness::analyze(compiled->program,
                                         ref->trace);
             runner::JobResult r;
             r.add({"dynInsts", an.dynTotal});
@@ -43,26 +47,29 @@ main(int argc, char **argv)
     }
     auto report = sweep.run();
 
-    std::printf("%-10s %12s %8s %8s %8s %8s\n", "bench", "dynInsts",
-                "dead%", "1st%", "trans%", "store%");
-    double min_frac = 1e9, max_frac = 0, sum = 0;
-    for (const auto &r : report.results) {
-        if (!r.ok)
-            continue;
-        double frac = r.real("deadFrac");
-        std::printf("%-10s %12llu %7.2f%% %7.2f%% %7.2f%% %7.2f%%\n",
-                    r.label.c_str(),
-                    static_cast<unsigned long long>(r.uint("dynInsts")),
-                    bench::pct(frac), bench::pct(r.real("firstFrac")),
-                    bench::pct(r.real("transFrac")),
-                    bench::pct(r.real("storeFrac")));
-        min_frac = std::min(min_frac, frac);
-        max_frac = std::max(max_frac, frac);
-        sum += frac;
+    if (!args.partialRun()) {
+        std::printf("%-10s %12s %8s %8s %8s %8s\n", "bench",
+                    "dynInsts", "dead%", "1st%", "trans%", "store%");
+        double min_frac = 1e9, max_frac = 0, sum = 0;
+        for (const auto &r : report.results) {
+            if (!r.ok)
+                continue;
+            double frac = r.real("deadFrac");
+            std::printf(
+                "%-10s %12llu %7.2f%% %7.2f%% %7.2f%% %7.2f%%\n",
+                r.label.c_str(),
+                static_cast<unsigned long long>(r.uint("dynInsts")),
+                bench::pct(frac), bench::pct(r.real("firstFrac")),
+                bench::pct(r.real("transFrac")),
+                bench::pct(r.real("storeFrac")));
+            min_frac = std::min(min_frac, frac);
+            max_frac = std::max(max_frac, frac);
+            sum += frac;
+        }
+        std::printf("\nrange %.1f%% .. %.1f%%, mean %.1f%%"
+                    "   (paper: 3%% to 16%%)\n",
+                    bench::pct(min_frac), bench::pct(max_frac),
+                    bench::pct(sum / report.size()));
     }
-    std::printf("\nrange %.1f%% .. %.1f%%, mean %.1f%%"
-                "   (paper: 3%% to 16%%)\n",
-                bench::pct(min_frac), bench::pct(max_frac),
-                bench::pct(sum / report.size()));
-    return bench::finishReport(report, args);
+    return bench::finishReport(report, args, &sweep);
 }

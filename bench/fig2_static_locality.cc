@@ -31,9 +31,13 @@ main(int argc, char **argv)
     auto sweep = bench::makeRunner(args);
     for (const auto &w : workloads::allWorkloads()) {
         auto key = bench::refKey(w.name, args);
-        sweep.add(w.name, [key](runner::JobContext &ctx) {
+        std::string store_key =
+            "fig2.static_locality|prog{" + runner::cacheKey(key) + "}";
+        sweep.addKeyed(w.name, store_key,
+                       [key](runner::JobContext &ctx) {
             auto ref = ctx.cache.reference(key);
-            auto an = deadness::analyze(ctx.cache.program(key),
+            auto compiled = ctx.cache.compiled(key);
+            auto an = deadness::analyze(compiled->program,
                                         ref->trace);
             auto curve = an.localityCurve(64);
             runner::JobResult r;
@@ -50,28 +54,30 @@ main(int argc, char **argv)
     }
     auto report = sweep.run();
 
-    std::printf("%-10s %8s", "bench", "#dead-statics");
-    for (std::size_t n : kPoints)
-        std::printf("  top%-3zu", n);
-    std::printf("\n");
-    for (const auto &r : report.results) {
-        if (!r.ok)
-            continue;
-        std::printf("%-10s %13llu", r.label.c_str(),
-                    static_cast<unsigned long long>(
-                        r.uint("deadStatics")));
-        for (std::size_t n : kPoints) {
-            if (r.uint("deadStatics") == 0) {
-                std::printf("  %5s ", "-");
-            } else {
-                std::printf("  %5.1f%%",
-                            bench::pct(r.real(
-                                "top" + std::to_string(n))));
-            }
-        }
+    if (!args.partialRun()) {
+        std::printf("%-10s %8s", "bench", "#dead-statics");
+        for (std::size_t n : kPoints)
+            std::printf("  top%-3zu", n);
         std::printf("\n");
+        for (const auto &r : report.results) {
+            if (!r.ok)
+                continue;
+            std::printf("%-10s %13llu", r.label.c_str(),
+                        static_cast<unsigned long long>(
+                            r.uint("deadStatics")));
+            for (std::size_t n : kPoints) {
+                if (r.uint("deadStatics") == 0) {
+                    std::printf("  %5s ", "-");
+                } else {
+                    std::printf("  %5.1f%%",
+                                bench::pct(r.real(
+                                    "top" + std::to_string(n))));
+                }
+            }
+            std::printf("\n");
+        }
+        std::printf("\n(expected shape: a handful of static "
+                    "instructions cover most dead instances)\n");
     }
-    std::printf("\n(expected shape: a handful of static instructions "
-                "cover most dead instances)\n");
-    return bench::finishReport(report, args);
+    return bench::finishReport(report, args, &sweep);
 }

@@ -37,8 +37,10 @@ main(int argc, char **argv)
     std::vector<std::size_t> an_jobs, off_jobs;
     for (const auto &w : workloads::allWorkloads()) {
         auto key = bench::refKey(w.name, args);
-        an_jobs.push_back(sweep.add(
-            "an:" + w.name, [key](runner::JobContext &ctx) {
+        an_jobs.push_back(sweep.addKeyed(
+            "an:" + w.name,
+            "fig3.analysis|prog{" + runner::cacheKey(key) + "}",
+            [key](runner::JobContext &ctx) {
                 auto compiled = ctx.cache.compiled(key);
                 auto ref = ctx.cache.reference(key);
                 auto an = deadness::analyze(compiled->program,
@@ -65,11 +67,14 @@ main(int argc, char **argv)
 
         auto off_key = key;
         off_key.copts.hoist.enabled = false;
-        off_jobs.push_back(sweep.add(
-            "hoist-off:" + w.name, [off_key](runner::JobContext &ctx) {
+        off_jobs.push_back(sweep.addKeyed(
+            "hoist-off:" + w.name,
+            "fig3.hoist_off|prog{" + runner::cacheKey(off_key) + "}",
+            [off_key](runner::JobContext &ctx) {
                 auto ref = ctx.cache.reference(off_key);
-                auto an = deadness::analyze(
-                    ctx.cache.program(off_key), ref->trace);
+                auto compiled = ctx.cache.compiled(off_key);
+                auto an = deadness::analyze(compiled->program,
+                                            ref->trace);
                 runner::JobResult r;
                 r.add({"deadFrac", an.deadFraction()});
                 return r;
@@ -77,6 +82,8 @@ main(int argc, char **argv)
     }
     auto report = sweep.run();
     const auto &names = workloads::allWorkloads();
+    if (args.partialRun())
+        return bench::finishReport(report, args, &sweep);
 
     std::printf("--- (a) static classification ---\n");
     std::printf("%-10s %8s %8s %8s | %14s %14s\n", "bench", "always",
@@ -155,5 +162,5 @@ main(int argc, char **argv)
                 "best a path-blind\ncompiler can do — leaves the "
                 "dynamic deadness intact, motivating the hardware "
                 "mechanism)\n");
-    return bench::finishReport(report, args);
+    return bench::finishReport(report, args, &sweep);
 }

@@ -66,11 +66,18 @@ main(int argc, char **argv)
     for (const auto &v : variants) {
         for (const auto &w : names) {
             auto key = bench::refKey(w.name, args);
-            sweep.add(v.label + " / " + w.name,
+            // Bench-specific kind prefix: tab1 stores a different
+            // metric set for the same (program, config) point.
+            std::string store_key =
+                "fig4.traceeval|prog{" + runner::cacheKey(key) +
+                "}|cfg{" + runner::fingerprint(v.cfg) + "}";
+            sweep.addKeyed(v.label + " / " + w.name,
+                      std::move(store_key),
                       [key, cfg = v.cfg](runner::JobContext &ctx) {
                           auto ref = ctx.cache.reference(key);
+                          auto compiled = ctx.cache.compiled(key);
                           auto res = predictor::evaluateOnTrace(
-                              ctx.cache.program(key), ref->trace, cfg);
+                              compiled->program, ref->trace, cfg);
                           runner::JobResult r;
                           r.add({"truePositives", res.truePositives});
                           r.add({"falsePositives", res.falsePositives});
@@ -81,24 +88,27 @@ main(int argc, char **argv)
     }
     auto report = sweep.run();
 
-    std::printf("%-26s %9s %9s\n", "signature", "coverage", "accuracy");
-    for (std::size_t v = 0; v < variants.size(); ++v) {
-        std::uint64_t tp = 0, fp = 0, dead = 0;
-        for (std::size_t i = 0; i < names.size(); ++i) {
-            const auto &r = report[v * names.size() + i];
-            if (!r.ok)
-                continue;
-            tp += r.uint("truePositives");
-            fp += r.uint("falsePositives");
-            dead += r.uint("labeledDead");
+    if (!args.partialRun()) {
+        std::printf("%-26s %9s %9s\n", "signature", "coverage",
+                    "accuracy");
+        for (std::size_t v = 0; v < variants.size(); ++v) {
+            std::uint64_t tp = 0, fp = 0, dead = 0;
+            for (std::size_t i = 0; i < names.size(); ++i) {
+                const auto &r = report[v * names.size() + i];
+                if (!r.ok)
+                    continue;
+                tp += r.uint("truePositives");
+                fp += r.uint("falsePositives");
+                dead += r.uint("labeledDead");
+            }
+            double cov = dead ? double(tp) / dead : 0;
+            double acc = (tp + fp) ? double(tp) / (tp + fp) : 1.0;
+            std::printf("%-26s %8.1f%% %8.1f%%\n",
+                        variants[v].label.c_str(), bench::pct(cov),
+                        bench::pct(acc));
         }
-        double cov = dead ? double(tp) / dead : 0;
-        double acc = (tp + fp) ? double(tp) / (tp + fp) : 1.0;
-        std::printf("%-26s %8.1f%% %8.1f%%\n",
-                    variants[v].label.c_str(), bench::pct(cov),
-                    bench::pct(acc));
+        std::printf("\n(paper: future control-flow information is the "
+                    "key accuracy lever)\n");
     }
-    std::printf("\n(paper: future control-flow information is the key "
-                "accuracy lever)\n");
-    return bench::finishReport(report, args);
+    return bench::finishReport(report, args, &sweep);
 }

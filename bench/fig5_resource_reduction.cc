@@ -34,6 +34,8 @@ main(int argc, char **argv)
         sweep.addCoreRun("elim:" + w.name, key, elim_cfg);
     }
     auto report = sweep.run();
+    if (args.partialRun())
+        return bench::finishReport(report, args, &sweep);
 
     std::printf("%-10s %9s %9s %9s %9s %9s\n", "bench", "elim%",
                 "regAlloc", "rfRead", "rfWrite", "dcache");
@@ -66,5 +68,5 @@ main(int argc, char **argv)
                 s_wr / names.size(), s_dc / names.size());
     std::printf("\n(paper: reductions averaging over 5%%, sometimes "
                 "exceeding 10%%)\n");
-    return bench::finishReport(report, args);
+    return bench::finishReport(report, args, &sweep);
 }

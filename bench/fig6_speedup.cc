@@ -46,6 +46,8 @@ main(int argc, char **argv)
         sweep.addCoreRun("elim-wide:" + w.name, key, elim_w);
     }
     auto report = sweep.run();
+    if (args.partialRun())
+        return bench::finishReport(report, args, &sweep);
 
     std::printf("%-10s %9s | %9s %9s %9s | %9s\n", "bench",
                 "baseIPC", "contended", "oracle", "elim%", "wide");
@@ -80,5 +82,5 @@ main(int argc, char **argv)
                 s_oracle / names.size(), "", s_wide / names.size());
     std::printf("\n(paper: +3.6%% average on a resource-contended "
                 "architecture)\n");
-    return bench::finishReport(report, args);
+    return bench::finishReport(report, args, &sweep);
 }

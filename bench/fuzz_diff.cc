@@ -19,30 +19,13 @@
 #include <map>
 #include <string>
 
+#include "bench/bench_util.hh"
 #include "verify/fuzzdiff.hh"
 
 using namespace dde;
 
 namespace
 {
-
-void
-usage(const char *prog)
-{
-    std::printf(
-        "usage: %s [options]\n"
-        "  --seeds N      random programs to run (default 200)\n"
-        "  --seed-base X  base seed for program derivation\n"
-        "  --scale N      program size multiplier (default 1)\n"
-        "  --threads N    worker threads (default: DDE_SWEEP_THREADS\n"
-        "                 or hardware concurrency)\n"
-        "  --out PATH     minimized-repro artifact on failure\n"
-        "                 (default fuzzdiff-repro.json)\n"
-        "  --json PATH    write the full sweep report as JSON\n"
-        "  --inject-bug   plant the skip-verify core fault (forced\n"
-        "                 failure; oracle self-test)\n",
-        prog);
-}
 
 std::uint64_t
 parseUint(const char *flag, const char *text)
@@ -63,41 +46,41 @@ main(int argc, char **argv)
 {
     verify::FuzzDiffOptions opts;
     std::string artifact_path = "fuzzdiff-repro.json";
-    std::string json_path;
 
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n",
-                             arg.c_str());
-                std::exit(2);
+    // The fuzzer's program-size default differs from the table
+    // benches' workload scale; everything else is the shared surface.
+    bench::BenchArgs defaults;
+    defaults.scale = 1;
+    auto args = bench::parseBenchArgs(
+        argc, argv, defaults,
+        [&](const std::string &arg, const bench::NextValueFn &next) {
+            if (arg == "--seeds") {
+                opts.seeds = parseUint("--seeds", next());
+            } else if (arg == "--seed-base") {
+                opts.seedBase = parseUint("--seed-base", next());
+            } else if (arg == "--out") {
+                artifact_path = next();
+            } else if (arg == "--inject-bug") {
+                opts.injectBug = true;
+            } else {
+                return false;
             }
-            return argv[++i];
-        };
-        if (arg == "--seeds") {
-            opts.seeds = parseUint("--seeds", next());
-        } else if (arg == "--seed-base") {
-            opts.seedBase = parseUint("--seed-base", next());
-        } else if (arg == "--scale") {
-            opts.scale = unsigned(parseUint("--scale", next()));
-        } else if (arg == "--threads") {
-            opts.threads = unsigned(parseUint("--threads", next()));
-        } else if (arg == "--out") {
-            artifact_path = next();
-        } else if (arg == "--json") {
-            json_path = next();
-        } else if (arg == "--inject-bug") {
-            opts.injectBug = true;
-        } else if (arg == "--help" || arg == "-h") {
-            usage(argv[0]);
-            return 0;
-        } else {
-            std::fprintf(stderr, "unknown argument '%s' (try --help)\n",
-                         arg.c_str());
-            return 2;
-        }
-    }
+            return true;
+        },
+        "  --seeds N      random programs to run (default 200)\n"
+        "  --seed-base X  base seed for program derivation\n"
+        "  --out PATH     minimized-repro artifact on failure\n"
+        "                 (default fuzzdiff-repro.json)\n"
+        "  --inject-bug   plant the skip-verify core fault (forced\n"
+        "                 failure; oracle self-test)\n");
+    opts.scale = args.scale;
+    opts.threads = args.threads;
+    opts.storeDir = args.storeDir;
+    opts.shards = args.shards;
+    opts.shardIndex = args.shardIndex;
+    opts.steal = args.steal;
+    opts.merge = args.merge;
+    std::string json_path = args.jsonPath;
 
     std::printf("fuzz_diff: %llu seeds x %zu configs, scale %u%s\n",
                 (unsigned long long)opts.seeds,
@@ -106,10 +89,13 @@ main(int argc, char **argv)
 
     auto result = verify::runFuzzDiff(opts);
 
-    // Per-config pass/diverge tally.
+    // Per-config pass/diverge tally (skipped slots belong to other
+    // shards and are neither clean nor diverged).
     std::map<std::string, std::pair<std::uint64_t, std::uint64_t>>
         tally;
     for (const auto &r : result.report.results) {
+        if (r.skipped)
+            continue;
         std::string config = r.label.substr(0, r.label.find(":s"));
         if (r.ok)
             ++tally[config].first;
@@ -122,8 +108,47 @@ main(int argc, char **argv)
                     (unsigned long long)kv.second.first,
                     (unsigned long long)kv.second.second);
     }
-    std::printf("total: %zu jobs, %zu divergences\n", result.jobs,
+    std::printf("total: %zu jobs, %zu divergences", result.jobs,
                 result.divergences);
+    if (result.skipped)
+        std::printf(", %zu skipped (other shards)", result.skipped);
+    std::printf("\n");
+
+    if (!opts.storeDir.empty()) {
+        const auto &s = result.storeStats;
+        std::printf("store %s: %llu hits, %llu misses, %llu stale, "
+                    "%llu writes\n",
+                    opts.storeDir.c_str(),
+                    (unsigned long long)s.hits,
+                    (unsigned long long)s.misses,
+                    (unsigned long long)s.stale,
+                    (unsigned long long)s.writes);
+        if (!args.storeStatsPath.empty()) {
+            std::ofstream os(args.storeStatsPath);
+            if (!os) {
+                std::fprintf(stderr, "cannot write '%s'\n",
+                             args.storeStatsPath.c_str());
+                return 1;
+            }
+            json::Writer w(os);
+            w.beginObject();
+            w.field("schema", "dde.sweepstore.stats/1");
+            w.field("dir", opts.storeDir);
+            w.field("jobs",
+                    static_cast<std::uint64_t>(result.jobs));
+            w.field("skipped",
+                    static_cast<std::uint64_t>(result.skipped));
+            w.field("hits", s.hits);
+            w.field("misses", s.misses);
+            w.field("stale", s.stale);
+            w.field("writes", s.writes);
+            w.field("claims", s.claims);
+            w.field("claimsLost", s.claimsLost);
+            w.field("lookups", s.lookups());
+            w.endObject();
+            std::printf("wrote %s\n", args.storeStatsPath.c_str());
+        }
+    }
 
     if (!json_path.empty()) {
         std::ofstream os(json_path);

@@ -76,16 +76,17 @@ main(int argc, char **argv)
     // --out is this bench's own flag; everything else is the shared
     // bench interface.
     std::string out_path;
-    std::vector<char *> rest;
-    for (int i = 0; i < argc; ++i) {
-        if (std::string(argv[i]) == "--out" && i + 1 < argc) {
-            out_path = argv[++i];
-            continue;
-        }
-        rest.push_back(argv[i]);
-    }
-    auto args = bench::parseBenchArgs(static_cast<int>(rest.size()),
-                                      rest.data());
+    auto args = bench::parseBenchArgs(
+        argc, argv, {},
+        [&](const std::string &arg, const bench::NextValueFn &next) {
+            if (arg == "--out") {
+                out_path = next();
+                return true;
+            }
+            return false;
+        },
+        "  --out PATH     write the aggregated frontier as a\n"
+        "                 dde.tab1pareto/1 JSON report\n");
     bench::printHeader("Tab.1-pareto",
                        "equal-budget predictor zoo sweep");
 
@@ -111,11 +112,16 @@ main(int argc, char **argv)
     for (const auto &p : points) {
         for (const auto &w : names) {
             auto key = bench::refKey(w.name, args);
-            sweep.add(p.label() + " / " + w.name,
+            std::string store_key =
+                "tab1.pareto|prog{" + runner::cacheKey(key) +
+                "}|cfg{" + runner::fingerprint(p.cfg) + "}";
+            sweep.addKeyed(p.label() + " / " + w.name,
+                      std::move(store_key),
                       [key, cfg = p.cfg](runner::JobContext &ctx) {
                           auto ref = ctx.cache.reference(key);
+                          auto compiled = ctx.cache.compiled(key);
                           auto res = predictor::evaluateOnTrace(
-                              ctx.cache.program(key), ref->trace, cfg);
+                              compiled->program, ref->trace, cfg);
                           runner::JobResult r;
                           r.add({"truePositives", res.truePositives});
                           r.add({"falsePositives", res.falsePositives});
@@ -128,6 +134,8 @@ main(int argc, char **argv)
         }
     }
     auto report = sweep.run();
+    if (args.partialRun())
+        return bench::finishReport(report, args, &sweep);
 
     auto aggregate = [&](std::size_t point_idx) {
         Aggregate a;
@@ -261,5 +269,5 @@ main(int argc, char **argv)
         std::printf("wrote %s\n", out_path.c_str());
     }
 
-    return bench::finishReport(report, args);
+    return bench::finishReport(report, args, &sweep);
 }

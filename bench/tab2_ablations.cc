@@ -108,6 +108,8 @@ main(int argc, char **argv)
         }
     }
     auto report = sweep.run();
+    if (args.partialRun())
+        return bench::finishReport(report, args, &sweep);
 
     std::printf("%-44s %10s\n", "variant", "mean sp");
     for (std::size_t v = 0; v < variants.size(); ++v) {
@@ -125,5 +127,5 @@ main(int argc, char **argv)
         std::printf("%-44s %+9.2f%%\n", variants[v].label.c_str(),
                     counted ? sum / counted : 0.0);
     }
-    return bench::finishReport(report, args);
+    return bench::finishReport(report, args, &sweep);
 }

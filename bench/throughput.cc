@@ -75,38 +75,31 @@ struct ThroughputArgs
 ThroughputArgs
 parseArgs(int argc, char **argv)
 {
-    // Peel off the throughput-specific flags, forward the rest to the
-    // shared bench parser.
+    // Throughput-specific flags ride the shared parser's extra hook.
     ThroughputArgs args;
-    std::vector<char *> rest;
-    rest.push_back(argv[0]);
-    for (int i = 1; i < argc; ++i) {
-        std::string arg = argv[i];
-        auto next = [&]() -> const char * {
-            if (i + 1 >= argc) {
-                std::fprintf(stderr, "missing value for %s\n",
-                             arg.c_str());
-                std::exit(2);
+    args.common = bench::parseBenchArgs(
+        argc, argv, {},
+        [&](const std::string &arg, const bench::NextValueFn &next) {
+            if (arg == "--repeat") {
+                args.repeat = static_cast<unsigned>(
+                    std::strtoul(next(), nullptr, 10));
+                if (args.repeat == 0)
+                    args.repeat = 1;
+            } else if (arg == "--out") {
+                args.outPath = next();
+            } else if (arg == "--label") {
+                args.label = next();
+            } else if (arg == "--require-release") {
+                args.requireRelease = true;
+            } else {
+                return false;
             }
-            return argv[++i];
-        };
-        if (arg == "--repeat") {
-            args.repeat =
-                static_cast<unsigned>(std::strtoul(next(), nullptr, 10));
-            if (args.repeat == 0)
-                args.repeat = 1;
-        } else if (arg == "--out") {
-            args.outPath = next();
-        } else if (arg == "--label") {
-            args.label = next();
-        } else if (arg == "--require-release") {
-            args.requireRelease = true;
-        } else {
-            rest.push_back(argv[i]);
-        }
-    }
-    args.common = bench::parseBenchArgs(static_cast<int>(rest.size()),
-                                        rest.data());
+            return true;
+        },
+        "  --repeat N     timings per job, best-of (default 3)\n"
+        "  --out PATH     write a dde.throughput/1 JSON report\n"
+        "  --label TEXT   label recorded in the report\n"
+        "  --require-release  refuse to measure a debug build\n");
     return args;
 }
 
@@ -338,8 +331,11 @@ main(int argc, char **argv)
     unsigned repeat = args.repeat;
     for (const GridPoint &p : grid) {
         Mode mode = p.mode;
+        // Timing jobs are deliberately unkeyed: wall-clock numbers
+        // are machine-local and must never be reused from a store.
         sweep.add(p.label, [p, mode, repeat](runner::JobContext &ctx) {
-            const prog::Program &program = ctx.cache.program(p.key);
+            auto compiled = ctx.cache.compiled(p.key);
+            const prog::Program &program = compiled->program;
             sim::RunOptions opts;
             std::vector<std::vector<bool>> labels;
             if (p.cfg.elim.enable && p.cfg.elim.oraclePredictor) {
@@ -433,5 +429,5 @@ main(int argc, char **argv)
         writeThroughputJson(os, args, timings);
         std::printf("\nwrote %s\n", args.outPath.c_str());
     }
-    return bench::finishReport(report, args.common);
+    return bench::finishReport(report, args.common, &sweep);
 }

@@ -165,7 +165,7 @@ loadProgram(const Options &opt, runner::ArtifactCache &cache)
         return program;
     }
     runner::ProgramKey key(opt.workload, opt.scale, opt.seed);
-    return cache.program(key);
+    return cache.compiled(key)->program;
 }
 
 core::CoreConfig

@@ -168,6 +168,359 @@ Writer::nullValue()
     _os << "null";
 }
 
+bool
+Value::asBool() const
+{
+    fatal_if(_type != Type::Bool, "json: value is not a bool");
+    return _bool;
+}
+
+double
+Value::asDouble() const
+{
+    fatal_if(_type != Type::Number, "json: value is not a number");
+    double v = 0;
+    auto res = std::from_chars(_text.data(),
+                               _text.data() + _text.size(), v);
+    fatal_if(res.ec != std::errc() ||
+                 res.ptr != _text.data() + _text.size(),
+             "json: bad number '", _text, "'");
+    return v;
+}
+
+std::uint64_t
+Value::asUint() const
+{
+    fatal_if(_type != Type::Number, "json: value is not a number");
+    std::uint64_t v = 0;
+    auto res = std::from_chars(_text.data(),
+                               _text.data() + _text.size(), v);
+    fatal_if(res.ec != std::errc() ||
+                 res.ptr != _text.data() + _text.size(),
+             "json: number '", _text, "' is not a uint64");
+    return v;
+}
+
+std::int64_t
+Value::asInt() const
+{
+    fatal_if(_type != Type::Number, "json: value is not a number");
+    std::int64_t v = 0;
+    auto res = std::from_chars(_text.data(),
+                               _text.data() + _text.size(), v);
+    fatal_if(res.ec != std::errc() ||
+                 res.ptr != _text.data() + _text.size(),
+             "json: number '", _text, "' is not an int64");
+    return v;
+}
+
+const std::string &
+Value::asString() const
+{
+    fatal_if(_type != Type::String, "json: value is not a string");
+    return _text;
+}
+
+const std::string &
+Value::rawNumber() const
+{
+    fatal_if(_type != Type::Number, "json: value is not a number");
+    return _text;
+}
+
+const std::vector<Value> &
+Value::items() const
+{
+    fatal_if(_type != Type::Array, "json: value is not an array");
+    return _items;
+}
+
+const std::vector<std::pair<std::string, Value>> &
+Value::members() const
+{
+    fatal_if(_type != Type::Object, "json: value is not an object");
+    return _members;
+}
+
+const Value *
+Value::find(std::string_view name) const
+{
+    fatal_if(_type != Type::Object, "json: value is not an object");
+    for (const auto &[key, value] : _members) {
+        if (key == name)
+            return &value;
+    }
+    return nullptr;
+}
+
+const Value &
+Value::at(std::string_view name) const
+{
+    const Value *v = find(name);
+    fatal_if(!v, "json: missing member '", std::string(name), "'");
+    return *v;
+}
+
+Value
+Value::makeBool(bool b)
+{
+    Value v(Type::Bool);
+    v._bool = b;
+    return v;
+}
+
+Value
+Value::makeNumber(std::string raw)
+{
+    Value v(Type::Number);
+    v._text = std::move(raw);
+    return v;
+}
+
+Value
+Value::makeString(std::string s)
+{
+    Value v(Type::String);
+    v._text = std::move(s);
+    return v;
+}
+
+Value
+Value::makeArray()
+{
+    return Value(Type::Array);
+}
+
+Value
+Value::makeObject()
+{
+    return Value(Type::Object);
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a string_view cursor. */
+class Parser
+{
+  public:
+    explicit Parser(std::string_view text) : _text(text) {}
+
+    Value
+    document()
+    {
+        Value v = value();
+        skipWs();
+        fatal_if(_pos != _text.size(),
+                 "json: trailing characters at offset ", _pos);
+        return v;
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (_pos < _text.size() &&
+               (_text[_pos] == ' ' || _text[_pos] == '\t' ||
+                _text[_pos] == '\n' || _text[_pos] == '\r')) {
+            ++_pos;
+        }
+    }
+
+    char
+    peek()
+    {
+        fatal_if(_pos >= _text.size(),
+                 "json: unexpected end of document");
+        return _text[_pos];
+    }
+
+    void
+    expect(char c)
+    {
+        fatal_if(peek() != c, "json: expected '", c, "' at offset ",
+                 _pos, ", got '", _text[_pos], "'");
+        ++_pos;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (_pos < _text.size() && _text[_pos] == c) {
+            ++_pos;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    literal(std::string_view word)
+    {
+        fatal_if(_text.substr(_pos, word.size()) != word,
+                 "json: bad literal at offset ", _pos);
+        _pos += word.size();
+    }
+
+    std::string
+    string()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            fatal_if(_pos >= _text.size(),
+                     "json: unterminated string");
+            char c = _text[_pos++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            fatal_if(_pos >= _text.size(),
+                     "json: unterminated escape");
+            char esc = _text[_pos++];
+            switch (esc) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                fatal_if(_pos + 4 > _text.size(),
+                         "json: truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = _text[_pos++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= unsigned(h - 'A' + 10);
+                    else
+                        fatal("json: bad \\u escape digit '", h, "'");
+                }
+                // UTF-8 encode (BMP only; surrogate pairs are not
+                // produced by our writer).
+                if (cp < 0x80) {
+                    out.push_back(static_cast<char>(cp));
+                } else if (cp < 0x800) {
+                    out.push_back(
+                        static_cast<char>(0xc0 | (cp >> 6)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3f)));
+                } else {
+                    out.push_back(
+                        static_cast<char>(0xe0 | (cp >> 12)));
+                    out.push_back(static_cast<char>(
+                        0x80 | ((cp >> 6) & 0x3f)));
+                    out.push_back(
+                        static_cast<char>(0x80 | (cp & 0x3f)));
+                }
+                break;
+              }
+              default:
+                fatal("json: bad escape '\\", esc, "'");
+            }
+        }
+    }
+
+    Value
+    number()
+    {
+        std::size_t start = _pos;
+        consume('-');
+        while (_pos < _text.size() &&
+               ((_text[_pos] >= '0' && _text[_pos] <= '9') ||
+                _text[_pos] == '.' || _text[_pos] == 'e' ||
+                _text[_pos] == 'E' || _text[_pos] == '+' ||
+                _text[_pos] == '-')) {
+            ++_pos;
+        }
+        fatal_if(_pos == start, "json: empty number at offset ", _pos);
+        std::string raw(_text.substr(start, _pos - start));
+        // Validate eagerly so corrupt numbers fail at parse time.
+        double probe = 0;
+        auto res = std::from_chars(raw.data(), raw.data() + raw.size(),
+                                   probe);
+        fatal_if(res.ec != std::errc() ||
+                     res.ptr != raw.data() + raw.size(),
+                 "json: bad number '", raw, "'");
+        return Value::makeNumber(std::move(raw));
+    }
+
+    Value
+    value()
+    {
+        skipWs();
+        switch (peek()) {
+          case '{': {
+            ++_pos;
+            Value obj = Value::makeObject();
+            skipWs();
+            if (consume('}'))
+                return obj;
+            for (;;) {
+                skipWs();
+                std::string key = string();
+                skipWs();
+                expect(':');
+                obj.mutableMembers().emplace_back(std::move(key),
+                                                  value());
+                skipWs();
+                if (consume(','))
+                    continue;
+                expect('}');
+                return obj;
+            }
+          }
+          case '[': {
+            ++_pos;
+            Value arr = Value::makeArray();
+            skipWs();
+            if (consume(']'))
+                return arr;
+            for (;;) {
+                arr.mutableItems().push_back(value());
+                skipWs();
+                if (consume(','))
+                    continue;
+                expect(']');
+                return arr;
+            }
+          }
+          case '"':
+            return Value::makeString(string());
+          case 't':
+            literal("true");
+            return Value::makeBool(true);
+          case 'f':
+            literal("false");
+            return Value::makeBool(false);
+          case 'n':
+            literal("null");
+            return Value::makeNull();
+          default:
+            return number();
+        }
+    }
+
+    std::string_view _text;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+Value
+parse(std::string_view text)
+{
+    return Parser(text).document();
+}
+
 std::string
 csvField(std::string_view s)
 {

@@ -16,6 +16,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace dde::json
@@ -82,6 +83,83 @@ class Writer
     std::vector<bool> _hasMember;
     bool _pendingKey = false;
 };
+
+/**
+ * A parsed JSON value — the read side of the writer above, used by
+ * the persistent sweep store to re-hydrate result rows.
+ *
+ * Numbers keep their raw source text: asUint() re-parses it as a
+ * 64-bit integer (doubles cannot represent every counter exactly)
+ * and asDouble() as a double. Because the writer emits shortest
+ * round-trip doubles and plain decimal integers, a write → parse →
+ * write cycle is byte-identical — the property the store's
+ * merged-report guarantee rests on.
+ *
+ * Accessors throw FatalError on a type mismatch (a corrupt or
+ * foreign document is a user-input problem, and store readers treat
+ * any throw as a stale entry).
+ */
+class Value
+{
+  public:
+    enum class Type : std::uint8_t
+    {
+        Null, Bool, Number, String, Array, Object
+    };
+
+    Type type() const { return _type; }
+    bool isNull() const { return _type == Type::Null; }
+    bool isBool() const { return _type == Type::Bool; }
+    bool isNumber() const { return _type == Type::Number; }
+    bool isString() const { return _type == Type::String; }
+    bool isArray() const { return _type == Type::Array; }
+    bool isObject() const { return _type == Type::Object; }
+
+    bool asBool() const;
+    double asDouble() const;
+    std::uint64_t asUint() const;
+    std::int64_t asInt() const;
+    const std::string &asString() const;
+    /** Raw number text exactly as it appeared in the document. */
+    const std::string &rawNumber() const;
+
+    /** Array elements (fatal unless isArray). */
+    const std::vector<Value> &items() const;
+
+    /** Object members in document order (fatal unless isObject). */
+    const std::vector<std::pair<std::string, Value>> &members() const;
+    /** Member lookup; nullptr when absent (fatal unless isObject). */
+    const Value *find(std::string_view name) const;
+    /** Member lookup; fatal when absent. */
+    const Value &at(std::string_view name) const;
+
+    static Value makeNull() { return Value(Type::Null); }
+    static Value makeBool(bool b);
+    static Value makeNumber(std::string raw);
+    static Value makeString(std::string s);
+    static Value makeArray();
+    static Value makeObject();
+
+    std::vector<Value> &mutableItems() { return _items; }
+    std::vector<std::pair<std::string, Value>> &mutableMembers()
+    {
+        return _members;
+    }
+
+  private:
+    explicit Value(Type t) : _type(t) {}
+
+    Type _type = Type::Null;
+    bool _bool = false;
+    /** Number raw text or string payload, depending on _type. */
+    std::string _text;
+    std::vector<Value> _items;
+    std::vector<std::pair<std::string, Value>> _members;
+};
+
+/** Parse one JSON document (throws FatalError on malformed input;
+ * trailing non-whitespace is an error). */
+Value parse(std::string_view text);
 
 /** Escape one CSV field (RFC 4180 quoting when needed). */
 std::string csvField(std::string_view s);

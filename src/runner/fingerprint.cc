@@ -1,0 +1,158 @@
+#include "runner/fingerprint.hh"
+
+#include <sstream>
+
+namespace dde::runner
+{
+
+std::string
+fingerprint(const predictor::DeadPredictorConfig &cfg)
+{
+    std::ostringstream os;
+    os << "entries=" << cfg.entries << ",tag=" << cfg.tagBits
+       << ",ctr=" << cfg.counterBits << ",thr=" << cfg.threshold
+       << ",depth=" << cfg.futureDepth
+       << ",clearOnLive=" << cfg.clearOnLive;
+    return os.str();
+}
+
+std::string
+fingerprint(const predictor::ZooConfig &cfg)
+{
+    std::ostringstream os;
+    os << "kind=" << predictor::kindName(cfg.kind)
+       << ";tage{tables=" << cfg.tage.numTables
+       << ",per=" << cfg.tage.entriesPerTable
+       << ",base=" << cfg.tage.baseEntries
+       << ",tag=" << cfg.tage.tagBits
+       << ",ctr=" << cfg.tage.counterBits
+       << ",useful=" << cfg.tage.usefulBits
+       << ",thr=" << cfg.tage.threshold
+       << ",depth=" << cfg.tage.futureDepth << "}"
+       << ";perc{entries=" << cfg.perceptron.entries
+       << ",wbits=" << cfg.perceptron.weightBits
+       << ",depth=" << cfg.perceptron.futureDepth
+       << ",margin=" << cfg.perceptron.fireMargin
+       << ",theta=" << cfg.perceptron.theta
+       << ",punish=" << cfg.perceptron.punishSteps << "}"
+       << ";hyb{local=" << cfg.hybrid.localEntries
+       << ",global=" << cfg.hybrid.globalEntries
+       << ",chooser=" << cfg.hybrid.chooserEntries
+       << ",tag=" << cfg.hybrid.tagBits
+       << ",ctr=" << cfg.hybrid.counterBits
+       << ",thr=" << cfg.hybrid.threshold
+       << ",depth=" << cfg.hybrid.futureDepth << "}";
+    return os.str();
+}
+
+std::string
+fingerprint(const predictor::DetectorConfig &cfg)
+{
+    std::ostringstream os;
+    os << "memEntries=" << cfg.memEntries;
+    return os.str();
+}
+
+std::string
+fingerprint(const predictor::FrontendConfig &cfg)
+{
+    std::ostringstream os;
+    os << "dir=" << static_cast<unsigned>(cfg.direction)
+       << ",gshare=" << cfg.gshareEntries
+       << ",hist=" << cfg.historyBits << ",btb=" << cfg.btbEntries
+       << ",ras=" << cfg.rasDepth;
+    return os.str();
+}
+
+std::string
+fingerprint(const cache::CacheConfig &cfg)
+{
+    std::ostringstream os;
+    os << cfg.sizeBytes << "/" << cfg.lineBytes << "/" << cfg.assoc
+       << "/" << cfg.hitLatency;
+    return os.str();
+}
+
+std::string
+fingerprint(const cache::HierarchyConfig &cfg)
+{
+    std::ostringstream os;
+    os << "l1i=" << fingerprint(cfg.l1i)
+       << ";l1d=" << fingerprint(cfg.l1d)
+       << ";l2=" << fingerprint(cfg.l2)
+       << ";mem=" << cfg.memLatency;
+    return os.str();
+}
+
+std::string
+fingerprint(const core::ElimConfig &cfg)
+{
+    std::ostringstream os;
+    os << "enable=" << cfg.enable << ",loads=" << cfg.eliminateLoads
+       << ",stores=" << cfg.eliminateStores
+       << ",oracle=" << cfg.oraclePredictor
+       << ",recovery=" << static_cast<unsigned>(cfg.recovery)
+       << ",ueb=" << cfg.uebStoreEntries
+       << ",fullFlush=" << cfg.fullFlushRecovery
+       << ",grace=" << cfg.verifyGrace
+       << ",repairLimit=" << cfg.repairLimit
+       << ",skipVerifyPc=" << cfg.debugSkipVerifyPc
+       << ";pred{" << fingerprint(cfg.predictor) << "}"
+       << ";zoo{" << fingerprint(cfg.zoo) << "}"
+       << ";det{" << fingerprint(cfg.detector) << "}";
+    return os.str();
+}
+
+std::string
+fingerprint(const core::CoreConfig &cfg)
+{
+    std::ostringstream os;
+    os << "w=" << cfg.fetchWidth << "/" << cfg.renameWidth << "/"
+       << cfg.issueWidth << "/" << cfg.commitWidth
+       << ";q=" << cfg.fetchQueueSize << "/" << cfg.robSize << "/"
+       << cfg.iqSize << "/" << cfg.loadQueueSize << "/"
+       << cfg.storeQueueSize << "/" << cfg.numPhysRegs
+       << ";fu=" << cfg.numAlus << "/" << cfg.numMults << "/"
+       << cfg.numDivs << "/" << cfg.numMemPorts
+       << ";lat=" << cfg.aluLatency << "/" << cfg.multLatency << "/"
+       << cfg.divLatency << "/" << cfg.branchLatency
+       << ";fedelay=" << cfg.frontendDelay
+       << ";bp{" << fingerprint(cfg.frontend) << "}"
+       << ";mem{" << fingerprint(cfg.memory) << "}"
+       << ";elim{" << fingerprint(cfg.elim) << "}"
+       // Profiling changes what the result row *contains* (the
+       // dde.sweep profile block), so it is part of the identity even
+       // though it never changes the simulated counters.
+       << ";prof=" << cfg.profile.enable << "/" << cfg.profile.topN
+       // The fast path is contractually counter-neutral
+       // (tests/test_block_cache.cc), but a store hit must never be
+       // able to mask a neutrality bug, so it is keyed too.
+       << ";fast=" << cfg.fastpath.blockCache << "/"
+       << cfg.fastpath.blockCacheBlocks << "/"
+       << cfg.fastpath.maxBlockInsts;
+    return os.str();
+}
+
+std::string
+fingerprint(const sim::RunOptions &opts)
+{
+    std::ostringstream os;
+    os << "cosim=" << opts.cosim << ",maxCycles=" << opts.maxCycles
+       << ",ffwd=" << opts.fastForwardInsts;
+    return os.str();
+}
+
+std::string
+fingerprint(const predictor::TraceEvalConfig &cfg)
+{
+    std::ostringstream os;
+    os << "pred{" << fingerprint(cfg.predictor) << "}"
+       << ";zoo{" << fingerprint(cfg.zoo) << "}"
+       << ";det{" << fingerprint(cfg.detector) << "}"
+       << ";bp{" << fingerprint(cfg.frontend) << "}"
+       << ";oracleFuture=" << cfg.oracleFuture
+       << ";lastOutcome=" << cfg.lastOutcomeBaseline;
+    return os.str();
+}
+
+} // namespace dde::runner

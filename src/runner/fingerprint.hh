@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Stable textual fingerprints of every configuration struct that can
+ * change a job's result — the identity half of the persistent sweep
+ * store's content-addressed keys (runner/store.hh).
+ *
+ * The contract mirrors fingerprint(mir::CompileOptions) in
+ * runner.hh: two configs produce the same fingerprint iff every
+ * semantic field is equal, and the text is human-readable so a store
+ * entry can be audited with `cat`. Each overload must enumerate ALL
+ * fields of its struct — a field silently missing here would let two
+ * different experiments share one store entry, which is exactly the
+ * corruption the store exists to prevent (tests/test_store.cc pokes
+ * each field and asserts the fingerprint moves).
+ */
+
+#ifndef DDE_RUNNER_FINGERPRINT_HH
+#define DDE_RUNNER_FINGERPRINT_HH
+
+#include <string>
+
+#include "cache/cache.hh"
+#include "core/config.hh"
+#include "predictor/trace_eval.hh"
+#include "sim/simulator.hh"
+
+namespace dde::runner
+{
+
+std::string fingerprint(const predictor::DeadPredictorConfig &cfg);
+std::string fingerprint(const predictor::ZooConfig &cfg);
+std::string fingerprint(const predictor::DetectorConfig &cfg);
+std::string fingerprint(const predictor::FrontendConfig &cfg);
+std::string fingerprint(const cache::CacheConfig &cfg);
+std::string fingerprint(const cache::HierarchyConfig &cfg);
+std::string fingerprint(const core::ElimConfig &cfg);
+std::string fingerprint(const core::CoreConfig &cfg);
+/** RunOptions::oracleLabels is excluded: the labels are a pure
+ * function of (program, detector config), both already keyed. */
+std::string fingerprint(const sim::RunOptions &opts);
+std::string fingerprint(const predictor::TraceEvalConfig &cfg);
+
+} // namespace dde::runner
+
+#endif // DDE_RUNNER_FINGERPRINT_HH

@@ -8,6 +8,8 @@
 
 #include "common/json.hh"
 #include "common/logging.hh"
+#include "runner/fingerprint.hh"
+#include "runner/store.hh"
 #include "workloads/workloads.hh"
 
 namespace dde::runner
@@ -306,6 +308,8 @@ SweepReport::writeJson(std::ostream &os) const
         w.field("ok", r.ok);
         if (!r.ok)
             w.field("error", r.error);
+        if (r.skipped)
+            w.field("skipped", true);
         if (r.hasStats) {
             w.key("stats");
             w.beginObject();
@@ -443,13 +447,45 @@ defaultThreads()
 SweepRunner::SweepRunner(Options opts)
     : _threads(opts.threads ? opts.threads : defaultThreads()),
       _seed(opts.seed), _profile(opts.profile),
-      _profileTopN(opts.profileTopN)
-{}
+      _profileTopN(opts.profileTopN), _shards(opts.shards),
+      _shardIndex(opts.shardIndex), _workSteal(opts.workSteal),
+      _mergeOnly(opts.mergeOnly)
+{
+    fatal_if(_shards == 0, "shards must be >= 1");
+    fatal_if(_shardIndex >= _shards, "shard index ", _shardIndex,
+             " out of range for ", _shards, " shards");
+    if (!opts.storeDir.empty()) {
+        _store = std::make_unique<ResultStore>(
+            StoreOptions{opts.storeDir, opts.storeVersion});
+    }
+    fatal_if(_workSteal && !_store,
+             "work stealing requires a store (--store-dir)");
+    fatal_if(_mergeOnly && !_store,
+             "merge mode requires a store (--store-dir)");
+}
+
+SweepRunner::~SweepRunner() = default;
+
+StoreStats
+SweepRunner::storeStats() const
+{
+    return _store ? _store->stats() : StoreStats{};
+}
 
 std::size_t
 SweepRunner::add(std::string label, JobFn fn)
 {
-    _queue.push_back(Pending{std::move(label), std::move(fn)});
+    _queue.push_back(Pending{std::move(label), {}, std::move(fn)});
+    return _queue.size() - 1;
+}
+
+std::size_t
+SweepRunner::addKeyed(std::string label, std::string store_key,
+                      JobFn fn)
+{
+    panic_if(store_key.empty(), "addKeyed with an empty store key");
+    _queue.push_back(
+        Pending{std::move(label), std::move(store_key), std::move(fn)});
     return _queue.size() - 1;
 }
 
@@ -462,11 +498,18 @@ SweepRunner::addCoreRun(std::string label, ProgramKey key,
         cfg.profile.enable = true;
         cfg.profile.topN = _profileTopN;
     }
-    return add(std::move(label),
+    // Key computed after the profile mutation, so profiled and
+    // unprofiled sweeps over the same grid never share entries.
+    std::string store_key = "core|prog{" + cacheKey(key) + "}|cfg{" +
+                            fingerprint(cfg) + "}|run{" +
+                            fingerprint(run_opts) +
+                            "}|check=" + (check ? "1" : "0");
+    return addKeyed(
+        std::move(label), std::move(store_key),
                [key = std::move(key), cfg, run_opts,
                 check](JobContext &ctx) {
-                   const prog::Program &program =
-                       ctx.cache.program(key);
+                   auto compiled = ctx.cache.compiled(key);
+                   const prog::Program &program = compiled->program;
                    sim::RunOptions opts = run_opts;
                    std::vector<std::vector<bool>> labels;
                    if (cfg.elim.enable && cfg.elim.oraclePredictor) {
@@ -516,8 +559,42 @@ SweepRunner::run()
             std::size_t i = next.fetch_add(1);
             if (i >= queue.size())
                 return;
-            JobContext ctx{i, deriveSeed(_seed, i), _cache};
             JobResult &slot = report.results[i];
+            const std::string &key = queue[i].storeKey;
+            bool keyed = _store && !key.empty();
+
+            if (keyed) {
+                // Store lookup comes before the ownership check: a
+                // completed entry fills this slot for free no matter
+                // which shard produced it.
+                if (auto stored = _store->load(key)) {
+                    stored->label = std::move(slot.label);
+                    slot = std::move(*stored);
+                    continue;
+                }
+                if (_mergeOnly) {
+                    slot.ok = false;
+                    slot.error = "store miss in merge mode (entry " +
+                                 _store->entryPath(key) + ")";
+                    continue;
+                }
+                // Ownership: either the static modulo partition or a
+                // won work-steal claim; a non-owned job is skipped
+                // (the owning process will populate the store).
+                bool owned = _workSteal
+                                 ? _store->tryClaim(key)
+                                 : (_shards <= 1 ||
+                                    i % _shards == _shardIndex);
+                if (!owned) {
+                    slot.ok = true;
+                    slot.skipped = true;
+                    continue;
+                }
+            }
+            // Unkeyed jobs never touch the store: every process
+            // (shard, stealer or merge) executes them locally.
+
+            JobContext ctx{i, deriveSeed(_seed, i), _cache};
             try {
                 JobResult r = queue[i].fn(ctx);
                 r.label = std::move(slot.label);
@@ -529,6 +606,14 @@ SweepRunner::run()
             } catch (...) {
                 slot.ok = false;
                 slot.error = "unknown exception";
+            }
+            if (keyed) {
+                try {
+                    _store->save(key, slot);
+                } catch (const std::exception &e) {
+                    warn("store save failed for '", slot.label,
+                         "': ", e.what());
+                }
             }
         }
     };

@@ -85,16 +85,19 @@ struct CompiledProgram
 class ArtifactCache
 {
   public:
-    /** Compile (once) and return the program for a key. */
+    /**
+     * Compile (once) and return the program for a key.
+     *
+     * The returned shared_ptr is the keep-alive handle: the program
+     * lives as long as any handle does, independent of the cache
+     * (tests/test_runner.cc pins the cache-destroyed case). Callers
+     * that bind a `const prog::Program &` must hold the handle for
+     * the reference's lifetime — there deliberately is no
+     * reference-returning convenience accessor, which would hide
+     * that dependence on the cache's internal slot.
+     */
     std::shared_ptr<const CompiledProgram>
     compiled(const ProgramKey &key);
-
-    /** Convenience: just the program. */
-    const prog::Program &
-    program(const ProgramKey &key)
-    {
-        return compiled(key)->program;
-    }
 
     /** Run the emulator (once) over the key's program and return the
      * reference result including the committed-instruction trace. */
@@ -148,6 +151,12 @@ struct JobResult
     std::string label;
     bool ok = false;
     std::string error;
+
+    /** The job was not run by this process: it belongs to another
+     * shard (or lost a work-steal claim) and had no store entry yet.
+     * Skipped slots count as ok and carry no data; the merge step
+     * assembles the complete report from the store afterwards. */
+    bool skipped = false;
 
     /** Core-simulation statistics, when the job ran a core. */
     bool hasStats = false;
@@ -215,7 +224,34 @@ struct SweepOptions
     bool profile = false;
     /** Per-PC entries exported per profiled run (--topn). */
     unsigned profileTopN = 10;
+
+    /** Persistent result store root (runner/store.hh); empty runs
+     * without a store. Keyed jobs that hit the store skip execution
+     * entirely and re-hydrate their result row from disk. */
+    std::string storeDir;
+    /** Store entry version override; empty = kStoreCodeVersion.
+     * Tests use this to exercise version-bump invalidation. */
+    std::string storeVersion;
+
+    /** Deterministic sharding: this process executes only jobs with
+     * index % shards == shardIndex (store hits still fill any slot;
+     * the rest are marked skipped). 1 = run everything. */
+    unsigned shards = 1;
+    unsigned shardIndex = 0;
+    /** Work-stealing ownership: instead of the modulo partition,
+     * claim each keyed job via atomic lock-file creation in the
+     * store, so any number of processes race over one grid without
+     * duplicating work. Requires storeDir. */
+    bool workSteal = false;
+    /** Merge mode: keyed jobs MUST be store hits (a miss fails the
+     * slot instead of simulating), so the assembled report is
+     * byte-identical to a serial run over the same grid. Requires
+     * storeDir. */
+    bool mergeOnly = false;
 };
+
+class ResultStore;
+struct StoreStats;
 
 class SweepRunner
 {
@@ -223,12 +259,26 @@ class SweepRunner
     using Options = SweepOptions;
 
     explicit SweepRunner(Options opts = {});
+    ~SweepRunner();
 
     using JobFn = std::function<JobResult(JobContext &)>;
 
     /** Enqueue an arbitrary job. Returns its submission index, which
-     * is also its slot in the report's results vector. */
+     * is also its slot in the report's results vector. Jobs queued
+     * here are unkeyed: the store never caches them, and every
+     * process (shard, stealer or merge) executes them locally. */
     std::size_t add(std::string label, JobFn fn);
+
+    /**
+     * Enqueue a job with a store key: a stable text naming everything
+     * the result depends on (program identity via cacheKey(),
+     * configuration via runner/fingerprint.hh, and any seed or mode
+     * the job reads). With a store attached, a prior entry under the
+     * key skips execution entirely and sharding/work-stealing
+     * partition these jobs across processes.
+     */
+    std::size_t addKeyed(std::string label, std::string store_key,
+                         JobFn fn);
 
     /**
      * Enqueue a full core simulation of `key`'s program under `cfg`.
@@ -253,10 +303,16 @@ class SweepRunner
     ArtifactCache &cache() { return _cache; }
     unsigned threads() const { return _threads; }
 
+    /** The attached persistent store, or nullptr. */
+    ResultStore *store() const { return _store.get(); }
+    /** Store traffic of this runner so far (zeros with no store). */
+    StoreStats storeStats() const;
+
   private:
     struct Pending
     {
         std::string label;
+        std::string storeKey;  ///< empty = unkeyed
         JobFn fn;
     };
 
@@ -264,8 +320,13 @@ class SweepRunner
     std::uint64_t _seed;
     bool _profile;
     unsigned _profileTopN;
+    unsigned _shards;
+    unsigned _shardIndex;
+    bool _workSteal;
+    bool _mergeOnly;
     std::vector<Pending> _queue;
     ArtifactCache _cache;
+    std::unique_ptr<ResultStore> _store;
 };
 
 } // namespace dde::runner

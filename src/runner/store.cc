@@ -1,0 +1,391 @@
+#include "runner/store.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+
+namespace fs = std::filesystem;
+
+namespace dde::runner
+{
+
+namespace
+{
+
+std::string
+hashHex(std::uint64_t h)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return std::string(buf);
+}
+
+/** Exact-text rendering of one metric value: decimal for UInt, the
+ * writer's shortest round-trip form for Real (non-finite values
+ * render "null", matching the report serializer), verbatim for
+ * Text. */
+std::string
+metricValueText(const Metric &m)
+{
+    return m.render();
+}
+
+Metric
+metricFromJson(const json::Value &v)
+{
+    const std::string &name = v.at("name").asString();
+    const std::string &kind = v.at("kind").asString();
+    const std::string &text = v.at("value").asString();
+    if (kind == "u") {
+        std::uint64_t u = 0;
+        auto res =
+            std::from_chars(text.data(), text.data() + text.size(), u);
+        fatal_if(res.ec != std::errc() ||
+                     res.ptr != text.data() + text.size(),
+                 "store: bad uint metric '", text, "'");
+        return Metric(name, u);
+    }
+    if (kind == "r") {
+        // "null" is the serialization of any non-finite double; NaN
+        // restores the invariant that the report re-renders it as
+        // null again.
+        double d = std::nan("");
+        if (text != "null") {
+            auto res = std::from_chars(text.data(),
+                                       text.data() + text.size(), d);
+            fatal_if(res.ec != std::errc() ||
+                         res.ptr != text.data() + text.size(),
+                     "store: bad real metric '", text, "'");
+        }
+        return Metric(name, d);
+    }
+    fatal_if(kind != "t", "store: unknown metric kind '", kind, "'");
+    return Metric(name, text);
+}
+
+void
+writeStats(json::Writer &w, const sim::RunStats &s)
+{
+    w.key("stats");
+    w.beginObject();
+    w.field("name", s.name);
+    w.field("cycles", static_cast<std::uint64_t>(s.cycles));
+    w.field("committed", s.committed);
+    w.field("ipc", s.ipc);
+    w.field("halted", s.halted);
+    w.field("fastForwarded", s.fastForwarded);
+    w.field("committedEliminated", s.committedEliminated);
+    w.field("predictedDead", s.predictedDead);
+    w.field("deadMispredicts", s.deadMispredicts);
+    w.field("branchMispredicts", s.branchMispredicts);
+    w.field("physRegAllocs", s.physRegAllocs);
+    w.field("rfReads", s.rfReads);
+    w.field("rfWrites", s.rfWrites);
+    w.field("dcacheLoads", s.dcacheLoads);
+    w.field("dcacheStores", s.dcacheStores);
+    w.field("detectorDead", s.detectorDead);
+    w.field("detectorLive", s.detectorLive);
+    w.endObject();
+    if (s.profile.valid) {
+        const sim::CycleProfile &p = s.profile;
+        w.key("profile");
+        w.beginObject();
+        w.field("commitWidth", p.commitWidth);
+        w.field("usefulCommit", p.slotsUsefulCommit);
+        w.field("deadEliminated", p.slotsDeadEliminated);
+        w.field("frontEndStarved", p.slotsFrontEndStarved);
+        w.field("mispredictSquash", p.slotsMispredictSquash);
+        w.field("iqFull", p.slotsIqFull);
+        w.field("lsqFull", p.slotsLsqFull);
+        w.field("physRegStall", p.slotsPhysRegStall);
+        w.field("cacheMissStall", p.slotsCacheMissStall);
+        w.field("execStall", p.slotsExecStall);
+        w.field("verifyStall", p.slotsVerifyStall);
+        w.field("robP50", p.robP50);
+        w.field("robP90", p.robP90);
+        w.field("robP99", p.robP99);
+        w.field("iqP50", p.iqP50);
+        w.field("iqP90", p.iqP90);
+        w.field("iqP99", p.iqP99);
+        w.key("topPcs");
+        w.beginArray();
+        for (const predictor::PcProfile &pc : p.topPcs) {
+            w.beginObject();
+            w.field("pc", static_cast<std::uint64_t>(pc.pc));
+            w.field("predicted", pc.predicted);
+            w.field("eliminated", pc.eliminated);
+            w.field("mispredicts", pc.mispredicts);
+            w.field("repairs", pc.repairs);
+            w.field("detectorDead", pc.detectorDead);
+            w.field("detectorLive", pc.detectorLive);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+}
+
+sim::RunStats
+statsFromJson(const json::Value &stats, const json::Value *profile)
+{
+    sim::RunStats s;
+    s.name = stats.at("name").asString();
+    s.cycles = stats.at("cycles").asUint();
+    s.committed = stats.at("committed").asUint();
+    s.ipc = stats.at("ipc").asDouble();
+    s.halted = stats.at("halted").asBool();
+    s.fastForwarded = stats.at("fastForwarded").asUint();
+    s.committedEliminated = stats.at("committedEliminated").asUint();
+    s.predictedDead = stats.at("predictedDead").asUint();
+    s.deadMispredicts = stats.at("deadMispredicts").asUint();
+    s.branchMispredicts = stats.at("branchMispredicts").asUint();
+    s.physRegAllocs = stats.at("physRegAllocs").asUint();
+    s.rfReads = stats.at("rfReads").asUint();
+    s.rfWrites = stats.at("rfWrites").asUint();
+    s.dcacheLoads = stats.at("dcacheLoads").asUint();
+    s.dcacheStores = stats.at("dcacheStores").asUint();
+    s.detectorDead = stats.at("detectorDead").asUint();
+    s.detectorLive = stats.at("detectorLive").asUint();
+    if (profile) {
+        sim::CycleProfile &p = s.profile;
+        p.valid = true;
+        p.commitWidth =
+            static_cast<unsigned>(profile->at("commitWidth").asUint());
+        p.slotsUsefulCommit = profile->at("usefulCommit").asUint();
+        p.slotsDeadEliminated = profile->at("deadEliminated").asUint();
+        p.slotsFrontEndStarved =
+            profile->at("frontEndStarved").asUint();
+        p.slotsMispredictSquash =
+            profile->at("mispredictSquash").asUint();
+        p.slotsIqFull = profile->at("iqFull").asUint();
+        p.slotsLsqFull = profile->at("lsqFull").asUint();
+        p.slotsPhysRegStall = profile->at("physRegStall").asUint();
+        p.slotsCacheMissStall = profile->at("cacheMissStall").asUint();
+        p.slotsExecStall = profile->at("execStall").asUint();
+        p.slotsVerifyStall = profile->at("verifyStall").asUint();
+        p.robP50 = profile->at("robP50").asDouble();
+        p.robP90 = profile->at("robP90").asDouble();
+        p.robP99 = profile->at("robP99").asDouble();
+        p.iqP50 = profile->at("iqP50").asDouble();
+        p.iqP90 = profile->at("iqP90").asDouble();
+        p.iqP99 = profile->at("iqP99").asDouble();
+        for (const json::Value &e : profile->at("topPcs").items()) {
+            predictor::PcProfile pc;
+            pc.pc = e.at("pc").asUint();
+            pc.predicted = e.at("predicted").asUint();
+            pc.eliminated = e.at("eliminated").asUint();
+            pc.mispredicts = e.at("mispredicts").asUint();
+            pc.repairs = e.at("repairs").asUint();
+            pc.detectorDead = e.at("detectorDead").asUint();
+            pc.detectorLive = e.at("detectorLive").asUint();
+            p.topPcs.push_back(pc);
+        }
+    }
+    return s;
+}
+
+} // namespace
+
+ResultStore::ResultStore(StoreOptions opts)
+    : _dir(std::move(opts.dir)),
+      _version(opts.version.empty() ? kStoreCodeVersion
+                                    : std::move(opts.version))
+{
+    fatal_if(_dir.empty(), "store: empty directory");
+    std::error_code ec;
+    fs::create_directories(_dir, ec);
+    fatal_if(ec && !fs::is_directory(_dir),
+             "store: cannot create '", _dir, "': ", ec.message());
+}
+
+std::uint64_t
+ResultStore::hashKey(std::string_view key)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : key) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+ResultStore::entryPath(const std::string &key) const
+{
+    std::string hex = hashHex(hashKey(key));
+    return _dir + "/" + hex.substr(0, 2) + "/" + hex + ".json";
+}
+
+std::string
+ResultStore::claimPath(const std::string &key) const
+{
+    return entryPath(key) + ".lock";
+}
+
+std::optional<JobResult>
+ResultStore::load(const std::string &key)
+{
+    std::string path = entryPath(key);
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_stats.misses;
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+
+    JobResult result;
+    if (!parseEntry(text.str(), _version, key, result)) {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_stats.stale;
+        return std::nullopt;
+    }
+    {
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_stats.hits;
+    }
+    return result;
+}
+
+void
+ResultStore::save(const std::string &key, const JobResult &result)
+{
+    std::string path = entryPath(key);
+    fs::path dir = fs::path(path).parent_path();
+    std::error_code ec;
+    fs::create_directories(dir, ec);
+    fatal_if(ec && !fs::is_directory(dir), "store: cannot create '",
+             dir.string(), "': ", ec.message());
+
+    // Unique temp name in the same directory so the final rename is
+    // atomic on POSIX filesystems.
+    static std::atomic<std::uint64_t> counter{0};
+    std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+                      "." + std::to_string(counter.fetch_add(1));
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        fatal_if(!os, "store: cannot write '", tmp, "'");
+        os << renderEntry(_version, key, result);
+        os.flush();
+        fatal_if(!os, "store: short write to '", tmp, "'");
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        fatal("store: cannot rename into '", path, "'");
+    }
+    std::lock_guard<std::mutex> lock(_mutex);
+    ++_stats.writes;
+}
+
+bool
+ResultStore::tryClaim(const std::string &key)
+{
+    std::string path = claimPath(key);
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd < 0) {
+        fatal_if(errno != EEXIST, "store: cannot create claim '",
+                 path, "': ", std::strerror(errno));
+        std::lock_guard<std::mutex> lock(_mutex);
+        ++_stats.claimsLost;
+        return false;
+    }
+    std::string pid = std::to_string(::getpid()) + "\n";
+    // A claim file's content is informational only; existence is the
+    // lock.
+    (void)!::write(fd, pid.data(), pid.size());
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(_mutex);
+    ++_stats.claims;
+    return true;
+}
+
+StoreStats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(_mutex);
+    return _stats;
+}
+
+std::string
+ResultStore::renderEntry(const std::string &version,
+                         const std::string &key,
+                         const JobResult &result)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject();
+    w.field("schema", "dde.store/1");
+    w.field("version", version);
+    w.field("key", key);
+    w.field("label", result.label);
+    w.field("ok", result.ok);
+    if (!result.ok)
+        w.field("error", result.error);
+    w.field("hasStats", result.hasStats);
+    if (result.hasStats)
+        writeStats(w, result.stats);
+    w.key("metrics");
+    w.beginArray();
+    for (const Metric &m : result.metrics) {
+        w.beginObject();
+        w.field("name", m.name);
+        const char *kind = m.kind == Metric::Kind::UInt ? "u"
+                           : m.kind == Metric::Kind::Real ? "r"
+                                                          : "t";
+        w.field("kind", kind);
+        w.field("value", metricValueText(m));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return os.str();
+}
+
+bool
+ResultStore::parseEntry(const std::string &text,
+                        const std::string &version,
+                        const std::string &key, JobResult &out)
+{
+    try {
+        json::Value doc = json::parse(text);
+        if (doc.at("schema").asString() != "dde.store/1")
+            return false;
+        if (doc.at("version").asString() != version)
+            return false;
+        if (doc.at("key").asString() != key)
+            return false;
+
+        JobResult r;
+        r.label = doc.at("label").asString();
+        r.ok = doc.at("ok").asBool();
+        if (!r.ok)
+            r.error = doc.at("error").asString();
+        r.hasStats = doc.at("hasStats").asBool();
+        if (r.hasStats)
+            r.stats = statsFromJson(doc.at("stats"), doc.find("profile"));
+        for (const json::Value &m : doc.at("metrics").items())
+            r.add(metricFromJson(m));
+        out = std::move(r);
+        return true;
+    } catch (const std::exception &) {
+        return false;
+    }
+}
+
+} // namespace dde::runner

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Persistent, content-addressed sweep result store.
+ *
+ * Every storable SweepRunner job carries a *store key*: a stable
+ * human-readable text naming everything its result depends on — the
+ * workload/program identity (runner::cacheKey), the full job
+ * configuration (runner/fingerprint.hh) and the job kind. The store
+ * maps hash(key) to a JSON entry file holding the job's result row
+ * (metrics, exact counters, error state) under a two-level fan-out
+ * tree:
+ *
+ *     <dir>/ab/abcdef0123456789.json
+ *
+ * Properties:
+ *  - writes are atomic: entries are staged to a temp file in the
+ *    same directory and renamed into place, so a concurrent reader
+ *    (another shard, a merge step) sees either nothing or a complete
+ *    entry, never a torn one;
+ *  - reads are paranoid: a missing file is a miss; a corrupt,
+ *    truncated, version-mismatched or key-mismatched (hash
+ *    collision) entry is *stale* — counted separately, treated as a
+ *    miss, and recomputed rather than trusted;
+ *  - a hit round-trips the result row exactly (shortest round-trip
+ *    doubles, decimal uint64 counters), so a report assembled from
+ *    hits is byte-identical to the report of the run that produced
+ *    them — the property the warm-rerun and sharded-merge CI gates
+ *    enforce;
+ *  - multi-process coordination is lock-file based: tryClaim()
+ *    atomically creates `<entry>.lock` (O_CREAT|O_EXCL), so
+ *    work-stealing processes racing over one grid each win a
+ *    disjoint set of jobs.
+ *
+ * The store is deliberately dumb — no manifest, no eviction, no
+ * daemon. `rm -rf <dir>` is a full invalidation; bumping
+ * kStoreCodeVersion (on any change to simulator semantics or the
+ * entry format) is a logical one.
+ */
+
+#ifndef DDE_RUNNER_STORE_HH
+#define DDE_RUNNER_STORE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "runner/runner.hh"
+
+namespace dde::runner
+{
+
+/**
+ * Code version baked into every entry. Bump whenever a change could
+ * alter any stored counter or the entry format itself; old entries
+ * then read as stale and re-simulate. (Config changes never need a
+ * bump — they are part of the key.)
+ */
+inline constexpr const char *kStoreCodeVersion = "dde.store/1+pr8";
+
+/** Store traffic counters (surfaced via --store-stats and stdout). */
+struct StoreStats
+{
+    std::uint64_t hits = 0;     ///< entry found and trusted
+    std::uint64_t misses = 0;   ///< no entry on disk
+    std::uint64_t stale = 0;    ///< entry unusable (corrupt/version)
+    std::uint64_t writes = 0;   ///< entries written
+    std::uint64_t claims = 0;   ///< work-steal claims won
+    std::uint64_t claimsLost = 0; ///< claims lost to another process
+
+    std::uint64_t lookups() const { return hits + misses + stale; }
+};
+
+/** Construction knobs. */
+struct StoreOptions
+{
+    /** Root directory; created on demand. */
+    std::string dir;
+    /** Entry version; empty means kStoreCodeVersion. Tests override
+     * this to exercise version-bump invalidation. */
+    std::string version;
+};
+
+class ResultStore
+{
+  public:
+    explicit ResultStore(StoreOptions opts);
+
+    const std::string &dir() const { return _dir; }
+    const std::string &version() const { return _version; }
+
+    /**
+     * Look up a key. Returns the stored result row on a trusted hit;
+     * std::nullopt on miss or stale (the caller recomputes either
+     * way). Never throws on bad entry contents.
+     */
+    std::optional<JobResult> load(const std::string &key);
+
+    /** Atomically persist a result row for a key (temp + rename).
+     * Throws FatalError when the store directory is unusable. */
+    void save(const std::string &key, const JobResult &result);
+
+    /**
+     * Try to claim a key for this process by atomically creating its
+     * lock file. True iff the claim was won. Claims are never
+     * released: a claimed-but-unfinished job (crashed process) stays
+     * claimed until the lock file is removed by hand or the store is
+     * cleared, and shows up as a merge-time miss.
+     */
+    bool tryClaim(const std::string &key);
+
+    /** Entry / lock file paths for a key (for tests and tooling). */
+    std::string entryPath(const std::string &key) const;
+    std::string claimPath(const std::string &key) const;
+
+    /** Snapshot of the traffic counters. */
+    StoreStats stats() const;
+
+    /** FNV-1a 64-bit content hash of a key. */
+    static std::uint64_t hashKey(std::string_view key);
+
+    /** Serialize / parse one entry document (exposed for tests).
+     * parseEntry returns false — never throws — when the text is not
+     * a trustworthy entry for (version, key). */
+    static std::string renderEntry(const std::string &version,
+                                   const std::string &key,
+                                   const JobResult &result);
+    static bool parseEntry(const std::string &text,
+                           const std::string &version,
+                           const std::string &key, JobResult &out);
+
+  private:
+    std::string _dir;
+    std::string _version;
+
+    mutable std::mutex _mutex;  ///< guards _stats only
+    StoreStats _stats;
+};
+
+} // namespace dde::runner
+
+#endif // DDE_RUNNER_STORE_HH

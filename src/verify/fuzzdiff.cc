@@ -2,9 +2,12 @@
 
 #include <stdexcept>
 
+#include <sstream>
+
 #include "common/json.hh"
 #include "common/logging.hh"
 #include "emu/emulator.hh"
+#include "runner/fingerprint.hh"
 
 namespace dde::verify
 {
@@ -155,6 +158,26 @@ minimize(std::uint64_t seed, const FuzzDiffConfigPoint &point,
 
 } // namespace
 
+namespace
+{
+
+/** Stable fingerprint of the fuzz generator's knobs: every field that
+ * changes which program a seed produces must appear here. */
+std::string
+fingerprint(const FuzzOptions &f)
+{
+    std::ostringstream os;
+    os << "scale=" << f.scale << ",data=" << f.dataWords
+       << ",trips=" << f.maxLoopTrips << ";w=" << f.wStraight << ","
+       << f.wLoop << "," << f.wBranch << "," << f.wCall << ","
+       << f.wDeadIdiom << "," << f.wAlu << "," << f.wMulDiv << ","
+       << f.wLoad << "," << f.wStore << "," << f.wOut
+       << ";idiom=" << f.loopIdiomChance;
+    return os.str();
+}
+
+} // namespace
+
 FuzzDiffResult
 runFuzzDiff(const FuzzDiffOptions &opts)
 {
@@ -167,6 +190,11 @@ runFuzzDiff(const FuzzDiffOptions &opts)
     runner::SweepRunner::Options ropts;
     ropts.threads = opts.threads;
     ropts.seed = opts.seedBase;
+    ropts.storeDir = opts.storeDir;
+    ropts.shards = opts.shards;
+    ropts.shardIndex = opts.shardIndex;
+    ropts.workSteal = opts.steal;
+    ropts.mergeOnly = opts.merge;
     runner::SweepRunner sweep(ropts);
 
     /** (seed, grid index) of each job, in submission order. */
@@ -175,7 +203,17 @@ runFuzzDiff(const FuzzDiffOptions &opts)
         std::uint64_t seed = runner::deriveSeed(opts.seedBase, s);
         for (std::size_t c = 0; c < grid.size(); ++c) {
             job_key.emplace_back(seed, c);
-            sweep.add(grid[c].name + ":s" + std::to_string(seed),
+            // The key covers everything runOne reads: the generated
+            // program (seed + generator knobs), the core config (the
+            // injected fault included, via skipVerifyPc) and the
+            // fast-forward mode.
+            std::string store_key =
+                "fuzzdiff|seed=" + std::to_string(seed) + "|fuzz{" +
+                fingerprint(fopts) + "}|cfg{" +
+                runner::fingerprint(grid[c].cfg) +
+                "}|ff=" + (grid[c].fastForward ? "1" : "0");
+            sweep.addKeyed(grid[c].name + ":s" + std::to_string(seed),
+                      std::move(store_key),
                       [seed, c, &grid, fopts](runner::JobContext &) {
                           return runOne(seed, grid[c], fopts);
                       });
@@ -185,9 +223,12 @@ runFuzzDiff(const FuzzDiffOptions &opts)
     result.report = sweep.run();
     result.seedsRun = opts.seeds;
     result.jobs = result.report.size();
+    result.storeStats = sweep.storeStats();
     for (const runner::JobResult &r : result.report.results) {
         if (!r.ok)
             ++result.divergences;
+        else if (r.skipped)
+            ++result.skipped;
     }
 
     // Minimize the first failures, deterministically (submission

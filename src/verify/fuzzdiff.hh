@@ -23,6 +23,7 @@
 
 #include "core/config.hh"
 #include "runner/runner.hh"
+#include "runner/store.hh"
 #include "verify/lockstep.hh"
 #include "verify/progfuzz.hh"
 
@@ -63,6 +64,16 @@ struct FuzzDiffOptions
      * expensive part; the first failure is what CI triages). */
     std::size_t maxShrink = 1;
     FuzzOptions fuzz;
+
+    /** Persistent result store / multi-process execution, with
+     * SweepOptions semantics: clean and diverged (seed, config)
+     * outcomes are both cached, shards partition the campaign, and
+     * merge assembles the full report from the store. */
+    std::string storeDir;
+    unsigned shards = 1;
+    unsigned shardIndex = 0;
+    bool steal = false;
+    bool merge = false;
 };
 
 /** One minimized failure. */
@@ -84,8 +95,13 @@ struct FuzzDiffResult
     std::uint64_t seedsRun = 0;
     std::size_t jobs = 0;
     std::size_t divergences = 0;
+    /** Jobs this process neither ran nor found in the store (other
+     * shards own them); nonzero only in partial runs. */
+    std::size_t skipped = 0;
     runner::SweepReport report;
     std::vector<FuzzDiffFailure> failures;
+    /** Store traffic (zeros when running storeless). */
+    runner::StoreStats storeStats;
 
     bool ok() const { return divergences == 0; }
 };

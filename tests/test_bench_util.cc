@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Shared bench command-line surface tests: the uniform sweep flags
+ * (store, sharding, stealing, merge) parse identically in every
+ * binary, invalid combinations exit with status 2 instead of running
+ * a half-configured sweep, bench-specific flags route through the
+ * extra-flag hook, and the DDE_SWEEP_STORE environment default obeys
+ * --no-store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hh"
+
+using namespace dde;
+
+namespace
+{
+
+/** Invoke the shared parser the way a bench main() does. */
+bench::BenchArgs
+parse(std::vector<std::string> words, bench::BenchArgs defaults = {},
+      const bench::ExtraFlagFn &extra = {})
+{
+    std::string prog = "bench_under_test";
+    std::vector<char *> argv{prog.data()};
+    for (std::string &w : words)
+        argv.push_back(w.data());
+    return bench::parseBenchArgs(static_cast<int>(argv.size()),
+                                 argv.data(), std::move(defaults),
+                                 extra);
+}
+
+class BenchUtilTest : public ::testing::Test
+{
+  protected:
+    // The store-dir environment default would leak into every parse.
+    void SetUp() override { ::unsetenv("DDE_SWEEP_STORE"); }
+    void TearDown() override { ::unsetenv("DDE_SWEEP_STORE"); }
+};
+
+} // namespace
+
+TEST_F(BenchUtilTest, DefaultsMatchTheSharedSurface)
+{
+    auto args = parse({});
+    EXPECT_EQ(args.scale, bench::kBenchScale);
+    EXPECT_EQ(args.threads, 0u);
+    EXPECT_TRUE(args.jsonPath.empty());
+    EXPECT_TRUE(args.storeDir.empty());
+    EXPECT_EQ(args.shards, 1u);
+    EXPECT_EQ(args.shardIndex, 0u);
+    EXPECT_FALSE(args.steal);
+    EXPECT_FALSE(args.merge);
+    EXPECT_FALSE(args.partialRun());
+
+    // A bench can ship different defaults (fuzz_diff's scale).
+    bench::BenchArgs small;
+    small.scale = 1;
+    EXPECT_EQ(parse({}, small).scale, 1u);
+    EXPECT_EQ(parse({"--scale", "3"}, small).scale, 3u);
+}
+
+TEST_F(BenchUtilTest, StoreAndShardFlagsParse)
+{
+    auto args = parse({"--json", "out.json", "--csv", "out.csv",
+                       "--threads", "3", "--scale", "2", "--profile",
+                       "--topn", "5", "--store-dir", "/tmp/s",
+                       "--store-stats", "stats.json", "--shards", "4",
+                       "--shard-index", "2"});
+    EXPECT_EQ(args.jsonPath, "out.json");
+    EXPECT_EQ(args.csvPath, "out.csv");
+    EXPECT_EQ(args.threads, 3u);
+    EXPECT_EQ(args.scale, 2u);
+    EXPECT_TRUE(args.profile);
+    EXPECT_EQ(args.topn, 5u);
+    EXPECT_EQ(args.storeDir, "/tmp/s");
+    EXPECT_EQ(args.storeStatsPath, "stats.json");
+    EXPECT_EQ(args.shards, 4u);
+    EXPECT_EQ(args.shardIndex, 2u);
+    EXPECT_TRUE(args.partialRun());
+
+    auto steal = parse({"--store-dir", "/tmp/s", "--steal"});
+    EXPECT_TRUE(steal.steal);
+    EXPECT_TRUE(steal.partialRun());
+
+    // Merge assembles the complete report: not a partial run, even
+    // combined with sharding flags.
+    auto merge = parse(
+        {"--store-dir", "/tmp/s", "--shards", "2", "--merge"});
+    EXPECT_TRUE(merge.merge);
+    EXPECT_FALSE(merge.partialRun());
+}
+
+TEST_F(BenchUtilTest, EnvironmentStoreDefaultObeysOverrides)
+{
+    ::setenv("DDE_SWEEP_STORE", "/tmp/env-store", 1);
+    EXPECT_EQ(parse({}).storeDir, "/tmp/env-store");
+    // An explicit --store-dir wins over the environment.
+    EXPECT_EQ(parse({"--store-dir", "/tmp/cli"}).storeDir, "/tmp/cli");
+    // --no-store runs storeless regardless of the environment.
+    EXPECT_TRUE(parse({"--no-store"}).storeDir.empty());
+    // With the environment default, --steal needs no explicit dir.
+    EXPECT_TRUE(parse({"--steal"}).steal);
+}
+
+TEST_F(BenchUtilTest, ExtraFlagHookConsumesBenchSpecificFlags)
+{
+    std::string out;
+    bool toggled = false;
+    auto extra = [&](const std::string &arg,
+                     const bench::NextValueFn &next) {
+        if (arg == "--out") {
+            out = next();
+            return true;
+        }
+        if (arg == "--toggle") {
+            toggled = true;
+            return true;
+        }
+        return false;
+    };
+    auto args =
+        parse({"--out", "file.json", "--toggle", "--scale", "4"}, {},
+              extra);
+    EXPECT_EQ(out, "file.json");
+    EXPECT_TRUE(toggled);
+    EXPECT_EQ(args.scale, 4u);
+}
+
+TEST_F(BenchUtilTest, BadInvocationsExitWithStatusTwo)
+{
+    EXPECT_EXIT(parse({"--frobnicate"}),
+                ::testing::ExitedWithCode(2), "unknown argument");
+    EXPECT_EXIT(parse({"--json"}), ::testing::ExitedWithCode(2),
+                "missing value");
+    EXPECT_EXIT(parse({"--threads", "zero"}),
+                ::testing::ExitedWithCode(2), "bad value");
+    EXPECT_EXIT(parse({"--scale", "0"}),
+                ::testing::ExitedWithCode(2), "bad value");
+    // The shard index must address one of the shards.
+    EXPECT_EXIT(parse({"--shards", "2", "--shard-index", "2"}),
+                ::testing::ExitedWithCode(2), "out of range");
+    // Stealing and merging are store operations.
+    EXPECT_EXIT(parse({"--steal"}), ::testing::ExitedWithCode(2),
+                "requires --store-dir");
+    EXPECT_EXIT(parse({"--merge"}), ::testing::ExitedWithCode(2),
+                "requires --store-dir");
+    // The extra hook cannot swallow the shared flags' errors.
+    auto extra = [](const std::string &, const bench::NextValueFn &) {
+        return false;
+    };
+    EXPECT_EXIT(parse({"--nope"}, {}, extra),
+                ::testing::ExitedWithCode(2), "unknown argument");
+}
+
+TEST_F(BenchUtilTest, HelpExitsCleanly)
+{
+    // (The usage text goes to stdout, which death tests don't
+    // capture; the exit status is the contract.)
+    EXPECT_EXIT(parse({"--help"}), ::testing::ExitedWithCode(0), "");
+}

@@ -278,7 +278,8 @@ TEST(BlockCache, CoreGenerationBumpMidRunStaysCorrect)
     // self-modifying-code-shaped hazard the generation scheme guards.
     runner::ArtifactCache artifacts;
     runner::ProgramKey key("compress", 1);
-    const prog::Program &program = artifacts.program(key);
+    auto compiled = artifacts.compiled(key);
+    const prog::Program &program = compiled->program;
     auto ref = artifacts.reference(key);
 
     core::CoreConfig cfg = core::CoreConfig::contended();
@@ -333,7 +334,8 @@ expectCacheInvisible(runner::ArtifactCache &artifacts,
                      core::CoreConfig cfg)
 {
     runner::ProgramKey key(workload, 1);
-    const prog::Program &program = artifacts.program(key);
+    auto compiled = artifacts.compiled(key);
+    const prog::Program &program = compiled->program;
 
     cfg.fastpath.blockCache = true;
     auto on = sim::runOnCore(program, cfg);

@@ -334,6 +334,50 @@ TEST(Json, WriterProducesValidNestedDocument)
               std::count(doc.begin(), doc.end(), ']'));
 }
 
+TEST(Json, ParserRoundTripsWriterOutputExactly)
+{
+    // The sweep store rests on write -> parse -> write being
+    // byte-identical; numbers keep their raw source text.
+    json::Value doc = json::parse(
+        "{\"u\": 18446744073709551615, \"d\": 0.1, \"neg\": -3,\n"
+        " \"s\": \"a\\\"b\\\\c\\nd\", \"t\": true, \"f\": false,\n"
+        " \"n\": null, \"arr\": [1, 2.5, \"x\"], \"obj\": {\"k\": 7}}");
+    EXPECT_EQ(doc.at("u").asUint(), 18446744073709551615ULL);
+    EXPECT_EQ(doc.at("u").rawNumber(), "18446744073709551615");
+    EXPECT_EQ(doc.at("d").asDouble(), 0.1);
+    EXPECT_EQ(doc.at("d").rawNumber(), "0.1");
+    EXPECT_EQ(doc.at("neg").asInt(), -3);
+    EXPECT_EQ(doc.at("s").asString(), "a\"b\\c\nd");
+    EXPECT_TRUE(doc.at("t").asBool());
+    EXPECT_FALSE(doc.at("f").asBool());
+    EXPECT_TRUE(doc.at("n").isNull());
+    ASSERT_TRUE(doc.at("arr").isArray());
+    ASSERT_EQ(doc.at("arr").items().size(), 3u);
+    EXPECT_EQ(doc.at("arr").items()[1].asDouble(), 2.5);
+    EXPECT_EQ(doc.at("obj").at("k").asUint(), 7u);
+    EXPECT_EQ(doc.find("absent"), nullptr);
+    // Members keep document order for deterministic re-emission.
+    EXPECT_EQ(doc.members().front().first, "u");
+}
+
+TEST(Json, ParserRejectsMalformedDocuments)
+{
+    EXPECT_THROW(json::parse(""), FatalError);
+    EXPECT_THROW(json::parse("{"), FatalError);
+    EXPECT_THROW(json::parse("{\"a\": }"), FatalError);
+    EXPECT_THROW(json::parse("[1, 2"), FatalError);
+    EXPECT_THROW(json::parse("\"unterminated"), FatalError);
+    EXPECT_THROW(json::parse("truish"), FatalError);
+    EXPECT_THROW(json::parse("{} trailing"), FatalError);
+    EXPECT_THROW(json::parse("{\"a\": 1,}"), FatalError);
+    // Type mismatches on accessors are fatal, not silent zeros.
+    json::Value v = json::parse("{\"s\": \"text\"}");
+    EXPECT_THROW(v.at("s").asUint(), FatalError);
+    EXPECT_THROW(v.at("s").asBool(), FatalError);
+    EXPECT_THROW(v.at("missing"), FatalError);
+    EXPECT_THROW(v.items(), FatalError);
+}
+
 TEST(Json, CsvQuotesOnlyWhenNeeded)
 {
     EXPECT_EQ(json::csvField("plain"), "plain");

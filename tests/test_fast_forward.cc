@@ -35,10 +35,10 @@ using namespace dde;
 namespace
 {
 
-const prog::Program &
+std::shared_ptr<const runner::CompiledProgram>
 compressProgram(runner::ArtifactCache &artifacts)
 {
-    return artifacts.program(runner::ProgramKey("compress", 1));
+    return artifacts.compiled(runner::ProgramKey("compress", 1));
 }
 
 } // namespace
@@ -46,7 +46,8 @@ compressProgram(runner::ArtifactCache &artifacts)
 TEST(EmulatorCheckpoint, RestoreRoundTripsExactly)
 {
     runner::ArtifactCache artifacts;
-    const prog::Program &program = compressProgram(artifacts);
+    auto compiled = compressProgram(artifacts);
+    const prog::Program &program = compiled->program;
 
     emu::Emulator a(program);
     a.fastForward(5000);
@@ -72,7 +73,8 @@ TEST(EmulatorCheckpoint, RestoreRoundTripsExactly)
 TEST(EmulatorCheckpoint, FastForwardZeroIsANoop)
 {
     runner::ArtifactCache artifacts;
-    const prog::Program &program = compressProgram(artifacts);
+    auto compiled = compressProgram(artifacts);
+    const prog::Program &program = compiled->program;
     emu::Emulator e(program);
     EXPECT_EQ(e.fastForward(0), 0u);
     EXPECT_EQ(e.instCount(), 0u);
@@ -82,7 +84,8 @@ TEST(EmulatorCheckpoint, FastForwardZeroIsANoop)
 TEST(EmulatorCheckpoint, FastForwardNeverConsumesHalt)
 {
     runner::ArtifactCache artifacts;
-    const prog::Program &program = compressProgram(artifacts);
+    auto compiled = compressProgram(artifacts);
+    const prog::Program &program = compiled->program;
     auto ref = emu::runProgram(program);
 
     emu::Emulator e(program);
@@ -102,7 +105,8 @@ TEST(EmulatorCheckpoint, ResumedTraceEqualsColdSuffix)
     // cold trace's suffix record for record, not merely end in the
     // same final state.
     runner::ArtifactCache artifacts;
-    const prog::Program &program = compressProgram(artifacts);
+    auto compiled = compressProgram(artifacts);
+    const prog::Program &program = compiled->program;
     auto ref = emu::runProgram(program);
 
     emu::Emulator ff(program);
@@ -173,7 +177,8 @@ TEST(FastForward, DepthSweepKeepsObservableContract)
 {
     runner::ArtifactCache artifacts;
     runner::ProgramKey key("compress", 1);
-    const prog::Program &program = artifacts.program(key);
+    auto compiled = artifacts.compiled(key);
+    const prog::Program &program = compiled->program;
     auto ref = artifacts.reference(key);
 
     core::CoreConfig cfg = core::CoreConfig::contended();
@@ -190,7 +195,8 @@ TEST(FastForward, DepthSweepKeepsObservableContract)
 TEST(FastForward, ZeroDepthIsByteIdenticalToColdRun)
 {
     runner::ArtifactCache artifacts;
-    const prog::Program &program = compressProgram(artifacts);
+    auto compiled = compressProgram(artifacts);
+    const prog::Program &program = compiled->program;
     core::CoreConfig cfg = core::CoreConfig::contended();
     cfg.elim.enable = true;
 
@@ -215,7 +221,8 @@ TEST(FastForward, BothRecoveryModesAcrossWorkloads)
     runner::ArtifactCache artifacts;
     for (const char *w : {"hashmix", "sortq", "fsm"}) {
         runner::ProgramKey key(w, 1);
-        const prog::Program &program = artifacts.program(key);
+        auto compiled = artifacts.compiled(key);
+        const prog::Program &program = compiled->program;
         auto ref = artifacts.reference(key);
         for (auto mode : {core::RecoveryMode::UebRepair,
                           core::RecoveryMode::SquashProducer}) {
@@ -236,7 +243,8 @@ TEST(FastForward, CosimRidesTheResumedCore)
     // reference emulator. A clean run is the assertion.
     runner::ArtifactCache artifacts;
     runner::ProgramKey key("compress", 1);
-    const prog::Program &program = artifacts.program(key);
+    auto compiled = artifacts.compiled(key);
+    const prog::Program &program = compiled->program;
     auto ref = artifacts.reference(key);
 
     core::CoreConfig cfg = core::CoreConfig::contended();
@@ -258,7 +266,8 @@ TEST(FastForward, OracleLabelsRederivedFromSuffix)
     // labels with UEB recovery still never squash.
     runner::ArtifactCache artifacts;
     runner::ProgramKey key("parse", 1);
-    const prog::Program &program = artifacts.program(key);
+    auto compiled = artifacts.compiled(key);
+    const prog::Program &program = compiled->program;
     auto ref = artifacts.reference(key);
 
     core::CoreConfig cfg = core::CoreConfig::contended();
@@ -277,7 +286,8 @@ TEST(FastForward, OracleLabelsRederivedFromSuffix)
 TEST(FastForwardLockstep, OracleChecksDetailedSuffix)
 {
     runner::ArtifactCache artifacts;
-    const prog::Program &program = compressProgram(artifacts);
+    auto compiled = compressProgram(artifacts);
+    const prog::Program &program = compiled->program;
 
     for (auto mode : {core::RecoveryMode::UebRepair,
                       core::RecoveryMode::SquashProducer}) {

@@ -34,7 +34,7 @@ goldenRun(const std::string &workload, bool elim)
     runner::ProgramKey key(workload, 1);
     core::CoreConfig cfg = core::CoreConfig::contended();
     cfg.elim.enable = elim;
-    return sim::runOnCore(cache.program(key), cfg);
+    return sim::runOnCore(cache.compiled(key)->program, cfg);
 }
 
 sim::SimResult
@@ -45,7 +45,7 @@ goldenSquashRun(const std::string &workload)
     core::CoreConfig cfg = core::CoreConfig::contended();
     cfg.elim.enable = true;
     cfg.elim.recovery = core::RecoveryMode::SquashProducer;
-    return sim::runOnCore(cache.program(key), cfg);
+    return sim::runOnCore(cache.compiled(key)->program, cfg);
 }
 
 } // namespace
@@ -157,7 +157,7 @@ TEST(GoldenStats, HashmixEliminationKeepsObservableContract)
     runner::ProgramKey key("hashmix", 1);
     core::CoreConfig cfg = core::CoreConfig::contended();
     cfg.elim.enable = true;
-    auto result = sim::runOnCore(cache.program(key), cfg);
+    auto result = sim::runOnCore(cache.compiled(key)->program, cfg);
     auto ref = cache.reference(key);
     EXPECT_TRUE(sim::observablyEqual(result, *ref));
 }
@@ -168,7 +168,7 @@ TEST(GoldenStats, EliminationRunKeepsObservableContract)
     runner::ProgramKey key("compress", 1);
     core::CoreConfig cfg = core::CoreConfig::contended();
     cfg.elim.enable = true;
-    auto result = sim::runOnCore(cache.program(key), cfg);
+    auto result = sim::runOnCore(cache.compiled(key)->program, cfg);
     auto ref = cache.reference(key);
     EXPECT_TRUE(sim::observablyEqual(result, *ref));
 }

@@ -110,7 +110,8 @@ expectSteadyStatePool(RecoveryMode recovery)
     cfg.elim.enable = true;
     cfg.elim.recovery = recovery;
 
-    Core core(cache.program(key), cfg);
+    auto compiled = cache.compiled(key);
+    Core core(compiled->program, cfg);
 
     // Warmup: long enough to see squash storms in both recovery
     // modes (hundreds of branch mispredicts land well before this).

@@ -276,9 +276,26 @@ TEST(Runner, CacheBuildsEachArtifactOncePerSweep)
     // A different compiler configuration is a different artifact.
     auto off = key;
     off.copts.hoist.enabled = false;
-    (void)sweep.cache().program(off);
+    (void)sweep.cache().compiled(off);
     EXPECT_EQ(sweep.cache().compileCount(), 2u);
     EXPECT_NE(runner::cacheKey(key), runner::cacheKey(off));
+}
+
+TEST(Runner, CompiledProgramOutlivesTheCache)
+{
+    // compiled() returns the keep-alive handle; a program must stay
+    // valid after the cache (and its internal slots) are destroyed —
+    // the lifetime footgun the old reference-returning accessor hid.
+    std::shared_ptr<const runner::CompiledProgram> handle;
+    {
+        runner::ArtifactCache cache;
+        handle = cache.compiled(runner::ProgramKey("fsm", 1));
+    }
+    ASSERT_TRUE(handle);
+    EXPECT_GT(handle->program.numInsts(), 0u);
+    auto direct =
+        sim::runOnCore(handle->program, core::CoreConfig::tiny());
+    EXPECT_TRUE(direct.stats.halted);
 }
 
 TEST(Runner, CoreRunMatchesDirectSimulation)
@@ -293,7 +310,8 @@ TEST(Runner, CoreRunMatchesDirectSimulation)
     ASSERT_TRUE(report.allOk());
     ASSERT_TRUE(report[0].hasStats);
 
-    auto direct = sim::runOnCore(sweep.cache().program(key), cfg);
+    auto direct =
+        sim::runOnCore(sweep.cache().compiled(key)->program, cfg);
     EXPECT_EQ(report[0].stats.cycles, direct.stats.cycles);
     EXPECT_EQ(report[0].stats.committed, direct.stats.committed);
     EXPECT_EQ(report[0].stats.committedEliminated,
@@ -315,7 +333,8 @@ TEST(Runner, OracleRunsUseCachedLabelsIdentically)
 
     // runOnCore without injected labels re-derives them itself; the
     // cached-label path must be bit-identical.
-    auto direct = sim::runOnCore(sweep.cache().program(key), cfg);
+    auto direct =
+        sim::runOnCore(sweep.cache().compiled(key)->program, cfg);
     EXPECT_EQ(report[0].stats.cycles, direct.stats.cycles);
     EXPECT_EQ(report[0].stats.committedEliminated,
               direct.stats.committedEliminated);

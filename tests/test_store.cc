@@ -1,0 +1,654 @@
+/**
+ * @file
+ * Persistent sweep-store tests: exact entry round-trips (metrics of
+ * every kind, full RunStats, profile blocks, error state), paranoid
+ * read semantics (miss / stale / hit), version-bump invalidation,
+ * lock-file claims, fingerprint field coverage, and the runner-level
+ * persistence contract — warm reruns hit everything without
+ * executing, sharded + merged reports are byte-identical to serial
+ * runs, and merge mode fails (not simulates) on a miss.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "core/config.hh"
+#include "runner/fingerprint.hh"
+#include "runner/runner.hh"
+#include "runner/store.hh"
+
+using namespace dde;
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Fresh empty store directory under the test temp root. */
+std::string
+freshDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / ("dde_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+runner::ResultStore
+makeStore(const std::string &dir, std::string version = {})
+{
+    runner::StoreOptions opts;
+    opts.dir = dir;
+    opts.version = std::move(version);
+    return runner::ResultStore(opts);
+}
+
+/** A result row exercising every serialized shape: ok state, core
+ * stats, a profile block with per-PC entries, and all three metric
+ * kinds (including a non-finite Real). */
+runner::JobResult
+richResult()
+{
+    runner::JobResult r;
+    r.label = "rich";
+    r.ok = true;
+    r.hasStats = true;
+    r.stats.name = "fsm";
+    r.stats.cycles = 123456;
+    r.stats.committed = 9876;
+    r.stats.ipc = 9876.0 / 123456.0;
+    r.stats.halted = true;
+    r.stats.committedEliminated = 321;
+    r.stats.predictedDead = 400;
+    r.stats.deadMispredicts = 7;
+    r.stats.rfWrites = 5555;
+    r.stats.profile.valid = true;
+    r.stats.profile.commitWidth = 4;
+    r.stats.profile.slotsUsefulCommit = 1000;
+    r.stats.profile.slotsDeadEliminated = 50;
+    r.stats.profile.robP50 = 12.5;
+    r.stats.profile.robP99 = 31.25;
+    predictor::PcProfile pc;
+    pc.pc = 0x140;
+    pc.predicted = 17;
+    pc.eliminated = 12;
+    pc.mispredicts = 1;
+    r.stats.profile.topPcs.push_back(pc);
+    r.add({"count", std::uint64_t{18446744073709551615ULL}});
+    r.add({"ratio", 0.1});
+    r.add({"undefined", std::nan("")});
+    r.add({"note", std::string("text \"quoted\"\nline")});
+    return r;
+}
+
+} // namespace
+
+TEST(StoreEntry, RoundTripIsExactAndByteStable)
+{
+    runner::JobResult in = richResult();
+    std::string text =
+        runner::ResultStore::renderEntry("v1", "some|key", in);
+
+    runner::JobResult out;
+    ASSERT_TRUE(
+        runner::ResultStore::parseEntry(text, "v1", "some|key", out));
+
+    EXPECT_EQ(out.label, in.label);
+    EXPECT_TRUE(out.ok);
+    EXPECT_TRUE(out.hasStats);
+    EXPECT_EQ(out.stats.cycles, in.stats.cycles);
+    EXPECT_EQ(out.stats.committed, in.stats.committed);
+    EXPECT_EQ(out.stats.ipc, in.stats.ipc);
+    EXPECT_TRUE(out.stats.halted);
+    EXPECT_EQ(out.stats.rfWrites, in.stats.rfWrites);
+    ASSERT_TRUE(out.stats.profile.valid);
+    EXPECT_EQ(out.stats.profile.slotsUsefulCommit, 1000u);
+    EXPECT_EQ(out.stats.profile.robP99, 31.25);
+    ASSERT_EQ(out.stats.profile.topPcs.size(), 1u);
+    EXPECT_EQ(out.stats.profile.topPcs[0].pc, Addr{0x140});
+    ASSERT_EQ(out.metrics.size(), in.metrics.size());
+    // uint64 counters survive exactly (doubles could not hold this).
+    EXPECT_EQ(out.uint("count"), 18446744073709551615ULL);
+    EXPECT_EQ(out.real("ratio"), 0.1);
+    EXPECT_TRUE(std::isnan(out.metric("undefined").asReal()));
+    EXPECT_EQ(out.metric("note").s, "text \"quoted\"\nline");
+    for (std::size_t i = 0; i < in.metrics.size(); ++i)
+        EXPECT_EQ(out.metrics[i].kind, in.metrics[i].kind);
+
+    // Parse → render reproduces the entry byte-for-byte: the property
+    // the merged-report == serial-report guarantee rests on.
+    EXPECT_EQ(runner::ResultStore::renderEntry("v1", "some|key", out),
+              text);
+}
+
+TEST(StoreEntry, FailedResultKeepsErrorState)
+{
+    runner::JobResult in;
+    in.label = "bad";
+    in.ok = false;
+    in.error = "cycle limit (100) exhausted";
+    std::string text = runner::ResultStore::renderEntry("v", "k", in);
+
+    runner::JobResult out;
+    ASSERT_TRUE(runner::ResultStore::parseEntry(text, "v", "k", out));
+    EXPECT_FALSE(out.ok);
+    EXPECT_EQ(out.error, "cycle limit (100) exhausted");
+    EXPECT_FALSE(out.hasStats);
+}
+
+TEST(StoreEntry, ParseRejectsWrongVersionKeyOrGarbage)
+{
+    std::string text =
+        runner::ResultStore::renderEntry("v1", "key", richResult());
+    runner::JobResult out;
+    EXPECT_TRUE(runner::ResultStore::parseEntry(text, "v1", "key", out));
+    // Version bump invalidates.
+    EXPECT_FALSE(
+        runner::ResultStore::parseEntry(text, "v2", "key", out));
+    // Key mismatch (a hash collision on disk) is untrustworthy.
+    EXPECT_FALSE(
+        runner::ResultStore::parseEntry(text, "v1", "other", out));
+    // Corruption never throws, only rejects.
+    EXPECT_FALSE(runner::ResultStore::parseEntry("", "v1", "key", out));
+    EXPECT_FALSE(
+        runner::ResultStore::parseEntry("not json{", "v1", "key", out));
+    EXPECT_FALSE(runner::ResultStore::parseEntry(
+        text.substr(0, text.size() / 2), "v1", "key", out));
+}
+
+TEST(Store, MissSaveHitWithCounters)
+{
+    auto store = makeStore(freshDir("miss_save_hit"));
+    EXPECT_FALSE(store.load("job"));
+    store.save("job", richResult());
+    auto back = store.load("job");
+    ASSERT_TRUE(back);
+    EXPECT_EQ(back->label, "rich");
+    EXPECT_EQ(back->uint("count"), 18446744073709551615ULL);
+
+    runner::StoreStats s = store.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.writes, 1u);
+    EXPECT_EQ(s.hits, 1u);
+    EXPECT_EQ(s.stale, 0u);
+    EXPECT_EQ(s.lookups(), 2u);
+}
+
+TEST(Store, CorruptEntryReadsAsStaleAndIsRecomputable)
+{
+    auto store = makeStore(freshDir("corrupt"));
+    store.save("job", richResult());
+
+    // Truncate the entry on disk, as a crashed writer without the
+    // atomic rename would have left it.
+    std::string path = store.entryPath("job");
+    {
+        std::ofstream os(path, std::ios::trunc);
+        os << "{\"schema\": \"dde.store/1\", \"version";
+    }
+    EXPECT_FALSE(store.load("job"));
+    EXPECT_EQ(store.stats().stale, 1u);
+
+    // Recomputing overwrites the bad entry; the store heals.
+    store.save("job", richResult());
+    ASSERT_TRUE(store.load("job"));
+}
+
+TEST(Store, VersionBumpInvalidatesOldEntries)
+{
+    std::string dir = freshDir("version");
+    {
+        auto v1 = makeStore(dir, "code-v1");
+        v1.save("job", richResult());
+        ASSERT_TRUE(v1.load("job"));
+    }
+    auto v2 = makeStore(dir, "code-v2");
+    EXPECT_FALSE(v2.load("job"));
+    EXPECT_EQ(v2.stats().stale, 1u);
+    v2.save("job", richResult());
+    EXPECT_TRUE(v2.load("job"));
+}
+
+TEST(Store, ClaimIsWonExactlyOnce)
+{
+    std::string dir = freshDir("claim");
+    auto a = makeStore(dir);
+    auto b = makeStore(dir);  // a second "process" on the same store
+    EXPECT_TRUE(a.tryClaim("job"));
+    EXPECT_FALSE(a.tryClaim("job"));
+    EXPECT_FALSE(b.tryClaim("job"));
+    EXPECT_TRUE(b.tryClaim("other"));
+    EXPECT_EQ(a.stats().claims, 1u);
+    EXPECT_EQ(a.stats().claimsLost, 1u);
+    EXPECT_EQ(b.stats().claims, 1u);
+    EXPECT_EQ(b.stats().claimsLost, 1u);
+    EXPECT_TRUE(fs::exists(a.claimPath("job")));
+}
+
+TEST(Store, EntryPathsFanOutByKeyHash)
+{
+    auto store = makeStore(freshDir("paths"));
+    std::string p = store.entryPath("key");
+    EXPECT_EQ(p.rfind(store.dir() + "/", 0), 0u);
+    EXPECT_NE(p.find(".json"), std::string::npos);
+    EXPECT_NE(store.entryPath("key"), store.entryPath("key2"));
+    EXPECT_EQ(store.claimPath("key"), p + ".lock");
+    EXPECT_NE(runner::ResultStore::hashKey("key"),
+              runner::ResultStore::hashKey("key2"));
+}
+
+// ---------------------------------------------------------------------
+// Fingerprint field coverage: every semantic field of every keyed
+// config struct must move the fingerprint, else two different
+// experiments could share one store entry.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Assert that each single-field mutation produces a fingerprint
+ * distinct from the base and from every other mutation so far. */
+template <typename Cfg, typename Fn>
+class Poker
+{
+  public:
+    explicit Poker(Cfg base) : _base(std::move(base))
+    {
+        _seen.insert(runner::fingerprint(_base));
+    }
+
+    void
+    operator()(Fn mutate)
+    {
+        Cfg c = _base;
+        mutate(c);
+        EXPECT_TRUE(_seen.insert(runner::fingerprint(c)).second)
+            << "fingerprint did not move (mutation #" << _seen.size()
+            << ")";
+    }
+
+  private:
+    Cfg _base;
+    std::set<std::string> _seen;
+};
+
+} // namespace
+
+TEST(Fingerprint, ElimConfigCoversItsFields)
+{
+    using Fn = void (*)(core::ElimConfig &);
+    Poker<core::ElimConfig, Fn> poke(core::ElimConfig{});
+    poke([](core::ElimConfig &c) { c.enable = !c.enable; });
+    poke([](core::ElimConfig &c) {
+        c.eliminateLoads = !c.eliminateLoads;
+    });
+    poke([](core::ElimConfig &c) {
+        c.eliminateStores = !c.eliminateStores;
+    });
+    poke([](core::ElimConfig &c) {
+        c.oraclePredictor = !c.oraclePredictor;
+    });
+    poke([](core::ElimConfig &c) {
+        c.recovery = c.recovery == core::RecoveryMode::UebRepair
+                         ? core::RecoveryMode::SquashProducer
+                         : core::RecoveryMode::UebRepair;
+    });
+    poke([](core::ElimConfig &c) { c.uebStoreEntries += 1; });
+    poke([](core::ElimConfig &c) {
+        c.fullFlushRecovery = !c.fullFlushRecovery;
+    });
+    poke([](core::ElimConfig &c) { c.verifyGrace += 1; });
+    poke([](core::ElimConfig &c) { c.repairLimit += 1; });
+    poke([](core::ElimConfig &c) { c.debugSkipVerifyPc += 1; });
+    poke([](core::ElimConfig &c) { c.predictor.entries *= 2; });
+    poke([](core::ElimConfig &c) { c.predictor.tagBits += 1; });
+    poke([](core::ElimConfig &c) { c.predictor.counterBits += 1; });
+    poke([](core::ElimConfig &c) { c.predictor.threshold += 1; });
+    poke([](core::ElimConfig &c) { c.predictor.futureDepth += 1; });
+    poke([](core::ElimConfig &c) {
+        c.predictor.clearOnLive = !c.predictor.clearOnLive;
+    });
+    poke([](core::ElimConfig &c) { c.zoo.tage.numTables += 1; });
+    poke([](core::ElimConfig &c) { c.zoo.perceptron.entries *= 2; });
+    poke([](core::ElimConfig &c) { c.zoo.hybrid.localEntries *= 2; });
+    poke([](core::ElimConfig &c) { c.detector.memEntries *= 2; });
+}
+
+TEST(Fingerprint, CoreConfigCoversItsFields)
+{
+    using Fn = void (*)(core::CoreConfig &);
+    Poker<core::CoreConfig, Fn> poke(core::CoreConfig::tiny());
+    poke([](core::CoreConfig &c) { c.fetchWidth += 1; });
+    poke([](core::CoreConfig &c) { c.renameWidth += 1; });
+    poke([](core::CoreConfig &c) { c.issueWidth += 1; });
+    poke([](core::CoreConfig &c) { c.commitWidth += 1; });
+    poke([](core::CoreConfig &c) { c.fetchQueueSize += 1; });
+    poke([](core::CoreConfig &c) { c.robSize += 1; });
+    poke([](core::CoreConfig &c) { c.iqSize += 1; });
+    poke([](core::CoreConfig &c) { c.loadQueueSize += 1; });
+    poke([](core::CoreConfig &c) { c.storeQueueSize += 1; });
+    poke([](core::CoreConfig &c) { c.numPhysRegs += 1; });
+    poke([](core::CoreConfig &c) { c.numAlus += 1; });
+    poke([](core::CoreConfig &c) { c.numMults += 1; });
+    poke([](core::CoreConfig &c) { c.numDivs += 1; });
+    poke([](core::CoreConfig &c) { c.numMemPorts += 1; });
+    poke([](core::CoreConfig &c) { c.aluLatency += 1; });
+    poke([](core::CoreConfig &c) { c.multLatency += 1; });
+    poke([](core::CoreConfig &c) { c.divLatency += 1; });
+    poke([](core::CoreConfig &c) { c.branchLatency += 1; });
+    poke([](core::CoreConfig &c) { c.frontendDelay += 1; });
+    poke([](core::CoreConfig &c) { c.frontend.gshareEntries *= 2; });
+    poke([](core::CoreConfig &c) { c.frontend.btbEntries *= 2; });
+    poke([](core::CoreConfig &c) { c.memory.l1d.sizeBytes *= 2; });
+    poke([](core::CoreConfig &c) { c.memory.l1d.assoc *= 2; });
+    poke([](core::CoreConfig &c) { c.memory.l2.hitLatency += 1; });
+    poke([](core::CoreConfig &c) { c.memory.memLatency += 1; });
+    poke([](core::CoreConfig &c) { c.elim.enable = !c.elim.enable; });
+    poke([](core::CoreConfig &c) {
+        c.profile.enable = !c.profile.enable;
+    });
+    poke([](core::CoreConfig &c) { c.profile.topN += 1; });
+    poke([](core::CoreConfig &c) {
+        c.fastpath.blockCache = !c.fastpath.blockCache;
+    });
+    poke([](core::CoreConfig &c) { c.fastpath.blockCacheBlocks *= 2; });
+    poke([](core::CoreConfig &c) { c.fastpath.maxBlockInsts += 1; });
+}
+
+TEST(Fingerprint, RunOptionsAndTraceEvalCoverTheirFields)
+{
+    using RFn = void (*)(sim::RunOptions &);
+    Poker<sim::RunOptions, RFn> run(sim::RunOptions{});
+    run([](sim::RunOptions &o) { o.cosim = !o.cosim; });
+    run([](sim::RunOptions &o) { o.maxCycles += 1; });
+    run([](sim::RunOptions &o) { o.fastForwardInsts += 1; });
+
+    using TFn = void (*)(predictor::TraceEvalConfig &);
+    Poker<predictor::TraceEvalConfig, TFn> te(
+        predictor::TraceEvalConfig{});
+    te([](predictor::TraceEvalConfig &c) { c.predictor.entries *= 2; });
+    te([](predictor::TraceEvalConfig &c) { c.zoo.tage.tagBits += 1; });
+    te([](predictor::TraceEvalConfig &c) {
+        c.detector.memEntries *= 2;
+    });
+    te([](predictor::TraceEvalConfig &c) {
+        c.frontend.gshareEntries *= 2;
+    });
+    te([](predictor::TraceEvalConfig &c) {
+        c.oracleFuture = !c.oracleFuture;
+    });
+    te([](predictor::TraceEvalConfig &c) {
+        c.lastOutcomeBaseline = !c.lastOutcomeBaseline;
+    });
+}
+
+// ---------------------------------------------------------------------
+// Runner-level persistence semantics.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+runner::SweepRunner
+makeStoredRunner(const std::string &dir, unsigned shards = 1,
+                 unsigned shard_index = 0, bool steal = false,
+                 bool merge = false)
+{
+    runner::SweepRunner::Options opts;
+    opts.threads = 2;
+    opts.storeDir = dir;
+    opts.shards = shards;
+    opts.shardIndex = shard_index;
+    opts.workSteal = steal;
+    opts.mergeOnly = merge;
+    return runner::SweepRunner(opts);
+}
+
+/** Queue kJobs cheap keyed jobs; `executed` counts actual runs. */
+constexpr std::size_t kJobs = 6;
+
+void
+buildKeyedSweep(runner::SweepRunner &sweep,
+                std::atomic<std::size_t> *executed = nullptr)
+{
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        sweep.addKeyed(
+            "job" + std::to_string(i),
+            "test.keyed|i=" + std::to_string(i),
+            [i, executed](runner::JobContext &) {
+                if (executed)
+                    executed->fetch_add(1);
+                runner::JobResult r;
+                r.add({"square", std::uint64_t(i * i)});
+                r.add({"half", double(i) / 2.0});
+                return r;
+            });
+    }
+}
+
+} // namespace
+
+TEST(StoreRunner, WarmRerunHitsEverythingWithoutExecuting)
+{
+    std::string dir = freshDir("warm");
+
+    auto cold = makeStoredRunner(dir);
+    buildKeyedSweep(cold);
+    auto a = cold.run();
+    ASSERT_TRUE(a.allOk());
+    EXPECT_EQ(cold.storeStats().misses, kJobs);
+    EXPECT_EQ(cold.storeStats().writes, kJobs);
+
+    std::atomic<std::size_t> executed{0};
+    auto warm = makeStoredRunner(dir);
+    buildKeyedSweep(warm, &executed);
+    auto b = warm.run();
+    ASSERT_TRUE(b.allOk());
+
+    // Cross-process reuse: every slot re-hydrates from disk.
+    EXPECT_EQ(executed.load(), 0u);
+    EXPECT_EQ(warm.storeStats().hits, kJobs);
+    EXPECT_EQ(warm.storeStats().writes, 0u);
+    EXPECT_EQ(b.toJson(), a.toJson());
+    EXPECT_EQ(b.toCsv(), a.toCsv());
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        EXPECT_FALSE(b[i].skipped);
+        EXPECT_EQ(b[i].uint("square"), i * i);
+    }
+}
+
+TEST(StoreRunner, CoreRunsAreAutoKeyedAndSkipCompilationWhenWarm)
+{
+    std::string dir = freshDir("warm_core");
+    runner::ProgramKey key("fsm", 1);
+
+    auto cold = makeStoredRunner(dir);
+    cold.addCoreRun("fsm-base", key, core::CoreConfig::tiny());
+    auto a = cold.run();
+    ASSERT_TRUE(a.allOk());
+    EXPECT_EQ(cold.cache().compileCount(), 1u);
+
+    auto warm = makeStoredRunner(dir);
+    warm.addCoreRun("fsm-base", key, core::CoreConfig::tiny());
+    auto b = warm.run();
+    ASSERT_TRUE(b.allOk());
+    // A hit skips the whole job — including compilation.
+    EXPECT_EQ(warm.cache().compileCount(), 0u);
+    EXPECT_EQ(warm.storeStats().hits, 1u);
+    EXPECT_EQ(b.toJson(), a.toJson());
+    EXPECT_EQ(b[0].stats.cycles, a[0].stats.cycles);
+
+    // A different config is a different key: a miss, not a hit.
+    auto elim_cfg = core::CoreConfig::tiny();
+    elim_cfg.elim.enable = true;
+    auto other = makeStoredRunner(dir);
+    other.addCoreRun("fsm-elim", key, elim_cfg);
+    ASSERT_TRUE(other.run().allOk());
+    EXPECT_EQ(other.storeStats().misses, 1u);
+}
+
+TEST(StoreRunner, FailedResultsAreCachedWithErrorState)
+{
+    std::string dir = freshDir("failed");
+
+    auto cold = makeStoredRunner(dir);
+    cold.addKeyed("bad", "test.bad",
+                  [](runner::JobContext &) -> runner::JobResult {
+                      throw std::runtime_error("diverged at seq 42");
+                  });
+    auto a = cold.run();
+    EXPECT_FALSE(a.allOk());
+    EXPECT_EQ(cold.storeStats().writes, 1u);
+
+    std::atomic<std::size_t> executed{0};
+    auto warm = makeStoredRunner(dir);
+    warm.addKeyed("bad", "test.bad",
+                  [&](runner::JobContext &) -> runner::JobResult {
+                      executed.fetch_add(1);
+                      throw std::runtime_error("diverged at seq 42");
+                  });
+    auto b = warm.run();
+    EXPECT_EQ(executed.load(), 0u);
+    EXPECT_EQ(warm.storeStats().hits, 1u);
+    EXPECT_FALSE(b[0].ok);
+    EXPECT_EQ(b[0].error, "diverged at seq 42");
+    EXPECT_EQ(b.toJson(), a.toJson());
+}
+
+TEST(StoreRunner, UnkeyedJobsNeverTouchTheStore)
+{
+    auto sweep = makeStoredRunner(freshDir("unkeyed"));
+    sweep.add("local", [](runner::JobContext &) {
+        runner::JobResult r;
+        r.add({"v", std::uint64_t{1}});
+        return r;
+    });
+    ASSERT_TRUE(sweep.run().allOk());
+    EXPECT_EQ(sweep.storeStats().lookups(), 0u);
+    EXPECT_EQ(sweep.storeStats().writes, 0u);
+}
+
+TEST(StoreRunner, ShardedThenMergedMatchesSerialByteForByte)
+{
+    std::string dir = freshDir("shards");
+
+    // The reference: one storeless serial run over the grid.
+    runner::SweepRunner::Options plain;
+    plain.threads = 1;
+    runner::SweepRunner serial(plain);
+    buildKeyedSweep(serial);
+    std::string expected = serial.run().toJson();
+
+    // Two shards over one store, as two processes would run them.
+    std::atomic<std::size_t> executed0{0}, executed1{0};
+    auto shard0 = makeStoredRunner(dir, 2, 0);
+    buildKeyedSweep(shard0, &executed0);
+    auto r0 = shard0.run();
+    auto shard1 = makeStoredRunner(dir, 2, 1);
+    buildKeyedSweep(shard1, &executed1);
+    auto r1 = shard1.run();
+
+    // The partition is disjoint and complete.
+    EXPECT_EQ(executed0.load() + executed1.load(), kJobs);
+    ASSERT_TRUE(r0.allOk());
+    ASSERT_TRUE(r1.allOk());
+    std::size_t skipped = 0;
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        // A slot is either run by its owner or skipped; shard 1's
+        // non-owned slots were store hits by the time it ran, so only
+        // count shard 0's.
+        skipped += r0[i].skipped;
+        EXPECT_TRUE(!r0[i].skipped || i % 2 == 1);
+    }
+    EXPECT_EQ(skipped, kJobs / 2);
+
+    // Merge assembles the full report purely from the store.
+    std::atomic<std::size_t> executed_merge{0};
+    auto merge = makeStoredRunner(dir, 1, 0, false, true);
+    buildKeyedSweep(merge, &executed_merge);
+    auto merged = merge.run();
+    ASSERT_TRUE(merged.allOk());
+    EXPECT_EQ(executed_merge.load(), 0u);
+    EXPECT_EQ(merge.storeStats().hits, kJobs);
+    EXPECT_EQ(merged.toJson(), expected);
+}
+
+TEST(StoreRunner, MergeMissFailsTheSlotInsteadOfSimulating)
+{
+    std::atomic<std::size_t> executed{0};
+    auto merge =
+        makeStoredRunner(freshDir("merge_miss"), 1, 0, false, true);
+    buildKeyedSweep(merge, &executed);
+    auto report = merge.run();
+    EXPECT_EQ(executed.load(), 0u);
+    EXPECT_FALSE(report.allOk());
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        EXPECT_FALSE(report[i].ok);
+        EXPECT_NE(report[i].error.find("store miss in merge mode"),
+                  std::string::npos);
+    }
+}
+
+TEST(StoreRunner, StealSkipsJobsAnotherProcessClaimed)
+{
+    std::string dir = freshDir("steal");
+
+    // Another "process" already claimed job 0 (and then crashed —
+    // claims are never released).
+    auto rival = makeStore(dir);
+    rival.tryClaim("test.keyed|i=0");
+
+    std::atomic<std::size_t> executed{0};
+    auto sweep = makeStoredRunner(dir, 1, 0, true);
+    buildKeyedSweep(sweep, &executed);
+    auto report = sweep.run();
+
+    EXPECT_EQ(executed.load(), kJobs - 1);
+    EXPECT_TRUE(report[0].skipped);
+    EXPECT_TRUE(report[0].ok);
+    for (std::size_t i = 1; i < kJobs; ++i) {
+        EXPECT_FALSE(report[i].skipped);
+        EXPECT_TRUE(report[i].ok);
+    }
+    EXPECT_EQ(sweep.storeStats().claims, kJobs - 1);
+    EXPECT_EQ(sweep.storeStats().claimsLost, 1u);
+}
+
+TEST(StoreRunner, VersionOverrideInvalidatesAcrossRunners)
+{
+    std::string dir = freshDir("runner_version");
+
+    runner::SweepRunner::Options v1;
+    v1.threads = 1;
+    v1.storeDir = dir;
+    v1.storeVersion = "test-v1";
+    runner::SweepRunner first(v1);
+    buildKeyedSweep(first);
+    ASSERT_TRUE(first.run().allOk());
+
+    std::atomic<std::size_t> executed{0};
+    auto v2 = v1;
+    v2.storeVersion = "test-v2";
+    runner::SweepRunner second(v2);
+    buildKeyedSweep(second, &executed);
+    ASSERT_TRUE(second.run().allOk());
+    // Every old entry reads as stale and is recomputed.
+    EXPECT_EQ(executed.load(), kJobs);
+    EXPECT_EQ(second.storeStats().stale, kJobs);
+    EXPECT_EQ(second.storeStats().writes, kJobs);
+}
+
+TEST(StoreRunner, SkippedSlotsSerializeAsSkipped)
+{
+    auto sweep = makeStoredRunner(freshDir("skipjson"), 2, 0);
+    buildKeyedSweep(sweep);
+    auto report = sweep.run();
+    std::string doc = report.toJson();
+    EXPECT_NE(doc.find("\"skipped\": true"), std::string::npos);
+}
