@@ -61,6 +61,14 @@ struct BenchArgs
     bool steal = false;
     bool merge = false;
 
+    /** Claim lease passed to the store (--claim-ttl, seconds);
+     * -1 = store default, 0 = claims never expire. */
+    std::int64_t claimTtl = -1;
+    /** Post-sweep store GC bounds (--gc-max-age / --gc-max-bytes);
+     * 0/0 = no GC pass. Both require --store-dir. */
+    std::int64_t gcMaxAge = 0;
+    std::uint64_t gcMaxBytes = 0;
+
     /** This process runs only part of the grid, so the report has
      * skipped slots and the bench must not render its table. */
     bool
@@ -94,7 +102,13 @@ benchUsage(const char *prog, const char *extra_usage = nullptr)
         "  --steal        claim jobs via store lock files instead of\n"
         "                 the static shard partition\n"
         "  --merge        assemble the full report from the store;\n"
-        "                 a missing entry fails its job\n",
+        "                 a missing entry fails its job\n"
+        "  --claim-ttl S  steal claims of crashed processes after S\n"
+        "                 seconds (0 = never; default: store's)\n"
+        "  --gc-max-age S   after the sweep, evict store entries\n"
+        "                 unused for more than S seconds\n"
+        "  --gc-max-bytes B  after the sweep, evict LRU store entries\n"
+        "                 until the store fits B bytes\n",
         prog, kBenchScale);
     if (extra_usage)
         std::printf("%s", extra_usage);
@@ -151,6 +165,19 @@ parseBenchArgs(int argc, char **argv, BenchArgs defaults = {},
             }
             return static_cast<unsigned>(v);
         };
+        // Byte/second-sized values overflow the unsigned helper's
+        // 1<<20 sanity cap, so they parse through this one.
+        auto nextUint64 = [&]() -> std::uint64_t {
+            const char *text = next();
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(text, &end, 10);
+            if (end == text || *end != '\0') {
+                std::fprintf(stderr, "bad value '%s' for %s\n", text,
+                             arg.c_str());
+                std::exit(2);
+            }
+            return v;
+        };
         if (arg == "--json") {
             args.jsonPath = next();
         } else if (arg == "--csv") {
@@ -177,6 +204,12 @@ parseBenchArgs(int argc, char **argv, BenchArgs defaults = {},
             args.steal = true;
         } else if (arg == "--merge") {
             args.merge = true;
+        } else if (arg == "--claim-ttl") {
+            args.claimTtl = static_cast<std::int64_t>(nextUint64());
+        } else if (arg == "--gc-max-age") {
+            args.gcMaxAge = static_cast<std::int64_t>(nextUint64());
+        } else if (arg == "--gc-max-bytes") {
+            args.gcMaxBytes = nextUint64();
         } else if (arg == "--help" || arg == "-h") {
             benchUsage(argv[0], extra_usage);
             std::exit(0);
@@ -202,6 +235,12 @@ parseBenchArgs(int argc, char **argv, BenchArgs defaults = {},
                      args.steal ? "--steal" : "--merge");
         std::exit(2);
     }
+    if ((args.gcMaxAge || args.gcMaxBytes) && args.storeDir.empty()) {
+        std::fprintf(stderr, "%s requires --store-dir (or "
+                     "DDE_SWEEP_STORE)\n",
+                     args.gcMaxAge ? "--gc-max-age" : "--gc-max-bytes");
+        std::exit(2);
+    }
     return args;
 }
 
@@ -214,6 +253,7 @@ makeRunner(const BenchArgs &args)
     opts.profile = args.profile;
     opts.profileTopN = args.topn;
     opts.storeDir = args.storeDir;
+    opts.claimTtlSeconds = args.claimTtl;
     opts.shards = args.shards;
     opts.shardIndex = args.shardIndex;
     opts.workSteal = args.steal;
@@ -276,6 +316,18 @@ finishReport(const runner::SweepReport &report, const BenchArgs &args,
                     static_cast<unsigned long long>(s.misses),
                     static_cast<unsigned long long>(s.stale),
                     static_cast<unsigned long long>(s.writes));
+        if (args.gcMaxAge || args.gcMaxBytes) {
+            runner::GcOptions gc;
+            gc.maxAgeSeconds = args.gcMaxAge;
+            gc.maxBytes = args.gcMaxBytes;
+            runner::GcStats g = sweep->store()->gc(gc);
+            std::printf("store gc: %llu evicted (%llu bytes), "
+                        "%llu bytes kept, %llu claimed kept\n",
+                        static_cast<unsigned long long>(g.evicted()),
+                        static_cast<unsigned long long>(g.evictedBytes),
+                        static_cast<unsigned long long>(g.bytesAfter()),
+                        static_cast<unsigned long long>(g.keptClaimed));
+        }
         if (!args.storeStatsPath.empty()) {
             std::ofstream os(args.storeStatsPath);
             if (!os) {

@@ -1,0 +1,333 @@
+/**
+ * @file
+ * ddesweepd — the sweep-farm daemon and its client modes.
+ *
+ * Default mode runs the daemon: watch a spool directory, claim sweep
+ * requests one at a time, execute them through the store-aware
+ * SweepRunner, stream progress events and write per-request reports
+ * (see src/service/service.hh for the spool layout). SIGTERM/SIGINT
+ * drain gracefully: the in-flight request finishes, pending ones
+ * stay spooled for the next daemon.
+ *
+ * Client modes, so one binary covers the whole workflow:
+ *
+ *   ddesweepd --enqueue REQ.json --spool DIR [--high-water N]
+ *       validate and atomically spool a request (exit 1 = rejected:
+ *       malformed, duplicate id, or spool at the high-water mark)
+ *   ddesweepd --direct REQ.json [--report PATH]
+ *       run a request in-process and write its report — the
+ *       byte-identity reference the CI service-smoke job cmp's the
+ *       daemon's report against
+ *   ddesweepd --gc-only --store-dir D [--gc-max-age S]
+ *       [--gc-max-bytes B]
+ *       one store GC pass, no daemon (cron-style maintenance)
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "runner/store.hh"
+#include "service/service.hh"
+
+using namespace dde;
+
+namespace
+{
+
+service::SweepService *g_service = nullptr;
+
+extern "C" void
+handleStopSignal(int)
+{
+    if (g_service)
+        g_service->requestStop();
+}
+
+void
+usage(const char *prog)
+{
+    std::printf(
+        "usage: %s --spool DIR [options]           run the daemon\n"
+        "       %s --enqueue REQ.json --spool DIR  spool a request\n"
+        "       %s --direct REQ.json               run one request\n"
+        "       %s --gc-only --store-dir D         one store GC pass\n"
+        "  --spool DIR       spool root (new/ work/ done/ failed/ out/)\n"
+        "  --store-dir D     persistent result store (default: the\n"
+        "                    DDE_SWEEP_STORE environment variable)\n"
+        "  --threads N       sweep threads per request (0 = auto)\n"
+        "  --poll-ms N       idle spool poll interval (default 200)\n"
+        "  --exit-when-idle  exit once the spool is empty (CI mode)\n"
+        "  --max-requests N  stop after N processed requests\n"
+        "  --claim-ttl S     store claim lease seconds (0 = forever)\n"
+        "  --gc-max-age S    evict store entries unused for > S secs\n"
+        "  --gc-max-bytes B  evict LRU entries until store fits B\n"
+        "  --high-water N    --enqueue: reject when N requests pend\n"
+        "  --id ID           --enqueue/--direct: id when the document\n"
+        "                    has none (default: the file stem)\n"
+        "  --report PATH     --direct: report path (default\n"
+        "                    <id>.report.json)\n",
+        prog, prog, prog, prog);
+}
+
+std::string
+slurpOrDie(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "cannot read '%s'\n", path.c_str());
+        std::exit(2);
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+struct Args
+{
+    std::string spool;
+    std::string storeDir;
+    std::string enqueuePath;
+    std::string directPath;
+    std::string id;
+    std::string reportPath;
+    bool gcOnly = false;
+    bool exitWhenIdle = false;
+    unsigned threads = 0;
+    unsigned pollMs = 200;
+    std::uint64_t maxRequests = 0;
+    std::size_t highWater = 0;
+    std::int64_t claimTtl = -1;
+    std::int64_t gcMaxAge = 0;
+    std::uint64_t gcMaxBytes = 0;
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    if (const char *env = std::getenv("DDE_SWEEP_STORE"))
+        args.storeDir = env;
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        auto nextUint64 = [&]() -> std::uint64_t {
+            const char *text = next();
+            char *end = nullptr;
+            unsigned long long v = std::strtoull(text, &end, 10);
+            if (end == text || *end != '\0') {
+                std::fprintf(stderr, "bad value '%s' for %s\n", text,
+                             arg.c_str());
+                std::exit(2);
+            }
+            return v;
+        };
+        if (arg == "--spool") {
+            args.spool = next();
+        } else if (arg == "--store-dir") {
+            args.storeDir = next();
+        } else if (arg == "--no-store") {
+            args.storeDir.clear();
+        } else if (arg == "--enqueue") {
+            args.enqueuePath = next();
+        } else if (arg == "--direct") {
+            args.directPath = next();
+        } else if (arg == "--gc-only") {
+            args.gcOnly = true;
+        } else if (arg == "--id") {
+            args.id = next();
+        } else if (arg == "--report") {
+            args.reportPath = next();
+        } else if (arg == "--threads") {
+            args.threads = static_cast<unsigned>(nextUint64());
+        } else if (arg == "--poll-ms") {
+            args.pollMs = static_cast<unsigned>(nextUint64());
+        } else if (arg == "--exit-when-idle") {
+            args.exitWhenIdle = true;
+        } else if (arg == "--max-requests") {
+            args.maxRequests = nextUint64();
+        } else if (arg == "--high-water") {
+            args.highWater = static_cast<std::size_t>(nextUint64());
+        } else if (arg == "--claim-ttl") {
+            args.claimTtl = static_cast<std::int64_t>(nextUint64());
+        } else if (arg == "--gc-max-age") {
+            args.gcMaxAge = static_cast<std::int64_t>(nextUint64());
+        } else if (arg == "--gc-max-bytes") {
+            args.gcMaxBytes = nextUint64();
+        } else if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            std::exit(0);
+        } else {
+            std::fprintf(stderr, "unknown argument '%s' (try --help)\n",
+                         arg.c_str());
+            std::exit(2);
+        }
+    }
+    return args;
+}
+
+std::string
+fallbackId(const Args &args, const std::string &path)
+{
+    if (!args.id.empty())
+        return args.id;
+    return std::filesystem::path(path).stem().string();
+}
+
+int
+runEnqueue(const Args &args)
+{
+    if (args.spool.empty()) {
+        std::fprintf(stderr, "--enqueue requires --spool\n");
+        return 2;
+    }
+    std::string text = slurpOrDie(args.enqueuePath);
+    service::EnqueueResult res = service::enqueueRequest(
+        args.spool, text, fallbackId(args, args.enqueuePath),
+        args.highWater);
+    if (!res.accepted) {
+        std::fprintf(stderr, "rejected: %s\n", res.reason.c_str());
+        return 1;
+    }
+    std::printf("spooled %s\n", res.path.c_str());
+    return 0;
+}
+
+int
+runDirect(const Args &args)
+{
+    std::string text = slurpOrDie(args.directPath);
+    service::SweepRequest req;
+    try {
+        req = service::parseRequest(
+            text, fallbackId(args, args.directPath));
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "bad request: %s\n", e.what());
+        return 1;
+    }
+
+    runner::SweepRunner::Options opts;
+    opts.threads = args.threads;
+    opts.profile = req.profile;
+    opts.storeDir = args.storeDir;
+    opts.claimTtlSeconds = args.claimTtl;
+    runner::SweepRunner sweep(opts);
+    service::queueRequest(sweep, req);
+    runner::SweepReport report = sweep.run();
+
+    std::string path = args.reportPath.empty()
+                           ? req.id + ".report.json"
+                           : args.reportPath;
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        std::fprintf(stderr, "cannot write '%s'\n", path.c_str());
+        return 1;
+    }
+    os << report.toJson();
+    os.flush();
+    std::printf("wrote %s\n", path.c_str());
+    return report.allOk() ? 0 : 1;
+}
+
+int
+runGc(const Args &args)
+{
+    if (args.storeDir.empty()) {
+        std::fprintf(stderr, "--gc-only requires --store-dir\n");
+        return 2;
+    }
+    runner::StoreOptions so;
+    so.dir = args.storeDir;
+    if (args.claimTtl >= 0)
+        so.claimTtlSeconds = args.claimTtl;
+    runner::ResultStore store(std::move(so));
+    runner::GcOptions gc;
+    gc.maxAgeSeconds = args.gcMaxAge;
+    gc.maxBytes = args.gcMaxBytes;
+    runner::GcStats g = store.gc(gc);
+    std::printf("store %s: %llu entries (%llu bytes) scanned, "
+                "%llu evicted (%llu bytes), %llu bytes kept, "
+                "%llu claimed kept, %llu staging removed, "
+                "%llu stale locks reclaimed\n",
+                args.storeDir.c_str(),
+                static_cast<unsigned long long>(g.entries),
+                static_cast<unsigned long long>(g.bytes),
+                static_cast<unsigned long long>(g.evicted()),
+                static_cast<unsigned long long>(g.evictedBytes),
+                static_cast<unsigned long long>(g.bytesAfter()),
+                static_cast<unsigned long long>(g.keptClaimed),
+                static_cast<unsigned long long>(g.stagingRemoved),
+                static_cast<unsigned long long>(g.locksReclaimed));
+    return 0;
+}
+
+int
+runDaemon(const Args &args)
+{
+    if (args.spool.empty()) {
+        std::fprintf(stderr, "daemon mode requires --spool "
+                     "(try --help)\n");
+        return 2;
+    }
+    service::ServiceOptions opts;
+    opts.spoolDir = args.spool;
+    opts.storeDir = args.storeDir;
+    opts.threads = args.threads;
+    opts.pollMs = args.pollMs;
+    opts.exitWhenIdle = args.exitWhenIdle;
+    opts.maxRequests = args.maxRequests;
+    opts.claimTtlSeconds = args.claimTtl;
+    opts.gcMaxAgeSeconds = args.gcMaxAge;
+    opts.gcMaxBytes = args.gcMaxBytes;
+
+    service::SweepService svc(opts);
+    g_service = &svc;
+    std::signal(SIGTERM, handleStopSignal);
+    std::signal(SIGINT, handleStopSignal);
+
+    std::printf("ddesweepd: spool %s, store %s\n", args.spool.c_str(),
+                args.storeDir.empty() ? "(none)"
+                                      : args.storeDir.c_str());
+    int rc = svc.run();
+    g_service = nullptr;
+
+    const service::ServiceCounters &c = svc.counters();
+    std::printf("ddesweepd: %llu requests done, %llu failed, "
+                "%llu jobs ok, %llu jobs failed, %llu recovered, "
+                "%llu gc passes\n",
+                static_cast<unsigned long long>(c.requestsDone),
+                static_cast<unsigned long long>(c.requestsFailed),
+                static_cast<unsigned long long>(c.jobsCompleted),
+                static_cast<unsigned long long>(c.jobsFailed),
+                static_cast<unsigned long long>(c.recovered),
+                static_cast<unsigned long long>(c.gcPasses));
+    return rc;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args = parseArgs(argc, argv);
+    if (!args.enqueuePath.empty())
+        return runEnqueue(args);
+    if (!args.directPath.empty())
+        return runDirect(args);
+    if (args.gcOnly)
+        return runGc(args);
+    return runDaemon(args);
+}

@@ -449,14 +449,18 @@ SweepRunner::SweepRunner(Options opts)
       _seed(opts.seed), _profile(opts.profile),
       _profileTopN(opts.profileTopN), _shards(opts.shards),
       _shardIndex(opts.shardIndex), _workSteal(opts.workSteal),
-      _mergeOnly(opts.mergeOnly)
+      _mergeOnly(opts.mergeOnly), _onResult(std::move(opts.onResult))
 {
     fatal_if(_shards == 0, "shards must be >= 1");
     fatal_if(_shardIndex >= _shards, "shard index ", _shardIndex,
              " out of range for ", _shards, " shards");
     if (!opts.storeDir.empty()) {
-        _store = std::make_unique<ResultStore>(
-            StoreOptions{opts.storeDir, opts.storeVersion});
+        StoreOptions so;
+        so.dir = opts.storeDir;
+        so.version = opts.storeVersion;
+        if (opts.claimTtlSeconds >= 0)
+            so.claimTtlSeconds = opts.claimTtlSeconds;
+        _store = std::make_unique<ResultStore>(std::move(so));
     }
     fatal_if(_workSteal && !_store,
              "work stealing requires a store (--store-dir)");
@@ -554,6 +558,13 @@ SweepRunner::run()
         report.results[i].label = queue[i].label;
 
     std::atomic<std::size_t> next{0};
+    std::mutex on_result_mutex;
+    auto finish = [&](std::size_t i) {
+        if (!_onResult)
+            return;
+        std::lock_guard<std::mutex> lock(on_result_mutex);
+        _onResult(i, report.results[i]);
+    };
     auto worker = [&] {
         for (;;) {
             std::size_t i = next.fetch_add(1);
@@ -562,6 +573,7 @@ SweepRunner::run()
             JobResult &slot = report.results[i];
             const std::string &key = queue[i].storeKey;
             bool keyed = _store && !key.empty();
+            bool claimed = false;
 
             if (keyed) {
                 // Store lookup comes before the ownership check: a
@@ -570,24 +582,33 @@ SweepRunner::run()
                 if (auto stored = _store->load(key)) {
                     stored->label = std::move(slot.label);
                     slot = std::move(*stored);
+                    finish(i);
                     continue;
                 }
                 if (_mergeOnly) {
+                    // Name the missing slot fully — the key is the
+                    // human-readable (program, config, run) finger-
+                    // print — so the operator knows which shard or
+                    // grid point to rerun instead of staring at an
+                    // anonymous failure.
                     slot.ok = false;
-                    slot.error = "store miss in merge mode (entry " +
+                    slot.error = "store miss in merge mode for key '" +
+                                 key + "' (entry " +
                                  _store->entryPath(key) + ")";
+                    finish(i);
                     continue;
                 }
                 // Ownership: either the static modulo partition or a
                 // won work-steal claim; a non-owned job is skipped
                 // (the owning process will populate the store).
                 bool owned = _workSteal
-                                 ? _store->tryClaim(key)
+                                 ? (claimed = _store->tryClaim(key))
                                  : (_shards <= 1 ||
                                     i % _shards == _shardIndex);
                 if (!owned) {
                     slot.ok = true;
                     slot.skipped = true;
+                    finish(i);
                     continue;
                 }
             }
@@ -614,7 +635,13 @@ SweepRunner::run()
                     warn("store save failed for '", slot.label,
                          "': ", e.what());
                 }
+                // The entry (or the right to recompute it) is on
+                // disk; drop the lease so the lock does not linger
+                // until the TTL or a gc pass.
+                if (claimed)
+                    _store->releaseClaim(key);
             }
+            finish(i);
         }
     };
 

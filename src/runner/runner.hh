@@ -232,6 +232,20 @@ struct SweepOptions
     /** Store entry version override; empty = kStoreCodeVersion.
      * Tests use this to exercise version-bump invalidation. */
     std::string storeVersion;
+    /** Claim lease length passed to the store (seconds); locks of
+     * crashed claimants older than this are reclaimed by stealing
+     * processes. -1 = the store default (kDefaultClaimTtlSeconds);
+     * 0 = claims never expire. */
+    std::int64_t claimTtlSeconds = -1;
+
+    /**
+     * Completion hook: invoked once per slot as it finishes (store
+     * hit, executed, failed, skipped or merge-missed), in completion
+     * order, serialized under an internal mutex. The reference is
+     * only valid for the duration of the call. The sweep service
+     * streams per-job progress events through this.
+     */
+    std::function<void(std::size_t index, const JobResult &)> onResult;
 
     /** Deterministic sharding: this process executes only jobs with
      * index % shards == shardIndex (store hits still fill any slot;
@@ -324,6 +338,7 @@ class SweepRunner
     unsigned _shardIndex;
     bool _workSteal;
     bool _mergeOnly;
+    std::function<void(std::size_t, const JobResult &)> _onResult;
     std::vector<Pending> _queue;
     ArtifactCache _cache;
     std::unique_ptr<ResultStore> _store;

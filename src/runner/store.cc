@@ -1,16 +1,22 @@
 #include "runner/store.hh"
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/json.hh"
 #include "common/logging.hh"
@@ -30,6 +36,37 @@ hashHex(std::uint64_t h)
     std::snprintf(buf, sizeof buf, "%016llx",
                   static_cast<unsigned long long>(h));
     return std::string(buf);
+}
+
+/** Seconds since a file's last write; negative clamps to zero
+ * (clock skew between writers must not resurrect an expired age
+ * check into a huge one or vice versa). */
+std::int64_t
+fileAgeSeconds(const fs::path &p, std::error_code &ec)
+{
+    auto mtime = fs::last_write_time(p, ec);
+    if (ec)
+        return 0;
+    auto now = fs::file_time_type::clock::now();
+    auto age =
+        std::chrono::duration_cast<std::chrono::seconds>(now - mtime)
+            .count();
+    return age < 0 ? 0 : age;
+}
+
+/** Set a file's mtime (and atime) to now; best effort. */
+bool
+touchFile(const std::string &path)
+{
+    return ::utimensat(AT_FDCWD, path.c_str(), nullptr, 0) == 0;
+}
+
+/** Stable per-thread discriminator for staging-file names. */
+std::uint64_t
+threadTag()
+{
+    return std::hash<std::thread::id>{}(std::this_thread::get_id()) &
+           0xffffffffULL;
 }
 
 /** Exact-text rendering of one metric value: decimal for UInt, the
@@ -201,8 +238,10 @@ statsFromJson(const json::Value &stats, const json::Value *profile)
 ResultStore::ResultStore(StoreOptions opts)
     : _dir(std::move(opts.dir)),
       _version(opts.version.empty() ? kStoreCodeVersion
-                                    : std::move(opts.version))
+                                    : std::move(opts.version)),
+      _claimTtl(opts.claimTtlSeconds), _touchOnHit(opts.touchOnHit)
 {
+    fatal_if(_claimTtl < 0, "store: negative claim TTL");
     fatal_if(_dir.empty(), "store: empty directory");
     std::error_code ec;
     fs::create_directories(_dir, ec);
@@ -234,6 +273,16 @@ ResultStore::claimPath(const std::string &key) const
     return entryPath(key) + ".lock";
 }
 
+std::string
+ResultStore::stagingPath(const std::string &key) const
+{
+    // Deterministic per (key, process, thread): a crashed
+    // predecessor's leftover at the same path is simply replaced,
+    // while concurrent writers in one process never collide.
+    return entryPath(key) + ".tmp." + std::to_string(::getpid()) +
+           "." + std::to_string(threadTag());
+}
+
 std::optional<JobResult>
 ResultStore::load(const std::string &key)
 {
@@ -253,6 +302,10 @@ ResultStore::load(const std::string &key)
         ++_stats.stale;
         return std::nullopt;
     }
+    // A trusted hit is a "use": bump the entry's clock so gc()'s
+    // age bound and LRU ordering track recency of use.
+    if (_touchOnHit)
+        touchFile(path);
     {
         std::lock_guard<std::mutex> lock(_mutex);
         ++_stats.hits;
@@ -270,17 +323,24 @@ ResultStore::save(const std::string &key, const JobResult &result)
     fatal_if(ec && !fs::is_directory(dir), "store: cannot create '",
              dir.string(), "': ", ec.message());
 
-    // Unique temp name in the same directory so the final rename is
-    // atomic on POSIX filesystems.
-    static std::atomic<std::uint64_t> counter{0};
-    std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
-                      "." + std::to_string(counter.fetch_add(1));
-    {
+    // Temp name in the same directory so the final rename is atomic
+    // on POSIX filesystems. The name is deterministic per (key,
+    // process, thread), so a leftover from a crashed predecessor is
+    // replaced rather than accumulated; anything the trunc-open
+    // cannot overwrite (say, a directory squatting on the path) is
+    // removed and retried once.
+    std::string tmp = stagingPath(key);
+    for (int attempt = 0;; ++attempt) {
         std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os && attempt == 0) {
+            fs::remove_all(tmp, ec);
+            continue;
+        }
         fatal_if(!os, "store: cannot write '", tmp, "'");
         os << renderEntry(_version, key, result);
         os.flush();
         fatal_if(!os, "store: short write to '", tmp, "'");
+        break;
     }
     fs::rename(tmp, path, ec);
     if (ec) {
@@ -292,27 +352,208 @@ ResultStore::save(const std::string &key, const JobResult &result)
 }
 
 bool
+ResultStore::reclaimStaleClaim(const std::string &path)
+{
+    if (_claimTtl <= 0)
+        return false;  // claims never expire
+    std::error_code ec;
+    std::int64_t age = fileAgeSeconds(path, ec);
+    if (ec)
+        return true;  // vanished (released/reclaimed): retry create
+    if (age <= _claimTtl)
+        return false;  // lease still fresh: the holder is alive
+    // The lock's lease expired: its claimant crashed between claim
+    // and release without refreshing. Arbitrate the reclaim through
+    // a rename — exactly one racer moves the stale lock aside — so
+    // two processes can never both think they freed it and then both
+    // hold the "exclusive" recreate.
+    static std::atomic<std::uint64_t> counter{0};
+    std::string tomb = path + ".stale." + std::to_string(::getpid()) +
+                       "." + std::to_string(counter.fetch_add(1));
+    if (::rename(path.c_str(), tomb.c_str()) != 0) {
+        // ENOENT: another process won the rename (or the holder
+        // released); retry the exclusive create and compete.
+        return errno == ENOENT;
+    }
+    fs::remove(tomb, ec);
+    std::lock_guard<std::mutex> lock(_mutex);
+    ++_stats.claimsReclaimed;
+    return true;
+}
+
+bool
 ResultStore::tryClaim(const std::string &key)
 {
     std::string path = claimPath(key);
     std::error_code ec;
     fs::create_directories(fs::path(path).parent_path(), ec);
-    int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
-    if (fd < 0) {
+    for (int attempt = 0;; ++attempt) {
+        int fd =
+            ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+        if (fd >= 0) {
+            std::string pid = std::to_string(::getpid()) + "\n";
+            // A claim file's content is informational only; existence
+            // plus a fresh mtime is the lease.
+            (void)!::write(fd, pid.data(), pid.size());
+            ::close(fd);
+            std::lock_guard<std::mutex> lock(_mutex);
+            ++_stats.claims;
+            return true;
+        }
         fatal_if(errno != EEXIST, "store: cannot create claim '",
                  path, "': ", std::strerror(errno));
+        if (attempt == 0 && reclaimStaleClaim(path))
+            continue;  // stale lock moved aside: one retry
         std::lock_guard<std::mutex> lock(_mutex);
         ++_stats.claimsLost;
         return false;
     }
-    std::string pid = std::to_string(::getpid()) + "\n";
-    // A claim file's content is informational only; existence is the
-    // lock.
-    (void)!::write(fd, pid.data(), pid.size());
-    ::close(fd);
-    std::lock_guard<std::mutex> lock(_mutex);
-    ++_stats.claims;
-    return true;
+}
+
+bool
+ResultStore::refreshClaim(const std::string &key)
+{
+    return touchFile(claimPath(key));
+}
+
+void
+ResultStore::releaseClaim(const std::string &key)
+{
+    std::error_code ec;
+    fs::remove(claimPath(key), ec);
+}
+
+GcStats
+ResultStore::gc(const GcOptions &opts)
+{
+    GcStats g;
+    struct Entry
+    {
+        fs::path path;
+        std::uint64_t bytes;
+        fs::file_time_type mtime;
+        bool claimed;
+    };
+    std::vector<Entry> entries;
+    std::vector<fs::path> fresh_locks;
+    std::error_code ec;
+
+    auto nameOf = [](const fs::path &p) { return p.filename().string(); };
+    auto endsWith = [](const std::string &s, std::string_view suf) {
+        return s.size() >= suf.size() &&
+               s.compare(s.size() - suf.size(), suf.size(), suf) == 0;
+    };
+    auto removeFile = [&](const fs::path &p) {
+        if (!opts.dryRun)
+            fs::remove(p, ec);
+    };
+
+    for (fs::recursive_directory_iterator it(_dir, ec), end;
+         !ec && it != end; it.increment(ec)) {
+        if (!it->is_regular_file(ec))
+            continue;
+        const fs::path &p = it->path();
+        std::string name = nameOf(p);
+        if (name.find(".tmp.") != std::string::npos ||
+            name.find(".lock.stale.") != std::string::npos) {
+            // Orphaned staging file or reclaim tombstone: a process
+            // killed mid-save/mid-reclaim left it. The grace period
+            // keeps us off files a live writer is about to rename.
+            std::error_code age_ec;
+            if (fileAgeSeconds(p, age_ec) >= opts.tmpGraceSeconds &&
+                !age_ec) {
+                removeFile(p);
+                ++g.stagingRemoved;
+            }
+            continue;
+        }
+        if (endsWith(name, ".lock")) {
+            std::error_code age_ec;
+            std::int64_t age = fileAgeSeconds(p, age_ec);
+            if (!age_ec && _claimTtl > 0 && age > _claimTtl) {
+                // Crashed claimant: the lease expired unrefreshed.
+                removeFile(p);
+                ++g.locksReclaimed;
+            } else {
+                fresh_locks.push_back(p);
+            }
+            continue;
+        }
+        if (!endsWith(name, ".json"))
+            continue;
+        std::error_code e2;
+        Entry e;
+        e.path = p;
+        e.bytes = fs::file_size(p, e2);
+        if (e2)
+            continue;  // concurrently removed
+        e.mtime = fs::last_write_time(p, e2);
+        if (e2)
+            continue;
+        e.claimed = false;
+        entries.push_back(std::move(e));
+    }
+
+    // A fresh lock protects its entry: the claimant is (re)computing
+    // it or a worker just raced us to read it.
+    for (Entry &e : entries) {
+        fs::path lock = e.path;
+        lock += ".lock";
+        for (const fs::path &l : fresh_locks) {
+            if (l == lock) {
+                e.claimed = true;
+                break;
+            }
+        }
+        g.bytes += e.bytes;
+    }
+    g.entries = entries.size();
+
+    auto evict = [&](Entry &e, std::uint64_t &counter) {
+        removeFile(e.path);
+        ++counter;
+        g.evictedBytes += e.bytes;
+        e.bytes = 0;  // no longer counted against the budget
+    };
+
+    // Age bound first: anything unused past maxAgeSeconds goes.
+    if (opts.maxAgeSeconds > 0) {
+        auto now = fs::file_time_type::clock::now();
+        for (Entry &e : entries) {
+            auto age = std::chrono::duration_cast<std::chrono::seconds>(
+                           now - e.mtime)
+                           .count();
+            if (age <= opts.maxAgeSeconds || e.bytes == 0)
+                continue;
+            if (e.claimed) {
+                ++g.keptClaimed;
+                continue;
+            }
+            evict(e, g.evictedAge);
+        }
+    }
+
+    // Then the byte budget: least recently used first.
+    if (opts.maxBytes > 0) {
+        std::uint64_t total = g.bytes - g.evictedBytes;
+        std::sort(entries.begin(), entries.end(),
+                  [](const Entry &a, const Entry &b) {
+                      return a.mtime < b.mtime;
+                  });
+        for (Entry &e : entries) {
+            if (total <= opts.maxBytes)
+                break;
+            if (e.bytes == 0)
+                continue;
+            if (e.claimed) {
+                ++g.keptClaimed;
+                continue;
+            }
+            total -= e.bytes;
+            evict(e, g.evictedSize);
+        }
+    }
+    return g;
 }
 
 StoreStats

@@ -16,7 +16,9 @@
  *  - writes are atomic: entries are staged to a temp file in the
  *    same directory and renamed into place, so a concurrent reader
  *    (another shard, a merge step) sees either nothing or a complete
- *    entry, never a torn one;
+ *    entry, never a torn one; save() tolerates (replaces) a staging
+ *    file a crashed predecessor left at its own path, and gc()
+ *    sweeps any other orphaned `.tmp.` files past a grace period;
  *  - reads are paranoid: a missing file is a miss; a corrupt,
  *    truncated, version-mismatched or key-mismatched (hash
  *    collision) entry is *stale* — counted separately, treated as a
@@ -25,16 +27,34 @@
  *    doubles, decimal uint64 counters), so a report assembled from
  *    hits is byte-identical to the report of the run that produced
  *    them — the property the warm-rerun and sharded-merge CI gates
- *    enforce;
+ *    enforce. A hit also bumps the entry's mtime (best effort), so
+ *    "age" below means time since last use, not since creation;
  *  - multi-process coordination is lock-file based: tryClaim()
  *    atomically creates `<entry>.lock` (O_CREAT|O_EXCL), so
  *    work-stealing processes racing over one grid each win a
  *    disjoint set of jobs.
  *
- * The store is deliberately dumb — no manifest, no eviction, no
- * daemon. `rm -rf <dir>` is a full invalidation; bumping
- * kStoreCodeVersion (on any change to simulator semantics or the
- * entry format) is a logical one.
+ * Claim-TTL semantics: a claim is leased, not owned forever. The
+ * lock file's mtime is the lease clock — it is set at creation and
+ * bumped by refreshClaim(), which long-running holders should call
+ * periodically. tryClaim() treats a lock older than
+ * StoreOptions::claimTtlSeconds as abandoned by a crashed claimant
+ * and reclaims it (atomically: exactly one racer wins the
+ * rename-aside of the stale lock, then competes normally for the
+ * fresh one). claimTtlSeconds = 0 restores the old existence-is-
+ * forever behaviour. Well-behaved workers releaseClaim() once the
+ * entry is saved, so locks normally live only as long as a job runs.
+ *
+ * Eviction is gc()'s job — a manifest-free pass over the fan-out
+ * that (a) deletes orphaned staging files and expired lock files,
+ * (b) evicts entries older than an age bound, and (c) evicts
+ * least-recently-used entries until the store fits a byte budget.
+ * A fresh (unexpired) lock protects its entry from eviction, so gc
+ * is safe to run concurrently with active workers: an in-flight
+ * job's entry is never snatched from under the process computing or
+ * about to read it. `rm -rf <dir>` remains a full invalidation;
+ * bumping kStoreCodeVersion (on any change to simulator semantics
+ * or the entry format) is a logical one.
  */
 
 #ifndef DDE_RUNNER_STORE_HH
@@ -59,6 +79,10 @@ namespace dde::runner
  */
 inline constexpr const char *kStoreCodeVersion = "dde.store/1+pr8";
 
+/** Default claim lease: a lock file this much older than its last
+ * refresh belongs to a crashed claimant and may be reclaimed. */
+inline constexpr std::int64_t kDefaultClaimTtlSeconds = 3600;
+
 /** Store traffic counters (surfaced via --store-stats and stdout). */
 struct StoreStats
 {
@@ -68,6 +92,8 @@ struct StoreStats
     std::uint64_t writes = 0;   ///< entries written
     std::uint64_t claims = 0;   ///< work-steal claims won
     std::uint64_t claimsLost = 0; ///< claims lost to another process
+    /** Stale locks of crashed claimants reclaimed (claim-TTL). */
+    std::uint64_t claimsReclaimed = 0;
 
     std::uint64_t lookups() const { return hits + misses + stale; }
 };
@@ -80,6 +106,45 @@ struct StoreOptions
     /** Entry version; empty means kStoreCodeVersion. Tests override
      * this to exercise version-bump invalidation. */
     std::string version;
+    /** Claim lease length in seconds; a lock whose mtime is older
+     * than this is reclaimable by any process. 0 = claims never
+     * expire (the pre-TTL behaviour). */
+    std::int64_t claimTtlSeconds = kDefaultClaimTtlSeconds;
+    /** Bump an entry's mtime on every trusted hit so gc()'s age and
+     * LRU ordering track last *use* (off only in tests that pin
+     * creation-time ordering). */
+    bool touchOnHit = true;
+};
+
+/** One gc() pass's policy. Unset bounds (0) skip that policy. */
+struct GcOptions
+{
+    /** Evict entries unused for longer than this many seconds. */
+    std::int64_t maxAgeSeconds = 0;
+    /** Evict least-recently-used entries until the entries' total
+     * size fits this many bytes. */
+    std::uint64_t maxBytes = 0;
+    /** Orphaned staging (`.tmp.`) files and reclaim tombstones older
+     * than this are removed. */
+    std::int64_t tmpGraceSeconds = 900;
+    /** Report what would be removed without removing anything. */
+    bool dryRun = false;
+};
+
+/** What one gc() pass saw and did. */
+struct GcStats
+{
+    std::uint64_t entries = 0;        ///< entry files scanned
+    std::uint64_t bytes = 0;          ///< their total size before GC
+    std::uint64_t evictedAge = 0;     ///< entries past maxAgeSeconds
+    std::uint64_t evictedSize = 0;    ///< LRU evictions for maxBytes
+    std::uint64_t evictedBytes = 0;   ///< bytes freed by both
+    std::uint64_t keptClaimed = 0;    ///< evictions vetoed by a claim
+    std::uint64_t stagingRemoved = 0; ///< orphaned .tmp/tombstones
+    std::uint64_t locksReclaimed = 0; ///< expired .lock files removed
+
+    std::uint64_t bytesAfter() const { return bytes - evictedBytes; }
+    std::uint64_t evicted() const { return evictedAge + evictedSize; }
 };
 
 class ResultStore
@@ -89,6 +154,7 @@ class ResultStore
 
     const std::string &dir() const { return _dir; }
     const std::string &version() const { return _version; }
+    std::int64_t claimTtlSeconds() const { return _claimTtl; }
 
     /**
      * Look up a key. Returns the stored result row on a trusted hit;
@@ -98,21 +164,44 @@ class ResultStore
     std::optional<JobResult> load(const std::string &key);
 
     /** Atomically persist a result row for a key (temp + rename).
-     * Throws FatalError when the store directory is unusable. */
+     * Replaces a leftover staging file at its own path. Throws
+     * FatalError when the store directory is unusable. */
     void save(const std::string &key, const JobResult &result);
 
     /**
      * Try to claim a key for this process by atomically creating its
-     * lock file. True iff the claim was won. Claims are never
-     * released: a claimed-but-unfinished job (crashed process) stays
-     * claimed until the lock file is removed by hand or the store is
-     * cleared, and shows up as a merge-time miss.
+     * lock file. True iff the claim was won. A lock whose mtime has
+     * not been refreshed within the claim TTL is treated as
+     * abandoned and reclaimed (exactly one racer wins it).
      */
     bool tryClaim(const std::string &key);
+
+    /** Bump a held claim's lease clock (call periodically from jobs
+     * that outlive the TTL). False when the lock no longer exists —
+     * the claim was reclaimed out from under the caller. */
+    bool refreshClaim(const std::string &key);
+
+    /** Drop a claim once its entry is saved (or the job is being
+     * abandoned deliberately), so the lock does not linger until the
+     * TTL or a gc pass. Removing a non-existent lock is a no-op. */
+    void releaseClaim(const std::string &key);
+
+    /**
+     * One garbage-collection pass over the fan-out tree: remove
+     * orphaned staging files and expired locks, evict entries by age
+     * and LRU size budget. Entries protected by a fresh lock are
+     * never evicted, so a pass is safe concurrently with active
+     * workers (they keep their in-flight and just-read entries).
+     */
+    GcStats gc(const GcOptions &opts);
 
     /** Entry / lock file paths for a key (for tests and tooling). */
     std::string entryPath(const std::string &key) const;
     std::string claimPath(const std::string &key) const;
+    /** The staging path save() on this thread would write through —
+     * deterministic per (key, process, thread), so tests can plant a
+     * pre-existing tmp and assert save() replaces it. */
+    std::string stagingPath(const std::string &key) const;
 
     /** Snapshot of the traffic counters. */
     StoreStats stats() const;
@@ -131,8 +220,14 @@ class ResultStore
                            const std::string &key, JobResult &out);
 
   private:
+    /** Arbitrate an expired lock: true when the caller renamed it
+     * aside (or it vanished) and should retry the exclusive create. */
+    bool reclaimStaleClaim(const std::string &path);
+
     std::string _dir;
     std::string _version;
+    std::int64_t _claimTtl;
+    bool _touchOnHit;
 
     mutable std::mutex _mutex;  ///< guards _stats only
     StoreStats _stats;

@@ -1,0 +1,502 @@
+#include "service/service.hh"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "core/config.hh"
+#include "runner/store.hh"
+#include "workloads/workloads.hh"
+
+namespace fs = std::filesystem;
+
+namespace dde::service
+{
+
+namespace
+{
+
+bool
+validId(const std::string &id)
+{
+    if (id.empty() || id.size() > 128 || id[0] == '.')
+        return false;
+    for (char c : id) {
+        if (!std::isalnum(static_cast<unsigned char>(c)) &&
+            c != '.' && c != '_' && c != '-')
+            return false;
+    }
+    return true;
+}
+
+core::CoreConfig
+presetByName(const std::string &name)
+{
+    if (name == "contended")
+        return core::CoreConfig::contended();
+    if (name == "wide")
+        return core::CoreConfig::wide();
+    if (name == "tiny")
+        return core::CoreConfig::tiny();
+    fatal("request: unknown config preset '", name,
+          "' (want contended|wide|tiny)");
+}
+
+std::string
+defaultLabel(const RequestJob &j)
+{
+    std::string label = j.config;
+    if (j.elim || j.oracle)
+        label += "-elim";
+    if (j.oracle)
+        label += "-oracle";
+    return label + ":" + j.workload;
+}
+
+/** Read a whole file; empty optional when unreadable. */
+std::optional<std::string>
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+/** Atomic write: stage next to the target, rename into place. */
+void
+writeAtomically(const std::string &path, const std::string &text)
+{
+    std::string tmp =
+        path + ".tmp." + std::to_string(::getpid());
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        fatal_if(!os, "service: cannot write '", tmp, "'");
+        os << text;
+        os.flush();
+        fatal_if(!os, "service: short write to '", tmp, "'");
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        fatal("service: cannot rename into '", path, "'");
+    }
+}
+
+/** Lexicographically sorted *.json names in a spool subdirectory. */
+std::vector<std::string>
+pendingNames(const std::string &dir)
+{
+    std::vector<std::string> names;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        if (!it->is_regular_file(ec))
+            continue;
+        std::string name = it->path().filename().string();
+        if (name.size() > 5 &&
+            name.compare(name.size() - 5, 5, ".json") == 0)
+            names.push_back(std::move(name));
+    }
+    std::sort(names.begin(), names.end());
+    return names;
+}
+
+/** One streamed progress line (JSONL: one object per line). */
+std::string
+jobEventLine(std::size_t index, const runner::JobResult &r)
+{
+    std::ostringstream os;
+    os << "{\"event\": \"job\", \"index\": " << index
+       << ", \"label\": " << json::quote(r.label)
+       << ", \"ok\": " << (r.ok ? "true" : "false")
+       << ", \"skipped\": " << (r.skipped ? "true" : "false");
+    if (!r.ok)
+        os << ", \"error\": " << json::quote(r.error);
+    os << "}";
+    return os.str();
+}
+
+} // namespace
+
+SweepRequest
+parseRequest(const std::string &text, const std::string &fallback_id)
+{
+    json::Value doc = json::parse(text);
+    fatal_if(doc.at("schema").asString() != kRequestSchema,
+             "request: schema is not ", kRequestSchema);
+
+    SweepRequest req;
+    req.id = doc.find("id") ? doc.at("id").asString() : fallback_id;
+    fatal_if(!validId(req.id), "request: bad id '", req.id,
+             "' (want [A-Za-z0-9._-], no leading dot)");
+    if (const json::Value *v = doc.find("scale"))
+        req.scale = static_cast<unsigned>(v->asUint());
+    fatal_if(req.scale == 0, "request: scale must be >= 1");
+    if (const json::Value *v = doc.find("profile"))
+        req.profile = v->asBool();
+
+    const json::Value &jobs = doc.at("jobs");
+    fatal_if(!jobs.isArray() || jobs.items().empty(),
+             "request: empty job grid");
+    for (const json::Value &j : jobs.items()) {
+        RequestJob rj;
+        rj.workload = j.at("workload").asString();
+        // Unknown workloads fail here, at validation time.
+        workloads::workloadByName(rj.workload);
+        if (const json::Value *v = j.find("config"))
+            rj.config = v->asString();
+        presetByName(rj.config);
+        if (const json::Value *v = j.find("scale"))
+            rj.scale = static_cast<unsigned>(v->asUint());
+        if (const json::Value *v = j.find("seed"))
+            rj.seed = v->asUint();
+        if (const json::Value *v = j.find("elim"))
+            rj.elim = v->asBool();
+        if (const json::Value *v = j.find("oracle"))
+            rj.oracle = v->asBool();
+        if (const json::Value *v = j.find("recovery"))
+            rj.recovery = v->asString();
+        fatal_if(rj.recovery != "ueb" && rj.recovery != "squash",
+                 "request: unknown recovery '", rj.recovery,
+                 "' (want ueb|squash)");
+        if (const json::Value *v = j.find("check"))
+            rj.check = v->asBool();
+        if (const json::Value *v = j.find("maxCycles"))
+            rj.maxCycles = v->asUint();
+        if (const json::Value *v = j.find("fastForward"))
+            rj.fastForward = v->asUint();
+        rj.label = j.find("label") ? j.at("label").asString()
+                                   : defaultLabel(rj);
+        req.jobs.push_back(std::move(rj));
+    }
+    return req;
+}
+
+std::string
+renderRequest(const SweepRequest &req)
+{
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject();
+    w.field("schema", kRequestSchema);
+    w.field("id", req.id);
+    w.field("scale", req.scale);
+    w.field("profile", req.profile);
+    w.key("jobs");
+    w.beginArray();
+    for (const RequestJob &j : req.jobs) {
+        w.beginObject();
+        w.field("workload", j.workload);
+        w.field("config", j.config);
+        if (!j.label.empty())
+            w.field("label", j.label);
+        if (j.scale)
+            w.field("scale", j.scale);
+        w.field("seed", j.seed);
+        w.field("elim", j.elim);
+        w.field("oracle", j.oracle);
+        w.field("recovery", j.recovery);
+        w.field("check", j.check);
+        if (j.maxCycles)
+            w.field("maxCycles", j.maxCycles);
+        if (j.fastForward)
+            w.field("fastForward", j.fastForward);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return os.str();
+}
+
+void
+queueRequest(runner::SweepRunner &sweep, const SweepRequest &req)
+{
+    for (const RequestJob &j : req.jobs) {
+        runner::ProgramKey key(j.workload,
+                               j.scale ? j.scale : req.scale, j.seed);
+        core::CoreConfig cfg = presetByName(j.config);
+        if (j.elim || j.oracle)
+            cfg.elim.enable = true;
+        if (j.oracle)
+            cfg.elim.oraclePredictor = true;
+        cfg.elim.recovery = j.recovery == "squash"
+                                ? core::RecoveryMode::SquashProducer
+                                : core::RecoveryMode::UebRepair;
+        sim::RunOptions run_opts;
+        if (j.maxCycles)
+            run_opts.maxCycles = j.maxCycles;
+        run_opts.fastForwardInsts = j.fastForward;
+        std::string label =
+            j.label.empty() ? defaultLabel(j) : j.label;
+        sweep.addCoreRun(std::move(label), std::move(key), cfg,
+                         run_opts, j.check);
+    }
+}
+
+SpoolPaths
+SpoolPaths::at(const std::string &root)
+{
+    SpoolPaths p;
+    p.root = root;
+    p.incoming = root + "/new";
+    p.work = root + "/work";
+    p.done = root + "/done";
+    p.failed = root + "/failed";
+    p.out = root + "/out";
+    return p;
+}
+
+void
+SpoolPaths::ensure() const
+{
+    for (const std::string *d :
+         {&incoming, &work, &done, &failed, &out}) {
+        std::error_code ec;
+        fs::create_directories(*d, ec);
+        fatal_if(ec && !fs::is_directory(*d),
+                 "service: cannot create '", *d, "': ", ec.message());
+    }
+}
+
+EnqueueResult
+enqueueRequest(const std::string &spool_root, const std::string &text,
+               const std::string &id, std::size_t high_water)
+{
+    EnqueueResult res;
+    SpoolPaths spool = SpoolPaths::at(spool_root);
+    spool.ensure();
+
+    // Producers learn about a bad request at submit time, not from
+    // the failed/ directory hours later.
+    SweepRequest req;
+    try {
+        req = parseRequest(text, id);
+    } catch (const std::exception &e) {
+        res.reason = e.what();
+        return res;
+    }
+
+    if (high_water) {
+        std::size_t pending = pendingNames(spool.incoming).size();
+        if (pending >= high_water) {
+            res.reason = "spool full: " + std::to_string(pending) +
+                         " pending >= high-water " +
+                         std::to_string(high_water);
+            return res;
+        }
+    }
+
+    std::string name = req.id + ".json";
+    std::error_code ec;
+    if (fs::exists(spool.incoming + "/" + name, ec) ||
+        fs::exists(spool.work + "/" + name, ec)) {
+        res.reason = "duplicate id '" + req.id + "' already spooled";
+        return res;
+    }
+
+    std::string path = spool.incoming + "/" + name;
+    writeAtomically(path, text);
+    res.accepted = true;
+    res.path = path;
+    return res;
+}
+
+SweepService::SweepService(ServiceOptions opts)
+    : _opts(std::move(opts)), _spool(SpoolPaths::at(_opts.spoolDir))
+{
+    fatal_if(_opts.spoolDir.empty(), "service: empty spool directory");
+    _spool.ensure();
+}
+
+void
+SweepService::recoverOrphanedWork()
+{
+    // A crashed daemon leaves its in-flight request in work/; its
+    // simulation effort survives as store entries, so re-spooling
+    // the document costs store hits, not duplicated work.
+    for (const std::string &name : pendingNames(_spool.work)) {
+        std::error_code ec;
+        fs::rename(_spool.work + "/" + name,
+                   _spool.incoming + "/" + name, ec);
+        if (!ec)
+            ++_counters.recovered;
+    }
+}
+
+int
+SweepService::run()
+{
+    recoverOrphanedWork();
+    while (!_stop.load()) {
+        if (_opts.maxRequests &&
+            _counters.requestsDone + _counters.requestsFailed >=
+                _opts.maxRequests)
+            break;
+        if (processOne()) {
+            maybeGc();
+            continue;
+        }
+        if (_opts.exitWhenIdle)
+            break;
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(_opts.pollMs));
+    }
+    return 0;
+}
+
+bool
+SweepService::processOne()
+{
+    for (const std::string &name : pendingNames(_spool.incoming)) {
+        std::string dst = _spool.work + "/" + name;
+        std::error_code ec;
+        fs::rename(_spool.incoming + "/" + name, dst, ec);
+        if (ec)
+            continue;  // another daemon claimed it first
+        processClaimed(dst);
+        return true;
+    }
+    return false;
+}
+
+void
+SweepService::failRequest(const std::string &work_path,
+                          const std::string &id,
+                          const std::string &why)
+{
+    std::error_code ec;
+    fs::rename(work_path, _spool.failed + "/" + id + ".json", ec);
+    std::ofstream os(_spool.failed + "/" + id + ".error.txt",
+                     std::ios::trunc);
+    os << why << "\n";
+    warn("service: request '", id, "' failed: ", why);
+    ++_counters.requestsFailed;
+}
+
+void
+SweepService::processClaimed(const std::string &work_path)
+{
+    std::string stem = fs::path(work_path).stem().string();
+    auto text = slurp(work_path);
+    if (!text) {
+        failRequest(work_path, stem, "unreadable request document");
+        return;
+    }
+
+    SweepRequest req;
+    try {
+        req = parseRequest(*text, stem);
+    } catch (const std::exception &e) {
+        failRequest(work_path, stem, e.what());
+        return;
+    }
+
+    std::string events_path =
+        _spool.out + "/" + req.id + ".events.jsonl";
+    std::ofstream events(events_path,
+                         std::ios::binary | std::ios::trunc);
+    auto emit = [&events](const std::string &line) {
+        events << line << "\n";
+        events.flush();  // streamed: consumers tail the file live
+    };
+    emit("{\"event\": \"accepted\", \"id\": " + json::quote(req.id) +
+         ", \"jobs\": " + std::to_string(req.jobs.size()) + "}");
+
+    runner::SweepRunner::Options opts;
+    opts.threads = _opts.threads;
+    opts.profile = req.profile;
+    opts.storeDir = _opts.storeDir;
+    opts.storeVersion = _opts.storeVersion;
+    opts.claimTtlSeconds = _opts.claimTtlSeconds;
+    opts.onResult = [&](std::size_t index,
+                        const runner::JobResult &r) {
+        emit(jobEventLine(index, r));
+        if (r.ok)
+            ++_counters.jobsCompleted;
+        else
+            ++_counters.jobsFailed;
+    };
+    runner::SweepRunner sweep(opts);
+    try {
+        queueRequest(sweep, req);
+    } catch (const std::exception &e) {
+        failRequest(work_path, req.id, e.what());
+        return;
+    }
+    runner::SweepReport report = sweep.run();
+
+    // The deliverables: the report (atomic — a poller sees either
+    // nothing or the complete document) and a status summary with
+    // the store traffic this request cost.
+    try {
+        writeAtomically(_spool.out + "/" + req.id + ".report.json",
+                        report.toJson());
+    } catch (const std::exception &e) {
+        failRequest(work_path, req.id, e.what());
+        return;
+    }
+    runner::StoreStats s = sweep.storeStats();
+    {
+        std::ostringstream os;
+        json::Writer w(os);
+        w.beginObject();
+        w.field("schema", "dde.sweepsvc.status/1");
+        w.field("id", req.id);
+        w.field("ok", report.allOk());
+        w.field("jobs", static_cast<std::uint64_t>(report.size()));
+        w.field("hits", s.hits);
+        w.field("misses", s.misses);
+        w.field("stale", s.stale);
+        w.field("writes", s.writes);
+        w.endObject();
+        writeAtomically(_spool.out + "/" + req.id + ".status.json",
+                        os.str());
+    }
+    emit("{\"event\": \"done\", \"id\": " + json::quote(req.id) +
+         ", \"ok\": " + (report.allOk() ? "true" : "false") +
+         ", \"hits\": " + std::to_string(s.hits) +
+         ", \"misses\": " + std::to_string(s.misses) +
+         ", \"writes\": " + std::to_string(s.writes) + "}");
+
+    std::error_code ec;
+    fs::rename(work_path, _spool.done + "/" + stem + ".json", ec);
+    ++_counters.requestsDone;
+}
+
+void
+SweepService::maybeGc()
+{
+    if (_opts.storeDir.empty() ||
+        (_opts.gcMaxAgeSeconds == 0 && _opts.gcMaxBytes == 0))
+        return;
+    runner::StoreOptions so;
+    so.dir = _opts.storeDir;
+    so.version = _opts.storeVersion;
+    if (_opts.claimTtlSeconds >= 0)
+        so.claimTtlSeconds = _opts.claimTtlSeconds;
+    runner::ResultStore store(std::move(so));
+    runner::GcOptions gc;
+    gc.maxAgeSeconds = _opts.gcMaxAgeSeconds;
+    gc.maxBytes = _opts.gcMaxBytes;
+    runner::GcStats g = store.gc(gc);
+    if (g.evicted() || g.stagingRemoved || g.locksReclaimed) {
+        inform("service: gc evicted ", g.evicted(), " entries (",
+               g.evictedBytes, " bytes), swept ", g.stagingRemoved,
+               " staging files, ", g.locksReclaimed, " stale locks");
+    }
+    ++_counters.gcPasses;
+}
+
+} // namespace dde::service

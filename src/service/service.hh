@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Sweep-farm service: the long-running batch front-end over the
+ * persistent result store (runner/store.hh).
+ *
+ * Producers enqueue *sweep requests* — JSON documents describing a
+ * grid of core simulations — into a spool directory; the daemon
+ * (bench/ddesweepd) claims them one at a time, schedules their jobs
+ * through the store-aware SweepRunner, streams per-job completion
+ * events to a per-request JSONL file, and writes the final
+ * dde.sweep/2 report byte-identical to a direct SweepRunner run of
+ * the same grid (CI's service-smoke job cmp-gates this).
+ *
+ * Spool layout (all under one root, created on demand):
+ *
+ *     spool/new/<id>.json        incoming requests (atomic-rename
+ *                                enqueue, the store's write idiom)
+ *     spool/work/<id>.json       the request being processed; moved
+ *                                back to new/ on daemon restart, so
+ *                                a crash never loses a request
+ *     spool/done/<id>.json       processed request documents
+ *     spool/failed/<id>.json     malformed/failed requests, next to
+ *     spool/failed/<id>.error.txt   the reason
+ *     spool/out/<id>.events.jsonl   streamed progress events
+ *     spool/out/<id>.report.json    the final sweep report
+ *     spool/out/<id>.status.json    summary incl. store traffic
+ *
+ * Backpressure is enforced at the enqueue edge: enqueueRequest()
+ * rejects (does not defer) a request when `new/` already holds
+ * high-water many pending documents, so a flooded farm pushes back
+ * on producers instead of growing the spool without bound. The
+ * daemon itself drains strictly one request at a time — the bounded
+ * in-flight window — and parallelizes *within* a request via the
+ * runner's thread pool.
+ *
+ * Lifecycle: SIGTERM/SIGINT (wired to requestStop() by ddesweepd)
+ * drains gracefully — the in-flight request finishes, its results
+ * are already persisted per-job in the store, the report is written,
+ * and pending requests stay in new/ for the next daemon. Because
+ * every job is store-keyed, a restarted daemon re-running a
+ * partially processed request costs only store hits, never
+ * duplicated simulation.
+ */
+
+#ifndef DDE_SERVICE_SERVICE_HH
+#define DDE_SERVICE_SERVICE_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runner/runner.hh"
+
+namespace dde::service
+{
+
+/** Request document schema identifier. */
+inline constexpr const char *kRequestSchema = "dde.sweepreq/1";
+
+/** One core-simulation grid point inside a request. */
+struct RequestJob
+{
+    /** Report row label; defaults to "<config>[-elim][-oracle]:
+     * <workload>". */
+    std::string label;
+    /** Workload name (workloads::workloadByName). Required. */
+    std::string workload;
+    /** Machine preset: "contended" (default), "wide" or "tiny". */
+    std::string config = "contended";
+    /** Workload scale / seed; 0 scale inherits the request default. */
+    unsigned scale = 0;
+    std::uint64_t seed = 42;
+    /** Dead-instruction elimination on; oracle implies elim. */
+    bool elim = false;
+    bool oracle = false;
+    /** Recovery mode: "ueb" (default) or "squash". */
+    std::string recovery = "ueb";
+    /** Verify the observable-state contract against the emulator. */
+    bool check = false;
+    /** RunOptions overrides; 0 keeps the defaults. */
+    std::uint64_t maxCycles = 0;
+    std::uint64_t fastForward = 0;
+};
+
+/** A parsed sweep request. */
+struct SweepRequest
+{
+    std::string id;
+    /** Default workload scale for jobs that leave theirs at 0. */
+    unsigned scale = 1;
+    /** Cycle-accounting profile layer on every job. */
+    bool profile = false;
+    std::vector<RequestJob> jobs;
+};
+
+/**
+ * Parse and validate a request document. `fallback_id` (typically
+ * the spool file stem) is used when the document carries no "id".
+ * Throws FatalError on malformed JSON, an unknown workload / config
+ * preset / recovery mode, an empty grid, or an id that is not a
+ * plain filename ([A-Za-z0-9._-], no leading dot).
+ */
+SweepRequest parseRequest(const std::string &text,
+                          const std::string &fallback_id);
+
+/** Serialize a request (the enqueue side of parseRequest; the two
+ * round-trip). */
+std::string renderRequest(const SweepRequest &req);
+
+/** Queue every job of a request on a runner, in document order —
+ * the deterministic mapping both the daemon and a direct run share,
+ * which is what makes their reports byte-identical. */
+void queueRequest(runner::SweepRunner &sweep, const SweepRequest &req);
+
+/** Spool subdirectories for a root (see file comment for layout). */
+struct SpoolPaths
+{
+    std::string root;
+    std::string incoming;  ///< new/
+    std::string work;      ///< work/
+    std::string done;      ///< done/
+    std::string failed;    ///< failed/
+    std::string out;       ///< out/
+
+    static SpoolPaths at(const std::string &root);
+    /** Create every subdirectory (idempotent). */
+    void ensure() const;
+};
+
+/** Outcome of an enqueue attempt. */
+struct EnqueueResult
+{
+    bool accepted = false;
+    /** Path of the spooled document when accepted. */
+    std::string path;
+    /** Rejection reason otherwise ("spool full", "duplicate id"). */
+    std::string reason;
+};
+
+/**
+ * Atomically enqueue a request document (tmp + rename into new/).
+ * Validates the document first — a producer learns about a bad
+ * request at submit time, not from the failed/ directory. Rejects
+ * when new/ already holds `high_water` pending requests (0 = no
+ * bound) or when the id is already spooled.
+ */
+EnqueueResult enqueueRequest(const std::string &spool_root,
+                             const std::string &text,
+                             const std::string &id,
+                             std::size_t high_water = 0);
+
+/** Daemon construction knobs. */
+struct ServiceOptions
+{
+    std::string spoolDir;  ///< required
+    /** Persistent result store; empty runs storeless (every request
+     * simulates from scratch — fine for tests, wasteful for farms). */
+    std::string storeDir;
+    std::string storeVersion;  ///< tests: version-bump invalidation
+    unsigned threads = 0;      ///< per-request sweep threads
+    unsigned pollMs = 200;     ///< idle spool poll interval
+    /** Exit once the spool is empty instead of polling (CI mode). */
+    bool exitWhenIdle = false;
+    /** Stop after this many processed requests; 0 = unlimited. */
+    std::uint64_t maxRequests = 0;
+    /** Claim lease for the store; -1 = store default, 0 = forever. */
+    std::int64_t claimTtlSeconds = -1;
+    /** Store GC between requests (0/0 = off): keeps a long-running
+     * farm's store bounded without a separate cron job. */
+    std::int64_t gcMaxAgeSeconds = 0;
+    std::uint64_t gcMaxBytes = 0;
+};
+
+/** Daemon lifetime counters. */
+struct ServiceCounters
+{
+    std::uint64_t requestsDone = 0;
+    std::uint64_t requestsFailed = 0;
+    std::uint64_t jobsCompleted = 0;
+    std::uint64_t jobsFailed = 0;
+    std::uint64_t gcPasses = 0;
+    std::uint64_t recovered = 0;  ///< work/ docs re-spooled at start
+};
+
+class SweepService
+{
+  public:
+    explicit SweepService(ServiceOptions opts);
+
+    const SpoolPaths &spool() const { return _spool; }
+    const ServiceCounters &counters() const { return _counters; }
+
+    /**
+     * Main loop: recover orphaned work, then drain the spool until
+     * requestStop(), maxRequests, or (with exitWhenIdle) an empty
+     * spool. Always returns 0 — an individual bad request fails
+     * into failed/, it does not kill the farm.
+     */
+    int run();
+
+    /** Claim and process the oldest pending request; false when the
+     * spool is empty. Exposed so tests drive the daemon one step at
+     * a time. */
+    bool processOne();
+
+    /** Move crashed-predecessor work/ documents back into new/. */
+    void recoverOrphanedWork();
+
+    /** Graceful drain: finish the in-flight request, then return
+     * from run(). Async-signal-safe (sets an atomic flag). */
+    void requestStop() { _stop.store(true); }
+    bool stopRequested() const { return _stop.load(); }
+
+    /** Run one store GC pass with the service's bounds (no-op
+     * without a store or bounds). */
+    void maybeGc();
+
+  private:
+    void processClaimed(const std::string &work_path);
+    void failRequest(const std::string &work_path,
+                     const std::string &id, const std::string &why);
+
+    ServiceOptions _opts;
+    SpoolPaths _spool;
+    ServiceCounters _counters;
+    std::atomic<bool> _stop{false};
+};
+
+} // namespace dde::service
+
+#endif // DDE_SERVICE_SERVICE_HH

@@ -132,6 +132,28 @@ TEST_F(BenchUtilTest, ExtraFlagHookConsumesBenchSpecificFlags)
     EXPECT_EQ(args.scale, 4u);
 }
 
+TEST_F(BenchUtilTest, ClaimTtlAndGcFlagsParse)
+{
+    auto args = parse({"--store-dir", "/tmp/s", "--claim-ttl", "120",
+                       "--gc-max-age", "86400", "--gc-max-bytes",
+                       "10000000000"});
+    EXPECT_EQ(args.claimTtl, 120);
+    EXPECT_EQ(args.gcMaxAge, 86400);
+    // Byte budgets exceed the unsigned flags' 1<<20 sanity cap.
+    EXPECT_EQ(args.gcMaxBytes, 10000000000ull);
+
+    // Defaults: store-default lease, no GC pass.
+    auto plain = parse({});
+    EXPECT_EQ(plain.claimTtl, -1);
+    EXPECT_EQ(plain.gcMaxAge, 0);
+    EXPECT_EQ(plain.gcMaxBytes, 0u);
+
+    // 0 is meaningful for --claim-ttl: claims never expire.
+    EXPECT_EQ(parse({"--store-dir", "/tmp/s", "--claim-ttl", "0"})
+                  .claimTtl,
+              0);
+}
+
 TEST_F(BenchUtilTest, BadInvocationsExitWithStatusTwo)
 {
     EXPECT_EXIT(parse({"--frobnicate"}),
@@ -150,6 +172,13 @@ TEST_F(BenchUtilTest, BadInvocationsExitWithStatusTwo)
                 "requires --store-dir");
     EXPECT_EXIT(parse({"--merge"}), ::testing::ExitedWithCode(2),
                 "requires --store-dir");
+    // A GC pass needs a store to collect.
+    EXPECT_EXIT(parse({"--gc-max-age", "60"}),
+                ::testing::ExitedWithCode(2), "requires --store-dir");
+    EXPECT_EXIT(parse({"--gc-max-bytes", "1000"}),
+                ::testing::ExitedWithCode(2), "requires --store-dir");
+    EXPECT_EXIT(parse({"--claim-ttl", "soon"}),
+                ::testing::ExitedWithCode(2), "bad value");
     // The extra hook cannot swallow the shared flags' errors.
     auto extra = [](const std::string &, const bench::NextValueFn &) {
         return false;

@@ -1,0 +1,407 @@
+/**
+ * @file
+ * Sweep-farm service tests: request document parsing/validation and
+ * round-trip, spool enqueue semantics (atomicity, duplicate ids,
+ * high-water backpressure), the daemon lifecycle (process, fail into
+ * failed/, orphaned-work recovery, graceful stop, warm restart via
+ * store hits), byte-identity of daemon reports against direct serial
+ * runs, and between-request GC that never evicts claimed entries.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "runner/runner.hh"
+#include "runner/store.hh"
+#include "service/service.hh"
+
+using namespace dde;
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+freshDir(const std::string &name)
+{
+    fs::path dir = fs::path(::testing::TempDir()) / ("dde_svc_" + name);
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir.string();
+}
+
+/** A small but real two-job grid (one baseline, one oracle-elim). */
+std::string
+smallRequestText(const std::string &id)
+{
+    return "{\n"
+           "  \"schema\": \"dde.sweepreq/1\",\n"
+           "  \"id\": \"" + id + "\",\n"
+           "  \"scale\": 1,\n"
+           "  \"jobs\": [\n"
+           "    {\"workload\": \"fsm\", \"config\": \"tiny\"},\n"
+           "    {\"workload\": \"fsm\", \"config\": \"tiny\", "
+           "\"oracle\": true}\n"
+           "  ]\n"
+           "}\n";
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "cannot read " << path;
+    std::ostringstream text;
+    text << in.rdbuf();
+    return text.str();
+}
+
+service::ServiceOptions
+ciOptions(const std::string &spool, const std::string &store = {})
+{
+    service::ServiceOptions opts;
+    opts.spoolDir = spool;
+    opts.storeDir = store;
+    opts.threads = 2;
+    opts.exitWhenIdle = true;
+    return opts;
+}
+
+} // namespace
+
+TEST(ServiceRequest, ParseAppliesDefaultsAndLabels)
+{
+    auto req = service::parseRequest(smallRequestText("r1"), "fb");
+    EXPECT_EQ(req.id, "r1");
+    EXPECT_EQ(req.scale, 1u);
+    EXPECT_FALSE(req.profile);
+    ASSERT_EQ(req.jobs.size(), 2u);
+    EXPECT_EQ(req.jobs[0].label, "tiny:fsm");
+    EXPECT_FALSE(req.jobs[0].elim);
+    EXPECT_EQ(req.jobs[0].recovery, "ueb");
+    // Oracle implies elimination in the derived label.
+    EXPECT_EQ(req.jobs[1].label, "tiny-elim-oracle:fsm");
+    EXPECT_TRUE(req.jobs[1].oracle);
+}
+
+TEST(ServiceRequest, FallbackIdIsUsedWhenDocumentHasNone)
+{
+    std::string text =
+        "{\"schema\": \"dde.sweepreq/1\", \"jobs\": "
+        "[{\"workload\": \"fsm\"}]}";
+    auto req = service::parseRequest(text, "spool-stem");
+    EXPECT_EQ(req.id, "spool-stem");
+    EXPECT_EQ(req.jobs[0].config, "contended");
+}
+
+TEST(ServiceRequest, RenderParsesBackIdentically)
+{
+    auto req = service::parseRequest(smallRequestText("rt"), "fb");
+    auto back = service::parseRequest(service::renderRequest(req), "x");
+    EXPECT_EQ(back.id, req.id);
+    EXPECT_EQ(back.scale, req.scale);
+    ASSERT_EQ(back.jobs.size(), req.jobs.size());
+    for (std::size_t i = 0; i < req.jobs.size(); ++i) {
+        EXPECT_EQ(back.jobs[i].label, req.jobs[i].label);
+        EXPECT_EQ(back.jobs[i].workload, req.jobs[i].workload);
+        EXPECT_EQ(back.jobs[i].config, req.jobs[i].config);
+        EXPECT_EQ(back.jobs[i].seed, req.jobs[i].seed);
+        EXPECT_EQ(back.jobs[i].oracle, req.jobs[i].oracle);
+        EXPECT_EQ(back.jobs[i].recovery, req.jobs[i].recovery);
+    }
+}
+
+TEST(ServiceRequest, ValidationRejectsBadDocuments)
+{
+    auto parse = [](const std::string &text) {
+        return service::parseRequest(text, "fb");
+    };
+    EXPECT_THROW(parse("not json"), FatalError);
+    EXPECT_THROW(parse("{\"schema\": \"other/9\", \"jobs\": []}"),
+                 FatalError);
+    // Empty grid.
+    EXPECT_THROW(parse("{\"schema\": \"dde.sweepreq/1\", "
+                       "\"jobs\": []}"),
+                 FatalError);
+    // Unknown workload / config preset / recovery mode.
+    EXPECT_THROW(parse("{\"schema\": \"dde.sweepreq/1\", \"jobs\": "
+                       "[{\"workload\": \"nope\"}]}"),
+                 FatalError);
+    EXPECT_THROW(parse("{\"schema\": \"dde.sweepreq/1\", \"jobs\": "
+                       "[{\"workload\": \"fsm\", "
+                       "\"config\": \"huge\"}]}"),
+                 FatalError);
+    EXPECT_THROW(parse("{\"schema\": \"dde.sweepreq/1\", \"jobs\": "
+                       "[{\"workload\": \"fsm\", "
+                       "\"recovery\": \"retry\"}]}"),
+                 FatalError);
+    // Ids must be plain filenames: no separators, no leading dot.
+    EXPECT_THROW(parse("{\"schema\": \"dde.sweepreq/1\", "
+                       "\"id\": \"../escape\", \"jobs\": "
+                       "[{\"workload\": \"fsm\"}]}"),
+                 FatalError);
+    EXPECT_THROW(parse("{\"schema\": \"dde.sweepreq/1\", "
+                       "\"id\": \".hidden\", \"jobs\": "
+                       "[{\"workload\": \"fsm\"}]}"),
+                 FatalError);
+}
+
+TEST(ServiceSpool, EnqueueSpoolsValidatedDocumentsAtomically)
+{
+    std::string root = freshDir("enq");
+    auto res = service::enqueueRequest(root, smallRequestText("a"),
+                                       "fb");
+    ASSERT_TRUE(res.accepted) << res.reason;
+    EXPECT_EQ(res.path, root + "/new/a.json");
+    EXPECT_TRUE(fs::exists(res.path));
+    // No staging debris next to the spooled document.
+    std::size_t files = 0;
+    for (const auto &e : fs::directory_iterator(root + "/new"))
+        files += e.is_regular_file();
+    EXPECT_EQ(files, 1u);
+
+    // A malformed document is rejected at the enqueue edge.
+    auto bad = service::enqueueRequest(root, "{broken", "fb");
+    EXPECT_FALSE(bad.accepted);
+    EXPECT_FALSE(bad.reason.empty());
+
+    // Re-submitting a pending id is a duplicate, not an overwrite.
+    auto dup = service::enqueueRequest(root, smallRequestText("a"),
+                                       "fb");
+    EXPECT_FALSE(dup.accepted);
+    EXPECT_NE(dup.reason.find("duplicate"), std::string::npos);
+}
+
+TEST(ServiceSpool, HighWaterMarkRejectsWhenFull)
+{
+    std::string root = freshDir("backpressure");
+    ASSERT_TRUE(service::enqueueRequest(root, smallRequestText("a"),
+                                        "fb", 2)
+                    .accepted);
+    ASSERT_TRUE(service::enqueueRequest(root, smallRequestText("b"),
+                                        "fb", 2)
+                    .accepted);
+    // The spool is at the high-water mark: push back on the producer.
+    auto res = service::enqueueRequest(root, smallRequestText("c"),
+                                       "fb", 2);
+    EXPECT_FALSE(res.accepted);
+    EXPECT_NE(res.reason.find("spool full"), std::string::npos);
+    EXPECT_FALSE(fs::exists(root + "/new/c.json"));
+
+    // Draining the spool reopens it.
+    fs::remove(root + "/new/a.json");
+    EXPECT_TRUE(service::enqueueRequest(root, smallRequestText("c"),
+                                        "fb", 2)
+                    .accepted);
+}
+
+TEST(Service, ProcessesARequestAndWritesAllArtifacts)
+{
+    std::string spool = freshDir("process");
+    ASSERT_TRUE(service::enqueueRequest(spool, smallRequestText("r"),
+                                        "fb")
+                    .accepted);
+
+    service::SweepService svc(ciOptions(spool, freshDir("process_st")));
+    EXPECT_EQ(svc.run(), 0);
+
+    EXPECT_EQ(svc.counters().requestsDone, 1u);
+    EXPECT_EQ(svc.counters().jobsCompleted, 2u);
+    EXPECT_EQ(svc.counters().jobsFailed, 0u);
+    // The document moved new/ -> work/ -> done/.
+    EXPECT_FALSE(fs::exists(spool + "/new/r.json"));
+    EXPECT_FALSE(fs::exists(spool + "/work/r.json"));
+    EXPECT_TRUE(fs::exists(spool + "/done/r.json"));
+
+    // Streamed events: accepted, one per job, done.
+    std::string events = slurp(spool + "/out/r.events.jsonl");
+    EXPECT_NE(events.find("\"event\": \"accepted\""),
+              std::string::npos);
+    EXPECT_NE(events.find("\"label\": \"tiny:fsm\""),
+              std::string::npos);
+    EXPECT_NE(events.find("\"label\": \"tiny-elim-oracle:fsm\""),
+              std::string::npos);
+    EXPECT_NE(events.find("\"event\": \"done\""), std::string::npos);
+
+    // The report parses and carries both rows.
+    std::string report = slurp(spool + "/out/r.report.json");
+    EXPECT_NE(report.find("\"schema\": \"dde.sweep/2\""),
+              std::string::npos);
+    std::string status = slurp(spool + "/out/r.status.json");
+    EXPECT_NE(status.find("\"ok\": true"), std::string::npos);
+    EXPECT_NE(status.find("\"jobs\": 2"), std::string::npos);
+}
+
+TEST(Service, ReportIsByteIdenticalToADirectSerialRun)
+{
+    std::string spool = freshDir("identity");
+    std::string text = smallRequestText("id1");
+    ASSERT_TRUE(service::enqueueRequest(spool, text, "fb").accepted);
+
+    // The daemon runs threaded with a store...
+    service::SweepService svc(
+        ciOptions(spool, freshDir("identity_st")));
+    ASSERT_EQ(svc.run(), 0);
+
+    // ...the reference runs serial and storeless. Same grid, same
+    // document order, so the reports must match byte for byte.
+    auto req = service::parseRequest(text, "fb");
+    runner::SweepRunner::Options plain;
+    plain.threads = 1;
+    runner::SweepRunner serial(plain);
+    service::queueRequest(serial, req);
+    EXPECT_EQ(slurp(spool + "/out/id1.report.json"),
+              serial.run().toJson());
+}
+
+TEST(Service, RestartResumesWarmWithoutDuplicateSimulation)
+{
+    std::string spool = freshDir("warm");
+    std::string store = freshDir("warm_store");
+
+    ASSERT_TRUE(service::enqueueRequest(spool, smallRequestText("one"),
+                                        "fb")
+                    .accepted);
+    service::SweepService first(ciOptions(spool, store));
+    ASSERT_EQ(first.run(), 0);
+    std::string cold_status = slurp(spool + "/out/one.status.json");
+    EXPECT_NE(cold_status.find("\"misses\": 2"), std::string::npos);
+
+    // A "restarted" daemon receives the same grid under a new id:
+    // every job re-hydrates from the store, nothing re-simulates.
+    ASSERT_TRUE(service::enqueueRequest(spool, smallRequestText("two"),
+                                        "fb")
+                    .accepted);
+    service::SweepService second(ciOptions(spool, store));
+    ASSERT_EQ(second.run(), 0);
+    std::string warm_status = slurp(spool + "/out/two.status.json");
+    EXPECT_NE(warm_status.find("\"hits\": 2"), std::string::npos);
+    EXPECT_NE(warm_status.find("\"misses\": 0"), std::string::npos);
+
+    // Warm and cold reports stay byte-identical (ids are not part of
+    // the report body).
+    EXPECT_EQ(slurp(spool + "/out/one.report.json"),
+              slurp(spool + "/out/two.report.json"));
+}
+
+TEST(Service, MalformedSpooledDocumentFailsIntoFailedDir)
+{
+    std::string spool = freshDir("badreq");
+    service::SpoolPaths paths = service::SpoolPaths::at(spool);
+    paths.ensure();
+    // Bypass the validating client, as a broken producer would.
+    { std::ofstream(paths.incoming + "/junk.json") << "{torn"; }
+
+    service::SweepService svc(ciOptions(spool));
+    EXPECT_EQ(svc.run(), 0);  // a bad request never kills the farm
+    EXPECT_EQ(svc.counters().requestsFailed, 1u);
+    EXPECT_EQ(svc.counters().requestsDone, 0u);
+    EXPECT_TRUE(fs::exists(paths.failed + "/junk.json"));
+    EXPECT_FALSE(slurp(paths.failed + "/junk.error.txt").empty());
+}
+
+TEST(Service, RecoversOrphanedWorkFromACrashedPredecessor)
+{
+    std::string spool = freshDir("recover");
+    service::SpoolPaths paths = service::SpoolPaths::at(spool);
+    paths.ensure();
+    // A predecessor crashed mid-request: the document sits in work/.
+    {
+        std::ofstream(paths.work + "/orphan.json")
+            << smallRequestText("orphan");
+    }
+
+    service::SweepService svc(ciOptions(spool));
+    EXPECT_EQ(svc.run(), 0);
+    EXPECT_EQ(svc.counters().recovered, 1u);
+    EXPECT_EQ(svc.counters().requestsDone, 1u);
+    EXPECT_TRUE(fs::exists(paths.done + "/orphan.json"));
+    EXPECT_TRUE(fs::exists(paths.out + "/orphan.report.json"));
+}
+
+TEST(Service, StopRequestDrainsWithoutConsumingPendingWork)
+{
+    std::string spool = freshDir("drain");
+    ASSERT_TRUE(service::enqueueRequest(spool, smallRequestText("p"),
+                                        "fb")
+                    .accepted);
+
+    service::SweepService svc(ciOptions(spool));
+    // The SIGTERM handler path: stop before the loop ever claims.
+    svc.requestStop();
+    EXPECT_TRUE(svc.stopRequested());
+    EXPECT_EQ(svc.run(), 0);
+    EXPECT_EQ(svc.counters().requestsDone, 0u);
+    // The pending request survives for the next daemon...
+    EXPECT_TRUE(fs::exists(spool + "/new/p.json"));
+
+    // ...which picks it up normally.
+    service::SweepService next(ciOptions(spool));
+    EXPECT_EQ(next.run(), 0);
+    EXPECT_EQ(next.counters().requestsDone, 1u);
+}
+
+TEST(Service, MaxRequestsBoundsTheRun)
+{
+    std::string spool = freshDir("maxreq");
+    ASSERT_TRUE(service::enqueueRequest(spool, smallRequestText("a"),
+                                        "fb")
+                    .accepted);
+    ASSERT_TRUE(service::enqueueRequest(spool, smallRequestText("b"),
+                                        "fb")
+                    .accepted);
+
+    auto opts = ciOptions(spool);
+    opts.maxRequests = 1;
+    service::SweepService svc(opts);
+    EXPECT_EQ(svc.run(), 0);
+    EXPECT_EQ(svc.counters().requestsDone, 1u);
+    // Requests process oldest-name first; "b" stays pending.
+    EXPECT_TRUE(fs::exists(spool + "/done/a.json"));
+    EXPECT_TRUE(fs::exists(spool + "/new/b.json"));
+}
+
+TEST(Service, BetweenRequestGcRespectsClaimsAndTheByteBudget)
+{
+    std::string spool = freshDir("gc");
+    std::string store_dir = freshDir("gc_store");
+
+    // Pre-populate the store: one entry claimed by a live worker of
+    // another process, one old idle entry.
+    runner::StoreOptions so;
+    so.dir = store_dir;
+    runner::ResultStore rival(so);
+    runner::JobResult row;
+    row.label = "held";
+    row.ok = true;
+    row.add({"v", std::uint64_t{1}});
+    rival.save("held.key", row);
+    ASSERT_TRUE(rival.tryClaim("held.key"));
+    row.label = "idle";
+    rival.save("idle.key", row);
+    fs::last_write_time(rival.entryPath("idle.key"),
+                        fs::file_time_type::clock::now() -
+                            std::chrono::hours(2));
+
+    ASSERT_TRUE(service::enqueueRequest(spool, smallRequestText("g"),
+                                        "fb")
+                    .accepted);
+    auto opts = ciOptions(spool, store_dir);
+    opts.gcMaxBytes = 1;  // evict everything evictable
+    service::SweepService svc(opts);
+    ASSERT_EQ(svc.run(), 0);
+    EXPECT_GE(svc.counters().gcPasses, 1u);
+
+    // The claimed entry survived the tiny budget; the idle one and
+    // the request's own (released) entries did not.
+    runner::ResultStore probe(so);
+    EXPECT_TRUE(probe.load("held.key"));
+    EXPECT_FALSE(probe.load("idle.key"));
+}

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <fstream>
@@ -651,4 +652,284 @@ TEST(StoreRunner, SkippedSlotsSerializeAsSkipped)
     auto report = sweep.run();
     std::string doc = report.toJson();
     EXPECT_NE(doc.find("\"skipped\": true"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Claim leases (TTL) and garbage collection.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Backdate a file's mtime, as if it had sat untouched that long. */
+void
+backdate(const std::string &path, std::chrono::seconds age)
+{
+    fs::last_write_time(path, fs::file_time_type::clock::now() - age);
+}
+
+constexpr std::chrono::seconds kWellPastTtl{2 * 3600};
+
+} // namespace
+
+TEST(StoreClaims, ExpiredClaimIsReclaimedExactlyOnce)
+{
+    std::string dir = freshDir("claim_ttl");
+    auto crashed = makeStore(dir);
+    ASSERT_TRUE(crashed.tryClaim("job"));
+    // The claimant dies without releasing; its lock goes stale.
+    backdate(crashed.claimPath("job"), kWellPastTtl);
+
+    auto stealer = makeStore(dir);
+    EXPECT_TRUE(stealer.tryClaim("job"));
+    EXPECT_EQ(stealer.stats().claimsReclaimed, 1u);
+    EXPECT_EQ(stealer.stats().claims, 1u);
+
+    // The reclaimed lock is fresh again: nobody else gets it.
+    auto late = makeStore(dir);
+    EXPECT_FALSE(late.tryClaim("job"));
+    EXPECT_EQ(late.stats().claimsReclaimed, 0u);
+    EXPECT_EQ(late.stats().claimsLost, 1u);
+}
+
+TEST(StoreClaims, ZeroTtlRestoresForeverClaims)
+{
+    std::string dir = freshDir("claim_forever");
+    runner::StoreOptions opts;
+    opts.dir = dir;
+    opts.claimTtlSeconds = 0;
+    runner::ResultStore a(opts);
+    ASSERT_TRUE(a.tryClaim("job"));
+    backdate(a.claimPath("job"), kWellPastTtl);
+
+    runner::ResultStore b(opts);
+    EXPECT_FALSE(b.tryClaim("job"));
+    EXPECT_EQ(b.stats().claimsReclaimed, 0u);
+}
+
+TEST(StoreClaims, RefreshKeepsTheLeaseAlive)
+{
+    std::string dir = freshDir("claim_refresh");
+    auto holder = makeStore(dir);
+    ASSERT_TRUE(holder.tryClaim("job"));
+    backdate(holder.claimPath("job"), kWellPastTtl);
+    // A live long-running holder bumps its lease clock...
+    EXPECT_TRUE(holder.refreshClaim("job"));
+
+    // ...so the lock is no longer reclaimable.
+    auto stealer = makeStore(dir);
+    EXPECT_FALSE(stealer.tryClaim("job"));
+    EXPECT_EQ(stealer.stats().claimsReclaimed, 0u);
+
+    // Refreshing a lock that no longer exists reports the loss.
+    holder.releaseClaim("job");
+    EXPECT_FALSE(holder.refreshClaim("job"));
+}
+
+TEST(StoreClaims, ReleaseFreesTheLockForOthers)
+{
+    std::string dir = freshDir("claim_release");
+    auto a = makeStore(dir);
+    ASSERT_TRUE(a.tryClaim("job"));
+    a.releaseClaim("job");
+    EXPECT_FALSE(fs::exists(a.claimPath("job")));
+    auto b = makeStore(dir);
+    EXPECT_TRUE(b.tryClaim("job"));
+    // Releasing a never-claimed key is a harmless no-op.
+    b.releaseClaim("never-claimed");
+}
+
+TEST(Store, SaveReplacesItsOwnLeftoverStagingFile)
+{
+    auto store = makeStore(freshDir("tmp_leftover"));
+    // A crashed predecessor (same pid/thread identity — e.g. a retry
+    // after a transient failure) left garbage at our staging path.
+    std::string tmp = store.stagingPath("job");
+    {
+        std::ofstream os(tmp);
+        os << "torn half-written garbage";
+    }
+    store.save("job", richResult());
+    ASSERT_TRUE(store.load("job"));
+    EXPECT_FALSE(fs::exists(tmp));
+
+    // Even an un-writable obstruction (a directory) is cleared on
+    // the retry path rather than failing the save.
+    std::string tmp2 = store.stagingPath("job2");
+    fs::create_directories(tmp2);
+    store.save("job2", richResult());
+    ASSERT_TRUE(store.load("job2"));
+}
+
+TEST(StoreGc, OrphanedStagingFilesSweptPastGrace)
+{
+    auto store = makeStore(freshDir("gc_tmp"));
+    store.save("keep", richResult());
+
+    // One stale orphan (crashed writer long gone), one fresh staging
+    // file (a writer mid-save right now).
+    std::string stale = store.entryPath("keep") + ".tmp.999.1";
+    std::string fresh = store.entryPath("keep") + ".tmp.999.2";
+    { std::ofstream(stale) << "{"; }
+    { std::ofstream(fresh) << "{"; }
+    backdate(stale, kWellPastTtl);
+
+    runner::GcStats g = store.gc({});
+    EXPECT_EQ(g.stagingRemoved, 1u);
+    EXPECT_FALSE(fs::exists(stale));
+    EXPECT_TRUE(fs::exists(fresh));
+    EXPECT_EQ(g.evicted(), 0u);
+    ASSERT_TRUE(store.load("keep"));
+}
+
+TEST(StoreGc, ExpiredLocksRemovedFreshLocksKept)
+{
+    auto store = makeStore(freshDir("gc_locks"));
+    ASSERT_TRUE(store.tryClaim("crashed"));
+    ASSERT_TRUE(store.tryClaim("running"));
+    backdate(store.claimPath("crashed"), kWellPastTtl);
+
+    runner::GcStats g = store.gc({});
+    EXPECT_EQ(g.locksReclaimed, 1u);
+    EXPECT_FALSE(fs::exists(store.claimPath("crashed")));
+    EXPECT_TRUE(fs::exists(store.claimPath("running")));
+}
+
+TEST(StoreGc, AgeEvictsOnlyUnclaimedEntries)
+{
+    auto store = makeStore(freshDir("gc_age"));
+    store.save("old-idle", richResult());
+    store.save("old-claimed", richResult());
+    store.save("recent", richResult());
+    backdate(store.entryPath("old-idle"), kWellPastTtl);
+    backdate(store.entryPath("old-claimed"), kWellPastTtl);
+    // A fresh lock marks the entry in-flight: gc must not snatch it
+    // from under the worker holding the claim.
+    ASSERT_TRUE(store.tryClaim("old-claimed"));
+
+    runner::GcOptions opts;
+    opts.maxAgeSeconds = 3600;
+    runner::GcStats g = store.gc(opts);
+    EXPECT_EQ(g.entries, 3u);
+    EXPECT_EQ(g.evictedAge, 1u);
+    EXPECT_EQ(g.keptClaimed, 1u);
+    EXPECT_FALSE(store.load("old-idle"));
+    EXPECT_TRUE(store.load("old-claimed"));
+    EXPECT_TRUE(store.load("recent"));
+}
+
+TEST(StoreGc, ByteBudgetEvictsLeastRecentlyUsedFirst)
+{
+    auto store = makeStore(freshDir("gc_lru"));
+    store.save("a", richResult());
+    store.save("b", richResult());
+    store.save("c", richResult());
+    std::uintmax_t one = fs::file_size(store.entryPath("a"));
+    // Distinct ages: a is the coldest, c the hottest.
+    backdate(store.entryPath("a"), std::chrono::seconds{3000});
+    backdate(store.entryPath("b"), std::chrono::seconds{2000});
+    backdate(store.entryPath("c"), std::chrono::seconds{1000});
+
+    runner::GcOptions opts;
+    opts.maxBytes = one + one / 2;  // room for exactly one entry
+    runner::GcStats g = store.gc(opts);
+    EXPECT_EQ(g.evictedSize, 2u);
+    EXPECT_LE(g.bytesAfter(), opts.maxBytes);
+    EXPECT_FALSE(store.load("a"));
+    EXPECT_FALSE(store.load("b"));
+    EXPECT_TRUE(store.load("c"));
+}
+
+TEST(StoreGc, TouchOnHitMakesHitEntriesHot)
+{
+    auto store = makeStore(freshDir("gc_touch"));
+    store.save("hot", richResult());
+    store.save("cold", richResult());
+    backdate(store.entryPath("hot"), std::chrono::seconds{3000});
+    backdate(store.entryPath("cold"), std::chrono::seconds{2000});
+    // "hot" is older on disk, but a hit refreshes its LRU position.
+    ASSERT_TRUE(store.load("hot"));
+
+    runner::GcOptions opts;
+    opts.maxBytes = fs::file_size(store.entryPath("hot")) * 3 / 2;
+    runner::GcStats g = store.gc(opts);
+    EXPECT_EQ(g.evictedSize, 1u);
+    EXPECT_TRUE(store.load("hot"));
+    EXPECT_FALSE(store.load("cold"));
+}
+
+TEST(StoreGc, DryRunReportsWithoutRemoving)
+{
+    auto store = makeStore(freshDir("gc_dry"));
+    store.save("old", richResult());
+    backdate(store.entryPath("old"), kWellPastTtl);
+
+    runner::GcOptions opts;
+    opts.maxAgeSeconds = 3600;
+    opts.dryRun = true;
+    runner::GcStats g = store.gc(opts);
+    EXPECT_EQ(g.evictedAge, 1u);
+    // ...but nothing was actually touched.
+    EXPECT_TRUE(store.load("old"));
+}
+
+TEST(StoreRunner, StealReclaimsAnExpiredRivalClaim)
+{
+    std::string dir = freshDir("steal_ttl");
+
+    // A rival process claimed job 0, then was killed — its lock file
+    // survives with a long-stale lease.
+    auto rival = makeStore(dir);
+    ASSERT_TRUE(rival.tryClaim("test.keyed|i=0"));
+    backdate(rival.claimPath("test.keyed|i=0"), kWellPastTtl);
+
+    std::atomic<std::size_t> executed{0};
+    auto sweep = makeStoredRunner(dir, 1, 0, true);
+    buildKeyedSweep(sweep, &executed);
+    auto report = sweep.run();
+
+    // The crashed claimant's job is stolen and completed, not
+    // orphaned forever.
+    EXPECT_EQ(executed.load(), kJobs);
+    ASSERT_TRUE(report.allOk());
+    EXPECT_FALSE(report[0].skipped);
+    EXPECT_EQ(sweep.storeStats().claims, kJobs);
+    EXPECT_EQ(sweep.storeStats().claimsReclaimed, 1u);
+}
+
+TEST(StoreRunner, StealReleasesClaimsOnceEntriesAreSaved)
+{
+    std::string dir = freshDir("steal_release");
+    auto sweep = makeStoredRunner(dir, 1, 0, true);
+    buildKeyedSweep(sweep);
+    ASSERT_TRUE(sweep.run().allOk());
+
+    // Well-behaved workers do not leave locks to age out: each claim
+    // is dropped as soon as its entry is durable.
+    auto probe = makeStore(dir);
+    for (std::size_t i = 0; i < kJobs; ++i) {
+        EXPECT_FALSE(fs::exists(probe.claimPath(
+            "test.keyed|i=" + std::to_string(i))))
+            << "lock for job " << i << " still on disk";
+    }
+}
+
+TEST(StoreRunner, MergeMissNamesTheMissingSlot)
+{
+    std::string dir = freshDir("merge_named");
+    auto merge = makeStoredRunner(dir, 1, 0, false, true);
+    buildKeyedSweep(merge);
+    auto report = merge.run();
+    ASSERT_FALSE(report.allOk());
+
+    // The error names the exact key (the human-readable fingerprint)
+    // and the entry path, so the operator knows which grid point to
+    // rerun and where it was expected on disk.
+    EXPECT_NE(report[2].error.find("'test.keyed|i=2'"),
+              std::string::npos)
+        << report[2].error;
+    auto probe = makeStore(dir);
+    EXPECT_NE(report[2].error.find(probe.entryPath("test.keyed|i=2")),
+              std::string::npos)
+        << report[2].error;
 }
