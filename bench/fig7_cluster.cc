@@ -1,0 +1,229 @@
+/**
+ * @file
+ * E-cluster / "Fig. 7" — elimination vs. ineffectuality steering.
+ *
+ * The paper kills predicted-dead work; DICA (arXiv:2304.12762)
+ * steers it — plus transitively ineffectual chains — to a cheap
+ * narrow cluster instead, trading elimination's recovery machinery
+ * for a latency/bandwidth penalty that only ever hits work predicted
+ * useless. This bench compares baseline vs. pure elimination (both
+ * recovery modes) vs. steering (with and without the chain
+ * predictor) across the fig6 grid (contended + wide machines).
+ *
+ * `--out PATH` writes a `dde.cluster/1` JSON summary (per-workload
+ * IPC/speedup rows plus steering counters); the standard dde.sweep/2
+ * report flags (--json/--csv/--store...) work as everywhere else.
+ */
+
+#include <fstream>
+#include <string>
+
+#include "bench/bench_util.hh"
+#include "common/json.hh"
+#include "core/core.hh"
+
+using namespace dde;
+
+namespace
+{
+
+struct Args
+{
+    bench::BenchArgs common;
+    std::string outPath;
+};
+
+Args
+parseArgs(int argc, char **argv)
+{
+    Args args;
+    args.common = bench::parseBenchArgs(
+        argc, argv, {},
+        [&](const std::string &arg, const bench::NextValueFn &next) {
+            if (arg == "--out") {
+                args.outPath = next();
+                return true;
+            }
+            return false;
+        },
+        "  --out PATH     write a dde.cluster/1 JSON summary\n");
+    return args;
+}
+
+core::CoreConfig
+withElim(core::CoreConfig cfg, core::RecoveryMode recovery)
+{
+    cfg.elim.enable = true;
+    cfg.elim.recovery = recovery;
+    return cfg;
+}
+
+core::CoreConfig
+withSteer(core::CoreConfig cfg, bool chains)
+{
+    cfg.cluster.enable = true;
+    cfg.cluster.steerIneffectual = chains;
+    return cfg;
+}
+
+/** Percent IPC delta of `job` over `base`. */
+double
+speedup(const runner::JobResult &job, const runner::JobResult &base)
+{
+    return 100.0 * (job.stats.ipc / base.stats.ipc - 1.0);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    auto args = parseArgs(argc, argv);
+    bench::printHeader("E-cluster / Fig.7",
+                       "elimination vs. ineffectuality steering");
+
+    auto sweep = bench::makeRunner(args.common);
+    const auto &names = workloads::allWorkloads();
+    // Job order per workload; the render below indexes into this.
+    constexpr std::size_t kJobsPer = 9;
+    for (const auto &w : names) {
+        auto key = bench::refKey(w.name, args.common);
+        const auto cont = core::CoreConfig::contended();
+        const auto wide = core::CoreConfig::wide();
+        sweep.addCoreRun("base-cont:" + w.name, key, cont);
+        sweep.addCoreRun(
+            "elim-ueb-cont:" + w.name, key,
+            withElim(cont, core::RecoveryMode::UebRepair));
+        sweep.addCoreRun(
+            "elim-squash-cont:" + w.name, key,
+            withElim(cont, core::RecoveryMode::SquashProducer));
+        sweep.addCoreRun("steer-cont:" + w.name, key,
+                         withSteer(cont, true));
+        sweep.addCoreRun("steer-dead-cont:" + w.name, key,
+                         withSteer(cont, false));
+        sweep.addCoreRun("base-wide:" + w.name, key, wide);
+        sweep.addCoreRun(
+            "elim-ueb-wide:" + w.name, key,
+            withElim(wide, core::RecoveryMode::UebRepair));
+        sweep.addCoreRun(
+            "elim-squash-wide:" + w.name, key,
+            withElim(wide, core::RecoveryMode::SquashProducer));
+        sweep.addCoreRun("steer-wide:" + w.name, key,
+                         withSteer(wide, true));
+    }
+    auto report = sweep.run();
+    if (args.common.partialRun())
+        return bench::finishReport(report, args.common, &sweep);
+
+    std::printf("%-10s %8s | %8s %8s %8s %8s | %8s %8s %8s\n",
+                "bench", "baseIPC", "elimUEB", "elimSQ", "steer",
+                "steerDO", "steered%", "wrong%", "bypass");
+    double s_ueb = 0, s_sq = 0, s_steer = 0, s_dead = 0, s_wide = 0;
+    std::size_t rows = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const runner::JobResult *j = &report[kJobsPer * i];
+        bool ok = true;
+        for (std::size_t k = 0; k < kJobsPer; ++k)
+            ok = ok && j[k].ok;
+        if (!ok)
+            continue;
+        const auto &base = j[0];
+        const auto &steer = j[3];
+        double steered_pct = 100.0 * steer.stats.clusterSteered /
+                             steer.stats.committed;
+        double wrong_pct =
+            steer.stats.clusterSteered
+                ? 100.0 * steer.stats.clusterSteeredWrong /
+                      steer.stats.clusterSteered
+                : 0.0;
+        std::printf("%-10s %8.3f | %+7.2f%% %+7.2f%% %+7.2f%% "
+                    "%+7.2f%% | %7.2f%% %7.2f%% %8llu\n",
+                    names[i].name.c_str(), base.stats.ipc,
+                    speedup(j[1], base), speedup(j[2], base),
+                    speedup(steer, base), speedup(j[4], base),
+                    steered_pct, wrong_pct,
+                    static_cast<unsigned long long>(
+                        steer.stats.clusterBypassStalls));
+        s_ueb += speedup(j[1], base);
+        s_sq += speedup(j[2], base);
+        s_steer += speedup(steer, base);
+        s_dead += speedup(j[4], base);
+        s_wide += speedup(j[8], j[5]);
+        ++rows;
+    }
+    if (rows) {
+        std::printf("%-10s %8s | %+7.2f%% %+7.2f%% %+7.2f%% %+7.2f%% "
+                    "| (steer-wide mean %+.2f%%)\n",
+                    "MEAN", "", s_ueb / rows, s_sq / rows,
+                    s_steer / rows, s_dead / rows, s_wide / rows);
+    }
+
+    if (!args.outPath.empty()) {
+        std::ofstream os(args.outPath, std::ios::binary);
+        if (!os) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         args.outPath.c_str());
+            return 1;
+        }
+        json::Writer w(os);
+        w.beginObject();
+        w.field("schema", "dde.cluster/1");
+        w.field("grid", "fig6");
+        w.field("scale", args.common.scale);
+        w.key("workloads");
+        w.beginArray();
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            const runner::JobResult *j = &report[kJobsPer * i];
+            bool ok = true;
+            for (std::size_t k = 0; k < kJobsPer; ++k)
+                ok = ok && j[k].ok;
+            if (!ok)
+                continue;
+            w.beginObject();
+            w.field("workload", names[i].name);
+            auto machine = [&](const char *name, std::size_t base,
+                               std::size_t ueb, std::size_t squash,
+                               std::size_t steer_idx) {
+                w.key(name);
+                w.beginObject();
+                w.field("baseIpc", j[base].stats.ipc);
+                w.field("elimUebIpc", j[ueb].stats.ipc);
+                w.field("elimSquashIpc", j[squash].stats.ipc);
+                w.field("steerIpc", j[steer_idx].stats.ipc);
+                w.field("elimUebSpeedupPct",
+                        speedup(j[ueb], j[base]));
+                w.field("elimSquashSpeedupPct",
+                        speedup(j[squash], j[base]));
+                w.field("steerSpeedupPct",
+                        speedup(j[steer_idx], j[base]));
+                const sim::RunStats &s = j[steer_idx].stats;
+                w.field("steered", s.clusterSteered);
+                w.field("steeredIneff", s.clusterSteeredIneff);
+                w.field("steeredWrong", s.clusterSteeredWrong);
+                w.field("bypassStalls", s.clusterBypassStalls);
+                w.field("narrowIssued", s.clusterNarrowIssued);
+                w.endObject();
+            };
+            machine("contended", 0, 1, 2, 3);
+            w.key("steerDeadOnlyIpc");
+            w.value(j[4].stats.ipc);
+            machine("wide", 5, 6, 7, 8);
+            w.endObject();
+        }
+        w.endArray();
+        if (rows) {
+            w.key("means");
+            w.beginObject();
+            w.field("elimUebSpeedupPct", s_ueb / rows);
+            w.field("elimSquashSpeedupPct", s_sq / rows);
+            w.field("steerSpeedupPct", s_steer / rows);
+            w.field("steerDeadOnlySpeedupPct", s_dead / rows);
+            w.field("steerWideSpeedupPct", s_wide / rows);
+            w.endObject();
+        }
+        w.endObject();
+        os << "\n";
+        std::printf("\nwrote %s\n", args.outPath.c_str());
+    }
+    return bench::finishReport(report, args.common, &sweep);
+}

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Sweep-service smoke: daemon report byte-identity against a direct
+# serial run, warm-restart store re-hydration, graceful SIGTERM drain,
+# and the claim-sparing GC. Extracted from .github/workflows/ci.yml so
+# it can run locally:
+#   ci/smoke_service.sh [BUILD_DIR] [WORK_DIR]
+# The spool lands in WORK_DIR/spool (default: the current directory,
+# which is what the CI upload step expects).
+set -euo pipefail
+
+BUILD_DIR=$(cd "${1:-build}" && pwd)
+DDESWEEPD="$BUILD_DIR/bench/ddesweepd"
+cd "${2:-.}"
+
+echo "== Daemon report is byte-identical to a direct serial run =="
+# The whole service contract in one gate: a request enqueued through
+# the spool, processed by the threaded store-backed daemon, must
+# produce exactly the bytes a serial storeless in-process run
+# produces.
+cat > req.json <<'EOF'
+{
+  "schema": "dde.sweepreq/1",
+  "id": "ci-fig6",
+  "scale": 1,
+  "jobs": [
+    {"workload": "fsm", "config": "contended"},
+    {"workload": "fsm", "config": "contended",
+     "oracle": true},
+    {"workload": "hashmix", "config": "contended"},
+    {"workload": "hashmix", "config": "contended",
+     "oracle": true}
+  ]
+}
+EOF
+"$DDESWEEPD" --enqueue req.json --spool spool
+"$DDESWEEPD" --spool spool --store-dir svcstore \
+    --exit-when-idle --threads 4
+test -s spool/out/ci-fig6.report.json
+test -s spool/done/ci-fig6.json
+grep -q '"event": "done"' spool/out/ci-fig6.events.jsonl
+"$DDESWEEPD" --direct req.json --no-store \
+    --threads 1 --report direct.json
+cmp spool/out/ci-fig6.report.json direct.json
+
+echo "== Warm daemon restart re-hydrates from the store =="
+# Same grid under a new id: every job must be a store hit.
+sed 's/ci-fig6/ci-fig6-warm/' req.json > req-warm.json
+"$DDESWEEPD" --enqueue req-warm.json --spool spool
+"$DDESWEEPD" --spool spool --store-dir svcstore \
+    --exit-when-idle --threads 4
+cmp spool/out/ci-fig6.report.json \
+    spool/out/ci-fig6-warm.report.json
+grep -q '"misses": 0' spool/out/ci-fig6-warm.status.json
+
+echo "== SIGTERM drains the daemon gracefully =="
+sed 's/ci-fig6/ci-sigterm/' req.json > req-sig.json
+"$DDESWEEPD" --spool spool --store-dir svcstore --poll-ms 50 &
+DAEMON=$!
+"$DDESWEEPD" --enqueue req-sig.json --spool spool
+for i in $(seq 1 100); do
+    test -s spool/out/ci-sigterm.report.json && break
+    sleep 0.2
+done
+test -s spool/out/ci-sigterm.report.json
+kill -TERM "$DAEMON"
+wait "$DAEMON"
+cmp spool/out/ci-sigterm.report.json direct.json
+
+echo "== Tiny-budget GC shrinks the store but spares claims =="
+# A fresh lock marks its entry in-flight; even a 1-byte budget must
+# not evict it, while everything unclaimed goes.
+BEFORE=$(find svcstore -name '*.json' | wc -l)
+test "$BEFORE" -ge 4
+CLAIMED=$(find svcstore -name '*.json' | head -1)
+touch "$CLAIMED.lock"
+"$DDESWEEPD" --gc-only --store-dir svcstore --gc-max-bytes 1
+AFTER=$(find svcstore -name '*.json' | wc -l)
+echo "entries: $BEFORE before, $AFTER after"
+test -s "$CLAIMED"
+test "$AFTER" -eq 1
+
+echo "service smoke OK"

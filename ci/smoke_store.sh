@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Sweep-store smoke: warm-cache byte-identity, hit-ratio gate, and a
+# two-process sharded run merged back into the serial report.
+# Extracted from .github/workflows/ci.yml so it can run locally:
+#   ci/smoke_store.sh [BUILD_DIR] [WORK_DIR]
+# Artifacts (*.json) land in WORK_DIR (default: the current
+# directory, which is what the CI upload steps expect).
+set -euo pipefail
+
+BUILD_DIR=$(cd "${1:-build}" && pwd)
+FIG6="$BUILD_DIR/bench/fig6_speedup"
+cd "${2:-.}"
+
+echo "== Cold run, then warm rerun from the store =="
+# The warm report must be byte-identical to the cold one (the store
+# never enters the main report) and nearly every lookup must hit — a
+# stale flood here means a fingerprint or entry format regressed.
+"$FIG6" --scale 1 --store-dir store \
+    --json cold.json --store-stats cold-stats.json
+"$FIG6" --scale 1 --store-dir store \
+    --json warm.json --store-stats warm-stats.json
+cmp cold.json warm.json
+
+echo "== Gate the warm hit ratio =="
+python3 - <<'EOF'
+import json
+cold = json.load(open("cold-stats.json"))
+warm = json.load(open("warm-stats.json"))
+print(f"cold: {cold['misses']} misses, "
+      f"{cold['writes']} writes; "
+      f"warm: {warm['hits']}/{warm['lookups']} hits")
+assert cold["writes"] == cold["jobs"], \
+    "cold run failed to persist every job"
+assert warm["lookups"] > 0 and \
+    warm["hits"] >= 0.95 * warm["lookups"], \
+    "warm rerun missed the store"
+assert warm["writes"] == 0, "warm rerun re-simulated jobs"
+EOF
+
+echo "== Two-process sharded run assembles the serial report =="
+# Each shard executes its half of the grid into a fresh store; --merge
+# rebuilds the full report purely from store entries and must
+# reproduce the serial report byte for byte.
+"$FIG6" --scale 1 --store-dir store2 \
+    --shards 2 --shard-index 0 --store-stats shard0-stats.json &
+PID0=$!
+"$FIG6" --scale 1 --store-dir store2 \
+    --shards 2 --shard-index 1 --store-stats shard1-stats.json &
+PID1=$!
+wait $PID0 && wait $PID1
+"$FIG6" --scale 1 --store-dir store2 \
+    --merge --json merged.json --store-stats merge-stats.json
+cmp cold.json merged.json
+
+echo "store smoke OK"

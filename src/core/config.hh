@@ -78,6 +78,44 @@ struct ElimConfig
 };
 
 /**
+ * Two-cluster ineffectuality-steering backend (DICA-style,
+ * arXiv:2304.12762). Instead of eliminating predicted-dead work, the
+ * core routes it — plus transitively *ineffectual* chains whose only
+ * consumers are themselves steered — to a narrow low-cost cluster
+ * where it executes fully (no poison tokens, no verification, no
+ * recovery). Architectural results are unchanged by steering; only
+ * timing differs. Mutually exclusive with `ElimConfig::enable`.
+ *
+ * The dead predictor is the one configured by `ElimConfig::predictor`
+ * / `ElimConfig::zoo`; a second paper-style table of the same
+ * geometry predicts ineffectuality, trained by the commit-time chain
+ * detector (predictor/detector.hh chain methods).
+ */
+struct ClusterConfig
+{
+    bool enable = false;
+    /** Narrow-cluster issue bandwidth per cycle. */
+    unsigned issueWidth = 1;
+    /** Cheap general-purpose FUs: each executes any non-memory op
+     * class steered to the narrow cluster (fully pipelined). */
+    unsigned numFus = 1;
+    /** Narrow-cluster memory ports. */
+    unsigned numMemPorts = 1;
+    /** Extra execution latency on every narrow-cluster op (the cheap
+     * FUs are slower than the main pool). */
+    Cycle latencyPenalty = 1;
+    /** Cycles a consumer must wait after a producer in the *other*
+     * cluster writes its value before the consumer may issue
+     * (inter-cluster bypass network delay). Same-cluster forwarding
+     * stays free. 0 disables the model. */
+    Cycle bypassLatency = 1;
+    /** Also steer predicted-ineffectual chains (not just
+     * predicted-dead). Off = deadness-only steering, isolating the
+     * chain detector's contribution. */
+    bool steerIneffectual = true;
+};
+
+/**
  * Simulator software fast-path knobs. Everything here changes only
  * host wall-clock behaviour, never simulated behaviour: all counters
  * are byte-identical with these on or off (tests/test_block_cache.cc
@@ -139,6 +177,7 @@ struct CoreConfig
     predictor::FrontendConfig frontend;
     cache::HierarchyConfig memory;
     ElimConfig elim;
+    ClusterConfig cluster;
     ProfileConfig profile;
     FastPathConfig fastpath;
 

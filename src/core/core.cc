@@ -37,6 +37,10 @@ wheelSlots(const CoreConfig &cfg)
                                cfg.memory.l2.hitLatency +
                                cfg.memory.memLatency}) +
                  2;
+    // Narrow-cluster ops complete latencyPenalty cycles later than
+    // the same op on the main cluster.
+    if (cfg.cluster.enable)
+        span += cfg.cluster.latencyPenalty;
     std::size_t n = 1;
     while (n < span)
         n <<= 1;
@@ -162,6 +166,21 @@ Core::Core(const prog::Program &program, const CoreConfig &cfg,
           "uebRepairs", "consumer repairs served from the UEB")),
       _sUebStoreFlushes(_stats.counter(
           "uebStoreFlushes", "UEB dead-store entries flushed to memory")),
+      _sClusterSteered(_stats.counter(
+          "clusterSteered",
+          "committed instructions steered to the narrow cluster")),
+      _sClusterSteeredIneff(_stats.counter(
+          "clusterSteeredIneff",
+          "steered commits routed by the ineffectuality predictor")),
+      _sClusterSteeredWrong(_stats.counter(
+          "clusterSteeredWrong",
+          "steered values later proven effectual (steered wrong)")),
+      _sClusterBypassStalls(_stats.counter(
+          "clusterBypassStalls",
+          "issue-select rejections awaiting the inter-cluster bypass")),
+      _sClusterNarrowIssued(_stats.counter(
+          "clusterNarrowIssued",
+          "instructions issued on the narrow cluster")),
       _sSlotUseful(_stats.counter(
           "slotsUsefulCommit",
           "commit slots: useful instruction committed")),
@@ -200,6 +219,24 @@ Core::Core(const prog::Program &program, const CoreConfig &cfg,
     fatal_if(cfg.numPhysRegs < kNumArchRegs + 8,
              "too few physical registers (", cfg.numPhysRegs, ")");
     fatal_if(program.numInsts() == 0, "cannot run an empty program");
+    fatal_if(cfg.cluster.enable && cfg.elim.enable,
+             "cluster steering and elimination are mutually exclusive "
+             "(steering replaces elimination)");
+    if (cfg.cluster.enable) {
+        fatal_if(cfg.cluster.issueWidth == 0 ||
+                     cfg.cluster.numFus == 0 ||
+                     cfg.cluster.numMemPorts == 0,
+                 "narrow cluster needs nonzero issue width, FUs and "
+                 "memory ports");
+        // The bypass model tags every physical register with its
+        // producing cluster and write cycle.
+        _physCluster.assign(cfg.numPhysRegs, false);
+        _physWrittenAt.assign(cfg.numPhysRegs, 0);
+        if (cfg.cluster.steerIneffectual) {
+            _ineffPredictor = predictor::makeDeadPredictor(
+                predictor::ZooConfig{}, cfg.elim.predictor);
+        }
+    }
 
     auto init_reg = [&](RegId r, RegVal value) {
         PhysRegId p = _freeList.alloc();
@@ -576,6 +613,51 @@ Core::tryEliminate(const InstPtr &inst)
     return predicted;
 }
 
+bool
+Core::trySteer(const InstPtr &inst)
+{
+    if (!_cfg.cluster.enable || !inst->isDeadCandidate())
+        return false;
+    // Like tryEliminate: a rename stall retries the same instruction
+    // next cycle, so the decision and its signature must stick.
+    if (inst->sigValid)
+        return inst->steered;
+    inst->sig = _deadPredictor->maskSig(captureFutureSig());
+    inst->sigValid = true;
+
+    if (_deadPredictor->predict(inst->pc, inst->sig)) {
+        ++_sPredictedDead;
+        _pcProfiler.onPredict(inst->pc);
+        return true;
+    }
+    if (_ineffPredictor &&
+        _ineffPredictor->predict(inst->pc, inst->sig)) {
+        inst->steeredIneff = true;
+        return true;
+    }
+    return false;
+}
+
+bool
+Core::bypassBlocked(const DynInst *d) const
+{
+    const Cycle bypass = _cfg.cluster.bypassLatency;
+    for (unsigned s = 0; s < d->numSrcs; ++s) {
+        if (d->srcIsOverride[s])
+            continue;
+        const PhysRegId p = d->srcPhys[s];
+        // Phys 0 is the unwritten-reads-as-zero convention and
+        // written-at 0 marks reset-time values: neither crosses the
+        // bypass network.
+        if (p == 0 || p == kNoPhysReg || _physWrittenAt[p] == 0)
+            continue;
+        if (_physCluster[p] != d->steered &&
+            _cycle < _physWrittenAt[p] + bypass)
+            return true;
+    }
+    return false;
+}
+
 void
 Core::deadMispredictRecovery(SeqNum producer_seq, const char *trigger)
 {
@@ -612,6 +694,10 @@ Core::rename()
         bool is_trivial = in.op == Opcode::Nop || in.isHalt();
 
         d->eliminated = tryEliminate(inst);
+        // Cluster mode routes the same predictions to the narrow
+        // cluster instead of eliminating (mutually exclusive modes);
+        // a steered instruction renames and executes fully.
+        d->steered = trySteer(inst);
 
         bool needs_iq =
             !is_trivial && (!d->eliminated || d->isStore());
@@ -822,7 +908,10 @@ Core::executeInst(const InstPtr &inst, Cycle issue_cycle)
             latency = _cfg.multLatency;
         } else if (in.info().cls == OpClass::IntDiv) {
             latency = _cfg.divLatency;
-            _divBusyUntil = issue_cycle + _cfg.divLatency;
+            // A steered divide runs on a narrow-cluster FU and never
+            // occupies the main (unpipelined) divider.
+            if (!d->steered)
+                _divBusyUntil = issue_cycle + _cfg.divLatency;
         }
         break;
       }
@@ -884,6 +973,10 @@ Core::executeInst(const InstPtr &inst, Cycle issue_cycle)
         break;
     }
 
+    // The narrow cluster's cheap FUs are slower across the board.
+    if (d->steered)
+        latency += _cfg.cluster.latencyPenalty;
+
     d->issued = true;
     scheduleCompletion(issue_cycle + std::max<Cycle>(latency, 1),
                        inst);
@@ -935,6 +1028,19 @@ Core::issue()
     unsigned alu_left = _cfg.numAlus;
     unsigned mult_left = _cfg.numMults;
     unsigned mem_left = _cfg.numMemPorts;
+    // Narrow-cluster budgets: zero when cluster mode is off, and no
+    // instruction is ever steered then, so the main-cluster path
+    // below is untouched.
+    unsigned nc_issue_left = 0;
+    unsigned nc_fu_left = 0;
+    unsigned nc_mem_left = 0;
+    if (_cfg.cluster.enable) {
+        nc_issue_left = _cfg.cluster.issueWidth;
+        nc_fu_left = _cfg.cluster.numFus;
+        nc_mem_left = _cfg.cluster.numMemPorts;
+    }
+    const bool bypass_on =
+        _cfg.cluster.enable && _cfg.cluster.bypassLatency > 0;
 
     bool issued_any = false;
     std::size_t out = 0;
@@ -947,29 +1053,48 @@ Core::issue()
         bool consumed = false;
         if (d->squashed || d->issued || d->poisonProducer != 0) {
             consumed = true;
-        } else if (issue_left > 0) {
+        } else if (d->steered ? nc_issue_left > 0 : issue_left > 0) {
             const Instruction &in = d->inst;
             OpClass cls = in.info().cls;
+            const bool is_mem =
+                cls == OpClass::Load || cls == OpClass::Store;
 
             bool selectable = true;
-            switch (cls) {
-              case OpClass::IntAlu:
-              case OpClass::Branch:
-              case OpClass::Jump:
-              case OpClass::Other:
-                selectable = alu_left > 0;
-                break;
-              case OpClass::IntMult:
-                selectable = mult_left > 0;
-                break;
-              case OpClass::IntDiv:
-                selectable =
-                    _cfg.numDivs != 0 && _divBusyUntil <= _cycle;
-                break;
-              case OpClass::Load:
-              case OpClass::Store:
-                selectable = mem_left > 0;
-                break;
+            if (d->steered) {
+                // Narrow cluster: general-purpose cheap FUs take any
+                // non-memory op (incl. divide — fully pipelined, no
+                // main-divider interlock), memory ops take a narrow
+                // port. Steered instructions are dead candidates, so
+                // branches/jumps never land here.
+                selectable = is_mem ? nc_mem_left > 0 : nc_fu_left > 0;
+            } else {
+                switch (cls) {
+                  case OpClass::IntAlu:
+                  case OpClass::Branch:
+                  case OpClass::Jump:
+                  case OpClass::Other:
+                    selectable = alu_left > 0;
+                    break;
+                  case OpClass::IntMult:
+                    selectable = mult_left > 0;
+                    break;
+                  case OpClass::IntDiv:
+                    selectable =
+                        _cfg.numDivs != 0 && _divBusyUntil <= _cycle;
+                    break;
+                  case OpClass::Load:
+                  case OpClass::Store:
+                    selectable = mem_left > 0;
+                    break;
+                }
+            }
+
+            // A source produced in the other cluster inside the
+            // bypass window is not yet visible here: pass over the
+            // instruction this cycle (it stays in the ready list).
+            if (selectable && bypass_on && bypassBlocked(d)) {
+                selectable = false;
+                ++_sClusterBypassStalls;
             }
 
             if (selectable && cls == OpClass::Load) {
@@ -995,24 +1120,33 @@ Core::issue()
             }
 
             if (selectable) {
-                switch (cls) {
-                  case OpClass::IntAlu:
-                  case OpClass::Branch:
-                  case OpClass::Jump:
-                  case OpClass::Other:
-                    --alu_left;
-                    break;
-                  case OpClass::IntMult:
-                    --mult_left;
-                    break;
-                  case OpClass::IntDiv:
-                    break;
-                  case OpClass::Load:
-                  case OpClass::Store:
-                    --mem_left;
-                    break;
+                if (d->steered) {
+                    if (is_mem)
+                        --nc_mem_left;
+                    else
+                        --nc_fu_left;
+                    --nc_issue_left;
+                    ++_sClusterNarrowIssued;
+                } else {
+                    switch (cls) {
+                      case OpClass::IntAlu:
+                      case OpClass::Branch:
+                      case OpClass::Jump:
+                      case OpClass::Other:
+                        --alu_left;
+                        break;
+                      case OpClass::IntMult:
+                        --mult_left;
+                        break;
+                      case OpClass::IntDiv:
+                        break;
+                      case OpClass::Load:
+                      case OpClass::Store:
+                        --mem_left;
+                        break;
+                    }
+                    --issue_left;
                 }
-                --issue_left;
                 executeInst(inst, _cycle);
                 issued_any = true;
                 consumed = true;
@@ -1096,6 +1230,10 @@ Core::writeback()
             const PhysRegId dest = d->destPhys;
             _prf.write(dest, d->result);
             ++_sRfWrites;
+            if (_cfg.cluster.enable) {
+                _physCluster[dest] = d->steered;
+                _physWrittenAt[dest] = _cycle;
+            }
             for (const InstPtr &waiting : _iq) {
                 DynInst *const w = waiting.get();
                 bool woke = false;
@@ -1125,7 +1263,39 @@ Core::feedDetector(const InstPtr &inst)
 {
     const Instruction &in = inst->inst;
     using predictor::ProducerInfo;
-    ProducerInfo producer{inst->pc, inst->sig, inst->seq};
+    ProducerInfo producer{inst->pc, inst->sig, inst->seq,
+                          inst->steered};
+
+    if (_cfg.cluster.enable) {
+        // Chain-aware path: a read by a *steered* consumer does not
+        // count as effectual, so a producer whose every consumer was
+        // steered trains the ineffectuality predictor and joins the
+        // chain on its next dynamic instance — the transitive case
+        // the plain dead detector cannot see.
+        auto srcs = in.srcRegs();
+        for (unsigned s = 0; s < in.numSrcs(); ++s) {
+            _detector.onRegReadChain(srcs[s], inst->steered, _events,
+                                     _ineffEvents);
+        }
+        if (in.isLoad()) {
+            _detector.onLoadChain(inst->effAddr, inst->steered,
+                                  _events, _ineffEvents);
+        }
+        if (in.writesReg()) {
+            if (inst->isDeadCandidate()) {
+                _detector.onRegWriteChain(in.rd, producer, _events,
+                                          _ineffEvents);
+            } else {
+                _detector.onRegWriteOpaqueChain(in.rd, _events,
+                                                _ineffEvents);
+            }
+        }
+        if (in.isStore()) {
+            _detector.onStoreChain(inst->effAddr, producer, _events,
+                                   _ineffEvents);
+        }
+        return;
+    }
 
     // Reads: only the operands actually consumed. Eliminated
     // instructions consumed nothing (an eliminated store read only
@@ -1160,12 +1330,23 @@ Core::trainFromEvents()
         else
             ++_sDetectorLive;
         _pcProfiler.onDetectorVerdict(ev.producer.pc, ev.dead);
-        if (_cfg.elim.enable && !_cfg.elim.oraclePredictor) {
+        if ((_cfg.elim.enable || _cfg.cluster.enable) &&
+            !_cfg.elim.oraclePredictor) {
             _deadPredictor->train(ev.producer.pc, ev.producer.sig,
                                   ev.dead);
         }
     }
     _events.clear();
+    // Ineffectuality verdicts (cluster mode only; empty otherwise).
+    for (const predictor::IneffEvent &ev : _ineffEvents) {
+        if (!ev.ineffectual && ev.producer.steered)
+            ++_sClusterSteeredWrong;
+        if (_ineffPredictor) {
+            _ineffPredictor->train(ev.producer.pc, ev.producer.sig,
+                                   ev.ineffectual);
+        }
+    }
+    _ineffEvents.clear();
 }
 
 const char *
@@ -1826,6 +2007,11 @@ Core::commit()
             _onCommit(*d);
 
         ++_sCommitted;
+        if (d->steered) {
+            ++_sClusterSteered;
+            if (d->steeredIneff)
+                ++_sClusterSteeredIneff;
+        }
         if (d->eliminated) {
             ++_sCommittedElim;
             ++committed_dead;

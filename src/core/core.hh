@@ -217,6 +217,15 @@ class Core
     void redirectFetch(Addr new_pc);
     predictor::FutureSig captureFutureSig() const;
     bool tryEliminate(const InstPtr &inst);
+    /** Cluster mode: decide at rename whether this instruction is
+     * routed to the narrow cluster (predicted dead, or predicted
+     * ineffectual when cluster.steerIneffectual). Sticky across
+     * rename-stall retries the same way tryEliminate is. */
+    bool trySteer(const InstPtr &inst);
+    /** Cluster mode: true when a source of `inst` was produced in the
+     * other cluster inside the bypass window — the consumer must wait
+     * for the inter-cluster bypass network. */
+    bool bypassBlocked(const DynInst *d) const;
     void deadMispredictRecovery(SeqNum producer_seq,
                                 const char *trigger);
     bool verifyEliminated(std::size_t rob_index);
@@ -260,9 +269,15 @@ class Core
     cache::Hierarchy _caches;
     predictor::FrontendPredictor _frontend;
     std::unique_ptr<predictor::DeadPredictor> _deadPredictor;
+    /** Cluster mode only: paper-style table predicting
+     * ineffectuality, trained by the chain detector (null unless
+     * cluster.enable && cluster.steerIneffectual). Shares the dead
+     * predictor's signature geometry. */
+    std::unique_ptr<predictor::DeadPredictor> _ineffPredictor;
     predictor::DeadValueDetector _detector;
     predictor::DeadPcProfiler _pcProfiler;
     std::vector<predictor::DeadEvent> _events;
+    std::vector<predictor::IneffEvent> _ineffEvents;
     std::vector<std::vector<bool>> _oracleLabels;
     std::vector<std::uint32_t> _oracleCursor;
 
@@ -346,6 +361,13 @@ class Core
     /** Head repairs seen per PC; repeat offenders go sticky. */
     std::unordered_map<Addr, unsigned> _repairCount;
 
+    /** Cluster mode: which cluster produced each physical register
+     * (false = main, true = narrow) and the cycle its value was
+     * written — the inter-cluster bypass model. Empty unless
+     * cluster.enable. */
+    std::vector<bool> _physCluster;
+    std::vector<Cycle> _physWrittenAt;
+
     /** Unverified-elimination buffer, register side: the latest
      * committed-unverified eliminated producer per architectural
      * register, with its shadow-executed value. */
@@ -403,6 +425,12 @@ class Core
     stats::Counter &_sShadowExecs;
     stats::Counter &_sUebRepairs;
     stats::Counter &_sUebStoreFlushes;
+    // Cluster steering (all zero unless cluster.enable).
+    stats::Counter &_sClusterSteered;
+    stats::Counter &_sClusterSteeredIneff;
+    stats::Counter &_sClusterSteeredWrong;
+    stats::Counter &_sClusterBypassStalls;
+    stats::Counter &_sClusterNarrowIssued;
     // Commit-slot cycle accounting (all zero unless profiling).
     stats::Counter &_sSlotUseful;
     stats::Counter &_sSlotDeadElim;

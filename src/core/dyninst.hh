@@ -79,6 +79,15 @@ struct DynInst
     bool repairPoisoned = false;
     std::uint32_t oracleIdx = ~0u; ///< per-static instance number
 
+    // --- cluster steering (ClusterConfig) -------------------------------
+    /** Routed to the narrow cluster: predicted dead or ineffectual.
+     * Executes fully (never eliminated); only issue bandwidth, FU
+     * latency and bypass distance differ. */
+    bool steered = false;
+    /** Steered by the ineffectuality predictor (chain case), not the
+     * dead predictor. */
+    bool steeredIneff = false;
+
     // --- status ---------------------------------------------------------
     bool inIq = false;
     bool issued = false;

@@ -75,4 +75,100 @@ DeadValueDetector::onStore(Addr addr, const ProducerInfo &producer,
     e.producer = producer;
 }
 
+void
+DeadValueDetector::onRegReadChain(RegId r, bool reader_steered,
+                                  std::vector<DeadEvent> &events,
+                                  std::vector<IneffEvent> &ineff_events)
+{
+    RegEntry &e = _regs[r];
+    if (!e.tracking)
+        return;
+    if (!e.read) {
+        events.push_back(DeadEvent{e.producer, false});
+        e.read = true;
+    }
+    if (!reader_steered && !e.effRead) {
+        ineff_events.push_back(IneffEvent{e.producer, false});
+        e.effRead = true;
+    }
+}
+
+void
+DeadValueDetector::onRegWriteChain(RegId rd, const ProducerInfo &producer,
+                                   std::vector<DeadEvent> &events,
+                                   std::vector<IneffEvent> &ineff_events)
+{
+    if (rd == kRegZero)
+        return;
+    RegEntry &e = _regs[rd];
+    if (e.tracking) {
+        if (!e.read)
+            events.push_back(DeadEvent{e.producer, true});
+        if (!e.effRead)
+            ineff_events.push_back(IneffEvent{e.producer, true});
+    }
+    e.tracking = true;
+    e.read = false;
+    e.effRead = false;
+    e.producer = producer;
+}
+
+void
+DeadValueDetector::onRegWriteOpaqueChain(RegId rd,
+                                         std::vector<DeadEvent> &events,
+                                         std::vector<IneffEvent> &ineff_events)
+{
+    if (rd == kRegZero)
+        return;
+    RegEntry &e = _regs[rd];
+    if (e.tracking) {
+        if (!e.read)
+            events.push_back(DeadEvent{e.producer, true});
+        if (!e.effRead)
+            ineff_events.push_back(IneffEvent{e.producer, true});
+    }
+    e.tracking = false;
+    e.read = false;
+    e.effRead = false;
+}
+
+void
+DeadValueDetector::onLoadChain(Addr addr, bool reader_steered,
+                               std::vector<DeadEvent> &events,
+                               std::vector<IneffEvent> &ineff_events)
+{
+    Addr word = addr & ~Addr(7);
+    MemEntry &e = _mem[memIndex(word)];
+    if (!e.valid || e.wordAddr != word)
+        return;
+    if (!e.read) {
+        events.push_back(DeadEvent{e.producer, false});
+        e.read = true;
+    }
+    if (!reader_steered && !e.effRead) {
+        ineff_events.push_back(IneffEvent{e.producer, false});
+        e.effRead = true;
+    }
+}
+
+void
+DeadValueDetector::onStoreChain(Addr addr, const ProducerInfo &producer,
+                                std::vector<DeadEvent> &events,
+                                std::vector<IneffEvent> &ineff_events)
+{
+    Addr word = addr & ~Addr(7);
+    MemEntry &e = _mem[memIndex(word)];
+    if (e.valid && e.wordAddr == word) {
+        if (!e.read)
+            events.push_back(DeadEvent{e.producer, true});
+        if (!e.effRead)
+            ineff_events.push_back(IneffEvent{e.producer, true});
+    }
+    e.valid = true;
+    e.read = false;
+    e.effRead = false;
+    e.wordAddr = word;
+    e.producer = producer;
+}
+
 } // namespace dde::predictor

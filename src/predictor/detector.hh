@@ -41,6 +41,10 @@ struct ProducerInfo
     Addr pc = 0;
     FutureSig sig = 0;
     SeqNum seq = 0;
+    /** Cluster mode: the producer was steered to the narrow cluster.
+     * Lets training attribute effectual-after-all values (steered
+     * wrong) back to the steering decision. */
+    bool steered = false;
 };
 
 /** One training event: the producer's value proved dead or live. */
@@ -48,6 +52,21 @@ struct DeadEvent
 {
     ProducerInfo producer;
     bool dead = false;
+};
+
+/**
+ * One ineffectuality training event (cluster-steering mode). A value
+ * is *ineffectual* if it is never read by an effectual (non-steered)
+ * consumer: either never read at all (dead), or read only by
+ * instructions that were themselves steered as dead/ineffectual —
+ * the transitive-chain case the plain dead detector cannot see.
+ * Exactly one event fires per tracked value: `ineffectual=false` at
+ * its first effectual read, or `ineffectual=true` at overwrite.
+ */
+struct IneffEvent
+{
+    ProducerInfo producer;
+    bool ineffectual = false;
 };
 
 /** Detector geometry. */
@@ -99,6 +118,36 @@ class DeadValueDetector
     void onStore(Addr addr, const ProducerInfo &producer,
                  std::vector<DeadEvent> &events);
 
+    /**
+     * @name Chain-aware variants (cluster-steering mode)
+     *
+     * Same dead-event semantics as the plain methods, plus
+     * ineffectuality chain tracking: a read by a *steered* consumer
+     * marks the value read (live) but not effectually read, so a
+     * producer whose every consumer was steered trains as
+     * ineffectual and joins the chain on its next instance. A core
+     * uses either the plain or the chain API exclusively — the two
+     * families share the tracking tables but only the chain methods
+     * maintain the effectual-read bits.
+     */
+    /// @{
+    void onRegReadChain(RegId r, bool reader_steered,
+                        std::vector<DeadEvent> &events,
+                        std::vector<IneffEvent> &ineff_events);
+    void onRegWriteChain(RegId rd, const ProducerInfo &producer,
+                         std::vector<DeadEvent> &events,
+                         std::vector<IneffEvent> &ineff_events);
+    void onRegWriteOpaqueChain(RegId rd,
+                               std::vector<DeadEvent> &events,
+                               std::vector<IneffEvent> &ineff_events);
+    void onLoadChain(Addr addr, bool reader_steered,
+                     std::vector<DeadEvent> &events,
+                     std::vector<IneffEvent> &ineff_events);
+    void onStoreChain(Addr addr, const ProducerInfo &producer,
+                      std::vector<DeadEvent> &events,
+                      std::vector<IneffEvent> &ineff_events);
+    /// @}
+
     const DetectorConfig &config() const { return _cfg; }
     std::uint64_t sizeInBits() const { return _cfg.sizeInBits(); }
 
@@ -107,6 +156,8 @@ class DeadValueDetector
     {
         bool tracking = false;
         bool read = false;
+        /** Read by a non-steered consumer (chain methods only). */
+        bool effRead = false;
         ProducerInfo producer;
     };
 
@@ -114,6 +165,8 @@ class DeadValueDetector
     {
         bool valid = false;
         bool read = false;
+        /** Read by a non-steered consumer (chain methods only). */
+        bool effRead = false;
         Addr wordAddr = 0;
         ProducerInfo producer;
     };

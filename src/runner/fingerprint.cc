@@ -104,6 +104,18 @@ fingerprint(const core::ElimConfig &cfg)
 }
 
 std::string
+fingerprint(const core::ClusterConfig &cfg)
+{
+    std::ostringstream os;
+    os << "enable=" << cfg.enable << ",w=" << cfg.issueWidth
+       << ",fus=" << cfg.numFus << ",mem=" << cfg.numMemPorts
+       << ",penalty=" << cfg.latencyPenalty
+       << ",bypass=" << cfg.bypassLatency
+       << ",ineff=" << cfg.steerIneffectual;
+    return os.str();
+}
+
+std::string
 fingerprint(const core::CoreConfig &cfg)
 {
     std::ostringstream os;
@@ -120,6 +132,7 @@ fingerprint(const core::CoreConfig &cfg)
        << ";bp{" << fingerprint(cfg.frontend) << "}"
        << ";mem{" << fingerprint(cfg.memory) << "}"
        << ";elim{" << fingerprint(cfg.elim) << "}"
+       << ";cluster{" << fingerprint(cfg.cluster) << "}"
        // Profiling changes what the result row *contains* (the
        // dde.sweep profile block), so it is part of the identity even
        // though it never changes the simulated counters.

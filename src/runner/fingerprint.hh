@@ -34,6 +34,7 @@ std::string fingerprint(const predictor::FrontendConfig &cfg);
 std::string fingerprint(const cache::CacheConfig &cfg);
 std::string fingerprint(const cache::HierarchyConfig &cfg);
 std::string fingerprint(const core::ElimConfig &cfg);
+std::string fingerprint(const core::ClusterConfig &cfg);
 std::string fingerprint(const core::CoreConfig &cfg);
 /** RunOptions::oracleLabels is excluded: the labels are a pure
  * function of (program, detector config), both already keyed. */

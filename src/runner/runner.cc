@@ -192,6 +192,11 @@ writeStats(json::Writer &w, const sim::RunStats &s)
     w.field("dcacheStores", s.dcacheStores);
     w.field("detectorDead", s.detectorDead);
     w.field("detectorLive", s.detectorLive);
+    w.field("clusterSteered", s.clusterSteered);
+    w.field("clusterSteeredIneff", s.clusterSteeredIneff);
+    w.field("clusterSteeredWrong", s.clusterSteeredWrong);
+    w.field("clusterBypassStalls", s.clusterBypassStalls);
+    w.field("clusterNarrowIssued", s.clusterNarrowIssued);
 }
 
 /** (name, value accessor) for each commit-slot class, shared by the
@@ -263,6 +268,8 @@ constexpr const char *kStatColumns[] = {
     "predictedDead", "deadMispredicts", "branchMispredicts",
     "physRegAllocs", "rfReads", "rfWrites", "dcacheLoads",
     "dcacheStores", "detectorDead", "detectorLive",
+    "clusterSteered", "clusterSteeredIneff", "clusterSteeredWrong",
+    "clusterBypassStalls", "clusterNarrowIssued",
 };
 
 std::vector<std::string>
@@ -288,6 +295,11 @@ statValues(const JobResult &r)
         std::to_string(s.dcacheStores),
         std::to_string(s.detectorDead),
         std::to_string(s.detectorLive),
+        std::to_string(s.clusterSteered),
+        std::to_string(s.clusterSteeredIneff),
+        std::to_string(s.clusterSteeredWrong),
+        std::to_string(s.clusterBypassStalls),
+        std::to_string(s.clusterNarrowIssued),
     };
 }
 

@@ -134,6 +134,11 @@ writeStats(json::Writer &w, const sim::RunStats &s)
     w.field("dcacheStores", s.dcacheStores);
     w.field("detectorDead", s.detectorDead);
     w.field("detectorLive", s.detectorLive);
+    w.field("clusterSteered", s.clusterSteered);
+    w.field("clusterSteeredIneff", s.clusterSteeredIneff);
+    w.field("clusterSteeredWrong", s.clusterSteeredWrong);
+    w.field("clusterBypassStalls", s.clusterBypassStalls);
+    w.field("clusterNarrowIssued", s.clusterNarrowIssued);
     w.endObject();
     if (s.profile.valid) {
         const sim::CycleProfile &p = s.profile;
@@ -195,6 +200,11 @@ statsFromJson(const json::Value &stats, const json::Value *profile)
     s.dcacheStores = stats.at("dcacheStores").asUint();
     s.detectorDead = stats.at("detectorDead").asUint();
     s.detectorLive = stats.at("detectorLive").asUint();
+    s.clusterSteered = stats.at("clusterSteered").asUint();
+    s.clusterSteeredIneff = stats.at("clusterSteeredIneff").asUint();
+    s.clusterSteeredWrong = stats.at("clusterSteeredWrong").asUint();
+    s.clusterBypassStalls = stats.at("clusterBypassStalls").asUint();
+    s.clusterNarrowIssued = stats.at("clusterNarrowIssued").asUint();
     if (profile) {
         sim::CycleProfile &p = s.profile;
         p.valid = true;

@@ -77,7 +77,7 @@ namespace dde::runner
  * then read as stale and re-simulate. (Config changes never need a
  * bump — they are part of the key.)
  */
-inline constexpr const char *kStoreCodeVersion = "dde.store/1+pr8";
+inline constexpr const char *kStoreCodeVersion = "dde.store/1+pr10";
 
 /** Default claim lease: a lock file this much older than its last
  * refresh belongs to a crashed claimant and may be reclaimed. */

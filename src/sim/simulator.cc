@@ -151,6 +151,15 @@ snapshot(const core::Core &core, const std::string &name)
     s.dcacheStores = g.lookupCounter("dcacheStores").value();
     s.detectorDead = g.lookupCounter("detectorDead").value();
     s.detectorLive = g.lookupCounter("detectorLive").value();
+    s.clusterSteered = g.lookupCounter("clusterSteered").value();
+    s.clusterSteeredIneff =
+        g.lookupCounter("clusterSteeredIneff").value();
+    s.clusterSteeredWrong =
+        g.lookupCounter("clusterSteeredWrong").value();
+    s.clusterBypassStalls =
+        g.lookupCounter("clusterBypassStalls").value();
+    s.clusterNarrowIssued =
+        g.lookupCounter("clusterNarrowIssued").value();
 
     const core::CoreConfig &cfg = core.config();
     if (cfg.profile.enable) {

@@ -100,6 +100,13 @@ struct RunStats
     std::uint64_t detectorDead = 0;
     std::uint64_t detectorLive = 0;
 
+    // Cluster-steering mode (ClusterConfig; all zero otherwise).
+    std::uint64_t clusterSteered = 0;
+    std::uint64_t clusterSteeredIneff = 0;
+    std::uint64_t clusterSteeredWrong = 0;
+    std::uint64_t clusterBypassStalls = 0;
+    std::uint64_t clusterNarrowIssued = 0;
+
     std::uint64_t dcacheAccesses() const
     {
         return dcacheLoads + dcacheStores;

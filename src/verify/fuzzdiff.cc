@@ -72,6 +72,21 @@ fuzzConfigGrid(bool inject_bug)
                     withElim(CoreConfig::contended(),
                              RecoveryMode::SquashProducer, inject_bug),
                     true});
+    // Cluster-steering axis: steered instructions are never
+    // eliminated, so the per-commit oracle checks their results and
+    // addresses in full — architectural state must be unchanged by
+    // steering. (debugSkipVerifyPc has no cluster analogue: there is
+    // no verification step to sabotage, so these points carry no
+    // injected bug.)
+    auto with_cluster = [](CoreConfig cfg) {
+        cfg.cluster.enable = true;
+        return cfg;
+    };
+    grid.push_back(
+        {"cluster-cont", with_cluster(CoreConfig::contended())});
+    grid.push_back({"cluster-wide", with_cluster(CoreConfig::wide())});
+    grid.push_back({"cluster-cont-ff",
+                    with_cluster(CoreConfig::contended()), true});
     return grid;
 }
 

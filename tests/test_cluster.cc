@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Two-cluster ineffectuality-steering tests: config validation,
+ * steering activity and counter coherence, the chain-predictor knob,
+ * the inter-cluster bypass model, and the observable-state contract
+ * (steered instructions execute fully, so architectural results must
+ * be unchanged on every workload).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "core/core.hh"
+#include "emu/emulator.hh"
+#include "isa/assembler.hh"
+#include "mir/compiler.hh"
+#include "sim/simulator.hh"
+#include "workloads/workloads.hh"
+
+using namespace dde;
+using namespace dde::core;
+
+namespace
+{
+
+prog::Program
+progFromAsm(const std::string &src)
+{
+    prog::Program program("t");
+    for (const auto &inst : isa::assemble(src).insts)
+        program.append(inst);
+    return program;
+}
+
+CoreConfig
+steerConfig(CoreConfig base = CoreConfig::contended())
+{
+    base.cluster.enable = true;
+    return base;
+}
+
+prog::Program
+workloadProgram(mir::Module (*make)(const workloads::Params &),
+                unsigned scale = 1)
+{
+    workloads::Params p;
+    p.scale = scale;
+    return mir::compile(make(p), sim::referenceCompileOptions());
+}
+
+} // namespace
+
+TEST(Cluster, SteeringAndEliminationAreMutuallyExclusive)
+{
+    auto program = progFromAsm("halt");
+    CoreConfig cfg = steerConfig();
+    cfg.elim.enable = true;
+    EXPECT_THROW(core::Core(program, cfg), FatalError);
+}
+
+TEST(Cluster, ZeroNarrowResourcesRejected)
+{
+    auto program = progFromAsm("halt");
+    for (auto mutate : {+[](ClusterConfig &c) { c.issueWidth = 0; },
+                        +[](ClusterConfig &c) { c.numFus = 0; },
+                        +[](ClusterConfig &c) { c.numMemPorts = 0; }}) {
+        CoreConfig cfg = steerConfig();
+        mutate(cfg.cluster);
+        EXPECT_THROW(core::Core(program, cfg), FatalError);
+    }
+}
+
+TEST(Cluster, AlwaysDeadInstructionGetsSteered)
+{
+    // The same idiom test_elimination.cc opens with: t1's first def
+    // is dead every iteration. Under steering it must be routed to
+    // the narrow cluster (not eliminated) and still commit.
+    auto program = progFromAsm(R"(
+            addi t0, zero, 400
+        loop:
+            addi t1, t0, 7       # always dead
+            addi t1, zero, 1
+            addi t0, t0, -1
+            bne  t0, t1, loop
+            out  t0
+            halt
+    )");
+    auto ref = emu::runProgram(program);
+    sim::RunOptions opts;
+    opts.cosim = true;
+    auto result = sim::runOnCore(program, steerConfig(), opts);
+    EXPECT_EQ(result.output, ref.output);
+    EXPECT_EQ(result.stats.committed, ref.instCount);
+    EXPECT_EQ(result.stats.committedEliminated, 0u);
+    EXPECT_GT(result.stats.clusterSteered, 300u);
+    EXPECT_GT(result.stats.clusterNarrowIssued,
+              result.stats.clusterSteered - 1);
+}
+
+TEST(Cluster, ObservableStateContractHoldsOnAllWorkloads)
+{
+    for (const auto &w : workloads::extendedWorkloads()) {
+        workloads::Params p;
+        p.scale = 1;
+        auto program = mir::compile(w.make(p),
+                                    sim::referenceCompileOptions());
+        auto ref = emu::runProgram(program);
+        sim::RunOptions opts;
+        opts.cosim = true;
+        auto result = sim::runOnCore(program, steerConfig(), opts);
+        EXPECT_TRUE(sim::observablyEqual(result, ref)) << w.name;
+        EXPECT_EQ(result.stats.committed, ref.instCount) << w.name;
+    }
+}
+
+TEST(Cluster, CountersAreCoherent)
+{
+    auto program = workloadProgram(workloads::makeHashmix);
+    auto result = sim::runOnCore(program, steerConfig());
+    const sim::RunStats &s = result.stats;
+    EXPECT_GT(s.clusterSteered, 0u);
+    // Ineffectual-chain steers are a subset of all steers, and every
+    // steered instruction issues exactly once on the narrow cluster
+    // (modulo the in-flight tail at halt).
+    EXPECT_LE(s.clusterSteeredIneff, s.clusterSteered);
+    EXPECT_GE(s.clusterNarrowIssued, s.clusterSteered);
+    EXPECT_LE(s.clusterSteered, s.committed);
+    // Steering never eliminates, so the elimination machinery must
+    // stay silent.
+    EXPECT_EQ(s.committedEliminated, 0u);
+    EXPECT_EQ(s.deadMispredicts, 0u);
+}
+
+TEST(Cluster, ChainPredictorKnobGatesIneffSteers)
+{
+    auto program = workloadProgram(workloads::makeHashmix);
+    CoreConfig dead_only = steerConfig();
+    dead_only.cluster.steerIneffectual = false;
+    auto result = sim::runOnCore(program, dead_only);
+    EXPECT_GT(result.stats.clusterSteered, 0u);
+    EXPECT_EQ(result.stats.clusterSteeredIneff, 0u);
+
+    auto chains = sim::runOnCore(program, steerConfig());
+    EXPECT_GT(chains.stats.clusterSteeredIneff, 0u);
+    // The chain predictor only ever widens the steered set.
+    EXPECT_GE(chains.stats.clusterSteered,
+              result.stats.clusterSteered);
+}
+
+TEST(Cluster, ZeroBypassLatencyMeansNoBypassStalls)
+{
+    auto program = workloadProgram(workloads::makeCompress);
+    CoreConfig cfg = steerConfig();
+    cfg.cluster.bypassLatency = 0;
+    auto result = sim::runOnCore(program, cfg);
+    EXPECT_GT(result.stats.clusterSteered, 0u);
+    EXPECT_EQ(result.stats.clusterBypassStalls, 0u);
+
+    // And the default (nonzero) bypass latency on the same workload
+    // does produce cross-cluster stalls.
+    auto bypass = sim::runOnCore(program, steerConfig());
+    EXPECT_GT(bypass.stats.clusterBypassStalls, 0u);
+}
+
+TEST(Cluster, LatencyPenaltySlowsTheNarrowCluster)
+{
+    auto program = workloadProgram(workloads::makeHashmix);
+    CoreConfig cheap = steerConfig();
+    cheap.cluster.latencyPenalty = 0;
+    CoreConfig dear = steerConfig();
+    dear.cluster.latencyPenalty = 8;
+    auto fast = sim::runOnCore(program, cheap);
+    auto slow = sim::runOnCore(program, dear);
+    EXPECT_GT(fast.stats.clusterSteered, 0u);
+    EXPECT_GE(slow.stats.cycles, fast.stats.cycles);
+}
+
+TEST(Cluster, SteeringWorksOnTheWideMachine)
+{
+    auto program = workloadProgram(workloads::makeCompress);
+    auto ref = emu::runProgram(program);
+    sim::RunOptions opts;
+    opts.cosim = true;
+    auto result =
+        sim::runOnCore(program, steerConfig(CoreConfig::wide()), opts);
+    EXPECT_TRUE(sim::observablyEqual(result, ref));
+    EXPECT_GT(result.stats.clusterSteered, 0u);
+}

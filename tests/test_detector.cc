@@ -163,3 +163,138 @@ TEST(Detector, NonPow2MemTableRejected)
     cfg.memEntries = 1000;
     EXPECT_THROW(DeadValueDetector{cfg}, PanicError);
 }
+
+// --------------------------------------------------------------------
+// Chain-aware (cluster-steering) API: same dead-event semantics plus
+// ineffectuality tracking — a value read only by *steered* consumers
+// trains as ineffectual, the transitive-chain case.
+// --------------------------------------------------------------------
+
+TEST(DetectorChain, NeverReadValueIsDeadAndIneffectual)
+{
+    DeadValueDetector det;
+    std::vector<DeadEvent> ev;
+    std::vector<IneffEvent> iev;
+    det.onRegWriteChain(5, prod(0x100, 1), ev, iev);
+    EXPECT_TRUE(ev.empty());
+    EXPECT_TRUE(iev.empty());
+    det.onRegWriteChain(5, prod(0x104, 2), ev, iev);
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_TRUE(ev[0].dead);
+    ASSERT_EQ(iev.size(), 1u);
+    EXPECT_TRUE(iev[0].ineffectual);
+    EXPECT_EQ(iev[0].producer.pc, 0x100u);
+}
+
+TEST(DetectorChain, SteeredOnlyReadersMakeValueLiveButIneffectual)
+{
+    DeadValueDetector det;
+    std::vector<DeadEvent> ev;
+    std::vector<IneffEvent> iev;
+    det.onRegWriteChain(5, prod(0x100, 1), ev, iev);
+    // Two reads, both by steered consumers: live for the dead
+    // detector, still unread for the chain detector.
+    det.onRegReadChain(5, true, ev, iev);
+    det.onRegReadChain(5, true, ev, iev);
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_FALSE(ev[0].dead);
+    EXPECT_TRUE(iev.empty());
+    ev.clear();
+    // Overwrite: not dead (it was read), but ineffectual — its only
+    // consumers were themselves steered.
+    det.onRegWriteChain(5, prod(0x108, 3), ev, iev);
+    EXPECT_TRUE(ev.empty());
+    ASSERT_EQ(iev.size(), 1u);
+    EXPECT_TRUE(iev[0].ineffectual);
+    EXPECT_EQ(iev[0].producer.pc, 0x100u);
+}
+
+TEST(DetectorChain, EffectualReadEmitsNotIneffectualExactlyOnce)
+{
+    DeadValueDetector det;
+    std::vector<DeadEvent> ev;
+    std::vector<IneffEvent> iev;
+    det.onRegWriteChain(5, prod(0x100, 1), ev, iev);
+    det.onRegReadChain(5, true, ev, iev);   // steered read: live only
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_TRUE(iev.empty());
+    det.onRegReadChain(5, false, ev, iev);  // first effectual read
+    ASSERT_EQ(iev.size(), 1u);
+    EXPECT_FALSE(iev[0].ineffectual);
+    det.onRegReadChain(5, false, ev, iev);
+    EXPECT_EQ(iev.size(), 1u) << "one ineff verdict per value";
+    iev.clear();
+    ev.clear();
+    // Overwrite after an effectual read: no further events.
+    det.onRegWriteChain(5, prod(0x108, 3), ev, iev);
+    EXPECT_TRUE(ev.empty());
+    EXPECT_TRUE(iev.empty());
+}
+
+TEST(DetectorChain, ProducerSteeredFlagRoundTrips)
+{
+    DeadValueDetector det;
+    std::vector<DeadEvent> ev;
+    std::vector<IneffEvent> iev;
+    ProducerInfo p = prod(0x100, 1);
+    p.steered = true;
+    det.onRegWriteChain(5, p, ev, iev);
+    det.onRegReadChain(5, false, ev, iev);
+    ASSERT_EQ(iev.size(), 1u);
+    EXPECT_FALSE(iev[0].ineffectual);
+    EXPECT_TRUE(iev[0].producer.steered)
+        << "training must see that this instance was steered wrong";
+}
+
+TEST(DetectorChain, OpaqueWriteResolvesIneffectuality)
+{
+    DeadValueDetector det;
+    std::vector<DeadEvent> ev;
+    std::vector<IneffEvent> iev;
+    det.onRegWriteChain(1, prod(0x100, 1), ev, iev);
+    det.onRegReadChain(1, true, ev, iev);
+    ev.clear();
+    det.onRegWriteOpaqueChain(1, ev, iev);
+    EXPECT_TRUE(ev.empty());
+    ASSERT_EQ(iev.size(), 1u);
+    EXPECT_TRUE(iev[0].ineffectual);
+    iev.clear();
+    // Tracking stopped: a later overwrite has no producer to judge.
+    det.onRegWriteChain(1, prod(0x110, 4), ev, iev);
+    EXPECT_TRUE(ev.empty());
+    EXPECT_TRUE(iev.empty());
+}
+
+TEST(DetectorChain, MemorySideTracksChains)
+{
+    DeadValueDetector det;
+    std::vector<DeadEvent> ev;
+    std::vector<IneffEvent> iev;
+    det.onStoreChain(0x1000, prod(0x100, 1), ev, iev);
+    det.onLoadChain(0x1000, true, ev, iev);  // steered load
+    ASSERT_EQ(ev.size(), 1u);
+    EXPECT_FALSE(ev[0].dead);
+    EXPECT_TRUE(iev.empty());
+    ev.clear();
+    det.onStoreChain(0x1004, prod(0x104, 2), ev, iev);  // same word
+    EXPECT_TRUE(ev.empty()) << "read stores are not dead";
+    ASSERT_EQ(iev.size(), 1u);
+    EXPECT_TRUE(iev[0].ineffectual);
+    iev.clear();
+    // Effectual load resolves the second store as effectual.
+    det.onLoadChain(0x1004, false, ev, iev);
+    ASSERT_EQ(iev.size(), 1u);
+    EXPECT_FALSE(iev[0].ineffectual);
+    EXPECT_EQ(iev[0].producer.pc, 0x104u);
+}
+
+TEST(DetectorChain, ZeroRegisterWritesAreIgnored)
+{
+    DeadValueDetector det;
+    std::vector<DeadEvent> ev;
+    std::vector<IneffEvent> iev;
+    det.onRegWriteChain(kRegZero, prod(0x100, 1), ev, iev);
+    det.onRegWriteChain(kRegZero, prod(0x104, 2), ev, iev);
+    EXPECT_TRUE(ev.empty());
+    EXPECT_TRUE(iev.empty());
+}

@@ -48,6 +48,43 @@ goldenSquashRun(const std::string &workload)
     return sim::runOnCore(cache.compiled(key)->program, cfg);
 }
 
+sim::SimResult
+goldenClusterRun(const std::string &workload)
+{
+    runner::ArtifactCache cache;
+    runner::ProgramKey key(workload, 1);
+    core::CoreConfig cfg = core::CoreConfig::contended();
+    cfg.cluster.enable = true;
+    return sim::runOnCore(cache.compiled(key)->program, cfg);
+}
+
+/** Field-by-field RunStats equality (every serialized counter). */
+void
+expectStatsEqual(const sim::RunStats &a, const sim::RunStats &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.halted, b.halted);
+    EXPECT_EQ(a.fastForwarded, b.fastForwarded);
+    EXPECT_EQ(a.committedEliminated, b.committedEliminated);
+    EXPECT_EQ(a.predictedDead, b.predictedDead);
+    EXPECT_EQ(a.deadMispredicts, b.deadMispredicts);
+    EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
+    EXPECT_EQ(a.physRegAllocs, b.physRegAllocs);
+    EXPECT_EQ(a.rfReads, b.rfReads);
+    EXPECT_EQ(a.rfWrites, b.rfWrites);
+    EXPECT_EQ(a.dcacheLoads, b.dcacheLoads);
+    EXPECT_EQ(a.dcacheStores, b.dcacheStores);
+    EXPECT_EQ(a.detectorDead, b.detectorDead);
+    EXPECT_EQ(a.detectorLive, b.detectorLive);
+    EXPECT_EQ(a.clusterSteered, b.clusterSteered);
+    EXPECT_EQ(a.clusterSteeredIneff, b.clusterSteeredIneff);
+    EXPECT_EQ(a.clusterSteeredWrong, b.clusterSteeredWrong);
+    EXPECT_EQ(a.clusterBypassStalls, b.clusterBypassStalls);
+    EXPECT_EQ(a.clusterNarrowIssued, b.clusterNarrowIssued);
+}
+
 } // namespace
 
 TEST(GoldenStats, EliminationRunCountersAreExact)
@@ -149,6 +186,96 @@ TEST(GoldenStats, HashmixSquashProducerCountersAreExact)
     EXPECT_EQ(s.dcacheStores, 824u);
     EXPECT_EQ(s.detectorDead, 942u);
     EXPECT_EQ(s.detectorLive, 14974u);
+}
+
+// Cluster-steering grid points (ISSUE 10): the two pinned fig6
+// workloads on the contended machine with the two-cluster backend
+// enabled. Steering changes timing only, so `committed` must match
+// the elimination goldens above while cycles and the cluster
+// counters pin the steering/bypass/chain-detector behaviour.
+TEST(GoldenStats, CompressClusterCountersAreExact)
+{
+    auto result = goldenClusterRun("compress");
+    const sim::RunStats &s = result.stats;
+
+    EXPECT_TRUE(result.halted);
+    EXPECT_EQ(s.committed, 17176u);
+    EXPECT_EQ(s.cycles, 19072u);
+    EXPECT_EQ(s.committedEliminated, 0u);
+    EXPECT_EQ(s.deadMispredicts, 0u);
+    EXPECT_EQ(s.predictedDead, 162u);
+    EXPECT_EQ(s.branchMispredicts, 415u);
+    EXPECT_EQ(s.clusterSteered, 345u);
+    EXPECT_EQ(s.clusterSteeredIneff, 211u);
+    EXPECT_EQ(s.clusterSteeredWrong, 157u);
+    EXPECT_EQ(s.clusterBypassStalls, 275u);
+    EXPECT_EQ(s.clusterNarrowIssued, 351u);
+    EXPECT_EQ(s.detectorDead, 316u);
+    EXPECT_EQ(s.detectorLive, 13780u);
+}
+
+TEST(GoldenStats, HashmixClusterCountersAreExact)
+{
+    auto result = goldenClusterRun("hashmix");
+    const sim::RunStats &s = result.stats;
+
+    EXPECT_TRUE(result.halted);
+    EXPECT_EQ(s.committed, 19006u);
+    EXPECT_EQ(s.cycles, 31278u);
+    EXPECT_EQ(s.committedEliminated, 0u);
+    EXPECT_EQ(s.deadMispredicts, 0u);
+    EXPECT_EQ(s.predictedDead, 660u);
+    EXPECT_EQ(s.branchMispredicts, 304u);
+    EXPECT_EQ(s.clusterSteered, 1347u);
+    EXPECT_EQ(s.clusterSteeredIneff, 855u);
+    EXPECT_EQ(s.clusterSteeredWrong, 78u);
+    EXPECT_EQ(s.clusterBypassStalls, 486u);
+    EXPECT_EQ(s.clusterNarrowIssued, 1700u);
+    EXPECT_EQ(s.detectorDead, 524u);
+    EXPECT_EQ(s.detectorLive, 15392u);
+}
+
+// cluster.enable=false must be byte-identical to a config that has
+// no ClusterConfig at all, whatever the other cluster knobs say —
+// the same invariant discipline the block cache and zoo landed
+// under. Both baseline and elimination runs are pinned.
+TEST(GoldenStats, ClusterDisabledIsByteIdenticalToGoldens)
+{
+    runner::ArtifactCache cache;
+    runner::ProgramKey key("compress", 1);
+    auto program = cache.compiled(key)->program;
+
+    for (bool elim : {false, true}) {
+        core::CoreConfig plain = core::CoreConfig::contended();
+        plain.elim.enable = elim;
+        core::CoreConfig knobs = plain;
+        knobs.cluster.enable = false;
+        knobs.cluster.issueWidth = 3;
+        knobs.cluster.numFus = 4;
+        knobs.cluster.numMemPorts = 2;
+        knobs.cluster.latencyPenalty = 7;
+        knobs.cluster.bypassLatency = 9;
+        knobs.cluster.steerIneffectual = false;
+
+        auto a = sim::runOnCore(program, plain);
+        auto b = sim::runOnCore(program, knobs);
+        expectStatsEqual(a.stats, b.stats);
+        EXPECT_EQ(a.stats.clusterSteered, 0u);
+        EXPECT_EQ(a.stats.clusterNarrowIssued, 0u);
+    }
+}
+
+// Steering must leave architectural results untouched: same output,
+// same memory as the functional reference.
+TEST(GoldenStats, ClusterRunKeepsObservableContract)
+{
+    runner::ArtifactCache cache;
+    runner::ProgramKey key("hashmix", 1);
+    core::CoreConfig cfg = core::CoreConfig::contended();
+    cfg.cluster.enable = true;
+    auto result = sim::runOnCore(cache.compiled(key)->program, cfg);
+    auto ref = cache.reference(key);
+    EXPECT_TRUE(sim::observablyEqual(result, *ref));
 }
 
 TEST(GoldenStats, HashmixEliminationKeepsObservableContract)

@@ -321,6 +321,21 @@ TEST(Fingerprint, ElimConfigCoversItsFields)
     poke([](core::ElimConfig &c) { c.detector.memEntries *= 2; });
 }
 
+TEST(Fingerprint, ClusterConfigCoversItsFields)
+{
+    using Fn = void (*)(core::ClusterConfig &);
+    Poker<core::ClusterConfig, Fn> poke(core::ClusterConfig{});
+    poke([](core::ClusterConfig &c) { c.enable = !c.enable; });
+    poke([](core::ClusterConfig &c) { c.issueWidth += 1; });
+    poke([](core::ClusterConfig &c) { c.numFus += 1; });
+    poke([](core::ClusterConfig &c) { c.numMemPorts += 1; });
+    poke([](core::ClusterConfig &c) { c.latencyPenalty += 1; });
+    poke([](core::ClusterConfig &c) { c.bypassLatency += 1; });
+    poke([](core::ClusterConfig &c) {
+        c.steerIneffectual = !c.steerIneffectual;
+    });
+}
+
 TEST(Fingerprint, CoreConfigCoversItsFields)
 {
     using Fn = void (*)(core::CoreConfig &);
@@ -351,6 +366,10 @@ TEST(Fingerprint, CoreConfigCoversItsFields)
     poke([](core::CoreConfig &c) { c.memory.l2.hitLatency += 1; });
     poke([](core::CoreConfig &c) { c.memory.memLatency += 1; });
     poke([](core::CoreConfig &c) { c.elim.enable = !c.elim.enable; });
+    poke([](core::CoreConfig &c) {
+        c.cluster.enable = !c.cluster.enable;
+    });
+    poke([](core::CoreConfig &c) { c.cluster.issueWidth += 1; });
     poke([](core::CoreConfig &c) {
         c.profile.enable = !c.profile.enable;
     });
